@@ -1,0 +1,125 @@
+// Experiment T7 -- Theorem 3.5 (byzantine compilation over tree packings).
+// Claims: any r-round algorithm compiles to ~O(DTP)-overhead-per-round
+// f-mobile-resilient form given a weak (k, DTP, eta) packing; correctness
+// holds under arbitrary mobile strategies.
+// Measured: correctness across adversary strategies and an f sweep, the
+// per-simulated-round overhead decomposition, and raw vs normalized rounds.
+#include <iostream>
+
+#include "adv/strategies.h"
+#include "algo/payloads.h"
+#include "compile/byz_tree_compiler.h"
+#include "compile/expander_packing.h"
+#include "graph/tree_packing.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+#include "util/table.h"
+
+using namespace mobile;
+
+int main() {
+  std::cout << "# T7: Byzantine tree-packing compiler (Theorem 3.5)\n\n";
+  std::cout << "## Correctness across adversary strategies (clique stars)\n\n";
+  util::Table table({"n", "f", "strategy", "rounds/sim-round", "total rounds",
+                     "max msg words", "outputs ok"});
+  for (const auto& [n, f] : {std::pair{12, 1}, {12, 2}, {16, 2}, {16, 3}}) {
+    const graph::Graph g = graph::clique(n);
+    const auto pk = compile::cliquePackingKnowledge(g);
+    std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n), 5);
+    const sim::Algorithm inner = algo::makeGossipHash(g, 2, inputs, 32);
+    const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+    const graph::TreePacking stars = graph::cliqueStarPacking(g);
+    for (const int strategy : {0, 1, 2, 3}) {
+      std::unique_ptr<adv::Adversary> adv;
+      std::string sname;
+      switch (strategy) {
+        case 0:
+          adv = std::make_unique<adv::RandomByzantine>(f, 7);
+          sname = "random";
+          break;
+        case 1: {
+          std::vector<graph::EdgeId> targets;
+          for (int i = 0; i < f; ++i) targets.push_back(i);
+          adv = std::make_unique<adv::CampingByzantine>(targets, f, 7);
+          sname = "camping";
+          break;
+        }
+        case 2:
+          adv = std::make_unique<adv::TreeTargetedByzantine>(f, stars, g, 7);
+          sname = "tree-targeted";
+          break;
+        default:
+          adv = std::make_unique<adv::BitflipByzantine>(f, 7);
+          sname = "bitflip";
+          break;
+      }
+      const sim::Algorithm compiled =
+          compile::compileByzantineTree(g, inner, pk, f);
+      sim::Network net(g, compiled, 11, adv.get());
+      net.run(compiled.rounds);
+      table.addRow({util::Table::num(n), util::Table::num(f), sname,
+                    util::Table::num(compiled.rounds / inner.rounds),
+                    util::Table::num(compiled.rounds),
+                    util::Table::num(static_cast<std::uint64_t>(net.maxWordsObserved())),
+                    util::Table::boolean(net.outputsFingerprint() == want)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\n## Overhead decomposition (schedule anatomy)\n\n";
+  util::Table anatomy({"n", "f", "z iters", "sketch steps", "ecc steps",
+                       "chunks", "rounds/iter", "rounds/sim-round"});
+  for (const auto& [n, f] : {std::pair{12, 1}, {16, 2}, {24, 3}, {32, 4}}) {
+    const graph::Graph g = graph::clique(n);
+    const auto pk = compile::cliquePackingKnowledge(g);
+    const compile::ByzSchedule s =
+        compile::ByzSchedule::compute(*pk, 1, f, {});
+    anatomy.addRow({util::Table::num(n), util::Table::num(f),
+                    util::Table::num(s.z), util::Table::num(s.sketchSteps),
+                    util::Table::num(s.eccSteps), util::Table::num(s.chunks),
+                    util::Table::num(s.roundsPerIteration),
+                    util::Table::num(s.roundsPerSimRound)});
+  }
+  anatomy.print(std::cout);
+
+  std::cout << "\n## Ablation: L0-iterative (Sec 3.2) vs sparse one-shot "
+               "(Sec 1.2.2)\n\n";
+  util::Table ab({"n", "f", "mode", "rounds/sim", "max msg words",
+                  "normalized rounds", "outputs ok"});
+  for (const auto& [n, f] : {std::pair{12, 1}, {16, 2}}) {
+    const graph::Graph g = graph::clique(n);
+    const auto pk = compile::cliquePackingKnowledge(g);
+    std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n), 5);
+    const sim::Algorithm inner = algo::makeGossipHash(g, 2, inputs, 32);
+    const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+    for (const int mode : {0, 1}) {
+      compile::ByzOptions opts;
+      opts.correction = mode == 0 ? compile::CorrectionMode::L0Iterative
+                                  : compile::CorrectionMode::SparseOneShot;
+      const sim::Algorithm compiled =
+          compile::compileByzantineTree(g, inner, pk, f, opts);
+      adv::RandomByzantine adv(f, 7);
+      sim::Network net(g, compiled, 11, &adv);
+      net.run(compiled.rounds);
+      ab.addRow({util::Table::num(n), util::Table::num(f),
+                 mode == 0 ? "L0 iterative" : "sparse one-shot",
+                 util::Table::num(compiled.rounds / inner.rounds),
+                 util::Table::num(static_cast<std::uint64_t>(net.maxWordsObserved())),
+                 util::Table::num(static_cast<long>(
+                     (compiled.rounds / inner.rounds) *
+                     static_cast<long>(net.maxWordsObserved()))),
+                 util::Table::boolean(net.outputsFingerprint() == want)});
+    }
+  }
+  ab.print(std::cout);
+  std::cout << "\nthe paper's ~O(DTP) vs ~O(DTP+f) trade, measured: the "
+               "one-shot variant runs fewer scheduled rounds (z=1) but ships "
+               "O(f)-sparse sketches, so its messages are wider -- the "
+               "normalized (rounds x width) column shows where each wins.\n";
+
+  std::cout << "\npaper: overhead ~O(DTP) per round hiding log factors "
+               "(z = O(log f) iterations x eta x rho, plus the ECC chunks); "
+               "DTP = 2 on cliques so the overhead is polylog -- visible "
+               "above as the f-driven growth of z and chunks only.\n";
+  return 0;
+}

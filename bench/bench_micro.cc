@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark): the hot kernels under the compilers.
+#include <benchmark/benchmark.h>
+
+#include "coding/reed_solomon.h"
+#include "compile/keypool.h"
+#include "gf/gf16.h"
+#include "graph/generators.h"
+#include "hash/cwise.h"
+#include "algo/payloads.h"
+#include "sim/network.h"
+#include "sketch/l0sampler.h"
+#include "sketch/sparse_recovery.h"
+#include "util/rng.h"
+
+using namespace mobile;
+
+static void BM_GF16_Mul(benchmark::State& state) {
+  util::Rng rng(1);
+  gf::F16 a(static_cast<std::uint16_t>(rng.next() | 1));
+  gf::F16 b(static_cast<std::uint16_t>(rng.next() | 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = a * b);
+  }
+}
+BENCHMARK(BM_GF16_Mul);
+
+static void BM_RS_Encode(benchmark::State& state) {
+  const auto ell = static_cast<std::size_t>(state.range(0));
+  const coding::ReedSolomon rs(ell, 3 * ell);
+  util::Rng rng(2);
+  std::vector<gf::F16> msg(ell);
+  for (auto& s : msg) s = gf::F16(static_cast<std::uint16_t>(rng.next()));
+  for (auto _ : state) benchmark::DoNotOptimize(rs.encode(msg));
+}
+BENCHMARK(BM_RS_Encode)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_RS_DecodeWithErrors(benchmark::State& state) {
+  const auto ell = static_cast<std::size_t>(state.range(0));
+  const coding::ReedSolomon rs(ell, 3 * ell);
+  util::Rng rng(3);
+  std::vector<gf::F16> msg(ell);
+  for (auto& s : msg) s = gf::F16(static_cast<std::uint16_t>(rng.next()));
+  auto word = rs.encode(msg);
+  for (std::size_t i = 0; i < rs.maxErrors() / 2; ++i)
+    word[i] = gf::F16(static_cast<std::uint16_t>(rng.next()));
+  for (auto _ : state) benchmark::DoNotOptimize(rs.decode(word));
+}
+BENCHMARK(BM_RS_DecodeWithErrors)->Arg(4)->Arg(16);
+
+static void BM_L0_Update(benchmark::State& state) {
+  sketch::L0Sampler s(42, 60, 14);
+  util::Rng rng(4);
+  for (auto _ : state) s.update(rng.next() % (1ULL << 59), 1);
+}
+BENCHMARK(BM_L0_Update);
+
+static void BM_L0_MergeSerialized(benchmark::State& state) {
+  sketch::L0Sampler a(42, 60, 14), b(42, 60, 14);
+  util::Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    a.update(rng.next() % (1ULL << 59), 1);
+    b.update(rng.next() % (1ULL << 59), -1);
+  }
+  for (auto _ : state) {
+    auto words = b.serialize();
+    auto c = sketch::L0Sampler::deserialize(42, 60, 14, words);
+    c.merge(a);
+    benchmark::DoNotOptimize(c.query());
+  }
+}
+BENCHMARK(BM_L0_MergeSerialized);
+
+static void BM_SparseRecovery(benchmark::State& state) {
+  util::Rng rng(6);
+  for (auto _ : state) {
+    sketch::SparseRecovery s(rng.next(), 16);
+    for (int i = 0; i < 12; ++i) s.update(rng.next() % (1ULL << 59), 1);
+    benchmark::DoNotOptimize(s.recoverAll());
+  }
+}
+BENCHMARK(BM_SparseRecovery);
+
+static void BM_KeyPoolExtract(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  compile::KeyPool pool(r, 2 * r);
+  util::Rng rng(7);
+  std::vector<std::uint64_t> symbols;
+  for (int i = 0; i < pool.exchangeRounds(); ++i) symbols.push_back(rng.next());
+  for (auto _ : state) benchmark::DoNotOptimize(pool.extract(symbols));
+}
+BENCHMARK(BM_KeyPoolExtract)->Arg(8)->Arg(32);
+
+static void BM_CwiseHash(benchmark::State& state) {
+  util::Rng rng(8);
+  const hash::CwiseHash h(static_cast<std::size_t>(state.range(0)), 30, rng);
+  std::uint64_t x = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(h(++x));
+}
+BENCHMARK(BM_CwiseHash)->Arg(2)->Arg(16)->Arg(64);
+
+static void BM_NetworkRound_Clique(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::clique(n);
+  const sim::Algorithm a = algo::makeFloodMax(g, 1 << 20);
+  sim::Network net(g, a, 1);
+  for (auto _ : state) net.runExact(1);
+  state.SetItemsProcessed(state.iterations() * g.arcCount());
+}
+BENCHMARK(BM_NetworkRound_Clique)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

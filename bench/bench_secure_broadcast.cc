@@ -1,0 +1,95 @@
+// Experiment T5 -- Theorem A.4 (mobile-secure broadcast).
+// Claim (paper): ~O(D + sqrt(f b n) + b) rounds via fragments/landmarks.
+// Our dispersal substitution costs ~O((D + W) * eta * f) (DESIGN.md #3);
+// this bench measures the actual scaling in f and the secret width W and
+// verifies delivery plus eavesdropper view independence.
+#include <iostream>
+#include <map>
+
+#include "adv/strategies.h"
+#include "compile/secure_broadcast.h"
+#include "graph/tree_packing.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace mobile;
+
+int main() {
+  std::cout << "# T5: Mobile-secure broadcast (Theorem A.4 architecture)\n\n";
+  util::Table table({"n (clique)", "f", "W words", "rounds", "exchange",
+                     "dispersal", "all received"});
+  for (const int n : {8, 12, 16, 24}) {
+    const graph::Graph g = graph::clique(n);
+    const auto pk =
+        compile::distributePacking(g, graph::cliqueStarPacking(g), 2);
+    for (const int f : {1, 2, 3}) {
+      for (const int w : {1, 4}) {
+        std::vector<std::uint64_t> secret(static_cast<std::size_t>(w));
+        for (int i = 0; i < w; ++i)
+          secret[static_cast<std::size_t>(i)] = 0xbeef00 + static_cast<std::uint64_t>(i);
+        const sim::Algorithm a =
+            compile::makeMobileSecureBroadcast(g, pk, secret, f);
+        adv::RandomEavesdropper adv(f, 17);
+        sim::Network net(g, a, 5, &adv);
+        net.run(a.rounds);
+        bool ok = true;
+        for (const auto out : net.outputs())
+          if (out != secret[0]) ok = false;
+        compile::BroadcastCore probe(pk->root, g, util::Rng(1), pk, secret, f);
+        table.addRow({util::Table::num(n), util::Table::num(f),
+                      util::Table::num(w), util::Table::num(a.rounds),
+                      util::Table::num(probe.exchangeRounds()),
+                      util::Table::num(a.rounds - probe.exchangeRounds()),
+                      util::Table::boolean(ok)});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\n## Scaling shape (rounds vs f, W=1, n=16)\n\n";
+  {
+    const graph::Graph g = graph::clique(16);
+    const auto pk =
+        compile::distributePacking(g, graph::cliqueStarPacking(g), 2);
+    std::vector<double> fs, rounds;
+    util::Table shape({"f", "rounds"});
+    for (const int f : {1, 2, 3, 4, 6, 8}) {
+      const sim::Algorithm a =
+          compile::makeMobileSecureBroadcast(g, pk, {1}, f);
+      shape.addRow({util::Table::num(f), util::Table::num(a.rounds)});
+      fs.push_back(f);
+      rounds.push_back(a.rounds);
+    }
+    shape.print(std::cout);
+    std::cout << "\nlog-log slope rounds vs f: "
+              << util::Table::fixed(util::logLogSlope(fs, rounds), 2)
+              << "  (dispersal substitution is linear in f; the paper's "
+                 "landmark machinery would flatten this to sqrt)\n";
+  }
+
+  std::cout << "\n## View independence of the secret\n\n";
+  {
+    const graph::Graph g = graph::clique(10);
+    const auto pk =
+        compile::distributePacking(g, graph::cliqueStarPacking(g), 2);
+    std::map<std::uint64_t, std::uint64_t> distA, distB;
+    for (std::uint64_t seed = 0; seed < 80; ++seed) {
+      for (int which = 0; which < 2; ++which) {
+        const sim::Algorithm a = compile::makeMobileSecureBroadcast(
+            g, pk, {which == 0 ? 0ULL : ~0ULL}, 2);
+        adv::RandomEavesdropper adv(2, 300 + seed);
+        sim::Network net(g, a, seed * 2 + static_cast<std::uint64_t>(which), &adv);
+        net.run(a.rounds);
+        auto& dist = which == 0 ? distA : distB;
+        for (const auto& rec : adv.viewLog())
+          if (rec.uv.present) ++dist[rec.uv.at(0) & 0xf];
+      }
+    }
+    std::cout << "TV(secret=0 vs secret=~0) = "
+              << util::Table::fixed(util::totalVariation(distA, distB), 4)
+              << " (sampling noise level)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Validator committee: a fully connected committee of validators agrees on
+// the maximum proposed block id while a *mobile* byzantine adversary -- a
+// botnet hopping between network links -- rewrites n/6 different links
+// every single round (Theorem 1.6's CONGESTED CLIQUE regime).
+//
+// Demonstrates:
+//   * FloodMax (leader/value agreement) under byzantine compilation;
+//   * the naive 2f+1-repetition baseline failing against a camping botnet
+//     while the compiled protocol survives both botnet behaviours.
+#include <cstdio>
+
+#include "adv/strategies.h"
+#include "algo/payloads.h"
+#include "compile/baselines.h"
+#include "compile/byz_tree_compiler.h"
+#include "compile/expander_packing.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+
+int main() {
+  using namespace mobile;
+
+  const int n = 18;
+  const graph::Graph g = graph::clique(n);
+  const int f = n / 6;  // 3 links rewritten per round
+
+  // Proposal dissemination: every validator floods its best-known block id
+  // (ids are small; the max must win network-wide in 2 rounds on a clique).
+  const sim::Algorithm propose = algo::makeFloodMax(g, 2);
+  const std::uint64_t agreed = sim::faultFreeFingerprint(g, propose, 1);
+
+  const auto packing = compile::cliquePackingKnowledge(g);
+  const sim::Algorithm compiled =
+      compile::compileByzantineTree(g, propose, packing, f);
+  const sim::Algorithm naive = compile::compileNaiveRepetition(g, propose, f);
+
+  struct Row {
+    const char* scheme;
+    const char* botnet;
+    bool ok;
+    long corruptions;
+  };
+  std::vector<Row> rows;
+
+  for (const int scheme : {0, 1}) {
+    for (const int behaviour : {0, 1}) {
+      std::unique_ptr<adv::Adversary> botnet;
+      if (behaviour == 0) {
+        botnet = std::make_unique<adv::RandomByzantine>(f, 5);
+      } else {
+        std::vector<graph::EdgeId> camp;
+        for (int i = 0; i < f; ++i) camp.push_back(i);
+        botnet = std::make_unique<adv::CampingByzantine>(camp, f, 5);
+      }
+      const sim::Algorithm& algo = scheme == 0 ? compiled : naive;
+      sim::Network net(g, algo, 3, botnet.get());
+      net.run(algo.rounds);
+      rows.push_back({scheme == 0 ? "Thm 1.6 compiler" : "naive repetition",
+                      behaviour == 0 ? "hopping" : "camping",
+                      net.outputsFingerprint() == agreed,
+                      net.ledger().total()});
+    }
+  }
+
+  std::printf("committee of %d validators, botnet rewrites %d links/round\n\n",
+              n, f);
+  std::printf("%-18s %-9s %-12s %s\n", "scheme", "botnet", "corruptions",
+              "agreement");
+  for (const auto& r : rows)
+    std::printf("%-18s %-9s %-12ld %s\n", r.scheme, r.botnet, r.corruptions,
+                r.ok ? "REACHED" : "BROKEN");
+
+  // The paper's point: only the compiler survives the camping botnet.
+  const bool story = rows[0].ok && rows[1].ok && rows[2].ok && !rows[3].ok;
+  std::printf("\nexpected contrast reproduced: %s\n", story ? "YES" : "NO");
+  return story ? 0 : 1;
+}

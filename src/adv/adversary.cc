@@ -1,0 +1,96 @@
+#include "adv/adversary.h"
+
+#include <algorithm>
+
+namespace mobile::adv {
+
+long CorruptionLedger::countInWindow(int fromRound, int toRound,
+                                     const std::set<EdgeId>& edges) const {
+  long count = 0;
+  const int lo = std::max(1, fromRound);
+  const int hi = std::min(static_cast<int>(perRound_.size()), toRound);
+  for (int r = lo; r <= hi; ++r)
+    for (const EdgeId e : perRound_[static_cast<std::size_t>(r - 1)])
+      if (edges.count(e)) ++count;
+  return count;
+}
+
+TamperView::TamperView(const Graph& g, const Spec& spec, int round,
+                       std::vector<Msg>& arcs, long budgetUsedSoFar)
+    : g_(g),
+      spec_(spec),
+      round_(round),
+      arcs_(arcs),
+      budgetUsedBefore_(budgetUsedSoFar) {}
+
+const Msg& TamperView::peek(ArcId a) const {
+  if (spec_.kind != Kind::Byzantine)
+    throw std::logic_error("eavesdroppers may only read observed edges");
+  return arcs_[static_cast<std::size_t>(a)];
+}
+
+int TamperView::remaining() const {
+  switch (spec_.mobility) {
+    case Mobility::Static:
+    case Mobility::Mobile:
+      return spec_.f - static_cast<int>(touched_.size());
+    case Mobility::RoundErrorRate: {
+      const long left = spec_.totalBudget - budgetUsedBefore_ -
+                        static_cast<long>(touched_.size());
+      return static_cast<int>(std::max<long>(0, left));
+    }
+  }
+  return 0;
+}
+
+void TamperView::charge(EdgeId e) {
+  if (touched_.count(e)) return;  // an edge is charged once per round
+  switch (spec_.mobility) {
+    case Mobility::Static: {
+      const bool member =
+          std::find(spec_.staticSet.begin(), spec_.staticSet.end(), e) !=
+          spec_.staticSet.end();
+      if (!member)
+        throw std::logic_error("static adversary touched edge outside F*");
+      if (static_cast<int>(touched_.size()) >= spec_.f)
+        throw std::logic_error("static adversary exceeded f");
+      break;
+    }
+    case Mobility::Mobile:
+      if (static_cast<int>(touched_.size()) >= spec_.f)
+        throw std::logic_error("mobile adversary exceeded per-round f");
+      break;
+    case Mobility::RoundErrorRate:
+      if (budgetUsedBefore_ + static_cast<long>(touched_.size()) >=
+          spec_.totalBudget)
+        throw std::logic_error("round-error-rate adversary exceeded budget");
+      break;
+  }
+  touched_.insert(e);
+}
+
+void TamperView::corruptArc(ArcId a, const Msg& replacement) {
+  if (spec_.kind != Kind::Byzantine)
+    throw std::logic_error("only byzantine adversaries corrupt");
+  charge(Graph::arcEdge(a));
+  arcs_[static_cast<std::size_t>(a)] = replacement;
+}
+
+void TamperView::corruptEdge(EdgeId e, const Msg& uv, const Msg& vu) {
+  corruptArc(2 * e, uv);
+  corruptArc(2 * e + 1, vu);
+}
+
+ViewRecord TamperView::observe(EdgeId e) {
+  if (spec_.kind != Kind::Eavesdrop)
+    throw std::logic_error("observe is the eavesdropper surface");
+  charge(e);
+  ViewRecord r;
+  r.round = round_;
+  r.edge = e;
+  r.uv = arcs_[static_cast<std::size_t>(2 * e)];
+  r.vu = arcs_[static_cast<std::size_t>(2 * e + 1)];
+  return r;
+}
+
+}  // namespace mobile::adv

@@ -1,0 +1,145 @@
+// Adversary framework (Section 1.4 of the paper).
+//
+// Two families:
+//  * eavesdroppers -- passive; observe both directions of <= f chosen edges
+//    per round (static: a fixed set; mobile: a fresh set each round);
+//  * byzantine -- active; see *all* traffic every round and rewrite both
+//    arcs of <= f chosen edges (static / mobile / round-error-rate, where
+//    the budget is f * r edge-rounds in total, burstable).
+//
+// All adversaries know the topology and the algorithm but are oblivious to
+// node-private randomness: strategies receive only the graph, the round
+// number, current messages (byzantine) or their own past observations
+// (eavesdroppers), and an adversary-private RNG.
+//
+// The TamperView enforces the per-model budgets; the Network diffs pre/post
+// messages into a CorruptionLedger, the ground truth used by accounting,
+// tests, and the ContractEngine ideal functionality (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/message.h"
+#include "util/rng.h"
+
+namespace mobile::adv {
+
+using graph::ArcId;
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+using sim::Msg;
+
+enum class Kind { Eavesdrop, Byzantine };
+enum class Mobility { Static, Mobile, RoundErrorRate };
+
+struct Spec {
+  Kind kind = Kind::Byzantine;
+  Mobility mobility = Mobility::Mobile;
+  int f = 0;                 // per-round edge budget (RER: the average rate)
+  long totalBudget = 0;      // RER only: f * r edge-rounds
+  std::vector<EdgeId> staticSet;  // Static only: the fixed F*
+};
+
+/// One observation by an eavesdropper: both directions of one edge.
+struct ViewRecord {
+  int round = 0;
+  EdgeId edge = -1;
+  Msg uv;  // message u -> v (edge endpoints with u < v)
+  Msg vu;
+};
+
+/// Ground truth of byzantine interference, filled by the Network.
+class CorruptionLedger {
+ public:
+  void beginRound(int round) {
+    round_ = round;
+    perRound_.emplace_back();
+  }
+  void record(EdgeId e) {
+    perRound_.back().push_back(e);
+    ++total_;
+  }
+  [[nodiscard]] long total() const { return total_; }
+  [[nodiscard]] const std::vector<std::vector<EdgeId>>& byRound() const {
+    return perRound_;
+  }
+  /// Corrupted edge-rounds intersecting `edges` within rounds
+  /// [fromRound, toRound] (1-based, inclusive).
+  [[nodiscard]] long countInWindow(int fromRound, int toRound,
+                                   const std::set<EdgeId>& edges) const;
+
+ private:
+  int round_ = 0;
+  long total_ = 0;
+  std::vector<std::vector<EdgeId>> perRound_;
+};
+
+/// The per-round interface the Network hands the adversary.
+class TamperView {
+ public:
+  TamperView(const Graph& g, const Spec& spec, int round,
+             std::vector<Msg>& arcs, long budgetUsedSoFar);
+
+  [[nodiscard]] int round() const { return round_; }
+  [[nodiscard]] const Graph& graph() const { return g_; }
+
+  // --- byzantine surface -------------------------------------------------
+  /// Read any arc's current message (byzantine adversaries see everything).
+  [[nodiscard]] const Msg& peek(ArcId a) const;
+  /// Rewrite (or inject / drop) the message on arc `a`.  Charges the edge.
+  void corruptArc(ArcId a, const Msg& replacement);
+  /// Convenience: rewrite both directions.
+  void corruptEdge(EdgeId e, const Msg& uv, const Msg& vu);
+
+  // --- eavesdropper surface ------------------------------------------------
+  /// Observe both directions of edge `e`; charges the edge.
+  [[nodiscard]] ViewRecord observe(EdgeId e);
+
+  /// Edges already charged this round.
+  [[nodiscard]] const std::set<EdgeId>& touched() const { return touched_; }
+
+  /// Remaining per-round budget.
+  [[nodiscard]] int remaining() const;
+
+ private:
+  void charge(EdgeId e);
+
+  const Graph& g_;
+  const Spec& spec_;
+  int round_;
+  std::vector<Msg>& arcs_;
+  std::set<EdgeId> touched_;
+  long budgetUsedBefore_;
+};
+
+/// Strategy interface.
+class Adversary {
+ public:
+  explicit Adversary(Spec spec) : spec_(std::move(spec)) {}
+  virtual ~Adversary() = default;
+
+  [[nodiscard]] const Spec& spec() const { return spec_; }
+
+  /// Acts on the round's messages through the budget-enforcing view.
+  virtual void act(TamperView& view) = 0;
+
+  /// Eavesdropper accumulated view (empty for byzantine strategies).
+  [[nodiscard]] const std::vector<ViewRecord>& viewLog() const {
+    return viewLog_;
+  }
+
+ protected:
+  void recordView(ViewRecord r) { viewLog_.push_back(std::move(r)); }
+
+  Spec spec_;
+  std::vector<ViewRecord> viewLog_;
+};
+
+}  // namespace mobile::adv

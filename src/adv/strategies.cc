@@ -1,0 +1,210 @@
+#include "adv/strategies.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mobile::adv {
+
+namespace {
+
+Spec eavesSpec(Mobility mob, int f, std::vector<EdgeId> staticSet = {}) {
+  Spec s;
+  s.kind = Kind::Eavesdrop;
+  s.mobility = mob;
+  s.f = f;
+  s.staticSet = std::move(staticSet);
+  return s;
+}
+
+Spec byzSpec(Mobility mob, int f, long total = 0,
+             std::vector<EdgeId> staticSet = {}) {
+  Spec s;
+  s.kind = Kind::Byzantine;
+  s.mobility = mob;
+  s.f = f;
+  s.totalBudget = total;
+  s.staticSet = std::move(staticSet);
+  return s;
+}
+
+}  // namespace
+
+Msg garbageMsg(util::Rng& rng, std::size_t words) {
+  Msg m;
+  for (std::size_t i = 0; i < words; ++i) m.push(rng.next());
+  return m;
+}
+
+// --- eavesdroppers ---------------------------------------------------------
+
+RandomEavesdropper::RandomEavesdropper(int f, std::uint64_t seed)
+    : Adversary(eavesSpec(Mobility::Mobile, f)), rng_(seed) {}
+
+void RandomEavesdropper::act(TamperView& view) {
+  const auto m = static_cast<std::size_t>(view.graph().edgeCount());
+  const std::size_t take = std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
+  for (const std::size_t e : rng_.sampleDistinct(m, take))
+    recordView(view.observe(static_cast<EdgeId>(e)));
+}
+
+CampingEavesdropper::CampingEavesdropper(std::vector<EdgeId> targets, int f)
+    : Adversary(eavesSpec(Mobility::Mobile, f)), targets_(std::move(targets)) {
+  assert(static_cast<int>(targets_.size()) <= f);
+}
+
+void CampingEavesdropper::act(TamperView& view) {
+  for (const EdgeId e : targets_) recordView(view.observe(e));
+}
+
+SweepingEavesdropper::SweepingEavesdropper(int f)
+    : Adversary(eavesSpec(Mobility::Mobile, f)) {}
+
+void SweepingEavesdropper::act(TamperView& view) {
+  const auto m = static_cast<std::size_t>(view.graph().edgeCount());
+  const std::size_t take = std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
+  for (std::size_t i = 0; i < take; ++i) {
+    recordView(view.observe(static_cast<EdgeId>(cursor_ % m)));
+    ++cursor_;
+  }
+}
+
+StaticEavesdropper::StaticEavesdropper(std::vector<EdgeId> fstar)
+    : Adversary(eavesSpec(Mobility::Static, static_cast<int>(fstar.size()),
+                          fstar)) {}
+
+void StaticEavesdropper::act(TamperView& view) {
+  for (const EdgeId e : spec_.staticSet) recordView(view.observe(e));
+}
+
+ScriptedEavesdropper::ScriptedEavesdropper(
+    std::map<int, std::vector<EdgeId>> schedule, int f)
+    : Adversary(eavesSpec(Mobility::Mobile, f)), schedule_(std::move(schedule)) {}
+
+void ScriptedEavesdropper::act(TamperView& view) {
+  const auto it = schedule_.find(view.round());
+  if (it == schedule_.end()) return;
+  for (const EdgeId e : it->second) recordView(view.observe(e));
+}
+
+// --- byzantine ---------------------------------------------------------------
+
+RandomByzantine::RandomByzantine(int f, std::uint64_t seed)
+    : Adversary(byzSpec(Mobility::Mobile, f)), rng_(seed) {}
+
+void RandomByzantine::act(TamperView& view) {
+  const auto m = static_cast<std::size_t>(view.graph().edgeCount());
+  const std::size_t take = std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
+  for (const std::size_t e : rng_.sampleDistinct(m, take))
+    view.corruptEdge(static_cast<EdgeId>(e), garbageMsg(rng_),
+                     garbageMsg(rng_));
+}
+
+CampingByzantine::CampingByzantine(std::vector<EdgeId> targets, int f,
+                                   std::uint64_t seed)
+    : Adversary(byzSpec(Mobility::Mobile, f)),
+      targets_(std::move(targets)),
+      rng_(seed) {
+  assert(static_cast<int>(targets_.size()) <= f);
+}
+
+void CampingByzantine::act(TamperView& view) {
+  for (const EdgeId e : targets_)
+    view.corruptEdge(e, garbageMsg(rng_), garbageMsg(rng_));
+}
+
+RotatingByzantine::RotatingByzantine(int f, std::uint64_t seed)
+    : Adversary(byzSpec(Mobility::Mobile, f)), rng_(seed) {}
+
+void RotatingByzantine::act(TamperView& view) {
+  const auto m = static_cast<std::size_t>(view.graph().edgeCount());
+  const std::size_t take = std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
+  for (std::size_t i = 0; i < take; ++i) {
+    view.corruptEdge(static_cast<EdgeId>(cursor_ % m), garbageMsg(rng_),
+                     garbageMsg(rng_));
+    ++cursor_;
+  }
+}
+
+TreeTargetedByzantine::TreeTargetedByzantine(int f,
+                                             const graph::TreePacking& packing,
+                                             const Graph& g, std::uint64_t seed)
+    : Adversary(byzSpec(Mobility::Mobile, f)), rng_(seed) {
+  (void)g;
+  treeEdges_.reserve(packing.trees.size());
+  for (const auto& t : packing.trees) treeEdges_.push_back(t.edges());
+  hits_.assign(treeEdges_.size(), 0);
+}
+
+void TreeTargetedByzantine::act(TamperView& view) {
+  // Pick the f least-hit trees and corrupt one random edge of each.
+  std::vector<std::size_t> order(treeEdges_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return hits_[a] < hits_[b]; });
+  int used = 0;
+  for (const std::size_t t : order) {
+    if (used >= spec_.f) break;
+    if (treeEdges_[t].empty()) continue;
+    const EdgeId e = treeEdges_[t][static_cast<std::size_t>(
+        rng_.below(treeEdges_[t].size()))];
+    if (view.touched().count(e)) continue;  // already corrupted this round
+    view.corruptEdge(e, garbageMsg(rng_), garbageMsg(rng_));
+    ++hits_[t];
+    ++used;
+  }
+}
+
+BurstByzantine::BurstByzantine(int f, long totalBudget, int quietRounds,
+                               int burstWidth, std::uint64_t seed)
+    : Adversary(byzSpec(Mobility::RoundErrorRate, f, totalBudget)),
+      quietRounds_(quietRounds),
+      burstWidth_(burstWidth),
+      rng_(seed) {}
+
+void BurstByzantine::act(TamperView& view) {
+  ++phase_;
+  if (phase_ % (quietRounds_ + 1) != 0) return;  // hoard
+  const auto m = static_cast<std::size_t>(view.graph().edgeCount());
+  const std::size_t want =
+      std::min<std::size_t>({m, static_cast<std::size_t>(burstWidth_),
+                             static_cast<std::size_t>(view.remaining())});
+  for (const std::size_t e : rng_.sampleDistinct(m, want))
+    view.corruptEdge(static_cast<EdgeId>(e), garbageMsg(rng_),
+                     garbageMsg(rng_));
+}
+
+ScriptedByzantine::ScriptedByzantine(std::map<int, std::vector<EdgeId>> schedule,
+                                     long totalBudget, std::uint64_t seed)
+    : Adversary(byzSpec(Mobility::RoundErrorRate, 0, totalBudget)),
+      schedule_(std::move(schedule)),
+      rng_(seed) {}
+
+void ScriptedByzantine::act(TamperView& view) {
+  const auto it = schedule_.find(view.round());
+  if (it == schedule_.end()) return;
+  for (const EdgeId e : it->second)
+    view.corruptEdge(e, garbageMsg(rng_), garbageMsg(rng_));
+}
+
+BitflipByzantine::BitflipByzantine(int f, std::uint64_t seed)
+    : Adversary(byzSpec(Mobility::Mobile, f)), rng_(seed) {}
+
+void BitflipByzantine::act(TamperView& view) {
+  const auto m = static_cast<std::size_t>(view.graph().edgeCount());
+  const std::size_t take = std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
+  for (const std::size_t ei : rng_.sampleDistinct(m, take)) {
+    const EdgeId e = static_cast<EdgeId>(ei);
+    for (int dir = 0; dir < 2; ++dir) {
+      const ArcId a = 2 * e + dir;
+      Msg mcopy = view.peek(a);
+      if (mcopy.present && mcopy.size() > 0) {
+        mcopy.words[0] ^= 1ULL << rng_.below(8);
+      } else {
+        mcopy = garbageMsg(rng_);
+      }
+      view.corruptArc(a, mcopy);
+    }
+  }
+}
+
+}  // namespace mobile::adv

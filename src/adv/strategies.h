@@ -1,0 +1,171 @@
+// Concrete adversary strategies used across tests and benchmarks.
+//
+// The paper's adversary is all-powerful (knows topology + algorithm, sees
+// all traffic when byzantine) but oblivious to node randomness.  These
+// strategies span the behaviours the theorems must survive:
+//   * random        -- baseline noise;
+//   * camping       -- parks on the same f edges every round (defeats naive
+//                      repetition; legal for a mobile adversary);
+//   * sweeping      -- rotates over all edges, maximizing coverage (the
+//                      worst case for the key-pool averaging bound A.1);
+//   * tree-targeted -- spreads hits across distinct packing trees to
+//                      maximize the number of corrupted tree protocols
+//                      (stress for Lemma 3.3);
+//   * burst         -- round-error-rate: hoards budget, then floods
+//                      (stress for the rewind compiler, Section 4);
+//   * bitflip       -- minimal perturbations that defeat checksum-free
+//                      designs.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "adv/adversary.h"
+#include "graph/tree_packing.h"
+#include "util/rng.h"
+
+namespace mobile::adv {
+
+/// Eavesdropper choosing f fresh random edges per round.
+class RandomEavesdropper final : public Adversary {
+ public:
+  RandomEavesdropper(int f, std::uint64_t seed);
+  void act(TamperView& view) override;
+
+ private:
+  util::Rng rng_;
+};
+
+/// Eavesdropper camping on a fixed set (mobile-legal worst case for pools).
+class CampingEavesdropper final : public Adversary {
+ public:
+  CampingEavesdropper(std::vector<EdgeId> targets, int f);
+  void act(TamperView& view) override;
+
+ private:
+  std::vector<EdgeId> targets_;
+};
+
+/// Eavesdropper sweeping deterministically across the edge space.
+class SweepingEavesdropper final : public Adversary {
+ public:
+  explicit SweepingEavesdropper(int f);
+  void act(TamperView& view) override;
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Static eavesdropper with a fixed F*.
+class StaticEavesdropper final : public Adversary {
+ public:
+  explicit StaticEavesdropper(std::vector<EdgeId> fstar);
+  void act(TamperView& view) override;
+};
+
+/// Fully scripted mobile eavesdropper: observes exactly the edges listed
+/// for each round.  Used to demonstrate time-scheduled attacks (e.g. the
+/// share-harvesting adversary that defeats *static*-secure unicast, the
+/// motivation for Lemma A.3).
+class ScriptedEavesdropper final : public Adversary {
+ public:
+  ScriptedEavesdropper(std::map<int, std::vector<EdgeId>> schedule, int f);
+  void act(TamperView& view) override;
+
+ private:
+  std::map<int, std::vector<EdgeId>> schedule_;
+};
+
+/// Byzantine randomizing f random edges per round with garbage.
+class RandomByzantine final : public Adversary {
+ public:
+  RandomByzantine(int f, std::uint64_t seed);
+  void act(TamperView& view) override;
+
+ private:
+  util::Rng rng_;
+};
+
+/// Byzantine camping on fixed edges, replacing messages with garbage.
+/// Mobile-legal; the canonical killer of the naive repetition baseline.
+class CampingByzantine final : public Adversary {
+ public:
+  CampingByzantine(std::vector<EdgeId> targets, int f, std::uint64_t seed);
+  void act(TamperView& view) override;
+
+ private:
+  std::vector<EdgeId> targets_;
+  util::Rng rng_;
+};
+
+/// Byzantine rotating over all edges (touches everything eventually).
+class RotatingByzantine final : public Adversary {
+ public:
+  RotatingByzantine(int f, std::uint64_t seed);
+  void act(TamperView& view) override;
+
+ private:
+  std::size_t cursor_ = 0;
+  util::Rng rng_;
+};
+
+/// Byzantine that spreads corruption across as many *distinct packing
+/// trees* as possible: each round it picks f edges belonging to trees it
+/// has hit least often.  The strongest structured attack on Lemma 3.3.
+class TreeTargetedByzantine final : public Adversary {
+ public:
+  TreeTargetedByzantine(int f, const graph::TreePacking& packing,
+                        const Graph& g, std::uint64_t seed);
+  void act(TamperView& view) override;
+
+ private:
+  std::vector<std::vector<EdgeId>> treeEdges_;
+  std::vector<long> hits_;
+  util::Rng rng_;
+};
+
+/// Round-error-rate burst adversary: quiet for `quietRounds`, then spends
+/// its hoard corrupting `burstWidth` edges per round until exhausted;
+/// repeats.  totalBudget must be set in the spec.
+class BurstByzantine final : public Adversary {
+ public:
+  BurstByzantine(int f, long totalBudget, int quietRounds, int burstWidth,
+                 std::uint64_t seed);
+  void act(TamperView& view) override;
+
+ private:
+  int quietRounds_;
+  int burstWidth_;
+  int phase_ = 0;
+  util::Rng rng_;
+};
+
+/// Fully scripted byzantine: corrupts exactly the edges listed per round
+/// with garbage.  Lets experiments place corruption surgically (e.g.
+/// overwhelm the rewind compiler's correction capacity in chosen global
+/// rounds while honoring an average-rate budget).
+class ScriptedByzantine final : public Adversary {
+ public:
+  ScriptedByzantine(std::map<int, std::vector<EdgeId>> schedule,
+                    long totalBudget, std::uint64_t seed);
+  void act(TamperView& view) override;
+
+ private:
+  std::map<int, std::vector<EdgeId>> schedule_;
+  util::Rng rng_;
+};
+
+/// Byzantine flipping one low bit of each present message on its edges.
+class BitflipByzantine final : public Adversary {
+ public:
+  BitflipByzantine(int f, std::uint64_t seed);
+  void act(TamperView& view) override;
+
+ private:
+  util::Rng rng_;
+};
+
+/// Helper: random garbage message resembling CONGEST traffic.
+[[nodiscard]] Msg garbageMsg(util::Rng& rng, std::size_t words = 1);
+
+}  // namespace mobile::adv

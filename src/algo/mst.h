@@ -1,0 +1,51 @@
+// Synchronous Boruvka MST in CONGEST -- the flagship multi-phase payload.
+//
+// The paper's secure-computation line explicitly targets MST ([42] gives
+// near-optimal f-static-secure MST); this payload lets the compilers be
+// exercised on a genuinely multi-phase, fragment-merging algorithm rather
+// than single-wave toys.
+//
+// Edge weights are public and deterministic: edges are ranked by
+// mix(u, v) with the edge id as a tiebreak, so the MST is unique and a
+// centralized Kruskal reference (mstReference) can check the distributed
+// result exactly.
+//
+// Phase structure (P = ceil(log2 n) phases, each 1 + 2L rounds, L = n):
+//   round A     neighbors exchange fragment ids;
+//   rounds B    intra-fragment min-flood of the lightest outgoing edge
+//               rank (accepting only from same-fragment neighbors);
+//   rounds C    the fragment-side endpoint sends JOIN across the chosen
+//               edge, then the merged component floods the minimum
+//               fragment id over old-fragment edges + join edges.
+// Every message fits 32 bits (fragment ids and global edge ranks), so the
+// payload composes with all compilers.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/node.h"
+
+namespace mobile::algo {
+
+/// Global public edge ranking (lightest first); shared by the distributed
+/// payload and the centralized reference.
+[[nodiscard]] std::vector<graph::EdgeId> mstEdgeRanking(const graph::Graph& g);
+
+/// Centralized Kruskal over the same ranking: the unique MST edge set.
+[[nodiscard]] std::set<graph::EdgeId> mstReference(const graph::Graph& g);
+
+/// The expected per-node output of the distributed payload (fold of the
+/// node's incident MST edge ranks), for bit-exact equivalence checks.
+[[nodiscard]] std::vector<std::uint64_t> mstExpectedOutputs(
+    const graph::Graph& g);
+
+/// Builds the distributed Boruvka payload.  Rounds =
+/// ceil(log2 n) * (1 + 2 * floodLen); floodLen defaults to n (safe upper
+/// bound on any fragment diameter).
+[[nodiscard]] sim::Algorithm makeBoruvkaMst(const graph::Graph& g,
+                                            int floodLen = 0);
+
+}  // namespace mobile::algo

@@ -1,0 +1,159 @@
+#include "coding/reed_solomon.h"
+
+#include <cassert>
+
+#include "gf/vandermonde.h"
+
+namespace mobile::coding {
+
+using gf::F16;
+
+ReedSolomon::ReedSolomon(std::size_t ell, std::size_t k) : ell_(ell), k_(k) {
+  assert(ell >= 1);
+  assert(ell <= k);
+  assert(k < gf::kGroupOrder);
+}
+
+F16 ReedSolomon::point(std::size_t i) const {
+  return F16::alpha(static_cast<std::uint32_t>(i + 1));
+}
+
+namespace {
+
+/// Evaluates a polynomial given low-to-high coefficients.
+F16 evalPoly(const std::vector<F16>& coeffs, F16 x) {
+  F16 acc(0);
+  for (std::size_t j = coeffs.size(); j-- > 0;) acc = acc * x + coeffs[j];
+  return acc;
+}
+
+/// Degree of a coefficient vector (index of highest non-zero entry), or
+/// SIZE_MAX for the zero polynomial.
+std::size_t degreeOf(const std::vector<F16>& p) {
+  for (std::size_t i = p.size(); i-- > 0;)
+    if (!p[i].isZero()) return i;
+  return static_cast<std::size_t>(-1);
+}
+
+/// Exact polynomial division num / den (low-to-high coefficients).
+/// Returns empty when the remainder is non-zero.
+std::vector<F16> divideExact(std::vector<F16> num,
+                             const std::vector<F16>& den) {
+  const std::size_t dDeg = degreeOf(den);
+  assert(dDeg != static_cast<std::size_t>(-1));
+  const std::size_t nDeg = degreeOf(num);
+  if (nDeg == static_cast<std::size_t>(-1)) return {F16(0)};  // 0 / den = 0
+  if (nDeg < dDeg) return {};
+  std::vector<F16> quot(nDeg - dDeg + 1, F16(0));
+  const F16 leadInv = den[dDeg].inverse();
+  for (std::size_t i = nDeg + 1; i-- > dDeg;) {
+    const F16 factor = num[i] * leadInv;
+    quot[i - dDeg] = factor;
+    if (!factor.isZero())
+      for (std::size_t j = 0; j <= dDeg; ++j) num[i - dDeg + j] += factor * den[j];
+  }
+  for (const F16 c : num)
+    if (!c.isZero()) return {};
+  return quot;
+}
+
+}  // namespace
+
+std::vector<F16> ReedSolomon::encode(const std::vector<F16>& message) const {
+  assert(message.size() == ell_);
+  std::vector<F16> out(k_);
+  for (std::size_t i = 0; i < k_; ++i) out[i] = evalPoly(message, point(i));
+  return out;
+}
+
+std::optional<std::vector<F16>> ReedSolomon::tryDecode(
+    const std::vector<F16>& received, std::size_t e) const {
+  // Berlekamp-Welch.  Unknowns: Q (degree < ell + e) and E_low where the
+  // error locator is E(x) = x^e + E_low(x), deg E_low < e.  Equations, one
+  // per coordinate i:
+  //   Q(x_i) + y_i * E_low(x_i) = y_i * x_i^e      (char-2 field: + == -)
+  const std::size_t nq = ell_ + e;
+  const std::size_t unknowns = nq + e;
+  std::vector<std::vector<F16>> a(k_, std::vector<F16>(unknowns, F16(0)));
+  std::vector<F16> b(k_, F16(0));
+  for (std::size_t i = 0; i < k_; ++i) {
+    const F16 x = point(i);
+    const F16 y = received[i];
+    F16 p(1);
+    for (std::size_t j = 0; j < nq; ++j) {
+      a[i][j] = p;
+      p = p * x;
+    }
+    p = F16(1);
+    for (std::size_t j = 0; j < e; ++j) {
+      a[i][nq + j] = y * p;
+      p = p * x;
+    }
+    b[i] = y * x.pow(e);
+  }
+  std::vector<F16> sol = gf::solveLinearAny(std::move(a), std::move(b), unknowns);
+  if (sol.empty() && unknowns > 0) return std::nullopt;
+
+  std::vector<F16> q(sol.begin(),
+                     sol.begin() + static_cast<std::ptrdiff_t>(nq));
+  std::vector<F16> ePoly(sol.begin() + static_cast<std::ptrdiff_t>(nq),
+                         sol.end());
+  ePoly.push_back(F16(1));  // monic leading term x^e
+
+  std::vector<F16> pPoly = divideExact(q, ePoly);
+  if (pPoly.empty()) return std::nullopt;
+  if (degreeOf(pPoly) != static_cast<std::size_t>(-1) &&
+      degreeOf(pPoly) >= ell_)
+    return std::nullopt;
+  pPoly.resize(ell_, F16(0));
+
+  // Verify the decoded codeword lies within the unique decoding radius.
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < k_; ++i)
+    if (evalPoly(pPoly, point(i)) != received[i]) ++mismatches;
+  if (mismatches > maxErrors()) return std::nullopt;
+  return pPoly;
+}
+
+std::optional<std::vector<F16>> ReedSolomon::decode(
+    const std::vector<F16>& received) const {
+  assert(received.size() == k_);
+  // Fast path: interpolate through the first ell coordinates; if that
+  // polynomial matches everywhere the word is already a codeword.
+  {
+    std::vector<std::vector<F16>> a(ell_, std::vector<F16>(ell_));
+    std::vector<F16> b(ell_);
+    for (std::size_t i = 0; i < ell_; ++i) {
+      const F16 x = point(i);
+      F16 p(1);
+      for (std::size_t j = 0; j < ell_; ++j) {
+        a[i][j] = p;
+        p = p * x;
+      }
+      b[i] = received[i];
+    }
+    std::vector<F16> cand = gf::solveLinear(std::move(a), std::move(b));
+    if (!cand.empty()) {
+      bool ok = true;
+      for (std::size_t i = ell_; i < k_ && ok; ++i)
+        ok = evalPoly(cand, point(i)) == received[i];
+      if (ok) return cand;
+    }
+  }
+  for (std::size_t e = maxErrors(); e > 0; --e) {
+    auto res = tryDecode(received, e);
+    if (res.has_value()) return res;
+  }
+  return tryDecode(received, 0);
+}
+
+std::size_t ReedSolomon::hamming(const std::vector<F16>& a,
+                                 const std::vector<F16>& b) {
+  assert(a.size() == b.size());
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) ++d;
+  return d;
+}
+
+}  // namespace mobile::coding

@@ -1,0 +1,63 @@
+// Reed-Solomon [ell, k, delta]_q codes over GF(2^16) (Theorem 1.8).
+//
+// Encoding: the message (alpha_1..alpha_ell) defines the degree-(ell-1)
+// polynomial P with those coefficients; the codeword is P evaluated at k
+// distinct non-zero points.  Relative distance delta = (k - ell + 1) / k.
+//
+// Decoding: Berlekamp-Welch unique decoding, correcting any
+// e <= floor((k - ell) / 2) symbol errors -- the "closest codeword"
+// computation used by the safe broadcast procedure (Lemma 3.6), where each
+// of the k tree-delivered shares may have been corrupted by the byzantine
+// adversary, but a majority-by-distance argument guarantees the honest
+// codeword is the unique one within half the distance.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "gf/gf16.h"
+
+namespace mobile::coding {
+
+class ReedSolomon {
+ public:
+  /// Code with message length `ell` and block length `k`; requires
+  /// ell <= k < 2^16.
+  ReedSolomon(std::size_t ell, std::size_t k);
+
+  [[nodiscard]] std::size_t messageLength() const { return ell_; }
+  [[nodiscard]] std::size_t blockLength() const { return k_; }
+  [[nodiscard]] std::size_t maxErrors() const { return (k_ - ell_) / 2; }
+  [[nodiscard]] double relativeDistance() const {
+    return static_cast<double>(k_ - ell_ + 1) / static_cast<double>(k_);
+  }
+
+  /// Encodes `message` (size ell) into a codeword (size k).
+  [[nodiscard]] std::vector<gf::F16> encode(
+      const std::vector<gf::F16>& message) const;
+
+  /// Decodes a received word (size k) with at most maxErrors() corrupted
+  /// symbols.  Returns std::nullopt if no codeword lies within the unique
+  /// decoding radius.
+  [[nodiscard]] std::optional<std::vector<gf::F16>> decode(
+      const std::vector<gf::F16>& received) const;
+
+  /// Hamming distance between two equal-length symbol vectors.
+  [[nodiscard]] static std::size_t hamming(const std::vector<gf::F16>& a,
+                                           const std::vector<gf::F16>& b);
+
+ private:
+  /// Evaluation point for coordinate i.
+  [[nodiscard]] gf::F16 point(std::size_t i) const;
+
+  /// Berlekamp-Welch attempt assuming exactly <= e errors; returns the
+  /// message polynomial coefficients on success.
+  [[nodiscard]] std::optional<std::vector<gf::F16>> tryDecode(
+      const std::vector<gf::F16>& received, std::size_t e) const;
+
+  std::size_t ell_;
+  std::size_t k_;
+};
+
+}  // namespace mobile::coding

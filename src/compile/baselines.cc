@@ -1,0 +1,106 @@
+#include "compile/baselines.h"
+
+#include <map>
+#include <vector>
+
+namespace mobile::compile {
+
+using graph::Graph;
+using graph::NodeId;
+using sim::Inbox;
+using sim::MapInbox;
+using sim::MapOutbox;
+using sim::Msg;
+using sim::NodeState;
+using sim::Outbox;
+
+namespace {
+
+class NaiveNode final : public NodeState {
+ public:
+  NaiveNode(NodeId self, const Graph& g, std::unique_ptr<NodeState> inner,
+            int innerRounds, int f)
+      : self_(self),
+        g_(g),
+        inner_(std::move(inner)),
+        innerRounds_(innerRounds),
+        rep_(2 * f + 1) {}
+
+  void send(int round, Outbox& out) override {
+    const int g = round - 1;
+    const int simRound = g / rep_ + 1;
+    if (simRound > innerRounds_) return;
+    const int rep = g % rep_;
+    if (rep == 0) {
+      MapOutbox capture(g_, self_);
+      inner_->send(simRound, capture);
+      current_.clear();
+      for (const auto& [to, m] : capture.messages()) current_[to] = m;
+    }
+    for (const auto& [to, m] : current_) out.to(to, m);
+  }
+
+  void receive(int round, const Inbox& in) override {
+    const int g = round - 1;
+    const int simRound = g / rep_ + 1;
+    if (simRound > innerRounds_) {
+      done_ = true;
+      return;
+    }
+    const int rep = g % rep_;
+    for (const auto& nb : g_.neighbors(self_))
+      stash_[nb.node].push_back(in.from(nb.node));
+    if (rep != rep_ - 1) return;
+    MapInbox inbox(g_, self_);
+    for (auto& [nbr, copies] : stash_) {
+      // Majority copy.
+      Msg best;
+      int bestCount = 0;
+      for (std::size_t i = 0; i < copies.size(); ++i) {
+        int count = 0;
+        for (std::size_t j = 0; j < copies.size(); ++j)
+          if (copies[j] == copies[i]) ++count;
+        if (count > bestCount) {
+          bestCount = count;
+          best = copies[i];
+        }
+      }
+      copies.clear();
+      if (best.present) inbox.put(nbr, best);
+    }
+    inner_->receive(simRound, inbox);
+    if (simRound >= innerRounds_) done_ = true;
+  }
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] std::uint64_t output() const override {
+    return inner_->output();
+  }
+
+ private:
+  NodeId self_;
+  const Graph& g_;
+  std::unique_ptr<NodeState> inner_;
+  int innerRounds_;
+  int rep_;
+  std::map<NodeId, Msg> current_;
+  std::map<NodeId, std::vector<Msg>> stash_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+sim::Algorithm compileNaiveRepetition(const graph::Graph& g,
+                                      const sim::Algorithm& inner, int f) {
+  sim::Algorithm out;
+  out.rounds = inner.rounds * (2 * f + 1);
+  out.congestion = 0;
+  out.makeNode = [&g, inner, f](NodeId v, const Graph&, util::Rng rng) {
+    auto innerNode = inner.makeNode(v, g, rng.split(0x99));
+    return std::make_unique<NaiveNode>(v, g, std::move(innerNode),
+                                       inner.rounds, f);
+  };
+  return out;
+}
+
+}  // namespace mobile::compile

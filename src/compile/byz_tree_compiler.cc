@@ -1,0 +1,672 @@
+#include "compile/byz_tree_compiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sketch/l0sampler.h"
+#include "sketch/sparse_recovery.h"
+#include "util/rng.h"
+
+namespace mobile::compile {
+
+using graph::Graph;
+using graph::NodeId;
+using sim::Inbox;
+using sim::MapInbox;
+using sim::MapOutbox;
+using sim::Msg;
+using sim::NodeState;
+using sim::Outbox;
+
+namespace {
+
+constexpr unsigned kUniverseBits = 60;
+constexpr std::uint64_t kAbsentChunk = 1;  // chunk=1 encodes "no message"
+
+std::uint64_t deriveSketchSeed(std::uint64_t treeSeed, int h) {
+  std::uint64_t st = treeSeed ^ (0xabcdef12345678ULL * static_cast<std::uint64_t>(h + 1));
+  return util::splitmix64(st);
+}
+
+/// Majority over message copies (ties broken by first occurrence).
+Msg majority(const std::vector<Msg>& copies) {
+  Msg best;
+  int bestCount = 0;
+  for (std::size_t i = 0; i < copies.size(); ++i) {
+    int count = 0;
+    for (std::size_t j = 0; j < copies.size(); ++j)
+      if (copies[j] == copies[i]) ++count;
+    if (count > bestCount) {
+      bestCount = count;
+      best = copies[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ByzSchedule ByzSchedule::compute(const PackingKnowledge& pk, int innerRounds,
+                                 int f, const ByzOptions& opts) {
+  ByzSchedule s;
+  const int fEff = std::max(1, f);
+  if (opts.correction == CorrectionMode::SparseOneShot) {
+    s.z = 1;  // one-shot recovery (Section 1.2.2)
+  } else {
+    s.z = opts.zIterations > 0
+              ? opts.zIterations
+              : static_cast<int>(std::ceil(std::log2(2.0 * fEff))) + 2;
+  }
+  const int dmCap = opts.dmCap > 0 ? opts.dmCap : 2 * fEff + 8;
+  const DmCodec codec(pk.k, dmCap, opts.cPP);
+  s.chunks = codec.chunks();
+  s.sketchSteps = 2 * pk.depthBound + 1;
+  s.eccSteps = s.chunks * (pk.depthBound + 1);
+  const SlotSchedule slots{pk.eta, opts.engine.effectiveRho()};
+  s.roundsPerIteration = slots.blockRounds(s.sketchSteps + s.eccSteps);
+  s.roundsPerSimRound = 1 + s.z * s.roundsPerIteration;
+  s.totalRounds = innerRounds * s.roundsPerSimRound;
+  return s;
+}
+
+namespace {
+
+struct Pos {
+  int simRound;  // 1-based inner round being simulated
+  int offset;    // 0-based offset within the sim-round block
+  bool exchange;
+  int j;          // iteration, 0-based
+  bool inSketch;  // sketch block vs ECC block
+  int step;       // 1-based logical step within the block
+  int rep;
+  int slot;
+};
+
+class ByzNode final : public NodeState {
+ public:
+  ByzNode(NodeId self, const Graph& g, util::Rng rng,
+          std::unique_ptr<NodeState> inner, int innerRounds,
+          std::shared_ptr<const PackingKnowledge> pk, int f, ByzOptions opts,
+          ByzSchedule sched, std::shared_ptr<ByzShared> shared)
+      : self_(self),
+        g_(g),
+        rng_(std::move(rng)),
+        inner_(std::move(inner)),
+        innerRounds_(innerRounds),
+        pk_(std::move(pk)),
+        view_(pk_->view(self)),
+        f_(std::max(1, f)),
+        opts_(opts),
+        sched_(sched),
+        slots_{pk_->eta, opts.engine.effectiveRho()},
+        codec_(pk_->k, opts.dmCap > 0 ? opts.dmCap : 2 * f_ + 8, opts.cPP),
+        shared_(std::move(shared)) {
+    isRoot_ = (self_ == pk_->root);
+  }
+
+  void send(int round, Outbox& out) override {
+    const Pos p = position(round);
+    if (p.simRound > innerRounds_) return;
+    if (p.exchange) {
+      sendExchange(p, out);
+      return;
+    }
+    if (p.inSketch && p.step == 1 && p.rep == 0 && p.slot == 0)
+      startIteration(p, round);
+    // Per neighbor, the tree scheduled in this slot (by *our* belief).
+    for (const auto& nb : g_.neighbors(self_)) {
+      const int tree = treeAtSlot(nb.node, p.slot);
+      if (tree < 0) continue;
+      Msg m = p.inSketch ? sketchMessage(tree, p, nb.node)
+                         : eccMessage(tree, p, nb.node);
+      if (m.present) out.to(nb.node, m);
+    }
+  }
+
+  void receive(int round, const Inbox& in) override {
+    const Pos p = position(round);
+    if (p.simRound > innerRounds_) {
+      done_ = true;
+      return;
+    }
+    if (p.exchange) {
+      receiveExchange(p, in);
+      return;
+    }
+    const int rho = slots_.rho;
+    for (const auto& nb : g_.neighbors(self_)) {
+      const int tree = treeAtSlot(nb.node, p.slot);
+      if (tree < 0) continue;
+      stash_[{tree, nb.node}].push_back(in.from(nb.node));
+      if (p.rep == rho - 1) {
+        const Msg maj = majority(stash_[{tree, nb.node}]);
+        stash_.erase({tree, nb.node});
+        if (p.inSketch)
+          handleSketch(tree, p, nb.node, maj);
+        else
+          handleEcc(tree, p, nb.node, maj);
+      }
+    }
+    // Block boundaries.
+    if (!p.inSketch && p.step == sched_.eccSteps && p.rep == rho - 1 &&
+        p.slot == pk_->eta - 1) {
+      finishIteration(p, round);
+      if (p.j == sched_.z - 1) deliverToInner(p);
+    }
+  }
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] std::uint64_t output() const override {
+    return inner_->output();
+  }
+
+ private:
+  // --- round arithmetic ----------------------------------------------------
+
+  [[nodiscard]] Pos position(int round) const {
+    Pos p{};
+    const int g = round - 1;
+    p.simRound = g / sched_.roundsPerSimRound + 1;
+    p.offset = g % sched_.roundsPerSimRound;
+    p.exchange = (p.offset == 0);
+    if (p.exchange) return p;
+    const int q = p.offset - 1;
+    p.j = q / sched_.roundsPerIteration;
+    const int r = q % sched_.roundsPerIteration;
+    const int sketchRounds = slots_.blockRounds(sched_.sketchSteps);
+    if (r < sketchRounds) {
+      p.inSketch = true;
+      p.step = slots_.stepOf(r) + 1;
+      p.rep = slots_.repOf(r);
+      p.slot = slots_.slotOf(r);
+    } else {
+      const int e = r - sketchRounds;
+      p.inSketch = false;
+      p.step = slots_.stepOf(e) + 1;
+      p.rep = slots_.repOf(e);
+      p.slot = slots_.slotOf(e);
+    }
+    return p;
+  }
+
+  [[nodiscard]] int sketchBlockStartRound(const Pos& p) const {
+    return (p.simRound - 1) * sched_.roundsPerSimRound + 2 +
+           p.j * sched_.roundsPerIteration;
+  }
+  [[nodiscard]] int eccBlockStartRound(const Pos& p) const {
+    return sketchBlockStartRound(p) + slots_.blockRounds(sched_.sketchSteps);
+  }
+
+  [[nodiscard]] int treeAtSlot(NodeId neighbor, int slot) const {
+    const auto it = view_.edgeTrees.find(neighbor);
+    if (it == view_.edgeTrees.end()) return -1;
+    if (slot >= static_cast<int>(it->second.size())) return -1;
+    return it->second[static_cast<std::size_t>(slot)];
+  }
+
+  [[nodiscard]] int depthIn(int tree) const {
+    return view_.depth[static_cast<std::size_t>(tree)];
+  }
+  [[nodiscard]] NodeId parentIn(int tree) const {
+    return view_.parent[static_cast<std::size_t>(tree)];
+  }
+  [[nodiscard]] bool isChildIn(int tree, NodeId u) const {
+    const auto& ch = view_.children[static_cast<std::size_t>(tree)];
+    return std::find(ch.begin(), ch.end(), u) != ch.end();
+  }
+
+  // --- exchange step -------------------------------------------------------
+
+  void sendExchange(const Pos& p, Outbox& out) {
+    MapOutbox capture(g_, self_);
+    inner_->send(p.simRound, capture);
+    sentKey_.clear();
+    estKey_.clear();
+    for (const auto& nb : g_.neighbors(self_)) {
+      const auto it = capture.messages().find(nb.node);
+      const bool present = it != capture.messages().end() && it->second.present;
+      const std::uint64_t payload =
+          present ? (it->second.atOr(0, 0) & kPayloadMask) : 0;
+      const std::uint64_t key = encodeKey(
+          self_, nb.node, present ? 0u : static_cast<unsigned>(kAbsentChunk),
+          payload);
+      sentKey_[nb.node] = key;
+      if (shared_) shared_->sentTruth[{self_, nb.node}] = key;
+      Msg m;
+      m.push(payload);
+      m.push(present ? 1u : 0u);
+      out.to(nb.node, m);
+    }
+  }
+
+  void receiveExchange(const Pos& p, const Inbox& in) {
+    currentSimRound_ = p.simRound;
+    for (const auto& nb : g_.neighbors(self_)) {
+      const Msg& m = in.from(nb.node);
+      const bool present = m.present && (m.atOr(1, 0) & 1u) != 0;
+      const std::uint64_t payload = m.present ? (m.atOr(0, 0) & kPayloadMask) : 0;
+      estKey_[nb.node] = encodeKey(
+          nb.node, self_, present ? 0u : static_cast<unsigned>(kAbsentChunk),
+          payload);
+    }
+    if (shared_) recordMismatches(0);
+  }
+
+  void recordMismatches(int afterIteration) {
+    // Instrumentation for Lemma 3.8: count this node's wrong estimates.
+    auto& bj = shared_->bj;
+    while (static_cast<int>(bj.size()) < currentSimRound_)
+      bj.emplace_back(static_cast<std::size_t>(sched_.z + 1), 0);
+    for (const auto& nb : g_.neighbors(self_)) {
+      const auto truth = shared_->sentTruth.find({nb.node, self_});
+      if (truth == shared_->sentTruth.end()) continue;
+      if (estKey_.at(nb.node) != truth->second)
+        ++bj[static_cast<std::size_t>(currentSimRound_ - 1)]
+            [static_cast<std::size_t>(afterIteration)];
+    }
+  }
+
+  // --- iteration lifecycle ---------------------------------------------------
+
+  void startIteration(const Pos& p, int round) {
+    (void)round;
+    currentSimRound_ = p.simRound;
+    seed_.clear();
+    accum_.clear();
+    sparseAccum_.clear();
+    recvShares_.assign(
+        static_cast<std::size_t>(sched_.chunks),
+        std::vector<gf::F16>(static_cast<std::size_t>(pk_->k), gf::F16(0)));
+    fwdShare_.clear();
+    dmComputed_ = false;
+    entries_ = buildEntries();
+    if (shared_) {
+      if (self_ == 0) shared_->iterationEntries.clear();  // node 0 resets
+      for (const auto& e : entries_) shared_->iterationEntries.push_back(e);
+      if (isRoot_) {
+        shared_->trueSeeds.clear();
+        shared_->trueShares.clear();
+        shared_->sketchBlockStart = sketchBlockStartRound(p);
+        shared_->eccBlockStart = eccBlockStartRound(p);
+      }
+    }
+    if (isRoot_) {
+      treeSeed_.assign(static_cast<std::size_t>(pk_->k), 0);
+      for (int t = 0; t < pk_->k; ++t) {
+        treeSeed_[static_cast<std::size_t>(t)] = rng_.next();
+        if (shared_)
+          shared_->trueSeeds[t] = treeSeed_[static_cast<std::size_t>(t)];
+      }
+      // The root knows its own seeds immediately.
+      for (int t = 0; t < pk_->k; ++t)
+        seed_[t] = treeSeed_[static_cast<std::size_t>(t)];
+    }
+  }
+
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::int64_t>>
+  buildEntries() const {
+    std::vector<std::pair<std::uint64_t, std::int64_t>> entries;
+    for (const auto& nb : g_.neighbors(self_)) {
+      const auto s = sentKey_.find(nb.node);
+      if (s != sentKey_.end()) entries.push_back({s->second, +1});
+      const auto e = estKey_.find(nb.node);
+      if (e != estKey_.end()) entries.push_back({e->second, -1});
+    }
+    return entries;
+  }
+
+  [[nodiscard]] std::size_t sparsity() const {
+    return static_cast<std::size_t>(opts_.sparseSlack * 4 * f_);
+  }
+
+  [[nodiscard]] sketch::SparseRecovery buildLocalSparse(
+      std::uint64_t treeSeed) const {
+    sketch::SparseRecovery s(treeSeed, sparsity(),
+                             static_cast<std::size_t>(opts_.sparseRows));
+    for (const auto& [key, freq] : entries_) s.update(key, freq);
+    return s;
+  }
+
+  [[nodiscard]] std::vector<sketch::L0Sampler> buildLocalSketches(
+      std::uint64_t treeSeed) const {
+    std::vector<sketch::L0Sampler> out;
+    out.reserve(static_cast<std::size_t>(opts_.tSketches));
+    for (int h = 0; h < opts_.tSketches; ++h) {
+      sketch::L0Sampler s(deriveSketchSeed(treeSeed, h), kUniverseBits,
+                          opts_.sketchLevels);
+      for (const auto& [key, freq] : entries_) s.update(key, freq);
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  // --- sketch block ----------------------------------------------------------
+
+  [[nodiscard]] Msg sketchMessage(int tree, const Pos& p, NodeId to) {
+    const int d = depthIn(tree);
+    const int D = pk_->depthBound;
+    if (d < 0) return {};
+    if (p.step <= D) {
+      // Seed flood: depth step-1 nodes forward to children.
+      if (d == p.step - 1 && seed_.count(tree) && isChildIn(tree, to))
+        return Msg::of(seed_.at(tree));
+      return {};
+    }
+    // Upcast: depth d sends at step 2D+1-d to its parent.
+    if (d > 0 && p.step == 2 * D + 1 - d && to == parentIn(tree)) {
+      const std::uint64_t ts = seed_.count(tree) ? seed_.at(tree) : 0;
+      if (opts_.correction == CorrectionMode::SparseOneShot) {
+        sketch::SparseRecovery mine = buildLocalSparse(ts);
+        const auto acc = sparseAccum_.find(tree);
+        if (acc != sparseAccum_.end()) mine.merge(acc->second);
+        return Msg::ofWords(mine.serialize());
+      }
+      std::vector<sketch::L0Sampler> mine = buildLocalSketches(ts);
+      const auto acc = accum_.find(tree);
+      if (acc != accum_.end()) {
+        for (int h = 0; h < opts_.tSketches; ++h)
+          mine[static_cast<std::size_t>(h)].merge(
+              acc->second[static_cast<std::size_t>(h)]);
+      }
+      std::vector<std::uint64_t> words;
+      for (const auto& s : mine) {
+        const auto sw = s.serialize();
+        words.insert(words.end(), sw.begin(), sw.end());
+      }
+      return Msg::ofWords(std::move(words));
+    }
+    return {};
+  }
+
+  void handleSketch(int tree, const Pos& p, NodeId from, const Msg& m) {
+    const int d = depthIn(tree);
+    const int D = pk_->depthBound;
+    if (d < 0) return;
+    if (p.step <= D) {
+      if (d == p.step && from == parentIn(tree) && m.present)
+        seed_[tree] = m.at(0);
+      return;
+    }
+    // Bundle from a child (it sent at step 2D+1-(d+1)).
+    if (!isChildIn(tree, from) || !m.present) return;
+    const std::uint64_t ts = seed_.count(tree) ? seed_.at(tree) : 0;
+    if (opts_.correction == CorrectionMode::SparseOneShot) {
+      sketch::SparseRecovery probe(ts, sparsity(),
+                                   static_cast<std::size_t>(opts_.sparseRows));
+      if (m.size() != probe.serializedWords()) return;  // malformed: drop
+      sketch::SparseRecovery got = sketch::SparseRecovery::deserialize(
+          ts, sparsity(), static_cast<std::size_t>(opts_.sparseRows), m.words);
+      const auto acc = sparseAccum_.find(tree);
+      if (acc == sparseAccum_.end())
+        sparseAccum_.emplace(tree, std::move(got));
+      else
+        acc->second.merge(got);
+      return;
+    }
+    std::vector<sketch::L0Sampler> bundle;
+    const std::size_t per =
+        sketch::L0Sampler(deriveSketchSeed(ts, 0), kUniverseBits,
+                          opts_.sketchLevels)
+            .serializedWords();
+    if (m.size() != per * static_cast<std::size_t>(opts_.tSketches))
+      return;  // malformed (corrupted) bundle: drop
+    for (int h = 0; h < opts_.tSketches; ++h) {
+      std::vector<std::uint64_t> part(
+          m.words.begin() + static_cast<std::ptrdiff_t>(per * static_cast<std::size_t>(h)),
+          m.words.begin() + static_cast<std::ptrdiff_t>(per * static_cast<std::size_t>(h + 1)));
+      bundle.push_back(sketch::L0Sampler::deserialize(
+          deriveSketchSeed(ts, h), kUniverseBits, opts_.sketchLevels, part));
+    }
+    auto acc = accum_.find(tree);
+    if (acc == accum_.end()) {
+      accum_[tree] = std::move(bundle);
+    } else {
+      for (int h = 0; h < opts_.tSketches; ++h)
+        acc->second[static_cast<std::size_t>(h)].merge(
+            bundle[static_cast<std::size_t>(h)]);
+    }
+  }
+
+  // --- root: dominating mismatches -------------------------------------------
+
+  void computeDmSparse() {
+    dmComputed_ = true;
+    // Section 1.2.2: recover the full mismatch support per tree, then take
+    // the majority result across trees (most trees are uncorrupted, so the
+    // true support wins; no Delta threshold needed).
+    std::map<std::vector<std::uint64_t>, int> votes;
+    for (int t = 0; t < pk_->k; ++t) {
+      sketch::SparseRecovery merged =
+          buildLocalSparse(treeSeed_[static_cast<std::size_t>(t)]);
+      const auto acc = sparseAccum_.find(t);
+      if (acc != sparseAccum_.end()) merged.merge(acc->second);
+      std::vector<std::uint64_t> canon;
+      const auto rec = merged.recoverAll();
+      if (rec.has_value()) {
+        for (const auto& e : *rec)
+          if (e.frequency > 0) canon.push_back(e.key);
+        std::sort(canon.begin(), canon.end());
+      } else {
+        canon.push_back(~0ULL);  // failure marker
+      }
+      ++votes[canon];
+    }
+    std::vector<std::uint64_t> winner;
+    int best = 0;
+    for (const auto& [canon, count] : votes) {
+      if (count > best) {
+        best = count;
+        winner = canon;
+      }
+    }
+    if (!winner.empty() && winner[0] == ~0ULL) winner.clear();
+    if (static_cast<int>(winner.size()) > codec_.dmCap())
+      winner.resize(static_cast<std::size_t>(codec_.dmCap()));
+    dmKeys_ = winner;
+    shares_ = codec_.encode(winner);
+    if (shared_) shared_->trueShares = shares_;
+  }
+
+  void computeDm(const Pos& p) {
+    if (opts_.correction == CorrectionMode::SparseOneShot) {
+      computeDmSparse();
+      return;
+    }
+    dmComputed_ = true;
+    // Resolve per-tree sketches: own + accumulated children.
+    std::map<std::uint64_t, int> supp;
+    std::map<std::uint64_t, bool> positive;
+    const bool contract =
+        opts_.engine.mode == EngineMode::Contract && shared_ && shared_->oracle;
+    const int sketchStart = sketchBlockStartRound(p);
+    const int sketchEnd = eccBlockStartRound(p) - 1;
+    for (int t = 0; t < pk_->k; ++t) {
+      std::vector<sketch::L0Sampler> merged =
+          buildLocalSketches(treeSeed_[static_cast<std::size_t>(t)]);
+      const auto acc = accum_.find(t);
+      if (acc != accum_.end())
+        for (int h = 0; h < opts_.tSketches; ++h)
+          merged[static_cast<std::size_t>(h)].merge(
+              acc->second[static_cast<std::size_t>(h)]);
+      if (contract &&
+          shared_->oracle->survives(t, sketchStart, sketchEnd,
+                                    sched_.sketchSteps, opts_.engine.cRS)) {
+        // Ideal functionality: the fault-free aggregate.
+        merged.clear();
+        for (int h = 0; h < opts_.tSketches; ++h) {
+          sketch::L0Sampler s(
+              deriveSketchSeed(shared_->trueSeeds[t], h), kUniverseBits,
+              opts_.sketchLevels);
+          for (const auto& [key, freq] : shared_->iterationEntries)
+            s.update(key, freq);
+          merged.push_back(std::move(s));
+        }
+      }
+      for (const auto& s : merged) {
+        const auto r = s.query();
+        if (r.has_value()) {
+          ++supp[r->key];
+          if (r->frequency > 0) positive[r->key] = true;
+        }
+      }
+    }
+    // Threshold Delta_j (Eq. 8 with tuned constants; see ByzOptions::theta).
+    const double dj = opts_.theta * std::pow(2.0, p.j + 1) *
+                      static_cast<double>(pk_->k) * opts_.tSketches /
+                      static_cast<double>(f_);
+    const int delta = std::max(1, static_cast<int>(std::ceil(dj)));
+    std::vector<std::uint64_t> dm;
+    for (const auto& [key, s] : supp)
+      if (s >= delta && positive.count(key)) dm.push_back(key);
+    std::sort(dm.begin(), dm.end());
+    if (static_cast<int>(dm.size()) > codec_.dmCap())
+      dm.resize(static_cast<std::size_t>(codec_.dmCap()));
+    dmKeys_ = dm;
+    shares_ = codec_.encode(dm);
+    if (shared_) shared_->trueShares = shares_;
+  }
+
+  // --- ECC block ---------------------------------------------------------------
+
+  [[nodiscard]] Msg eccMessage(int tree, const Pos& p, NodeId to) {
+    const int D = pk_->depthBound;
+    const int chunk = (p.step - 1) / (D + 1);
+    const int wstep = (p.step - 1) % (D + 1) + 1;
+    const int d = depthIn(tree);
+    if (d < 0 || !isChildIn(tree, to)) return {};
+    if (isRoot_ && !dmComputed_) computeDm(p);
+    if (d != wstep - 1) return {};
+    if (isRoot_) {
+      return Msg::of(
+          shares_[static_cast<std::size_t>(chunk)][static_cast<std::size_t>(tree)]
+              .value());
+    }
+    const auto it = fwdShare_.find({tree, chunk});
+    if (it == fwdShare_.end()) return {};
+    return Msg::of(it->second);
+  }
+
+  void handleEcc(int tree, const Pos& p, NodeId from, const Msg& m) {
+    const int D = pk_->depthBound;
+    const int chunk = (p.step - 1) / (D + 1);
+    const int wstep = (p.step - 1) % (D + 1) + 1;
+    const int d = depthIn(tree);
+    if (d < 0 || from != parentIn(tree) || d != wstep || !m.present) return;
+    const std::uint16_t sym = static_cast<std::uint16_t>(m.at(0));
+    fwdShare_[{tree, chunk}] = sym;
+    recvShares_[static_cast<std::size_t>(chunk)][static_cast<std::size_t>(tree)] =
+        gf::F16(sym);
+  }
+
+  void finishIteration(const Pos& p, int round) {
+    (void)round;
+    std::vector<std::uint64_t> dm;
+    if (isRoot_) {
+      if (!dmComputed_) computeDm(p);  // degenerate packs with no children
+      dm = dmKeys_;
+    } else {
+      const bool contract = opts_.engine.mode == EngineMode::Contract &&
+                            shared_ && shared_->oracle;
+      if (contract) {
+        const int eccStart = eccBlockStartRound(p);
+        const int eccEnd = eccStart + slots_.blockRounds(sched_.eccSteps) - 1;
+        for (int t = 0; t < pk_->k; ++t) {
+          if (shared_->oracle->survives(t, eccStart, eccEnd, sched_.eccSteps,
+                                        opts_.engine.cRS) &&
+              !shared_->trueShares.empty()) {
+            for (int c = 0; c < sched_.chunks; ++c)
+              recvShares_[static_cast<std::size_t>(c)]
+                         [static_cast<std::size_t>(t)] =
+                  shared_->trueShares[static_cast<std::size_t>(c)]
+                                     [static_cast<std::size_t>(t)];
+          }
+        }
+      }
+      dm = codec_.decode(recvShares_);
+    }
+    // Patch estimates (Step 3 of the iteration).
+    for (const std::uint64_t key : dm) {
+      const DecodedKey dec = decodeKey(key);
+      if (dec.receiver != self_) continue;
+      if (dec.chunk > kAbsentChunk) continue;
+      if (!estKey_.count(dec.sender)) continue;  // not a neighbor
+      estKey_[dec.sender] = encodeKey(dec.sender, self_, dec.chunk, dec.payload);
+    }
+    if (shared_) recordMismatches(p.j + 1);
+  }
+
+  void deliverToInner(const Pos& p) {
+    MapInbox inbox(g_, self_);
+    for (const auto& nb : g_.neighbors(self_)) {
+      const auto it = estKey_.find(nb.node);
+      if (it == estKey_.end()) continue;
+      const DecodedKey dec = decodeKey(it->second);
+      if (dec.chunk == 0) inbox.put(nb.node, Msg::of(dec.payload));
+    }
+    inner_->receive(p.simRound, inbox);
+    if (p.simRound >= innerRounds_) done_ = true;
+  }
+
+  // --- members -----------------------------------------------------------------
+
+  NodeId self_;
+  const Graph& g_;
+  util::Rng rng_;
+  std::unique_ptr<NodeState> inner_;
+  int innerRounds_;
+  std::shared_ptr<const PackingKnowledge> pk_;
+  const NodeTreeView& view_;
+  int f_;
+  ByzOptions opts_;
+  ByzSchedule sched_;
+  SlotSchedule slots_;
+  DmCodec codec_;
+  std::shared_ptr<ByzShared> shared_;
+  bool isRoot_ = false;
+  bool done_ = false;
+  int currentSimRound_ = 1;
+
+  std::map<NodeId, std::uint64_t> sentKey_;  // my round-i sends, key form
+  std::map<NodeId, std::uint64_t> estKey_;   // estimates of my received msgs
+  std::vector<std::pair<std::uint64_t, std::int64_t>> entries_;
+
+  std::map<int, std::uint64_t> seed_;  // tree -> sketch seed this iteration
+  std::vector<std::uint64_t> treeSeed_;  // root only
+  std::map<int, std::vector<sketch::L0Sampler>> accum_;  // children merges
+  std::map<int, sketch::SparseRecovery> sparseAccum_;    // SparseOneShot mode
+  std::map<std::pair<int, NodeId>, std::vector<Msg>> stash_;
+
+  bool dmComputed_ = false;
+  std::vector<std::uint64_t> dmKeys_;
+  std::vector<std::vector<gf::F16>> shares_;      // root: [chunk][tree]
+  std::vector<std::vector<gf::F16>> recvShares_;  // node: [chunk][tree]
+  std::map<std::pair<int, int>, std::uint16_t> fwdShare_;  // (tree,chunk)
+};
+
+}  // namespace
+
+sim::Algorithm compileByzantineTree(const graph::Graph& g,
+                                    const sim::Algorithm& inner,
+                                    std::shared_ptr<const PackingKnowledge> pk,
+                                    int f, ByzOptions opts,
+                                    std::shared_ptr<ByzShared> shared) {
+  const ByzSchedule sched = ByzSchedule::compute(*pk, inner.rounds, f, opts);
+  if (shared && opts.engine.mode == EngineMode::Contract) {
+    assert(shared->ledger && "Contract mode needs the network's ledger");
+    shared->oracle = std::make_unique<ContractOracle>(shared->ledger, *pk, g);
+  }
+  sim::Algorithm out;
+  out.rounds = sched.totalRounds;
+  out.congestion = 0;
+  out.makeNode = [&g, inner, pk, f, opts, sched, shared](
+                     NodeId v, const Graph&, util::Rng rng) {
+    auto innerNode = inner.makeNode(v, g, rng.split(0xb12));
+    return std::make_unique<ByzNode>(v, g, rng.split(0x3a7),
+                                     std::move(innerNode), inner.rounds, pk, f,
+                                     opts, sched, shared);
+  };
+  return out;
+}
+
+}  // namespace mobile::compile

@@ -1,0 +1,122 @@
+// Theorem 3.5 / Algorithm ImprovedMobileByzantineSim: compiling any
+// fault-free algorithm into an f-mobile-byzantine-resilient one, given
+// distributed knowledge of a weak (k, DTP, eta) tree packing.
+//
+// Every round i of the inner algorithm A is simulated by one *phase*:
+//
+//   Step 1  (1 round)      all nodes exchange their round-i messages.
+//   Step 2  (z iterations) mismatch correction:
+//       (a) every node forms the multiset S_{i,j}(v): its sent messages
+//           with frequency +1 and current received-estimates with -1 --
+//           matching transmissions cancel, mismatches survive;
+//       (b) per tree T: the root floods a fresh sketch seed R(T) down T,
+//           every node builds t independent l0-samplers of S_{i,j}(v) with
+//           R(T), and the sketches are merge-aggregated up T (procedure
+//           L0RS(T, S_{i,j}), RS-compiled, all k trees in parallel via the
+//           Lemma 3.3 scheduler);
+//       (c) the root queries every sketch, keeps the observed mismatches
+//           with support >= Delta_j (Eq. 8's dominating mismatches), and
+//       (d) broadcasts the list via ECCSafeBroadcast (Reed-Solomon share
+//           per tree, Lemma 3.6); every node decodes and patches its
+//           estimates.
+//       Real mismatches halve each iteration w.h.p. (Lemma 3.8), so after
+//       z = O(log f) iterations all estimates are exact.
+//   Step 3  deliver the corrected messages to the inner A instance.
+//
+// Round cost per phase: 1 + z * (sketch block + ECC block) * eta * rho,
+// i.e. ~O(DTP * log f * eta) scheduled rounds -- the paper's ~O(DTP) up to
+// the log factors it hides.
+#pragma once
+
+#include <memory>
+
+#include "compile/common.h"
+#include "compile/ecc_broadcast.h"
+#include "compile/rs_engine.h"
+#include "sim/network.h"
+#include "sim/node.h"
+
+namespace mobile::compile {
+
+/// Which of the paper's two correction strategies drives Step 2.
+enum class CorrectionMode {
+  /// Section 3.2: z = O(log f) iterations of t l0-samplers per tree with
+  /// the Delta_j dominating-mismatch threshold -- ~O(DTP) overhead.
+  L0Iterative,
+  /// Section 1.2.2: one shot of an O(f)-sparse recovery sketch per tree
+  /// with majority voting across trees -- ~O(DTP + f) overhead (the sketch
+  /// payload grows linearly with f, visible as message width).
+  SparseOneShot,
+};
+
+struct ByzOptions {
+  EngineOptions engine;
+  CorrectionMode correction = CorrectionMode::L0Iterative;
+  /// t: independent l0-sketches per tree per iteration (paper: Theta(log n)).
+  int tSketches = 5;
+  /// z: correction iterations (0 = auto, ceil(log2(2f)) + 2).
+  int zIterations = 0;
+  /// Cap on transported dominating-mismatch entries (0 = auto, 2f + 8).
+  int dmCap = 0;
+  /// ECC margin c'': block length k >= cPP * chunk message length.
+  int cPP = 3;
+  /// Geometric levels per l0-sketch (supports up to ~2^(levels-2) keys).
+  unsigned sketchLevels = 14;
+  /// Support threshold scale: Delta_j = max(1, theta * 2^j * k * t / f).
+  double theta = 0.05;
+  /// SparseOneShot: sparsity budget multiplier (sketch holds
+  /// sparseSlack * 4f entries; sent+received copies of 2f mismatches).
+  int sparseSlack = 2;
+  /// SparseOneShot: rows per sparse-recovery sketch.
+  int sparseRows = 5;
+};
+
+/// Fixed round layout of the compiled algorithm (all nodes know it).
+struct ByzSchedule {
+  int z = 0;
+  int sketchSteps = 0;     // 2*DTP + 1
+  int eccSteps = 0;        // chunks * (DTP + 1)
+  int chunks = 0;
+  int roundsPerIteration = 0;
+  int roundsPerSimRound = 0;
+  int totalRounds = 0;
+
+  [[nodiscard]] static ByzSchedule compute(const PackingKnowledge& pk,
+                                           int innerRounds, int f,
+                                           const ByzOptions& opts);
+};
+
+/// Cross-node shared state: instrumentation (the B_j mismatch-decay series
+/// of Lemma 3.8) and, in Contract mode, the ideal-functionality registries.
+struct ByzShared {
+  /// bj[simRound][j] = number of incorrect estimates after iteration j
+  /// (index 0 = before any correction).
+  std::vector<std::vector<long>> bj;
+
+  /// Ground-truth sent messages of the current sim round:
+  /// (sender, receiver) -> encoded key.  Written by senders at exchange.
+  std::map<std::pair<graph::NodeId, graph::NodeId>, std::uint64_t> sentTruth;
+
+  // --- Contract-mode registries (ideal functionality; see rs_engine.h) ---
+  std::shared_ptr<adv::CorruptionLedger> ledger;
+  std::unique_ptr<ContractOracle> oracle;
+  /// All nodes' stream entries for the current iteration.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> iterationEntries;
+  /// tree -> true sketch seed chosen by the root this iteration.
+  std::map<int, std::uint64_t> trueSeeds;
+  /// True ECC shares [chunk][tree] registered by the root this iteration.
+  std::vector<std::vector<gf::F16>> trueShares;
+  /// Absolute round at which the current sketch / ECC block started.
+  int sketchBlockStart = 0;
+  int eccBlockStart = 0;
+};
+
+/// Compiles `inner` into its f-mobile-resilient equivalent over the given
+/// packing knowledge.  `shared` carries instrumentation and (for
+/// EngineMode::Contract) must have `ledger` set to the network's ledger.
+[[nodiscard]] sim::Algorithm compileByzantineTree(
+    const graph::Graph& g, const sim::Algorithm& inner,
+    std::shared_ptr<const PackingKnowledge> pk, int f, ByzOptions opts = {},
+    std::shared_ptr<ByzShared> shared = nullptr);
+
+}  // namespace mobile::compile

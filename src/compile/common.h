@@ -1,0 +1,136 @@
+// Shared infrastructure for the compilers.
+//
+//  * Message keys: the byzantine machinery streams messages through
+//    l0/sparse-recovery sketches whose universe is 61-bit integers; a
+//    CONGEST message m_i(u,v) is encoded as
+//        [sender:12][receiver:12][chunk:3][payload:32]   (59 bits)
+//    matching the paper's convention that a message's last bits carry
+//    id(u) o id(v) (Section 3.2, KT1 assumption).
+//  * PackingKnowledge: the *distributed* form of a tree packing -- each
+//    node's own belief of (parent, children, depth) per tree plus the
+//    per-edge slot tables used by the Lemma 3.3 scheduler.  For trusted
+//    preprocessing the beliefs are globally consistent; the expander
+//    protocol (Lemma 3.10) produces per-node beliefs that may disagree on
+//    adversarially colored edges, which the weak-packing analysis absorbs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/tree_packing.h"
+
+namespace mobile::compile {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+// --- 61-bit message keys -----------------------------------------------------
+
+inline constexpr std::uint64_t kPayloadMask = 0xffffffffULL;  // 32 bits
+inline constexpr int kMaxKeyNodes = 1 << 12;                  // 12-bit ids
+
+/// Encodes (sender, receiver, chunk, payload) into a sketch-universe key.
+[[nodiscard]] inline std::uint64_t encodeKey(NodeId sender, NodeId receiver,
+                                             unsigned chunk,
+                                             std::uint64_t payload32) {
+  return (static_cast<std::uint64_t>(sender) << 47) |
+         (static_cast<std::uint64_t>(receiver) << 35) |
+         (static_cast<std::uint64_t>(chunk & 0x7u) << 32) |
+         (payload32 & kPayloadMask);
+}
+
+struct DecodedKey {
+  NodeId sender;
+  NodeId receiver;
+  unsigned chunk;
+  std::uint64_t payload;
+};
+
+[[nodiscard]] inline DecodedKey decodeKey(std::uint64_t key) {
+  DecodedKey d;
+  d.sender = static_cast<NodeId>((key >> 47) & 0xfff);
+  d.receiver = static_cast<NodeId>((key >> 35) & 0xfff);
+  d.chunk = static_cast<unsigned>((key >> 32) & 0x7);
+  d.payload = key & kPayloadMask;
+  return d;
+}
+
+// --- distributed tree-packing knowledge ----------------------------------------
+
+/// One node's belief about its role in every tree of a packing.
+struct NodeTreeView {
+  std::vector<NodeId> parent;                 // per tree; -1 = root/none
+  std::vector<std::vector<NodeId>> children;  // per tree
+  std::vector<int> depth;                     // per tree; -1 = not reached
+
+  /// Slot table: for each neighbor, the sorted list of tree ids this node
+  /// believes the connecting edge belongs to (Lemma 3.3 scheduling).
+  std::map<NodeId, std::vector<int>> edgeTrees;
+
+  [[nodiscard]] bool inTree(int t, NodeId neighbor) const {
+    if (parent[static_cast<std::size_t>(t)] == neighbor) return true;
+    const auto& ch = children[static_cast<std::size_t>(t)];
+    return std::find(ch.begin(), ch.end(), neighbor) != ch.end();
+  }
+};
+
+/// The network-wide bundle: per-node views plus the public schedule
+/// parameters every node knows (k, eta, depth bound, root id).
+struct PackingKnowledge {
+  NodeId root = -1;
+  int k = 0;        // number of trees
+  int eta = 1;      // slot count per phase (max edge load)
+  int depthBound = 0;
+  std::vector<NodeTreeView> views;  // indexed by node
+
+  [[nodiscard]] const NodeTreeView& view(NodeId v) const {
+    return views[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Builds consistent distributed knowledge from a (centralized) packing --
+/// the trusted-preprocessing path of Theorem 1.4(ii) / Corollary 3.9.
+[[nodiscard]] inline std::shared_ptr<PackingKnowledge> distributePacking(
+    const Graph& g, const graph::TreePacking& packing, int depthBound) {
+  auto pk = std::make_shared<PackingKnowledge>();
+  pk->root = packing.commonRoot;
+  pk->k = static_cast<int>(packing.trees.size());
+  pk->depthBound = depthBound;
+  const std::size_t n = static_cast<std::size_t>(g.nodeCount());
+  pk->views.resize(n);
+  for (auto& v : pk->views) {
+    v.parent.assign(static_cast<std::size_t>(pk->k), -1);
+    v.children.assign(static_cast<std::size_t>(pk->k), {});
+    v.depth.assign(static_cast<std::size_t>(pk->k), -1);
+  }
+  std::vector<std::size_t> load(static_cast<std::size_t>(g.edgeCount()), 0);
+  for (int t = 0; t < pk->k; ++t) {
+    const auto& tree = packing.trees[static_cast<std::size_t>(t)];
+    for (NodeId v = 0; v < g.nodeCount(); ++v) {
+      auto& view = pk->views[static_cast<std::size_t>(v)];
+      view.parent[static_cast<std::size_t>(t)] =
+          tree.parent[static_cast<std::size_t>(v)];
+      view.children[static_cast<std::size_t>(t)] =
+          tree.children[static_cast<std::size_t>(v)];
+      view.depth[static_cast<std::size_t>(t)] =
+          tree.depth[static_cast<std::size_t>(v)];
+      const NodeId p = tree.parent[static_cast<std::size_t>(v)];
+      if (p >= 0) {
+        pk->views[static_cast<std::size_t>(v)].edgeTrees[p].push_back(t);
+        pk->views[static_cast<std::size_t>(p)].edgeTrees[v].push_back(t);
+        ++load[static_cast<std::size_t>(g.edgeBetween(v, p))];
+      }
+    }
+  }
+  std::size_t eta = 1;
+  for (const std::size_t l : load) eta = std::max(eta, l);
+  pk->eta = static_cast<int>(eta);
+  return pk;
+}
+
+}  // namespace mobile::compile

@@ -1,0 +1,204 @@
+#include "compile/congestion_compiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "compile/keypool.h"
+#include "compile/secure_broadcast.h"
+#include "hash/cwise.h"
+
+namespace mobile::compile {
+
+using graph::Graph;
+using graph::NodeId;
+using sim::Inbox;
+using sim::MapInbox;
+using sim::MapOutbox;
+using sim::Msg;
+using sim::NodeState;
+using sim::Outbox;
+
+namespace {
+
+struct Layout {
+  int r = 0;
+  int t1 = 0;
+  int poolRounds = 0;       // r + t1
+  int broadcastRounds = 0;  // BroadcastCore::totalRounds()
+  int seedWords = 0;        // c-wise hash coefficients
+  [[nodiscard]] int total() const {
+    return poolRounds + broadcastRounds + r;
+  }
+};
+
+class CongestionNode final : public NodeState {
+ public:
+  CongestionNode(NodeId self, const Graph& g, util::Rng rng,
+                 std::unique_ptr<NodeState> inner,
+                 std::shared_ptr<const PackingKnowledge> pk, int f,
+                 CongestionCompilerOptions opts, Layout layout)
+      : self_(self),
+        g_(g),
+        rng_(std::move(rng)),
+        inner_(std::move(inner)),
+        pk_(std::move(pk)),
+        opts_(opts),
+        layout_(layout),
+        pool_(layout.r, layout.t1, 1) {
+    // Root draws the global hash seed; all nodes instantiate a core with
+    // the same width (non-roots pass zeros which are ignored).
+    std::vector<std::uint64_t> seed(
+        static_cast<std::size_t>(layout_.seedWords), 0);
+    if (self_ == pk_->root)
+      for (auto& w : seed) w = rng_.next();
+    bcast_ = std::make_unique<BroadcastCore>(self_, g_, rng_.split(0xbc),
+                                             pk_, std::move(seed), f);
+  }
+
+  void send(int round, Outbox& out) override {
+    if (round <= layout_.poolRounds) {
+      for (const auto& nb : g_.neighbors(self_)) {
+        const std::uint64_t x = rng_.next();
+        sentRandom_[nb.node].push_back(x);
+        out.to(nb.node, Msg::of(x));
+      }
+      return;
+    }
+    const int b = round - layout_.poolRounds;
+    if (b <= layout_.broadcastRounds) {
+      bcast_->send(b, out);
+      return;
+    }
+    const int i = b - layout_.broadcastRounds;  // simulated round of A
+    if (i > layout_.r) return;
+    if (i == 1) finalizeKeys();
+    MapOutbox capture(g_, self_);
+    inner_->send(i, capture);
+    for (const auto& nb : g_.neighbors(self_)) {
+      const auto it = capture.messages().find(nb.node);
+      const bool real =
+          it != capture.messages().end() && it->second.present;
+      std::uint64_t wire;
+      if (real) {
+        const std::uint64_t m = it->second.atOr(0, 0);
+        assert(m < (1ULL << opts_.payloadBits) &&
+               "payload exceeds the declared domain");
+        wire = (*hash_)(m) ^ keyFor(sendKeys_, nb.node, i);
+      } else {
+        wire = rng_.next() & ((1ULL << opts_.hashBits) - 1);
+      }
+      out.to(nb.node, Msg::of(wire));
+    }
+  }
+
+  void receive(int round, const Inbox& in) override {
+    if (round <= layout_.poolRounds) {
+      for (const auto& nb : g_.neighbors(self_)) {
+        const Msg& m = in.from(nb.node);
+        recvRandom_[nb.node].push_back(m.present ? m.at(0) : 0);
+      }
+      return;
+    }
+    const int b = round - layout_.poolRounds;
+    if (b <= layout_.broadcastRounds) {
+      bcast_->receive(b, in);
+      return;
+    }
+    const int i = b - layout_.broadcastRounds;
+    if (i > layout_.r) return;
+    MapInbox deliver(g_, self_);
+    for (const auto& nb : g_.neighbors(self_)) {
+      const Msg& m = in.from(nb.node);
+      if (!m.present) continue;
+      const std::uint64_t image = m.at(0) ^ keyFor(recvKeys_, nb.node, i);
+      // The paper's decoding loop: scan the message domain for a preimage.
+      const auto hit = preimage_.find(image);
+      if (hit != preimage_.end())
+        deliver.put(nb.node, Msg::of(hit->second));
+    }
+    inner_->receive(i, deliver);
+    if (i >= layout_.r) done_ = true;
+  }
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] std::uint64_t output() const override {
+    return inner_->output();
+  }
+
+ private:
+  void finalizeKeys() {
+    for (const auto& nb : g_.neighbors(self_)) {
+      sendKeys_[nb.node] = pool_.extract(sentRandom_[nb.node]);
+      recvKeys_[nb.node] = pool_.extract(recvRandom_[nb.node]);
+    }
+    // Install h* from the broadcast seed and precompute the decoding table
+    // (one scan of the domain, reused every round).
+    hash_ = std::make_unique<hash::CwiseHash>(bcast_->result(),
+                                              opts_.hashBits);
+    for (std::uint64_t m = 0; m < (1ULL << opts_.payloadBits); ++m)
+      preimage_[(*hash_)(m)] = m;
+  }
+
+  [[nodiscard]] std::uint64_t keyFor(
+      const std::map<NodeId, std::vector<std::uint64_t>>& keys, NodeId nb,
+      int i) const {
+    return keys.at(nb)[static_cast<std::size_t>(i - 1)] &
+           ((1ULL << opts_.hashBits) - 1);
+  }
+
+  NodeId self_;
+  const Graph& g_;
+  util::Rng rng_;
+  std::unique_ptr<NodeState> inner_;
+  std::shared_ptr<const PackingKnowledge> pk_;
+  CongestionCompilerOptions opts_;
+  Layout layout_;
+  KeyPool pool_;
+  std::unique_ptr<BroadcastCore> bcast_;
+  std::unique_ptr<hash::CwiseHash> hash_;
+  std::map<std::uint64_t, std::uint64_t> preimage_;
+  std::map<NodeId, std::vector<std::uint64_t>> sentRandom_, recvRandom_;
+  std::map<NodeId, std::vector<std::uint64_t>> sendKeys_, recvKeys_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+sim::Algorithm compileCongestionSensitive(
+    const graph::Graph& g, const sim::Algorithm& inner,
+    std::shared_ptr<const PackingKnowledge> pk, int f,
+    CongestionCompilerOptions opts, CongestionCompilerStats* stats) {
+  Layout layout;
+  layout.r = inner.rounds;
+  layout.t1 = opts.poolThreshold > 0 ? opts.poolThreshold : 3 * inner.rounds;
+  layout.poolRounds = layout.r + layout.t1;
+  const int cong = std::max(1, inner.congestion);
+  layout.seedWords = std::max(2, 4 * f * cong);
+  {
+    BroadcastCore probe(pk->root, g, util::Rng(1), pk,
+                        std::vector<std::uint64_t>(
+                            static_cast<std::size_t>(layout.seedWords), 0),
+                        f);
+    layout.broadcastRounds = probe.totalRounds();
+  }
+  if (stats != nullptr) {
+    stats->poolRounds = layout.poolRounds;
+    stats->broadcastRounds = layout.broadcastRounds;
+    stats->simulationRounds = layout.r;
+    stats->totalRounds = layout.total();
+    stats->hashIndependence = layout.seedWords;
+  }
+  sim::Algorithm out;
+  out.rounds = layout.total();
+  out.congestion = out.rounds;
+  out.makeNode = [&g, inner, pk, f, opts, layout](NodeId v, const Graph&,
+                                                  util::Rng rng) {
+    auto innerNode = inner.makeNode(v, g, rng.split(0x77));
+    return std::make_unique<CongestionNode>(v, g, rng.split(0x88),
+                                            std::move(innerNode), pk, f, opts,
+                                            layout);
+  };
+  return out;
+}
+
+}  // namespace mobile::compile

@@ -1,0 +1,58 @@
+// Theorem 1.3: the congestion-sensitive compiler with perfect mobile
+// security.
+//
+// Pipeline for an r-round, cong-congestion fault-free algorithm A:
+//   Step 1 (local secrets)   r + t1 rounds of random exchange build per-arc
+//                            key pools of r pads (Lemma A.1); at most
+//                            ~f*(r+t1)/(t1+1) edges leak.
+//   Step 2 (global secret)   the root samples the seed of a (4*f*cong)-wise
+//                            independent hash h* (Lemma 1.11) and
+//                            mobile-securely broadcasts it (Theorem A.4
+//                            machinery over a tree packing).
+//   Step 3 (simulation)      r rounds; every edge carries a message every
+//                            round: a real round-i message m becomes
+//                            h*(m) XOR K_i(u,v); an empty slot becomes a
+//                            fresh uniform word.  Receivers invert h* by
+//                            scanning the 2^payloadBits message domain (the
+//                            paper's decoding loop) after removing the pad;
+//                            non-preimages are dropped as empty.
+//
+// Security: pads make all good-edge traffic uniform; on leaky edges the
+// adversary sees only h*-images, and the (4*f*cong)-wise independence of h*
+// keeps any f*cong observed images jointly uniform.  Empty and non-empty
+// slots are indistinguishable.
+#pragma once
+
+#include <memory>
+
+#include "compile/common.h"
+#include "sim/node.h"
+
+namespace mobile::compile {
+
+struct CongestionCompilerOptions {
+  /// Message payload domain is [0, 2^payloadBits); decoding scans it.
+  unsigned payloadBits = 10;
+  /// Hash output width B' (collision slack; B' - payloadBits >= ~16).
+  unsigned hashBits = 30;
+  /// Key-pool threshold t1 (0 = auto: t1 = 3r, <= ~4f/3 leaky edges).
+  int poolThreshold = 0;
+};
+
+struct CongestionCompilerStats {
+  int poolRounds = 0;
+  int broadcastRounds = 0;
+  int simulationRounds = 0;
+  int totalRounds = 0;
+  int hashIndependence = 0;
+};
+
+/// Compiles `inner` (must declare rounds and congestion; payloads must fit
+/// payloadBits) into its f-mobile-secure equivalent.
+[[nodiscard]] sim::Algorithm compileCongestionSensitive(
+    const graph::Graph& g, const sim::Algorithm& inner,
+    std::shared_ptr<const PackingKnowledge> pk, int f,
+    CongestionCompilerOptions opts = {},
+    CongestionCompilerStats* stats = nullptr);
+
+}  // namespace mobile::compile

@@ -1,0 +1,44 @@
+// Theorem 5.5 / Theorem 1.4: f-mobile-resilient compilation via
+// fault-tolerant cycle covers -- the small-f workhorse, with round overhead
+// dilation * cong * r (which is D^Theta(f) on general graphs; Theorem 5.1).
+//
+// Preprocessing (trusted, per Theorem 1.4(ii)): a k-FT (cong, dilation)
+// cycle cover -- k edge-disjoint u-v paths per edge -- plus a good cycle
+// coloring (Lemma 5.2): same-colored edges have pairwise edge-disjoint path
+// collections, so each color class transmits concurrently without
+// collisions.
+//
+// Per inner round i, color classes take turns; class j gets a window of
+// 2f*dilation + dilation + 1 rounds in which every edge (u,v) of the class
+// pipelines m_i(u,v) (and m_i(v,u), on reversed paths) along all its k
+// paths continuously.  The receiver pools every copy that arrives and takes
+// the majority: the adversary can poison at most f edge-rounds per round of
+// the window, which is strictly less than half the delivered copies
+// (Lemma 5.6), so the true message always wins.
+#pragma once
+
+#include <memory>
+
+#include "graph/cycle_cover.h"
+#include "sim/node.h"
+
+namespace mobile::compile {
+
+struct CycleCoverStats {
+  int colorCount = 0;
+  int window = 0;          // rounds per color class
+  int roundsPerSimRound = 0;
+  int totalRounds = 0;
+  int dilation = 0;
+  int congestion = 0;
+};
+
+/// Compiles `inner` against an f-mobile byzantine adversary using a
+/// (2f+1)-FT cycle cover of g (built here; requires edge connectivity
+/// >= 2f+1).
+[[nodiscard]] sim::Algorithm compileCycleCover(const graph::Graph& g,
+                                               const sim::Algorithm& inner,
+                                               int f,
+                                               CycleCoverStats* stats = nullptr);
+
+}  // namespace mobile::compile

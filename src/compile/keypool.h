@@ -1,0 +1,47 @@
+// Key pools (Lemma A.1): the engine of every eavesdropper-side compiler.
+//
+// Protocol: for ell = r + t rounds, each ordered neighbor pair exchanges a
+// fresh uniform message of `wordsPerRound` 64-bit words.  Afterwards both
+// endpoints push the exchanged words through the (t, k)-resilient
+// Vandermonde extractor (Theorem 2.1), lane-wise over GF(2^16), obtaining r
+// one-time-pad keys (of wordsPerRound words each) per direction.  An edge
+// eavesdropped in more than t of the ell rounds is *bad* (its keys may
+// leak); by averaging at most floor(f*(r+t)/(t+1)) edges are bad, and
+// choosing t >= 2fr gives exactly f bad edges -- the quantitative heart of
+// Theorem 1.2.
+//
+// Because field addition in GF(2^16) is XOR, a word-level XOR implements the
+// one-time pad over F_q exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mobile::compile {
+
+class KeyPool {
+ public:
+  /// Pool yielding `r` keys (of `wordsPerRound` words each) from `r + t`
+  /// exchange rounds.
+  KeyPool(int r, int t, int wordsPerRound = 1);
+
+  [[nodiscard]] int exchangeRounds() const { return r_ + t_; }
+  [[nodiscard]] int keyCount() const { return r_; }
+  [[nodiscard]] int wordsPerRound() const { return w_; }
+
+  /// Lane-wise Vandermonde extraction: `symbols` are the (r+t) *
+  /// wordsPerRound exchanged words for one directed channel (round-major);
+  /// returns r * wordsPerRound pad words (round-major).
+  [[nodiscard]] std::vector<std::uint64_t> extract(
+      const std::vector<std::uint64_t>& symbols) const;
+
+  /// Paper bound on bad edges: floor(f * (r+t) / (t+1)).
+  [[nodiscard]] static long badEdgeBound(int f, int r, int t);
+
+ private:
+  int r_;
+  int t_;
+  int w_;
+};
+
+}  // namespace mobile::compile

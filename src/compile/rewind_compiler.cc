@@ -1,0 +1,742 @@
+#include "compile/rewind_compiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "compile/ecc_broadcast.h"
+#include "hash/fingerprint.h"
+#include "sketch/sparse_recovery.h"
+
+namespace mobile::compile {
+
+using graph::Graph;
+using graph::NodeId;
+using sim::Inbox;
+using sim::MapInbox;
+using sim::MapOutbox;
+using sim::Msg;
+using sim::NodeState;
+using sim::Outbox;
+
+namespace {
+
+// Transcript symbols: 33-bit message space plus two sentinels.
+constexpr std::uint64_t kPresentBit = 1ULL << 32;
+constexpr std::uint64_t kAbsentSym = 1ULL << 33;
+constexpr std::uint64_t kBottomSym = 1ULL << 34;  // "terminated" (padding)
+
+std::uint64_t symbolOf(bool present, std::uint64_t payload) {
+  return present ? (kPresentBit | (payload & 0xffffffffULL)) : kAbsentSym;
+}
+
+/// Outbox that discards everything (used while replaying inner rounds).
+class NullOutbox final : public Outbox {
+ public:
+  using Outbox::Outbox;
+  void to(NodeId, const Msg&) override {}
+};
+
+Msg majority(const std::vector<Msg>& copies) {
+  Msg best;
+  int bestCount = 0;
+  for (std::size_t i = 0; i < copies.size(); ++i) {
+    int count = 0;
+    for (std::size_t j = 0; j < copies.size(); ++j)
+      if (copies[j] == copies[i]) ++count;
+    if (count > bestCount) {
+      bestCount = count;
+      best = copies[i];
+    }
+  }
+  return best;
+}
+
+struct Tuple {
+  std::uint64_t m = kAbsentSym;
+  std::uint64_t r = 0;
+  std::uint64_t hash = 0;
+  std::uint64_t len = 0;
+
+  [[nodiscard]] std::uint64_t word(int i) const {
+    switch (i) {
+      case 0: return m;
+      case 1: return r;
+      case 2: return hash;
+      default: return len;
+    }
+  }
+  void setWord(int i, std::uint64_t v) {
+    switch (i) {
+      case 0: m = v; break;
+      case 1: r = v; break;
+      case 2: hash = v; break;
+      default: len = v; break;
+    }
+  }
+  [[nodiscard]] std::uint64_t chunk(int c) const {
+    return (word(c / 2) >> (32 * (c % 2))) & 0xffffffffULL;
+  }
+  void setChunk(int c, std::uint64_t v) {
+    std::uint64_t w = word(c / 2);
+    const int shift = 32 * (c % 2);
+    w &= ~(0xffffffffULL << shift);
+    w |= (v & 0xffffffffULL) << shift;
+    setWord(c / 2, w);
+  }
+};
+
+constexpr int kChunksPerTuple = 8;
+
+class RewindNode final : public NodeState {
+ public:
+  RewindNode(NodeId self, const Graph& g, util::Rng rng, sim::Algorithm inner,
+             std::shared_ptr<const PackingKnowledge> pk, int f,
+             RewindOptions opts, RewindSchedule sched,
+             std::shared_ptr<RewindShared> shared)
+      : self_(self),
+        g_(g),
+        rng_(std::move(rng)),
+        inner_(std::move(inner)),
+        pk_(std::move(pk)),
+        opts_(opts),
+        sched_(sched),
+        slots_{pk_->eta, opts.engine.effectiveRho()},
+        d_(opts.correctionCap > 0 ? opts.correctionCap : 4 * std::max(1, f)),
+        codec_(pk_->k, 8 * (opts.correctionCap > 0 ? opts.correctionCap
+                                                   : 4 * std::max(1, f)),
+               3),
+        shared_(std::move(shared)) {
+    for (const auto& nb : g_.neighbors(self_)) {
+      inTrans_[nb.node] = {};
+      outTrans_[nb.node] = {};
+    }
+  }
+
+  void send(int round, Outbox& out) override {
+    const int o = (round - 1) % sched_.roundsPerGlobal;
+    if (o == 0) startGlobalRound();
+    if (o < sched_.initRounds) {
+      for (const auto& nb : g_.neighbors(self_)) {
+        const Tuple& t = sendTuple_.at(nb.node);
+        Msg m;
+        for (int i = 0; i < 4; ++i) m.push(t.word(i));
+        out.to(nb.node, m);
+      }
+      return;
+    }
+    if (o < sched_.initRounds + sched_.correctionRounds) {
+      correctionSend(o - sched_.initRounds, out);
+      return;
+    }
+    consensusSend(o - sched_.initRounds - sched_.correctionRounds, out);
+  }
+
+  void receive(int round, const Inbox& in) override {
+    const int g = round - 1;
+    const int o = g % sched_.roundsPerGlobal;
+    if (o < sched_.initRounds) {
+      for (const auto& nb : g_.neighbors(self_))
+        initStash_[nb.node].push_back(in.from(nb.node));
+      if (o == sched_.initRounds - 1) {
+        for (auto& [nbr, copies] : initStash_) {
+          const Msg m = majority(copies);
+          copies.clear();
+          Tuple t;
+          for (int i = 0; i < 4; ++i) t.setWord(i, m.atOr(static_cast<std::size_t>(i), 0));
+          recvTuple_[nbr] = t;
+        }
+      }
+      return;
+    }
+    if (o < sched_.initRounds + sched_.correctionRounds) {
+      correctionReceive(o - sched_.initRounds, in);
+      return;
+    }
+    consensusReceive(o - sched_.initRounds - sched_.correctionRounds, in);
+    if (o == sched_.roundsPerGlobal - 1) {
+      finishGlobalRound();
+      if (round == sched_.totalRounds) finalize();
+    }
+  }
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] std::uint64_t output() const override { return output_; }
+
+ private:
+  // --- inner replay ---------------------------------------------------------
+
+  /// Replays the (deterministic) inner node over the estimated incoming
+  /// transcripts and returns its sends for round `gamma+1`.
+  [[nodiscard]] std::map<NodeId, std::uint64_t> replayNext() {
+    auto node = inner_.makeNode(self_, g_, util::Rng(0x5e9));
+    const int gamma = static_cast<int>(gammaLen());
+    for (int i = 1; i <= std::min(gamma, inner_.rounds); ++i) {
+      NullOutbox nul(g_, self_);
+      node->send(i, nul);
+      MapInbox inbox(g_, self_);
+      for (const auto& [u, trans] : inTrans_) {
+        const std::uint64_t sym = trans[static_cast<std::size_t>(i - 1)];
+        if (sym & kPresentBit) inbox.put(u, Msg::of(sym & 0xffffffffULL));
+      }
+      node->receive(i, inbox);
+    }
+    std::map<NodeId, std::uint64_t> sends;
+    if (gamma + 1 > inner_.rounds) {
+      for (const auto& nb : g_.neighbors(self_)) sends[nb.node] = kBottomSym;
+      return sends;
+    }
+    MapOutbox capture(g_, self_);
+    node->send(gamma + 1, capture);
+    for (const auto& nb : g_.neighbors(self_)) {
+      const auto it = capture.messages().find(nb.node);
+      const bool present = it != capture.messages().end() && it->second.present;
+      sends[nb.node] = symbolOf(present, present ? it->second.atOr(0, 0) : 0);
+    }
+    return sends;
+  }
+
+  [[nodiscard]] std::size_t gammaLen() const {
+    return outTrans_.empty() ? 0 : outTrans_.begin()->second.size();
+  }
+
+  void startGlobalRound() {
+    const auto sends = replayNext();
+    sendTuple_.clear();
+    recvTuple_.clear();
+    for (const auto& nb : g_.neighbors(self_)) {
+      Tuple t;
+      t.m = sends.at(nb.node);
+      t.r = rng_.next();
+      t.hash = hash::TranscriptFingerprint(t.r).hash(outTrans_.at(nb.node));
+      t.len = gammaLen();
+      sendTuple_[nb.node] = t;
+    }
+    seed_.clear();
+    accum_.clear();
+    recvShares_.assign(
+        static_cast<std::size_t>(codec_.chunks()),
+        std::vector<gf::F16>(static_cast<std::size_t>(pk_->k), gf::F16(0)));
+    dmComputed_ = false;
+    consUp_.clear();
+    consDown_.clear();
+  }
+
+  // --- correction phase (Lemma 4.2) ------------------------------------------
+
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::int64_t>>
+  correctionEntries() const {
+    std::vector<std::pair<std::uint64_t, std::int64_t>> entries;
+    for (const auto& nb : g_.neighbors(self_)) {
+      const Tuple& s = sendTuple_.at(nb.node);
+      const Tuple& r = recvTuple_.at(nb.node);
+      for (int c = 0; c < kChunksPerTuple; ++c) {
+        entries.push_back(
+            {encodeKey(self_, nb.node, static_cast<unsigned>(c), s.chunk(c)),
+             +1});
+        entries.push_back(
+            {encodeKey(nb.node, self_, static_cast<unsigned>(c), r.chunk(c)),
+             -1});
+      }
+    }
+    return entries;
+  }
+
+  [[nodiscard]] sketch::SparseRecovery buildLocalSketch(
+      std::uint64_t treeSeed) const {
+    sketch::SparseRecovery s(treeSeed, static_cast<std::size_t>(16 * d_),
+                             static_cast<std::size_t>(opts_.sketchRows));
+    for (const auto& [key, freq] : correctionEntries()) s.update(key, freq);
+    return s;
+  }
+
+  void correctionSend(int cr, Outbox& out) {
+    const int D = pk_->depthBound;
+    const int sketchRounds = slots_.blockRounds(2 * D + 1);
+    const bool inSketch = cr < sketchRounds;
+    const int r = inSketch ? cr : cr - sketchRounds;
+    const int step = slots_.stepOf(r) + 1;
+    const int slot = slots_.slotOf(r);
+    const bool isRoot = self_ == pk_->root;
+    if (isRoot && seedInit_ < globalIndex_) {
+      seedInit_ = globalIndex_;
+      treeSeed_.assign(static_cast<std::size_t>(pk_->k), 0);
+      for (int t = 0; t < pk_->k; ++t) {
+        treeSeed_[static_cast<std::size_t>(t)] = rng_.next();
+        seed_[t] = treeSeed_[static_cast<std::size_t>(t)];
+      }
+    }
+    const auto& view = pk_->view(self_);
+    for (const auto& nb : g_.neighbors(self_)) {
+      const auto it = view.edgeTrees.find(nb.node);
+      if (it == view.edgeTrees.end() ||
+          slot >= static_cast<int>(it->second.size()))
+        continue;
+      const int tree = it->second[static_cast<std::size_t>(slot)];
+      const int d = view.depth[static_cast<std::size_t>(tree)];
+      if (d < 0) continue;
+      if (inSketch) {
+        if (step <= D) {
+          if (d == step - 1 && seed_.count(tree) &&
+              view.parent[static_cast<std::size_t>(tree)] != nb.node &&
+              view.inTree(tree, nb.node))
+            out.to(nb.node, Msg::of(seed_.at(tree)));
+        } else if (d > 0 && step == 2 * D + 1 - d &&
+                   nb.node == view.parent[static_cast<std::size_t>(tree)]) {
+          sketch::SparseRecovery mine =
+              buildLocalSketch(seed_.count(tree) ? seed_.at(tree) : 0);
+          const auto acc = accum_.find(tree);
+          if (acc != accum_.end()) mine.merge(acc->second);
+          out.to(nb.node, Msg::ofWords(mine.serialize()));
+        }
+      } else {
+        // ECC: all chunks bundled in one hop message per tree.
+        if (isRoot && !dmComputed_) computeDm();
+        if (d == step - 1 && view.inTree(tree, nb.node) &&
+            view.parent[static_cast<std::size_t>(tree)] != nb.node) {
+          std::vector<std::uint64_t> words;
+          bool have = true;
+          for (int c = 0; c < codec_.chunks(); ++c) {
+            if (isRoot) {
+              words.push_back(
+                  shares_[static_cast<std::size_t>(c)][static_cast<std::size_t>(tree)]
+                      .value());
+            } else {
+              const auto fw = fwdShare_.find({tree, c});
+              if (fw == fwdShare_.end()) {
+                have = false;
+                break;
+              }
+              words.push_back(fw->second);
+            }
+          }
+          if (have) out.to(nb.node, Msg::ofWords(std::move(words)));
+        }
+      }
+    }
+  }
+
+  void correctionReceive(int cr, const Inbox& in) {
+    const int D = pk_->depthBound;
+    const int sketchRounds = slots_.blockRounds(2 * D + 1);
+    const bool inSketch = cr < sketchRounds;
+    const int r = inSketch ? cr : cr - sketchRounds;
+    const int step = slots_.stepOf(r) + 1;
+    const int rep = slots_.repOf(r);
+    const int slot = slots_.slotOf(r);
+    const auto& view = pk_->view(self_);
+    for (const auto& nb : g_.neighbors(self_)) {
+      const auto it = view.edgeTrees.find(nb.node);
+      if (it == view.edgeTrees.end() ||
+          slot >= static_cast<int>(it->second.size()))
+        continue;
+      const int tree = it->second[static_cast<std::size_t>(slot)];
+      const int d = view.depth[static_cast<std::size_t>(tree)];
+      if (d < 0) continue;
+      stash_[{tree, nb.node}].push_back(in.from(nb.node));
+      if (rep != slots_.rho - 1) continue;
+      const Msg m = majority(stash_[{tree, nb.node}]);
+      stash_.erase({tree, nb.node});
+      if (!m.present) continue;
+      if (inSketch) {
+        if (step <= D) {
+          if (d == step && nb.node == view.parent[static_cast<std::size_t>(tree)])
+            seed_[tree] = m.at(0);
+        } else if (view.inTree(tree, nb.node) &&
+                   nb.node != view.parent[static_cast<std::size_t>(tree)]) {
+          const std::uint64_t ts = seed_.count(tree) ? seed_.at(tree) : 0;
+          sketch::SparseRecovery probe(ts, static_cast<std::size_t>(16 * d_),
+                                       static_cast<std::size_t>(opts_.sketchRows));
+          if (m.size() != probe.serializedWords()) continue;
+          sketch::SparseRecovery got = sketch::SparseRecovery::deserialize(
+              ts, static_cast<std::size_t>(16 * d_),
+              static_cast<std::size_t>(opts_.sketchRows), m.words);
+          const bool isRoot = self_ == pk_->root;
+          auto acc = accum_.find(tree);
+          if (acc == accum_.end())
+            accum_.emplace(tree, std::move(got));
+          else
+            acc->second.merge(got);
+          (void)isRoot;
+        }
+      } else {
+        if (d == step && nb.node == view.parent[static_cast<std::size_t>(tree)] &&
+            m.size() == static_cast<std::size_t>(codec_.chunks())) {
+          for (int c = 0; c < codec_.chunks(); ++c) {
+            fwdShare_[{tree, c}] = m.at(static_cast<std::size_t>(c));
+            recvShares_[static_cast<std::size_t>(c)][static_cast<std::size_t>(tree)] =
+                gf::F16(static_cast<std::uint16_t>(m.at(static_cast<std::size_t>(c))));
+          }
+        }
+      }
+    }
+    if (!inSketch && step == D + 1 && rep == slots_.rho - 1 &&
+        slot == pk_->eta - 1)
+      applyCorrection();
+  }
+
+  void computeDm() {
+    dmComputed_ = true;
+    // Per tree: the merged recovery (own sketch + children accumulations).
+    std::map<std::vector<std::uint64_t>, int> votes;
+    for (int t = 0; t < pk_->k; ++t) {
+      sketch::SparseRecovery merged =
+          buildLocalSketch(treeSeed_[static_cast<std::size_t>(t)]);
+      const auto acc = accum_.find(t);
+      if (acc != accum_.end()) merged.merge(acc->second);
+      std::vector<std::uint64_t> canon;
+      const auto rec = merged.recoverAll();
+      if (rec.has_value()) {
+        for (const auto& e : *rec)
+          if (e.frequency > 0) canon.push_back(e.key);
+        std::sort(canon.begin(), canon.end());
+      } else {
+        canon.push_back(~0ULL);  // failure marker
+      }
+      ++votes[canon];
+    }
+    std::vector<std::uint64_t> winner;
+    int best = 0;
+    for (const auto& [canon, count] : votes) {
+      if (count > best) {
+        best = count;
+        winner = canon;
+      }
+    }
+    if (!winner.empty() && winner[0] == ~0ULL) winner.clear();
+    if (static_cast<int>(winner.size()) > codec_.dmCap())
+      winner.resize(static_cast<std::size_t>(codec_.dmCap()));
+    dmKeys_ = winner;
+    shares_ = codec_.encode(winner);
+  }
+
+  void applyCorrection() {
+    std::vector<std::uint64_t> dm;
+    if (self_ == pk_->root) {
+      if (!dmComputed_) computeDm();
+      dm = dmKeys_;
+    } else {
+      dm = codec_.decode(recvShares_);
+    }
+    for (const std::uint64_t key : dm) {
+      const DecodedKey dec = decodeKey(key);
+      if (dec.receiver != self_) continue;
+      const auto it = recvTuple_.find(dec.sender);
+      if (it == recvTuple_.end()) continue;
+      it->second.setChunk(static_cast<int>(dec.chunk), dec.payload);
+    }
+  }
+
+  // --- consensus phase (Rewind-If-Error) -------------------------------------
+
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> localVote() const {
+    // (GoodState(v), gamma(v)).
+    std::uint64_t good = 1;
+    for (const auto& nb : g_.neighbors(self_)) {
+      const Tuple& t = recvTuple_.at(nb.node);
+      const auto& trans = inTrans_.at(nb.node);
+      if (t.len != trans.size()) {
+        good = 0;
+        break;
+      }
+      if (hash::TranscriptFingerprint(t.r).hash(trans) != t.hash) {
+        good = 0;
+        break;
+      }
+    }
+    return {good, gammaLen()};
+  }
+
+  void consensusSend(int cr, Outbox& out) {
+    const int D = pk_->depthBound;
+    const int step = slots_.stepOf(cr) + 1;
+    const int slot = slots_.slotOf(cr);
+    const auto& view = pk_->view(self_);
+    for (const auto& nb : g_.neighbors(self_)) {
+      const auto it = view.edgeTrees.find(nb.node);
+      if (it == view.edgeTrees.end() ||
+          slot >= static_cast<int>(it->second.size()))
+        continue;
+      const int tree = it->second[static_cast<std::size_t>(slot)];
+      const int d = view.depth[static_cast<std::size_t>(tree)];
+      if (d < 0) continue;
+      if (step <= D) {
+        // Upcast: depth d sends (min good, max len) at step D - d + 1.
+        if (d > 0 && step == D - d + 1 &&
+            nb.node == view.parent[static_cast<std::size_t>(tree)]) {
+          auto [good, len] = localVote();
+          const auto up = consUp_.find(tree);
+          if (up != consUp_.end()) {
+            good = std::min(good, up->second.first);
+            len = std::max(len, up->second.second);
+          }
+          Msg m;
+          m.push(good);
+          m.push(len);
+          out.to(nb.node, m);
+        }
+      } else {
+        // Downcast: depth step - D - 1 forwards the root's verdict.
+        if (d == step - D - 1 && view.inTree(tree, nb.node) &&
+            view.parent[static_cast<std::size_t>(tree)] != nb.node) {
+          std::pair<std::uint64_t, std::uint64_t> verdict;
+          if (self_ == pk_->root) {
+            auto [good, len] = localVote();
+            const auto up = consUp_.find(tree);
+            if (up != consUp_.end()) {
+              good = std::min(good, up->second.first);
+              len = std::max(len, up->second.second);
+            }
+            verdict = {good, len};
+          } else {
+            const auto dn = consDown_.find(tree);
+            if (dn == consDown_.end()) continue;
+            verdict = dn->second;
+          }
+          Msg m;
+          m.push(verdict.first);
+          m.push(verdict.second);
+          out.to(nb.node, m);
+        }
+      }
+    }
+  }
+
+  void consensusReceive(int cr, const Inbox& in) {
+    const int D = pk_->depthBound;
+    const int step = slots_.stepOf(cr) + 1;
+    const int rep = slots_.repOf(cr);
+    const int slot = slots_.slotOf(cr);
+    const auto& view = pk_->view(self_);
+    for (const auto& nb : g_.neighbors(self_)) {
+      const auto it = view.edgeTrees.find(nb.node);
+      if (it == view.edgeTrees.end() ||
+          slot >= static_cast<int>(it->second.size()))
+        continue;
+      const int tree = it->second[static_cast<std::size_t>(slot)];
+      const int d = view.depth[static_cast<std::size_t>(tree)];
+      if (d < 0) continue;
+      stash_[{tree, nb.node}].push_back(in.from(nb.node));
+      if (rep != slots_.rho - 1) continue;
+      const Msg m = majority(stash_[{tree, nb.node}]);
+      stash_.erase({tree, nb.node});
+      if (!m.present || m.size() < 2) continue;
+      if (step <= D) {
+        // A child's aggregate.
+        if (view.inTree(tree, nb.node) &&
+            nb.node != view.parent[static_cast<std::size_t>(tree)] &&
+            d == D - step) {
+          auto& agg = consUp_[tree];
+          if (consUpInit_.insert(tree).second) {
+            agg = {m.at(0), m.at(1)};
+          } else {
+            agg.first = std::min(agg.first, m.at(0));
+            agg.second = std::max(agg.second, m.at(1));
+          }
+        }
+      } else {
+        if (nb.node == view.parent[static_cast<std::size_t>(tree)] &&
+            d == step - D)
+          consDown_[tree] = {m.at(0), m.at(1)};
+      }
+    }
+  }
+
+  void finishGlobalRound() {
+    ++globalIndex_;
+    // Majority verdict across trees.
+    std::map<std::pair<std::uint64_t, std::uint64_t>, int> votes;
+    if (self_ == pk_->root) {
+      for (int t = 0; t < pk_->k; ++t) {
+        auto [good, len] = localVote();
+        const auto up = consUp_.find(t);
+        if (up != consUp_.end()) {
+          good = std::min(good, up->second.first);
+          len = std::max(len, up->second.second);
+        }
+        ++votes[{good, len}];
+      }
+    } else {
+      for (const auto& [tree, v] : consDown_) ++votes[v];
+    }
+    std::pair<std::uint64_t, std::uint64_t> verdict{0, gammaLen()};
+    int best = 0;
+    for (const auto& [v, count] : votes) {
+      if (count > best) {
+        best = count;
+        verdict = v;
+      }
+    }
+    consUpInit_.clear();
+    // Rewind-if-error update (Section 4.1).
+    if (verdict.first == 1) {
+      for (const auto& nb : g_.neighbors(self_)) {
+        inTrans_[nb.node].push_back(recvTuple_.at(nb.node).m);
+        outTrans_[nb.node].push_back(sendTuple_.at(nb.node).m);
+      }
+    } else if (gammaLen() == verdict.second && gammaLen() > 0) {
+      for (const auto& nb : g_.neighbors(self_)) {
+        inTrans_[nb.node].pop_back();
+        outTrans_[nb.node].pop_back();
+      }
+    }
+    // Instrumentation: potential Phi (Eq. 10).
+    if (shared_ && !shared_->gamma.empty()) {
+      if (self_ == 0) {
+        shared_->curMinPrefix2 = 1L << 40;
+        shared_->curMaxLen = 0;
+        shared_->scratchInit = true;
+      }
+      for (const auto& [u, trans] : inTrans_) {
+        const auto it = shared_->gamma.find({u, self_});
+        if (it == shared_->gamma.end()) continue;
+        std::size_t pref = 0;
+        while (pref < trans.size() && pref < it->second.size() &&
+               trans[pref] == it->second[pref])
+          ++pref;
+        shared_->curMinPrefix2 =
+            std::min(shared_->curMinPrefix2, 2L * static_cast<long>(pref));
+        shared_->curMaxLen = std::max(
+            shared_->curMaxLen, static_cast<long>(trans.size()));
+      }
+      if (self_ == g_.nodeCount() - 1 && shared_->scratchInit) {
+        shared_->phi.push_back(shared_->curMinPrefix2 - shared_->curMaxLen);
+        shared_->networkGoodState.push_back(static_cast<int>(verdict.first));
+      }
+    }
+  }
+
+  void finalize() {
+    // Output: replay inner over the first `rounds` symbols of the estimated
+    // transcripts.
+    auto node = inner_.makeNode(self_, g_, util::Rng(0x5e9));
+    for (int i = 1; i <= inner_.rounds; ++i) {
+      NullOutbox nul(g_, self_);
+      node->send(i, nul);
+      MapInbox inbox(g_, self_);
+      for (const auto& [u, trans] : inTrans_) {
+        if (static_cast<std::size_t>(i - 1) >= trans.size()) continue;
+        const std::uint64_t sym = trans[static_cast<std::size_t>(i - 1)];
+        if (sym & kPresentBit) inbox.put(u, Msg::of(sym & 0xffffffffULL));
+      }
+      node->receive(i, inbox);
+    }
+    output_ = node->output();
+    done_ = true;
+  }
+
+  // --- members -----------------------------------------------------------------
+
+  NodeId self_;
+  const Graph& g_;
+  util::Rng rng_;
+  sim::Algorithm inner_;
+  std::shared_ptr<const PackingKnowledge> pk_;
+  RewindOptions opts_;
+  RewindSchedule sched_;
+  SlotSchedule slots_;
+  int d_;
+  DmCodec codec_;
+  std::shared_ptr<RewindShared> shared_;
+
+  std::map<NodeId, std::vector<std::uint64_t>> inTrans_;   // pi~(u, v)
+  std::map<NodeId, std::vector<std::uint64_t>> outTrans_;  // pi(v, u)
+  std::map<NodeId, Tuple> sendTuple_, recvTuple_;
+  std::map<NodeId, std::vector<Msg>> initStash_;
+  std::map<std::pair<int, NodeId>, std::vector<Msg>> stash_;
+
+  std::map<int, std::uint64_t> seed_;
+  std::vector<std::uint64_t> treeSeed_;
+  int seedInit_ = -1;
+  int globalIndex_ = 0;
+  std::map<int, sketch::SparseRecovery> accum_;
+  bool dmComputed_ = false;
+  std::vector<std::uint64_t> dmKeys_;
+  std::vector<std::vector<gf::F16>> shares_, recvShares_;
+  std::map<std::pair<int, int>, std::uint64_t> fwdShare_;
+
+  std::map<int, std::pair<std::uint64_t, std::uint64_t>> consUp_, consDown_;
+  std::set<int> consUpInit_;
+
+  bool done_ = false;
+  std::uint64_t output_ = 0;
+};
+
+}  // namespace
+
+RewindSchedule rewindSchedule(const PackingKnowledge& pk, int innerRounds,
+                              int f, const RewindOptions& opts) {
+  RewindSchedule s;
+  const SlotSchedule slots{pk.eta, opts.engine.effectiveRho()};
+  const int D = pk.depthBound;
+  const int d = opts.correctionCap > 0 ? opts.correctionCap : 4 * std::max(1, f);
+  const DmCodec codec(pk.k, 8 * d, 3);
+  (void)codec;
+  s.globalRounds = opts.multiplier * innerRounds;
+  s.initRounds = opts.initRepeats > 0 ? opts.initRepeats : 2 * (D + 2);
+  s.correctionRounds =
+      slots.blockRounds(2 * D + 1) + slots.blockRounds(D + 1);
+  s.consensusRounds = slots.blockRounds(2 * D + 1);
+  s.roundsPerGlobal = s.initRounds + s.correctionRounds + s.consensusRounds;
+  s.totalRounds = s.globalRounds * s.roundsPerGlobal;
+  return s;
+}
+
+sim::Algorithm compileRewind(const graph::Graph& g, const sim::Algorithm& inner,
+                             std::shared_ptr<const PackingKnowledge> pk, int f,
+                             RewindOptions opts,
+                             std::shared_ptr<RewindShared> shared) {
+  const RewindSchedule sched = rewindSchedule(*pk, inner.rounds, f, opts);
+  sim::Algorithm out;
+  out.rounds = sched.totalRounds;
+  out.congestion = 0;
+  out.makeNode = [&g, inner, pk, f, opts, sched, shared](
+                     NodeId v, const Graph&, util::Rng rng) {
+    return std::make_unique<RewindNode>(v, g, rng.split(0x4e), inner,
+                                        pk, f, opts, sched, shared);
+  };
+  return out;
+}
+
+void computeGamma(const graph::Graph& g, const sim::Algorithm& inner,
+                  std::uint64_t seed, int paddedLength, RewindShared* shared) {
+  util::Rng master(seed);
+  std::vector<std::unique_ptr<NodeState>> nodes;
+  for (NodeId v = 0; v < g.nodeCount(); ++v)
+    nodes.push_back(inner.makeNode(v, g, master.split(static_cast<std::uint64_t>(v))));
+  shared->gamma.clear();
+  for (NodeId v = 0; v < g.nodeCount(); ++v)
+    for (const auto& nb : g.neighbors(v)) shared->gamma[{v, nb.node}] = {};
+  for (int i = 1; i <= paddedLength; ++i) {
+    std::map<std::pair<NodeId, NodeId>, Msg> wire;
+    for (NodeId v = 0; v < g.nodeCount(); ++v) {
+      MapOutbox out(g, v);
+      if (i <= inner.rounds) nodes[static_cast<std::size_t>(v)]->send(i, out);
+      for (const auto& nb : g.neighbors(v)) {
+        const auto it = out.messages().find(nb.node);
+        const bool present =
+            it != out.messages().end() && it->second.present;
+        std::uint64_t sym;
+        if (i > inner.rounds)
+          sym = kBottomSym;
+        else
+          sym = symbolOf(present, present ? it->second.atOr(0, 0) : 0);
+        shared->gamma[{v, nb.node}].push_back(sym);
+        if (present) wire[{v, nb.node}] = it->second;
+      }
+    }
+    if (i <= inner.rounds) {
+      for (NodeId v = 0; v < g.nodeCount(); ++v) {
+        MapInbox in(g, v);
+        for (const auto& nb : g.neighbors(v)) {
+          const auto it = wire.find({nb.node, v});
+          if (it != wire.end()) in.put(nb.node, it->second);
+        }
+        nodes[static_cast<std::size_t>(v)]->receive(i, in);
+      }
+    }
+  }
+}
+
+}  // namespace mobile::compile

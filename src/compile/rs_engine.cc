@@ -1,0 +1,35 @@
+#include "compile/rs_engine.h"
+
+#include <algorithm>
+
+namespace mobile::compile {
+
+ContractOracle::ContractOracle(std::shared_ptr<adv::CorruptionLedger> ledger,
+                               const PackingKnowledge& pk,
+                               const graph::Graph& g)
+    : ledger_(std::move(ledger)) {
+  treeEdges_.resize(static_cast<std::size_t>(pk.k));
+  for (graph::NodeId v = 0; v < g.nodeCount(); ++v) {
+    const NodeTreeView& view = pk.view(v);
+    for (int t = 0; t < pk.k; ++t) {
+      const graph::NodeId p = view.parent[static_cast<std::size_t>(t)];
+      if (p >= 0) {
+        const graph::EdgeId e = g.edgeBetween(v, p);
+        if (e >= 0) treeEdges_[static_cast<std::size_t>(t)].insert(e);
+      }
+    }
+  }
+}
+
+long ContractOracle::corruptions(int tree, int fromRound, int toRound) const {
+  return ledger_->countInWindow(fromRound, toRound,
+                                treeEdges_[static_cast<std::size_t>(tree)]);
+}
+
+bool ContractOracle::survives(int tree, int fromRound, int toRound, int steps,
+                              int cRS) const {
+  const long threshold = std::max(1, steps / std::max(1, cRS));
+  return corruptions(tree, fromRound, toRound) < threshold;
+}
+
+}  // namespace mobile::compile

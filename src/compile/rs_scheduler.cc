@@ -1,0 +1,176 @@
+#include "compile/rs_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mobile::compile {
+
+using graph::Graph;
+using graph::NodeId;
+using sim::Inbox;
+using sim::Msg;
+using sim::NodeState;
+using sim::Outbox;
+
+namespace {
+
+Msg majority(const std::vector<Msg>& copies) {
+  Msg best;
+  int bestCount = 0;
+  for (std::size_t i = 0; i < copies.size(); ++i) {
+    int count = 0;
+    for (std::size_t j = 0; j < copies.size(); ++j)
+      if (copies[j] == copies[i]) ++count;
+    if (count > bestCount) {
+      bestCount = count;
+      best = copies[i];
+    }
+  }
+  return best;
+}
+
+class SchedNode final : public NodeState {
+ public:
+  SchedNode(NodeId self, const Graph& g, util::Rng rng,
+            std::shared_ptr<const PackingKnowledge> pk, EngineOptions engine,
+            std::shared_ptr<ScheduledBroadcastShared> shared)
+      : self_(self),
+        g_(g),
+        pk_(std::move(pk)),
+        engine_(engine),
+        slots_{pk_->eta, engine.effectiveRho()},
+        shared_(std::move(shared)) {
+    value_.assign(static_cast<std::size_t>(pk_->k), 0);
+    have_.assign(static_cast<std::size_t>(pk_->k), 0);
+    if (self_ == pk_->root) {
+      shared_->truth.assign(static_cast<std::size_t>(pk_->k), 0);
+      for (int t = 0; t < pk_->k; ++t) {
+        value_[static_cast<std::size_t>(t)] = rng.next() | 1u;
+        have_[static_cast<std::size_t>(t)] = 1;
+        shared_->truth[static_cast<std::size_t>(t)] =
+            value_[static_cast<std::size_t>(t)];
+      }
+    }
+  }
+
+  void send(int round, Outbox& out) override {
+    const int r = round - 1;
+    const int step = slots_.stepOf(r) + 1;
+    const int slot = slots_.slotOf(r);
+    if (step > pk_->depthBound) return;
+    const auto& view = pk_->view(self_);
+    for (const auto& nb : g_.neighbors(self_)) {
+      const auto it = view.edgeTrees.find(nb.node);
+      if (it == view.edgeTrees.end() ||
+          slot >= static_cast<int>(it->second.size()))
+        continue;
+      const int tree = it->second[static_cast<std::size_t>(slot)];
+      const int d = view.depth[static_cast<std::size_t>(tree)];
+      if (d != step - 1 || view.parent[static_cast<std::size_t>(tree)] == nb.node)
+        continue;
+      if (!view.inTree(tree, nb.node)) continue;
+      if (!have_[static_cast<std::size_t>(tree)]) continue;
+      out.to(nb.node, Msg::of(value_[static_cast<std::size_t>(tree)]));
+    }
+  }
+
+  void receive(int round, const Inbox& in) override {
+    const int r = round - 1;
+    const int step = slots_.stepOf(r) + 1;
+    const int rep = slots_.repOf(r);
+    const int slot = slots_.slotOf(r);
+    if (step > pk_->depthBound) return;
+    const auto& view = pk_->view(self_);
+    for (const auto& nb : g_.neighbors(self_)) {
+      const auto it = view.edgeTrees.find(nb.node);
+      if (it == view.edgeTrees.end() ||
+          slot >= static_cast<int>(it->second.size()))
+        continue;
+      const int tree = it->second[static_cast<std::size_t>(slot)];
+      const int d = view.depth[static_cast<std::size_t>(tree)];
+      if (d != step || view.parent[static_cast<std::size_t>(tree)] != nb.node)
+        continue;
+      stash_[{tree, nb.node}].push_back(in.from(nb.node));
+      if (rep == slots_.rho - 1) {
+        const Msg m = majority(stash_[{tree, nb.node}]);
+        stash_.erase({tree, nb.node});
+        if (m.present) {
+          value_[static_cast<std::size_t>(tree)] = m.at(0);
+          have_[static_cast<std::size_t>(tree)] = 1;
+        }
+      }
+    }
+    if (round == slots_.blockRounds(pk_->depthBound)) publish();
+  }
+
+  void publish() {
+    // Contract mode: replace surviving trees' values with the truth.
+    if (engine_.mode == EngineMode::Contract && shared_->oracle) {
+      for (int t = 0; t < pk_->k; ++t) {
+        if (shared_->oracle->survives(t, 1,
+                                      slots_.blockRounds(pk_->depthBound),
+                                      pk_->depthBound, engine_.cRS))
+          value_[static_cast<std::size_t>(t)] = shared_->truth[static_cast<std::size_t>(t)];
+      }
+    }
+    auto& row = shared_->received;
+    if (row.size() < static_cast<std::size_t>(g_.nodeCount()))
+      row.resize(static_cast<std::size_t>(g_.nodeCount()));
+    row[static_cast<std::size_t>(self_)] = value_;
+    done_ = true;
+  }
+
+  [[nodiscard]] bool done() const override { return done_; }
+
+ private:
+  NodeId self_;
+  const Graph& g_;
+  std::shared_ptr<const PackingKnowledge> pk_;
+  EngineOptions engine_;
+  SlotSchedule slots_;
+  std::shared_ptr<ScheduledBroadcastShared> shared_;
+  std::vector<std::uint64_t> value_;
+  std::vector<char> have_;
+  std::map<std::pair<int, NodeId>, std::vector<Msg>> stash_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+sim::Algorithm makeScheduledTreeBroadcast(
+    const graph::Graph& g, std::shared_ptr<const PackingKnowledge> pk,
+    EngineOptions engine, std::shared_ptr<ScheduledBroadcastShared> shared) {
+  if (engine.mode == EngineMode::Contract) {
+    assert(shared->ledger);
+    shared->oracle = std::make_unique<ContractOracle>(shared->ledger, *pk, g);
+  }
+  const SlotSchedule slots{pk->eta, engine.effectiveRho()};
+  sim::Algorithm a;
+  a.rounds = slots.blockRounds(pk->depthBound);
+  a.congestion = a.rounds;
+  a.makeNode = [&g, pk, engine, shared](NodeId v, const Graph&, util::Rng rng) {
+    return std::make_unique<SchedNode>(v, g, std::move(rng), pk, engine,
+                                       shared);
+  };
+  return a;
+}
+
+int countCorrectTrees(const ScheduledBroadcastShared& shared,
+                      const PackingKnowledge& pk) {
+  int correct = 0;
+  for (int t = 0; t < pk.k; ++t) {
+    bool ok = true;
+    for (const auto& nodeRow : shared.received) {
+      if (nodeRow.size() != static_cast<std::size_t>(pk.k) ||
+          nodeRow[static_cast<std::size_t>(t)] !=
+              shared.truth[static_cast<std::size_t>(t)]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace mobile::compile

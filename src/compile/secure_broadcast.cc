@@ -1,0 +1,201 @@
+#include "compile/secure_broadcast.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "compile/keypool.h"
+
+namespace mobile::compile {
+
+using graph::Graph;
+using graph::NodeId;
+using sim::Inbox;
+using sim::Msg;
+using sim::NodeState;
+using sim::Outbox;
+
+// The secret is dispersed word-at-a-time: each word runs one *chunk* =
+// [pool exchange phase][tree dispersal phase].  Chunking keeps every
+// Vandermonde extraction tiny (pool size eta * (1 + 2f) words) while the
+// per-chunk security argument is exactly Lemma A.1's: at most f edges leak
+// their chunk pads, exposing at most f * eta < k shares of that word.
+
+BroadcastCore::BroadcastCore(NodeId self, const Graph& g, util::Rng rng,
+                             std::shared_ptr<const PackingKnowledge> pk,
+                             std::vector<std::uint64_t> secret, int f)
+    : self_(self),
+      g_(g),
+      rng_(std::move(rng)),
+      pk_(std::move(pk)),
+      secret_(std::move(secret)),
+      w_(static_cast<int>(secret_.size())),
+      f_(std::max(1, f)) {
+  assert(w_ >= 1);
+  // Per chunk: eta pads per arc (one per slot), threshold t = 2 f eta.
+  poolT_ = 2 * f_ * pk_->eta;
+  exchangeRounds_ = pk_->eta + poolT_;              // per chunk
+  floodRounds_ = pk_->depthBound * pk_->eta;        // per chunk
+  haveShare_.assign(static_cast<std::size_t>(pk_->k), 0);
+  shares_.assign(static_cast<std::size_t>(pk_->k), {});
+  result_.assign(static_cast<std::size_t>(w_), 0);
+  if (self_ == pk_->root) {
+    // Root: draw k-1 random share vectors; last closes the XOR.
+    std::vector<std::uint64_t> acc = secret_;
+    for (int t = 0; t < pk_->k; ++t) {
+      std::vector<std::uint64_t> share(static_cast<std::size_t>(w_));
+      if (t + 1 < pk_->k) {
+        for (auto& x : share) x = rng_.next();
+        for (int i = 0; i < w_; ++i)
+          acc[static_cast<std::size_t>(i)] ^= share[static_cast<std::size_t>(i)];
+      } else {
+        share = acc;
+      }
+      shares_[static_cast<std::size_t>(t)] = std::move(share);
+      haveShare_[static_cast<std::size_t>(t)] = 1;
+    }
+  } else {
+    for (int t = 0; t < pk_->k; ++t)
+      shares_[static_cast<std::size_t>(t)].assign(static_cast<std::size_t>(w_), 0);
+  }
+}
+
+int BroadcastCore::keysPerArc() const { return pk_->eta; }
+
+int BroadcastCore::slotIndex(NodeId nbr, int tree) const {
+  const auto& view = pk_->view(self_);
+  const auto it = view.edgeTrees.find(nbr);
+  if (it == view.edgeTrees.end()) return -1;
+  const auto pos = std::find(it->second.begin(), it->second.end(), tree);
+  if (pos == it->second.end()) return -1;
+  return static_cast<int>(pos - it->second.begin());
+}
+
+void BroadcastCore::send(int localRound, Outbox& out) {
+  const int perChunk = exchangeRounds_ + floodRounds_;
+  const int chunk = (localRound - 1) / perChunk;
+  const int cr = (localRound - 1) % perChunk + 1;
+  if (chunk >= w_) return;
+  if (cr == 1) {
+    // Fresh pools per chunk.
+    sentRandom_.clear();
+    recvRandom_.clear();
+    sendPads_.clear();
+    recvPads_.clear();
+  }
+  if (cr <= exchangeRounds_) {
+    for (const auto& nb : g_.neighbors(self_)) {
+      const std::uint64_t x = rng_.next();
+      sentRandom_[nb.node].push_back(x);
+      out.to(nb.node, Msg::of(x));
+    }
+    return;
+  }
+  if (cr == exchangeRounds_ + 1) {
+    const KeyPool pool(keysPerArc(), poolT_, 1);
+    for (const auto& nb : g_.neighbors(self_)) {
+      sendPads_[nb.node] = pool.extract(sentRandom_[nb.node]);
+      recvPads_[nb.node] = pool.extract(recvRandom_[nb.node]);
+    }
+  }
+  const int fr = cr - exchangeRounds_ - 1;  // 0-based flood round
+  const int step = fr / pk_->eta + 1;       // 1-based depth step
+  const int slot = fr % pk_->eta;
+  const auto& view = pk_->view(self_);
+  for (const auto& nb : g_.neighbors(self_)) {
+    const auto it = view.edgeTrees.find(nb.node);
+    if (it == view.edgeTrees.end() ||
+        slot >= static_cast<int>(it->second.size()))
+      continue;
+    const int tree = it->second[static_cast<std::size_t>(slot)];
+    const int d = view.depth[static_cast<std::size_t>(tree)];
+    if (d != step - 1 || !view.inTree(tree, nb.node)) continue;
+    if (view.parent[static_cast<std::size_t>(tree)] == nb.node) continue;
+    if (!haveShare_[static_cast<std::size_t>(tree)]) continue;
+    const std::uint64_t word =
+        shares_[static_cast<std::size_t>(tree)][static_cast<std::size_t>(chunk)];
+    out.to(nb.node,
+           Msg::of(word ^ sendPads_.at(nb.node)[static_cast<std::size_t>(slot)]));
+  }
+}
+
+void BroadcastCore::receive(int localRound, const Inbox& in) {
+  const int perChunk = exchangeRounds_ + floodRounds_;
+  const int chunk = (localRound - 1) / perChunk;
+  const int cr = (localRound - 1) % perChunk + 1;
+  if (chunk >= w_) return;
+  if (cr <= exchangeRounds_) {
+    for (const auto& nb : g_.neighbors(self_)) {
+      const Msg& m = in.from(nb.node);
+      recvRandom_[nb.node].push_back(m.present ? m.at(0) : 0);
+    }
+    return;
+  }
+  const int fr = cr - exchangeRounds_ - 1;
+  const int step = fr / pk_->eta + 1;
+  const int slot = fr % pk_->eta;
+  const auto& view = pk_->view(self_);
+  for (const auto& nb : g_.neighbors(self_)) {
+    const auto it = view.edgeTrees.find(nb.node);
+    if (it == view.edgeTrees.end() ||
+        slot >= static_cast<int>(it->second.size()))
+      continue;
+    const int tree = it->second[static_cast<std::size_t>(slot)];
+    const int d = view.depth[static_cast<std::size_t>(tree)];
+    if (d != step || view.parent[static_cast<std::size_t>(tree)] != nb.node)
+      continue;
+    const Msg& m = in.from(nb.node);
+    if (!m.present) continue;
+    shares_[static_cast<std::size_t>(tree)][static_cast<std::size_t>(chunk)] =
+        m.at(0) ^ recvPads_.at(nb.node)[static_cast<std::size_t>(slot)];
+    haveShare_[static_cast<std::size_t>(tree)] = 1;
+  }
+  if (localRound == totalRounds()) {
+    result_.assign(static_cast<std::size_t>(w_), 0);
+    for (int t = 0; t < pk_->k; ++t) {
+      for (int i = 0; i < w_; ++i)
+        result_[static_cast<std::size_t>(i)] ^=
+            shares_[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+namespace {
+
+class BroadcastNode final : public NodeState {
+ public:
+  BroadcastNode(NodeId self, const Graph& g, util::Rng rng,
+                std::shared_ptr<const PackingKnowledge> pk,
+                std::vector<std::uint64_t> secret, int f)
+      : core_(self, g, std::move(rng), std::move(pk), std::move(secret), f) {}
+
+  void send(int round, Outbox& out) override {
+    if (round <= core_.totalRounds()) core_.send(round, out);
+  }
+  void receive(int round, const Inbox& in) override {
+    if (round <= core_.totalRounds()) core_.receive(round, in);
+  }
+  [[nodiscard]] std::uint64_t output() const override {
+    return core_.result().empty() ? 0 : core_.result()[0];
+  }
+
+ private:
+  BroadcastCore core_;
+};
+
+}  // namespace
+
+sim::Algorithm makeMobileSecureBroadcast(
+    const graph::Graph& g, std::shared_ptr<const PackingKnowledge> pk,
+    std::vector<std::uint64_t> secret, int f) {
+  BroadcastCore probe(pk->root, g, util::Rng(1), pk, secret, f);
+  sim::Algorithm a;
+  a.rounds = probe.totalRounds();
+  a.congestion = a.rounds;
+  a.makeNode = [&g, pk, secret, f](NodeId v, const Graph&, util::Rng rng) {
+    return std::make_unique<BroadcastNode>(v, g, std::move(rng), pk, secret,
+                                           f);
+  };
+  return a;
+}
+
+}  // namespace mobile::compile

@@ -1,0 +1,83 @@
+// f-mobile-secure broadcast (Theorem A.4, share-dispersal architecture).
+//
+// The source (the packing root) splits its secret -- W words -- into k XOR
+// shares, one per tree of a (k, DTP, eta) packing with k > f * eta.  Share
+// i floods down tree i under the Lemma 3.3 slot schedule.  Every word of
+// every hop is one-time-padded with keys from per-edge key pools
+// (Lemma A.1) established in an initial exchange phase with threshold
+// t = 2 * f * rB, so at most f edges have leaky pools.  A mobile
+// eavesdropper therefore fully observes at most f * eta < k shares and is
+// perfectly ignorant of at least one -- hence of the XOR secret.
+//
+// This realizes the paper's dispersal architecture; the fragment/landmark
+// machinery that sharpens the round bound to ~O(D + sqrt(f b n) + b) is
+// replaced by whole-tree dispersal at ~O((D + W) * eta * f) rounds
+// (DESIGN.md substitution 3); the benchmark reports the measured shape.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "compile/common.h"
+#include "sim/node.h"
+
+namespace mobile::compile {
+
+/// Reusable per-node component (embeddable at a round offset, which is how
+/// the congestion-sensitive compiler consumes it).
+class BroadcastCore {
+ public:
+  /// `secret` is only meaningful at the root (pk->root).  `f` sizes the key
+  /// pools.  All nodes must construct with identical W = secret.size().
+  BroadcastCore(graph::NodeId self, const graph::Graph& g, util::Rng rng,
+                std::shared_ptr<const PackingKnowledge> pk,
+                std::vector<std::uint64_t> secret, int f);
+
+  /// Rounds this component occupies: W chunks, each an exchange phase plus
+  /// a dispersal phase (word-at-a-time dispersal; see the .cc header).
+  [[nodiscard]] int totalRounds() const {
+    return w_ * (exchangeRounds_ + floodRounds_);
+  }
+  /// Exchange rounds of one chunk.
+  [[nodiscard]] int exchangeRounds() const { return exchangeRounds_; }
+
+  /// Drive with localRound = 1..totalRounds().
+  void send(int localRound, sim::Outbox& out);
+  void receive(int localRound, const sim::Inbox& in);
+
+  /// Reconstructed secret (valid after totalRounds()).
+  [[nodiscard]] const std::vector<std::uint64_t>& result() const {
+    return result_;
+  }
+
+ private:
+  [[nodiscard]] int keysPerArc() const;
+  [[nodiscard]] int slotIndex(graph::NodeId nbr, int tree) const;
+
+  graph::NodeId self_;
+  const graph::Graph& g_;
+  util::Rng rng_;
+  std::shared_ptr<const PackingKnowledge> pk_;
+  std::vector<std::uint64_t> secret_;
+  int w_;
+  int f_;
+  int exchangeRounds_ = 0;
+  int floodRounds_ = 0;
+  int poolT_ = 0;
+
+  std::map<graph::NodeId, std::vector<std::uint64_t>> sentRandom_;
+  std::map<graph::NodeId, std::vector<std::uint64_t>> recvRandom_;
+  std::map<graph::NodeId, std::vector<std::uint64_t>> sendPads_;
+  std::map<graph::NodeId, std::vector<std::uint64_t>> recvPads_;
+  std::vector<std::vector<std::uint64_t>> shares_;  // [tree][word]
+  std::vector<char> haveShare_;                     // root-seeded / received
+  std::vector<std::uint64_t> result_;
+};
+
+/// Standalone algorithm: every node outputs result()[0] at the end.
+[[nodiscard]] sim::Algorithm makeMobileSecureBroadcast(
+    const graph::Graph& g, std::shared_ptr<const PackingKnowledge> pk,
+    std::vector<std::uint64_t> secret, int f);
+
+}  // namespace mobile::compile

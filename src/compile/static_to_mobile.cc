@@ -1,0 +1,167 @@
+#include "compile/static_to_mobile.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "compile/keypool.h"
+
+namespace mobile::compile {
+
+using graph::Graph;
+using graph::NodeId;
+using sim::Inbox;
+using sim::MapInbox;
+using sim::MapOutbox;
+using sim::Msg;
+using sim::NodeState;
+using sim::Outbox;
+
+namespace {
+
+// Phase-2 wire format: word0 = payload ^ pad0, word1 = presenceFlag ^ pad1.
+// Two independent pad words per (round, arc) keep the one-time-pad argument
+// exact; both words of every phase-2 message are marginally uniform on good
+// edges.
+constexpr int kWordsPerRound = 2;
+
+class MobileSecureNode final : public NodeState {
+ public:
+  MobileSecureNode(NodeId self, const Graph& g, util::Rng rng,
+                   std::unique_ptr<NodeState> inner, int r, int t)
+      : self_(self),
+        g_(g),
+        rng_(std::move(rng)),
+        inner_(std::move(inner)),
+        pool_(r, t, kWordsPerRound),
+        r_(r),
+        ell_(r + t) {
+    for (const auto& nb : g_.neighbors(self_)) {
+      sentRandom_[nb.node] = {};
+      recvRandom_[nb.node] = {};
+    }
+  }
+
+  void send(int round, Outbox& out) override {
+    if (round <= ell_) {
+      // Phase 1: fresh uniform words to every neighbor.
+      for (const auto& nb : g_.neighbors(self_)) {
+        Msg m;
+        for (int w = 0; w < kWordsPerRound; ++w) {
+          const std::uint64_t rw = rng_.next();
+          sentRandom_[nb.node].push_back(rw);
+          m.push(rw);
+        }
+        out.to(nb.node, m);
+      }
+      return;
+    }
+    const int i = round - ell_;  // simulated round of A
+    if (i > r_) return;
+    if (i == 1) deriveKeys();
+    // Capture A's round-i sends, mask with K_i, transmit on every edge so
+    // traffic analysis learns nothing from message presence.
+    MapOutbox capture(g_, self_);
+    inner_->send(i, capture);
+    for (const auto& nb : g_.neighbors(self_)) {
+      const auto it = capture.messages().find(nb.node);
+      const bool real =
+          it != capture.messages().end() && it->second.present;
+      const std::uint64_t payload =
+          real ? it->second.atOr(0, 0) : rng_.next();
+      const std::uint64_t pad0 = keyWord(sendKeys_, nb.node, i, 0);
+      const std::uint64_t pad1 = keyWord(sendKeys_, nb.node, i, 1);
+      Msg m;
+      m.push(payload ^ pad0);
+      m.push((real ? 1u : 0u) ^ pad1);
+      out.to(nb.node, m);
+    }
+  }
+
+  void receive(int round, const Inbox& in) override {
+    if (round <= ell_) {
+      for (const auto& nb : g_.neighbors(self_)) {
+        const Msg& m = in.from(nb.node);
+        for (int w = 0; w < kWordsPerRound; ++w)
+          recvRandom_[nb.node].push_back(
+              m.present ? m.atOr(static_cast<std::size_t>(w), 0) : 0);
+      }
+      return;
+    }
+    const int i = round - ell_;
+    if (i > r_) return;
+    MapInbox deliver(g_, self_);
+    for (const auto& nb : g_.neighbors(self_)) {
+      const Msg& m = in.from(nb.node);
+      if (!m.present) continue;
+      const std::uint64_t pad0 = keyWord(recvKeys_, nb.node, i, 0);
+      const std::uint64_t pad1 = keyWord(recvKeys_, nb.node, i, 1);
+      const bool real = ((m.atOr(1, 0) ^ pad1) & 1u) != 0;
+      if (real) deliver.put(nb.node, Msg::of(m.at(0) ^ pad0));
+    }
+    inner_->receive(i, deliver);
+  }
+
+  [[nodiscard]] std::uint64_t output() const override {
+    return inner_->output();
+  }
+
+ private:
+  void deriveKeys() {
+    // K_i(u,v) derives from the words u *sent* to v; both endpoints know
+    // them (u chose them, v received them -- the eavesdropper is passive).
+    for (const auto& nb : g_.neighbors(self_)) {
+      sendKeys_[nb.node] = pool_.extract(sentRandom_[nb.node]);
+      recvKeys_[nb.node] = pool_.extract(recvRandom_[nb.node]);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t keyWord(
+      const std::map<NodeId, std::vector<std::uint64_t>>& keys, NodeId nb,
+      int simRound, int word) const {
+    return keys.at(nb)[static_cast<std::size_t>((simRound - 1) *
+                                                    kWordsPerRound +
+                                                word)];
+  }
+
+  NodeId self_;
+  const Graph& g_;
+  util::Rng rng_;
+  std::unique_ptr<NodeState> inner_;
+  KeyPool pool_;
+  int r_;
+  int ell_;
+  std::map<NodeId, std::vector<std::uint64_t>> sentRandom_;
+  std::map<NodeId, std::vector<std::uint64_t>> recvRandom_;
+  std::map<NodeId, std::vector<std::uint64_t>> sendKeys_;
+  std::map<NodeId, std::vector<std::uint64_t>> recvKeys_;
+};
+
+}  // namespace
+
+sim::Algorithm compileStaticToMobile(const graph::Graph& g,
+                                     const sim::Algorithm& inner, int t,
+                                     StaticToMobileStats* stats, int staticF) {
+  const int r = inner.rounds;
+  if (stats != nullptr) {
+    stats->exchangeRounds = r + t;
+    stats->totalRounds = 2 * r + t;
+    // Theorem 1.2: f' = floor(f (t+1) / (r+t)); the integrality argument
+    // gives f' = f outright once t >= 2fr.
+    const int byRatio =
+        static_cast<int>((static_cast<long>(staticF) * (t + 1)) / (r + t));
+    stats->mobileF = (t >= 2 * staticF * r) ? std::max(staticF, byRatio)
+                                            : byRatio;
+  }
+  sim::Algorithm out;
+  out.rounds = 2 * r + t;
+  out.congestion = out.rounds;
+  out.makeNode = [&g, inner, r, t](NodeId v, const Graph&, util::Rng rng) {
+    auto innerNode = inner.makeNode(v, g, rng.split(0x1217));
+    return std::make_unique<MobileSecureNode>(v, g, rng.split(0x0522),
+                                              std::move(innerNode), r, t);
+  };
+  return out;
+}
+
+}  // namespace mobile::compile

@@ -1,0 +1,18 @@
+#include "gf/bitextract.h"
+
+#include <cassert>
+
+namespace mobile::gf {
+
+BitExtractor::BitExtractor(std::size_t n, std::size_t t)
+    : n_(n), t_(t), m_(n, n - t) {
+  assert(t < n);
+  assert(n < kGroupOrder && "Theorem 2.1 requires n <= 2^k - 1");
+}
+
+std::vector<F16> BitExtractor::extract(const std::vector<F16>& x) const {
+  assert(x.size() == n_);
+  return m_.applyTransposed(x);
+}
+
+}  // namespace mobile::gf

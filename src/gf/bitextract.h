@@ -1,0 +1,38 @@
+// The Bit-Extraction problem / (t,k)-resilient functions (Theorem 2.1,
+// Chor, Goldreich, Hastad, Friedman, Rudich, Smolensky 1985).
+//
+// Given n field elements of which the adversary knows at most t (the other
+// n - t being uniform and unknown), the Vandermonde map
+//     y_i = sum_j M_{ji} x_j,   M an n x (n-t) Vandermonde matrix,
+// produces n - t field elements that are perfectly uniform and independent
+// of the adversary's view.  This is the engine behind the key pools of
+// Lemma A.1 and the static-to-mobile compiler of Theorem 1.2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gf/gf16.h"
+#include "gf/vandermonde.h"
+
+namespace mobile::gf {
+
+class BitExtractor {
+ public:
+  /// Extractor for n input symbols of which at most t are adversary-known.
+  /// Produces m = n - t output symbols.
+  BitExtractor(std::size_t n, std::size_t t);
+
+  [[nodiscard]] std::size_t inputs() const { return n_; }
+  [[nodiscard]] std::size_t outputs() const { return n_ - t_; }
+
+  /// Applies the extraction map.  x.size() must equal inputs().
+  [[nodiscard]] std::vector<F16> extract(const std::vector<F16>& x) const;
+
+ private:
+  std::size_t n_;
+  std::size_t t_;
+  Vandermonde m_;
+};
+
+}  // namespace mobile::gf

@@ -1,0 +1,52 @@
+// Arithmetic in the Mersenne prime field F_p, p = 2^61 - 1.
+//
+// Used by the bounded-independence hash families (Lemma 1.11) and the sketch
+// fingerprints (Theorem 3.4): polynomial hashing over a prime field gives the
+// exact c-wise-independence guarantees the paper's constructions consume.
+#pragma once
+
+#include <cstdint>
+
+namespace mobile::gf {
+
+inline constexpr std::uint64_t kP61 = (1ULL << 61) - 1;
+
+/// Reduces a 64-bit value mod 2^61 - 1.
+[[nodiscard]] constexpr std::uint64_t reduce61(std::uint64_t x) {
+  x = (x & kP61) + (x >> 61);
+  if (x >= kP61) x -= kP61;
+  return x;
+}
+
+[[nodiscard]] constexpr std::uint64_t addP61(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a + b;  // < 2^62, safe
+  return reduce61(s);
+}
+
+[[nodiscard]] constexpr std::uint64_t subP61(std::uint64_t a, std::uint64_t b) {
+  return addP61(a, kP61 - (b % kP61));
+}
+
+[[nodiscard]] inline std::uint64_t mulP61(std::uint64_t a, std::uint64_t b) {
+  const __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  const std::uint64_t lo = static_cast<std::uint64_t>(prod) & kP61;
+  const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+  return reduce61(lo + hi);
+}
+
+[[nodiscard]] inline std::uint64_t powP61(std::uint64_t base, std::uint64_t e) {
+  std::uint64_t r = 1;
+  base %= kP61;
+  while (e > 0) {
+    if (e & 1) r = mulP61(r, base);
+    base = mulP61(base, base);
+    e >>= 1;
+  }
+  return r;
+}
+
+[[nodiscard]] inline std::uint64_t invP61(std::uint64_t a) {
+  return powP61(a, kP61 - 2);  // Fermat; a != 0
+}
+
+}  // namespace mobile::gf

@@ -1,0 +1,112 @@
+#include "gf/gf16.h"
+
+#include <array>
+#include <cassert>
+
+namespace mobile::gf {
+
+namespace {
+
+// x^16 + x^12 + x^3 + x + 1.
+constexpr std::uint32_t kPrimitivePoly = 0x1100B;
+
+struct Tables {
+  std::array<std::uint16_t, kFieldSize> exp{};   // exp[i] = x^i (i < q-1)
+  std::array<std::uint32_t, kFieldSize> log{};   // log[x^i] = i; log[0] unused
+
+  Tables() {
+    std::uint32_t v = 1;
+    for (std::uint32_t i = 0; i < kGroupOrder; ++i) {
+      exp[i] = static_cast<std::uint16_t>(v);
+      log[v] = i;
+      v <<= 1;
+      if (v & kFieldSize) v ^= kPrimitivePoly;
+    }
+    exp[kGroupOrder] = exp[0];  // guard for wrap-free lookups
+    log[0] = 0;                 // sentinel, never consulted for zero operands
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+F16 operator*(F16 a, F16 b) {
+  if (a.isZero() || b.isZero()) return F16(0);
+  const auto& t = tables();
+  std::uint32_t s = t.log[a.value()] + t.log[b.value()];
+  if (s >= kGroupOrder) s -= kGroupOrder;
+  return F16(t.exp[s]);
+}
+
+F16 operator/(F16 a, F16 b) {
+  assert(!b.isZero() && "division by zero in GF(2^16)");
+  if (a.isZero() || b.isZero()) return F16(0);
+  const auto& t = tables();
+  std::uint32_t s = t.log[a.value()] + kGroupOrder - t.log[b.value()];
+  if (s >= kGroupOrder) s -= kGroupOrder;
+  return F16(t.exp[s]);
+}
+
+F16 F16::inverse() const {
+  if (isZero()) {
+    assert(false && "inverse of zero in GF(2^16)");
+    return F16(0);
+  }
+  const auto& t = tables();
+  return F16(t.exp[(kGroupOrder - t.log[v_]) % kGroupOrder]);
+}
+
+F16 F16::pow(std::uint64_t e) const {
+  if (isZero()) return e == 0 ? F16(1) : F16(0);
+  const auto& t = tables();
+  const std::uint64_t le = (static_cast<std::uint64_t>(t.log[v_]) * (e % kGroupOrder)) % kGroupOrder;
+  return F16(t.exp[le]);
+}
+
+F16 F16::alpha(std::uint32_t i) { return F16(tables().exp[i % kGroupOrder]); }
+
+std::vector<F16> packBytes(const std::vector<std::uint8_t>& bytes) {
+  std::vector<F16> out;
+  out.reserve((bytes.size() + 1) / 2);
+  for (std::size_t i = 0; i < bytes.size(); i += 2) {
+    std::uint16_t v = bytes[i];
+    if (i + 1 < bytes.size()) v |= static_cast<std::uint16_t>(bytes[i + 1]) << 8;
+    out.push_back(F16(v));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> unpackBytes(const std::vector<F16>& syms,
+                                      std::size_t byteCount) {
+  std::vector<std::uint8_t> out;
+  out.reserve(byteCount);
+  for (const F16 s : syms) {
+    if (out.size() < byteCount)
+      out.push_back(static_cast<std::uint8_t>(s.value() & 0xff));
+    if (out.size() < byteCount)
+      out.push_back(static_cast<std::uint8_t>(s.value() >> 8));
+  }
+  out.resize(byteCount);
+  return out;
+}
+
+std::vector<F16> packWord(std::uint64_t w) {
+  std::vector<F16> out(4);
+  for (int i = 0; i < 4; ++i)
+    out[static_cast<std::size_t>(i)] =
+        F16(static_cast<std::uint16_t>(w >> (16 * i)));
+  return out;
+}
+
+std::uint64_t unpackWord(const std::vector<F16>& syms) {
+  std::uint64_t w = 0;
+  for (std::size_t i = 0; i < syms.size() && i < 4; ++i)
+    w |= static_cast<std::uint64_t>(syms[i].value()) << (16 * i);
+  return w;
+}
+
+}  // namespace mobile::gf

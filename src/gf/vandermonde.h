@@ -1,0 +1,55 @@
+// Vandermonde matrices over GF(2^16) (Definition 1 of the paper).
+//
+// An (n x m) Vandermonde matrix with rows indexed by distinct non-zero field
+// elements alpha_1..alpha_n has entries A_{ij} = alpha_i^{j-1}.  Any m rows
+// are linearly independent, which is exactly the property the bit-extraction
+// theorem (Theorem 2.1) and the Reed-Solomon code (Theorem 1.8) rely on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gf/gf16.h"
+
+namespace mobile::gf {
+
+class Vandermonde {
+ public:
+  /// Builds the n x m matrix with evaluation points alpha(1..n) (powers of
+  /// the field generator, hence distinct and non-zero for n < q-1).
+  Vandermonde(std::size_t n, std::size_t m);
+
+  [[nodiscard]] std::size_t rows() const { return n_; }
+  [[nodiscard]] std::size_t cols() const { return m_; }
+  [[nodiscard]] F16 at(std::size_t i, std::size_t j) const {
+    return cells_[i * m_ + j];
+  }
+
+  /// y = x^T * A  (x has n entries, result has m entries).  This is the
+  /// extraction map of Theorem 2.1: y_i = sum_j M_{ji} x_j.
+  [[nodiscard]] std::vector<F16> applyTransposed(
+      const std::vector<F16>& x) const;
+
+ private:
+  std::size_t n_;
+  std::size_t m_;
+  std::vector<F16> cells_;
+};
+
+/// Solves a square linear system A z = b over GF(2^16) by Gaussian
+/// elimination.  Returns empty vector if A is singular.  Used by the
+/// Berlekamp-Welch Reed-Solomon decoder and by tests that verify Vandermonde
+/// row-independence directly.
+[[nodiscard]] std::vector<F16> solveLinear(std::vector<std::vector<F16>> a,
+                                           std::vector<F16> b);
+
+/// Solves a possibly rectangular / rank-deficient system A z = b, returning
+/// *some* solution with free variables set to zero, or empty if the system
+/// is inconsistent.  Berlekamp-Welch needs this: with fewer errors than the
+/// decoding radius the error-locator system is underdetermined, and any
+/// solution recovers the message polynomial.
+[[nodiscard]] std::vector<F16> solveLinearAny(std::vector<std::vector<F16>> a,
+                                              std::vector<F16> b,
+                                              std::size_t unknowns);
+
+}  // namespace mobile::gf

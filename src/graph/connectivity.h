@@ -1,0 +1,44 @@
+// Connectivity machinery: unit-capacity max-flow (edge-disjoint path
+// extraction), global edge connectivity, (k, D_TP)-connectivity probing
+// (Definition of Chuzhoy-Parter-Tan used in Section 3.1), and a spectral
+// conductance estimate for the expander experiments (Theorem 1.7).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mobile::graph {
+
+/// Maximum number of edge-disjoint s-t paths (unit-capacity max-flow,
+/// BFS augmentation), optionally capped at `cap` for early exit.
+[[nodiscard]] int edgeDisjointPathCount(const Graph& g, NodeId s, NodeId t,
+                                        int cap = -1);
+
+/// Extracts up to `k` edge-disjoint s-t paths (each a node sequence
+/// s..t).  Returns fewer if connectivity is lower.
+[[nodiscard]] std::vector<std::vector<NodeId>> edgeDisjointPaths(
+    const Graph& g, NodeId s, NodeId t, int k);
+
+/// Global edge connectivity lambda(G) = min over t != 0 of maxflow(0, t).
+[[nodiscard]] int edgeConnectivity(const Graph& g);
+
+/// True if every node pair is joined by >= k edge-disjoint paths each of
+/// length <= dtp -- the (k, D_TP)-connectivity of Section 3.1.  Exact check
+/// is NP-hard in general; this uses the standard sufficient certificate of
+/// iteratively extracting shortest edge-disjoint paths, so `true` is a
+/// certificate while `false` may be conservative.  Good enough to *select*
+/// experiment instances.
+[[nodiscard]] bool probeKDtpConnected(const Graph& g, int k, int dtp);
+
+/// Conductance lower-bound estimate via the spectral gap of the lazy random
+/// walk (power iteration): phi >= gap / 2 by Cheeger.  Returns the Cheeger
+/// lower bound.
+[[nodiscard]] double spectralConductanceLowerBound(const Graph& g,
+                                                   int iterations = 400);
+
+/// Exact conductance by cut enumeration -- exponential, only for n <= 20
+/// (used in tests to validate the spectral estimate).
+[[nodiscard]] double exactConductanceSmall(const Graph& g);
+
+}  // namespace mobile::graph

@@ -1,0 +1,108 @@
+#include "graph/cycle_cover.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "graph/connectivity.h"
+
+namespace mobile::graph {
+
+namespace {
+
+/// Set of edge ids used by a path collection.
+std::set<EdgeId> pathEdgeSet(const Graph& g,
+                             const std::vector<std::vector<NodeId>>& paths) {
+  std::set<EdgeId> s;
+  for (const auto& p : paths)
+    for (std::size_t i = 0; i + 1 < p.size(); ++i)
+      s.insert(g.edgeBetween(p[i], p[i + 1]));
+  return s;
+}
+
+}  // namespace
+
+CycleCover buildCycleCover(const Graph& g, int k) {
+  CycleCover cc;
+  const std::size_t m = static_cast<std::size_t>(g.edgeCount());
+  cc.paths.resize(m);
+  std::vector<int> edgeUse(m, 0);
+
+  for (EdgeId e = 0; e < g.edgeCount(); ++e) {
+    const Edge& ed = g.edge(e);
+    auto paths = edgeDisjointPaths(g, ed.u, ed.v, k);
+    // Put the trivial path first if max-flow produced it; otherwise ensure
+    // it's present (it always exists since (u,v) is an edge).
+    bool hasTrivial = false;
+    for (const auto& p : paths)
+      if (p.size() == 2) hasTrivial = true;
+    if (!hasTrivial && static_cast<int>(paths.size()) < k)
+      paths.push_back({ed.u, ed.v});
+    cc.paths[static_cast<std::size_t>(e)] = std::move(paths);
+    for (const auto& p : cc.paths[static_cast<std::size_t>(e)]) {
+      cc.dilation = std::max(cc.dilation, static_cast<int>(p.size()) - 1);
+      for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        ++edgeUse[static_cast<std::size_t>(g.edgeBetween(p[i], p[i + 1]))];
+    }
+  }
+  for (const int u : edgeUse) cc.congestion = std::max(cc.congestion, u);
+
+  // Good cycle coloring: greedy over the path-conflict graph (vertices are
+  // edges; adjacency = any shared path edge).
+  std::vector<std::set<EdgeId>> usage(m);
+  for (EdgeId e = 0; e < g.edgeCount(); ++e)
+    usage[static_cast<std::size_t>(e)] =
+        pathEdgeSet(g, cc.paths[static_cast<std::size_t>(e)]);
+  // inverted index: which cover-edges use edge x
+  std::vector<std::vector<EdgeId>> usedBy(m);
+  for (EdgeId e = 0; e < g.edgeCount(); ++e)
+    for (const EdgeId x : usage[static_cast<std::size_t>(e)])
+      usedBy[static_cast<std::size_t>(x)].push_back(e);
+
+  cc.color.assign(m, -1);
+  for (EdgeId e = 0; e < g.edgeCount(); ++e) {
+    std::set<int> taken;
+    for (const EdgeId x : usage[static_cast<std::size_t>(e)])
+      for (const EdgeId other : usedBy[static_cast<std::size_t>(x)])
+        if (other != e && cc.color[static_cast<std::size_t>(other)] >= 0)
+          taken.insert(cc.color[static_cast<std::size_t>(other)]);
+    int c = 0;
+    while (taken.count(c)) ++c;
+    cc.color[static_cast<std::size_t>(e)] = c;
+    cc.colorCount = std::max(cc.colorCount, c + 1);
+  }
+  return cc;
+}
+
+bool validateCycleCover(const Graph& g, const CycleCover& cc, int k) {
+  if (cc.paths.size() != static_cast<std::size_t>(g.edgeCount())) return false;
+  for (EdgeId e = 0; e < g.edgeCount(); ++e) {
+    const Edge& ed = g.edge(e);
+    const auto& paths = cc.paths[static_cast<std::size_t>(e)];
+    if (static_cast<int>(paths.size()) < k) return false;
+    std::set<EdgeId> seen;
+    for (const auto& p : paths) {
+      if (p.empty() || p.front() != ed.u || p.back() != ed.v) return false;
+      for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+        const EdgeId x = g.edgeBetween(p[i], p[i + 1]);
+        if (x < 0) return false;         // not a graph edge
+        if (seen.count(x)) return false;  // not edge-disjoint
+        seen.insert(x);
+      }
+    }
+  }
+  // Coloring: same-color cover-edges must have disjoint path edge sets.
+  for (EdgeId e1 = 0; e1 < g.edgeCount(); ++e1) {
+    const auto s1 = pathEdgeSet(g, cc.paths[static_cast<std::size_t>(e1)]);
+    for (EdgeId e2 = e1 + 1; e2 < g.edgeCount(); ++e2) {
+      if (cc.color[static_cast<std::size_t>(e1)] !=
+          cc.color[static_cast<std::size_t>(e2)])
+        continue;
+      for (const EdgeId x : pathEdgeSet(g, cc.paths[static_cast<std::size_t>(e2)]))
+        if (s1.count(x)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mobile::graph

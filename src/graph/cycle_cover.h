@@ -1,0 +1,47 @@
+// Fault-tolerant (low-congestion) cycle covers -- Definition 8 and
+// Lemma 5.2 of the paper.
+//
+// An f-FT (cong, dilation) cycle cover supplies, for every graph edge
+// (u, v), a collection P(u,v) of k edge-disjoint u-v paths (one of which may
+// be the edge itself); `dilation` bounds path length and `cong` bounds how
+// many paths share any one edge.  A *good cycle coloring* (Lemma 5.2)
+// colors edges so that same-colored edges have pairwise edge-disjoint path
+// collections, enabling the per-color-class scheduling of Theorem 5.5.
+//
+// Construction here runs in the trusted preprocessing phase (matching
+// Theorem 1.4's assumption (ii)): paths via unit max-flow, coloring via
+// greedy over the path-conflict graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mobile::graph {
+
+struct CycleCover {
+  /// paths[e] = k edge-disjoint u-v paths for edge e = (u, v), as node
+  /// sequences u..v.
+  std::vector<std::vector<std::vector<NodeId>>> paths;
+  std::vector<int> color;  // good cycle coloring, per edge
+  int colorCount = 0;
+  int dilation = 0;  // max path length (edges)
+  int congestion = 0;  // max paths through one edge
+
+  [[nodiscard]] const std::vector<std::vector<NodeId>>& pathsFor(
+      EdgeId e) const {
+    return paths[static_cast<std::size_t>(e)];
+  }
+};
+
+/// Builds a k-FT cycle cover (k paths per edge including the edge itself).
+/// Requires edge connectivity >= k.  Returns paths, measured cong/dilation,
+/// and a good cycle coloring.
+[[nodiscard]] CycleCover buildCycleCover(const Graph& g, int k);
+
+/// Validates the defining properties; used by tests.
+[[nodiscard]] bool validateCycleCover(const Graph& g, const CycleCover& cc,
+                                      int k);
+
+}  // namespace mobile::graph

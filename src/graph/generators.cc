@@ -1,0 +1,144 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace mobile::graph {
+
+Graph clique(NodeId n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.addEdge(u, v);
+  return g;
+}
+
+Graph cycle(NodeId n) {
+  assert(n >= 3);
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) g.addEdge(v, (v + 1) % n);
+  return g;
+}
+
+Graph hypercube(int dim) {
+  const NodeId n = static_cast<NodeId>(1) << dim;
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v)
+    for (int b = 0; b < dim; ++b) {
+      const NodeId u = v ^ (static_cast<NodeId>(1) << b);
+      if (v < u) g.addEdge(v, u);
+    }
+  return g;
+}
+
+Graph torus(NodeId rows, NodeId cols) {
+  assert(rows >= 3 && cols >= 3);
+  Graph g(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r)
+    for (NodeId c = 0; c < cols; ++c) {
+      const NodeId v = id(r, c);
+      const NodeId right = id(r, (c + 1) % cols);
+      const NodeId down = id((r + 1) % rows, c);
+      if (!g.hasEdge(v, right)) g.addEdge(v, right);
+      if (!g.hasEdge(v, down)) g.addEdge(v, down);
+    }
+  return g;
+}
+
+Graph randomRegular(NodeId n, int d, util::Rng& rng) {
+  assert(d >= 2 && d % 2 == 0 && "even degree required");
+  assert(n > d);
+  // Start from the deterministic d-regular circulant and randomize by
+  // degree-preserving double-edge swaps (mixes toward the uniform model and
+  // never gets stuck, unlike rejection sampling which is hopeless for dense
+  // d).  Keep the result simple; redo the pass if connectivity breaks.
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    std::set<std::pair<NodeId, NodeId>> edges;
+    for (NodeId v = 0; v < n; ++v)
+      for (int s = 1; s <= d / 2; ++s) {
+        NodeId a = v, b = static_cast<NodeId>((v + s) % n);
+        if (a > b) std::swap(a, b);
+        edges.insert({a, b});
+      }
+    std::vector<std::pair<NodeId, NodeId>> list(edges.begin(), edges.end());
+    const std::size_t swaps = list.size() * 20;
+    for (std::size_t i = 0; i < swaps; ++i) {
+      const std::size_t x = static_cast<std::size_t>(rng.below(list.size()));
+      const std::size_t y = static_cast<std::size_t>(rng.below(list.size()));
+      if (x == y) continue;
+      auto [a, b] = list[x];
+      auto [c, e] = list[y];
+      // Swap to (a,c),(b,e); maintain simplicity.
+      if (rng.chance(0.5)) std::swap(c, e);
+      NodeId p1 = a, q1 = c, p2 = b, q2 = e;
+      if (p1 > q1) std::swap(p1, q1);
+      if (p2 > q2) std::swap(p2, q2);
+      if (p1 == q1 || p2 == q2) continue;
+      if (edges.count({p1, q1}) || edges.count({p2, q2})) continue;
+      edges.erase({std::min(a, b), std::max(a, b)});
+      edges.erase({std::min(c, e), std::max(c, e)});
+      edges.insert({p1, q1});
+      edges.insert({p2, q2});
+      list[x] = {p1, q1};
+      list[y] = {p2, q2};
+    }
+    Graph g(n);
+    for (const auto& [a, b] : edges) g.addEdge(a, b);
+    if (g.isConnected()) return g;
+  }
+  throw std::runtime_error("randomRegular: failed to build connected graph");
+}
+
+Graph erdosRenyiConnected(NodeId n, double p, util::Rng& rng) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    Graph g(n);
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v)
+        if (rng.chance(p)) g.addEdge(u, v);
+    if (g.isConnected()) return g;
+  }
+  throw std::runtime_error("erdosRenyiConnected: raise p");
+}
+
+Graph cycleWithChords(NodeId n, int chords, util::Rng& rng) {
+  Graph g = cycle(n);
+  int added = 0;
+  int guard = 0;
+  while (added < chords && guard++ < 100 * chords) {
+    const NodeId u = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    const NodeId v = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (u == v || g.hasEdge(u, v)) continue;
+    g.addEdge(u, v);
+    ++added;
+  }
+  return g;
+}
+
+Graph dumbbell(NodeId n, int bridges) {
+  assert(n >= 4 && n % 2 == 0);
+  const NodeId half = n / 2;
+  assert(bridges <= half);
+  Graph g(n);
+  for (NodeId u = 0; u < half; ++u)
+    for (NodeId v = u + 1; v < half; ++v) g.addEdge(u, v);
+  for (NodeId u = half; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.addEdge(u, v);
+  for (int b = 0; b < bridges; ++b)
+    g.addEdge(static_cast<NodeId>(b), static_cast<NodeId>(half + b));
+  return g;
+}
+
+Graph circulant(NodeId n, int span) {
+  assert(span >= 1 && 2 * span < n);
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v)
+    for (int s = 1; s <= span; ++s) {
+      const NodeId u = static_cast<NodeId>((v + s) % n);
+      if (!g.hasEdge(v, u)) g.addEdge(v, u);
+    }
+  return g;
+}
+
+}  // namespace mobile::graph

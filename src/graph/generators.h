@@ -1,0 +1,47 @@
+// Graph generators for the experiment families of the paper:
+// cliques (CONGESTED CLIQUE, Theorems 1.6/4.11), random regular expanders
+// (Theorems 1.7/4.12), and assorted well-connected topologies for the
+// general-graph compilers (Theorems 1.2-1.5).
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace mobile::graph {
+
+/// Complete graph K_n.
+[[nodiscard]] Graph clique(NodeId n);
+
+/// Cycle C_n.
+[[nodiscard]] Graph cycle(NodeId n);
+
+/// d-dimensional hypercube (n = 2^dim nodes).
+[[nodiscard]] Graph hypercube(int dim);
+
+/// rows x cols torus grid (4-regular, diameter ~ (rows+cols)/2).
+[[nodiscard]] Graph torus(NodeId rows, NodeId cols);
+
+/// Random d-regular simple graph via the permutation-union model (union of
+/// d/2 random Hamiltonian cycles for even d); retries until simple.  These
+/// are expanders w.h.p. -- conductance is checked by the callers that need
+/// it (see connectivity.h::spectralConductance).
+[[nodiscard]] Graph randomRegular(NodeId n, int d, util::Rng& rng);
+
+/// Erdos-Renyi G(n, p), resampled until connected (caller should pick p
+/// comfortably above the connectivity threshold).
+[[nodiscard]] Graph erdosRenyiConnected(NodeId n, double p, util::Rng& rng);
+
+/// Cycle with h random chords added -- cheap family of 2-connected sparse
+/// graphs with tunable diameter.
+[[nodiscard]] Graph cycleWithChords(NodeId n, int chords, util::Rng& rng);
+
+/// Two cliques of size n/2 joined by `bridges` disjoint edges; the classic
+/// low-conductance counterexample used as a negative control for the
+/// expander compilers.
+[[nodiscard]] Graph dumbbell(NodeId n, int bridges);
+
+/// K_{2f+2}-style highly connected small graph: circulant graph where node i
+/// connects to i +/- 1..span (mod n); edge connectivity = 2*span.
+[[nodiscard]] Graph circulant(NodeId n, int span);
+
+}  // namespace mobile::graph

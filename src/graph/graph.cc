@@ -1,0 +1,133 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace mobile::graph {
+
+EdgeId Graph::addEdge(NodeId u, NodeId v) {
+  assert(u != v && "self loops not supported");
+  assert(u >= 0 && v >= 0 && u < nodeCount() && v < nodeCount());
+  assert(!hasEdge(u, v) && "parallel edges not supported");
+  if (u > v) std::swap(u, v);
+  const EdgeId id = edgeCount();
+  edges_.push_back({u, v});
+  adjacency_[static_cast<std::size_t>(u)].push_back({v, id});
+  adjacency_[static_cast<std::size_t>(v)].push_back({u, id});
+  return id;
+}
+
+bool Graph::hasEdge(NodeId u, NodeId v) const {
+  return edgeBetween(u, v) >= 0;
+}
+
+EdgeId Graph::edgeBetween(NodeId u, NodeId v) const {
+  if (u < 0 || v < 0 || u >= nodeCount() || v >= nodeCount()) return -1;
+  const auto& adjU = adjacency_[static_cast<std::size_t>(u)];
+  const auto& adjV = adjacency_[static_cast<std::size_t>(v)];
+  const auto& smaller = adjU.size() <= adjV.size() ? adjU : adjV;
+  const NodeId other = adjU.size() <= adjV.size() ? v : u;
+  for (const auto& nb : smaller)
+    if (nb.node == other) return nb.edge;
+  return -1;
+}
+
+std::size_t Graph::minDegree() const {
+  std::size_t d = static_cast<std::size_t>(-1);
+  for (NodeId v = 0; v < nodeCount(); ++v) d = std::min(d, degree(v));
+  return nodeCount() == 0 ? 0 : d;
+}
+
+ArcId Graph::arcFromTo(NodeId from, NodeId to) const {
+  const EdgeId e = edgeBetween(from, to);
+  assert(e >= 0);
+  const Edge& ed = edge(e);
+  return (ed.u == from) ? 2 * e : 2 * e + 1;
+}
+
+bool Graph::isConnected() const {
+  if (nodeCount() == 0) return true;
+  std::vector<char> seen(static_cast<std::size_t>(nodeCount()), 0);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = 1;
+  NodeId visited = 1;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const auto& nb : neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(nb.node)]) {
+        seen[static_cast<std::size_t>(nb.node)] = 1;
+        ++visited;
+        q.push(nb.node);
+      }
+    }
+  }
+  return visited == nodeCount();
+}
+
+std::string Graph::describe() const {
+  std::ostringstream os;
+  os << "Graph(n=" << nodeCount() << ", m=" << edgeCount() << ")";
+  return os.str();
+}
+
+int RootedTree::height() const {
+  int h = 0;
+  for (const int d : depth) h = std::max(h, d);
+  return h;
+}
+
+bool RootedTree::spanning(NodeId n) const {
+  if (static_cast<NodeId>(depth.size()) != n) return false;
+  for (const int d : depth)
+    if (d < 0) return false;
+  return true;
+}
+
+std::vector<EdgeId> RootedTree::edges() const {
+  std::vector<EdgeId> out;
+  for (std::size_t v = 0; v < parentEdge.size(); ++v)
+    if (parentEdge[v] >= 0) out.push_back(parentEdge[v]);
+  return out;
+}
+
+RootedTree RootedTree::fromParents(NodeId root,
+                                   const std::vector<NodeId>& parent,
+                                   const Graph& g) {
+  RootedTree t;
+  t.root = root;
+  t.parent = parent;
+  const std::size_t n = parent.size();
+  t.parentEdge.assign(n, -1);
+  t.children.assign(n, {});
+  t.depth.assign(n, -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (parent[v] >= 0) {
+      t.parentEdge[v] = g.edgeBetween(static_cast<NodeId>(v), parent[v]);
+      assert(t.parentEdge[v] >= 0 && "parent must be a graph neighbor");
+      t.children[static_cast<std::size_t>(parent[v])].push_back(
+          static_cast<NodeId>(v));
+    }
+  }
+  // Depths via BFS from the root over parent links (iterative to avoid
+  // recursion limits on path-like trees).
+  std::queue<NodeId> q;
+  if (root >= 0) {
+    t.depth[static_cast<std::size_t>(root)] = 0;
+    q.push(root);
+  }
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const NodeId c : t.children[static_cast<std::size_t>(v)]) {
+      t.depth[static_cast<std::size_t>(c)] =
+          t.depth[static_cast<std::size_t>(v)] + 1;
+      q.push(c);
+    }
+  }
+  return t;
+}
+
+}  // namespace mobile::graph

@@ -1,0 +1,105 @@
+// Undirected simple graph with stable edge and arc indexing.
+//
+// The simulator addresses communication by *arcs* (directed edge sides):
+// edge e = (u, v) with u < v contributes arc 2e (u -> v) and arc 2e+1
+// (v -> u).  Adversaries corrupt *edges* (both arcs), matching the paper's
+// model where controlling an edge exposes/alters both directions.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mobile::graph {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+using ArcId = std::int32_t;
+
+struct Edge {
+  NodeId u = -1;  // u < v invariant
+  NodeId v = -1;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(NodeId n) : adjacency_(static_cast<std::size_t>(n)) {}
+
+  [[nodiscard]] NodeId nodeCount() const {
+    return static_cast<NodeId>(adjacency_.size());
+  }
+  [[nodiscard]] EdgeId edgeCount() const {
+    return static_cast<EdgeId>(edges_.size());
+  }
+  [[nodiscard]] ArcId arcCount() const { return 2 * edgeCount(); }
+
+  /// Adds edge (u, v); returns its id.  Parallel edges and loops rejected.
+  EdgeId addEdge(NodeId u, NodeId v);
+
+  [[nodiscard]] bool hasEdge(NodeId u, NodeId v) const;
+  [[nodiscard]] EdgeId edgeBetween(NodeId u, NodeId v) const;  // -1 if none
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  struct Neighbor {
+    NodeId node;
+    EdgeId edge;
+  };
+  [[nodiscard]] const std::vector<Neighbor>& neighbors(NodeId v) const {
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    return adjacency_[static_cast<std::size_t>(v)].size();
+  }
+  [[nodiscard]] std::size_t minDegree() const;
+
+  // --- arc helpers -------------------------------------------------------
+  [[nodiscard]] ArcId arcFromTo(NodeId from, NodeId to) const;
+  [[nodiscard]] NodeId arcSource(ArcId a) const {
+    const Edge& e = edge(a / 2);
+    return (a % 2 == 0) ? e.u : e.v;
+  }
+  [[nodiscard]] NodeId arcTarget(ArcId a) const {
+    const Edge& e = edge(a / 2);
+    return (a % 2 == 0) ? e.v : e.u;
+  }
+  [[nodiscard]] static ArcId reverseArc(ArcId a) { return a ^ 1; }
+  [[nodiscard]] static EdgeId arcEdge(ArcId a) { return a / 2; }
+
+  [[nodiscard]] bool isConnected() const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+};
+
+/// A spanning (or partial) tree over a graph, rooted, with distributed
+/// knowledge exactly as the paper assumes: each node knows its parent and
+/// children per tree (Definition 6 context).
+struct RootedTree {
+  NodeId root = -1;
+  std::vector<NodeId> parent;           // parent[v]; root's parent = -1
+  std::vector<EdgeId> parentEdge;       // edge id towards parent; -1 at root
+  std::vector<std::vector<NodeId>> children;
+  std::vector<int> depth;               // depth[root] = 0; -1 if not in tree
+
+  [[nodiscard]] bool contains(NodeId v) const {
+    return v >= 0 && static_cast<std::size_t>(v) < depth.size() &&
+           depth[static_cast<std::size_t>(v)] >= 0;
+  }
+  [[nodiscard]] int height() const;
+  [[nodiscard]] bool spanning(NodeId n) const;
+  [[nodiscard]] std::vector<EdgeId> edges() const;
+
+  /// Builds the rooted tree from a parent array (parent[root] == -1).
+  static RootedTree fromParents(NodeId root, const std::vector<NodeId>& parent,
+                                const Graph& g);
+};
+
+}  // namespace mobile::graph

@@ -1,0 +1,36 @@
+#include "hash/cwise.h"
+
+#include <cassert>
+
+#include "gf/fp61.h"
+
+namespace mobile::hash {
+
+CwiseHash::CwiseHash(std::size_t c, unsigned outputBits, util::Rng& rng)
+    : outputBits_(outputBits) {
+  assert(c >= 1);
+  assert(outputBits >= 1 && outputBits <= 61);
+  coeff_.reserve(c);
+  for (std::size_t i = 0; i < c; ++i) coeff_.push_back(rng.next() % gf::kP61);
+  mask_ = (outputBits == 61) ? gf::kP61 : ((1ULL << outputBits) - 1);
+}
+
+CwiseHash::CwiseHash(std::vector<std::uint64_t> coefficients,
+                     unsigned outputBits)
+    : coeff_(std::move(coefficients)), outputBits_(outputBits) {
+  assert(!coeff_.empty());
+  assert(outputBits >= 1 && outputBits <= 61);
+  for (auto& c : coeff_) c %= gf::kP61;
+  mask_ = (outputBits == 61) ? gf::kP61 : ((1ULL << outputBits) - 1);
+}
+
+std::uint64_t CwiseHash::operator()(std::uint64_t x) const {
+  const std::uint64_t xr = x % gf::kP61;
+  // Horner evaluation of the degree-(c-1) polynomial.
+  std::uint64_t acc = 0;
+  for (std::size_t i = coeff_.size(); i-- > 0;)
+    acc = gf::addP61(gf::mulP61(acc, xr), coeff_[i]);
+  return acc & mask_;
+}
+
+}  // namespace mobile::hash

@@ -1,0 +1,51 @@
+// Families of bounded-independence hash functions (Definition 4 /
+// Lemma 1.11 of the paper).
+//
+// A degree-(c-1) polynomial over the prime field F_p (p = 2^61 - 1) with
+// uniformly random coefficients is a c-wise independent function
+// [N] -> F_p; composing with a range reduction gives the {0,1}^a -> {0,1}^b
+// families the paper consumes.  Choosing a function costs c field elements
+// of seed, exactly matching the c * max(a, b) random-bit bound.
+//
+// Used by:
+//  * Theorem 1.3 (congestion-sensitive compiler): a 4*f*cong-wise family
+//    masks all non-empty messages so they are jointly uniform to the
+//    adversary.
+//  * Section 4 (rewind-if-error): pairwise-independent transcript hashes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mobile::hash {
+
+class CwiseHash {
+ public:
+  /// Draws a random member of the c-wise independent family, using `rng` as
+  /// the seed source.  `outputBits` <= 61.
+  CwiseHash(std::size_t c, unsigned outputBits, util::Rng& rng);
+
+  /// Constructs from explicit coefficients (for distributing a shared seed
+  /// through the network, as the compiler of Theorem 1.3 does).
+  CwiseHash(std::vector<std::uint64_t> coefficients, unsigned outputBits);
+
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t x) const;
+
+  [[nodiscard]] std::size_t independence() const { return coeff_.size(); }
+  [[nodiscard]] const std::vector<std::uint64_t>& coefficients() const {
+    return coeff_;
+  }
+  [[nodiscard]] unsigned outputBits() const { return outputBits_; }
+
+  /// Seed size in 64-bit words for a given independence level.
+  [[nodiscard]] static std::size_t seedWords(std::size_t c) { return c; }
+
+ private:
+  std::vector<std::uint64_t> coeff_;  // degree c-1 polynomial, low-to-high
+  unsigned outputBits_;
+  std::uint64_t mask_;
+};
+
+}  // namespace mobile::hash

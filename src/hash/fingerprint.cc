@@ -1,0 +1,36 @@
+#include "hash/fingerprint.h"
+
+#include "gf/fp61.h"
+#include "util/rng.h"
+
+namespace mobile::hash {
+
+TranscriptFingerprint::TranscriptFingerprint(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t st = seed;
+  // Derive (z, shift) from the seed; z != 0 so distinct-length transcripts
+  // of zeros still separate.
+  point_ = util::splitmix64(st) % (gf::kP61 - 1) + 1;
+  shift_ = util::splitmix64(st) % gf::kP61;
+}
+
+std::uint64_t TranscriptFingerprint::hash(
+    const std::vector<std::uint64_t>& transcript) const {
+  std::uint64_t acc = shift_;
+  std::uint64_t zp = point_;
+  for (const std::uint64_t s : transcript) {
+    // Map symbols to non-zero residues so zero symbols still contribute
+    // (otherwise appending 0s would not change the fingerprint).
+    acc = gf::addP61(acc, gf::mulP61(s % (gf::kP61 - 1) + 1, zp));
+    zp = gf::mulP61(zp, point_);
+  }
+  return acc;
+}
+
+std::uint64_t TranscriptFingerprint::extend(std::uint64_t acc,
+                                            std::size_t length,
+                                            std::uint64_t symbol) const {
+  const std::uint64_t zp = gf::powP61(point_, length + 1);
+  return gf::addP61(acc, gf::mulP61(symbol % (gf::kP61 - 1) + 1, zp));
+}
+
+}  // namespace mobile::hash

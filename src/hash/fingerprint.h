@@ -1,0 +1,38 @@
+// Pairwise-independent transcript fingerprints for the rewind-if-error
+// compiler (Section 4).
+//
+// Each global-round, a sender u draws a fresh random seed R_i(u,v) and
+// transmits h_{R}(pi_i(u,v)) alongside its message; the receiver compares
+// against h_{R}(~pi_i(u,v)).  Because the transcripts are fixed *before* R
+// is drawn, unequal transcripts collide with probability <= L/2^tau
+// (footnote 19 of the paper).  We fingerprint a string s_1..s_L as a
+// polynomial evaluation sum s_j * z^j mod p at a random point z derived from
+// the seed -- the standard Rabin-Karp / polynomial identity fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mobile::hash {
+
+class TranscriptFingerprint {
+ public:
+  explicit TranscriptFingerprint(std::uint64_t seed);
+
+  /// Fingerprints the sequence of symbols.
+  [[nodiscard]] std::uint64_t hash(const std::vector<std::uint64_t>& transcript) const;
+
+  /// Incremental form: extend a running fingerprint with one more symbol.
+  /// hash(t + [s]) == extend(hash(t), |t|, s).
+  [[nodiscard]] std::uint64_t extend(std::uint64_t acc, std::size_t length,
+                                     std::uint64_t symbol) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t point_;   // evaluation point z
+  std::uint64_t shift_;   // additive pairwise-independence term
+};
+
+}  // namespace mobile::hash

@@ -1,0 +1,127 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mobile::sim {
+
+Network::Network(const graph::Graph& g, const Algorithm& algo,
+                 std::uint64_t seed, adv::Adversary* adversary,
+                 NetworkOptions opts,
+                 std::shared_ptr<adv::CorruptionLedger> ledger)
+    : g_(g),
+      opts_(opts),
+      adversary_(adversary),
+      ledger_(ledger ? std::move(ledger)
+                     : std::make_shared<adv::CorruptionLedger>()),
+      arcs_(static_cast<std::size_t>(g.arcCount())),
+      edgeTraffic_(static_cast<std::size_t>(g.edgeCount()), 0) {
+  util::Rng master(seed);
+  // Nodes receive independently split, private randomness streams.
+  nodes_.reserve(static_cast<std::size_t>(g.nodeCount()));
+  for (graph::NodeId v = 0; v < g.nodeCount(); ++v) {
+    nodes_.push_back(
+        algo.makeNode(v, g, master.split(static_cast<std::uint64_t>(v))));
+  }
+}
+
+bool Network::allDone() const {
+  for (const auto& n : nodes_)
+    if (!n->done()) return false;
+  return true;
+}
+
+void Network::step() {
+  ++round_;
+  // Clear arc buffers.
+  for (auto& m : arcs_) m = Msg{};
+
+  // Send phase.
+  for (graph::NodeId v = 0; v < g_.nodeCount(); ++v) {
+    ArcOutbox out(g_, v, arcs_);
+    nodes_[static_cast<std::size_t>(v)]->send(round_, out);
+  }
+
+  // Bandwidth enforcement + traffic accounting.
+  for (graph::ArcId a = 0; a < g_.arcCount(); ++a) {
+    const Msg& m = arcs_[static_cast<std::size_t>(a)];
+    if (!m.present) continue;
+    if (m.size() > opts_.maxWordsPerMsg)
+      throw std::logic_error("message exceeds bandwidth cap");
+    maxWords_ = std::max(maxWords_, m.size());
+    ++messagesSent_;
+    ++edgeTraffic_[static_cast<std::size_t>(graph::Graph::arcEdge(a))];
+  }
+
+  // Adversary phase.
+  ledger_->beginRound(round_);
+  if (adversary_ != nullptr) {
+    const std::vector<Msg> before = arcs_;
+    adv::TamperView view(g_, adversary_->spec(), round_, arcs_,
+                         ledger_->total());
+    adversary_->act(view);
+    // Ground truth: which edges actually changed.
+    for (graph::EdgeId e = 0; e < g_.edgeCount(); ++e) {
+      const std::size_t a0 = static_cast<std::size_t>(2 * e);
+      const std::size_t a1 = a0 + 1;
+      if (before[a0] != arcs_[a0] || before[a1] != arcs_[a1]) {
+        if (!view.touched().count(e))
+          throw std::logic_error("message changed outside TamperView");
+        ledger_->record(e);
+      }
+    }
+  }
+
+  // Receive phase.
+  for (graph::NodeId v = 0; v < g_.nodeCount(); ++v) {
+    ArcInbox in(g_, v, arcs_);
+    nodes_[static_cast<std::size_t>(v)]->receive(round_, in);
+  }
+}
+
+int Network::run(int maxRounds) {
+  int executed = 0;
+  while (executed < maxRounds) {
+    if (opts_.stopWhenAllDone && allDone()) break;
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+void Network::runExact(int count) {
+  for (int i = 0; i < count; ++i) step();
+}
+
+std::vector<std::uint64_t> Network::outputs() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n->output());
+  return out;
+}
+
+std::uint64_t Network::outputsFingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& n : nodes_) {
+    h ^= n->output();
+    h *= 0x100000001b3ULL;
+    h ^= h >> 31;
+  }
+  return h;
+}
+
+long Network::maxEdgeCongestion() const {
+  long best = 0;
+  for (const long t : edgeTraffic_) best = std::max(best, t);
+  return best;
+}
+
+std::uint64_t faultFreeFingerprint(const graph::Graph& g,
+                                   const Algorithm& algo, std::uint64_t seed) {
+  Network net(g, algo, seed);
+  net.run(algo.rounds);
+  return net.outputsFingerprint();
+}
+
+}  // namespace mobile::sim

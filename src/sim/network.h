@@ -1,0 +1,89 @@
+// The synchronous CONGEST network engine.
+//
+// Drives the round schedule
+//     all nodes send(i)  ->  adversary acts  ->  all nodes receive(i)
+// with deterministic seeding, message-size enforcement, per-edge congestion
+// accounting, and ground-truth corruption recording (the diff between the
+// pre- and post-adversary arc buffers feeds the CorruptionLedger).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adv/adversary.h"
+#include "graph/graph.h"
+#include "sim/message.h"
+#include "sim/node.h"
+
+namespace mobile::sim {
+
+struct NetworkOptions {
+  /// Per-message word cap (base CONGEST = 1 word; compiled protocols bundle
+  /// wider logical messages -- experiments report normalized round counts
+  /// via maxWordsObserved()).
+  std::size_t maxWordsPerMsg = 1u << 16;
+  /// Stop early once all nodes report done().
+  bool stopWhenAllDone = true;
+};
+
+class Network {
+ public:
+  /// `ledger` may be shared with protocol objects that implement ideal
+  /// functionalities (see compile/rs_engine.h); pass nullptr to keep a
+  /// private one.
+  Network(const graph::Graph& g, const Algorithm& algo, std::uint64_t seed,
+          adv::Adversary* adversary = nullptr, NetworkOptions opts = {},
+          std::shared_ptr<adv::CorruptionLedger> ledger = nullptr);
+
+  /// Runs up to maxRounds; returns rounds actually executed.
+  int run(int maxRounds);
+
+  /// Runs exactly `count` further rounds (ignores done()).
+  void runExact(int count);
+
+  [[nodiscard]] NodeState& node(graph::NodeId v) {
+    return *nodes_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] const NodeState& node(graph::NodeId v) const {
+    return *nodes_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] const graph::Graph& graph() const { return g_; }
+  [[nodiscard]] int roundsExecuted() const { return round_; }
+  [[nodiscard]] bool allDone() const;
+
+  /// All node outputs, index = node id.
+  [[nodiscard]] std::vector<std::uint64_t> outputs() const;
+  /// Order-stable digest of outputs for equivalence checks.
+  [[nodiscard]] std::uint64_t outputsFingerprint() const;
+
+  // --- accounting ---------------------------------------------------------
+  [[nodiscard]] long messagesSent() const { return messagesSent_; }
+  [[nodiscard]] long maxEdgeCongestion() const;
+  /// Widest message observed (in 64-bit words); normalized CONGEST rounds
+  /// = roundsExecuted() * maxWordsObserved().
+  [[nodiscard]] std::size_t maxWordsObserved() const { return maxWords_; }
+  [[nodiscard]] const adv::CorruptionLedger& ledger() const { return *ledger_; }
+
+ private:
+  void step();
+
+  const graph::Graph& g_;
+  NetworkOptions opts_;
+  adv::Adversary* adversary_;
+  std::shared_ptr<adv::CorruptionLedger> ledger_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::vector<Msg> arcs_;
+  std::vector<long> edgeTraffic_;
+  long messagesSent_ = 0;
+  std::size_t maxWords_ = 0;
+  int round_ = 0;
+};
+
+/// Runs `algo` fault-free on `g` for its declared round count and returns
+/// the outputs fingerprint -- the reference for compiled-equivalence tests.
+[[nodiscard]] std::uint64_t faultFreeFingerprint(const graph::Graph& g,
+                                                 const Algorithm& algo,
+                                                 std::uint64_t seed);
+
+}  // namespace mobile::sim

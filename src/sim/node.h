@@ -1,0 +1,159 @@
+// Per-node protocol state machines and their I/O surfaces.
+//
+// The simulator drives every node through the synchronous CONGEST schedule:
+//   for round i = 1..R:  all send(i)  ->  adversary acts  ->  all receive(i)
+// KT1 knowledge: a node addresses neighbors by their NodeId (it knows the
+// ids of its neighbors); topology beyond that is only available where the
+// paper grants it (supported-CONGEST / preprocessing outputs).
+//
+// Outbox/Inbox are interfaces: the Network binds them to the arc buffers,
+// while compilers bind them to capture/injection maps so an inner
+// algorithm's rounds can be simulated, corrected and re-delivered -- the
+// round-by-round simulation pattern every compiler in the paper uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/message.h"
+#include "util/rng.h"
+
+namespace mobile::sim {
+
+using graph::ArcId;
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+/// Write surface handed to a node during send().
+class Outbox {
+ public:
+  Outbox(const Graph& g, NodeId self) : g_(g), self_(self) {}
+  virtual ~Outbox() = default;
+
+  /// Sends `m` to neighbor `to` this round (overwrites earlier send).
+  virtual void to(NodeId to, const Msg& m) = 0;
+
+  /// Broadcast to every neighbor.
+  void toAll(const Msg& m) {
+    for (const auto& nb : g_.neighbors(self_)) to(nb.node, m);
+  }
+
+  [[nodiscard]] NodeId self() const { return self_; }
+
+ protected:
+  const Graph& g_;
+  NodeId self_;
+};
+
+/// Read surface handed to a node during receive().
+class Inbox {
+ public:
+  Inbox(const Graph& g, NodeId self) : g_(g), self_(self) {}
+  virtual ~Inbox() = default;
+
+  /// Message that arrived from neighbor `from` (not present if none).
+  [[nodiscard]] virtual const Msg& from(NodeId from) const = 0;
+
+  [[nodiscard]] NodeId self() const { return self_; }
+
+ protected:
+  const Graph& g_;
+  NodeId self_;
+};
+
+/// Network-backed outbox writing into the shared arc buffer.
+class ArcOutbox final : public Outbox {
+ public:
+  ArcOutbox(const Graph& g, NodeId self, std::vector<Msg>& arcs)
+      : Outbox(g, self), arcs_(arcs) {}
+  void to(NodeId to, const Msg& m) override {
+    arcs_[static_cast<std::size_t>(g_.arcFromTo(self_, to))] = m;
+  }
+
+ private:
+  std::vector<Msg>& arcs_;
+};
+
+/// Network-backed inbox reading the shared arc buffer.
+class ArcInbox final : public Inbox {
+ public:
+  ArcInbox(const Graph& g, NodeId self, const std::vector<Msg>& arcs)
+      : Inbox(g, self), arcs_(arcs) {}
+  [[nodiscard]] const Msg& from(NodeId from) const override {
+    return arcs_[static_cast<std::size_t>(g_.arcFromTo(from, self_))];
+  }
+
+ private:
+  const std::vector<Msg>& arcs_;
+};
+
+/// Capture outbox: collects an inner algorithm's sends into a map
+/// (neighbor -> Msg) so a compiler can mask / sketch / correct them.
+class MapOutbox final : public Outbox {
+ public:
+  MapOutbox(const Graph& g, NodeId self) : Outbox(g, self) {}
+  void to(NodeId to, const Msg& m) override { msgs_[to] = m; }
+  [[nodiscard]] const std::map<NodeId, Msg>& messages() const { return msgs_; }
+
+ private:
+  std::map<NodeId, Msg> msgs_;
+};
+
+/// Injection inbox: delivers compiler-reconstructed messages to the inner
+/// algorithm.
+class MapInbox final : public Inbox {
+ public:
+  MapInbox(const Graph& g, NodeId self) : Inbox(g, self) {}
+  void put(NodeId from, Msg m) { msgs_[from] = std::move(m); }
+  [[nodiscard]] const Msg& from(NodeId from) const override {
+    const auto it = msgs_.find(from);
+    return it != msgs_.end() ? it->second : absent_;
+  }
+
+ private:
+  std::map<NodeId, Msg> msgs_;
+  Msg absent_;
+};
+
+/// A node-local protocol instance.
+class NodeState {
+ public:
+  virtual ~NodeState() = default;
+
+  /// Emits this round's outgoing messages.  `round` is 1-based.
+  virtual void send(int round, Outbox& out) = 0;
+
+  /// Consumes this round's (possibly adversarially altered) inbox.
+  virtual void receive(int round, const Inbox& in) = 0;
+
+  /// Optional early-termination signal; the network stops when all nodes
+  /// report done (or the round limit is hit).
+  [[nodiscard]] virtual bool done() const { return false; }
+
+  /// Canonical output for equivalence checking between fault-free and
+  /// compiled executions.
+  [[nodiscard]] virtual std::uint64_t output() const { return 0; }
+};
+
+/// Per-node protocol factory: an "algorithm" in the paper's sense.
+struct Algorithm {
+  /// Builds node v's state machine.  `rng` is node-private randomness the
+  /// adversary never sees.
+  std::function<std::unique_ptr<NodeState>(NodeId v, const Graph& g,
+                                           util::Rng rng)>
+      makeNode;
+
+  /// Declared fault-free round count r (compilers consume this).
+  int rounds = 0;
+
+  /// Declared congestion bound `cong` (max messages per edge over the whole
+  /// run); 0 = unknown/unbounded.
+  int congestion = 0;
+};
+
+}  // namespace mobile::sim

@@ -1,0 +1,107 @@
+#include "sketch/l0sampler.h"
+
+#include <cassert>
+
+#include "gf/fp61.h"
+#include "util/rng.h"
+
+namespace mobile::sketch {
+
+L0Sampler::L0Sampler(std::uint64_t seed, unsigned universeBits,
+                     unsigned levels)
+    : seed_(seed), levels_(levels == 0 ? universeBits + 1 : levels) {
+  std::uint64_t st = seed;
+  hashA_ = util::splitmix64(st) % gf::kP61;
+  if (hashA_ == 0) hashA_ = 1;
+  hashB_ = util::splitmix64(st) % gf::kP61;
+  bucketA_ = util::splitmix64(st) % gf::kP61;
+  if (bucketA_ == 0) bucketA_ = 1;
+  bucketB_ = util::splitmix64(st) % gf::kP61;
+  cells_.reserve(static_cast<std::size_t>(levels_) * kBucketsPerLevel);
+  for (unsigned l = 0; l < levels_; ++l) {
+    for (std::size_t b = 0; b < kBucketsPerLevel; ++b) {
+      cells_.emplace_back(util::splitmix64(st));
+    }
+  }
+}
+
+unsigned L0Sampler::levelOf(std::uint64_t key) const {
+  // Pairwise-independent hash to [p); the level is the number of leading
+  // zero bits of the 60-bit truncation (geometric distribution).
+  const std::uint64_t h =
+      gf::addP61(gf::mulP61(hashA_, key % gf::kP61), hashB_) &
+      ((1ULL << 60) - 1);
+  unsigned level = 0;
+  std::uint64_t mask = 1ULL << 59;
+  while (level + 1 < levels_ && (h & mask) == 0) {
+    ++level;
+    mask >>= 1;
+  }
+  return level;
+}
+
+std::size_t L0Sampler::bucketOf(std::uint64_t key, unsigned level) const {
+  const std::uint64_t h = gf::addP61(
+      gf::mulP61(bucketA_, gf::addP61(key % gf::kP61, level)), bucketB_);
+  return static_cast<std::size_t>(h % kBucketsPerLevel);
+}
+
+void L0Sampler::update(std::uint64_t key, std::int64_t freq) {
+  assert(key < gf::kP61);
+  const unsigned topLevel = levelOf(key);
+  // Key participates in all levels <= its sampled level (nested sampling).
+  for (unsigned l = 0; l <= topLevel && l < levels_; ++l) {
+    const std::size_t b = bucketOf(key, l);
+    cells_[static_cast<std::size_t>(l) * kBucketsPerLevel + b].update(key,
+                                                                      freq);
+  }
+}
+
+void L0Sampler::merge(const L0Sampler& other) {
+  assert(seed_ == other.seed_ && "mergeable only with identical randomness");
+  assert(cells_.size() == other.cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    cells_[i].merge(other.cells_[i]);
+}
+
+std::optional<Recovered> L0Sampler::query() const {
+  // Scan from the sparsest (deepest) level down; the deepest recoverable
+  // cell holds a near-uniform survivor of the support.
+  for (unsigned l = levels_; l-- > 0;) {
+    for (std::size_t b = 0; b < kBucketsPerLevel; ++b) {
+      const auto& cell =
+          cells_[static_cast<std::size_t>(l) * kBucketsPerLevel + b];
+      Recovered r;
+      if (cell.recover(r)) return r;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t L0Sampler::serializedWords() const { return cells_.size() * 3; }
+
+std::vector<std::uint64_t> L0Sampler::serialize() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(serializedWords());
+  for (const auto& c : cells_) {
+    out.push_back(c.word(0));
+    out.push_back(c.word(1));
+    out.push_back(c.word(2));
+  }
+  return out;
+}
+
+L0Sampler L0Sampler::deserialize(std::uint64_t seed, unsigned universeBits,
+                                 unsigned levels,
+                                 const std::vector<std::uint64_t>& words) {
+  L0Sampler s(seed, universeBits, levels);
+  assert(words.size() == s.serializedWords());
+  for (std::size_t i = 0; i < s.cells_.size(); ++i) {
+    const std::uint64_t z = s.cells_[i].word(3);  // z comes from the seed
+    s.cells_[i] = OneSparseCell::fromWords(words[i * 3], words[i * 3 + 1],
+                                           words[i * 3 + 2], z);
+  }
+  return s;
+}
+
+}  // namespace mobile::sketch

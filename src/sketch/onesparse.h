@@ -1,0 +1,101 @@
+// 1-sparse recovery cell: the building block of the l0-sampling and sparse
+// recovery sketches (Theorem 3.4, Cormode-Firmani framework).
+//
+// A cell summarizes a turnstile stream of (key, +/-freq) updates with three
+// registers:  count = sum f_i,  keySum = sum f_i * key_i (mod p),  and
+// fingerprint = sum f_i * z^{key_i} (mod p) for a random point z.  If the
+// surviving multiset is exactly {(key, c)} then key = keySum / count and the
+// fingerprint check passes; any other multiset fails the check with
+// probability >= 1 - U/p over z.  Keys must be < p = 2^61 - 1.
+#pragma once
+
+#include <cstdint>
+
+#include "gf/fp61.h"
+
+namespace mobile::sketch {
+
+struct Recovered {
+  std::uint64_t key = 0;
+  std::int64_t frequency = 0;
+};
+
+class OneSparseCell {
+ public:
+  OneSparseCell() = default;
+  explicit OneSparseCell(std::uint64_t z) : z_(z % (gf::kP61 - 2) + 2) {}
+
+  void update(std::uint64_t key, std::int64_t freq) {
+    count_ += freq;
+    const std::uint64_t k = key % gf::kP61;
+    if (freq >= 0) {
+      keySum_ = gf::addP61(keySum_, gf::mulP61(static_cast<std::uint64_t>(freq) % gf::kP61, k));
+      fp_ = gf::addP61(fp_, gf::mulP61(static_cast<std::uint64_t>(freq) % gf::kP61,
+                                       gf::powP61(z_, key)));
+    } else {
+      const std::uint64_t f = static_cast<std::uint64_t>(-freq) % gf::kP61;
+      keySum_ = gf::subP61(keySum_, gf::mulP61(f, k));
+      fp_ = gf::subP61(fp_, gf::mulP61(f, gf::powP61(z_, key)));
+    }
+  }
+
+  void merge(const OneSparseCell& other) {
+    count_ += other.count_;
+    keySum_ = gf::addP61(keySum_, other.keySum_);
+    fp_ = gf::addP61(fp_, other.fp_);
+  }
+
+  [[nodiscard]] bool empty() const {
+    return count_ == 0 && keySum_ == 0 && fp_ == 0;
+  }
+
+  /// Attempts 1-sparse recovery.  Returns true and fills `out` when the cell
+  /// provably (w.h.p.) contains exactly one distinct key.
+  [[nodiscard]] bool recover(Recovered& out) const {
+    if (count_ == 0) return false;
+    const bool neg = count_ < 0;
+    const std::uint64_t mag =
+        static_cast<std::uint64_t>(neg ? -count_ : count_) % gf::kP61;
+    if (mag == 0) return false;
+    // candidate key = keySum / count  (sign-adjusted in F_p).
+    std::uint64_t sum = keySum_;
+    if (neg) sum = gf::subP61(0, sum);
+    const std::uint64_t key = gf::mulP61(sum, gf::invP61(mag));
+    // Verify the fingerprint.
+    std::uint64_t expect = gf::mulP61(mag, gf::powP61(z_, key));
+    if (neg) expect = gf::subP61(0, expect);
+    if (expect != fp_) return false;
+    out.key = key;
+    out.frequency = count_;
+    return true;
+  }
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+
+  /// Serialization for network transport (4 x 64-bit words).
+  [[nodiscard]] std::uint64_t word(int i) const {
+    switch (i) {
+      case 0: return static_cast<std::uint64_t>(count_);
+      case 1: return keySum_;
+      case 2: return fp_;
+      default: return z_;
+    }
+  }
+  static OneSparseCell fromWords(std::uint64_t w0, std::uint64_t w1,
+                                 std::uint64_t w2, std::uint64_t w3) {
+    OneSparseCell c;
+    c.count_ = static_cast<std::int64_t>(w0);
+    c.keySum_ = w1;
+    c.fp_ = w2;
+    c.z_ = w3;
+    return c;
+  }
+
+ private:
+  std::int64_t count_ = 0;
+  std::uint64_t keySum_ = 0;
+  std::uint64_t fp_ = 0;
+  std::uint64_t z_ = 2;
+};
+
+}  // namespace mobile::sketch

@@ -1,0 +1,100 @@
+#include "sketch/sparse_recovery.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "gf/fp61.h"
+#include "util/rng.h"
+
+namespace mobile::sketch {
+
+SparseRecovery::SparseRecovery(std::uint64_t seed, std::size_t sparsity,
+                               std::size_t rows)
+    : seed_(seed),
+      sparsity_(std::max<std::size_t>(sparsity, 1)),
+      rows_(rows),
+      buckets_(2 * sparsity_) {
+  std::uint64_t st = seed;
+  rowA_.resize(rows_);
+  rowB_.resize(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    rowA_[r] = util::splitmix64(st) % gf::kP61;
+    if (rowA_[r] == 0) rowA_[r] = 1;
+    rowB_[r] = util::splitmix64(st) % gf::kP61;
+  }
+  cells_.reserve(rows_ * buckets_);
+  for (std::size_t i = 0; i < rows_ * buckets_; ++i)
+    cells_.emplace_back(util::splitmix64(st));
+}
+
+std::size_t SparseRecovery::bucketOf(std::uint64_t key, std::size_t row) const {
+  const std::uint64_t h =
+      gf::addP61(gf::mulP61(rowA_[row], key % gf::kP61), rowB_[row]);
+  return static_cast<std::size_t>(h % buckets_);
+}
+
+void SparseRecovery::update(std::uint64_t key, std::int64_t freq) {
+  assert(key < gf::kP61);
+  for (std::size_t r = 0; r < rows_; ++r)
+    cells_[r * buckets_ + bucketOf(key, r)].update(key, freq);
+}
+
+void SparseRecovery::merge(const SparseRecovery& other) {
+  assert(seed_ == other.seed_ && sparsity_ == other.sparsity_);
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    cells_[i].merge(other.cells_[i]);
+}
+
+std::optional<std::vector<Recovered>> SparseRecovery::recoverAll() const {
+  std::vector<OneSparseCell> work = cells_;
+  std::map<std::uint64_t, std::int64_t> found;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      Recovered r;
+      if (!work[i].recover(r)) continue;
+      // Peel: remove this key's mass from every row.
+      found[r.key] += r.frequency;
+      const std::size_t row = i / buckets_;
+      (void)row;
+      for (std::size_t rr = 0; rr < rows_; ++rr)
+        work[rr * buckets_ + bucketOf(r.key, rr)].update(r.key, -r.frequency);
+      progress = true;
+    }
+  }
+  for (const auto& c : work)
+    if (!c.empty()) return std::nullopt;  // residue: support exceeded budget
+  std::vector<Recovered> out;
+  out.reserve(found.size());
+  for (const auto& [k, f] : found)
+    if (f != 0) out.push_back({k, f});
+  return out;
+}
+
+std::vector<std::uint64_t> SparseRecovery::serialize() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(serializedWords());
+  for (const auto& c : cells_) {
+    out.push_back(c.word(0));
+    out.push_back(c.word(1));
+    out.push_back(c.word(2));
+  }
+  return out;
+}
+
+SparseRecovery SparseRecovery::deserialize(
+    std::uint64_t seed, std::size_t sparsity, std::size_t rows,
+    const std::vector<std::uint64_t>& words) {
+  SparseRecovery s(seed, sparsity, rows);
+  assert(words.size() == s.serializedWords());
+  for (std::size_t i = 0; i < s.cells_.size(); ++i) {
+    const std::uint64_t z = s.cells_[i].word(3);
+    s.cells_[i] = OneSparseCell::fromWords(words[i * 3], words[i * 3 + 1],
+                                           words[i * 3 + 2], z);
+  }
+  return s;
+}
+
+}  // namespace mobile::sketch

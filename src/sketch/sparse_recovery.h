@@ -1,0 +1,56 @@
+// s-sparse recovery sketches (turnstile model, [Cormode-Firmani]).
+//
+// Recovers *all* elements of a stream whose surviving support has size at
+// most s, w.h.p.  Used by the O(DTP + f) variant of the byzantine compiler
+// (Section 1.2.2 "Compilation with a Round Overhead of ~O(DTP + f)"): each
+// round of the simulated algorithm produces at most 2f mismatches, and a
+// (2f)-sparse recovery over the sent/received message stream surfaces all
+// of them at the root in one shot.
+//
+// Construction: `rows` independent hash rows, each scattering keys into
+// 2s buckets of 1-sparse cells; decoding peels recoverable cells and
+// subtracts their content from every row until fixpoint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sketch/onesparse.h"
+
+namespace mobile::sketch {
+
+class SparseRecovery {
+ public:
+  SparseRecovery(std::uint64_t seed, std::size_t sparsity,
+                 std::size_t rows = 6);
+
+  void update(std::uint64_t key, std::int64_t freq);
+  void merge(const SparseRecovery& other);
+
+  /// Returns the full surviving support (key, frequency) if the sketch can
+  /// peel it completely; nullopt when the support (likely) exceeds the
+  /// sparsity budget.
+  [[nodiscard]] std::optional<std::vector<Recovered>> recoverAll() const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::size_t sparsity() const { return sparsity_; }
+
+  [[nodiscard]] std::size_t serializedWords() const { return cells_.size() * 3; }
+  [[nodiscard]] std::vector<std::uint64_t> serialize() const;
+  static SparseRecovery deserialize(std::uint64_t seed, std::size_t sparsity,
+                                    std::size_t rows,
+                                    const std::vector<std::uint64_t>& words);
+
+ private:
+  [[nodiscard]] std::size_t bucketOf(std::uint64_t key, std::size_t row) const;
+
+  std::uint64_t seed_;
+  std::size_t sparsity_;
+  std::size_t rows_;
+  std::size_t buckets_;
+  std::vector<std::uint64_t> rowA_, rowB_;
+  std::vector<OneSparseCell> cells_;  // rows_ x buckets_
+};
+
+}  // namespace mobile::sketch

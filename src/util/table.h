@@ -1,0 +1,40 @@
+// Aligned markdown table printer used by the benchmark harness.
+//
+// Every bench binary regenerates one experiment table (see DESIGN.md's
+// experiment index) by streaming rows into a Table and printing it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mobile::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& addRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string num(std::int64_t v);
+  static std::string num(std::uint64_t v);
+  static std::string num(int v);
+  static std::string fixed(double v, int digits = 2);
+  static std::string sci(double v, int digits = 2);
+  static std::string pct(double fraction, int digits = 1);
+  static std::string boolean(bool b);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints "## <title>" followed by the table, benchmarks' standard layout.
+void printSection(std::ostream& os, const std::string& title,
+                  const Table& table);
+
+}  // namespace mobile::util

@@ -1,0 +1,116 @@
+// Theorem 1.3: congestion-sensitive compiler -- equivalence, masking, and
+// empty-message indistinguishability.
+#include "compile/congestion_compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "adv/strategies.h"
+#include "algo/payloads.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "graph/tree_packing.h"
+#include "sim/network.h"
+#include "util/stats.h"
+
+namespace mobile::compile {
+namespace {
+
+using sim::Algorithm;
+using sim::Network;
+
+std::shared_ptr<const PackingKnowledge> cliquePk(const graph::Graph& g) {
+  return distributePacking(g, graph::cliqueStarPacking(g), 2);
+}
+
+TEST(CongestionCompiler, EquivalenceBfs) {
+  const graph::Graph g = graph::clique(6);
+  const Algorithm inner = algo::makeBfsTree(g, 0, 2);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled =
+      compileCongestionSensitive(g, inner, cliquePk(g), 1);
+  Network net(g, compiled, 11);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(CongestionCompiler, EquivalenceFloodMaxWithEavesdropper) {
+  const graph::Graph g = graph::clique(8);
+  const Algorithm inner = algo::makeFloodMax(g, 2);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled =
+      compileCongestionSensitive(g, inner, cliquePk(g), 2);
+  adv::RandomEavesdropper adv(2, 5);
+  Network net(g, compiled, 13, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(CongestionCompiler, StatsLayout) {
+  const graph::Graph g = graph::clique(6);
+  const Algorithm inner = algo::makeBfsTree(g, 0, 2);
+  CongestionCompilerStats stats;
+  const Algorithm compiled =
+      compileCongestionSensitive(g, inner, cliquePk(g), 1, {}, &stats);
+  EXPECT_EQ(stats.simulationRounds, inner.rounds);
+  EXPECT_EQ(stats.poolRounds, 4 * inner.rounds);
+  EXPECT_EQ(stats.totalRounds, compiled.rounds);
+  EXPECT_EQ(stats.hashIndependence, 4 * 1 * inner.congestion);
+}
+
+TEST(CongestionCompiler, EmptySlotsIndistinguishable) {
+  // BFS sends only one wave: most slots are empty.  Adversary sees every
+  // wire word masked/hash-image; the distribution of observed words must
+  // not reveal which slots were real.  We check the *marginal* uniformity
+  // of all observed wire words.
+  const graph::Graph g = graph::clique(6);
+  CongestionCompilerOptions opts;
+  opts.payloadBits = 8;
+  opts.hashBits = 24;
+  std::vector<std::uint64_t> nibbles(16, 0);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const Algorithm inner = algo::makeBfsTree(g, 0, 2);
+    const Algorithm compiled =
+        compileCongestionSensitive(g, inner, cliquePk(g), 1, opts);
+    adv::RandomEavesdropper adv(1, 300 + seed);
+    Network net(g, compiled, seed, &adv);
+    net.run(compiled.rounds);
+    CongestionCompilerStats st;
+    [[maybe_unused]] const Algorithm probe =
+        compileCongestionSensitive(g, inner, cliquePk(g), 1, opts, &st);
+    for (const auto& rec : adv.viewLog()) {
+      if (rec.round <= st.poolRounds + st.broadcastRounds) continue;
+      if (rec.uv.present) ++nibbles[rec.uv.at(0) & 0xf];
+      if (rec.vu.present) ++nibbles[rec.vu.at(0) & 0xf];
+    }
+  }
+  EXPECT_LT(util::chiSquareUniform(nibbles), util::chiSquareCritical999(15));
+}
+
+TEST(CongestionCompiler, ViewIndependentOfInputs) {
+  const graph::Graph g = graph::clique(6);
+  CongestionCompilerOptions opts;
+  opts.payloadBits = 8;
+  std::vector<std::uint64_t> in1(6, 1), in2(6, 200);
+  std::map<std::uint64_t, std::uint64_t> distA, distB;
+  for (std::uint64_t seed = 0; seed < 80; ++seed) {
+    for (int which = 0; which < 2; ++which) {
+      const Algorithm inner =
+          algo::makeGossipHash(g, 2, which == 0 ? in1 : in2, 8);
+      const Algorithm compiled =
+          compileCongestionSensitive(g, inner, cliquePk(g), 1, opts);
+      adv::CampingEavesdropper adv({0, 4}, 2);
+      Network net(g, compiled, seed * 2 + static_cast<std::uint64_t>(which),
+                  &adv);
+      net.run(compiled.rounds);
+      auto& dist = which == 0 ? distA : distB;
+      for (const auto& rec : adv.viewLog())
+        if (rec.uv.present) ++dist[rec.uv.at(0) & 0x3f];
+    }
+  }
+  EXPECT_LT(util::totalVariation(distA, distB), 0.1);
+}
+
+}  // namespace
+}  // namespace mobile::compile

@@ -1,0 +1,93 @@
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace mobile::graph {
+namespace {
+
+TEST(Connectivity, CliqueEdgeConnectivity) {
+  EXPECT_EQ(edgeConnectivity(clique(6)), 5);
+}
+
+TEST(Connectivity, CycleEdgeConnectivity) {
+  EXPECT_EQ(edgeConnectivity(cycle(9)), 2);
+}
+
+TEST(Connectivity, CirculantEdgeConnectivity) {
+  EXPECT_EQ(edgeConnectivity(circulant(12, 3)), 6);
+}
+
+TEST(Connectivity, HypercubeEdgeConnectivity) {
+  EXPECT_EQ(edgeConnectivity(hypercube(4)), 4);
+}
+
+TEST(Connectivity, DisconnectedIsZero) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  EXPECT_EQ(edgeConnectivity(g), 0);
+}
+
+TEST(Connectivity, PathCountMatchesMenger) {
+  const Graph g = circulant(10, 2);  // 4-edge-connected
+  EXPECT_EQ(edgeDisjointPathCount(g, 0, 5), 4);
+  EXPECT_EQ(edgeDisjointPathCount(g, 0, 5, 2), 2);  // capped
+}
+
+TEST(Connectivity, ExtractedPathsAreDisjointAndValid) {
+  const Graph g = circulant(12, 3);
+  const auto paths = edgeDisjointPaths(g, 0, 6, 5);
+  ASSERT_EQ(paths.size(), 5u);
+  std::set<EdgeId> used;
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), 0);
+    EXPECT_EQ(p.back(), 6);
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      const EdgeId e = g.edgeBetween(p[i], p[i + 1]);
+      ASSERT_GE(e, 0) << "path uses a non-edge";
+      EXPECT_FALSE(used.count(e)) << "paths share edge " << e;
+      used.insert(e);
+    }
+  }
+}
+
+TEST(Connectivity, ProbeKDtp) {
+  // Clique: every pair has n-1 disjoint paths of length <= 2.
+  EXPECT_TRUE(probeKDtpConnected(clique(8), 7, 2));
+  EXPECT_FALSE(probeKDtpConnected(cycle(10), 2, 3));  // needs length 5+
+  EXPECT_TRUE(probeKDtpConnected(cycle(10), 2, 9));
+}
+
+TEST(Conductance, CliqueIsAnExpander) {
+  const double phi = spectralConductanceLowerBound(clique(16));
+  EXPECT_GT(phi, 0.2);
+}
+
+TEST(Conductance, DumbbellIsNot) {
+  const double phi = spectralConductanceLowerBound(dumbbell(16, 1));
+  EXPECT_LT(phi, 0.05);
+}
+
+TEST(Conductance, SpectralLowerBoundsExact) {
+  // Cheeger: spectral bound must not exceed the true conductance.
+  util::Rng rng(5);
+  for (const auto& g :
+       {clique(10), cycle(12), circulant(12, 2), dumbbell(12, 1)}) {
+    const double exact = exactConductanceSmall(g);
+    const double spectral = spectralConductanceLowerBound(g);
+    EXPECT_LE(spectral, exact + 0.02) << g.describe();
+  }
+}
+
+TEST(Conductance, RegularExpanderHasGoodPhi) {
+  util::Rng rng(6);
+  const Graph g = randomRegular(40, 6, rng);
+  EXPECT_GT(spectralConductanceLowerBound(g), 0.05);
+}
+
+}  // namespace
+}  // namespace mobile::graph

@@ -1,0 +1,86 @@
+// Theorem 5.5 / Theorem 1.4: the FT-cycle-cover compiler for small f.
+#include "compile/cycle_cover_compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "adv/strategies.h"
+#include "algo/payloads.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+
+namespace mobile::compile {
+namespace {
+
+using sim::Algorithm;
+using sim::Network;
+
+TEST(CycleCompiler, StatsShape) {
+  const graph::Graph g = graph::circulant(8, 2);  // 4-edge-connected
+  const Algorithm inner = algo::makeFloodMax(g, 2);
+  CycleCoverStats stats;
+  const Algorithm compiled = compileCycleCover(g, inner, 1, &stats);
+  EXPECT_GE(stats.colorCount, 1);
+  EXPECT_EQ(stats.window, 2 * 1 * stats.dilation + stats.dilation + 1);
+  EXPECT_EQ(compiled.rounds, stats.totalRounds);
+  // Lemma 5.2 bound on colors.
+  EXPECT_LE(stats.colorCount, stats.dilation * stats.congestion + 1);
+}
+
+TEST(CycleCompiler, EquivalenceNoAdversary) {
+  const graph::Graph g = graph::circulant(8, 2);
+  std::vector<std::uint64_t> inputs(8, 6);
+  const Algorithm inner = algo::makeGossipHash(g, 2, inputs, 32);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileCycleCover(g, inner, 1);
+  Network net(g, compiled, 1);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(CycleCompiler, EquivalenceUnderMobileByzantine) {
+  const graph::Graph g = graph::circulant(8, 2);
+  std::vector<std::uint64_t> inputs(8, 2);
+  const Algorithm inner = algo::makeGossipHash(g, 2, inputs, 32);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileCycleCover(g, inner, 1);
+  adv::RandomByzantine adv(1, 5);
+  Network net(g, compiled, 3, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(CycleCompiler, EquivalenceUnderCampingByzantine) {
+  const graph::Graph g = graph::circulant(8, 2);
+  const Algorithm inner = algo::makeFloodMax(g, 3);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileCycleCover(g, inner, 1);
+  adv::CampingByzantine adv({3}, 1, 9);
+  Network net(g, compiled, 5, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(CycleCompiler, BitflipAdversary) {
+  const graph::Graph g = graph::circulant(8, 2);
+  const Algorithm inner = algo::makeBfsTree(g, 0, 4);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileCycleCover(g, inner, 1);
+  adv::BitflipByzantine adv(1, 11);
+  Network net(g, compiled, 7, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(CycleCompiler, F2OnDenserGraph) {
+  const graph::Graph g = graph::circulant(10, 3);  // 6-edge-connected
+  const Algorithm inner = algo::makeFloodMax(g, 2);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileCycleCover(g, inner, 2);
+  adv::RandomByzantine adv(2, 13);
+  Network net(g, compiled, 9, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+}  // namespace
+}  // namespace mobile::compile

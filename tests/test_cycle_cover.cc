@@ -1,0 +1,56 @@
+#include "graph/cycle_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+
+namespace mobile::graph {
+namespace {
+
+TEST(CycleCover, ValidOnCirculant) {
+  const Graph g = circulant(8, 2);  // 4-edge-connected
+  const CycleCover cc = buildCycleCover(g, 3);
+  EXPECT_TRUE(validateCycleCover(g, cc, 3));
+  EXPECT_GE(cc.colorCount, 1);
+  EXPECT_GE(cc.dilation, 1);
+  EXPECT_GE(cc.congestion, 1);
+}
+
+TEST(CycleCover, ValidOnClique) {
+  const Graph g = clique(6);
+  const CycleCover cc = buildCycleCover(g, 3);
+  EXPECT_TRUE(validateCycleCover(g, cc, 3));
+  // In a clique, 3 disjoint paths of length <= 2 exist for every edge.
+  EXPECT_LE(cc.dilation, 2);
+}
+
+TEST(CycleCover, PathsPerEdgeCount) {
+  const Graph g = circulant(10, 3);  // 6-edge-connected
+  const int k = 5;
+  const CycleCover cc = buildCycleCover(g, k);
+  for (EdgeId e = 0; e < g.edgeCount(); ++e)
+    EXPECT_GE(cc.pathsFor(e).size(), static_cast<std::size_t>(k));
+}
+
+TEST(CycleCover, ColoringIsProper) {
+  const Graph g = circulant(8, 2);
+  const CycleCover cc = buildCycleCover(g, 3);
+  // validateCycleCover already checks disjointness within color classes;
+  // also sanity-check the color range.
+  for (EdgeId e = 0; e < g.edgeCount(); ++e) {
+    EXPECT_GE(cc.color[static_cast<std::size_t>(e)], 0);
+    EXPECT_LT(cc.color[static_cast<std::size_t>(e)], cc.colorCount);
+  }
+}
+
+TEST(CycleCover, ColorCountWithinLemmaBound) {
+  const Graph g = circulant(8, 2);
+  const int f = 1;
+  const CycleCover cc = buildCycleCover(g, 2 * f + 1);
+  // Lemma 5.2: f * dilation * cong + 1 colors suffice.
+  EXPECT_LE(cc.colorCount, f * cc.dilation * cc.congestion + 1);
+}
+
+}  // namespace
+}  // namespace mobile::graph

@@ -1,0 +1,193 @@
+// Failure injection: adversaries aimed at specific weak points of the
+// machinery (malformed payloads, phase-targeted attacks, worst-case
+// exchange corruption).  The compilers must correct or degrade safely --
+// never crash, never silently accept garbage.
+#include <gtest/gtest.h>
+
+#include "adv/strategies.h"
+#include "algo/payloads.h"
+#include "compile/byz_tree_compiler.h"
+#include "compile/expander_packing.h"
+#include "compile/rewind_compiler.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+
+namespace mobile::compile {
+namespace {
+
+using sim::Algorithm;
+using sim::Msg;
+using sim::Network;
+
+/// Byzantine strategy that replaces messages with wrong-SIZE garbage
+/// (stresses every deserializer's length checks).
+class WrongSizeByzantine final : public adv::Adversary {
+ public:
+  WrongSizeByzantine(int f, std::uint64_t seed)
+      : Adversary({adv::Kind::Byzantine, adv::Mobility::Mobile, f, 0, {}}),
+        rng_(seed) {}
+  void act(adv::TamperView& view) override {
+    const auto m = static_cast<std::size_t>(view.graph().edgeCount());
+    for (const auto e :
+         rng_.sampleDistinct(m, std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f)))) {
+      Msg junk;
+      const std::size_t words = 1 + rng_.below(900);  // wildly wrong sizes
+      for (std::size_t i = 0; i < words; ++i) junk.push(rng_.next());
+      view.corruptEdge(static_cast<graph::EdgeId>(e), junk, junk);
+    }
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+/// Byzantine strategy that ONLY corrupts specific phase-offsets within the
+/// byz compiler's simulated-round block (e.g. only the exchange round, or
+/// only ECC rounds).
+class PhaseTargetedByzantine final : public adv::Adversary {
+ public:
+  PhaseTargetedByzantine(int f, int blockLen, int loOffset, int hiOffset,
+                         std::uint64_t seed)
+      : Adversary({adv::Kind::Byzantine, adv::Mobility::Mobile, f, 0, {}}),
+        blockLen_(blockLen),
+        lo_(loOffset),
+        hi_(hiOffset),
+        rng_(seed) {}
+  void act(adv::TamperView& view) override {
+    const int o = (view.round() - 1) % blockLen_;
+    if (o < lo_ || o > hi_) return;
+    const auto m = static_cast<std::size_t>(view.graph().edgeCount());
+    for (const auto e :
+         rng_.sampleDistinct(m, std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f))))
+      view.corruptEdge(static_cast<graph::EdgeId>(e), adv::garbageMsg(rng_),
+                       adv::garbageMsg(rng_));
+  }
+
+ private:
+  int blockLen_;
+  int lo_, hi_;
+  util::Rng rng_;
+};
+
+Algorithm gossip32(const graph::Graph& g, int rounds) {
+  std::vector<std::uint64_t> inputs(static_cast<std::size_t>(g.nodeCount()));
+  for (std::size_t i = 0; i < inputs.size(); ++i) inputs[i] = 0xfee000 + i;
+  return algo::makeGossipHash(g, rounds, inputs, 32);
+}
+
+TEST(FailureInjection, WrongSizeBundlesAreDropped) {
+  const graph::Graph g = graph::clique(12);
+  const auto packing = cliquePackingKnowledge(g);
+  const Algorithm inner = gossip32(g, 2);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileByzantineTree(g, inner, packing, 2);
+  WrongSizeByzantine adv(2, 5);
+  sim::NetworkOptions opts;  // default word cap is generous
+  Network net(g, compiled, 7, &adv, opts);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(FailureInjection, ExchangeRoundAlwaysCorrupted) {
+  // The adversary burns its full budget on offset 0 of every simulated
+  // round -- the exchange step -- maximizing initial mismatches B_0 = 2f.
+  const graph::Graph g = graph::clique(12);
+  const auto packing = cliquePackingKnowledge(g);
+  const Algorithm inner = gossip32(g, 2);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const ByzSchedule sched = ByzSchedule::compute(*packing, inner.rounds, 2, {});
+  const Algorithm compiled = compileByzantineTree(g, inner, packing, 2);
+  PhaseTargetedByzantine adv(2, sched.roundsPerSimRound, 0, 0, 11);
+  Network net(g, compiled, 13, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(FailureInjection, EccPhaseTargeted) {
+  // Budget aimed exclusively at the ECC downcast rounds of every iteration.
+  const graph::Graph g = graph::clique(12);
+  const auto packing = cliquePackingKnowledge(g);
+  const Algorithm inner = gossip32(g, 1);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const ByzSchedule sched = ByzSchedule::compute(*packing, inner.rounds, 1, {});
+  const SlotSchedule slots{packing->eta, 3};
+  const int sketchRounds = slots.blockRounds(sched.sketchSteps);
+  // ECC rounds of iteration 0 start after exchange (1) + sketch block.
+  PhaseTargetedByzantine adv(1, sched.roundsPerSimRound, 1 + sketchRounds,
+                             sched.roundsPerSimRound - 1, 17);
+  const Algorithm compiled = compileByzantineTree(g, inner, packing, 1);
+  Network net(g, compiled, 19, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(FailureInjection, SketchUpcastTargeted) {
+  const graph::Graph g = graph::clique(12);
+  const auto packing = cliquePackingKnowledge(g);
+  const Algorithm inner = gossip32(g, 1);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const ByzSchedule sched = ByzSchedule::compute(*packing, inner.rounds, 1, {});
+  const SlotSchedule slots{packing->eta, 3};
+  const int sketchRounds = slots.blockRounds(sched.sketchSteps);
+  PhaseTargetedByzantine adv(1, sched.roundsPerSimRound, 1, sketchRounds, 23);
+  const Algorithm compiled = compileByzantineTree(g, inner, packing, 1);
+  Network net(g, compiled, 29, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(FailureInjection, RewindConsensusTargeted) {
+  // Corrupt only the Rewind-If-Error consensus phase: the majority across
+  // trees must still deliver coherent verdicts (or rewind harmlessly).
+  const graph::Graph g = graph::clique(8);
+  const auto packing = cliquePackingKnowledge(g);
+  const Algorithm inner = algo::makePingPong(g, 0, 1, 2, 0x1, 0x2, 32);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  RewindOptions opts;
+  const RewindSchedule sched = rewindSchedule(*packing, inner.rounds, 1, opts);
+  PhaseTargetedByzantine adv(
+      1, sched.roundsPerGlobal,
+      sched.initRounds + sched.correctionRounds,
+      sched.roundsPerGlobal - 1, 31);
+  const Algorithm compiled = compileRewind(g, inner, packing, 1, opts);
+  Network net(g, compiled, 37, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(FailureInjection, ExpanderOrientationRoundTargeted) {
+  // Kill only the final orientation round of the packing protocol: with
+  // padded rounds (majority of 3), single hits cannot flip orientations.
+  const graph::Graph g = graph::clique(20);
+  ExpanderPackingOptions popts;
+  popts.k = 3;
+  popts.bfsRounds = 6;
+  popts.padRepetition = 3;
+  auto result = std::make_shared<ExpanderPackingResult>();
+  const Algorithm packer = makeExpanderPackingProtocol(g, popts, result);
+  // Orientation occupies the final pad-block of rounds.
+  PhaseTargetedByzantine adv(1, packer.rounds, packer.rounds - 3,
+                             packer.rounds - 3, 41);
+  Network net(g, packer, 43, &adv);
+  net.run(packer.rounds);
+  const WeakPackingQuality q = assessWeakPacking(g, *result->knowledge);
+  EXPECT_EQ(q.goodTrees, popts.k);
+}
+
+TEST(FailureInjection, InjectionOnIdleArcsIgnored) {
+  // The adversary invents traffic on arcs nobody scheduled; receivers must
+  // not mis-attribute it (slot demux is by timing, not content).
+  const graph::Graph g = graph::clique(10);
+  const auto packing = cliquePackingKnowledge(g);
+  const Algorithm inner = algo::makeBfsTree(g, 0, 2);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileByzantineTree(g, inner, packing, 1);
+  // BFS leaves most inner slots empty; random injection fills them.
+  adv::RandomByzantine adv(1, 47);
+  Network net(g, compiled, 53, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+}  // namespace
+}  // namespace mobile::compile

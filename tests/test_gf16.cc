@@ -1,0 +1,132 @@
+#include "gf/gf16.h"
+
+#include <gtest/gtest.h>
+
+#include "gf/fp61.h"
+#include "util/rng.h"
+
+namespace mobile::gf {
+namespace {
+
+TEST(F16, AdditionIsXor) {
+  EXPECT_EQ((F16(0x1234) + F16(0x00ff)).value(), 0x1234 ^ 0x00ff);
+  EXPECT_EQ((F16(5) + F16(5)).value(), 0);  // characteristic 2
+}
+
+TEST(F16, MultiplicativeIdentityAndZero) {
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const F16 a(static_cast<std::uint16_t>(rng.next()));
+    EXPECT_EQ(a * F16(1), a);
+    EXPECT_EQ(a * F16(0), F16(0));
+  }
+}
+
+TEST(F16, MultiplicationCommutesAndAssociates) {
+  util::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const F16 a(static_cast<std::uint16_t>(rng.next()));
+    const F16 b(static_cast<std::uint16_t>(rng.next()));
+    const F16 c(static_cast<std::uint16_t>(rng.next()));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+  }
+}
+
+TEST(F16, Distributivity) {
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const F16 a(static_cast<std::uint16_t>(rng.next()));
+    const F16 b(static_cast<std::uint16_t>(rng.next()));
+    const F16 c(static_cast<std::uint16_t>(rng.next()));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(F16, InverseRoundTrip) {
+  util::Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    F16 a(static_cast<std::uint16_t>(rng.next()));
+    if (a.isZero()) continue;
+    EXPECT_EQ(a * a.inverse(), F16(1));
+    EXPECT_EQ(a / a, F16(1));
+  }
+}
+
+TEST(F16, DivisionInvertsMultiplication) {
+  util::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const F16 a(static_cast<std::uint16_t>(rng.next()));
+    F16 b(static_cast<std::uint16_t>(rng.next()));
+    if (b.isZero()) b = F16(1);
+    EXPECT_EQ((a * b) / b, a);
+  }
+}
+
+TEST(F16, GeneratorHasFullOrder) {
+  // alpha(i) cycles with period q-1; alpha(1)^(q-1) == 1 and no smaller
+  // power of the sampled divisors is 1.
+  const F16 g = F16::alpha(1);
+  EXPECT_EQ(g.pow(kGroupOrder), F16(1));
+  for (const std::uint32_t d : {3u, 5u, 17u, 257u, 65535u / 3u}) {
+    if (kGroupOrder % d == 0) {
+      EXPECT_NE(g.pow(kGroupOrder / d), F16(1));
+    }
+  }
+}
+
+TEST(F16, PowMatchesRepeatedMultiplication) {
+  util::Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const F16 a(static_cast<std::uint16_t>(rng.next() | 1));
+    F16 acc(1);
+    for (std::uint64_t e = 0; e < 8; ++e) {
+      EXPECT_EQ(a.pow(e), acc);
+      acc *= a;
+    }
+  }
+}
+
+TEST(F16, AlphaDistinctNonZero) {
+  std::set<std::uint16_t> seen;
+  for (std::uint32_t i = 1; i <= 1000; ++i) {
+    const F16 a = F16::alpha(i);
+    EXPECT_FALSE(a.isZero());
+    seen.insert(a.value());
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(F16, PackUnpackBytes) {
+  std::vector<std::uint8_t> bytes{1, 2, 3, 4, 5};
+  const auto syms = packBytes(bytes);
+  EXPECT_EQ(syms.size(), 3u);
+  EXPECT_EQ(unpackBytes(syms, bytes.size()), bytes);
+}
+
+TEST(F16, PackUnpackWord) {
+  const std::uint64_t w = 0x0123456789abcdefULL;
+  EXPECT_EQ(unpackWord(packWord(w)), w);
+}
+
+TEST(Fp61, FieldOperations) {
+  EXPECT_EQ(addP61(kP61 - 1, 1), 0u);
+  EXPECT_EQ(subP61(0, 1), kP61 - 1);
+  EXPECT_EQ(mulP61(2, 3), 6u);
+  // Fermat inverse.
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng.next() % kP61;
+    if (a == 0) continue;
+    EXPECT_EQ(mulP61(a, invP61(a)), 1u);
+  }
+}
+
+TEST(Fp61, PowBasics) {
+  EXPECT_EQ(powP61(2, 0), 1u);
+  EXPECT_EQ(powP61(2, 10), 1024u);
+  EXPECT_EQ(powP61(7, kP61 - 1), 1u);  // Fermat little theorem
+}
+
+}  // namespace
+}  // namespace mobile::gf

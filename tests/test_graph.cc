@@ -1,0 +1,151 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace mobile::graph {
+namespace {
+
+TEST(Graph, AddEdgeAndAdjacency) {
+  Graph g(4);
+  const EdgeId e = g.addEdge(2, 0);
+  EXPECT_EQ(g.edgeCount(), 1);
+  EXPECT_EQ(g.edge(e).u, 0);  // normalized u < v
+  EXPECT_EQ(g.edge(e).v, 2);
+  EXPECT_TRUE(g.hasEdge(0, 2));
+  EXPECT_TRUE(g.hasEdge(2, 0));
+  EXPECT_FALSE(g.hasEdge(1, 3));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Graph, ArcDirections) {
+  Graph g(3);
+  const EdgeId e = g.addEdge(1, 2);
+  const ArcId a12 = g.arcFromTo(1, 2);
+  const ArcId a21 = g.arcFromTo(2, 1);
+  EXPECT_EQ(Graph::arcEdge(a12), e);
+  EXPECT_EQ(Graph::arcEdge(a21), e);
+  EXPECT_NE(a12, a21);
+  EXPECT_EQ(Graph::reverseArc(a12), a21);
+  EXPECT_EQ(g.arcSource(a12), 1);
+  EXPECT_EQ(g.arcTarget(a12), 2);
+  EXPECT_EQ(g.arcSource(a21), 2);
+  EXPECT_EQ(g.arcTarget(a21), 1);
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  EXPECT_FALSE(g.isConnected());
+  g.addEdge(2, 3);
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Generators, Clique) {
+  const Graph g = clique(6);
+  EXPECT_EQ(g.edgeCount(), 15);
+  EXPECT_EQ(g.minDegree(), 5u);
+  EXPECT_EQ(diameter(g), 1);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = cycle(8);
+  EXPECT_EQ(g.edgeCount(), 8);
+  EXPECT_EQ(g.minDegree(), 2u);
+  EXPECT_EQ(diameter(g), 4);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.nodeCount(), 16);
+  EXPECT_EQ(g.edgeCount(), 32);
+  EXPECT_EQ(g.minDegree(), 4u);
+  EXPECT_EQ(diameter(g), 4);
+}
+
+TEST(Generators, Torus) {
+  const Graph g = torus(4, 5);
+  EXPECT_EQ(g.nodeCount(), 20);
+  EXPECT_EQ(g.minDegree(), 4u);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(diameter(g), 2 + 2);
+}
+
+TEST(Generators, RandomRegularIsRegularAndConnected) {
+  util::Rng rng(1);
+  const Graph g = randomRegular(24, 4, rng);
+  EXPECT_TRUE(g.isConnected());
+  for (NodeId v = 0; v < g.nodeCount(); ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, ErdosRenyiConnected) {
+  util::Rng rng(2);
+  const Graph g = erdosRenyiConnected(30, 0.3, rng);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(g.nodeCount(), 30);
+}
+
+TEST(Generators, CycleWithChords) {
+  util::Rng rng(3);
+  const Graph g = cycleWithChords(20, 5, rng);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(g.edgeCount(), 25);
+}
+
+TEST(Generators, Dumbbell) {
+  const Graph g = dumbbell(12, 2);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(g.edgeCount(), 2 * 15 + 2);
+}
+
+TEST(Generators, Circulant) {
+  const Graph g = circulant(10, 2);
+  EXPECT_TRUE(g.isConnected());
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Bfs, DistancesOnCycle) {
+  const Graph g = cycle(6);
+  const auto d = bfsDistances(g, 0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[3], 3);
+  EXPECT_EQ(d[5], 1);
+}
+
+TEST(Bfs, TreeIsSpanningAndShortest) {
+  util::Rng rng(4);
+  const Graph g = erdosRenyiConnected(25, 0.25, rng);
+  const RootedTree t = bfsTree(g, 0);
+  EXPECT_TRUE(t.spanning(g.nodeCount()));
+  const auto d = bfsDistances(g, 0);
+  for (NodeId v = 0; v < g.nodeCount(); ++v)
+    EXPECT_EQ(t.depth[static_cast<std::size_t>(v)], d[static_cast<std::size_t>(v)]);
+}
+
+TEST(Bfs, EccentricityAndDiameter) {
+  const Graph g = cycle(7);
+  EXPECT_EQ(eccentricity(g, 0), 3);
+  EXPECT_EQ(diameter(g), 3);
+}
+
+TEST(RootedTree, FromParents) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(1, 3);
+  const RootedTree t = RootedTree::fromParents(0, {-1, 0, 1, 1}, g);
+  EXPECT_EQ(t.root, 0);
+  EXPECT_EQ(t.depth[2], 2);
+  EXPECT_EQ(t.height(), 2);
+  EXPECT_TRUE(t.spanning(4));
+  EXPECT_EQ(t.children[1].size(), 2u);
+  EXPECT_EQ(t.edges().size(), 3u);
+}
+
+}  // namespace
+}  // namespace mobile::graph

@@ -1,0 +1,112 @@
+#include "hash/cwise.h"
+#include "hash/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/stats.h"
+
+namespace mobile::hash {
+namespace {
+
+TEST(CwiseHash, DeterministicFromCoefficients) {
+  const CwiseHash h({123, 456, 789}, 20);
+  const CwiseHash h2({123, 456, 789}, 20);
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h(x), h2(x));
+}
+
+TEST(CwiseHash, RespectsOutputBits) {
+  util::Rng rng(1);
+  const CwiseHash h(4, 10, rng);
+  for (std::uint64_t x = 0; x < 2000; ++x) EXPECT_LT(h(x), 1u << 10);
+}
+
+TEST(CwiseHash, SeedWordsMatchIndependence) {
+  EXPECT_EQ(CwiseHash::seedWords(7), 7u);
+  util::Rng rng(2);
+  const CwiseHash h(7, 16, rng);
+  EXPECT_EQ(h.independence(), 7u);
+  EXPECT_EQ(h.coefficients().size(), 7u);
+}
+
+TEST(CwiseHash, MarginalUniformity) {
+  // Over random family members, h(x) is uniform for any fixed x.
+  util::Rng rng(3);
+  std::vector<std::uint64_t> counts(16, 0);
+  for (int i = 0; i < 32000; ++i) {
+    const CwiseHash h(2, 4, rng);
+    ++counts[h(42)];
+  }
+  EXPECT_LT(util::chiSquareUniform(counts), util::chiSquareCritical999(15));
+}
+
+TEST(CwiseHash, PairwiseIndependence) {
+  // Joint distribution of (h(1), h(2)) over the family is uniform on the
+  // product space -- the defining property for c = 2.
+  util::Rng rng(4);
+  std::vector<std::uint64_t> cells(16, 0);
+  for (int i = 0; i < 64000; ++i) {
+    const CwiseHash h(2, 2, rng);
+    cells[h(1) * 4 + h(2)]++;
+  }
+  EXPECT_LT(util::chiSquareUniform(cells), util::chiSquareCritical999(15));
+}
+
+TEST(CwiseHash, DegreeOneIsNotPairwiseIndependent) {
+  // Sanity for the test method itself: a constant-polynomial family (c=1)
+  // fails the pairwise test (h(1) always equals h(2)).
+  util::Rng rng(5);
+  std::vector<std::uint64_t> cells(16, 0);
+  for (int i = 0; i < 64000; ++i) {
+    const CwiseHash h(1, 2, rng);
+    cells[h(1) * 4 + h(2)]++;
+  }
+  EXPECT_GT(util::chiSquareUniform(cells), util::chiSquareCritical999(15));
+}
+
+TEST(Fingerprint, DeterministicGivenSeed) {
+  const TranscriptFingerprint f(99);
+  const std::vector<std::uint64_t> t{1, 2, 3};
+  EXPECT_EQ(f.hash(t), TranscriptFingerprint(99).hash(t));
+}
+
+TEST(Fingerprint, DistinguishesTranscriptsWhp) {
+  util::Rng rng(6);
+  int collisions = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const TranscriptFingerprint f(rng.next());
+    const std::vector<std::uint64_t> a{1, 2, 3, 4};
+    const std::vector<std::uint64_t> b{1, 2, 9, 4};
+    if (f.hash(a) == f.hash(b)) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Fingerprint, LengthSensitive) {
+  const TranscriptFingerprint f(7);
+  EXPECT_NE(f.hash({0}), f.hash({0, 0}));
+}
+
+TEST(Fingerprint, ExtendMatchesFullHash) {
+  const TranscriptFingerprint f(1234);
+  std::vector<std::uint64_t> t;
+  std::uint64_t acc = f.hash(t);
+  for (std::uint64_t s : {5ULL, 17ULL, 0ULL, 999999ULL}) {
+    acc = f.extend(acc, t.size(), s);
+    t.push_back(s);
+    EXPECT_EQ(acc, f.hash(t));
+  }
+}
+
+TEST(Fingerprint, AdversaryCannotPredictAcrossSeeds) {
+  // Same transcripts, different seeds: hashes differ (overwhelmingly).
+  const std::vector<std::uint64_t> t{42, 43};
+  std::map<std::uint64_t, int> seen;
+  util::Rng rng(8);
+  for (int i = 0; i < 200; ++i) ++seen[TranscriptFingerprint(rng.next()).hash(t)];
+  EXPECT_GT(seen.size(), 195u);
+}
+
+}  // namespace
+}  // namespace mobile::hash

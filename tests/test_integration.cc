@@ -1,0 +1,162 @@
+// Cross-module integration: full pipelines combining packing computation,
+// compilation, and adversaries at once.
+#include <gtest/gtest.h>
+
+#include "adv/strategies.h"
+#include "algo/payloads.h"
+#include "compile/byz_tree_compiler.h"
+#include "compile/congestion_compiler.h"
+#include "compile/expander_packing.h"
+#include "compile/static_to_mobile.h"
+#include "graph/connectivity.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "graph/tree_packing.h"
+#include "sim/network.h"
+
+namespace mobile::compile {
+namespace {
+
+using sim::Algorithm;
+using sim::Network;
+
+TEST(Integration, CongestedCliqueLargeF) {
+  // Theorem 1.6 regime: f = Theta(n) mobile faults on a clique.
+  const graph::Graph g = graph::clique(20);
+  const auto pk = cliquePackingKnowledge(g);
+  std::vector<std::uint64_t> inputs(20);
+  for (std::size_t i = 0; i < 20; ++i) inputs[i] = 7 * i + 1;
+  const Algorithm inner = algo::makeGossipHash(g, 1, inputs, 32);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const int f = 4;  // n/5 mobile edges corrupted every round
+  const Algorithm compiled = compileByzantineTree(g, inner, pk, f);
+  adv::RandomByzantine adv(f, 3);
+  Network net(g, compiled, 1, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(Integration, SecureThenResilientLayering) {
+  // Run the Theorem 1.2 secure compiler, then feed its output algorithm to
+  // the network with an eavesdropper; outputs must match the original
+  // fault-free run of the inner payload.
+  const graph::Graph g = graph::hypercube(3);
+  std::vector<std::uint64_t> inputs{1, 2, 3, 4, 5, 6, 7, 8};
+  const Algorithm inner =
+      algo::makeSumAggregate(g, 0, graph::diameter(g), inputs);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm secure = compileStaticToMobile(g, inner, 8);
+  adv::SweepingEavesdropper adv(2);
+  Network net(g, secure, 3, &adv);
+  net.run(secure.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(Integration, SumAggregateThroughByzCompiler) {
+  // A 3-phase structured protocol (BFS + convergecast + broadcast) with
+  // many absent messages survives byzantine compilation.
+  const graph::Graph g = graph::clique(10);
+  const auto pk = cliquePackingKnowledge(g);
+  std::vector<std::uint64_t> inputs(10, 3);
+  const Algorithm inner = algo::makeSumAggregate(g, 0, 1, inputs);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileByzantineTree(g, inner, pk, 1);
+  adv::RandomByzantine adv(1, 5);
+  Network net(g, compiled, 9, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(Integration, GeneralGraphPackingPipelineManyAdversaries) {
+  // Denser circulant substrate: the tree-packing compiler needs k >> f*eta,
+  // which at this scale requires edge density comfortably above k * (n-1)/m.
+  const graph::Graph g = graph::circulant(16, 5);
+  const graph::TreePacking p = graph::greedyLowDepthPacking(g, 8, 0, 6);
+  const auto pk = distributePacking(g, p, 6);
+  std::vector<std::uint64_t> inputs(16, 11);
+  const Algorithm inner = algo::makeGossipHash(g, 1, inputs, 32);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  for (const int strategy : {0, 1, 2}) {
+    const Algorithm compiled = compileByzantineTree(g, inner, pk, 1);
+    std::unique_ptr<adv::Adversary> adv;
+    switch (strategy) {
+      case 0: adv = std::make_unique<adv::RandomByzantine>(1, 3); break;
+      case 1: adv = std::make_unique<adv::CampingByzantine>(
+                  std::vector<graph::EdgeId>{1}, 1, 3);
+        break;
+      default: adv = std::make_unique<adv::BitflipByzantine>(1, 3); break;
+    }
+    Network net(g, compiled, 13, adv.get());
+    net.run(compiled.rounds);
+    EXPECT_EQ(net.outputsFingerprint(), want) << "strategy " << strategy;
+  }
+}
+
+TEST(Integration, FingerprintStableAcrossCompilerSeeds) {
+  // Compiler randomness must not leak into outputs: different network
+  // seeds, same deterministic payload -> same outputs.
+  const graph::Graph g = graph::clique(8);
+  const auto pk = cliquePackingKnowledge(g);
+  std::vector<std::uint64_t> inputs(8, 2);
+  const Algorithm inner = algo::makeGossipHash(g, 1, inputs, 32);
+  const Algorithm compiled = compileByzantineTree(g, inner, pk, 1);
+  Network n1(g, compiled, 1), n2(g, compiled, 999);
+  n1.run(compiled.rounds);
+  n2.run(compiled.rounds);
+  EXPECT_EQ(n1.outputsFingerprint(), n2.outputsFingerprint());
+}
+
+TEST(Integration, Corollary39InstanceSelection) {
+  // Corollary 3.9 premise: a (k, DTP)-connected graph.  Certify the
+  // instance with the connectivity probe, build the Appendix-C packing at
+  // that DTP, and compile.
+  const graph::Graph g = graph::circulant(14, 5);
+  const int k = 6, dtp = 5;
+  ASSERT_TRUE(graph::probeKDtpConnected(g, k, dtp));
+  const graph::TreePacking p = graph::greedyLowDepthPacking(g, k, 0, dtp + 2);
+  const graph::PackingStats ps = graph::analyzePacking(p, g);
+  ASSERT_EQ(ps.spanningCount, static_cast<std::size_t>(k));
+  const auto packing = distributePacking(g, p, dtp + 2);
+  std::vector<std::uint64_t> inputs(14, 2);
+  const Algorithm inner = algo::makeGossipHash(g, 1, inputs, 32);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileByzantineTree(g, inner, packing, 1);
+  adv::RandomByzantine adv(1, 67);
+  Network net(g, compiled, 69, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(Integration, StaticEavesdropperSpecialCase) {
+  // Static eavesdroppers are the f-static special case of Theorem 1.2's
+  // threat model: the compiled algorithm is secure a fortiori, and output
+  // equivalence must hold.
+  const graph::Graph g = graph::torus(3, 4);
+  std::vector<std::uint64_t> inputs(12, 4);
+  const Algorithm inner =
+      algo::makeSumAggregate(g, 0, graph::diameter(g), inputs);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileStaticToMobile(g, inner, inner.rounds);
+  adv::StaticEavesdropper adv({0, 5, 9});
+  Network net(g, compiled, 71, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(Integration, StaticByzantineThroughByzCompiler) {
+  // f-static byzantine (fixed F*) is subsumed by f-mobile: Theorem 3.5's
+  // compiler handles it as the degenerate camping case.
+  const graph::Graph g = graph::clique(12);
+  const auto packing = cliquePackingKnowledge(g);
+  std::vector<std::uint64_t> inputs(12, 8);
+  const Algorithm inner = algo::makeGossipHash(g, 2, inputs, 32);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileByzantineTree(g, inner, packing, 2);
+  adv::CampingByzantine adv({2, 9}, 2, 73);
+  Network net(g, compiled, 75, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+}  // namespace
+}  // namespace mobile::compile

@@ -1,0 +1,75 @@
+#include "compile/keypool.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mobile::compile {
+namespace {
+
+TEST(KeyPool, EndpointsDeriveSameKeys) {
+  // Both endpoints see the same exchanged words, so both derive identical
+  // pads -- the correctness contract of Lemma A.1.
+  KeyPool pool(5, 3);
+  util::Rng rng(1);
+  std::vector<std::uint64_t> symbols;
+  for (int i = 0; i < pool.exchangeRounds(); ++i) symbols.push_back(rng.next());
+  EXPECT_EQ(pool.extract(symbols), pool.extract(symbols));
+  EXPECT_EQ(static_cast<int>(pool.extract(symbols).size()), 5);
+}
+
+TEST(KeyPool, MultiWordRounds) {
+  KeyPool pool(3, 2, 2);
+  util::Rng rng(2);
+  std::vector<std::uint64_t> symbols;
+  for (int i = 0; i < pool.exchangeRounds() * 2; ++i)
+    symbols.push_back(rng.next());
+  EXPECT_EQ(pool.extract(symbols).size(), 6u);
+}
+
+TEST(KeyPool, BadEdgeBoundFormula) {
+  EXPECT_EQ(KeyPool::badEdgeBound(2, 4, 16), (2L * 20) / 17);  // = 2
+  EXPECT_EQ(KeyPool::badEdgeBound(3, 10, 0), 30L);
+  // t >= 2fr gives exactly f.
+  const int f = 3, r = 5;
+  EXPECT_EQ(KeyPool::badEdgeBound(f, r, 2 * f * r), f);
+}
+
+TEST(KeyPool, KeysUniformWhenAdversaryMissesRounds) {
+  // Adversary knows t of the r+t exchanged words; remaining entropy makes
+  // every key uniform.  Simulate: fix the first t words (adversary-known),
+  // draw the rest, and chi-square each key's low nibble.
+  const int r = 4, t = 3;
+  KeyPool pool(r, t);
+  util::Rng rng(3);
+  std::vector<std::vector<std::uint64_t>> counts(
+      static_cast<std::size_t>(r), std::vector<std::uint64_t>(16, 0));
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<std::uint64_t> symbols(static_cast<std::size_t>(r + t));
+    for (int i = 0; i < t; ++i) symbols[static_cast<std::size_t>(i)] = 0xdeadbeef;
+    for (int i = t; i < r + t; ++i)
+      symbols[static_cast<std::size_t>(i)] = rng.next();
+    const auto keys = pool.extract(symbols);
+    for (int i = 0; i < r; ++i)
+      ++counts[static_cast<std::size_t>(i)]
+              [keys[static_cast<std::size_t>(i)] & 0xf];
+  }
+  for (int i = 0; i < r; ++i)
+    EXPECT_LT(util::chiSquareUniform(counts[static_cast<std::size_t>(i)]),
+              util::chiSquareCritical999(15))
+        << "key " << i;
+}
+
+TEST(KeyPool, KeysDifferAcrossRounds) {
+  KeyPool pool(6, 2);
+  util::Rng rng(4);
+  std::vector<std::uint64_t> symbols;
+  for (int i = 0; i < pool.exchangeRounds(); ++i) symbols.push_back(rng.next());
+  const auto keys = pool.extract(symbols);
+  std::set<std::uint64_t> distinct(keys.begin(), keys.end());
+  EXPECT_EQ(distinct.size(), keys.size());
+}
+
+}  // namespace
+}  // namespace mobile::compile

@@ -1,0 +1,103 @@
+// Boruvka MST payload: distributed result equals the centralized Kruskal
+// reference, fault-free and under every compiler.
+#include "algo/mst.h"
+
+#include <gtest/gtest.h>
+
+#include "adv/strategies.h"
+#include "compile/byz_tree_compiler.h"
+#include "compile/expander_packing.h"
+#include "compile/static_to_mobile.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+
+namespace mobile::algo {
+namespace {
+
+using sim::Algorithm;
+using sim::Network;
+
+std::uint64_t foldOutputs(const std::vector<std::uint64_t>& outs) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto o : outs) {
+    h ^= o;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 31;
+  }
+  return h;
+}
+
+TEST(Mst, ReferenceIsSpanningTree) {
+  for (const auto& g :
+       {graph::clique(8), graph::torus(3, 4), graph::circulant(10, 2)}) {
+    const auto mst = mstReference(g);
+    EXPECT_EQ(mst.size(), static_cast<std::size_t>(g.nodeCount() - 1));
+    // Spanning: union-find over MST edges connects everything.
+    std::vector<int> parent(static_cast<std::size_t>(g.nodeCount()));
+    for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+    std::function<int(int)> find = [&](int x) {
+      while (parent[static_cast<std::size_t>(x)] != x) x = parent[static_cast<std::size_t>(x)];
+      return x;
+    };
+    for (const auto e : mst)
+      parent[static_cast<std::size_t>(find(g.edge(e).u))] = find(g.edge(e).v);
+    for (graph::NodeId v = 1; v < g.nodeCount(); ++v)
+      EXPECT_EQ(find(v), find(0));
+  }
+}
+
+TEST(Mst, RankingIsDeterministicAndComplete) {
+  const graph::Graph g = graph::hypercube(3);
+  const auto r1 = mstEdgeRanking(g);
+  const auto r2 = mstEdgeRanking(g);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1.size(), static_cast<std::size_t>(g.edgeCount()));
+}
+
+class MstGraphSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MstGraphSweep, DistributedMatchesKruskal) {
+  const int gk = GetParam();
+  const graph::Graph g = gk == 0   ? graph::clique(8)
+                         : gk == 1 ? graph::torus(3, 4)
+                         : gk == 2 ? graph::hypercube(3)
+                                   : graph::circulant(12, 3);
+  const Algorithm a = makeBoruvkaMst(g);
+  Network net(g, a, 1);
+  net.run(a.rounds);
+  EXPECT_EQ(net.outputs(), mstExpectedOutputs(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, MstGraphSweep, ::testing::Values(0, 1, 2, 3));
+
+TEST(Mst, SurvivesSecureCompilation) {
+  const graph::Graph g = graph::torus(3, 3);
+  const Algorithm inner = makeBoruvkaMst(g);
+  const std::uint64_t want = foldOutputs(mstExpectedOutputs(g));
+  const Algorithm compiled =
+      compile::compileStaticToMobile(g, inner, inner.rounds);
+  adv::RandomEavesdropper adv(2, 7);
+  Network net(g, compiled, 3, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(foldOutputs(net.outputs()), want);
+}
+
+TEST(Mst, SurvivesByzantineCompilation) {
+  // MST through the Theorem 3.5 compiler with the fast (one-shot) mode:
+  // a multi-phase fragment algorithm corrected round by round.
+  const graph::Graph g = graph::clique(8);
+  const Algorithm inner = makeBoruvkaMst(g, /*floodLen=*/4);
+  const std::uint64_t want = foldOutputs(mstExpectedOutputs(g));
+  const auto packing = compile::cliquePackingKnowledge(g);
+  compile::ByzOptions opts;
+  opts.correction = compile::CorrectionMode::SparseOneShot;
+  const Algorithm compiled =
+      compile::compileByzantineTree(g, inner, packing, 1, opts);
+  adv::RandomByzantine adv(1, 11);
+  Network net(g, compiled, 13, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(foldOutputs(net.outputs()), want);
+}
+
+}  // namespace
+}  // namespace mobile::algo

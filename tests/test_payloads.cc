@@ -1,0 +1,105 @@
+#include "algo/payloads.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+
+namespace mobile::algo {
+namespace {
+
+using sim::Algorithm;
+using sim::Network;
+
+TEST(Payloads, BfsMatchesOracle) {
+  const graph::Graph g = graph::torus(4, 4);
+  const int d = graph::diameter(g);
+  const Algorithm a = makeBfsTree(g, 0, d);
+  Network net(g, a, 1);
+  net.run(a.rounds);
+  const auto dist = graph::bfsDistances(g, 0);
+  const auto outs = net.outputs();
+  for (graph::NodeId v = 0; v < g.nodeCount(); ++v)
+    EXPECT_EQ(outs[static_cast<std::size_t>(v)],
+              static_cast<std::uint64_t>(dist[static_cast<std::size_t>(v)] + 1));
+}
+
+TEST(Payloads, SumAggregateComputesSum) {
+  const graph::Graph g = graph::hypercube(3);
+  std::vector<std::uint64_t> inputs{1, 2, 3, 4, 5, 6, 7, 8};
+  const Algorithm a = makeSumAggregate(g, 0, graph::diameter(g), inputs);
+  Network net(g, a, 1);
+  net.run(a.rounds);
+  for (const auto out : net.outputs()) EXPECT_EQ(out, 36u);
+}
+
+TEST(Payloads, SumAggregateDependsOnInputs) {
+  const graph::Graph g = graph::hypercube(3);
+  std::vector<std::uint64_t> in1{1, 0, 0, 0, 0, 0, 0, 0};
+  std::vector<std::uint64_t> in2{2, 0, 0, 0, 0, 0, 0, 0};
+  const int d = graph::diameter(g);
+  EXPECT_NE(sim::faultFreeFingerprint(g, makeSumAggregate(g, 0, d, in1), 1),
+            sim::faultFreeFingerprint(g, makeSumAggregate(g, 0, d, in2), 1));
+}
+
+TEST(Payloads, GossipHashAvalanche) {
+  // Changing one input changes every node's output (after >= diameter
+  // rounds of mixing).
+  const graph::Graph g = graph::cycle(8);
+  std::vector<std::uint64_t> in1(8, 5), in2(8, 5);
+  in2[3] = 6;
+  const Algorithm a1 = makeGossipHash(g, 6, in1);
+  const Algorithm a2 = makeGossipHash(g, 6, in2);
+  Network n1(g, a1, 1), n2(g, a2, 1);
+  n1.run(a1.rounds);
+  n2.run(a2.rounds);
+  const auto o1 = n1.outputs();
+  const auto o2 = n2.outputs();
+  for (std::size_t v = 0; v < o1.size(); ++v) EXPECT_NE(o1[v], o2[v]);
+}
+
+TEST(Payloads, PingPongInteracts) {
+  const graph::Graph g = graph::clique(4);
+  const Algorithm a = makePingPong(g, 0, 1, 6, 111, 222);
+  Network net(g, a, 1);
+  net.run(a.rounds);
+  const auto outs = net.outputs();
+  EXPECT_NE(outs[0], 111u);  // state evolved
+  EXPECT_NE(outs[1], 222u);
+  EXPECT_EQ(outs[2], 0u);  // bystanders idle
+}
+
+TEST(Payloads, PingPongAdaptivity) {
+  // Different B inputs change A's final state: genuine interaction.
+  const graph::Graph g = graph::clique(3);
+  const Algorithm a1 = makePingPong(g, 0, 1, 6, 111, 222);
+  const Algorithm a2 = makePingPong(g, 0, 1, 6, 111, 223);
+  Network n1(g, a1, 1), n2(g, a2, 1);
+  n1.run(a1.rounds);
+  n2.run(a2.rounds);
+  EXPECT_NE(n1.outputs()[0], n2.outputs()[0]);
+}
+
+TEST(Payloads, PathUnicastDelivers) {
+  const graph::Graph g = graph::cycle(8);
+  std::vector<graph::NodeId> path{0, 1, 2, 3, 4};
+  const Algorithm a = makePathUnicast(g, path, 0xabcd);
+  Network net(g, a, 1);
+  net.run(a.rounds);
+  EXPECT_EQ(net.outputs()[4], 0xabcdu);
+  EXPECT_EQ(net.outputs()[2], 0u);  // relay does not "output"
+  EXPECT_EQ(net.maxEdgeCongestion(), 1);  // the Jain profile
+}
+
+TEST(Payloads, DeclaredCongestionHolds) {
+  const graph::Graph g = graph::torus(3, 3);
+  std::vector<std::uint64_t> inputs(9, 7);
+  const Algorithm a = makeSumAggregate(g, 0, graph::diameter(g), inputs);
+  Network net(g, a, 1);
+  net.run(a.rounds);
+  EXPECT_LE(net.maxEdgeCongestion(), 2L * a.congestion * 2);
+}
+
+}  // namespace
+}  // namespace mobile::algo

@@ -1,0 +1,113 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/stats.h"
+
+namespace mobile::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(123);
+  std::vector<std::uint64_t> counts(16, 0);
+  const int trials = 160000;
+  for (int i = 0; i < trials; ++i) ++counts[r.below(16)];
+  const double stat = chiSquareUniform(counts);
+  EXPECT_LT(stat, chiSquareCritical999(15));
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Rng parent(77);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SampleDistinctProducesDistinct) {
+  Rng r(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = r.sampleDistinct(20, 7);
+    EXPECT_EQ(s.size(), 7u);
+    std::set<std::size_t> set(s.begin(), s.end());
+    EXPECT_EQ(set.size(), 7u);
+    for (const auto x : s) EXPECT_LT(x, 20u);
+  }
+}
+
+TEST(Rng, SampleDistinctFullRange) {
+  Rng r(13);
+  const auto s = r.sampleDistinct(5, 5);
+  std::set<std::size_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 5u);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(SplitMix, KnownGoodMixing) {
+  std::uint64_t s1 = 0, s2 = 1;
+  const std::uint64_t a = splitmix64(s1);
+  const std::uint64_t b = splitmix64(s2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, 0u);
+}
+
+}  // namespace
+}  // namespace mobile::util

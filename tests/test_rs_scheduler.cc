@@ -1,0 +1,106 @@
+// Lemma 3.3: scheduled tree protocols -- all but O(f * eta) trees end
+// correctly under an f-mobile byzantine adversary.
+#include "compile/rs_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "adv/strategies.h"
+#include "compile/expander_packing.h"
+#include "graph/generators.h"
+#include "graph/tree_packing.h"
+#include "sim/network.h"
+
+namespace mobile::compile {
+namespace {
+
+using sim::Algorithm;
+using sim::Network;
+
+TEST(RsScheduler, AllTreesCorrectWithoutAdversary) {
+  const graph::Graph g = graph::clique(10);
+  const auto pk = cliquePackingKnowledge(g);
+  auto shared = std::make_shared<ScheduledBroadcastShared>();
+  const Algorithm a = makeScheduledTreeBroadcast(g, pk, {}, shared);
+  Network net(g, a, 1);
+  net.run(a.rounds);
+  EXPECT_EQ(countCorrectTrees(*shared, *pk), pk->k);
+}
+
+TEST(RsScheduler, SlotScheduleArithmetic) {
+  const SlotSchedule s{3, 2};
+  EXPECT_EQ(s.roundsPerStep(), 6);
+  EXPECT_EQ(s.blockRounds(4), 24);
+  EXPECT_EQ(s.stepOf(0), 0);
+  EXPECT_EQ(s.stepOf(5), 0);
+  EXPECT_EQ(s.stepOf(6), 1);
+  EXPECT_EQ(s.repOf(0), 0);
+  EXPECT_EQ(s.repOf(3), 1);
+  EXPECT_EQ(s.slotOf(4), 1);
+}
+
+class SchedulerAdversarySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerAdversarySweep, MostTreesSurviveMobileAttack) {
+  const int f = GetParam();
+  const graph::Graph g = graph::clique(16);
+  const auto pk = cliquePackingKnowledge(g);
+  EngineOptions engine;  // hop repetition, rho = 3
+  auto shared = std::make_shared<ScheduledBroadcastShared>();
+  const Algorithm a = makeScheduledTreeBroadcast(g, pk, engine, shared);
+  adv::RandomByzantine adv(f, 42 + static_cast<std::uint64_t>(f));
+  Network net(g, a, 7, &adv);
+  net.run(a.rounds);
+  const int correct = countCorrectTrees(*shared, *pk);
+  // Budget argument: the adversary spends f * rounds edge-rounds; flipping
+  // one tree's delivery needs ceil(rho/2) = 2 hits on that tree's window.
+  const int rounds = a.rounds;
+  const int maxBad = f * rounds / 2;
+  EXPECT_GE(correct, pk->k - maxBad);
+  // And concretely, a strong majority must survive for small f.
+  if (f <= 2) {
+    EXPECT_GE(correct, (pk->k * 3) / 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fs, SchedulerAdversarySweep, ::testing::Values(1, 2, 4));
+
+TEST(RsScheduler, ContractEngineIdealizes) {
+  const graph::Graph g = graph::clique(12);
+  const auto pk = cliquePackingKnowledge(g);
+  EngineOptions engine;
+  engine.mode = EngineMode::Contract;
+  engine.cRS = 2;
+  auto shared = std::make_shared<ScheduledBroadcastShared>();
+  shared->ledger = std::make_shared<adv::CorruptionLedger>();
+  const Algorithm a = makeScheduledTreeBroadcast(g, pk, engine, shared);
+  adv::RandomByzantine adv(2, 5);
+  Network net(g, a, 3, &adv, {}, shared->ledger);
+  net.run(a.rounds);
+  // Trees that the oracle says survived must be correct.
+  int survivors = 0;
+  for (int t = 0; t < pk->k; ++t) {
+    if (shared->oracle->survives(t, 1, a.rounds, pk->depthBound, engine.cRS)) {
+      ++survivors;
+      for (const auto& row : shared->received)
+        EXPECT_EQ(row[static_cast<std::size_t>(t)],
+                  shared->truth[static_cast<std::size_t>(t)]);
+    }
+  }
+  EXPECT_GT(survivors, 0);
+}
+
+TEST(RsScheduler, CampingAdversaryKillsOnlyTouchedTrees) {
+  // A camping adversary on one edge can only damage the <= eta trees using
+  // that edge.
+  const graph::Graph g = graph::clique(12);
+  const auto pk = cliquePackingKnowledge(g);
+  auto shared = std::make_shared<ScheduledBroadcastShared>();
+  const Algorithm a = makeScheduledTreeBroadcast(g, pk, {}, shared);
+  adv::CampingByzantine adv({0}, 1, 9);
+  Network net(g, a, 11, &adv);
+  net.run(a.rounds);
+  EXPECT_GE(countCorrectTrees(*shared, *pk), pk->k - pk->eta);
+}
+
+}  // namespace
+}  // namespace mobile::compile

@@ -1,0 +1,101 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/payloads.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+
+namespace mobile::sim {
+namespace {
+
+TEST(Network, FloodMaxFindsLeader) {
+  const graph::Graph g = graph::cycle(10);
+  const Algorithm a = algo::makeFloodMax(g, 6);
+  Network net(g, a, 1);
+  net.run(a.rounds);
+  for (const auto out : net.outputs()) EXPECT_EQ(out, 9u);
+}
+
+TEST(Network, FloodMaxNeedsDiameterRounds) {
+  const graph::Graph g = graph::cycle(10);  // diameter 5
+  const Algorithm a = algo::makeFloodMax(g, 2);  // too few rounds
+  Network net(g, a, 1);
+  net.run(a.rounds);
+  bool anyShort = false;
+  for (const auto out : net.outputs())
+    if (out != 9u) anyShort = true;
+  EXPECT_TRUE(anyShort);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  const graph::Graph g = graph::hypercube(3);
+  std::vector<std::uint64_t> inputs(8);
+  for (std::size_t i = 0; i < 8; ++i) inputs[i] = 100 + i;
+  const Algorithm a = algo::makeGossipHash(g, 5, inputs);
+  EXPECT_EQ(faultFreeFingerprint(g, a, 1), faultFreeFingerprint(g, a, 2));
+}
+
+TEST(Network, MessageAccounting) {
+  const graph::Graph g = graph::clique(4);
+  const Algorithm a = algo::makeFloodMax(g, 3);
+  Network net(g, a, 1);
+  net.run(a.rounds);
+  // 3 rounds, 12 arcs each.
+  EXPECT_EQ(net.messagesSent(), 36);
+  EXPECT_EQ(net.maxEdgeCongestion(), 6);  // 2 arcs x 3 rounds
+  EXPECT_EQ(net.maxWordsObserved(), 1u);
+}
+
+TEST(Network, StopsWhenAllDone) {
+  const graph::Graph g = graph::cycle(6);
+  std::vector<graph::NodeId> path{0, 1, 2, 3};
+  const Algorithm a = algo::makePathUnicast(g, path, 77);
+  Network net(g, a, 1);
+  const int executed = net.run(100);
+  EXPECT_LE(executed, 100);
+}
+
+TEST(Network, RunExactIgnoresDone) {
+  const graph::Graph g = graph::cycle(6);
+  const Algorithm a = algo::makeFloodMax(g, 3);
+  Network net(g, a, 1);
+  net.runExact(10);
+  EXPECT_EQ(net.roundsExecuted(), 10);
+}
+
+TEST(Network, OutputsFingerprintStable) {
+  const graph::Graph g = graph::clique(5);
+  const Algorithm a = algo::makeFloodMax(g, 2);
+  Network n1(g, a, 1), n2(g, a, 99);
+  n1.run(a.rounds);
+  n2.run(a.rounds);
+  // FloodMax is deterministic: fingerprints agree across seeds.
+  EXPECT_EQ(n1.outputsFingerprint(), n2.outputsFingerprint());
+}
+
+TEST(Network, BandwidthCapEnforced) {
+  const graph::Graph g = graph::cycle(4);
+  Algorithm a;
+  a.rounds = 1;
+  a.makeNode = [](graph::NodeId, const graph::Graph& gg, util::Rng) {
+    class Wide final : public NodeState {
+     public:
+      void send(int, Outbox& out) override {
+        Msg m;
+        for (int i = 0; i < 10; ++i) m.push(1);
+        out.toAll(m);
+      }
+      void receive(int, const Inbox&) override {}
+    };
+    (void)gg;
+    return std::make_unique<Wide>();
+  };
+  NetworkOptions opts;
+  opts.maxWordsPerMsg = 4;
+  Network net(g, a, 1, nullptr, opts);
+  EXPECT_THROW(net.run(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mobile::sim

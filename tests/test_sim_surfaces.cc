@@ -1,0 +1,97 @@
+// Unit coverage for the simulator's value types and I/O surfaces: Msg
+// semantics, capture outboxes/inboxes (the compiler-composition seam), and
+// the table formatter used by every benchmark.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "sim/message.h"
+#include "sim/node.h"
+#include "util/table.h"
+
+namespace mobile {
+namespace {
+
+TEST(Msg, AbsentByDefault) {
+  sim::Msg m;
+  EXPECT_FALSE(m.present);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.atOr(0, 42), 42u);
+}
+
+TEST(Msg, OfAndPush) {
+  sim::Msg m = sim::Msg::of(7);
+  EXPECT_TRUE(m.present);
+  EXPECT_EQ(m.at(0), 7u);
+  m.push(9);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(1), 9u);
+}
+
+TEST(Msg, EqualitySemantics) {
+  sim::Msg absent1, absent2;
+  EXPECT_EQ(absent1, absent2);  // two absent messages are equal
+  EXPECT_NE(absent1, sim::Msg::of(0));
+  EXPECT_EQ(sim::Msg::of(5), sim::Msg::of(5));
+  EXPECT_NE(sim::Msg::of(5), sim::Msg::of(6));
+  sim::Msg longer = sim::Msg::of(5);
+  longer.push(0);
+  EXPECT_NE(sim::Msg::of(5), longer);  // same prefix, different length
+}
+
+TEST(Msg, DigestSeparates) {
+  EXPECT_NE(sim::Msg().digest(), sim::Msg::of(0).digest());
+  EXPECT_NE(sim::Msg::of(1).digest(), sim::Msg::of(2).digest());
+  sim::Msg a = sim::Msg::ofWords({1, 2});
+  sim::Msg b = sim::Msg::ofWords({2, 1});
+  EXPECT_NE(a.digest(), b.digest());  // order-sensitive
+}
+
+TEST(MapSurfaces, OutboxCapturesAndInboxDelivers) {
+  const graph::Graph g = graph::cycle(4);
+  sim::MapOutbox out(g, 0);
+  out.to(1, sim::Msg::of(11));
+  out.to(3, sim::Msg::of(33));
+  EXPECT_EQ(out.messages().size(), 2u);
+  EXPECT_EQ(out.messages().at(1).at(0), 11u);
+
+  sim::MapInbox in(g, 0);
+  EXPECT_FALSE(in.from(1).present);  // empty until put
+  in.put(1, sim::Msg::of(99));
+  EXPECT_TRUE(in.from(1).present);
+  EXPECT_EQ(in.from(1).at(0), 99u);
+  EXPECT_FALSE(in.from(3).present);
+}
+
+TEST(MapSurfaces, ToAllReachesEveryNeighbor) {
+  const graph::Graph g = graph::clique(5);
+  sim::MapOutbox out(g, 2);
+  out.toAll(sim::Msg::of(1));
+  EXPECT_EQ(out.messages().size(), 4u);  // every neighbor of node 2
+  EXPECT_EQ(out.messages().count(2), 0u);  // not itself
+}
+
+TEST(Table, FormatsAlignedMarkdown) {
+  util::Table t({"a", "long header", "c"});
+  t.addRow({"1", "x", "yes"});
+  t.addRow({"22", "yyyy"});  // short row padded
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| a  | long header | c   |"), std::string::npos);
+  EXPECT_NE(s.find("| 22 | yyyy        |     |"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(s.find("|----"), std::string::npos);
+}
+
+TEST(Table, CellFormatters) {
+  EXPECT_EQ(util::Table::num(42), "42");
+  EXPECT_EQ(util::Table::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(util::Table::pct(0.5), "50.0%");
+  EXPECT_EQ(util::Table::boolean(true), "yes");
+  EXPECT_EQ(util::Table::boolean(false), "no");
+}
+
+}  // namespace
+}  // namespace mobile

@@ -1,0 +1,124 @@
+// Theorem 1.2: static-to-mobile compilation -- output equivalence and
+// measured security under mobile eavesdroppers.
+#include "compile/static_to_mobile.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "adv/strategies.h"
+#include "algo/payloads.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+#include "util/stats.h"
+
+namespace mobile::compile {
+namespace {
+
+using sim::Algorithm;
+using sim::Network;
+
+TEST(StaticToMobile, OutputEquivalenceFloodMax) {
+  const graph::Graph g = graph::torus(3, 4);
+  const Algorithm inner = algo::makeFloodMax(g, graph::diameter(g) + 1);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileStaticToMobile(g, inner, 6);
+  Network net(g, compiled, 7);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(StaticToMobile, OutputEquivalenceSumWithEavesdropper) {
+  const graph::Graph g = graph::hypercube(3);
+  std::vector<std::uint64_t> inputs{9, 8, 7, 6, 5, 4, 3, 2};
+  const Algorithm inner =
+      algo::makeSumAggregate(g, 0, graph::diameter(g), inputs);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileStaticToMobile(g, inner, 8);
+  adv::RandomEavesdropper adv(3, 555);  // passive: cannot break correctness
+  Network net(g, compiled, 7, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+TEST(StaticToMobile, RoundCountMatchesTheorem) {
+  const graph::Graph g = graph::cycle(6);
+  const Algorithm inner = algo::makeFloodMax(g, 4);
+  StaticToMobileStats stats;
+  const Algorithm compiled =
+      compileStaticToMobile(g, inner, 10, &stats, /*staticF=*/4);
+  EXPECT_EQ(stats.totalRounds, 2 * 4 + 10);
+  EXPECT_EQ(compiled.rounds, stats.totalRounds);
+  // f' = floor(f (t+1) / (r+t)) = floor(4*11/14) = 3.
+  EXPECT_EQ(stats.mobileF, 3);
+}
+
+TEST(StaticToMobile, TGe2frGivesFullF) {
+  const graph::Graph g = graph::cycle(6);
+  const Algorithm inner = algo::makeFloodMax(g, 3);
+  StaticToMobileStats stats;
+  const int f = 2;
+  [[maybe_unused]] const Algorithm a =
+      compileStaticToMobile(g, inner, 2 * f * inner.rounds, &stats, f);
+  EXPECT_EQ(stats.mobileF, f);
+}
+
+TEST(StaticToMobile, Phase2TrafficLooksUniformToEavesdropper) {
+  // On good edges every phase-2 word is OTP-masked; the eavesdropper's
+  // observed low nibbles must pass chi-square.
+  const graph::Graph g = graph::cycle(8);
+  std::vector<std::uint64_t> inputs(8, 5);
+  const Algorithm inner = algo::makeGossipHash(g, 4, inputs);
+  const int t = 2 * 1 * inner.rounds;  // f'=1 regime
+  std::vector<std::uint64_t> nibbles(16, 0);
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Algorithm compiled = compileStaticToMobile(g, inner, t);
+    adv::RandomEavesdropper adv(1, 1000 + seed);
+    Network net(g, compiled, seed, &adv);
+    net.run(compiled.rounds);
+    const int ell = inner.rounds + t;
+    for (const auto& rec : adv.viewLog()) {
+      if (rec.round <= ell) continue;  // phase 1 is uniform by construction
+      if (rec.uv.present) ++nibbles[rec.uv.at(0) & 0xf];
+      if (rec.vu.present) ++nibbles[rec.vu.at(0) & 0xf];
+    }
+  }
+  EXPECT_LT(util::chiSquareUniform(nibbles), util::chiSquareCritical999(15));
+}
+
+TEST(StaticToMobile, ViewIndistinguishableAcrossInputs) {
+  // The adversary's view distribution must not depend on the inputs.
+  const graph::Graph g = graph::cycle(6);
+  std::vector<std::uint64_t> in1(6, 1), in2(6, 9);
+  std::map<std::uint64_t, std::uint64_t> distA, distB;
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    for (int which = 0; which < 2; ++which) {
+      const Algorithm inner =
+          algo::makeGossipHash(g, 3, which == 0 ? in1 : in2);
+      const Algorithm compiled = compileStaticToMobile(g, inner, 6);
+      adv::CampingEavesdropper adv({0, 3}, 2);
+      Network net(g, compiled, seed * 2 + static_cast<std::uint64_t>(which),
+                  &adv);
+      net.run(compiled.rounds);
+      auto& dist = which == 0 ? distA : distB;
+      for (const auto& rec : adv.viewLog())
+        if (rec.uv.present) ++dist[rec.uv.at(0) & 0xf];
+    }
+  }
+  EXPECT_LT(util::totalVariation(distA, distB), 0.12);
+}
+
+TEST(StaticToMobile, WorksUnderSweepingEavesdropper) {
+  const graph::Graph g = graph::circulant(8, 2);
+  const Algorithm inner = algo::makeFloodMax(g, graph::diameter(g) + 1);
+  const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
+  const Algorithm compiled = compileStaticToMobile(g, inner, 12);
+  adv::SweepingEavesdropper adv(4);
+  Network net(g, compiled, 3, &adv);
+  net.run(compiled.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), want);
+}
+
+}  // namespace
+}  // namespace mobile::compile

@@ -1,0 +1,100 @@
+#include "graph/tree_packing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace mobile::graph {
+namespace {
+
+TEST(StarPacking, CliqueProperties) {
+  const Graph g = clique(8);
+  const TreePacking p = cliqueStarPacking(g);
+  const PackingStats s = analyzePacking(p, g);
+  EXPECT_EQ(s.treeCount, 8u);
+  EXPECT_EQ(s.spanningCount, 8u);
+  EXPECT_LE(s.maxDepth, 2);
+  EXPECT_LE(s.maxLoad, 2u);  // paper: load exactly 2
+  EXPECT_TRUE(s.weakValid);
+}
+
+TEST(StarPacking, CommonRoot) {
+  const Graph g = clique(5);
+  const TreePacking p = cliqueStarPacking(g);
+  for (const auto& t : p.trees) EXPECT_EQ(t.root, 0);
+}
+
+class GreedyPackingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyPackingSweep, LoadAndDepthOnHypercube) {
+  const int k = GetParam();
+  const Graph g = hypercube(4);  // 16 nodes, 4-edge-connected, diameter 4
+  const TreePacking p = greedyLowDepthPacking(g, k, 0, /*depthCap=*/6);
+  const PackingStats s = analyzePacking(p, g);
+  EXPECT_EQ(s.treeCount, static_cast<std::size_t>(k));
+  EXPECT_EQ(s.spanningCount, static_cast<std::size_t>(k));
+  EXPECT_LE(s.maxDepth, 6);
+  // Theorem C.2 shape: load = O(k/lambda * log^2 n); empirically small.
+  const double n = 16.0;
+  const double bound =
+      std::ceil(static_cast<double>(k) / 4.0 *
+                std::log2(n) * std::log2(n)) + 2.0;
+  EXPECT_LE(static_cast<double>(s.maxLoad), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, GreedyPackingSweep, ::testing::Values(2, 4, 8));
+
+TEST(GreedyPacking, CliqueManyTrees) {
+  const Graph g = clique(10);
+  const TreePacking p = greedyLowDepthPacking(g, 8, 0, 3);
+  const PackingStats s = analyzePacking(p, g);
+  EXPECT_EQ(s.spanningCount, 8u);
+  EXPECT_LE(s.maxDepth, 3);
+  EXPECT_LE(s.maxLoad, 6u);
+}
+
+TEST(GreedyPacking, SpreadsLoadBetterThanReuse) {
+  // With k <= lambda/2 the greedy loads should stay near k * depth / m *
+  // something small; specifically no edge should carry every tree.
+  const Graph g = circulant(16, 3);  // 6-edge-connected
+  const TreePacking p = greedyLowDepthPacking(g, 6, 0, 6);
+  const PackingStats s = analyzePacking(p, g);
+  EXPECT_EQ(s.spanningCount, 6u);
+  EXPECT_LT(s.maxLoad, 6u);
+}
+
+TEST(RandomPartitionPacking, BaselineOftenFailsToSpan) {
+  // The Karger-style baseline with k classes on a sparse graph rarely
+  // yields spanning classes -- the motivating contrast for Theorem C.2.
+  util::Rng rng(7);
+  const Graph g = circulant(16, 2);  // 4-regular
+  const TreePacking p = randomPartitionPacking(g, 4, 0, rng);
+  const PackingStats s = analyzePacking(p, g);
+  EXPECT_EQ(s.treeCount, 4u);
+  EXPECT_LT(s.spanningCount, 4u);  // w.h.p. some class disconnects
+  EXPECT_LE(s.maxLoad, 1u);        // but load is trivially 1
+}
+
+TEST(RandomPartitionPacking, DenseCliqueMostlySpans) {
+  util::Rng rng(8);
+  const Graph g = clique(16);
+  const TreePacking p = randomPartitionPacking(g, 3, 0, rng);
+  const PackingStats s = analyzePacking(p, g);
+  EXPECT_EQ(s.spanningCount, 3u);
+}
+
+TEST(AnalyzePacking, WeakValidityThreshold) {
+  const Graph g = clique(6);
+  TreePacking p = cliqueStarPacking(g);
+  // Break two of six trees (truncate them): 4/6 < 0.9 -> not weak-valid.
+  p.trees[1].depth.assign(6, -1);
+  p.trees[2].depth.assign(6, -1);
+  const PackingStats s = analyzePacking(p, g);
+  EXPECT_FALSE(s.weakValid);
+}
+
+}  // namespace
+}  // namespace mobile::graph

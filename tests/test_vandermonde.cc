@@ -1,0 +1,119 @@
+#include "gf/vandermonde.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace mobile::gf {
+namespace {
+
+TEST(Vandermonde, Shape) {
+  const Vandermonde m(5, 3);
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(m.at(i, 0), F16(1));
+}
+
+TEST(Vandermonde, RowsAreGeometric) {
+  const Vandermonde m(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const F16 alpha = m.at(i, 1);
+    for (std::size_t j = 1; j < 4; ++j)
+      EXPECT_EQ(m.at(i, j), m.at(i, j - 1) * alpha);
+  }
+}
+
+TEST(Vandermonde, AnySquareSubmatrixInvertible) {
+  // Classic Vandermonde property: any m of the n rows are independent.
+  const std::size_t n = 6, k = 3;
+  const Vandermonde m(n, k);
+  util::Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto rows = rng.sampleDistinct(n, k);
+    std::vector<std::vector<F16>> a(k, std::vector<F16>(k));
+    for (std::size_t i = 0; i < k; ++i)
+      for (std::size_t j = 0; j < k; ++j) a[i][j] = m.at(rows[i], j);
+    std::vector<F16> b(k, F16(1));
+    const auto sol = solveLinear(a, b);
+    EXPECT_FALSE(sol.empty()) << "singular submatrix at trial " << trial;
+  }
+}
+
+TEST(Vandermonde, ApplyTransposedMatchesManual) {
+  const Vandermonde m(3, 2);
+  const std::vector<F16> x{F16(7), F16(11), F16(13)};
+  const auto y = m.applyTransposed(x);
+  ASSERT_EQ(y.size(), 2u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    F16 acc(0);
+    for (std::size_t i = 0; i < 3; ++i) acc += x[i] * m.at(i, j);
+    EXPECT_EQ(y[j], acc);
+  }
+}
+
+TEST(SolveLinear, RoundTripRandomSystems) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + trial % 6;
+    std::vector<std::vector<F16>> a(n, std::vector<F16>(n));
+    std::vector<F16> z(n);
+    for (auto& zi : z) zi = F16(static_cast<std::uint16_t>(rng.next()));
+    for (auto& row : a)
+      for (auto& cell : row) cell = F16(static_cast<std::uint16_t>(rng.next()));
+    // b = A z; recover z (or verify alternate solution if singular).
+    std::vector<F16> b(n, F16(0));
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) b[i] += a[i][j] * z[j];
+    const auto sol = solveLinear(a, b);
+    if (sol.empty()) continue;  // singular random matrix: allowed
+    std::vector<F16> check(n, F16(0));
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) check[i] += a[i][j] * sol[j];
+    EXPECT_EQ(check, b);
+  }
+}
+
+TEST(SolveLinear, SingularReturnsEmpty) {
+  std::vector<std::vector<F16>> a{{F16(1), F16(2)}, {F16(1), F16(2)}};
+  std::vector<F16> b{F16(1), F16(2)};  // inconsistent duplicate rows
+  EXPECT_TRUE(solveLinear(a, b).empty());
+}
+
+TEST(SolveLinearAny, UnderdeterminedFindsASolution) {
+  // One equation, two unknowns: x + y = 5 (in GF(2^16): XOR semantics of +
+  // only for addition of values, multiplication still field mult).
+  std::vector<std::vector<F16>> a{{F16(1), F16(1)}};
+  std::vector<F16> b{F16(5)};
+  const auto sol = solveLinearAny(a, b, 2);
+  ASSERT_EQ(sol.size(), 2u);
+  EXPECT_EQ(sol[0] + sol[1], F16(5));
+}
+
+TEST(SolveLinearAny, InconsistentReturnsEmpty) {
+  std::vector<std::vector<F16>> a{{F16(1), F16(1)}, {F16(1), F16(1)}};
+  std::vector<F16> b{F16(5), F16(6)};
+  EXPECT_TRUE(solveLinearAny(a, b, 2).empty());
+}
+
+TEST(SolveLinearAny, OverdeterminedConsistent) {
+  util::Rng rng(10);
+  // 4 equations in 2 unknowns, all generated from a ground-truth z.
+  std::vector<F16> z{F16(321), F16(1234)};
+  std::vector<std::vector<F16>> a(4, std::vector<F16>(2));
+  std::vector<F16> b(4, F16(0));
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      a[i][j] = F16(static_cast<std::uint16_t>(rng.next()));
+      b[i] += a[i][j] * z[j];
+    }
+  }
+  const auto sol = solveLinearAny(a, b, 2);
+  ASSERT_FALSE(sol.empty());
+  EXPECT_EQ(sol[0], z[0]);
+  EXPECT_EQ(sol[1], z[1]);
+}
+
+}  // namespace
+}  // namespace mobile::gf
