@@ -7,6 +7,12 @@
 //   * FloodMax (leader/value agreement) under byzantine compilation;
 //   * the naive 2f+1-repetition baseline failing against a camping botnet
 //     while the compiled protocol survives both botnet behaviours.
+//
+// Expected output (exit code 0 on success): a four-row table -- the Thm 1.6
+// compiler reaches agreement against both the hopping and the camping
+// botnet, the naive-repetition baseline reaches agreement against hopping
+// but is BROKEN by camping -- followed by
+// "expected contrast reproduced: YES".
 #include <cstdio>
 
 #include "adv/strategies.h"

@@ -4,6 +4,11 @@
 // flap at once.  Per-round budgets are useless here; this is Theorem 4.1's
 // round-error-rate model, and the rewind-if-error compiler absorbs it by
 // detecting transcript divergence and rolling the whole network back.
+//
+// Expected output (exit code 0 on success): a report showing the two
+// bursty global rounds being rewound ("global rounds rewound  : 2 of 15"),
+// the potential function Phi ending at or above the handshake's round
+// count, and "handshake outcome matches calm network: YES".
 #include <cstdio>
 #include <map>
 

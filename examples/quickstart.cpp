@@ -9,6 +9,12 @@
 //      that corrupts TWO different edges EVERY round.
 //
 // The compiled run reproduces the fault-free outputs bit-for-bit.
+//
+// Expected output (exit code 0 on success): a four-line report ending in
+// "outputs match fault-free run: YES".  The compiled round count shows the
+// compiler's overhead over the 2-round payload (~1000x at this small size);
+// "edges corrupted" equals f * compiled-rounds because the adversary hits
+// its full budget every round.
 #include <cstdio>
 
 #include "adv/strategies.h"

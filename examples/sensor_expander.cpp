@@ -3,6 +3,10 @@
 // The twist of Theorem 1.7: the tree packing itself is computed *while the
 // jammer is active* (Lemma 3.10's coloring + BFS protocol with padded
 // rounds), then the payload is compiled over the surviving trees.
+//
+// Expected output (exit code 0 on success): stage 1 reports at least k-1
+// of the k=3 trees surviving the jammed packing computation; stage 2 ends
+// with "checksum agrees with fault-free mesh: YES".
 #include <cstdio>
 
 #include "adv/strategies.h"

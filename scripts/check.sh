@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Tier-1 verify entry point. CI and humans run exactly this; keep it in sync
+# with the "Tier-1 verify" line in ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

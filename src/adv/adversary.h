@@ -15,6 +15,7 @@
 // The TamperView enforces the per-model budgets; the Network diffs pre/post
 // messages into a CorruptionLedger, the ground truth used by accounting,
 // tests, and the ContractEngine ideal functionality (see DESIGN.md).
+// docs/architecture.md section 2 describes the diff-based ledger contract.
 #pragma once
 
 #include <cstdint>

@@ -25,7 +25,8 @@ constexpr unsigned kUniverseBits = 60;
 constexpr std::uint64_t kAbsentChunk = 1;  // chunk=1 encodes "no message"
 
 std::uint64_t deriveSketchSeed(std::uint64_t treeSeed, int h) {
-  std::uint64_t st = treeSeed ^ (0xabcdef12345678ULL * static_cast<std::uint64_t>(h + 1));
+  std::uint64_t st = treeSeed ^ (std::uint64_t{0xabcdef12345678u} *
+                                 static_cast<std::uint64_t>(h + 1));
   return util::splitmix64(st);
 }
 

@@ -12,6 +12,9 @@
 //    preprocessing the beliefs are globally consistent; the expander
 //    protocol (Lemma 3.10) produces per-node beliefs that may disagree on
 //    adversarially colored edges, which the weak-packing analysis absorbs.
+//
+// See docs/architecture.md section 4 for how these two pieces slot into
+// the compiler pipeline.
 #pragma once
 
 #include <algorithm>

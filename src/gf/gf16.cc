@@ -74,7 +74,9 @@ std::vector<F16> packBytes(const std::vector<std::uint8_t>& bytes) {
   out.reserve((bytes.size() + 1) / 2);
   for (std::size_t i = 0; i < bytes.size(); i += 2) {
     std::uint16_t v = bytes[i];
-    if (i + 1 < bytes.size()) v |= static_cast<std::uint16_t>(bytes[i + 1]) << 8;
+    if (i + 1 < bytes.size()) {
+      v = static_cast<std::uint16_t>(v | (bytes[i + 1] << 8));
+    }
     out.push_back(F16(v));
   }
   return out;

@@ -30,7 +30,9 @@ struct UnitFlow {
 
   void push(NodeId from, EdgeId e) {
     const Edge& ed = g.edge(e);
-    flow[static_cast<std::size_t>(e)] += (from == ed.u) ? 1 : -1;
+    flow[static_cast<std::size_t>(e)] =
+        static_cast<std::int8_t>(flow[static_cast<std::size_t>(e)] +
+                                 ((from == ed.u) ? 1 : -1));
     assert(flow[static_cast<std::size_t>(e)] >= -1 &&
            flow[static_cast<std::size_t>(e)] <= 1);
   }
@@ -84,6 +86,7 @@ std::vector<std::vector<NodeId>> edgeDisjointPaths(const Graph& g, NodeId s,
     std::vector<NodeId> path{s};
     NodeId v = s;
     std::size_t guard = 0;
+    (void)guard;  // incremented only inside assert; unused under NDEBUG
     while (v != t) {
       assert(++guard < static_cast<std::size_t>(g.edgeCount()) + 2);
       bool advanced = false;

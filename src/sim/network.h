@@ -5,6 +5,10 @@
 // with deterministic seeding, message-size enforcement, per-edge congestion
 // accounting, and ground-truth corruption recording (the diff between the
 // pre- and post-adversary arc buffers feeds the CorruptionLedger).
+//
+// docs/architecture.md spells out the three contracts this header pins
+// down: the round schedule, the corruption ground truth, and the
+// bandwidth/congestion accounting.
 #pragma once
 
 #include <memory>

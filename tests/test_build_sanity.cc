@@ -1,0 +1,67 @@
+// Link-level smoke test: touches one entry point of each library module so
+// that a broken target (missing source in CMakeLists, ODR breakage, header
+// drift) fails fast here before the deeper suites run.
+#include <gtest/gtest.h>
+
+#include "algo/payloads.h"
+#include "coding/reed_solomon.h"
+#include "gf/gf16.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace mobile {
+namespace {
+
+TEST(BuildSanity, GraphConstructs) {
+  graph::Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(2, 3);
+  EXPECT_EQ(g.nodeCount(), 4);
+  EXPECT_EQ(g.edgeCount(), 3);
+  EXPECT_EQ(g.arcCount(), 6);
+  EXPECT_TRUE(g.hasEdge(1, 2));
+  EXPECT_FALSE(g.hasEdge(0, 3));
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(BuildSanity, NetworkRunsOneRound) {
+  const graph::Graph g = graph::clique(4);
+  const sim::Algorithm a = algo::makeFloodMax(g, 3);
+  sim::Network net(g, a, /*seed=*/1);
+  net.runExact(1);
+  EXPECT_EQ(net.roundsExecuted(), 1);
+  EXPECT_GT(net.messagesSent(), 0);
+}
+
+TEST(BuildSanity, GF16Multiply) {
+  const gf::F16 a(0x1234);
+  EXPECT_EQ(a * gf::F16(1), a);
+  EXPECT_EQ(a * gf::F16(0), gf::F16(0));
+  ASSERT_FALSE(a.isZero());
+  EXPECT_EQ(a * a.inverse(), gf::F16(1));
+}
+
+TEST(BuildSanity, ReedSolomonRoundTrip) {
+  const coding::ReedSolomon rs(/*ell=*/4, /*k=*/10);
+  util::Rng rng(7);
+  std::vector<gf::F16> message;
+  for (int i = 0; i < 4; ++i) {
+    message.emplace_back(static_cast<std::uint16_t>(rng.next()));
+  }
+  std::vector<gf::F16> codeword = rs.encode(message);
+  ASSERT_EQ(codeword.size(), 10u);
+
+  // Corrupt up to maxErrors() symbols; unique decoding must still recover.
+  codeword[1] = codeword[1] + gf::F16(1);
+  codeword[6] = codeword[6] + gf::F16(0x7777);
+  ASSERT_LE(2u, rs.maxErrors());
+  const auto decoded = rs.decode(codeword);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, message);
+}
+
+}  // namespace
+}  // namespace mobile
