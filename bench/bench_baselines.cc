@@ -4,7 +4,8 @@
 // mobile adversary that camps on the same edges; uncompiled algorithms fail
 // under any byzantine interference; the Theorem 3.5 compiler survives the
 // identical attacks.
-// Measured: head-to-head failure rates across strategies.
+// Measured: head-to-head failure rates across strategies, as a seed sweep
+// on the ExperimentDriver (trials run in parallel with --threads > 1).
 #include <iostream>
 
 #include "adv/strategies.h"
@@ -12,63 +13,101 @@
 #include "compile/baselines.h"
 #include "compile/byz_tree_compiler.h"
 #include "compile/expander_packing.h"
+#include "exp/bench_args.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 #include "util/table.h"
 
 using namespace mobile;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
   std::cout << "# T16: Baselines and negative controls\n\n";
-  util::Table table({"scheme", "adversary", "f", "rounds", "seeds correct",
-                     "verdict"});
-  const graph::Graph g = graph::clique(10);
-  const auto pk = compile::cliquePackingKnowledge(g);
-  std::vector<std::uint64_t> inputs(10, 9);
-  const sim::Algorithm inner32 = algo::makeGossipHash(g, 2, inputs, 32);
-  const sim::Algorithm inner64 = algo::makeGossipHash(g, 2, inputs);
-  const std::uint64_t want32 = sim::faultFreeFingerprint(g, inner32, 1);
-  const std::uint64_t want64 = sim::faultFreeFingerprint(g, inner64, 1);
+
+  const int n = args.smoke ? 8 : 10;
+  const int seeds = args.smoke ? 2 : 5;
+  const graph::Graph g = graph::clique(n);
+  std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n), 9);
 
   struct Scheme {
     std::string name;
-    sim::Algorithm algo;
-    std::uint64_t want;
+    std::function<sim::Algorithm(const graph::Graph&)> make;
+    unsigned maskBits;  // gossip payload domain the scheme simulates
   };
   std::vector<Scheme> schemes;
-  schemes.push_back({"uncompiled", inner64, want64});
-  schemes.push_back(
-      {"naive 2f+1 repetition", compile::compileNaiveRepetition(g, inner64, 1), want64});
-  schemes.push_back(
-      {"tree compiler (Thm 3.5)", compile::compileByzantineTree(g, inner32, pk, 1), want32});
+  schemes.push_back({"uncompiled",
+                     [inputs](const graph::Graph& gg) {
+                       return algo::makeGossipHash(gg, 2, inputs);
+                     },
+                     64});
+  schemes.push_back({"naive 2f+1 repetition",
+                     [inputs](const graph::Graph& gg) {
+                       return compile::compileNaiveRepetition(
+                           gg, algo::makeGossipHash(gg, 2, inputs), 1);
+                     },
+                     64});
+  schemes.push_back({"tree compiler (Thm 3.5)",
+                     [inputs](const graph::Graph& gg) {
+                       return compile::compileByzantineTree(
+                           gg, algo::makeGossipHash(gg, 2, inputs, 32),
+                           compile::cliquePackingKnowledge(gg), 1);
+                     },
+                     32});
 
-  for (auto& [name, algo, want] : schemes) {
+  std::vector<exp::TrialSpec> specs;
+  for (const auto& scheme : schemes) {
+    const sim::Algorithm inner =
+        algo::makeGossipHash(g, 2, inputs, scheme.maskBits);
+    const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
     for (const int strategy : {0, 1}) {
-      const int seeds = 5;
-      int correct = 0;
-      for (std::uint64_t seed = 0; seed < seeds; ++seed) {
-        std::unique_ptr<adv::Adversary> adv;
-        if (strategy == 0)
-          adv = std::make_unique<adv::RotatingByzantine>(1, 31 + seed);
-        else
-          adv = std::make_unique<adv::CampingByzantine>(
+      for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
+           ++seed) {
+        exp::TrialSpec spec;
+        spec.group =
+            scheme.name + " / " + (strategy == 0 ? "rotating" : "camping");
+        spec.seed = seed;
+        spec.graphFactory = [g] { return g; };
+        spec.algoFactory = scheme.make;
+        spec.adversaryFactory =
+            [strategy, seed](const graph::Graph&)
+            -> std::unique_ptr<adv::Adversary> {
+          if (strategy == 0)
+            return std::make_unique<adv::RotatingByzantine>(1, 31 + seed);
+          return std::make_unique<adv::CampingByzantine>(
               std::vector<graph::EdgeId>{0}, 1, 31 + seed);
-        sim::Network net(g, algo, seed, adv.get());
-        net.run(algo.rounds);
-        if (net.outputsFingerprint() == want) ++correct;
+        };
+        spec.expect = want;
+        specs.push_back(std::move(spec));
       }
-      table.addRow({name, strategy == 0 ? "rotating" : "camping",
-                    util::Table::num(1), util::Table::num(algo.rounds),
-                    util::Table::num(correct) + "/" + util::Table::num(seeds),
-                    correct == seeds       ? "resilient"
-                    : correct == 0         ? "broken"
-                                           : "flaky"});
     }
   }
+
+  exp::ExperimentDriver driver({args.threads});
+  const auto results = driver.runAll(specs);
+  const auto groups = exp::aggregate(results);
+
+  util::Table table({"scheme / adversary", "f", "rounds", "seeds correct",
+                     "verdict"});
+  for (const auto& grp : groups) {
+    table.addRow(
+        {grp.group, util::Table::num(1),
+         util::Table::num(static_cast<std::int64_t>(grp.rounds.mean)),
+         util::Table::num(static_cast<std::uint64_t>(grp.okCount)) + "/" +
+             util::Table::num(static_cast<std::uint64_t>(grp.trials)),
+         grp.okCount == grp.trials ? "resilient"
+         : grp.okCount == 0        ? "broken"
+                                   : "flaky"});
+  }
   table.print(std::cout);
+
+  std::cout << "\n## Sweep accounting (ExperimentDriver, " << args.threads
+            << " thread(s))\n\n";
+  exp::summaryTable(groups).print(std::cout);
+
   std::cout << "\nthe paper's motivating gap, measured: repetition+majority "
                "handles moving noise but the mobile adversary legally camps "
                "and wins every majority on its edge; only the sketch-and-"
                "broadcast compiler survives both.\n";
+  exp::maybeWriteReports(args, "T16_baselines", results);
   return 0;
 }

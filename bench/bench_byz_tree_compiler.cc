@@ -2,14 +2,16 @@
 // Claims: any r-round algorithm compiles to ~O(DTP)-overhead-per-round
 // f-mobile-resilient form given a weak (k, DTP, eta) packing; correctness
 // holds under arbitrary mobile strategies.
-// Measured: correctness across adversary strategies and an f sweep, the
-// per-simulated-round overhead decomposition, and raw vs normalized rounds.
+// Measured: correctness across adversary strategies and an f sweep (an
+// ExperimentDriver grid), the per-simulated-round overhead decomposition,
+// and raw vs normalized rounds.
 #include <iostream>
 
 #include "adv/strategies.h"
 #include "algo/payloads.h"
 #include "compile/byz_tree_compiler.h"
 #include "compile/expander_packing.h"
+#include "exp/bench_args.h"
 #include "graph/tree_packing.h"
 #include "graph/generators.h"
 #include "sim/network.h"
@@ -17,59 +19,100 @@
 
 using namespace mobile;
 
-int main() {
+namespace {
+
+std::unique_ptr<adv::Adversary> makeStrategy(int strategy, int f,
+                                             const graph::Graph& g) {
+  switch (strategy) {
+    case 0:
+      return std::make_unique<adv::RandomByzantine>(f, 7);
+    case 1: {
+      std::vector<graph::EdgeId> targets;
+      for (int i = 0; i < f; ++i) targets.push_back(i);
+      return std::make_unique<adv::CampingByzantine>(targets, f, 7);
+    }
+    case 2:
+      return std::make_unique<adv::TreeTargetedByzantine>(
+          f, graph::cliqueStarPacking(g), g, 7);
+    default:
+      return std::make_unique<adv::BitflipByzantine>(f, 7);
+  }
+}
+
+const char* strategyName(int strategy) {
+  switch (strategy) {
+    case 0:
+      return "random";
+    case 1:
+      return "camping";
+    case 2:
+      return "tree-targeted";
+    default:
+      return "bitflip";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
+  exp::ExperimentDriver driver({args.threads});
+
   std::cout << "# T7: Byzantine tree-packing compiler (Theorem 3.5)\n\n";
   std::cout << "## Correctness across adversary strategies (clique stars)\n\n";
-  util::Table table({"n", "f", "strategy", "rounds/sim-round", "total rounds",
-                     "max msg words", "outputs ok"});
-  for (const auto& [n, f] : {std::pair{12, 1}, {12, 2}, {16, 2}, {16, 3}}) {
+
+  const std::vector<std::pair<int, int>> grid =
+      args.smoke ? std::vector<std::pair<int, int>>{{8, 1}, {12, 1}}
+                 : std::vector<std::pair<int, int>>{
+                       {12, 1}, {12, 2}, {16, 2}, {16, 3}};
+
+  std::vector<exp::TrialSpec> specs;
+  std::vector<int> innerRounds;  // parallel to specs, for the overhead column
+  for (const auto& [n, f] : grid) {
     const graph::Graph g = graph::clique(n);
-    const auto pk = compile::cliquePackingKnowledge(g);
     std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n), 5);
     const sim::Algorithm inner = algo::makeGossipHash(g, 2, inputs, 32);
     const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
-    const graph::TreePacking stars = graph::cliqueStarPacking(g);
     for (const int strategy : {0, 1, 2, 3}) {
-      std::unique_ptr<adv::Adversary> adv;
-      std::string sname;
-      switch (strategy) {
-        case 0:
-          adv = std::make_unique<adv::RandomByzantine>(f, 7);
-          sname = "random";
-          break;
-        case 1: {
-          std::vector<graph::EdgeId> targets;
-          for (int i = 0; i < f; ++i) targets.push_back(i);
-          adv = std::make_unique<adv::CampingByzantine>(targets, f, 7);
-          sname = "camping";
-          break;
-        }
-        case 2:
-          adv = std::make_unique<adv::TreeTargetedByzantine>(f, stars, g, 7);
-          sname = "tree-targeted";
-          break;
-        default:
-          adv = std::make_unique<adv::BitflipByzantine>(f, 7);
-          sname = "bitflip";
-          break;
-      }
-      const sim::Algorithm compiled =
-          compile::compileByzantineTree(g, inner, pk, f);
-      sim::Network net(g, compiled, 11, adv.get());
-      net.run(compiled.rounds);
-      table.addRow({util::Table::num(n), util::Table::num(f), sname,
-                    util::Table::num(compiled.rounds / inner.rounds),
-                    util::Table::num(compiled.rounds),
-                    util::Table::num(static_cast<std::uint64_t>(net.maxWordsObserved())),
-                    util::Table::boolean(net.outputsFingerprint() == want)});
+      exp::TrialSpec spec;
+      spec.group = "n=" + std::to_string(n) + ",f=" + std::to_string(f) +
+                   "," + strategyName(strategy);
+      spec.seed = 11;
+      spec.graphFactory = [g] { return g; };
+      spec.algoFactory = [inputs, f = f](const graph::Graph& gg) {
+        const auto pk = compile::cliquePackingKnowledge(gg);
+        const sim::Algorithm in = algo::makeGossipHash(gg, 2, inputs, 32);
+        return compile::compileByzantineTree(gg, in, pk, f);
+      };
+      spec.adversaryFactory = [strategy, f = f](const graph::Graph& gg) {
+        return makeStrategy(strategy, f, gg);
+      };
+      spec.expect = want;
+      specs.push_back(std::move(spec));
+      innerRounds.push_back(inner.rounds);
     }
+  }
+  const auto results = driver.runAll(specs);
+
+  util::Table table({"group", "rounds/sim-round", "total rounds",
+                     "max msg words", "outputs ok"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.addRow({r.group, util::Table::num(r.rounds / innerRounds[i]),
+                  util::Table::num(r.rounds),
+                  util::Table::num(static_cast<std::uint64_t>(r.maxWords)),
+                  util::Table::boolean(r.ok)});
   }
   table.print(std::cout);
 
   std::cout << "\n## Overhead decomposition (schedule anatomy)\n\n";
   util::Table anatomy({"n", "f", "z iters", "sketch steps", "ecc steps",
                        "chunks", "rounds/iter", "rounds/sim-round"});
-  for (const auto& [n, f] : {std::pair{12, 1}, {16, 2}, {24, 3}, {32, 4}}) {
+  const std::vector<std::pair<int, int>> anatomyGrid =
+      args.smoke ? std::vector<std::pair<int, int>>{{12, 1}, {16, 2}}
+                 : std::vector<std::pair<int, int>>{
+                       {12, 1}, {16, 2}, {24, 3}, {32, 4}};
+  for (const auto& [n, f] : anatomyGrid) {
     const graph::Graph g = graph::clique(n);
     const auto pk = compile::cliquePackingKnowledge(g);
     const compile::ByzSchedule s =
@@ -84,32 +127,48 @@ int main() {
 
   std::cout << "\n## Ablation: L0-iterative (Sec 3.2) vs sparse one-shot "
                "(Sec 1.2.2)\n\n";
-  util::Table ab({"n", "f", "mode", "rounds/sim", "max msg words",
-                  "normalized rounds", "outputs ok"});
-  for (const auto& [n, f] : {std::pair{12, 1}, {16, 2}}) {
+  const std::vector<std::pair<int, int>> abGrid =
+      args.smoke ? std::vector<std::pair<int, int>>{{8, 1}}
+                 : std::vector<std::pair<int, int>>{{12, 1}, {16, 2}};
+  std::vector<exp::TrialSpec> abSpecs;
+  std::vector<int> abInnerRounds;
+  for (const auto& [n, f] : abGrid) {
     const graph::Graph g = graph::clique(n);
-    const auto pk = compile::cliquePackingKnowledge(g);
     std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n), 5);
     const sim::Algorithm inner = algo::makeGossipHash(g, 2, inputs, 32);
     const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
     for (const int mode : {0, 1}) {
-      compile::ByzOptions opts;
-      opts.correction = mode == 0 ? compile::CorrectionMode::L0Iterative
-                                  : compile::CorrectionMode::SparseOneShot;
-      const sim::Algorithm compiled =
-          compile::compileByzantineTree(g, inner, pk, f, opts);
-      adv::RandomByzantine adv(f, 7);
-      sim::Network net(g, compiled, 11, &adv);
-      net.run(compiled.rounds);
-      ab.addRow({util::Table::num(n), util::Table::num(f),
-                 mode == 0 ? "L0 iterative" : "sparse one-shot",
-                 util::Table::num(compiled.rounds / inner.rounds),
-                 util::Table::num(static_cast<std::uint64_t>(net.maxWordsObserved())),
-                 util::Table::num(static_cast<long>(
-                     (compiled.rounds / inner.rounds) *
-                     static_cast<long>(net.maxWordsObserved()))),
-                 util::Table::boolean(net.outputsFingerprint() == want)});
+      exp::TrialSpec spec;
+      spec.group = "n=" + std::to_string(n) + ",f=" + std::to_string(f) +
+                   (mode == 0 ? ",L0 iterative" : ",sparse one-shot");
+      spec.seed = 11;
+      spec.graphFactory = [g] { return g; };
+      spec.algoFactory = [inputs, f = f, mode](const graph::Graph& gg) {
+        const auto pk = compile::cliquePackingKnowledge(gg);
+        const sim::Algorithm in = algo::makeGossipHash(gg, 2, inputs, 32);
+        compile::ByzOptions opts;
+        opts.correction = mode == 0 ? compile::CorrectionMode::L0Iterative
+                                    : compile::CorrectionMode::SparseOneShot;
+        return compile::compileByzantineTree(gg, in, pk, f, opts);
+      };
+      spec.adversaryFactory = [f = f](const graph::Graph&) {
+        return std::make_unique<adv::RandomByzantine>(f, 7);
+      };
+      spec.expect = want;
+      abSpecs.push_back(std::move(spec));
+      abInnerRounds.push_back(inner.rounds);
     }
+  }
+  const auto abResults = driver.runAll(abSpecs);
+  util::Table ab({"group", "rounds/sim", "max msg words", "normalized rounds",
+                  "outputs ok"});
+  for (std::size_t i = 0; i < abResults.size(); ++i) {
+    const auto& r = abResults[i];
+    ab.addRow({r.group, util::Table::num(r.rounds / abInnerRounds[i]),
+               util::Table::num(static_cast<std::uint64_t>(r.maxWords)),
+               util::Table::num(static_cast<long>(r.rounds / abInnerRounds[i]) *
+                                static_cast<long>(r.maxWords)),
+               util::Table::boolean(r.ok)});
   }
   ab.print(std::cout);
   std::cout << "\nthe paper's ~O(DTP) vs ~O(DTP+f) trade, measured: the "
@@ -121,5 +180,9 @@ int main() {
                "(z = O(log f) iterations x eta x rho, plus the ECC chunks); "
                "DTP = 2 on cliques so the overhead is polylog -- visible "
                "above as the f-driven growth of z and chunks only.\n";
+
+  std::vector<exp::TrialResult> all = results;
+  all.insert(all.end(), abResults.begin(), abResults.end());
+  exp::maybeWriteReports(args, "T7_byz_tree_compiler", all);
   return 0;
 }

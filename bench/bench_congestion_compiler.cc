@@ -8,6 +8,7 @@
 #include "adv/strategies.h"
 #include "algo/payloads.h"
 #include "compile/congestion_compiler.h"
+#include "exp/bench_args.h"
 #include "graph/tree_packing.h"
 #include "graph/generators.h"
 #include "sim/network.h"
@@ -15,7 +16,8 @@
 
 using namespace mobile;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
   std::cout << "# T6: Congestion-sensitive compiler (Theorem 1.3)\n\n";
   util::Table table({"payload", "r", "cong", "f", "pool", "broadcast",
                      "sim", "total", "hash c", "outputs ok"});
@@ -32,11 +34,17 @@ int main() {
   std::vector<Case> cases;
   cases.push_back({"BFS (cong 1)", algo::makeBfsTree(g, 0, 2)});
   cases.push_back({"Gossip r=2 (cong 2)", algo::makeGossipHash(g, 2, inputs, 8)});
-  cases.push_back({"Gossip r=4 (cong 4)", algo::makeGossipHash(g, 4, inputs, 8)});
-  cases.push_back({"Gossip r=8 (cong 8)", algo::makeGossipHash(g, 8, inputs, 8)});
+  if (!args.smoke) {
+    cases.push_back(
+        {"Gossip r=4 (cong 4)", algo::makeGossipHash(g, 4, inputs, 8)});
+    cases.push_back(
+        {"Gossip r=8 (cong 8)", algo::makeGossipHash(g, 8, inputs, 8)});
+  }
+  const std::vector<int> fSweep =
+      args.smoke ? std::vector<int>{1} : std::vector<int>{1, 2};
 
   for (auto& [name, inner] : cases) {
-    for (const int f : {1, 2}) {
+    for (const int f : fSweep) {
       compile::CongestionCompilerStats stats;
       const sim::Algorithm compiled =
           compile::compileCongestionSensitive(g, inner, pk, f, opts, &stats);
@@ -59,5 +67,6 @@ int main() {
                "broadcast phase; low-congestion algorithms compile cheaply.\n"
                "measured: broadcast rounds grow with f*cong while pool+sim "
                "stay linear in r -- the congestion-sensitivity shape.\n";
+  exp::maybeWriteReports(args, "T6_congestion_compiler", {});
   return 0;
 }

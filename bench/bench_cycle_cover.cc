@@ -13,6 +13,7 @@
 #include "compile/byz_tree_compiler.h"
 #include "compile/cycle_cover_compiler.h"
 #include "compile/expander_packing.h"
+#include "exp/bench_args.h"
 #include "graph/tree_packing.h"
 #include "graph/generators.h"
 #include "sim/network.h"
@@ -20,12 +21,17 @@
 
 using namespace mobile;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
   std::cout << "# T12: Cycle-cover compiler (Theorem 1.4/5.5) + crossover\n\n";
   std::cout << "## Cycle-cover compilation\n\n";
   util::Table table({"graph", "f", "colors", "dilation", "cong", "window",
                      "rounds/sim", "adversary", "outputs ok"});
-  for (const auto& [n, span, f] : {std::tuple{8, 2, 1}, {10, 3, 2}}) {
+  const auto ccGrid =
+      args.smoke ? std::vector<std::tuple<int, int, int>>{{8, 2, 1}}
+                 : std::vector<std::tuple<int, int, int>>{{8, 2, 1},
+                                                          {10, 3, 2}};
+  for (const auto& [n, span, f] : ccGrid) {
     const graph::Graph g = graph::circulant(n, span);
     std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n), 4);
     const sim::Algorithm inner = algo::makeGossipHash(g, 2, inputs, 32);
@@ -61,7 +67,11 @@ int main() {
   std::cout << "\n## Crossover: cycle-cover vs tree-packing overhead\n\n";
   util::Table cross({"graph", "f", "cycle rounds/sim", "tree rounds/sim",
                      "winner"});
-  for (const auto& [n, span] : {std::pair{10, 3}, {12, 4}, {16, 5}}) {
+  const auto crossGrid =
+      args.smoke
+          ? std::vector<std::pair<int, int>>{{10, 3}}
+          : std::vector<std::pair<int, int>>{{10, 3}, {12, 4}, {16, 5}};
+  for (const auto& [n, span] : crossGrid) {
     const graph::Graph g = graph::circulant(n, span);
     std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n), 1);
     const sim::Algorithm inner = algo::makeGossipHash(g, 1, inputs, 32);
@@ -95,5 +105,6 @@ int main() {
                "asymptotic claim shows up as a *slope* difference here, with "
                "the tree compiler's polylog constants (z iterations x ECC "
                "chunks x eta x rho) dominating at tiny f.\n";
+  exp::maybeWriteReports(args, "T12_cycle_cover", {});
   return 0;
 }

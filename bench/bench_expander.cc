@@ -2,8 +2,9 @@
 // Claims: the distributed coloring+BFS protocol yields a weak (k, DTP, 2)
 // packing with >= 0.9k good trees when the adversary's 2fL touched colors
 // stay under 0.1k; depth = O(log n / phi).
-// Measured: good-tree fractions vs adversary pressure, depth vs the
-// spectral conductance, and the end-to-end compiled pipeline.
+// Measured: good-tree fractions vs adversary pressure and depth vs the
+// spectral conductance (both ExperimentDriver grids with a packing-quality
+// observe hook), and the end-to-end compiled pipeline.
 #include <cmath>
 #include <iostream>
 
@@ -11,6 +12,7 @@
 #include "algo/payloads.h"
 #include "compile/byz_tree_compiler.h"
 #include "compile/expander_packing.h"
+#include "exp/bench_args.h"
 #include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "sim/network.h"
@@ -18,10 +20,46 @@
 
 using namespace mobile;
 
-int main() {
+namespace {
+
+// Builds a packing-protocol spec whose observe hook scores the packing the
+// trial computed.  One trial per spec: the captured result object is
+// touched only by that trial's worker.
+exp::TrialSpec packingSpec(const std::string& group, const graph::Graph& g,
+                           compile::ExpanderPackingOptions opts,
+                           std::uint64_t seed, long burstBudget) {
+  auto result = std::make_shared<compile::ExpanderPackingResult>();
+  exp::TrialSpec spec;
+  spec.group = group;
+  spec.seed = seed;
+  spec.graphFactory = [g] { return g; };
+  spec.algoFactory = [opts, result](const graph::Graph& gg) {
+    return compile::makeExpanderPackingProtocol(gg, opts, result);
+  };
+  if (burstBudget > 0)
+    spec.adversaryFactory = [burstBudget](const graph::Graph&) {
+      return std::make_unique<adv::BurstByzantine>(1, burstBudget, 3, 1, 5);
+    };
+  spec.observe = [result](const sim::Network& net, const adv::Adversary*,
+                          exp::TrialResult& r) {
+    const compile::WeakPackingQuality q =
+        compile::assessWeakPacking(net.graph(), *result->knowledge);
+    r.extra["goodTrees"] = q.goodTrees;
+    r.extra["k"] = q.k;
+    r.extra["maxDepth"] = q.maxDepthSeen;
+  };
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
+  exp::ExperimentDriver driver({args.threads});
+
   std::cout << "# T9: Expander weak tree packing (Lemma 3.10 / Thm 1.7)\n\n";
   std::cout << "## Packing quality vs adversary pressure\n\n";
-  util::Table table({"graph", "phi (spectral)", "k", "budget B", "good trees",
+  util::Table table({"group", "phi (spectral)", "k", "budget B", "good trees",
                      "bound k-2B", "max depth", "weak (>=0.9k)?"});
   util::Rng rng(0x79);
   struct Case {
@@ -31,59 +69,78 @@ int main() {
   };
   std::vector<Case> cases;
   cases.push_back({"clique 20", graph::clique(20), 3});
-  cases.push_back({"clique 24", graph::clique(24), 4});
-  cases.push_back({"regular n=24 d=16", graph::randomRegular(24, 16, rng), 2});
+  if (!args.smoke) {
+    cases.push_back({"clique 24", graph::clique(24), 4});
+    cases.push_back(
+        {"regular n=24 d=16", graph::randomRegular(24, 16, rng), 2});
+  }
+  const std::vector<long> budgets =
+      args.smoke ? std::vector<long>{0L, 2L} : std::vector<long>{0L, 2L, 4L};
+
+  std::vector<exp::TrialSpec> specs;
+  struct RowMeta {
+    double phi;
+    int k;
+    long budget;
+  };
+  std::vector<RowMeta> meta;
   for (auto& [name, g, k] : cases) {
     const double phi = graph::spectralConductanceLowerBound(g);
-    for (const long budget : {0L, 2L, 4L}) {
+    for (const long budget : budgets) {
       compile::ExpanderPackingOptions opts;
       opts.k = k;
       opts.bfsRounds = 8;
-      auto result = std::make_shared<compile::ExpanderPackingResult>();
-      const sim::Algorithm a =
-          compile::makeExpanderPackingProtocol(g, opts, result);
-      std::unique_ptr<adv::Adversary> adv;
-      if (budget > 0)
-        adv = std::make_unique<adv::BurstByzantine>(1, budget, 3, 1, 5);
-      sim::Network net(g, a, 6, adv.get());
-      net.run(a.rounds);
-      const compile::WeakPackingQuality q =
-          compile::assessWeakPacking(g, *result->knowledge);
-      table.addRow({name, util::Table::fixed(phi, 3), util::Table::num(k),
-                    util::Table::num(budget), util::Table::num(q.goodTrees),
-                    util::Table::num(std::max(0L, k - 2 * budget)),
-                    util::Table::num(q.maxDepthSeen),
-                    util::Table::boolean(10 * q.goodTrees >= 9 * q.k)});
+      specs.push_back(packingSpec(name + " B=" + std::to_string(budget), g,
+                                  opts, 6, budget));
+      meta.push_back({phi, k, budget});
     }
+  }
+  const auto results = driver.runAll(specs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const long good = static_cast<long>(r.extra.at("goodTrees"));
+    table.addRow(
+        {r.group, util::Table::fixed(meta[i].phi, 3),
+         util::Table::num(meta[i].k), util::Table::num(meta[i].budget),
+         util::Table::num(good),
+         util::Table::num(std::max(0L, meta[i].k - 2 * meta[i].budget)),
+         util::Table::num(static_cast<long>(r.extra.at("maxDepth"))),
+         util::Table::boolean(10 * good >= 9 * meta[i].k)});
   }
   table.print(std::cout);
 
   std::cout << "\n## Depth vs conductance (fault-free, k=2)\n\n";
   util::Table depth({"graph", "phi (spectral)", "log n / phi", "max depth"});
-  for (const auto& [name, d] :
-       {std::pair{std::string("d=8"), 8}, {std::string("d=12"), 12},
-        {std::string("d=16"), 16}}) {
-    const graph::Graph g = graph::randomRegular(24, d, rng);
-    const double phi = graph::spectralConductanceLowerBound(g);
-    compile::ExpanderPackingOptions opts;
-    opts.k = 2;
-    opts.bfsRounds = 12;
-    auto result = std::make_shared<compile::ExpanderPackingResult>();
-    const sim::Algorithm a =
-        compile::makeExpanderPackingProtocol(g, opts, result);
-    sim::Network net(g, a, 3);
-    net.run(a.rounds);
-    const compile::WeakPackingQuality q =
-        compile::assessWeakPacking(g, *result->knowledge);
-    depth.addRow({"regular n=24 " + name, util::Table::fixed(phi, 3),
-                  util::Table::fixed(std::log2(24.0) / std::max(0.01, phi), 1),
-                  util::Table::num(q.maxDepthSeen)});
+  std::vector<exp::TrialResult> depthResults;
+  {
+    const std::vector<int> degrees =
+        args.smoke ? std::vector<int>{8, 16} : std::vector<int>{8, 12, 16};
+    std::vector<exp::TrialSpec> depthSpecs;
+    std::vector<double> phis;
+    for (const int d : degrees) {
+      const graph::Graph g = graph::randomRegular(24, d, rng);
+      phis.push_back(graph::spectralConductanceLowerBound(g));
+      compile::ExpanderPackingOptions opts;
+      opts.k = 2;
+      opts.bfsRounds = 12;
+      depthSpecs.push_back(
+          packingSpec("regular n=24 d=" + std::to_string(d), g, opts, 3, 0));
+    }
+    depthResults = driver.runAll(depthSpecs);
+    for (std::size_t i = 0; i < depthResults.size(); ++i) {
+      depth.addRow(
+          {depthResults[i].group, util::Table::fixed(phis[i], 3),
+           util::Table::fixed(std::log2(24.0) / std::max(0.01, phis[i]), 1),
+           util::Table::num(
+               static_cast<long>(depthResults[i].extra.at("maxDepth")))});
+    }
   }
   depth.print(std::cout);
 
   std::cout << "\n## End-to-end: pack under adversary, then compile\n\n";
   {
-    const graph::Graph g = graph::clique(24);
+    const int n = args.smoke ? 16 : 24;
+    const graph::Graph g = graph::clique(n);
     compile::ExpanderPackingOptions popts;
     popts.k = 4;
     popts.bfsRounds = 5;
@@ -96,7 +153,7 @@ int main() {
     packNet.run(packer.rounds);
     const compile::WeakPackingQuality q =
         compile::assessWeakPacking(g, *result->knowledge);
-    std::vector<std::uint64_t> inputs(24, 3);
+    std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n), 3);
     const sim::Algorithm inner = algo::makeGossipHash(g, 1, inputs, 32);
     const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
     const sim::Algorithm compiled =
@@ -109,5 +166,8 @@ int main() {
               << (net.outputsFingerprint() == want ? "MATCH" : "DIFFER")
               << " fault-free (" << compiled.rounds << " rounds)\n";
   }
+  std::vector<exp::TrialResult> all = results;
+  all.insert(all.end(), depthResults.begin(), depthResults.end());
+  exp::maybeWriteReports(args, "T9_expander", all);
   return 0;
 }

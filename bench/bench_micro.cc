@@ -1,6 +1,8 @@
 // Microbenchmarks (google-benchmark): the hot kernels under the compilers.
 #include <benchmark/benchmark.h>
 
+#include "exp/bench_args.h"
+
 #include "coding/reed_solomon.h"
 #include "compile/keypool.h"
 #include "gf/gf16.h"
@@ -108,4 +110,21 @@ static void BM_NetworkRound_Clique(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkRound_Clique)->Arg(16)->Arg(64);
 
-BENCHMARK_MAIN();
+// Custom main: understand the fleet-wide --smoke/--threads/--json flags
+// (consumed), forward everything else to Google Benchmark.  Smoke mode
+// shrinks per-benchmark measurement time so CI sweeps finish in seconds.
+int main(int argc, char** argv) {
+  const exp::BenchArgs args =
+      exp::parseBenchArgs(argc, argv, /*allowUnknown=*/true);
+  std::vector<char*> benchArgv(argv, argv + argc);
+  // Plain double form: benchmark <= 1.7 rejects the "0.01s" suffix form,
+  // >= 1.8 accepts both (with a deprecation note).
+  std::string minTime = "--benchmark_min_time=0.01";
+  if (args.smoke) benchArgv.push_back(minTime.data());
+  int benchArgc = static_cast<int>(benchArgv.size());
+  benchmark::Initialize(&benchArgc, benchArgv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  exp::maybeWriteReports(args, "micro", {});
+  return 0;
+}

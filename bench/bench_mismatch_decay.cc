@@ -11,15 +11,19 @@
 #include "algo/payloads.h"
 #include "compile/byz_tree_compiler.h"
 #include "compile/expander_packing.h"
+#include "exp/bench_args.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 #include "util/table.h"
 
 using namespace mobile;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
   std::cout << "# T10: Mismatch decay B_j (Lemma 3.8)\n\n";
-  for (const int f : {1, 2, 4}) {
+  const std::vector<int> fSweep =
+      args.smoke ? std::vector<int>{1} : std::vector<int>{1, 2, 4};
+  for (const int f : fSweep) {
     const int n = std::max(12, 6 * f);
     const graph::Graph g = graph::clique(n);
     const auto pk = compile::cliquePackingKnowledge(g);
@@ -59,5 +63,6 @@ int main() {
   std::cout << "paper: B_j <= 2f/2^j w.h.p., B_z = 0.  measured: the decay "
                "track sits inside the envelope and hits zero before the "
                "final iteration.\n";
+  exp::maybeWriteReports(args, "T10_mismatch_decay", {});
   return 0;
 }

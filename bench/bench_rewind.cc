@@ -3,26 +3,41 @@
 // Claims: r' = 5r global rounds absorb any f*r' total corruption budget;
 // Phi gains >= +1 on good global rounds, loses <= 3 on bad ones, and ends
 // >= r (Lemma 4.10).
-// Measured: output equivalence under burst schedules, the Phi trajectory,
-// and per-global-round good/bad accounting.
+// Measured: output equivalence under burst schedules (an ExperimentDriver
+// grid), the Phi trajectory, and per-global-round good/bad accounting.
+// The Phi section instruments shared compiler state, so it stays a single
+// hand-rolled sequential run.
 #include <iostream>
 
 #include "adv/strategies.h"
 #include "algo/payloads.h"
 #include "compile/expander_packing.h"
 #include "compile/rewind_compiler.h"
+#include "exp/bench_args.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 #include "util/table.h"
 
 using namespace mobile;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
+  exp::ExperimentDriver driver({args.threads});
+
   std::cout << "# T11: Rewind-if-error compiler (Theorem 4.1)\n\n";
   std::cout << "## Correctness under bursty round-error-rate adversaries\n\n";
-  util::Table table({"n", "payload", "r", "global rounds", "total rounds",
-                     "burst profile", "corruptions", "outputs ok"});
-  for (const auto& [n, r] : {std::pair{6, 2}, {8, 2}, {8, 3}}) {
+
+  const std::vector<std::pair<int, int>> grid =
+      args.smoke ? std::vector<std::pair<int, int>>{{6, 2}}
+                 : std::vector<std::pair<int, int>>{{6, 2}, {8, 2}, {8, 3}};
+
+  std::vector<exp::TrialSpec> specs;
+  struct RowMeta {
+    int globalRounds;
+    int totalRounds;
+  };
+  std::vector<RowMeta> meta;
+  for (const auto& [n, r] : grid) {
     const graph::Graph g = graph::clique(n);
     const auto pk = compile::cliquePackingKnowledge(g);
     const sim::Algorithm inner =
@@ -33,23 +48,44 @@ int main() {
         compile::rewindSchedule(*pk, inner.rounds, 1, opts);
     for (const auto& [quiet, width, name] :
          {std::tuple{9, 40, "dense bursts"}, {29, 100, "rare heavy bursts"}}) {
-      adv::BurstByzantine adv(1, sched.totalRounds / 4, quiet, width, 3);
-      const sim::Algorithm compiled =
-          compile::compileRewind(g, inner, pk, 1, opts);
-      sim::Network net(g, compiled, 9, &adv);
-      net.run(compiled.rounds);
-      table.addRow({util::Table::num(n), "PingPong", util::Table::num(r),
-                    util::Table::num(sched.globalRounds),
-                    util::Table::num(sched.totalRounds), name,
-                    util::Table::num(net.ledger().total()),
-                    util::Table::boolean(net.outputsFingerprint() == want)});
+      exp::TrialSpec spec;
+      spec.group = "n=" + std::to_string(n) + ",r=" + std::to_string(r) +
+                   " / " + name;
+      spec.seed = 9;
+      spec.graphFactory = [g] { return g; };
+      spec.algoFactory = [r = r](const graph::Graph& gg) {
+        const auto pkk = compile::cliquePackingKnowledge(gg);
+        const sim::Algorithm in =
+            algo::makePingPong(gg, 0, 1, r, 0x111, 0x222, 32);
+        return compile::compileRewind(gg, in, pkk, 1, compile::RewindOptions{});
+      };
+      spec.adversaryFactory = [quiet = quiet, width = width,
+                               total = sched.totalRounds](const graph::Graph&) {
+        return std::make_unique<adv::BurstByzantine>(1, total / 4, quiet,
+                                                     width, 3);
+      };
+      spec.expect = want;
+      specs.push_back(std::move(spec));
+      meta.push_back({sched.globalRounds, sched.totalRounds});
     }
+  }
+  const auto results = driver.runAll(specs);
+
+  util::Table table({"group", "payload", "global rounds", "total rounds",
+                     "corruptions", "outputs ok"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.addRow({r.group, "PingPong", util::Table::num(meta[i].globalRounds),
+                  util::Table::num(meta[i].totalRounds),
+                  util::Table::num(r.corruptions),
+                  util::Table::boolean(r.ok)});
   }
   table.print(std::cout);
 
   std::cout << "\n## Potential trajectory Phi(i) (Eq. 10)\n\n";
   {
-    const graph::Graph g = graph::clique(8);
+    const int n = args.smoke ? 6 : 8;
+    const graph::Graph g = graph::clique(n);
     const auto pk = compile::cliquePackingKnowledge(g);
     const sim::Algorithm inner =
         algo::makePingPong(g, 0, 1, 2, 0x111, 0x222, 32);
@@ -85,5 +121,6 @@ int main() {
               << shared->phi.back() << " >= r = " << inner.rounds << ": "
               << (shared->phi.back() >= inner.rounds ? "yes" : "NO") << "\n";
   }
+  exp::maybeWriteReports(args, "T11_rewind", results);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "adv/strategies.h"
 #include "compile/expander_packing.h"
 #include "compile/rs_scheduler.h"
+#include "exp/bench_args.h"
 #include "graph/tree_packing.h"
 #include "graph/generators.h"
 #include "sim/network.h"
@@ -15,15 +16,20 @@
 
 using namespace mobile;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
   std::cout << "# T15: RS scheduler survival (Lemma 3.3)\n\n";
   util::Table table({"k trees", "f", "engine", "strategy", "rounds",
                      "correct trees", "fraction"});
-  const graph::Graph g = graph::clique(16);
+  const graph::Graph g = graph::clique(args.smoke ? 12 : 16);
   const auto pk = compile::cliquePackingKnowledge(g);
   const graph::TreePacking stars = graph::cliqueStarPacking(g);
-  for (const int f : {1, 2, 4}) {
-    for (const int rho : {1, 3, 5}) {
+  const std::vector<int> fSweep =
+      args.smoke ? std::vector<int>{1} : std::vector<int>{1, 2, 4};
+  const std::vector<int> rhoSweep =
+      args.smoke ? std::vector<int>{1, 3} : std::vector<int>{1, 3, 5};
+  for (const int f : fSweep) {
+    for (const int rho : rhoSweep) {
       compile::EngineOptions engine;
       engine.rho = rho;
       for (const int strategy : {0, 1}) {
@@ -69,5 +75,6 @@ int main() {
                "measured: survival grows with rho (each flip costs "
                "ceil(rho/2) budget) and the tree-targeted adversary is the "
                "binding case, exactly as the averaging argument predicts.\n";
+  exp::maybeWriteReports(args, "T15_rs_scheduler", {});
   return 0;
 }

@@ -2,12 +2,15 @@
 // Claim (paper): ~O(D + sqrt(f b n) + b) rounds via fragments/landmarks.
 // Our dispersal substitution costs ~O((D + W) * eta * f) (DESIGN.md #3);
 // this bench measures the actual scaling in f and the secret width W and
-// verifies delivery plus eavesdropper view independence.
+// verifies delivery plus eavesdropper view independence.  The delivery
+// grid and the 160-run view-independence sweep fan out over the
+// ExperimentDriver.
 #include <iostream>
 #include <map>
 
 #include "adv/strategies.h"
 #include "compile/secure_broadcast.h"
+#include "exp/bench_args.h"
 #include "graph/tree_packing.h"
 #include "graph/generators.h"
 #include "sim/network.h"
@@ -16,35 +19,63 @@
 
 using namespace mobile;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
+  exp::ExperimentDriver driver({args.threads});
+
   std::cout << "# T5: Mobile-secure broadcast (Theorem A.4 architecture)\n\n";
-  util::Table table({"n (clique)", "f", "W words", "rounds", "exchange",
-                     "dispersal", "all received"});
-  for (const int n : {8, 12, 16, 24}) {
+  util::Table table(
+      {"group", "rounds", "exchange", "dispersal", "all received"});
+
+  const std::vector<int> ns = args.smoke ? std::vector<int>{8, 12}
+                                         : std::vector<int>{8, 12, 16, 24};
+  const std::vector<int> fs =
+      args.smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 3};
+  const std::vector<int> ws =
+      args.smoke ? std::vector<int>{1} : std::vector<int>{1, 4};
+
+  std::vector<exp::TrialSpec> specs;
+  std::vector<int> exchangeRounds;  // parallel to specs, for the table
+  for (const int n : ns) {
     const graph::Graph g = graph::clique(n);
     const auto pk =
         compile::distributePacking(g, graph::cliqueStarPacking(g), 2);
-    for (const int f : {1, 2, 3}) {
-      for (const int w : {1, 4}) {
+    for (const int f : fs) {
+      for (const int w : ws) {
         std::vector<std::uint64_t> secret(static_cast<std::size_t>(w));
         for (int i = 0; i < w; ++i)
-          secret[static_cast<std::size_t>(i)] = 0xbeef00 + static_cast<std::uint64_t>(i);
-        const sim::Algorithm a =
-            compile::makeMobileSecureBroadcast(g, pk, secret, f);
-        adv::RandomEavesdropper adv(f, 17);
-        sim::Network net(g, a, 5, &adv);
-        net.run(a.rounds);
-        bool ok = true;
-        for (const auto out : net.outputs())
-          if (out != secret[0]) ok = false;
-        compile::BroadcastCore probe(pk->root, g, util::Rng(1), pk, secret, f);
-        table.addRow({util::Table::num(n), util::Table::num(f),
-                      util::Table::num(w), util::Table::num(a.rounds),
-                      util::Table::num(probe.exchangeRounds()),
-                      util::Table::num(a.rounds - probe.exchangeRounds()),
-                      util::Table::boolean(ok)});
+          secret[static_cast<std::size_t>(i)] =
+              0xbeef00 + static_cast<std::uint64_t>(i);
+        exp::TrialSpec spec;
+        spec.group = "n=" + std::to_string(n) + ",f=" + std::to_string(f) +
+                     ",W=" + std::to_string(w);
+        spec.seed = 5;
+        spec.graphFactory = [g] { return g; };
+        spec.algoFactory = [secret, f = f](const graph::Graph& gg) {
+          const auto pkk = compile::distributePacking(
+              gg, graph::cliqueStarPacking(gg), 2);
+          return compile::makeMobileSecureBroadcast(gg, pkk, secret, f);
+        };
+        spec.adversaryFactory = [f = f](const graph::Graph&) {
+          return std::make_unique<adv::RandomEavesdropper>(f, 17);
+        };
+        // Delivery: every node outputs the first secret word.
+        spec.expect = sim::fingerprintOutputs(std::vector<std::uint64_t>(
+            static_cast<std::size_t>(n), secret[0]));
+        specs.push_back(std::move(spec));
+        compile::BroadcastCore probe(pk->root, g, util::Rng(1), pk, secret,
+                                     f);
+        exchangeRounds.push_back(probe.exchangeRounds());
       }
     }
+  }
+  const auto results = driver.runAll(specs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.addRow({r.group, util::Table::num(r.rounds),
+                  util::Table::num(exchangeRounds[i]),
+                  util::Table::num(r.rounds - exchangeRounds[i]),
+                  util::Table::boolean(r.ok)});
   }
   table.print(std::cout);
 
@@ -53,43 +84,74 @@ int main() {
     const graph::Graph g = graph::clique(16);
     const auto pk =
         compile::distributePacking(g, graph::cliqueStarPacking(g), 2);
-    std::vector<double> fs, rounds;
+    std::vector<double> fvals, rounds;
     util::Table shape({"f", "rounds"});
-    for (const int f : {1, 2, 3, 4, 6, 8}) {
+    const std::vector<int> shapeFs = args.smoke
+                                         ? std::vector<int>{1, 2, 4}
+                                         : std::vector<int>{1, 2, 3, 4, 6, 8};
+    for (const int f : shapeFs) {
       const sim::Algorithm a =
           compile::makeMobileSecureBroadcast(g, pk, {1}, f);
       shape.addRow({util::Table::num(f), util::Table::num(a.rounds)});
-      fs.push_back(f);
+      fvals.push_back(f);
       rounds.push_back(a.rounds);
     }
     shape.print(std::cout);
     std::cout << "\nlog-log slope rounds vs f: "
-              << util::Table::fixed(util::logLogSlope(fs, rounds), 2)
+              << util::Table::fixed(util::logLogSlope(fvals, rounds), 2)
               << "  (dispersal substitution is linear in f; the paper's "
                  "landmark machinery would flatten this to sqrt)\n";
   }
 
   std::cout << "\n## View independence of the secret\n\n";
+  std::vector<exp::TrialResult> viewResults;
   {
     const graph::Graph g = graph::clique(10);
-    const auto pk =
-        compile::distributePacking(g, graph::cliqueStarPacking(g), 2);
-    std::map<std::uint64_t, std::uint64_t> distA, distB;
-    for (std::uint64_t seed = 0; seed < 80; ++seed) {
+    const std::uint64_t seedCount = args.smoke ? 16 : 80;
+    std::vector<exp::TrialSpec> viewSpecs;
+    for (std::uint64_t seed = 0; seed < seedCount; ++seed) {
       for (int which = 0; which < 2; ++which) {
-        const sim::Algorithm a = compile::makeMobileSecureBroadcast(
-            g, pk, {which == 0 ? 0ULL : ~0ULL}, 2);
-        adv::RandomEavesdropper adv(2, 300 + seed);
-        sim::Network net(g, a, seed * 2 + static_cast<std::uint64_t>(which), &adv);
-        net.run(a.rounds);
-        auto& dist = which == 0 ? distA : distB;
-        for (const auto& rec : adv.viewLog())
-          if (rec.uv.present) ++dist[rec.uv.at(0) & 0xf];
+        exp::TrialSpec spec;
+        spec.group = which == 0 ? "secret=0" : "secret=~0";
+        spec.seed = seed * 2 + static_cast<std::uint64_t>(which);
+        spec.graphFactory = [g] { return g; };
+        spec.algoFactory = [which](const graph::Graph& gg) {
+          const auto pkk = compile::distributePacking(
+              gg, graph::cliqueStarPacking(gg), 2);
+          return compile::makeMobileSecureBroadcast(
+              gg, pkk, {which == 0 ? 0ULL : ~0ULL}, 2);
+        };
+        spec.adversaryFactory = [seed](const graph::Graph&) {
+          return std::make_unique<adv::RandomEavesdropper>(2, 300 + seed);
+        };
+        // Histogram the low nibble of every observed u->v word; merged
+        // across trials below (each trial only touches its own result).
+        spec.observe = [](const sim::Network&, const adv::Adversary* adv,
+                          exp::TrialResult& r) {
+          for (const auto& rec : adv->viewLog())
+            if (rec.uv.present)
+              r.extra["nib" + std::to_string(rec.uv.at(0) & 0xf)] += 1.0;
+        };
+        viewSpecs.push_back(std::move(spec));
       }
+    }
+    viewResults = driver.runAll(viewSpecs);
+    std::map<std::uint64_t, std::uint64_t> distA, distB;
+    for (const auto& r : viewResults) {
+      auto& dist = r.group == "secret=0" ? distA : distB;
+      for (const auto& [key, count] : r.extra)
+        if (key.rfind("nib", 0) == 0)
+          dist[std::stoull(key.substr(3))] +=
+              static_cast<std::uint64_t>(count);
     }
     std::cout << "TV(secret=0 vs secret=~0) = "
               << util::Table::fixed(util::totalVariation(distA, distB), 4)
-              << " (sampling noise level)\n";
+              << " (sampling noise level; " << viewResults.size()
+              << " trials on " << args.threads << " thread(s))\n";
   }
+
+  std::vector<exp::TrialResult> all = results;
+  all.insert(all.end(), viewResults.begin(), viewResults.end());
+  exp::maybeWriteReports(args, "T5_secure_broadcast", all);
   return 0;
 }

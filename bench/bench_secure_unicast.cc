@@ -7,6 +7,7 @@
 
 #include "adv/strategies.h"
 #include "compile/jain_unicast.h"
+#include "exp/bench_args.h"
 #include "graph/bfs.h"
 #include "graph/generators.h"
 #include "sim/network.h"
@@ -14,16 +15,23 @@
 
 using namespace mobile;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
   std::cout << "# T4: Mobile-secure unicast/multicast (Lemma A.3)\n\n";
   std::cout << "## Delivery and round scaling\n\n";
   util::Table table({"graph", "k paths", "R instances", "dilation",
                      "rounds", "dil+R+1", "max edge msgs", "delivered"});
   util::Rng rng(0x74);
-  for (const auto& [n, span] : {std::pair{10, 2}, {16, 3}, {24, 4}}) {
+  const auto grid =
+      args.smoke
+          ? std::vector<std::pair<int, int>>{{10, 2}}
+          : std::vector<std::pair<int, int>>{{10, 2}, {16, 3}, {24, 4}};
+  const std::vector<int> rSweep =
+      args.smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 8};
+  for (const auto& [n, span] : grid) {
     const graph::Graph g = graph::circulant(n, span);
     const int k = 2 * span - 1;
-    for (const int R : {1, 4, 8}) {
+    for (const int R : rSweep) {
       compile::MulticastPlan mp;
       for (int j = 0; j < R; ++j) {
         mp.instances.push_back(compile::planUnicast(
@@ -63,7 +71,7 @@ int main() {
     g.addEdge(0, 3);
     g.addEdge(3, 4);
     g.addEdge(4, 1);
-    const int trials = 100;
+    const std::uint64_t trials = args.smoke ? 25 : 100;
     for (int variant = 0; variant < 2; ++variant) {
       int leaks = 0;
       for (std::uint64_t seed = 0; seed < trials; ++seed) {
@@ -114,5 +122,6 @@ int main() {
   std::cout << "\npaper: one pad round converts static to mobile security; "
                "measured: the f=1 hop-schedule attack reconstructs 100% of "
                "secrets without pads and 0% with them.\n";
+  exp::maybeWriteReports(args, "T4_secure_unicast", {});
   return 0;
 }

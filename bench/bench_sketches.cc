@@ -9,6 +9,7 @@
 #include <map>
 #include <set>
 
+#include "exp/bench_args.h"
 #include "sketch/l0sampler.h"
 #include "sketch/sparse_recovery.h"
 #include "util/rng.h"
@@ -17,14 +18,18 @@
 
 using namespace mobile;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
   std::cout << "# T13: Sketches (Theorem 3.4)\n\n";
   std::cout << "## l0-sampler: success and uniformity vs support size\n\n";
   util::Table table({"support", "trials", "query success", "chi2 (support-1 dof)",
                      "critical", "uniform?", "words"});
   util::Rng rng(0x7d);
-  for (const int support : {1, 2, 8, 32, 128}) {
-    const int trials = 4000;
+  const std::vector<int> supports = args.smoke
+                                        ? std::vector<int>{1, 8, 32}
+                                        : std::vector<int>{1, 2, 8, 32, 128};
+  for (const int support : supports) {
+    const int trials = args.smoke ? 800 : 4000;
     int success = 0;
     std::map<std::uint64_t, std::uint64_t> counts;
     std::size_t words = 0;
@@ -56,9 +61,13 @@ int main() {
   std::cout << "\n## Sparse recovery: exact support vs load\n\n";
   util::Table sr({"sparsity s", "actual support", "trials", "full recovery",
                   "silent wrong answers", "words"});
-  for (const auto& [s, load] :
-       {std::pair{8, 4}, {8, 8}, {8, 12}, {8, 32}, {32, 24}, {32, 64}}) {
-    const int trials = 300;
+  const auto srGrid =
+      args.smoke
+          ? std::vector<std::pair<int, int>>{{8, 4}, {8, 12}}
+          : std::vector<std::pair<int, int>>{{8, 4},   {8, 8},   {8, 12},
+                                             {8, 32},  {32, 24}, {32, 64}};
+  for (const auto& [s, load] : srGrid) {
+    const int trials = args.smoke ? 100 : 300;
     int full = 0, silent = 0;
     std::size_t words = 0;
     for (int trial = 0; trial < trials; ++trial) {
@@ -96,5 +105,6 @@ int main() {
                "and may refuse beyond it, but never silently lies; "
                "measured: 100% within budget (support <= s), 0 silent wrong "
                "answers at any load.\n";
+  exp::maybeWriteReports(args, "T13_sketches", {});
   return 0;
 }

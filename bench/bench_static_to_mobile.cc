@@ -1,14 +1,16 @@
 // Experiment T3 -- Theorem 1.2 (static-to-mobile secure compilation).
 // Claims: r' = 2r + t rounds; f' = floor(f(t+1)/(r+t)) mobile resilience;
 // outputs equal the fault-free run; adversary views are input-independent.
-// Measured: round counts, output equivalence across payloads/graphs, and
-// the total-variation distance between views under two different inputs.
+// Measured: round counts, output equivalence across payloads/graphs (an
+// ExperimentDriver grid), and the total-variation distance between views
+// under two different inputs (a 400-run driver sweep).
 #include <iostream>
 #include <map>
 
 #include "adv/strategies.h"
 #include "algo/payloads.h"
 #include "compile/static_to_mobile.h"
+#include "exp/bench_args.h"
 #include "graph/bfs.h"
 #include "graph/generators.h"
 #include "sim/network.h"
@@ -17,11 +19,14 @@
 
 using namespace mobile;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
+  exp::ExperimentDriver driver({args.threads});
+
   std::cout << "# T3: Static-to-mobile compiler (Theorem 1.2)\n\n";
   std::cout << "## Round overhead and equivalence\n\n";
-  util::Table table({"graph", "payload", "r", "t", "r' = 2r+t", "f'(f=4)",
-                     "outputs ok", "eavesdropper"});
+  util::Table table({"group", "r", "t", "r' = 2r+t", "f'(f=4)", "outputs ok",
+                     "eavesdropper"});
   struct Case {
     std::string name;
     graph::Graph g;
@@ -29,32 +34,60 @@ int main() {
   util::Rng rng(0x73);
   std::vector<Case> cases;
   cases.push_back({"torus 4x4", graph::torus(4, 4)});
-  cases.push_back({"hypercube 4", graph::hypercube(4)});
-  cases.push_back({"expander n=20 d=6", graph::randomRegular(20, 6, rng)});
+  if (!args.smoke) {
+    cases.push_back({"hypercube 4", graph::hypercube(4)});
+    cases.push_back({"expander n=20 d=6", graph::randomRegular(20, 6, rng)});
+  }
+
+  std::vector<exp::TrialSpec> specs;
+  struct RowMeta {
+    int r;
+    int t;
+    int totalRounds;
+    int mobileF;
+  };
+  std::vector<RowMeta> meta;
   for (auto& [name, g] : cases) {
     const int d = graph::diameter(g);
     std::vector<std::uint64_t> inputs(static_cast<std::size_t>(g.nodeCount()),
                                       7);
-    const std::vector<std::pair<std::string, sim::Algorithm>> payloads = {
-        {"FloodMax", algo::makeFloodMax(g, d + 1)},
-        {"SumAggregate", algo::makeSumAggregate(g, 0, d, inputs)},
-    };
-    for (const auto& [pname, inner] : payloads) {
-      for (const int t : {inner.rounds, 3 * inner.rounds}) {
+    for (const int payload : {0, 1}) {
+      const sim::Algorithm inner =
+          payload == 0 ? algo::makeFloodMax(g, d + 1)
+                       : algo::makeSumAggregate(g, 0, d, inputs);
+      const std::vector<int> ts =
+          args.smoke ? std::vector<int>{inner.rounds}
+                     : std::vector<int>{inner.rounds, 3 * inner.rounds};
+      for (const int t : ts) {
         compile::StaticToMobileStats stats;
-        const sim::Algorithm compiled =
-            compile::compileStaticToMobile(g, inner, t, &stats, 4);
-        const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
-        adv::RandomEavesdropper adv(2, 99);
-        sim::Network net(g, compiled, 5, &adv);
-        net.run(compiled.rounds);
-        table.addRow({name, pname, util::Table::num(inner.rounds),
-                      util::Table::num(t), util::Table::num(stats.totalRounds),
-                      util::Table::num(stats.mobileF),
-                      util::Table::boolean(net.outputsFingerprint() == want),
-                      "mobile f=2"});
+        (void)compile::compileStaticToMobile(g, inner, t, &stats, 4);
+        exp::TrialSpec spec;
+        spec.group = name + " / " + (payload == 0 ? "FloodMax" : "SumAgg") +
+                     " t=" + std::to_string(t);
+        spec.seed = 5;
+        spec.graphFactory = [g] { return g; };
+        spec.algoFactory = [payload, d, inputs, t](const graph::Graph& gg) {
+          const sim::Algorithm in =
+              payload == 0 ? algo::makeFloodMax(gg, d + 1)
+                           : algo::makeSumAggregate(gg, 0, d, inputs);
+          return compile::compileStaticToMobile(gg, in, t, nullptr, 4);
+        };
+        spec.adversaryFactory = [](const graph::Graph&) {
+          return std::make_unique<adv::RandomEavesdropper>(2, 99);
+        };
+        spec.expect = sim::faultFreeFingerprint(g, inner, 1);
+        specs.push_back(std::move(spec));
+        meta.push_back({inner.rounds, t, stats.totalRounds, stats.mobileF});
       }
     }
+  }
+  const auto results = driver.runAll(specs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    table.addRow({results[i].group, util::Table::num(meta[i].r),
+                  util::Table::num(meta[i].t),
+                  util::Table::num(meta[i].totalRounds),
+                  util::Table::num(meta[i].mobileF),
+                  util::Table::boolean(results[i].ok), "mobile f=2"});
   }
   table.print(std::cout);
 
@@ -62,28 +95,51 @@ int main() {
                "security, measured statistically)\n\n";
   util::Table sec({"graph", "seeds", "TV(view|x1, view|x2)", "null TV est",
                    "indistinguishable?"});
+  std::vector<exp::TrialResult> viewResults;
   {
     const graph::Graph g = graph::cycle(8);
     std::vector<std::uint64_t> in1(8, 1), in2(8, 250);
-    std::map<std::uint64_t, std::uint64_t> distA, distB, nullA, nullB;
-    const int seeds = 200;
+    const std::uint64_t seeds = args.smoke ? 40 : 200;
+    std::vector<exp::TrialSpec> viewSpecs;
     for (std::uint64_t seed = 0; seed < seeds; ++seed) {
       for (int which = 0; which < 2; ++which) {
-        const sim::Algorithm inner =
-            algo::makeGossipHash(g, 3, which == 0 ? in1 : in2);
-        const sim::Algorithm compiled =
-            compile::compileStaticToMobile(g, inner, 6);
-        adv::CampingEavesdropper adv({0, 4}, 2);
-        sim::Network net(g, compiled, seed * 2 + static_cast<std::uint64_t>(which), &adv);
-        net.run(compiled.rounds);
-        auto& dist = which == 0 ? distA : distB;
-        auto& nullD = (seed % 2 == 0) ? nullA : nullB;
-        for (const auto& rec : adv.viewLog())
-          if (rec.uv.present) {
-            ++dist[rec.uv.at(0) & 0xf];
-            ++nullD[rec.uv.at(0) & 0xf];
-          }
+        exp::TrialSpec spec;
+        spec.group = which == 0 ? "input=x1" : "input=x2";
+        spec.seed = seed * 2 + static_cast<std::uint64_t>(which);
+        spec.graphFactory = [g] { return g; };
+        spec.algoFactory = [which, in1, in2](const graph::Graph& gg) {
+          const sim::Algorithm inner =
+              algo::makeGossipHash(gg, 3, which == 0 ? in1 : in2);
+          return compile::compileStaticToMobile(gg, inner, 6);
+        };
+        spec.adversaryFactory = [](const graph::Graph&) {
+          return std::make_unique<adv::CampingEavesdropper>(
+              std::vector<graph::EdgeId>{0, 4}, 2);
+        };
+        spec.observe = [](const sim::Network&, const adv::Adversary* adv,
+                          exp::TrialResult& r) {
+          for (const auto& rec : adv->viewLog())
+            if (rec.uv.present)
+              r.extra["nib" + std::to_string(rec.uv.at(0) & 0xf)] += 1.0;
+        };
+        viewSpecs.push_back(std::move(spec));
       }
+    }
+    viewResults = driver.runAll(viewSpecs);
+    // Merge per-trial histograms: by input for the signal TV, by seed
+    // parity for the same-distribution noise floor.
+    std::map<std::uint64_t, std::uint64_t> distA, distB, nullA, nullB;
+    for (std::size_t i = 0; i < viewResults.size(); ++i) {
+      const auto& r = viewResults[i];
+      const std::uint64_t seed = r.seed / 2;
+      auto& dist = r.group == "input=x1" ? distA : distB;
+      auto& nullD = (seed % 2 == 0) ? nullA : nullB;
+      for (const auto& [key, count] : r.extra)
+        if (key.rfind("nib", 0) == 0) {
+          const std::uint64_t nib = std::stoull(key.substr(3));
+          dist[nib] += static_cast<std::uint64_t>(count);
+          nullD[nib] += static_cast<std::uint64_t>(count);
+        }
     }
     const double tv = util::totalVariation(distA, distB);
     const double nullTv = util::totalVariation(nullA, nullB);
@@ -95,5 +151,9 @@ int main() {
   std::cout << "\npaper: perfect security (views identically distributed); "
                "measured: TV between inputs matches the same-input sampling "
                "noise floor.\n";
+
+  std::vector<exp::TrialResult> all = results;
+  all.insert(all.end(), viewResults.begin(), viewResults.end());
+  exp::maybeWriteReports(args, "T3_static_to_mobile", all);
   return 0;
 }

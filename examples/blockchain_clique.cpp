@@ -6,13 +6,16 @@
 // Demonstrates:
 //   * FloodMax (leader/value agreement) under byzantine compilation;
 //   * the naive 2f+1-repetition baseline failing against a camping botnet
-//     while the compiled protocol survives both botnet behaviours.
+//     while the compiled protocol survives both botnet behaviours;
+//   * the exp::ExperimentDriver running the 2x2 scheme/behaviour grid as
+//     independent parallel trials (pass --threads N to fan them out).
 //
 // Expected output (exit code 0 on success): a four-row table -- the Thm 1.6
 // compiler reaches agreement against both the hopping and the camping
 // botnet, the naive-repetition baseline reaches agreement against hopping
 // but is BROKEN by camping -- followed by
-// "expected contrast reproduced: YES".
+// "expected contrast reproduced: YES".  --smoke shrinks the committee so
+// the check finishes in seconds (CTest runs it that way).
 #include <cstdio>
 
 #include "adv/strategies.h"
@@ -20,64 +23,65 @@
 #include "compile/baselines.h"
 #include "compile/byz_tree_compiler.h"
 #include "compile/expander_packing.h"
+#include "exp/bench_args.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mobile;
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
 
-  const int n = 18;
+  const int n = args.smoke ? 12 : 18;
   const graph::Graph g = graph::clique(n);
-  const int f = n / 6;  // 3 links rewritten per round
+  const int f = n / 6;  // links rewritten per round
 
   // Proposal dissemination: every validator floods its best-known block id
   // (ids are small; the max must win network-wide in 2 rounds on a clique).
   const sim::Algorithm propose = algo::makeFloodMax(g, 2);
   const std::uint64_t agreed = sim::faultFreeFingerprint(g, propose, 1);
 
-  const auto packing = compile::cliquePackingKnowledge(g);
-  const sim::Algorithm compiled =
-      compile::compileByzantineTree(g, propose, packing, f);
-  const sim::Algorithm naive = compile::compileNaiveRepetition(g, propose, f);
-
-  struct Row {
-    const char* scheme;
-    const char* botnet;
-    bool ok;
-    long corruptions;
-  };
-  std::vector<Row> rows;
-
+  // The 2x2 grid: {compiled, naive} x {hopping, camping}, one trial each.
+  std::vector<exp::TrialSpec> specs;
   for (const int scheme : {0, 1}) {
     for (const int behaviour : {0, 1}) {
-      std::unique_ptr<adv::Adversary> botnet;
-      if (behaviour == 0) {
-        botnet = std::make_unique<adv::RandomByzantine>(f, 5);
-      } else {
+      exp::TrialSpec spec;
+      spec.group = std::string(scheme == 0 ? "Thm 1.6 compiler" : "naive repetition") +
+                   " / " + (behaviour == 0 ? "hopping" : "camping");
+      spec.seed = 3;
+      spec.graphFactory = [g] { return g; };
+      spec.algoFactory = [scheme, f](const graph::Graph& gg) {
+        const sim::Algorithm inner = algo::makeFloodMax(gg, 2);
+        if (scheme == 0)
+          return compile::compileByzantineTree(
+              gg, inner, compile::cliquePackingKnowledge(gg), f);
+        return compile::compileNaiveRepetition(gg, inner, f);
+      };
+      spec.adversaryFactory =
+          [behaviour, f](const graph::Graph&) -> std::unique_ptr<adv::Adversary> {
+        if (behaviour == 0) return std::make_unique<adv::RandomByzantine>(f, 5);
         std::vector<graph::EdgeId> camp;
         for (int i = 0; i < f; ++i) camp.push_back(i);
-        botnet = std::make_unique<adv::CampingByzantine>(camp, f, 5);
-      }
-      const sim::Algorithm& algo = scheme == 0 ? compiled : naive;
-      sim::Network net(g, algo, 3, botnet.get());
-      net.run(algo.rounds);
-      rows.push_back({scheme == 0 ? "Thm 1.6 compiler" : "naive repetition",
-                      behaviour == 0 ? "hopping" : "camping",
-                      net.outputsFingerprint() == agreed,
-                      net.ledger().total()});
+        return std::make_unique<adv::CampingByzantine>(camp, f, 5);
+      };
+      spec.expect = agreed;
+      specs.push_back(std::move(spec));
     }
   }
 
+  exp::ExperimentDriver driver({args.threads});
+  const auto results = driver.runAll(specs);
+
   std::printf("committee of %d validators, botnet rewrites %d links/round\n\n",
               n, f);
-  std::printf("%-18s %-9s %-12s %s\n", "scheme", "botnet", "corruptions",
+  std::printf("%-30s %-12s %s\n", "scheme / botnet", "corruptions",
               "agreement");
-  for (const auto& r : rows)
-    std::printf("%-18s %-9s %-12ld %s\n", r.scheme, r.botnet, r.corruptions,
+  for (const auto& r : results)
+    std::printf("%-30s %-12ld %s\n", r.group.c_str(), r.corruptions,
                 r.ok ? "REACHED" : "BROKEN");
 
   // The paper's point: only the compiler survives the camping botnet.
-  const bool story = rows[0].ok && rows[1].ok && rows[2].ok && !rows[3].ok;
+  const bool story =
+      results[0].ok && results[1].ok && results[2].ok && !results[3].ok;
   std::printf("\nexpected contrast reproduced: %s\n", story ? "YES" : "NO");
   return story ? 0 : 1;
 }

@@ -16,19 +16,22 @@
 #include "algo/payloads.h"
 #include "compile/expander_packing.h"
 #include "compile/rewind_compiler.h"
+#include "exp/bench_args.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mobile;
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
 
   const graph::Graph g = graph::clique(8);  // 8 datacenters, full mesh
   const auto packing = compile::cliquePackingKnowledge(g);
 
   // An adaptive handshake between two coordinator sites: each message
   // depends on the previous response (the hard case for naive replay).
-  const sim::Algorithm handshake =
-      algo::makePingPong(g, 0, 1, /*rounds=*/3, 0xaaaa, 0xbbbb, 32);
+  // --smoke shortens the handshake; the burst-rewind story is unchanged.
+  const sim::Algorithm handshake = algo::makePingPong(
+      g, 0, 1, /*rounds=*/args.smoke ? 2 : 3, 0xaaaa, 0xbbbb, 32);
   const std::uint64_t want = sim::faultFreeFingerprint(g, handshake, 1);
 
   compile::RewindOptions opts;

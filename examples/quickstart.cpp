@@ -14,21 +14,25 @@
 // "outputs match fault-free run: YES".  The compiled round count shows the
 // compiler's overhead over the 2-round payload (~1000x at this small size);
 // "edges corrupted" equals f * compiled-rounds because the adversary hits
-// its full budget every round.
+// its full budget every round.  --smoke shrinks the clique and the budget
+// so the same check finishes in a couple of seconds (CTest runs it that
+// way).
 #include <cstdio>
 
 #include "adv/strategies.h"
 #include "algo/payloads.h"
 #include "compile/byz_tree_compiler.h"
 #include "compile/expander_packing.h"
+#include "exp/bench_args.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mobile;
+  const exp::BenchArgs smokeArgs = exp::parseBenchArgs(argc, argv);
 
-  // 1. The network: a 12-node clique (the CONGESTED CLIQUE model).
-  const graph::Graph g = graph::clique(12);
+  // 1. The network: a clique (the CONGESTED CLIQUE model).
+  const graph::Graph g = graph::clique(smokeArgs.smoke ? 8 : 12);
 
   // 2. The payload: every node starts with a private input and mixes
   //    neighborhood hashes for 2 rounds (32-bit payload domain).
@@ -43,8 +47,8 @@ int main() {
   // 3. Distributed knowledge of a tree packing (stars; no preprocessing).
   const auto packing = compile::cliquePackingKnowledge(g);
 
-  // 4. Compile against f = 2 mobile byzantine edges per round and run.
-  const int f = 2;
+  // 4. Compile against f mobile byzantine edges per round and run.
+  const int f = smokeArgs.smoke ? 1 : 2;
   const sim::Algorithm compiled =
       compile::compileByzantineTree(g, payload, packing, f);
   adv::RandomByzantine adversary(f, /*seed=*/42);

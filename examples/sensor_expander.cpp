@@ -6,25 +6,31 @@
 //
 // Expected output (exit code 0 on success): stage 1 reports at least k-1
 // of the k=3 trees surviving the jammed packing computation; stage 2 ends
-// with "checksum agrees with fault-free mesh: YES".
+// with "checksum agrees with fault-free mesh: YES".  --smoke shrinks the
+// mesh so the same two-stage check finishes in seconds (CTest runs it
+// that way).
 #include <cstdio>
 
 #include "adv/strategies.h"
 #include "algo/payloads.h"
 #include "compile/byz_tree_compiler.h"
 #include "compile/expander_packing.h"
+#include "exp/bench_args.h"
 #include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mobile;
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
 
+  const int n = args.smoke ? 16 : 24;
+  const int degree = args.smoke ? 10 : 16;
   util::Rng topologyRng(2026);
-  const graph::Graph g = graph::randomRegular(24, 16, topologyRng);
+  const graph::Graph g = graph::randomRegular(n, degree, topologyRng);
   const double phi = graph::spectralConductanceLowerBound(g);
-  std::printf("sensor mesh: n=%d, degree=16, conductance >= %.3f\n",
-              g.nodeCount(), phi);
+  std::printf("sensor mesh: n=%d, degree=%d, conductance >= %.3f\n",
+              g.nodeCount(), degree, phi);
 
   // Stage 1: compute the weak tree packing under the jammer.
   compile::ExpanderPackingOptions popts;
@@ -48,7 +54,7 @@ int main() {
   // Stage 2: compiled checksum aggregation over the adversarial packing.
   std::vector<std::uint64_t> readings;
   for (int v = 0; v < g.nodeCount(); ++v)
-    readings.push_back(0xc0ffee00u + static_cast<std::uint64_t>(v * 13));
+    readings.push_back(0xc0ffee00u + static_cast<std::uint64_t>(v) * 13);
   const sim::Algorithm checksum = algo::makeGossipHash(g, 2, readings, 32);
   const std::uint64_t want = sim::faultFreeFingerprint(g, checksum, 1);
 

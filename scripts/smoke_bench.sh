@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs every bench binary in --smoke mode and assembles the per-bench JSON
+# aggregates into one BENCH_smoke.json (bench name -> report).  CI uploads
+# the merged file as a workflow artifact so the perf trajectory accumulates
+# data; humans can run it locally the same way:
+#
+#   scripts/smoke_bench.sh [build-dir] [output-json]
+#
+# A bench that exits non-zero fails the sweep (smoke mode is a runtime
+# regression gate, not just a timing probe).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-$BUILD_DIR/BENCH_smoke.json}"
+WORK_DIR="$BUILD_DIR/smoke"
+mkdir -p "$WORK_DIR"
+# Drop leftovers from previous sweeps so a renamed/removed bench can never
+# ghost-merge its stale JSON into this run's aggregate.
+rm -f "$WORK_DIR"/bench_*.json "$WORK_DIR"/bench_*.log
+
+shopt -s nullglob
+benches=("$BUILD_DIR"/bench_*)
+if [ ${#benches[@]} -eq 0 ]; then
+  echo "no bench binaries under $BUILD_DIR -- build first" >&2
+  exit 1
+fi
+
+for bench in "${benches[@]}"; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "=== $name --smoke"
+  start=$(date +%s%N)
+  "$bench" --smoke --json "$WORK_DIR/$name.json" > "$WORK_DIR/$name.log"
+  end=$(date +%s%N)
+  echo "    ok ($(( (end - start) / 1000000 )) ms, log: $WORK_DIR/$name.log)"
+done
+
+# Merge: {"bench_x": {...}, "bench_y": {...}} without external JSON tools.
+{
+  echo '{'
+  first=1
+  for f in "$WORK_DIR"/bench_*.json; do
+    name=$(basename "$f" .json)
+    [ "$first" -eq 1 ] || echo ','
+    first=0
+    printf '"%s": ' "$name"
+    cat "$f"
+  done
+  echo '}'
+} > "$OUT_JSON"
+
+echo "wrote $OUT_JSON"

@@ -76,6 +76,14 @@ class CorruptionLedger {
   [[nodiscard]] long countInWindow(int fromRound, int toRound,
                                    const std::set<EdgeId>& edges) const;
 
+  /// Forgets all recorded history (Network::reset() support).  Shared
+  /// ledger holders see the wipe too -- reset is a whole-trial operation.
+  void clear() {
+    round_ = 0;
+    total_ = 0;
+    perRound_.clear();
+  }
+
  private:
   int round_ = 0;
   long total_ = 0;

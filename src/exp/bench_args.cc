@@ -1,0 +1,97 @@
+#include "exp/bench_args.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "util/thread_pool.h"
+
+namespace mobile::exp {
+
+namespace {
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: %s [--smoke] [--threads N] [--json PATH] [--csv PATH]\n"
+               "  --smoke       run the reduced (CI) grid: tiny n/f, few "
+               "seeds\n"
+               "  --threads N   parallel lanes (default/0: all hardware "
+               "cores)\n"
+               "  --json PATH   write aggregate group summaries as JSON\n"
+               "  --csv PATH    write raw per-trial records as CSV\n",
+               argv0);
+  std::exit(code);
+}
+
+const char* takeValue(int& argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "%s: %s requires a value\n", argv[0], flag);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+}  // namespace
+
+BenchArgs parseBenchArgs(int& argc, char** argv, bool allowUnknown) {
+  BenchArgs args;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage(argv[0], 0);
+    } else if (std::strcmp(a, "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(a, "--threads") == 0) {
+      args.threads = std::atoi(takeValue(argc, argv, i, "--threads"));
+    } else if (std::strcmp(a, "--json") == 0) {
+      args.jsonPath = takeValue(argc, argv, i, "--json");
+    } else if (std::strcmp(a, "--csv") == 0) {
+      args.csvPath = takeValue(argc, argv, i, "--csv");
+    } else if (allowUnknown) {
+      argv[out++] = argv[i];  // keep for the wrapped arg parser
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], a);
+      usage(argv[0], 2);
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  if (args.threads <= 0) args.threads = util::ThreadPool::hardwareThreads();
+  return args;
+}
+
+namespace {
+// A report the caller asked for that cannot be produced is a harness
+// failure, not a shrug: smoke_bench.sh treats a missing per-bench JSON as
+// "this bench dropped out of the trajectory", so fail loudly instead.
+std::ofstream openOrDie(const std::string& path, const char* what) {
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    std::fprintf(stderr, "cannot open %s output '%s'\n", what, path.c_str());
+    std::exit(1);
+  }
+  return os;
+}
+}  // namespace
+
+void maybeWriteReports(const BenchArgs& args, const std::string& bench,
+                       const std::vector<TrialResult>& trials) {
+  if (!args.csvPath.empty()) {
+    std::ofstream os = openOrDie(args.csvPath, "--csv");
+    writeTrialsCsv(os, trials);
+    if (os.fail()) {
+      std::fprintf(stderr, "write to '%s' failed\n", args.csvPath.c_str());
+      std::exit(1);
+    }
+  }
+  if (!args.jsonPath.empty()) {
+    std::ofstream os = openOrDie(args.jsonPath, "--json");
+    writeSummariesJson(os, bench, aggregate(trials));
+    if (os.fail()) {
+      std::fprintf(stderr, "write to '%s' failed\n", args.jsonPath.c_str());
+      std::exit(1);
+    }
+  }
+}
+
+}  // namespace mobile::exp

@@ -1,0 +1,41 @@
+// Shared command-line surface for every bench (and example) binary.
+//
+// All harness binaries understand the same four flags, so CI can sweep the
+// whole bench fleet mechanically (scripts/smoke_bench.sh):
+//   --smoke          tiny n/f grids, few seeds -- seconds, not minutes
+//   --threads N      trial/engine parallelism (0 = hardware concurrency)
+//   --json PATH      write the aggregate GroupSummary report (BENCH_*.json)
+//   --csv PATH       write the raw per-trial records
+// Recognized flags are consumed (argc/argv are compacted) so wrappers like
+// bench_micro can forward the remainder to Google Benchmark.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace mobile::exp {
+
+struct BenchArgs {
+  bool smoke = false;
+  /// Lanes for ExperimentDriver / NetworkOptions::numThreads.  Defaults to
+  /// every core the hardware offers.
+  int threads = 0;
+  std::string jsonPath;
+  std::string csvPath;
+};
+
+/// Parses and REMOVES recognized flags from argc/argv.  Prints usage and
+/// exits 0 on --help; complains and exits 2 on an unknown flag unless
+/// `allowUnknown` (set by wrappers that forward leftover args elsewhere).
+/// `threads` is resolved to a concrete lane count (>= 1) before returning.
+[[nodiscard]] BenchArgs parseBenchArgs(int& argc, char** argv,
+                                       bool allowUnknown = false);
+
+/// Writes the CSV/JSON reports requested on the command line (no-op when
+/// the flags were not given).  `bench` names the experiment ("T5", ...).
+void maybeWriteReports(const BenchArgs& args, const std::string& bench,
+                       const std::vector<TrialResult>& trials);
+
+}  // namespace mobile::exp

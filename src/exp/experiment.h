@@ -1,0 +1,158 @@
+// The trial layer: batched, parallel experiment execution.
+//
+// Every experiment in the paper is a *sweep*: many independent trials over
+// seeds x adversary budgets f x graph families.  A TrialSpec captures one
+// trial as pure factories (graph, algorithm, adversary) plus a seed, so a
+// trial owns everything it touches and trials are embarrassingly parallel.
+// The ExperimentDriver fans a grid of specs over a util::ThreadPool --
+// trial-level parallelism, the always-safe win -- and returns per-trial
+// TrialResults in spec order, so results are identical no matter how many
+// threads ran them (the determinism gtest enforces this).
+//
+// Aggregation groups results by TrialSpec::group into mean/median/stddev
+// summaries ready for util::Table display and for the BENCH_*.json
+// trajectory (writeSummariesJson / writeTrialsCsv).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adv/adversary.h"
+#include "graph/graph.h"
+#include "sim/network.h"
+#include "util/table.h"
+
+namespace mobile::util {
+class ThreadPool;
+}
+
+namespace mobile::exp {
+
+struct TrialResult;
+
+/// One independent trial: factories are invoked fresh on the worker that
+/// runs the trial (a trial shares nothing mutable with its siblings).
+/// Standard idiom: build the graph once in the harness and capture it by
+/// value -- `spec.graphFactory = [g] { return g; };`.
+struct TrialSpec {
+  /// Aggregation key and table label ("n=16,f=2"); trials with equal group
+  /// are summarized together.
+  std::string group;
+  /// Network seed (node-private randomness derives from it).
+  std::uint64_t seed = 1;
+
+  std::function<graph::Graph()> graphFactory;
+  std::function<sim::Algorithm(const graph::Graph&)> algoFactory;
+  /// Optional; null means fault-free.  Called once per trial so stateful
+  /// strategies (view logs, budgets) start fresh.
+  std::function<std::unique_ptr<adv::Adversary>(const graph::Graph&)>
+      adversaryFactory;
+
+  sim::NetworkOptions net;
+  /// Round budget; 0 means the algorithm's declared rounds.
+  int maxRounds = 0;
+  /// Use Network::runExact instead of run (hold the full schedule).
+  bool runExact = false;
+  /// Expected outputs fingerprint; when set, TrialResult::ok reports the
+  /// comparison (otherwise ok stays true).
+  std::optional<std::uint64_t> expect;
+
+  /// Optional post-run hook, invoked on the worker thread that ran the
+  /// trial, before the result is returned.  Deposit bench-specific metrics
+  /// into TrialResult::extra; do NOT touch state shared across trials.
+  std::function<void(const sim::Network&, const adv::Adversary*,
+                     TrialResult&)>
+      observe;
+};
+
+struct TrialResult {
+  std::string group;
+  std::uint64_t seed = 0;
+  int rounds = 0;             // rounds actually executed
+  long normalizedRounds = 0;  // rounds x maxWords (honest CONGEST cost)
+  long messages = 0;
+  long maxCongestion = 0;
+  std::size_t maxWords = 0;
+  long corruptions = 0;  // CorruptionLedger::total()
+  std::uint64_t fingerprint = 0;
+  bool ok = true;  // fingerprint == expect (true when expect unset)
+  double wallMs = 0.0;
+  /// Bench-specific metrics deposited by TrialSpec::observe.
+  std::map<std::string, double> extra;
+};
+
+/// Runs one trial synchronously on the calling thread.
+[[nodiscard]] TrialResult runTrial(const TrialSpec& spec);
+
+struct DriverOptions {
+  /// Trial-level lanes.  1 = sequential; results are identical either way.
+  int numThreads = 1;
+};
+
+/// Fans a grid of specs over a thread pool; results come back in spec
+/// order.  The driver owns its pool, so build it once per bench and reuse
+/// it across sections.
+class ExperimentDriver {
+ public:
+  explicit ExperimentDriver(DriverOptions opts = {});
+  ~ExperimentDriver();
+
+  [[nodiscard]] int numThreads() const { return opts_.numThreads; }
+
+  [[nodiscard]] std::vector<TrialResult> runAll(
+      const std::vector<TrialSpec>& specs);
+
+ private:
+  DriverOptions opts_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+/// Distribution of one metric across a group's trials.
+struct MetricSummary {
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct GroupSummary {
+  std::string group;
+  std::size_t trials = 0;
+  std::size_t okCount = 0;  // trials whose fingerprint matched expect
+  MetricSummary rounds;
+  MetricSummary normalizedRounds;
+  MetricSummary messages;
+  MetricSummary maxCongestion;
+  MetricSummary corruptions;
+  MetricSummary wallMs;
+  /// Observe-hook metrics, summarized per key over the trials that
+  /// reported that key.
+  std::map<std::string, MetricSummary> extra;
+};
+
+[[nodiscard]] MetricSummary summarizeMetric(std::vector<double> xs);
+
+/// Groups results by TrialSpec::group (first-seen order preserved).
+[[nodiscard]] std::vector<GroupSummary> aggregate(
+    const std::vector<TrialResult>& results);
+
+/// "group | trials | ok | rounds (mean+-sd) | norm rounds | messages |
+///  congestion | corruptions | ms/trial" -- the standard sweep table.
+[[nodiscard]] util::Table summaryTable(const std::vector<GroupSummary>& groups);
+
+/// One CSV row per trial (header included): the raw sweep record.
+void writeTrialsCsv(std::ostream& os, const std::vector<TrialResult>& results);
+
+/// JSON object {"bench": ..., "groups": [...]} feeding the BENCH_*.json
+/// perf trajectory.
+void writeSummariesJson(std::ostream& os, const std::string& bench,
+                        const std::vector<GroupSummary>& groups);
+
+}  // namespace mobile::exp

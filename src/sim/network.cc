@@ -1,8 +1,11 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
+
+#include "util/thread_pool.h"
 
 namespace mobile::sim {
 
@@ -11,39 +14,80 @@ Network::Network(const graph::Graph& g, const Algorithm& algo,
                  NetworkOptions opts,
                  std::shared_ptr<adv::CorruptionLedger> ledger)
     : g_(g),
+      algo_(algo),
       opts_(opts),
+      seed_(seed),
       adversary_(adversary),
       ledger_(ledger ? std::move(ledger)
                      : std::make_shared<adv::CorruptionLedger>()),
       arcs_(static_cast<std::size_t>(g.arcCount())),
       edgeTraffic_(static_cast<std::size_t>(g.edgeCount()), 0) {
-  util::Rng master(seed);
+  if (opts_.numThreads > 1)
+    pool_ = std::make_unique<util::ThreadPool>(opts_.numThreads);
+  rebuildNodes();
+}
+
+Network::~Network() = default;
+
+void Network::rebuildNodes() {
+  util::Rng master(seed_);
   // Nodes receive independently split, private randomness streams.
-  nodes_.reserve(static_cast<std::size_t>(g.nodeCount()));
-  for (graph::NodeId v = 0; v < g.nodeCount(); ++v) {
+  nodes_.clear();
+  nodes_.reserve(static_cast<std::size_t>(g_.nodeCount()));
+  for (graph::NodeId v = 0; v < g_.nodeCount(); ++v) {
     nodes_.push_back(
-        algo.makeNode(v, g, master.split(static_cast<std::uint64_t>(v))));
+        algo_.makeNode(v, g_, master.split(static_cast<std::uint64_t>(v))));
+  }
+  allDone_ = true;
+  for (const auto& n : nodes_)
+    if (!n->done()) {
+      allDone_ = false;
+      break;
+    }
+}
+
+void Network::reset(std::uint64_t seed) {
+  seed_ = seed;
+  round_ = 0;
+  messagesSent_ = 0;
+  maxWords_ = 0;
+  for (auto& m : arcs_) m = Msg{};
+  std::fill(edgeTraffic_.begin(), edgeTraffic_.end(), 0);
+  ledger_->clear();
+  rebuildNodes();
+}
+
+void Network::reset() { reset(seed_); }
+
+void Network::forEachNode(const std::function<void(graph::NodeId)>& fn) {
+  const auto n = static_cast<std::size_t>(g_.nodeCount());
+  if (pool_) {
+    // Chunk so a lane claims a contiguous block of nodes per atomic fetch;
+    // per-node work is small, so amortize the cursor traffic.
+    const std::size_t grain = std::max<std::size_t>(
+        1, n / (static_cast<std::size_t>(pool_->size()) * 4));
+    pool_->parallelFor(
+        n, [&](std::size_t i) { fn(static_cast<graph::NodeId>(i)); }, grain);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(static_cast<graph::NodeId>(i));
   }
 }
 
-bool Network::allDone() const {
-  for (const auto& n : nodes_)
-    if (!n->done()) return false;
-  return true;
+void Network::clearPhase() {
+  for (auto& m : arcs_) m = Msg{};
 }
 
-void Network::step() {
-  ++round_;
-  // Clear arc buffers.
-  for (auto& m : arcs_) m = Msg{};
-
-  // Send phase.
-  for (graph::NodeId v = 0; v < g_.nodeCount(); ++v) {
+void Network::sendPhase() {
+  // Safe to parallelize: node v writes only the out-arc slots keyed by
+  // sender v (ArcOutbox), and mutates only its own state/RNG.
+  forEachNode([&](graph::NodeId v) {
     ArcOutbox out(g_, v, arcs_);
     nodes_[static_cast<std::size_t>(v)]->send(round_, out);
-  }
+  });
+}
 
-  // Bandwidth enforcement + traffic accounting.
+void Network::accountPhase() {
+  // Bandwidth enforcement + traffic accounting (sequential: shared tallies).
   for (graph::ArcId a = 0; a < g_.arcCount(); ++a) {
     const Msg& m = arcs_[static_cast<std::size_t>(a)];
     if (!m.present) continue;
@@ -53,37 +97,56 @@ void Network::step() {
     ++messagesSent_;
     ++edgeTraffic_[static_cast<std::size_t>(graph::Graph::arcEdge(a))];
   }
+}
 
-  // Adversary phase.
+void Network::adversaryPhase() {
+  // Strictly sequential: the TamperView budget enforcement and the
+  // pre/post diff into the CorruptionLedger are order-sensitive contracts.
   ledger_->beginRound(round_);
-  if (adversary_ != nullptr) {
-    const std::vector<Msg> before = arcs_;
-    adv::TamperView view(g_, adversary_->spec(), round_, arcs_,
-                         ledger_->total());
-    adversary_->act(view);
-    // Ground truth: which edges actually changed.
-    for (graph::EdgeId e = 0; e < g_.edgeCount(); ++e) {
-      const std::size_t a0 = static_cast<std::size_t>(2 * e);
-      const std::size_t a1 = a0 + 1;
-      if (before[a0] != arcs_[a0] || before[a1] != arcs_[a1]) {
-        if (!view.touched().count(e))
-          throw std::logic_error("message changed outside TamperView");
-        ledger_->record(e);
-      }
+  if (adversary_ == nullptr) return;
+  preAdversary_ = arcs_;
+  adv::TamperView view(g_, adversary_->spec(), round_, arcs_,
+                       ledger_->total());
+  adversary_->act(view);
+  // Ground truth: which edges actually changed.
+  for (graph::EdgeId e = 0; e < g_.edgeCount(); ++e) {
+    const std::size_t a0 = static_cast<std::size_t>(2 * e);
+    const std::size_t a1 = a0 + 1;
+    if (preAdversary_[a0] != arcs_[a0] || preAdversary_[a1] != arcs_[a1]) {
+      if (!view.touched().count(e))
+        throw std::logic_error("message changed outside TamperView");
+      ledger_->record(e);
     }
   }
+}
 
-  // Receive phase.
-  for (graph::NodeId v = 0; v < g_.nodeCount(); ++v) {
+void Network::receivePhase() {
+  // Safe to parallelize: receives read the (frozen) arc buffers and mutate
+  // only per-node state.  Doneness is folded in here so run() never needs
+  // a second full-graph scan.
+  std::atomic<bool> allDone{true};
+  forEachNode([&](graph::NodeId v) {
     ArcInbox in(g_, v, arcs_);
-    nodes_[static_cast<std::size_t>(v)]->receive(round_, in);
-  }
+    NodeState& node = *nodes_[static_cast<std::size_t>(v)];
+    node.receive(round_, in);
+    if (!node.done()) allDone.store(false, std::memory_order_relaxed);
+  });
+  allDone_ = allDone.load(std::memory_order_relaxed);
+}
+
+void Network::step() {
+  ++round_;
+  clearPhase();
+  sendPhase();
+  accountPhase();
+  adversaryPhase();
+  receivePhase();
 }
 
 int Network::run(int maxRounds) {
   int executed = 0;
   while (executed < maxRounds) {
-    if (opts_.stopWhenAllDone && allDone()) break;
+    if (opts_.stopWhenAllDone && allDone_) break;
     step();
     ++executed;
   }
@@ -101,14 +164,18 @@ std::vector<std::uint64_t> Network::outputs() const {
   return out;
 }
 
-std::uint64_t Network::outputsFingerprint() const {
+std::uint64_t fingerprintOutputs(const std::vector<std::uint64_t>& outputs) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const auto& n : nodes_) {
-    h ^= n->output();
+  for (const std::uint64_t out : outputs) {
+    h ^= out;
     h *= 0x100000001b3ULL;
     h ^= h >> 31;
   }
   return h;
+}
+
+std::uint64_t Network::outputsFingerprint() const {
+  return fingerprintOutputs(outputs());
 }
 
 long Network::maxEdgeCongestion() const {

@@ -6,9 +6,24 @@
 // accounting, and ground-truth corruption recording (the diff between the
 // pre- and post-adversary arc buffers feeds the CorruptionLedger).
 //
-// docs/architecture.md spells out the three contracts this header pins
-// down: the round schedule, the corruption ground truth, and the
-// bandwidth/congestion accounting.
+// One round is five explicit phases (see step()): clearPhase, sendPhase,
+// accountPhase, adversaryPhase, receivePhase.  With
+// NetworkOptions::numThreads > 1 the send and receive phases run in
+// parallel over nodes -- sends write disjoint arc slots keyed by sender,
+// receives only read the arc buffers -- while the accounting and adversary
+// phases stay sequential so the CorruptionLedger diff contract and the
+// budget enforcement are untouched.  The parallel path produces
+// bit-identical outputs (and outputsFingerprint()) to the sequential path
+// PROVIDED node callbacks touch only per-node state: algorithms built with
+// a cross-node instrumentation side channel (ByzShared, RewindShared,
+// ScheduledBroadcastShared, ExpanderPackingResult) write shared containers
+// from inside send()/receive() and must run with numThreads = 1.
+// Trial-level parallelism (exp::ExperimentDriver) is always safe -- each
+// trial owns its own side channels.
+//
+// docs/architecture.md spells out the contracts this header pins down:
+// the round schedule, the corruption ground truth, the
+// bandwidth/congestion accounting, and the threading contract.
 #pragma once
 
 #include <memory>
@@ -19,6 +34,10 @@
 #include "sim/message.h"
 #include "sim/node.h"
 
+namespace mobile::util {
+class ThreadPool;
+}
+
 namespace mobile::sim {
 
 struct NetworkOptions {
@@ -28,6 +47,12 @@ struct NetworkOptions {
   std::size_t maxWordsPerMsg = 1u << 16;
   /// Stop early once all nodes report done().
   bool stopWhenAllDone = true;
+  /// Execution lanes for the send/receive phases.  1 (the default) is the
+  /// strictly sequential engine; >1 parallelizes over nodes with
+  /// bit-identical results for algorithms whose nodes touch only per-node
+  /// state (see the threading contract above -- shared-instrumentation
+  /// algorithms must stay at 1).
+  int numThreads = 1;
 };
 
 class Network {
@@ -38,12 +63,25 @@ class Network {
   Network(const graph::Graph& g, const Algorithm& algo, std::uint64_t seed,
           adv::Adversary* adversary = nullptr, NetworkOptions opts = {},
           std::shared_ptr<adv::CorruptionLedger> ledger = nullptr);
+  ~Network();
 
   /// Runs up to maxRounds; returns rounds actually executed.
   int run(int maxRounds);
 
   /// Runs exactly `count` further rounds (ignores done()).
   void runExact(int count);
+
+  /// Rewinds the network to round 0 with fresh node state seeded from
+  /// `seed`, reusing the arc/traffic allocations -- the cheap way for trial
+  /// drivers to run many seeds over one graph.  Counters and the ledger are
+  /// cleared; the installed adversary is NOT touched (strategies are
+  /// stateful -- swap in a fresh one via setAdversary()).
+  void reset(std::uint64_t seed);
+  /// reset() keeping the construction seed.
+  void reset();
+
+  /// Replaces the adversary (nullptr = fault-free) from the next round on.
+  void setAdversary(adv::Adversary* adversary) { adversary_ = adversary; }
 
   [[nodiscard]] NodeState& node(graph::NodeId v) {
     return *nodes_[static_cast<std::size_t>(v)];
@@ -54,7 +92,10 @@ class Network {
 
   [[nodiscard]] const graph::Graph& graph() const { return g_; }
   [[nodiscard]] int roundsExecuted() const { return round_; }
-  [[nodiscard]] bool allDone() const;
+  /// Cached conjunction of node done() flags, refreshed at construction,
+  /// reset(), and the end of every step() -- run() consults the cache
+  /// instead of rescanning the whole graph before each round.
+  [[nodiscard]] bool allDone() const { return allDone_; }
 
   /// All node outputs, index = node id.
   [[nodiscard]] std::vector<std::uint64_t> outputs() const;
@@ -71,18 +112,40 @@ class Network {
 
  private:
   void step();
+  // The five phases of one round, in order.  clear/account/adversary are
+  // sequential; send/receive parallelize over nodes when numThreads > 1.
+  void clearPhase();
+  void sendPhase();
+  void accountPhase();
+  void adversaryPhase();
+  void receivePhase();
+
+  /// Runs fn(v) for every node, on the pool when one is configured.
+  void forEachNode(const std::function<void(graph::NodeId)>& fn);
+  void rebuildNodes();
 
   const graph::Graph& g_;
+  Algorithm algo_;
   NetworkOptions opts_;
+  std::uint64_t seed_;
   adv::Adversary* adversary_;
   std::shared_ptr<adv::CorruptionLedger> ledger_;
+  std::unique_ptr<util::ThreadPool> pool_;  // only when numThreads > 1
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::vector<Msg> arcs_;
+  std::vector<Msg> preAdversary_;  // scratch snapshot for the ledger diff
   std::vector<long> edgeTraffic_;
   long messagesSent_ = 0;
   std::size_t maxWords_ = 0;
   int round_ = 0;
+  bool allDone_ = false;
 };
+
+/// Order-stable digest over an arbitrary output vector; outputsFingerprint()
+/// is exactly this over outputs().  Exposed so experiments can fingerprint
+/// an expected output vector without running a reference network.
+[[nodiscard]] std::uint64_t fingerprintOutputs(
+    const std::vector<std::uint64_t>& outputs);
 
 /// Runs `algo` fault-free on `g` for its declared round count and returns
 /// the outputs fingerprint -- the reference for compiled-equivalence tests.
