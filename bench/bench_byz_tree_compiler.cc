@@ -12,8 +12,9 @@
 #include "compile/byz_tree_compiler.h"
 #include "compile/expander_packing.h"
 #include "exp/bench_args.h"
-#include "graph/tree_packing.h"
+#include "exp/precompute_cache.h"
 #include "graph/generators.h"
+#include "graph/tree_packing.h"
 #include "sim/network.h"
 #include "util/table.h"
 
@@ -33,7 +34,7 @@ std::unique_ptr<adv::Adversary> makeStrategy(int strategy, int f,
     }
     case 2:
       return std::make_unique<adv::TreeTargetedByzantine>(
-          f, graph::cliqueStarPacking(g), g, 7);
+          f, *exp::PrecomputeCache::global().starTreePacking(g), g, 7);
     default:
       return std::make_unique<adv::BitflipByzantine>(f, 7);
   }

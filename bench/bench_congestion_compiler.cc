@@ -9,8 +9,9 @@
 #include "algo/payloads.h"
 #include "compile/congestion_compiler.h"
 #include "exp/bench_args.h"
-#include "graph/tree_packing.h"
+#include "exp/precompute_cache.h"
 #include "graph/generators.h"
+#include "graph/tree_packing.h"
 #include "sim/network.h"
 #include "util/table.h"
 
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
   util::Table table({"payload", "r", "cong", "f", "pool", "broadcast",
                      "sim", "total", "hash c", "outputs ok"});
   const graph::Graph g = graph::clique(10);
-  const auto pk = compile::distributePacking(g, graph::cliqueStarPacking(g), 2);
+  const auto pk = exp::PrecomputeCache::global().starPacking(g, 2);
   compile::CongestionCompilerOptions opts;
   opts.payloadBits = 8;
 
@@ -33,7 +34,8 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> inputs(10, 5);
   std::vector<Case> cases;
   cases.push_back({"BFS (cong 1)", algo::makeBfsTree(g, 0, 2)});
-  cases.push_back({"Gossip r=2 (cong 2)", algo::makeGossipHash(g, 2, inputs, 8)});
+  cases.push_back(
+      {"Gossip r=2 (cong 2)", algo::makeGossipHash(g, 2, inputs, 8)});
   if (!args.smoke) {
     cases.push_back(
         {"Gossip r=4 (cong 4)", algo::makeGossipHash(g, 4, inputs, 8)});

@@ -14,8 +14,9 @@
 #include "compile/cycle_cover_compiler.h"
 #include "compile/expander_packing.h"
 #include "exp/bench_args.h"
-#include "graph/tree_packing.h"
+#include "exp/precompute_cache.h"
 #include "graph/generators.h"
+#include "graph/tree_packing.h"
 #include "sim/network.h"
 #include "util/table.h"
 
@@ -53,7 +54,8 @@ int main(int argc, char** argv) {
       }
       sim::Network net(g, compiled, 3, adv.get());
       net.run(compiled.rounds);
-      table.addRow({"circulant(" + std::to_string(n) + "," + std::to_string(span) + ")",
+      table.addRow({"circulant(" + std::to_string(n) + "," +
+                        std::to_string(span) + ")",
                     util::Table::num(f), util::Table::num(stats.colorCount),
                     util::Table::num(stats.dilation),
                     util::Table::num(stats.congestion),
@@ -81,9 +83,8 @@ int main(int argc, char** argv) {
           compile::compileCycleCover(g, inner, f, &cstats);
       // Tree-packing route: greedy packing with k = 4f trees.
       const int k = std::min(4 * f, 2 * span - 2);
-      const graph::TreePacking p =
-          graph::greedyLowDepthPacking(g, k, 0, n / 2 + 2);
-      const auto pk = compile::distributePacking(g, p, n / 2 + 2);
+      const auto pk =
+          exp::PrecomputeCache::global().greedyPacking(g, k, 0, n / 2 + 2);
       const compile::ByzSchedule s =
           compile::ByzSchedule::compute(*pk, 1, f, {});
       cross.addRow(

@@ -1,20 +1,59 @@
-// Microbenchmarks (google-benchmark): the hot kernels under the compilers.
+// Microbenchmarks (google-benchmark): the hot kernels under the compilers,
+// plus whole-round throughput probes for the message plane (steps/sec and
+// bytes-allocated/round -- the zero-allocation contract's regression gate).
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include <benchmark/benchmark.h>
 
-#include "exp/bench_args.h"
-
+#include "adv/strategies.h"
+#include "algo/mst.h"
+#include "algo/payloads.h"
 #include "coding/reed_solomon.h"
+#include "compile/baselines.h"
+#include "compile/byz_tree_compiler.h"
+#include "compile/expander_packing.h"
 #include "compile/keypool.h"
+#include "compile/secure_broadcast.h"
+#include "exp/bench_args.h"
 #include "gf/gf16.h"
 #include "graph/generators.h"
+#include "graph/tree_packing.h"
 #include "hash/cwise.h"
-#include "algo/payloads.h"
 #include "sim/network.h"
 #include "sketch/l0sampler.h"
 #include "sketch/sparse_recovery.h"
 #include "util/rng.h"
 
 using namespace mobile;
+
+// --- heap accounting ---------------------------------------------------------
+// Global operator new/delete hooks so the round-throughput benchmarks can
+// report bytes-allocated/round.  Relaxed atomics: the probes below run the
+// engine single-threaded, the counter only needs to be monotonic.
+namespace {
+std::atomic<std::uint64_t> g_bytesAllocated{0};
+}  // namespace
+
+// GCC pairs the replaced operator delete with its builtin model of operator
+// new when it inlines the hooks into static initializers, yielding a
+// spurious -Wmismatched-new-delete; the hooks below are a matched
+// malloc/free pair by construction.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t n) {
+  g_bytesAllocated.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 static void BM_GF16_Mul(benchmark::State& state) {
   util::Rng rng(1);
@@ -100,6 +139,84 @@ static void BM_CwiseHash(benchmark::State& state) {
 }
 BENCHMARK(BM_CwiseHash)->Arg(2)->Arg(16)->Arg(64);
 
+// --- round-throughput probes -------------------------------------------------
+// One iteration = one engine round (Network::runExact(1)); the network is
+// rewound via reset() whenever its schedule is exhausted, so the probe
+// measures the steady-state cost of the send -> adversary -> receive loop
+// (including the occasional trial-style reset, exactly as sweeps pay it).
+// items/sec therefore reads as rounds (steps) per second.
+namespace {
+
+void runRoundLoop(benchmark::State& state, sim::Network& net, int schedule) {
+  std::uint64_t rounds = 0;
+  const std::uint64_t bytes0 =
+      g_bytesAllocated.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    if (net.roundsExecuted() >= schedule) net.reset();
+    net.runExact(1);
+    ++rounds;
+  }
+  const std::uint64_t bytes =
+      g_bytesAllocated.load(std::memory_order_relaxed) - bytes0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+  state.counters["bytes_per_round"] =
+      rounds == 0 ? 0.0
+                  : static_cast<double>(bytes) / static_cast<double>(rounds);
+}
+
+}  // namespace
+
+static void BM_RoundThroughput_MST(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::clique(n);
+  const sim::Algorithm a = algo::makeBoruvkaMst(g);
+  sim::Network net(g, a, 1);
+  runRoundLoop(state, net, a.rounds);
+}
+BENCHMARK(BM_RoundThroughput_MST)->Arg(16)->Arg(32);
+
+static void BM_RoundThroughput_SecureBroadcast(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::clique(n);
+  const auto pk = compile::distributePacking(g, graph::cliqueStarPacking(g), 2);
+  const sim::Algorithm a =
+      compile::makeMobileSecureBroadcast(g, pk, {0xbeef}, 2);
+  adv::RandomEavesdropper eaves(2, 17);
+  sim::Network net(g, a, 1, &eaves);
+  runRoundLoop(state, net, a.rounds);
+}
+BENCHMARK(BM_RoundThroughput_SecureBroadcast)->Arg(16)->Arg(32);
+
+static void BM_RoundThroughput_ByzCompiled(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::clique(n);
+  const auto pk = compile::cliquePackingKnowledge(g);
+  std::vector<std::uint64_t> inputs(static_cast<std::size_t>(g.nodeCount()),
+                                    5);
+  const sim::Algorithm inner = algo::makeGossipHash(g, 1, inputs, 32);
+  const sim::Algorithm a = compile::compileByzantineTree(g, inner, pk, 1);
+  adv::RandomByzantine byz(1, 7);
+  sim::Network net(g, a, 1, &byz);
+  runRoundLoop(state, net, a.rounds);
+}
+BENCHMARK(BM_RoundThroughput_ByzCompiled)->Arg(12)->Arg(16);
+
+static void BM_RoundThroughput_Repetition(benchmark::State& state) {
+  // The repetition strawman relays every inner message 2f+1 times across
+  // every edge -- the most message-plane-bound compiled protocol in the
+  // tree, so this probe tracks the plane itself rather than sketch math.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::clique(n);
+  std::vector<std::uint64_t> inputs(static_cast<std::size_t>(g.nodeCount()),
+                                    5);
+  const sim::Algorithm inner = algo::makeGossipHash(g, 4, inputs, 32);
+  const sim::Algorithm a = compile::compileNaiveRepetition(g, inner, 2);
+  adv::RandomByzantine byz(2, 7);
+  sim::Network net(g, a, 1, &byz);
+  runRoundLoop(state, net, a.rounds);
+}
+BENCHMARK(BM_RoundThroughput_Repetition)->Arg(24)->Arg(48);
+
 static void BM_NetworkRound_Clique(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
   const graph::Graph g = graph::clique(n);
@@ -111,8 +228,10 @@ static void BM_NetworkRound_Clique(benchmark::State& state) {
 BENCHMARK(BM_NetworkRound_Clique)->Arg(16)->Arg(64);
 
 // Custom main: understand the fleet-wide --smoke/--threads/--json flags
-// (consumed), forward everything else to Google Benchmark.  Smoke mode
-// shrinks per-benchmark measurement time so CI sweeps finish in seconds.
+// (consumed), forward everything else to Google Benchmark (or the vendored
+// mini_benchmark shim).  Smoke mode shrinks per-benchmark measurement time
+// so CI sweeps finish in seconds; --json routes the library's own JSON
+// report to the requested path (the BENCH_micro.json CI artifact).
 int main(int argc, char** argv) {
   const exp::BenchArgs args =
       exp::parseBenchArgs(argc, argv, /*allowUnknown=*/true);
@@ -121,10 +240,16 @@ int main(int argc, char** argv) {
   // >= 1.8 accepts both (with a deprecation note).
   std::string minTime = "--benchmark_min_time=0.01";
   if (args.smoke) benchArgv.push_back(minTime.data());
+  std::string outFlag;
+  std::string outFormat = "--benchmark_out_format=json";
+  if (!args.jsonPath.empty()) {
+    outFlag = "--benchmark_out=" + args.jsonPath;
+    benchArgv.push_back(outFlag.data());
+    benchArgv.push_back(outFormat.data());
+  }
   int benchArgc = static_cast<int>(benchArgv.size());
   benchmark::Initialize(&benchArgc, benchArgv.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  exp::maybeWriteReports(args, "micro", {});
   return 0;
 }

@@ -9,8 +9,9 @@
 #include "compile/expander_packing.h"
 #include "compile/rs_scheduler.h"
 #include "exp/bench_args.h"
-#include "graph/tree_packing.h"
+#include "exp/precompute_cache.h"
 #include "graph/generators.h"
+#include "graph/tree_packing.h"
 #include "sim/network.h"
 #include "util/table.h"
 
@@ -23,7 +24,7 @@ int main(int argc, char** argv) {
                      "correct trees", "fraction"});
   const graph::Graph g = graph::clique(args.smoke ? 12 : 16);
   const auto pk = compile::cliquePackingKnowledge(g);
-  const graph::TreePacking stars = graph::cliqueStarPacking(g);
+  const auto stars = exp::PrecomputeCache::global().starTreePacking(g);
   const std::vector<int> fSweep =
       args.smoke ? std::vector<int>{1} : std::vector<int>{1, 2, 4};
   const std::vector<int> rhoSweep =
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
           adv = std::make_unique<adv::RandomByzantine>(f, 21);
           sname = "random";
         } else {
-          adv = std::make_unique<adv::TreeTargetedByzantine>(f, stars, g, 21);
+          adv = std::make_unique<adv::TreeTargetedByzantine>(f, *stars, g, 21);
           sname = "tree-targeted";
         }
         sim::Network net(g, a, 9, adv.get());

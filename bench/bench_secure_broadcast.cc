@@ -11,8 +11,9 @@
 #include "adv/strategies.h"
 #include "compile/secure_broadcast.h"
 #include "exp/bench_args.h"
-#include "graph/tree_packing.h"
+#include "exp/precompute_cache.h"
 #include "graph/generators.h"
+#include "graph/tree_packing.h"
 #include "sim/network.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
   for (const int n : ns) {
     const graph::Graph g = graph::clique(n);
     const auto pk =
-        compile::distributePacking(g, graph::cliqueStarPacking(g), 2);
+        exp::PrecomputeCache::global().starPacking(g, 2);
     for (const int f : fs) {
       for (const int w : ws) {
         std::vector<std::uint64_t> secret(static_cast<std::size_t>(w));
@@ -52,8 +53,7 @@ int main(int argc, char** argv) {
         spec.seed = 5;
         spec.graphFactory = [g] { return g; };
         spec.algoFactory = [secret, f = f](const graph::Graph& gg) {
-          const auto pkk = compile::distributePacking(
-              gg, graph::cliqueStarPacking(gg), 2);
+          const auto pkk = exp::PrecomputeCache::global().starPacking(gg, 2);
           return compile::makeMobileSecureBroadcast(gg, pkk, secret, f);
         };
         spec.adversaryFactory = [f = f](const graph::Graph&) {
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
   {
     const graph::Graph g = graph::clique(16);
     const auto pk =
-        compile::distributePacking(g, graph::cliqueStarPacking(g), 2);
+        exp::PrecomputeCache::global().starPacking(g, 2);
     std::vector<double> fvals, rounds;
     util::Table shape({"f", "rounds"});
     const std::vector<int> shapeFs = args.smoke
@@ -116,8 +116,7 @@ int main(int argc, char** argv) {
         spec.seed = seed * 2 + static_cast<std::uint64_t>(which);
         spec.graphFactory = [g] { return g; };
         spec.algoFactory = [which](const graph::Graph& gg) {
-          const auto pkk = compile::distributePacking(
-              gg, graph::cliqueStarPacking(gg), 2);
+          const auto pkk = exp::PrecomputeCache::global().starPacking(gg, 2);
           return compile::makeMobileSecureBroadcast(
               gg, pkk, {which == 0 ? 0ULL : ~0ULL}, 2);
         };

@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
         // output reports the FIRST instance addressed to that node.
         if (outs[static_cast<std::size_t>(t)] == 0) delivered = false;
       }
-      table.addRow({"circulant(" + std::to_string(n) + "," + std::to_string(span) + ")",
+      table.addRow({"circulant(" + std::to_string(n) + "," +
+                        std::to_string(span) + ")",
                     util::Table::num(k), util::Table::num(R),
                     util::Table::num(mp.dilation()),
                     util::Table::num(net.roundsExecuted()),
@@ -82,7 +83,8 @@ int main(int argc, char** argv) {
         // Harvest schedule: observe the i-th shortest path at hop i+1.
         std::vector<std::size_t> order(mp.instances[0].paths.size());
         for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
           return mp.instances[0].paths[a].size() <
                  mp.instances[0].paths[b].size();
         });

@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
   std::cout << "# T13: Sketches (Theorem 3.4)\n\n";
   std::cout << "## l0-sampler: success and uniformity vs support size\n\n";
-  util::Table table({"support", "trials", "query success", "chi2 (support-1 dof)",
+  util::Table table({"support", "trials", "query success",
+                     "chi2 (support-1 dof)",
                      "critical", "uniform?", "words"});
   util::Rng rng(0x7d);
   const std::vector<int> supports = args.smoke

@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
   for (const int scheme : {0, 1}) {
     for (const int behaviour : {0, 1}) {
       exp::TrialSpec spec;
-      spec.group = std::string(scheme == 0 ? "Thm 1.6 compiler" : "naive repetition") +
+      spec.group = std::string(scheme == 0 ? "Thm 1.6 compiler"
+                                           : "naive repetition") +
                    " / " + (behaviour == 0 ? "hopping" : "camping");
       spec.seed = 3;
       spec.graphFactory = [g] { return g; };
@@ -57,7 +58,8 @@ int main(int argc, char** argv) {
         return compile::compileNaiveRepetition(gg, inner, f);
       };
       spec.adversaryFactory =
-          [behaviour, f](const graph::Graph&) -> std::unique_ptr<adv::Adversary> {
+          [behaviour,
+           f](const graph::Graph&) -> std::unique_ptr<adv::Adversary> {
         if (behaviour == 0) return std::make_unique<adv::RandomByzantine>(f, 5);
         std::vector<graph::EdgeId> camp;
         for (int i = 0; i < f; ++i) camp.push_back(i);

@@ -66,7 +66,8 @@ int main(int argc, char** argv) {
 
   std::printf("stage 2 (compiled run) : %d rounds, %ld links corrupted\n",
               net.roundsExecuted(), net.ledger().total());
-  const bool ok = net.outputsFingerprint() == want && q.goodTrees >= popts.k - 1;
+  const bool ok =
+      net.outputsFingerprint() == want && q.goodTrees >= popts.k - 1;
   std::printf("checksum agrees with fault-free mesh: %s\n",
               net.outputsFingerprint() == want ? "YES" : "NO");
   return ok ? 0 : 1;

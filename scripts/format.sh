@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Formats (or with --check verifies) every tracked C++ source with the
+# checked-in .clang-format.  CI pins clang-format-15; use the same locally
+# so the hard format gate and your editor agree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [ -z "$CLANG_FORMAT" ]; then
+  for candidate in clang-format-15 clang-format; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      CLANG_FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CLANG_FORMAT" ]; then
+  echo "clang-format not found (tried clang-format-15, clang-format)" >&2
+  exit 1
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.h' 'src/**/*.cc' 'tests/*.cc' \
+                                  'bench/*.cc' 'examples/*.cpp' \
+                                  'third_party/**/*.h')
+
+if [ "${1:-}" = "--check" ]; then
+  "$CLANG_FORMAT" --dry-run --Werror "${files[@]}"
+  echo "clang-format clean (${#files[@]} files)"
+else
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+fi

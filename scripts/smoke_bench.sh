@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # Runs every bench binary in --smoke mode and assembles the per-bench JSON
-# aggregates into one BENCH_smoke.json (bench name -> report).  CI uploads
-# the merged file as a workflow artifact so the perf trajectory accumulates
-# data; humans can run it locally the same way:
+# aggregates into one BENCH_smoke.json:
+#
+#   { "bench_x": {"wall_ms": 123, "report": {...}}, ... }
+#
+# wall_ms is the bench's whole-process wall time, so the perf trajectory
+# accumulates a comparable number per bench per commit even for benches
+# whose reports carry no timing of their own.  CI uploads the merged file
+# as a workflow artifact; humans can run it locally the same way:
 #
 #   scripts/smoke_bench.sh [build-dir] [output-json]
 #
@@ -17,7 +22,7 @@ WORK_DIR="$BUILD_DIR/smoke"
 mkdir -p "$WORK_DIR"
 # Drop leftovers from previous sweeps so a renamed/removed bench can never
 # ghost-merge its stale JSON into this run's aggregate.
-rm -f "$WORK_DIR"/bench_*.json "$WORK_DIR"/bench_*.log
+rm -f "$WORK_DIR"/bench_*.json "$WORK_DIR"/bench_*.log "$WORK_DIR"/bench_*.ms
 
 shopt -s nullglob
 benches=("$BUILD_DIR"/bench_*)
@@ -33,20 +38,29 @@ for bench in "${benches[@]}"; do
   start=$(date +%s%N)
   "$bench" --smoke --json "$WORK_DIR/$name.json" > "$WORK_DIR/$name.log"
   end=$(date +%s%N)
-  echo "    ok ($(( (end - start) / 1000000 )) ms, log: $WORK_DIR/$name.log)"
+  ms=$(( (end - start) / 1000000 ))
+  echo "$ms" > "$WORK_DIR/$name.ms"
+  echo "    ok ($ms ms, log: $WORK_DIR/$name.log)"
 done
 
-# Merge: {"bench_x": {...}, "bench_y": {...}} without external JSON tools.
+# Merge without external JSON tools: every executed bench contributes its
+# wall time plus whatever report it wrote (null when it wrote none).
 {
   echo '{'
   first=1
-  for f in "$WORK_DIR"/bench_*.json; do
-    name=$(basename "$f" .json)
+  for msfile in "$WORK_DIR"/bench_*.ms; do
+    name=$(basename "$msfile" .ms)
     [ "$first" -eq 1 ] || echo ','
     first=0
-    printf '"%s": ' "$name"
-    cat "$f"
+    printf '"%s": {"wall_ms": %s, "report": ' "$name" "$(cat "$msfile")"
+    if [ -s "$WORK_DIR/$name.json" ]; then
+      cat "$WORK_DIR/$name.json"
+    else
+      printf 'null'
+    fi
+    printf '}'
   done
+  echo
   echo '}'
 } > "$OUT_JSON"
 

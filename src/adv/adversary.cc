@@ -16,17 +16,17 @@ long CorruptionLedger::countInWindow(int fromRound, int toRound,
 }
 
 TamperView::TamperView(const Graph& g, const Spec& spec, int round,
-                       std::vector<Msg>& arcs, long budgetUsedSoFar)
+                       sim::ArcBuffer& arcs, long budgetUsedSoFar)
     : g_(g),
       spec_(spec),
       round_(round),
       arcs_(arcs),
       budgetUsedBefore_(budgetUsedSoFar) {}
 
-const Msg& TamperView::peek(ArcId a) const {
+sim::MsgView TamperView::peek(ArcId a) const {
   if (spec_.kind != Kind::Byzantine)
     throw std::logic_error("eavesdroppers may only read observed edges");
-  return arcs_[static_cast<std::size_t>(a)];
+  return arcs_.view(a);
 }
 
 int TamperView::remaining() const {
@@ -72,8 +72,17 @@ void TamperView::charge(EdgeId e) {
 void TamperView::corruptArc(ArcId a, const Msg& replacement) {
   if (spec_.kind != Kind::Byzantine)
     throw std::logic_error("only byzantine adversaries corrupt");
-  charge(Graph::arcEdge(a));
-  arcs_[static_cast<std::size_t>(a)] = replacement;
+  const EdgeId e = Graph::arcEdge(a);
+  charge(e);
+  // Copy-on-touch: the first corruption of an edge materializes both arcs'
+  // pre-images for the ledger diff -- O(touched) total, never O(arcs).
+  if (preTouched_.find(e) == preTouched_.end()) {
+    auto& pre = preTouched_[e];
+    pre.first = arcs_.msg(2 * e);
+    pre.second = arcs_.msg(2 * e + 1);
+    snapshotWords_ += pre.first.words.size() + pre.second.words.size();
+  }
+  arcs_.putMsg(arcs_.adversarySlab(), a, replacement);
 }
 
 void TamperView::corruptEdge(EdgeId e, const Msg& uv, const Msg& vu) {
@@ -88,8 +97,8 @@ ViewRecord TamperView::observe(EdgeId e) {
   ViewRecord r;
   r.round = round_;
   r.edge = e;
-  r.uv = arcs_[static_cast<std::size_t>(2 * e)];
-  r.vu = arcs_[static_cast<std::size_t>(2 * e + 1)];
+  r.uv = arcs_.msg(2 * e);
+  r.vu = arcs_.msg(2 * e + 1);
   return r;
 }
 

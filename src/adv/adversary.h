@@ -12,10 +12,14 @@
 // number, current messages (byzantine) or their own past observations
 // (eavesdroppers), and an adversary-private RNG.
 //
-// The TamperView enforces the per-model budgets; the Network diffs pre/post
-// messages into a CorruptionLedger, the ground truth used by accounting,
-// tests, and the ContractEngine ideal functionality (see DESIGN.md).
-// docs/architecture.md section 2 describes the diff-based ledger contract.
+// The TamperView enforces the per-model budgets and snapshots each touched
+// edge's pre-image *copy-on-touch*: the first corruption of an edge in a
+// round materializes both arcs' current messages, so the Network's ledger
+// ground truth is a diff over O(touched edges), never over the whole plane
+// (mutation outside the view is impossible -- the arena plane is only
+// reachable through it).  The CorruptionLedger stays the ground truth used
+// by accounting, tests, and the ContractEngine ideal functionality (see
+// DESIGN.md).  docs/architecture.md section 2 describes the contract.
 #pragma once
 
 #include <cstdint>
@@ -23,9 +27,11 @@
 #include <memory>
 #include <set>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
+#include "sim/arc_buffer.h"
 #include "sim/message.h"
 #include "util/rng.h"
 
@@ -93,16 +99,17 @@ class CorruptionLedger {
 /// The per-round interface the Network hands the adversary.
 class TamperView {
  public:
-  TamperView(const Graph& g, const Spec& spec, int round,
-             std::vector<Msg>& arcs, long budgetUsedSoFar);
+  TamperView(const Graph& g, const Spec& spec, int round, sim::ArcBuffer& arcs,
+             long budgetUsedSoFar);
 
   [[nodiscard]] int round() const { return round_; }
   [[nodiscard]] const Graph& graph() const { return g_; }
 
   // --- byzantine surface -------------------------------------------------
   /// Read any arc's current message (byzantine adversaries see everything).
-  [[nodiscard]] const Msg& peek(ArcId a) const;
-  /// Rewrite (or inject / drop) the message on arc `a`.  Charges the edge.
+  [[nodiscard]] sim::MsgView peek(ArcId a) const;
+  /// Rewrite (or inject / drop) the message on arc `a`.  Charges the edge
+  /// and snapshots its pre-image on first touch.
   void corruptArc(ArcId a, const Msg& replacement);
   /// Convenience: rewrite both directions.
   void corruptEdge(EdgeId e, const Msg& uv, const Msg& vu);
@@ -117,14 +124,30 @@ class TamperView {
   /// Remaining per-round budget.
   [[nodiscard]] int remaining() const;
 
+  // --- copy-on-touch ledger support ---------------------------------------
+  /// Pre-images of every byzantine-touched edge (both arcs, u->v then
+  /// v->u), keyed ascending by edge -- the Network diffs exactly these
+  /// against the post-adversary plane, so the ledger costs O(touched).
+  [[nodiscard]] const std::map<EdgeId, std::pair<Msg, Msg>>& preTouched()
+      const {
+    return preTouched_;
+  }
+  /// Words materialized by copy-on-touch snapshots (the O(f) cost proof
+  /// surface; the Network accumulates it per run).
+  [[nodiscard]] std::uint64_t snapshotWordsCopied() const {
+    return snapshotWords_;
+  }
+
  private:
   void charge(EdgeId e);
 
   const Graph& g_;
   const Spec& spec_;
   int round_;
-  std::vector<Msg>& arcs_;
+  sim::ArcBuffer& arcs_;
   std::set<EdgeId> touched_;
+  std::map<EdgeId, std::pair<Msg, Msg>> preTouched_;
+  std::uint64_t snapshotWords_ = 0;
   long budgetUsedBefore_;
 };
 

@@ -42,7 +42,8 @@ RandomEavesdropper::RandomEavesdropper(int f, std::uint64_t seed)
 
 void RandomEavesdropper::act(TamperView& view) {
   const auto m = static_cast<std::size_t>(view.graph().edgeCount());
-  const std::size_t take = std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
+  const std::size_t take =
+      std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
   for (const std::size_t e : rng_.sampleDistinct(m, take))
     recordView(view.observe(static_cast<EdgeId>(e)));
 }
@@ -61,7 +62,8 @@ SweepingEavesdropper::SweepingEavesdropper(int f)
 
 void SweepingEavesdropper::act(TamperView& view) {
   const auto m = static_cast<std::size_t>(view.graph().edgeCount());
-  const std::size_t take = std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
+  const std::size_t take =
+      std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
   for (std::size_t i = 0; i < take; ++i) {
     recordView(view.observe(static_cast<EdgeId>(cursor_ % m)));
     ++cursor_;
@@ -78,7 +80,8 @@ void StaticEavesdropper::act(TamperView& view) {
 
 ScriptedEavesdropper::ScriptedEavesdropper(
     std::map<int, std::vector<EdgeId>> schedule, int f)
-    : Adversary(eavesSpec(Mobility::Mobile, f)), schedule_(std::move(schedule)) {}
+    : Adversary(eavesSpec(Mobility::Mobile, f)),
+      schedule_(std::move(schedule)) {}
 
 void ScriptedEavesdropper::act(TamperView& view) {
   const auto it = schedule_.find(view.round());
@@ -93,7 +96,8 @@ RandomByzantine::RandomByzantine(int f, std::uint64_t seed)
 
 void RandomByzantine::act(TamperView& view) {
   const auto m = static_cast<std::size_t>(view.graph().edgeCount());
-  const std::size_t take = std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
+  const std::size_t take =
+      std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
   for (const std::size_t e : rng_.sampleDistinct(m, take))
     view.corruptEdge(static_cast<EdgeId>(e), garbageMsg(rng_),
                      garbageMsg(rng_));
@@ -117,7 +121,8 @@ RotatingByzantine::RotatingByzantine(int f, std::uint64_t seed)
 
 void RotatingByzantine::act(TamperView& view) {
   const auto m = static_cast<std::size_t>(view.graph().edgeCount());
-  const std::size_t take = std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
+  const std::size_t take =
+      std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
   for (std::size_t i = 0; i < take; ++i) {
     view.corruptEdge(static_cast<EdgeId>(cursor_ % m), garbageMsg(rng_),
                      garbageMsg(rng_));
@@ -173,8 +178,9 @@ void BurstByzantine::act(TamperView& view) {
                      garbageMsg(rng_));
 }
 
-ScriptedByzantine::ScriptedByzantine(std::map<int, std::vector<EdgeId>> schedule,
-                                     long totalBudget, std::uint64_t seed)
+ScriptedByzantine::ScriptedByzantine(
+    std::map<int, std::vector<EdgeId>> schedule, long totalBudget,
+    std::uint64_t seed)
     : Adversary(byzSpec(Mobility::RoundErrorRate, 0, totalBudget)),
       schedule_(std::move(schedule)),
       rng_(seed) {}
@@ -191,12 +197,13 @@ BitflipByzantine::BitflipByzantine(int f, std::uint64_t seed)
 
 void BitflipByzantine::act(TamperView& view) {
   const auto m = static_cast<std::size_t>(view.graph().edgeCount());
-  const std::size_t take = std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
+  const std::size_t take =
+      std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
   for (const std::size_t ei : rng_.sampleDistinct(m, take)) {
     const EdgeId e = static_cast<EdgeId>(ei);
     for (int dir = 0; dir < 2; ++dir) {
       const ArcId a = 2 * e + dir;
-      Msg mcopy = view.peek(a);
+      Msg mcopy = view.peek(a).toMsg();
       if (mcopy.present && mcopy.size() > 0) {
         mcopy.words[0] ^= 1ULL << rng_.below(8);
       } else {

@@ -14,6 +14,7 @@ using graph::Graph;
 using graph::NodeId;
 using sim::Inbox;
 using sim::Msg;
+using sim::MsgView;
 using sim::NodeState;
 using sim::Outbox;
 
@@ -25,9 +26,13 @@ std::vector<EdgeId> mstEdgeRanking(const Graph& g) {
     const auto& ea = g.edge(a);
     const auto& eb = g.edge(b);
     const std::uint64_t wa =
-        (mix(static_cast<std::uint64_t>(ea.u), static_cast<std::uint64_t>(ea.v)) & 0xffff);
+        (mix(static_cast<std::uint64_t>(ea.u),
+             static_cast<std::uint64_t>(ea.v)) &
+         0xffff);
     const std::uint64_t wb =
-        (mix(static_cast<std::uint64_t>(eb.u), static_cast<std::uint64_t>(eb.v)) & 0xffff);
+        (mix(static_cast<std::uint64_t>(eb.u),
+             static_cast<std::uint64_t>(eb.v)) &
+         0xffff);
     if (wa != wb) return wa < wb;
     return a < b;  // deterministic tiebreak -> unique MST
   });
@@ -148,7 +153,8 @@ class BoruvkaNode final : public NodeState {
     }
     // C 2..L: flood the min fragment id over old-fragment + join edges.
     for (const auto& nb : g_.neighbors(self_)) {
-      const bool intra = nbFrag_.count(nb.node) && nbFrag_[nb.node] == phaseFrag_;
+      const bool intra =
+          nbFrag_.count(nb.node) && nbFrag_[nb.node] == phaseFrag_;
       if (intra || joinEdges_.count(nb.edge))
         out.to(nb.node, Msg::of(frag_));
     }
@@ -165,8 +171,8 @@ class BoruvkaNode final : public NodeState {
     if (o == 0) {
       nbFrag_.clear();
       for (const auto& nb : g_.neighbors(self_)) {
-        const Msg& m = in.from(nb.node);
-        if (m.present) nbFrag_[nb.node] = m.at(0);
+        const MsgView m = in.from(nb.node);
+        if (m.present()) nbFrag_[nb.node] = m.at(0);
       }
       phaseFrag_ = frag_;
       return;
@@ -175,8 +181,8 @@ class BoruvkaNode final : public NodeState {
       for (const auto& nb : g_.neighbors(self_)) {
         if (!nbFrag_.count(nb.node) || nbFrag_[nb.node] != phaseFrag_)
           continue;  // only same-fragment flooding
-        const Msg& m = in.from(nb.node);
-        if (!m.present || m.at(0) == 0) continue;
+        const MsgView m = in.from(nb.node);
+        if (!m.present() || m.at(0) == 0) continue;
         const int rank = static_cast<int>(m.at(0)) - 1;
         if (best_ < 0 || rank < best_) best_ = rank;
       }
@@ -185,8 +191,8 @@ class BoruvkaNode final : public NodeState {
     const int c = o - L_;
     if (c == 1) {
       for (const auto& nb : g_.neighbors(self_)) {
-        const Msg& m = in.from(nb.node);
-        if (m.present && m.at(0) == kJoin) {
+        const MsgView m = in.from(nb.node);
+        if (m.present() && m.at(0) == kJoin) {
           joinEdges_.insert(nb.edge);
           mst_.insert(nb.edge);
         }
@@ -194,19 +200,34 @@ class BoruvkaNode final : public NodeState {
       return;
     }
     for (const auto& nb : g_.neighbors(self_)) {
-      const bool intra = nbFrag_.count(nb.node) && nbFrag_[nb.node] == phaseFrag_;
+      const bool intra =
+          nbFrag_.count(nb.node) && nbFrag_[nb.node] == phaseFrag_;
       if (!intra && !joinEdges_.count(nb.edge)) continue;
-      const Msg& m = in.from(nb.node);
-      if (m.present && m.at(0) < frag_) frag_ = m.at(0);
+      const MsgView m = in.from(nb.node);
+      if (m.present() && m.at(0) < frag_) frag_ = m.at(0);
     }
     if (c == L_) joinEdges_.clear();  // next phase recomputes joins
   }
 
   [[nodiscard]] bool done() const override { return done_; }
 
+  /// Rewinds to the freshly constructed state, keeping the structural
+  /// tables (edge ranking) and container capacities -- Network::reset()
+  /// reuses the node object through Algorithm::reinitNode.
+  void reinit() {
+    frag_ = static_cast<std::uint64_t>(self_);
+    phaseFrag_ = 0;
+    nbFrag_.clear();
+    best_ = -1;
+    joinEdges_.clear();
+    mst_.clear();
+    done_ = false;
+  }
+
   [[nodiscard]] std::uint64_t output() const override {
     std::vector<int> ranks;
-    for (const EdgeId e : mst_) ranks.push_back(rankOf_[static_cast<std::size_t>(e)]);
+    for (const EdgeId e : mst_)
+      ranks.push_back(rankOf_[static_cast<std::size_t>(e)]);
     std::sort(ranks.begin(), ranks.end());
     std::uint64_t h = 0x9e37;
     for (const int r : ranks) h = mix(h, static_cast<std::uint64_t>(r));
@@ -250,6 +271,12 @@ sim::Algorithm makeBoruvkaMst(const Graph& g, int floodLen) {
   a.congestion = a.rounds;
   a.makeNode = [&g, order, L, phases](NodeId v, const Graph&, util::Rng) {
     return std::make_unique<BoruvkaNode>(v, g, order, L, phases);
+  };
+  a.reinitNode = [](sim::NodeState& n, NodeId, const Graph&, util::Rng) {
+    auto* node = dynamic_cast<BoruvkaNode*>(&n);
+    if (node == nullptr) return false;
+    node->reinit();
+    return true;
   };
   return a;
 }

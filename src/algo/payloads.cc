@@ -7,6 +7,7 @@ namespace mobile::algo {
 
 using sim::Inbox;
 using sim::Msg;
+using sim::MsgView;
 using sim::NodeState;
 using sim::Outbox;
 
@@ -24,18 +25,21 @@ namespace {
 
 class FloodMaxNode final : public NodeState {
  public:
-  FloodMaxNode(NodeId self, int rounds) : best_(static_cast<std::uint64_t>(self)), rounds_(rounds) {}
+  FloodMaxNode(NodeId self, int rounds)
+      : best_(static_cast<std::uint64_t>(self)), rounds_(rounds) {}
 
   void send(int round, Outbox& out) override {
     if (round <= rounds_) out.toAll(Msg::of(best_));
   }
   void receive(int round, const Inbox& in) override {
     (void)round;
-    forEachNeighbor(in, [&](const Msg& m) {
-      if (m.present) best_ = std::max(best_, m.at(0));
+    forEachNeighbor(in, [&](const MsgView& m) {
+      if (m.present()) best_ = std::max(best_, m.at(0));
     });
   }
   [[nodiscard]] std::uint64_t output() const override { return best_; }
+
+  void reinit(NodeId self) { best_ = static_cast<std::uint64_t>(self); }
 
  private:
   template <typename F>
@@ -67,8 +71,8 @@ class BfsNode final : public NodeState {
     (void)round;
     if (dist_ >= 0) return;
     for (const auto& nb : g_.neighbors(in.self())) {
-      const Msg& m = in.from(nb.node);
-      if (m.present) {
+      const MsgView m = in.from(nb.node);
+      if (m.present()) {
         dist_ = static_cast<int>(m.at(0)) + 1;
         break;
       }
@@ -78,13 +82,15 @@ class BfsNode final : public NodeState {
     return static_cast<std::uint64_t>(dist_ + 1);
   }
 
+  void reinit(bool isRoot) { dist_ = isRoot ? 0 : -1; }
+
  private:
   const graph::Graph& g_;
   int dist_;
   int rounds_;
 };
 
-// --- SumAggregate --------------------------------------------------------------
+// --- SumAggregate ------------------------------------------------------------
 
 class SumNode final : public NodeState {
  public:
@@ -126,8 +132,8 @@ class SumNode final : public NodeState {
     if (round <= phaseLen_) {
       if (dist_ >= 0) return;
       for (const auto& nb : g_.neighbors(self_)) {
-        const Msg& m = in.from(nb.node);
-        if (m.present) {
+        const MsgView m = in.from(nb.node);
+        if (m.present()) {
           dist_ = static_cast<int>(m.at(0)) + 1;
           parent_ = nb.node;
           break;
@@ -137,8 +143,8 @@ class SumNode final : public NodeState {
     }
     if (round <= 2 * phaseLen_) {
       for (const auto& nb : g_.neighbors(self_)) {
-        const Msg& m = in.from(nb.node);
-        if (m.present) childSum_ += m.at(0);
+        const MsgView m = in.from(nb.node);
+        if (m.present()) childSum_ += m.at(0);
       }
       if (round == 2 * phaseLen_ && dist_ == 0) {
         total_ = input_ + childSum_;
@@ -149,8 +155,8 @@ class SumNode final : public NodeState {
     if (round <= 3 * phaseLen_) {
       if (haveTotal_) return;
       for (const auto& nb : g_.neighbors(self_)) {
-        const Msg& m = in.from(nb.node);
-        if (m.present) {
+        const MsgView m = in.from(nb.node);
+        if (m.present()) {
           total_ = m.at(0);
           haveTotal_ = true;
           break;
@@ -161,6 +167,14 @@ class SumNode final : public NodeState {
   }
 
   [[nodiscard]] std::uint64_t output() const override { return total_; }
+
+  void reinit() {
+    dist_ = self_ == root_ ? 0 : -1;
+    parent_ = -1;
+    childSum_ = 0;
+    total_ = 0;
+    haveTotal_ = false;
+  }
 
  private:
   const graph::Graph& g_;
@@ -175,7 +189,7 @@ class SumNode final : public NodeState {
   bool haveTotal_ = false;
 };
 
-// --- GossipHash ----------------------------------------------------------------
+// --- GossipHash --------------------------------------------------------------
 
 class GossipNode final : public NodeState {
  public:
@@ -185,35 +199,39 @@ class GossipNode final : public NodeState {
         self_(self),
         rounds_(rounds),
         mask_(maskBits >= 64 ? ~0ULL : (1ULL << maskBits) - 1),
-        h_(input & mask_) {}
+        h_(input & mask_) {
+    // Deterministic mixing order: neighbors ascending by id (KT1
+    // knowledge), fixed once so receive() stays allocation-free.
+    for (const auto& nb : g_.neighbors(self_)) sortedNbs_.push_back(nb.node);
+    std::sort(sortedNbs_.begin(), sortedNbs_.end());
+  }
 
   void send(int round, Outbox& out) override {
     if (round <= rounds_) out.toAll(Msg::of(h_));
   }
   void receive(int round, const Inbox& in) override {
     if (round > rounds_) return;
-    // Deterministic order: neighbors ascending by id (KT1 knowledge).
-    std::vector<NodeId> nbs;
-    for (const auto& nb : g_.neighbors(self_)) nbs.push_back(nb.node);
-    std::sort(nbs.begin(), nbs.end());
     std::uint64_t acc = h_;
-    for (const NodeId u : nbs) {
-      const Msg& m = in.from(u);
-      acc = mix(acc, m.present ? m.at(0) : 0x5151515151515151ULL);
+    for (const NodeId u : sortedNbs_) {
+      const MsgView m = in.from(u);
+      acc = mix(acc, m.present() ? m.at(0) : 0x5151515151515151ULL);
     }
     h_ = acc & mask_;
   }
   [[nodiscard]] std::uint64_t output() const override { return h_; }
 
+  void reinit(std::uint64_t input) { h_ = input & mask_; }
+
  private:
   const graph::Graph& g_;
   NodeId self_;
+  std::vector<NodeId> sortedNbs_;
   int rounds_;
   std::uint64_t mask_;
   std::uint64_t h_;
 };
 
-// --- PingPong ------------------------------------------------------------------
+// --- PingPong ----------------------------------------------------------------
 
 class PingPongNode final : public NodeState {
  public:
@@ -232,12 +250,14 @@ class PingPongNode final : public NodeState {
   }
   void receive(int round, const Inbox& in) override {
     if (!active_ || round > rounds_) return;
-    const Msg& m = in.from(peer_);
-    if (m.present) h_ = mix(h_, m.at(0)) & mask_;
+    const MsgView m = in.from(peer_);
+    if (m.present()) h_ = mix(h_, m.at(0)) & mask_;
   }
   [[nodiscard]] std::uint64_t output() const override {
     return active_ ? h_ : 0;
   }
+
+  void reinit(std::uint64_t input) { h_ = input & mask_; }
 
  private:
   NodeId self_;
@@ -249,7 +269,7 @@ class PingPongNode final : public NodeState {
   std::uint64_t h_;
 };
 
-// --- PathUnicast ----------------------------------------------------------------
+// --- PathUnicast -------------------------------------------------------------
 
 class PathNode final : public NodeState {
  public:
@@ -286,6 +306,14 @@ class PathNode final : public NodeState {
     value_ = v;
     have_ = true;
   }
+  void reinit(std::uint64_t value) {
+    value_ = 0;
+    have_ = false;
+    if (position_ == 0) {
+      value_ = value;
+      have_ = true;
+    }
+  }
   [[nodiscard]] bool has() const { return have_; }
   [[nodiscard]] int position() const { return position_; }
 
@@ -313,6 +341,12 @@ sim::Algorithm makeFloodMax(const Graph& g, int rounds) {
     node->g_ = &g;
     return node;
   };
+  a.reinitNode = [](sim::NodeState& n, NodeId v, const Graph&, util::Rng) {
+    auto* node = dynamic_cast<FloodMaxNode*>(&n);
+    if (node == nullptr) return false;
+    node->reinit(v);
+    return true;
+  };
   return a;
 }
 
@@ -323,6 +357,12 @@ sim::Algorithm makeBfsTree(const Graph& g, NodeId root, int diameterBound) {
   a.makeNode = [&g, root, diameterBound](NodeId v, const Graph&, util::Rng) {
     return std::make_unique<BfsNode>(v, root, diameterBound, g);
   };
+  a.reinitNode = [root](sim::NodeState& n, NodeId v, const Graph&, util::Rng) {
+    auto* node = dynamic_cast<BfsNode*>(&n);
+    if (node == nullptr) return false;
+    node->reinit(v == root);
+    return true;
+  };
   return a;
 }
 
@@ -331,10 +371,18 @@ sim::Algorithm makeSumAggregate(const Graph& g, NodeId root, int diameterBound,
   sim::Algorithm a;
   a.rounds = 3 * (diameterBound + 2);
   a.congestion = 3;
-  a.makeNode = [&g, root, diameterBound, inputs = std::move(inputs)](
-                   NodeId v, const Graph&, util::Rng) {
-    return std::make_unique<SumNode>(v, root, diameterBound,
-                                     inputs[static_cast<std::size_t>(v)], g);
+  const auto shared = std::make_shared<const std::vector<std::uint64_t>>(
+      std::move(inputs));
+  a.makeNode = [&g, root, diameterBound, shared](NodeId v, const Graph&,
+                                                 util::Rng) {
+    return std::make_unique<SumNode>(
+        v, root, diameterBound, (*shared)[static_cast<std::size_t>(v)], g);
+  };
+  a.reinitNode = [](sim::NodeState& n, NodeId, const Graph&, util::Rng) {
+    auto* node = dynamic_cast<SumNode*>(&n);
+    if (node == nullptr) return false;
+    node->reinit();
+    return true;
   };
   return a;
 }
@@ -345,10 +393,19 @@ sim::Algorithm makeGossipHash(const Graph& g, int rounds,
   sim::Algorithm a;
   a.rounds = rounds;
   a.congestion = rounds;
-  a.makeNode = [&g, rounds, inputs = std::move(inputs), maskBits](
-                   NodeId v, const Graph&, util::Rng) {
+  const auto shared = std::make_shared<const std::vector<std::uint64_t>>(
+      std::move(inputs));
+  a.makeNode = [&g, rounds, shared, maskBits](NodeId v, const Graph&,
+                                              util::Rng) {
     return std::make_unique<GossipNode>(
-        v, rounds, inputs[static_cast<std::size_t>(v)], g, maskBits);
+        v, rounds, (*shared)[static_cast<std::size_t>(v)], g, maskBits);
+  };
+  a.reinitNode = [shared](sim::NodeState& n, NodeId v, const Graph&,
+                          util::Rng) {
+    auto* node = dynamic_cast<GossipNode*>(&n);
+    if (node == nullptr) return false;
+    node->reinit((*shared)[static_cast<std::size_t>(v)]);
+    return true;
   };
   return a;
 }
@@ -364,6 +421,13 @@ sim::Algorithm makePingPong(const Graph& g, NodeId a, NodeId b, int rounds,
                      NodeId v, const Graph&, util::Rng) {
     const std::uint64_t input = (v == a) ? inputA : inputB;
     return std::make_unique<PingPongNode>(v, a, b, rounds, input, maskBits);
+  };
+  alg.reinitNode = [a, inputA, inputB](sim::NodeState& n, NodeId v,
+                                       const Graph&, util::Rng) {
+    auto* node = dynamic_cast<PingPongNode*>(&n);
+    if (node == nullptr) return false;
+    node->reinit(v == a ? inputA : inputB);
+    return true;
   };
   return alg;
 }
@@ -383,12 +447,13 @@ sim::Algorithm makePathUnicast(const Graph& g, std::vector<NodeId> path,
       for (std::size_t i = 1; i < path.size(); ++i)
         if (path[i] == self) prev_ = path[i - 1];
     }
+    void reinit(std::uint64_t value) { inner_.reinit(value); }
     void send(int round, Outbox& out) override { inner_.send(round, out); }
     void receive(int round, const Inbox& in) override {
       (void)round;
       if (prev_ >= 0 && !inner_.has()) {
-        const Msg& m = in.from(prev_);
-        if (m.present) inner_.acceptValue(m.at(0));
+        const MsgView m = in.from(prev_);
+        if (m.present()) inner_.acceptValue(m.at(0));
       }
     }
     [[nodiscard]] std::uint64_t output() const override {
@@ -403,6 +468,12 @@ sim::Algorithm makePathUnicast(const Graph& g, std::vector<NodeId> path,
   a.makeNode = [path = std::move(path), value](NodeId v, const Graph&,
                                                util::Rng) {
     return std::make_unique<Wrapper>(v, path, value);
+  };
+  a.reinitNode = [value](sim::NodeState& n, NodeId, const Graph&, util::Rng) {
+    auto* node = dynamic_cast<Wrapper*>(&n);
+    if (node == nullptr) return false;
+    node->reinit(value);
+    return true;
   };
   return a;
 }

@@ -36,9 +36,9 @@ using graph::NodeId;
 
 /// Sum of private inputs via BFS + convergecast + broadcast; every node
 /// outputs the sum.  Used by the security experiments (inputs vary).
-[[nodiscard]] sim::Algorithm makeSumAggregate(const Graph& g, NodeId root,
-                                              int diameterBound,
-                                              std::vector<std::uint64_t> inputs);
+[[nodiscard]] sim::Algorithm makeSumAggregate(
+    const Graph& g, NodeId root, int diameterBound,
+    std::vector<std::uint64_t> inputs);
 
 /// r rounds of neighborhood hash mixing; a single corrupted message anywhere
 /// avalanche-changes outputs, making this the canary payload for the

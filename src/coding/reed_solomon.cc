@@ -50,7 +50,8 @@ std::vector<F16> divideExact(std::vector<F16> num,
     const F16 factor = num[i] * leadInv;
     quot[i - dDeg] = factor;
     if (!factor.isZero())
-      for (std::size_t j = 0; j <= dDeg; ++j) num[i - dDeg + j] += factor * den[j];
+      for (std::size_t j = 0; j <= dDeg; ++j)
+        num[i - dDeg + j] += factor * den[j];
   }
   for (const F16 c : num)
     if (!c.isZero()) return {};
@@ -91,7 +92,8 @@ std::optional<std::vector<F16>> ReedSolomon::tryDecode(
     }
     b[i] = y * x.pow(e);
   }
-  std::vector<F16> sol = gf::solveLinearAny(std::move(a), std::move(b), unknowns);
+  std::vector<F16> sol =
+      gf::solveLinearAny(std::move(a), std::move(b), unknowns);
   if (sol.empty() && unknowns > 0) return std::nullopt;
 
   std::vector<F16> q(sol.begin(),

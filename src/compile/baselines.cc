@@ -11,6 +11,7 @@ using sim::Inbox;
 using sim::MapInbox;
 using sim::MapOutbox;
 using sim::Msg;
+using sim::MsgView;
 using sim::NodeState;
 using sim::Outbox;
 
@@ -24,7 +25,16 @@ class NaiveNode final : public NodeState {
         g_(g),
         inner_(std::move(inner)),
         innerRounds_(innerRounds),
-        rep_(2 * f + 1) {}
+        rep_(2 * f + 1),
+        inbox_(g, self) {
+    // Stash slots follow adjacency order; every neighbor contributes
+    // exactly one copy per repetition, so the shape is fixed up front and
+    // the Msg slots are reused allocation-free from the second inner round
+    // on (sim::assignMsg keeps each slot's words capacity).
+    stash_.resize(g.degree(self));
+    for (auto& copies : stash_)
+      copies.resize(static_cast<std::size_t>(rep_));
+  }
 
   void send(int round, Outbox& out) override {
     const int g = round - 1;
@@ -48,27 +58,37 @@ class NaiveNode final : public NodeState {
       return;
     }
     const int rep = g % rep_;
-    for (const auto& nb : g_.neighbors(self_))
-      stash_[nb.node].push_back(in.from(nb.node));
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i)
+      sim::assignMsg(stash_[i][static_cast<std::size_t>(rep)],
+                     in.from(nbs[i].node));
     if (rep != rep_ - 1) return;
-    MapInbox inbox(g_, self_);
-    for (auto& [nbr, copies] : stash_) {
-      // Majority copy.
-      Msg best;
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      auto& copies = stash_[i];
+      // Majority copy: first copy achieving the maximal agreement count
+      // wins (the tie-break the negative-control experiments pin down).
+      std::size_t bestIdx = 0;
       int bestCount = 0;
-      for (std::size_t i = 0; i < copies.size(); ++i) {
+      for (std::size_t a = 0; a < copies.size(); ++a) {
         int count = 0;
-        for (std::size_t j = 0; j < copies.size(); ++j)
-          if (copies[j] == copies[i]) ++count;
+        for (std::size_t b = 0; b < copies.size(); ++b)
+          if (copies[b] == copies[a]) ++count;
         if (count > bestCount) {
           bestCount = count;
-          best = copies[i];
+          bestIdx = a;
         }
       }
-      copies.clear();
-      if (best.present) inbox.put(nbr, best);
+      // Redeliver through the reused inbox: every slot is rewritten each
+      // inner round, absent included, so no stale message survives.
+      Msg& slot = inbox_.slot(nbs[i].node);
+      if (copies[bestIdx].present) {
+        slot = copies[bestIdx];
+      } else {
+        slot.present = false;
+        slot.words.clear();
+      }
     }
-    inner_->receive(simRound, inbox);
+    inner_->receive(simRound, inbox_);
     if (simRound >= innerRounds_) done_ = true;
   }
 
@@ -84,7 +104,8 @@ class NaiveNode final : public NodeState {
   int innerRounds_;
   int rep_;
   std::map<NodeId, Msg> current_;
-  std::map<NodeId, std::vector<Msg>> stash_;
+  std::vector<std::vector<Msg>> stash_;  // [neighbor slot][repetition]
+  MapInbox inbox_;
   bool done_ = false;
 };
 

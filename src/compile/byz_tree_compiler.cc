@@ -16,6 +16,7 @@ using sim::Inbox;
 using sim::MapInbox;
 using sim::MapOutbox;
 using sim::Msg;
+using sim::MsgView;
 using sim::NodeState;
 using sim::Outbox;
 
@@ -139,7 +140,7 @@ class ByzNode final : public NodeState {
     for (const auto& nb : g_.neighbors(self_)) {
       const int tree = treeAtSlot(nb.node, p.slot);
       if (tree < 0) continue;
-      stash_[{tree, nb.node}].push_back(in.from(nb.node));
+      stash_[{tree, nb.node}].push_back(in.from(nb.node).toMsg());
       if (p.rep == rho - 1) {
         const Msg maj = majority(stash_[{tree, nb.node}]);
         stash_.erase({tree, nb.node});
@@ -244,9 +245,10 @@ class ByzNode final : public NodeState {
   void receiveExchange(const Pos& p, const Inbox& in) {
     currentSimRound_ = p.simRound;
     for (const auto& nb : g_.neighbors(self_)) {
-      const Msg& m = in.from(nb.node);
-      const bool present = m.present && (m.atOr(1, 0) & 1u) != 0;
-      const std::uint64_t payload = m.present ? (m.atOr(0, 0) & kPayloadMask) : 0;
+      const MsgView m = in.from(nb.node);
+      const bool present = m.present() && (m.atOr(1, 0) & 1u) != 0;
+      const std::uint64_t payload =
+          m.present() ? (m.atOr(0, 0) & kPayloadMask) : 0;
       estKey_[nb.node] = encodeKey(
           nb.node, self_, present ? 0u : static_cast<unsigned>(kAbsentChunk),
           payload);
@@ -414,8 +416,11 @@ class ByzNode final : public NodeState {
       return;  // malformed (corrupted) bundle: drop
     for (int h = 0; h < opts_.tSketches; ++h) {
       std::vector<std::uint64_t> part(
-          m.words.begin() + static_cast<std::ptrdiff_t>(per * static_cast<std::size_t>(h)),
-          m.words.begin() + static_cast<std::ptrdiff_t>(per * static_cast<std::size_t>(h + 1)));
+          m.words.begin() +
+              static_cast<std::ptrdiff_t>(per * static_cast<std::size_t>(h)),
+          m.words.begin() +
+              static_cast<std::ptrdiff_t>(per *
+                                          static_cast<std::size_t>(h + 1)));
       bundle.push_back(sketch::L0Sampler::deserialize(
           deriveSketchSeed(ts, h), kUniverseBits, opts_.sketchLevels, part));
     }
@@ -528,7 +533,7 @@ class ByzNode final : public NodeState {
     if (shared_) shared_->trueShares = shares_;
   }
 
-  // --- ECC block ---------------------------------------------------------------
+  // --- ECC block -------------------------------------------------------------
 
   [[nodiscard]] Msg eccMessage(int tree, const Pos& p, NodeId to) {
     const int D = pk_->depthBound;
@@ -540,7 +545,8 @@ class ByzNode final : public NodeState {
     if (d != wstep - 1) return {};
     if (isRoot_) {
       return Msg::of(
-          shares_[static_cast<std::size_t>(chunk)][static_cast<std::size_t>(tree)]
+          shares_[static_cast<std::size_t>(chunk)]
+                 [static_cast<std::size_t>(tree)]
               .value());
     }
     const auto it = fwdShare_.find({tree, chunk});
@@ -556,7 +562,8 @@ class ByzNode final : public NodeState {
     if (d < 0 || from != parentIn(tree) || d != wstep || !m.present) return;
     const std::uint16_t sym = static_cast<std::uint16_t>(m.at(0));
     fwdShare_[{tree, chunk}] = sym;
-    recvShares_[static_cast<std::size_t>(chunk)][static_cast<std::size_t>(tree)] =
+    recvShares_[static_cast<std::size_t>(chunk)]
+               [static_cast<std::size_t>(tree)] =
         gf::F16(sym);
   }
 
@@ -592,7 +599,8 @@ class ByzNode final : public NodeState {
       if (dec.receiver != self_) continue;
       if (dec.chunk > kAbsentChunk) continue;
       if (!estKey_.count(dec.sender)) continue;  // not a neighbor
-      estKey_[dec.sender] = encodeKey(dec.sender, self_, dec.chunk, dec.payload);
+      estKey_[dec.sender] =
+          encodeKey(dec.sender, self_, dec.chunk, dec.payload);
     }
     if (shared_) recordMismatches(p.j + 1);
   }
@@ -609,7 +617,7 @@ class ByzNode final : public NodeState {
     if (p.simRound >= innerRounds_) done_ = true;
   }
 
-  // --- members -----------------------------------------------------------------
+  // --- members ---------------------------------------------------------------
 
   NodeId self_;
   const Graph& g_;

@@ -63,7 +63,7 @@ struct DecodedKey {
   return d;
 }
 
-// --- distributed tree-packing knowledge ----------------------------------------
+// --- distributed tree-packing knowledge --------------------------------------
 
 /// One node's belief about its role in every tree of a packing.
 struct NodeTreeView {

@@ -15,6 +15,7 @@ using sim::Inbox;
 using sim::MapInbox;
 using sim::MapOutbox;
 using sim::Msg;
+using sim::MsgView;
 using sim::NodeState;
 using sim::Outbox;
 
@@ -94,8 +95,8 @@ class CongestionNode final : public NodeState {
   void receive(int round, const Inbox& in) override {
     if (round <= layout_.poolRounds) {
       for (const auto& nb : g_.neighbors(self_)) {
-        const Msg& m = in.from(nb.node);
-        recvRandom_[nb.node].push_back(m.present ? m.at(0) : 0);
+        const MsgView m = in.from(nb.node);
+        recvRandom_[nb.node].push_back(m.present() ? m.at(0) : 0);
       }
       return;
     }
@@ -108,8 +109,8 @@ class CongestionNode final : public NodeState {
     if (i > layout_.r) return;
     MapInbox deliver(g_, self_);
     for (const auto& nb : g_.neighbors(self_)) {
-      const Msg& m = in.from(nb.node);
-      if (!m.present) continue;
+      const MsgView m = in.from(nb.node);
+      if (!m.present()) continue;
       const std::uint64_t image = m.at(0) ^ keyFor(recvKeys_, nb.node, i);
       // The paper's decoding loop: scan the message domain for a preimage.
       const auto hit = preimage_.find(image);

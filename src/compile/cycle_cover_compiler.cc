@@ -12,6 +12,7 @@ using sim::Inbox;
 using sim::MapInbox;
 using sim::MapOutbox;
 using sim::Msg;
+using sim::MsgView;
 using sim::NodeState;
 using sim::Outbox;
 
@@ -105,8 +106,8 @@ class CycleNode final : public NodeState {
     const int color = o / routing_->window;
     for (const Duty& d : routing_->duties[static_cast<std::size_t>(self_)]) {
       if (d.color != color || d.prev < 0) continue;
-      const Msg& m = in.from(d.prev);
-      if (!m.present) continue;
+      const MsgView m = in.from(d.prev);
+      if (!m.present()) continue;
       const std::uint64_t v = m.at(0);
       holding_[{d.edge, d.path, d.dir}] = v;
       if (d.next < 0) {

@@ -39,6 +39,6 @@ struct CycleCoverStats {
 [[nodiscard]] sim::Algorithm compileCycleCover(const graph::Graph& g,
                                                const sim::Algorithm& inner,
                                                int f,
-                                               CycleCoverStats* stats = nullptr);
+                                             CycleCoverStats* stats = nullptr);
 
 }  // namespace mobile::compile

@@ -64,7 +64,8 @@ std::vector<std::uint64_t> DmCodec::decode(
   for (std::size_t i = 0; i < count; ++i) {
     std::uint64_t key = 0;
     for (int s = 0; s < kSymbolsPerKey; ++s) {
-      const std::size_t idx = 1 + i * kSymbolsPerKey + static_cast<std::size_t>(s);
+      const std::size_t idx =
+          1 + i * kSymbolsPerKey + static_cast<std::size_t>(s);
       if (idx < stream.size())
         key |= static_cast<std::uint64_t>(stream[idx].value()) << (16 * s);
     }

@@ -14,6 +14,7 @@ using graph::Graph;
 using graph::NodeId;
 using sim::Inbox;
 using sim::Msg;
+using sim::MsgView;
 using sim::NodeState;
 using sim::Outbox;
 
@@ -45,7 +46,8 @@ class PackingNode final : public NodeState {
     bestId_.assign(static_cast<std::size_t>(opts_.k),
                    static_cast<std::uint64_t>(self_));
     parent_.assign(static_cast<std::size_t>(opts_.k), -1);
-    depthGuess_.assign(static_cast<std::size_t>(opts_.k), self_isMax() ? 0 : -1);
+    depthGuess_.assign(static_cast<std::size_t>(opts_.k),
+                       self_isMax() ? 0 : -1);
     children_.assign(static_cast<std::size_t>(opts_.k), {});
   }
 
@@ -60,7 +62,8 @@ class PackingNode final : public NodeState {
         if (self_ > nb.node) {
           auto& c = myColor_[nb.node];
           if (!colorChosen_.count(nb.node)) {
-            c = static_cast<int>(rng_.below(static_cast<std::uint64_t>(opts_.k)));
+            c = static_cast<int>(
+                rng_.below(static_cast<std::uint64_t>(opts_.k)));
             colorChosen_.insert(nb.node);
           }
           out.to(nb.node, Msg::of(static_cast<std::uint64_t>(c)));
@@ -94,7 +97,7 @@ class PackingNode final : public NodeState {
     const int logical = (round - 1) / pad + 1;
     const int rep = (round - 1) % pad;
     for (const auto& nb : g_.neighbors(self_))
-      stash_[nb.node].push_back(in.from(nb.node));
+      stash_[nb.node].push_back(in.from(nb.node).toMsg());
     if (rep != pad - 1) return;
     // Majority-decode this logical round.
     std::map<NodeId, Msg> decoded;
@@ -252,7 +255,8 @@ WeakPackingQuality assessWeakPacking(const graph::Graph& g,
   return q;
 }
 
-std::shared_ptr<PackingKnowledge> cliquePackingKnowledge(const graph::Graph& g) {
+std::shared_ptr<PackingKnowledge> cliquePackingKnowledge(
+    const graph::Graph& g) {
   const graph::TreePacking stars = graph::cliqueStarPacking(g);
   return distributePacking(g, stars, /*depthBound=*/2);
 }

@@ -12,6 +12,7 @@ using graph::Graph;
 using graph::NodeId;
 using sim::Inbox;
 using sim::Msg;
+using sim::MsgView;
 using sim::NodeState;
 using sim::Outbox;
 
@@ -121,8 +122,8 @@ class MulticastNode final : public NodeState {
 
   void receive(int round, const Inbox& in) override {
     for (const auto& nb : g_.neighbors(self_)) {
-      const Msg& m = in.from(nb.node);
-      if (!m.present) continue;
+      const MsgView m = in.from(nb.node);
+      if (!m.present()) continue;
       for (std::size_t i = 0; i + 1 < m.size(); i += 2) {
         const std::uint64_t tag = m.at(i);
         const std::uint64_t value = m.at(i + 1);

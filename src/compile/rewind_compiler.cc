@@ -17,6 +17,7 @@ using sim::Inbox;
 using sim::MapInbox;
 using sim::MapOutbox;
 using sim::Msg;
+using sim::MsgView;
 using sim::NodeState;
 using sim::Outbox;
 
@@ -138,13 +139,14 @@ class RewindNode final : public NodeState {
     const int o = g % sched_.roundsPerGlobal;
     if (o < sched_.initRounds) {
       for (const auto& nb : g_.neighbors(self_))
-        initStash_[nb.node].push_back(in.from(nb.node));
+        initStash_[nb.node].push_back(in.from(nb.node).toMsg());
       if (o == sched_.initRounds - 1) {
         for (auto& [nbr, copies] : initStash_) {
           const Msg m = majority(copies);
           copies.clear();
           Tuple t;
-          for (int i = 0; i < 4; ++i) t.setWord(i, m.atOr(static_cast<std::size_t>(i), 0));
+          for (int i = 0; i < 4; ++i)
+            t.setWord(i, m.atOr(static_cast<std::size_t>(i), 0));
           recvTuple_[nbr] = t;
         }
       }
@@ -300,7 +302,8 @@ class RewindNode final : public NodeState {
           for (int c = 0; c < codec_.chunks(); ++c) {
             if (isRoot) {
               words.push_back(
-                  shares_[static_cast<std::size_t>(c)][static_cast<std::size_t>(tree)]
+                  shares_[static_cast<std::size_t>(c)]
+                         [static_cast<std::size_t>(tree)]
                       .value());
             } else {
               const auto fw = fwdShare_.find({tree, c});
@@ -334,20 +337,22 @@ class RewindNode final : public NodeState {
       const int tree = it->second[static_cast<std::size_t>(slot)];
       const int d = view.depth[static_cast<std::size_t>(tree)];
       if (d < 0) continue;
-      stash_[{tree, nb.node}].push_back(in.from(nb.node));
+      stash_[{tree, nb.node}].push_back(in.from(nb.node).toMsg());
       if (rep != slots_.rho - 1) continue;
       const Msg m = majority(stash_[{tree, nb.node}]);
       stash_.erase({tree, nb.node});
       if (!m.present) continue;
       if (inSketch) {
         if (step <= D) {
-          if (d == step && nb.node == view.parent[static_cast<std::size_t>(tree)])
+          if (d == step &&
+              nb.node == view.parent[static_cast<std::size_t>(tree)])
             seed_[tree] = m.at(0);
         } else if (view.inTree(tree, nb.node) &&
                    nb.node != view.parent[static_cast<std::size_t>(tree)]) {
           const std::uint64_t ts = seed_.count(tree) ? seed_.at(tree) : 0;
           sketch::SparseRecovery probe(ts, static_cast<std::size_t>(16 * d_),
-                                       static_cast<std::size_t>(opts_.sketchRows));
+                                       static_cast<std::size_t>(
+                                           opts_.sketchRows));
           if (m.size() != probe.serializedWords()) continue;
           sketch::SparseRecovery got = sketch::SparseRecovery::deserialize(
               ts, static_cast<std::size_t>(16 * d_),
@@ -361,12 +366,15 @@ class RewindNode final : public NodeState {
           (void)isRoot;
         }
       } else {
-        if (d == step && nb.node == view.parent[static_cast<std::size_t>(tree)] &&
+        if (d == step &&
+            nb.node == view.parent[static_cast<std::size_t>(tree)] &&
             m.size() == static_cast<std::size_t>(codec_.chunks())) {
           for (int c = 0; c < codec_.chunks(); ++c) {
             fwdShare_[{tree, c}] = m.at(static_cast<std::size_t>(c));
-            recvShares_[static_cast<std::size_t>(c)][static_cast<std::size_t>(tree)] =
-                gf::F16(static_cast<std::uint16_t>(m.at(static_cast<std::size_t>(c))));
+            recvShares_[static_cast<std::size_t>(c)]
+                       [static_cast<std::size_t>(tree)] =
+                gf::F16(static_cast<std::uint16_t>(
+                    m.at(static_cast<std::size_t>(c))));
           }
         }
       }
@@ -517,7 +525,7 @@ class RewindNode final : public NodeState {
       const int tree = it->second[static_cast<std::size_t>(slot)];
       const int d = view.depth[static_cast<std::size_t>(tree)];
       if (d < 0) continue;
-      stash_[{tree, nb.node}].push_back(in.from(nb.node));
+      stash_[{tree, nb.node}].push_back(in.from(nb.node).toMsg());
       if (rep != slots_.rho - 1) continue;
       const Msg m = majority(stash_[{tree, nb.node}]);
       stash_.erase({tree, nb.node});
@@ -626,7 +634,7 @@ class RewindNode final : public NodeState {
     done_ = true;
   }
 
-  // --- members -----------------------------------------------------------------
+  // --- members ---------------------------------------------------------------
 
   NodeId self_;
   const Graph& g_;
@@ -670,7 +678,8 @@ RewindSchedule rewindSchedule(const PackingKnowledge& pk, int innerRounds,
   RewindSchedule s;
   const SlotSchedule slots{pk.eta, opts.engine.effectiveRho()};
   const int D = pk.depthBound;
-  const int d = opts.correctionCap > 0 ? opts.correctionCap : 4 * std::max(1, f);
+  const int d =
+      opts.correctionCap > 0 ? opts.correctionCap : 4 * std::max(1, f);
   const DmCodec codec(pk.k, 8 * d, 3);
   (void)codec;
   s.globalRounds = opts.multiplier * innerRounds;
@@ -704,7 +713,8 @@ void computeGamma(const graph::Graph& g, const sim::Algorithm& inner,
   util::Rng master(seed);
   std::vector<std::unique_ptr<NodeState>> nodes;
   for (NodeId v = 0; v < g.nodeCount(); ++v)
-    nodes.push_back(inner.makeNode(v, g, master.split(static_cast<std::uint64_t>(v))));
+    nodes.push_back(
+        inner.makeNode(v, g, master.split(static_cast<std::uint64_t>(v))));
   shared->gamma.clear();
   for (NodeId v = 0; v < g.nodeCount(); ++v)
     for (const auto& nb : g.neighbors(v)) shared->gamma[{v, nb.node}] = {};

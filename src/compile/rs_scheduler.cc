@@ -9,6 +9,7 @@ using graph::Graph;
 using graph::NodeId;
 using sim::Inbox;
 using sim::Msg;
+using sim::MsgView;
 using sim::NodeState;
 using sim::Outbox;
 
@@ -66,7 +67,8 @@ class SchedNode final : public NodeState {
         continue;
       const int tree = it->second[static_cast<std::size_t>(slot)];
       const int d = view.depth[static_cast<std::size_t>(tree)];
-      if (d != step - 1 || view.parent[static_cast<std::size_t>(tree)] == nb.node)
+      if (d != step - 1 ||
+          view.parent[static_cast<std::size_t>(tree)] == nb.node)
         continue;
       if (!view.inTree(tree, nb.node)) continue;
       if (!have_[static_cast<std::size_t>(tree)]) continue;
@@ -90,7 +92,7 @@ class SchedNode final : public NodeState {
       const int d = view.depth[static_cast<std::size_t>(tree)];
       if (d != step || view.parent[static_cast<std::size_t>(tree)] != nb.node)
         continue;
-      stash_[{tree, nb.node}].push_back(in.from(nb.node));
+      stash_[{tree, nb.node}].push_back(in.from(nb.node).toMsg());
       if (rep == slots_.rho - 1) {
         const Msg m = majority(stash_[{tree, nb.node}]);
         stash_.erase({tree, nb.node});
@@ -110,7 +112,8 @@ class SchedNode final : public NodeState {
         if (shared_->oracle->survives(t, 1,
                                       slots_.blockRounds(pk_->depthBound),
                                       pk_->depthBound, engine_.cRS))
-          value_[static_cast<std::size_t>(t)] = shared_->truth[static_cast<std::size_t>(t)];
+          value_[static_cast<std::size_t>(t)] =
+              shared_->truth[static_cast<std::size_t>(t)];
       }
     }
     auto& row = shared_->received;

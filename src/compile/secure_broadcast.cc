@@ -11,6 +11,7 @@ using graph::Graph;
 using graph::NodeId;
 using sim::Inbox;
 using sim::Msg;
+using sim::MsgView;
 using sim::NodeState;
 using sim::Outbox;
 
@@ -46,7 +47,8 @@ BroadcastCore::BroadcastCore(NodeId self, const Graph& g, util::Rng rng,
       if (t + 1 < pk_->k) {
         for (auto& x : share) x = rng_.next();
         for (int i = 0; i < w_; ++i)
-          acc[static_cast<std::size_t>(i)] ^= share[static_cast<std::size_t>(i)];
+          acc[static_cast<std::size_t>(i)] ^=
+              share[static_cast<std::size_t>(i)];
       } else {
         share = acc;
       }
@@ -55,7 +57,8 @@ BroadcastCore::BroadcastCore(NodeId self, const Graph& g, util::Rng rng,
     }
   } else {
     for (int t = 0; t < pk_->k; ++t)
-      shares_[static_cast<std::size_t>(t)].assign(static_cast<std::size_t>(w_), 0);
+      shares_[static_cast<std::size_t>(t)].assign(
+          static_cast<std::size_t>(w_), 0);
   }
 }
 
@@ -112,9 +115,11 @@ void BroadcastCore::send(int localRound, Outbox& out) {
     if (view.parent[static_cast<std::size_t>(tree)] == nb.node) continue;
     if (!haveShare_[static_cast<std::size_t>(tree)]) continue;
     const std::uint64_t word =
-        shares_[static_cast<std::size_t>(tree)][static_cast<std::size_t>(chunk)];
+        shares_[static_cast<std::size_t>(tree)]
+               [static_cast<std::size_t>(chunk)];
     out.to(nb.node,
-           Msg::of(word ^ sendPads_.at(nb.node)[static_cast<std::size_t>(slot)]));
+           Msg::of(word ^
+                   sendPads_.at(nb.node)[static_cast<std::size_t>(slot)]));
   }
 }
 
@@ -125,8 +130,8 @@ void BroadcastCore::receive(int localRound, const Inbox& in) {
   if (chunk >= w_) return;
   if (cr <= exchangeRounds_) {
     for (const auto& nb : g_.neighbors(self_)) {
-      const Msg& m = in.from(nb.node);
-      recvRandom_[nb.node].push_back(m.present ? m.at(0) : 0);
+      const MsgView m = in.from(nb.node);
+      recvRandom_[nb.node].push_back(m.present() ? m.at(0) : 0);
     }
     return;
   }
@@ -143,8 +148,8 @@ void BroadcastCore::receive(int localRound, const Inbox& in) {
     const int d = view.depth[static_cast<std::size_t>(tree)];
     if (d != step || view.parent[static_cast<std::size_t>(tree)] != nb.node)
       continue;
-    const Msg& m = in.from(nb.node);
-    if (!m.present) continue;
+    const MsgView m = in.from(nb.node);
+    if (!m.present()) continue;
     shares_[static_cast<std::size_t>(tree)][static_cast<std::size_t>(chunk)] =
         m.at(0) ^ recvPads_.at(nb.node)[static_cast<std::size_t>(slot)];
     haveShare_[static_cast<std::size_t>(tree)] = 1;

@@ -14,6 +14,7 @@ using sim::Inbox;
 using sim::MapInbox;
 using sim::MapOutbox;
 using sim::Msg;
+using sim::MsgView;
 using sim::NodeState;
 using sim::Outbox;
 
@@ -81,10 +82,10 @@ class MobileSecureNode final : public NodeState {
   void receive(int round, const Inbox& in) override {
     if (round <= ell_) {
       for (const auto& nb : g_.neighbors(self_)) {
-        const Msg& m = in.from(nb.node);
+        const MsgView m = in.from(nb.node);
         for (int w = 0; w < kWordsPerRound; ++w)
           recvRandom_[nb.node].push_back(
-              m.present ? m.atOr(static_cast<std::size_t>(w), 0) : 0);
+              m.present() ? m.atOr(static_cast<std::size_t>(w), 0) : 0);
       }
       return;
     }
@@ -92,8 +93,8 @@ class MobileSecureNode final : public NodeState {
     if (i > r_) return;
     MapInbox deliver(g_, self_);
     for (const auto& nb : g_.neighbors(self_)) {
-      const Msg& m = in.from(nb.node);
-      if (!m.present) continue;
+      const MsgView m = in.from(nb.node);
+      if (!m.present()) continue;
       const std::uint64_t pad0 = keyWord(recvKeys_, nb.node, i, 0);
       const std::uint64_t pad1 = keyWord(recvKeys_, nb.node, i, 1);
       const bool real = ((m.atOr(1, 0) ^ pad1) & 1u) != 0;

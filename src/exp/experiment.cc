@@ -133,7 +133,8 @@ std::vector<GroupSummary> aggregate(const std::vector<TrialResult>& results) {
 namespace {
 std::string meanSd(const MetricSummary& m) {
   if (m.stddev == 0.0) return util::Table::fixed(m.mean, 1);
-  return util::Table::fixed(m.mean, 1) + " +-" + util::Table::fixed(m.stddev, 1);
+  return util::Table::fixed(m.mean, 1) + " +-" +
+         util::Table::fixed(m.stddev, 1);
 }
 }  // namespace
 
@@ -141,8 +142,10 @@ util::Table summaryTable(const std::vector<GroupSummary>& groups) {
   util::Table table({"group", "trials", "ok", "rounds", "norm rounds",
                      "messages", "max cong", "corruptions", "ms/trial"});
   for (const auto& s : groups) {
-    table.addRow({s.group, util::Table::num(static_cast<std::uint64_t>(s.trials)),
-                  util::Table::num(static_cast<std::uint64_t>(s.okCount)) + "/" +
+    table.addRow({s.group,
+                  util::Table::num(static_cast<std::uint64_t>(s.trials)),
+                  util::Table::num(static_cast<std::uint64_t>(s.okCount)) +
+                      "/" +
                       util::Table::num(static_cast<std::uint64_t>(s.trials)),
                   meanSd(s.rounds), meanSd(s.normalizedRounds),
                   meanSd(s.messages), meanSd(s.maxCongestion),

@@ -1,0 +1,110 @@
+#include "exp/precompute_cache.h"
+
+namespace mobile::exp {
+
+PrecomputeCache& PrecomputeCache::global() {
+  static PrecomputeCache cache;
+  return cache;
+}
+
+PrecomputeCache::Key PrecomputeCache::key(Kind kind, const graph::Graph& g,
+                                          int k, graph::NodeId root,
+                                          int depth) {
+  return {graph::structuralFingerprint(g), static_cast<int>(kind), k, root,
+          depth};
+}
+
+std::shared_ptr<const graph::TreePacking> PrecomputeCache::starTreePacking(
+    const graph::Graph& g) {
+  const Key id = key(Kind::StarTree, g, 0, 0, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = entries_.find(id); it != entries_.end()) {
+    ++hits_;
+    return std::static_pointer_cast<const graph::TreePacking>(it->second);
+  }
+  ++misses_;
+  auto p =
+      std::make_shared<const graph::TreePacking>(graph::cliqueStarPacking(g));
+  entries_[id] = p;
+  return p;
+}
+
+std::shared_ptr<const graph::TreePacking> PrecomputeCache::greedyTreePacking(
+    const graph::Graph& g, int k, graph::NodeId root, int depthCap) {
+  const Key id = key(Kind::GreedyTree, g, k, root, depthCap);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = entries_.find(id); it != entries_.end()) {
+    ++hits_;
+    return std::static_pointer_cast<const graph::TreePacking>(it->second);
+  }
+  ++misses_;
+  auto p = std::make_shared<const graph::TreePacking>(
+      graph::greedyLowDepthPacking(g, k, root, depthCap));
+  entries_[id] = p;
+  return p;
+}
+
+std::shared_ptr<const compile::PackingKnowledge> PrecomputeCache::starPacking(
+    const graph::Graph& g, int depthBound) {
+  const Key id = key(Kind::StarKnowledge, g, 0, 0, depthBound);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = entries_.find(id); it != entries_.end()) {
+      ++hits_;
+      return std::static_pointer_cast<const compile::PackingKnowledge>(
+          it->second);
+    }
+  }
+  // Compute outside the lock so the nested tree-packing lookup can take it;
+  // a racing lane at worst recomputes once and first-in wins below.
+  const auto tree = starTreePacking(g);
+  auto pk = compile::distributePacking(g, *tree, depthBound);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = entries_.find(id); it != entries_.end())
+    return std::static_pointer_cast<const compile::PackingKnowledge>(
+        it->second);
+  ++misses_;
+  entries_[id] = std::shared_ptr<const compile::PackingKnowledge>(pk);
+  return pk;
+}
+
+std::shared_ptr<const compile::PackingKnowledge> PrecomputeCache::greedyPacking(
+    const graph::Graph& g, int k, graph::NodeId root, int depthCap) {
+  const Key id = key(Kind::GreedyKnowledge, g, k, root, depthCap);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = entries_.find(id); it != entries_.end()) {
+      ++hits_;
+      return std::static_pointer_cast<const compile::PackingKnowledge>(
+          it->second);
+    }
+  }
+  const auto tree = greedyTreePacking(g, k, root, depthCap);
+  auto pk = compile::distributePacking(g, *tree, depthCap);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = entries_.find(id); it != entries_.end())
+    return std::static_pointer_cast<const compile::PackingKnowledge>(
+        it->second);
+  ++misses_;
+  entries_[id] = std::shared_ptr<const compile::PackingKnowledge>(pk);
+  return pk;
+}
+
+std::size_t PrecomputeCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t PrecomputeCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void PrecomputeCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace mobile::exp

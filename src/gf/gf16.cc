@@ -63,7 +63,9 @@ F16 F16::inverse() const {
 F16 F16::pow(std::uint64_t e) const {
   if (isZero()) return e == 0 ? F16(1) : F16(0);
   const auto& t = tables();
-  const std::uint64_t le = (static_cast<std::uint64_t>(t.log[v_]) * (e % kGroupOrder)) % kGroupOrder;
+  const std::uint64_t le =
+      (static_cast<std::uint64_t>(t.log[v_]) * (e % kGroupOrder)) %
+      kGroupOrder;
   return F16(t.exp[le]);
 }
 

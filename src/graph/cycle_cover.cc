@@ -98,7 +98,8 @@ bool validateCycleCover(const Graph& g, const CycleCover& cc, int k) {
       if (cc.color[static_cast<std::size_t>(e1)] !=
           cc.color[static_cast<std::size_t>(e2)])
         continue;
-      for (const EdgeId x : pathEdgeSet(g, cc.paths[static_cast<std::size_t>(e2)]))
+      for (const EdgeId x :
+           pathEdgeSet(g, cc.paths[static_cast<std::size_t>(e2)]))
         if (s1.count(x)) return false;
     }
   }

@@ -107,8 +107,10 @@ Graph cycleWithChords(NodeId n, int chords, util::Rng& rng) {
   int added = 0;
   int guard = 0;
   while (added < chords && guard++ < 100 * chords) {
-    const NodeId u = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
-    const NodeId v = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    const NodeId u =
+        static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    const NodeId v =
+        static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
     if (u == v || g.hasEdge(u, v)) continue;
     g.addEdge(u, v);
     ++added;

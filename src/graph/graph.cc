@@ -15,6 +15,7 @@ EdgeId Graph::addEdge(NodeId u, NodeId v) {
   edges_.push_back({u, v});
   adjacency_[static_cast<std::size_t>(u)].push_back({v, id});
   adjacency_[static_cast<std::size_t>(v)].push_back({u, id});
+  edgeIndex_.emplace(pairKey(u, v), id);
   return id;
 }
 
@@ -24,13 +25,9 @@ bool Graph::hasEdge(NodeId u, NodeId v) const {
 
 EdgeId Graph::edgeBetween(NodeId u, NodeId v) const {
   if (u < 0 || v < 0 || u >= nodeCount() || v >= nodeCount()) return -1;
-  const auto& adjU = adjacency_[static_cast<std::size_t>(u)];
-  const auto& adjV = adjacency_[static_cast<std::size_t>(v)];
-  const auto& smaller = adjU.size() <= adjV.size() ? adjU : adjV;
-  const NodeId other = adjU.size() <= adjV.size() ? v : u;
-  for (const auto& nb : smaller)
-    if (nb.node == other) return nb.edge;
-  return -1;
+  if (u > v) std::swap(u, v);
+  const auto it = edgeIndex_.find(pairKey(u, v));
+  return it != edgeIndex_.end() ? it->second : -1;
 }
 
 std::size_t Graph::minDegree() const {
@@ -65,6 +62,22 @@ bool Graph::isConnected() const {
     }
   }
   return visited == nodeCount();
+}
+
+std::uint64_t structuralFingerprint(const Graph& g) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto fold = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 31;
+  };
+  fold(static_cast<std::uint64_t>(g.nodeCount()));
+  for (EdgeId e = 0; e < g.edgeCount(); ++e) {
+    const Edge& ed = g.edge(e);
+    fold((static_cast<std::uint64_t>(static_cast<std::uint32_t>(ed.u)) << 32) |
+         static_cast<std::uint32_t>(ed.v));
+  }
+  return h;
 }
 
 std::string Graph::describe() const {

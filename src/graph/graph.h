@@ -9,6 +9,7 @@
 #include <cassert>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace mobile::graph {
@@ -75,9 +76,27 @@ class Graph {
   [[nodiscard]] std::string describe() const;
 
  private:
+  /// Key for the O(1) endpoint->edge index (node ids are 32-bit).
+  [[nodiscard]] static std::uint64_t pairKey(NodeId u, NodeId v) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+           static_cast<std::uint32_t>(v);
+  }
+
   std::vector<Edge> edges_;
   std::vector<std::vector<Neighbor>> adjacency_;
+  /// (u, v) -> edge id for u < v, maintained by addEdge.  Keeps
+  /// edgeBetween/arcFromTo O(1): the round engine resolves an arc per
+  /// message sent AND received, so an O(deg) adjacency scan here turns
+  /// every dense-graph round into O(sum deg^2).
+  std::unordered_map<std::uint64_t, EdgeId> edgeIndex_;
 };
+
+/// Order-stable digest of a graph's structure (node count + edge list in
+/// id order).  Two graphs built by the same generator with the same
+/// parameters share a fingerprint; exp::PrecomputeCache keys trusted
+/// preprocessing on it so independent trials over value-copied graphs
+/// share one packing computation.
+[[nodiscard]] std::uint64_t structuralFingerprint(const Graph& g);
 
 /// A spanning (or partial) tree over a graph, rooted, with distributed
 /// knowledge exactly as the paper assumes: each node knows its parent and

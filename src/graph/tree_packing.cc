@@ -4,9 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <functional>
-#include <tuple>
 #include <limits>
 #include <queue>
+#include <tuple>
 
 #include "graph/bfs.h"
 
@@ -127,7 +127,8 @@ TreePacking randomPartitionPacking(const Graph& g, int k, NodeId root,
                                    util::Rng& rng) {
   const std::size_t m = static_cast<std::size_t>(g.edgeCount());
   std::vector<int> color(m);
-  for (auto& c : color) c = static_cast<int>(rng.below(static_cast<std::uint64_t>(k)));
+  for (auto& c : color)
+    c = static_cast<int>(rng.below(static_cast<std::uint64_t>(k)));
 
   TreePacking p;
   p.commonRoot = root;

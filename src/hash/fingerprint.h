@@ -20,7 +20,8 @@ class TranscriptFingerprint {
   explicit TranscriptFingerprint(std::uint64_t seed);
 
   /// Fingerprints the sequence of symbols.
-  [[nodiscard]] std::uint64_t hash(const std::vector<std::uint64_t>& transcript) const;
+  [[nodiscard]] std::uint64_t hash(
+      const std::vector<std::uint64_t>& transcript) const;
 
   /// Incremental form: extend a running fingerprint with one more symbol.
   /// hash(t + [s]) == extend(hash(t), |t|, s).

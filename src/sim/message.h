@@ -9,10 +9,27 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace mobile::sim {
+
+/// Order-stable digest over message content -- THE message digest: Msg and
+/// MsgView both delegate here, so owned and arena-viewed surfaces can never
+/// diverge.
+[[nodiscard]] inline std::uint64_t digestWords(bool present,
+                                               const std::uint64_t* words,
+                                               std::size_t len) {
+  if (!present) return 0x9e3779b97f4a7c15ULL;
+  std::uint64_t h = 0x100000001b3ULL ^ len;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= words[i];
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
 
 struct Msg {
   std::vector<std::uint64_t> words;
@@ -60,14 +77,7 @@ struct Msg {
 
   /// Order-stable digest for view logging / distribution tests.
   [[nodiscard]] std::uint64_t digest() const {
-    if (!present) return 0x9e3779b97f4a7c15ULL;
-    std::uint64_t h = 0x100000001b3ULL ^ words.size();
-    for (const std::uint64_t w : words) {
-      h ^= w;
-      h *= 0x100000001b3ULL;
-      h ^= h >> 29;
-    }
-    return h;
+    return digestWords(present, words.data(), words.size());
   }
 };
 

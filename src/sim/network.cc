@@ -9,6 +9,17 @@
 
 namespace mobile::sim {
 
+namespace {
+
+/// Out-arc of `v` across edge `e` without the arcFromTo() adjacency scan:
+/// arc 2e runs u -> v (u < v), arc 2e+1 the reverse.
+inline graph::ArcId outArcOf(const graph::Graph& g, graph::NodeId v,
+                             graph::EdgeId e) {
+  return 2 * e + (g.edge(e).u == v ? 0 : 1);
+}
+
+}  // namespace
+
 Network::Network(const graph::Graph& g, const Algorithm& algo,
                  std::uint64_t seed, adv::Adversary* adversary,
                  NetworkOptions opts,
@@ -20,8 +31,10 @@ Network::Network(const graph::Graph& g, const Algorithm& algo,
       adversary_(adversary),
       ledger_(ledger ? std::move(ledger)
                      : std::make_shared<adv::CorruptionLedger>()),
-      arcs_(static_cast<std::size_t>(g.arcCount())),
-      edgeTraffic_(static_cast<std::size_t>(g.edgeCount()), 0) {
+      arcs_(g),
+      arcTraffic_(static_cast<std::size_t>(g.arcCount()), 0),
+      nodeMsgs_(static_cast<std::size_t>(g.nodeCount()), 0),
+      nodeMaxWords_(static_cast<std::size_t>(g.nodeCount()), 0) {
   if (opts_.numThreads > 1)
     pool_ = std::make_unique<util::ThreadPool>(opts_.numThreads);
   rebuildNodes();
@@ -31,16 +44,25 @@ Network::~Network() = default;
 
 void Network::rebuildNodes() {
   util::Rng master(seed_);
-  // Nodes receive independently split, private randomness streams.
-  nodes_.clear();
-  nodes_.reserve(static_cast<std::size_t>(g_.nodeCount()));
+  // Nodes receive independently split, private randomness streams.  On
+  // reset() the node objects (and the nodes_ vector) are reused in place
+  // when the algorithm provides an in-place re-initializer; otherwise only
+  // the vector storage survives and makeNode rebuilds each slot.
+  const std::size_t n = static_cast<std::size_t>(g_.nodeCount());
+  if (nodes_.size() != n) {
+    nodes_.clear();
+    nodes_.resize(n);
+  }
   for (graph::NodeId v = 0; v < g_.nodeCount(); ++v) {
-    nodes_.push_back(
-        algo_.makeNode(v, g_, master.split(static_cast<std::uint64_t>(v))));
+    auto& slot = nodes_[static_cast<std::size_t>(v)];
+    util::Rng rng = master.split(static_cast<std::uint64_t>(v));
+    if (slot && algo_.reinitNode && algo_.reinitNode(*slot, v, g_, rng))
+      continue;
+    slot = algo_.makeNode(v, g_, rng);
   }
   allDone_ = true;
-  for (const auto& n : nodes_)
-    if (!n->done()) {
+  for (const auto& node : nodes_)
+    if (!node->done()) {
       allDone_ = false;
       break;
     }
@@ -51,8 +73,9 @@ void Network::reset(std::uint64_t seed) {
   round_ = 0;
   messagesSent_ = 0;
   maxWords_ = 0;
-  for (auto& m : arcs_) m = Msg{};
-  std::fill(edgeTraffic_.begin(), edgeTraffic_.end(), 0);
+  snapshotWords_ = 0;
+  arcs_.reset();
+  std::fill(arcTraffic_.begin(), arcTraffic_.end(), 0);
   ledger_->clear();
   rebuildNodes();
 }
@@ -74,56 +97,74 @@ void Network::forEachNode(const std::function<void(graph::NodeId)>& fn) {
 }
 
 void Network::clearPhase() {
-  for (auto& m : arcs_) m = Msg{};
+  // O(slabs): epoch bump invalidates every header, slab cursors rewind in
+  // place.  No frees, and after warm-up no allocations either.
+  arcs_.beginRound();
 }
 
 void Network::sendPhase() {
-  // Safe to parallelize: node v writes only the out-arc slots keyed by
-  // sender v (ArcOutbox), and mutates only its own state/RNG.
+  // Safe to parallelize: node v appends only into slab v and writes only
+  // the out-arc headers keyed by sender v (ArcOutbox), and mutates only its
+  // own state/RNG.  The bandwidth/congestion tallies fold into this same
+  // pass: each node scans its own out-arcs (disjoint arcTraffic_ slots) and
+  // deposits its message count / widest message in per-node slots that
+  // accountPhase reduces sequentially.
   forEachNode([&](graph::NodeId v) {
     ArcOutbox out(g_, v, arcs_);
     nodes_[static_cast<std::size_t>(v)]->send(round_, out);
+    long sent = 0;
+    std::size_t widest = 0;
+    for (const auto& nb : g_.neighbors(v)) {
+      const graph::ArcId a = outArcOf(g_, v, nb.edge);
+      if (!arcs_.present(a)) continue;
+      ++sent;
+      widest = std::max(widest, arcs_.size(a));
+      ++arcTraffic_[static_cast<std::size_t>(a)];
+    }
+    nodeMsgs_[static_cast<std::size_t>(v)] = sent;
+    nodeMaxWords_[static_cast<std::size_t>(v)] = widest;
   });
 }
 
 void Network::accountPhase() {
-  // Bandwidth enforcement + traffic accounting (sequential: shared tallies).
-  for (graph::ArcId a = 0; a < g_.arcCount(); ++a) {
-    const Msg& m = arcs_[static_cast<std::size_t>(a)];
-    if (!m.present) continue;
-    if (m.size() > opts_.maxWordsPerMsg)
-      throw std::logic_error("message exceeds bandwidth cap");
-    maxWords_ = std::max(maxWords_, m.size());
-    ++messagesSent_;
-    ++edgeTraffic_[static_cast<std::size_t>(graph::Graph::arcEdge(a))];
+  // O(nodes) reduction of the per-node tallies the send pass deposited.
+  // Bandwidth enforcement happens here, before the adversary acts, exactly
+  // as the per-arc scan used to.
+  std::size_t widest = 0;
+  for (graph::NodeId v = 0; v < g_.nodeCount(); ++v) {
+    messagesSent_ += nodeMsgs_[static_cast<std::size_t>(v)];
+    widest = std::max(widest, nodeMaxWords_[static_cast<std::size_t>(v)]);
   }
+  if (widest > opts_.maxWordsPerMsg)
+    throw std::logic_error("message exceeds bandwidth cap");
+  maxWords_ = std::max(maxWords_, widest);
 }
 
 void Network::adversaryPhase() {
   // Strictly sequential: the TamperView budget enforcement and the
-  // pre/post diff into the CorruptionLedger are order-sensitive contracts.
+  // copy-on-touch diff into the CorruptionLedger are order-sensitive
+  // contracts.  Cost is O(touched edges): only edges the adversary charged
+  // have pre-images, and untouched arcs are unreachable from the view.
   ledger_->beginRound(round_);
   if (adversary_ == nullptr) return;
-  preAdversary_ = arcs_;
   adv::TamperView view(g_, adversary_->spec(), round_, arcs_,
                        ledger_->total());
   adversary_->act(view);
-  // Ground truth: which edges actually changed.
-  for (graph::EdgeId e = 0; e < g_.edgeCount(); ++e) {
-    const std::size_t a0 = static_cast<std::size_t>(2 * e);
-    const std::size_t a1 = a0 + 1;
-    if (preAdversary_[a0] != arcs_[a0] || preAdversary_[a1] != arcs_[a1]) {
-      if (!view.touched().count(e))
-        throw std::logic_error("message changed outside TamperView");
+  // Ground truth: which touched edges actually changed (a rewrite that
+  // reproduces the original message is charged but not a corruption).
+  // std::map iterates edges ascending, matching the old full-plane scan.
+  for (const auto& [e, pre] : view.preTouched()) {
+    if (!sameContent(arcs_.view(2 * e), pre.first) ||
+        !sameContent(arcs_.view(2 * e + 1), pre.second))
       ledger_->record(e);
-    }
   }
+  snapshotWords_ += view.snapshotWordsCopied();
 }
 
 void Network::receivePhase() {
-  // Safe to parallelize: receives read the (frozen) arc buffers and mutate
-  // only per-node state.  Doneness is folded in here so run() never needs
-  // a second full-graph scan.
+  // Safe to parallelize: receives read the (frozen) arena and mutate only
+  // per-node state.  Doneness is folded in here so run() never needs a
+  // second full-graph scan.
   std::atomic<bool> allDone{true};
   forEachNode([&](graph::NodeId v) {
     ArcInbox in(g_, v, arcs_);
@@ -180,7 +221,11 @@ std::uint64_t Network::outputsFingerprint() const {
 
 long Network::maxEdgeCongestion() const {
   long best = 0;
-  for (const long t : edgeTraffic_) best = std::max(best, t);
+  for (graph::EdgeId e = 0; e < g_.edgeCount(); ++e) {
+    const long t = arcTraffic_[static_cast<std::size_t>(2 * e)] +
+                   arcTraffic_[static_cast<std::size_t>(2 * e + 1)];
+    best = std::max(best, t);
+  }
   return best;
 }
 

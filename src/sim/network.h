@@ -3,19 +3,27 @@
 // Drives the round schedule
 //     all nodes send(i)  ->  adversary acts  ->  all nodes receive(i)
 // with deterministic seeding, message-size enforcement, per-edge congestion
-// accounting, and ground-truth corruption recording (the diff between the
-// pre- and post-adversary arc buffers feeds the CorruptionLedger).
+// accounting, and ground-truth corruption recording (the diff between each
+// touched edge's copy-on-touch pre-image and the post-adversary plane feeds
+// the CorruptionLedger).
 //
 // One round is five explicit phases (see step()): clearPhase, sendPhase,
-// accountPhase, adversaryPhase, receivePhase.  With
-// NetworkOptions::numThreads > 1 the send and receive phases run in
-// parallel over nodes -- sends write disjoint arc slots keyed by sender,
-// receives only read the arc buffers -- while the accounting and adversary
-// phases stay sequential so the CorruptionLedger diff contract and the
-// budget enforcement are untouched.  The parallel path produces
-// bit-identical outputs (and outputsFingerprint()) to the sequential path
-// PROVIDED node callbacks touch only per-node state: algorithms built with
-// a cross-node instrumentation side channel (ByzShared, RewindShared,
+// accountPhase, adversaryPhase, receivePhase.  Messages live in the arena
+// plane (sim/arc_buffer.h): clearPhase is an O(slabs) epoch bump, sendPhase
+// appends into per-sender slabs (and folds the bandwidth/congestion tallies
+// into the same parallel pass, deposited in per-node slots), accountPhase
+// is the O(nodes) sequential reduction of those slots, and adversaryPhase
+// diffs only the edges the TamperView touched -- O(f), not O(arcs x words).
+//
+// With NetworkOptions::numThreads > 1 the send and receive phases run in
+// parallel over nodes -- sends append to the sender's own slab and write
+// disjoint arc headers keyed by sender, receives only read the plane --
+// while the accounting reduction and adversary phases stay sequential so
+// the CorruptionLedger contract and the budget enforcement are untouched.
+// The parallel path produces bit-identical outputs (and
+// outputsFingerprint()) to the sequential path PROVIDED node callbacks
+// touch only per-node state: algorithms built with a cross-node
+// instrumentation side channel (ByzShared, RewindShared,
 // ScheduledBroadcastShared, ExpanderPackingResult) write shared containers
 // from inside send()/receive() and must run with numThreads = 1.
 // Trial-level parallelism (exp::ExperimentDriver) is always safe -- each
@@ -31,6 +39,7 @@
 
 #include "adv/adversary.h"
 #include "graph/graph.h"
+#include "sim/arc_buffer.h"
 #include "sim/message.h"
 #include "sim/node.h"
 
@@ -72,10 +81,12 @@ class Network {
   void runExact(int count);
 
   /// Rewinds the network to round 0 with fresh node state seeded from
-  /// `seed`, reusing the arc/traffic allocations -- the cheap way for trial
-  /// drivers to run many seeds over one graph.  Counters and the ledger are
-  /// cleared; the installed adversary is NOT touched (strategies are
-  /// stateful -- swap in a fresh one via setAdversary()).
+  /// `seed`, reusing the arena slabs, traffic buffers, and -- when the
+  /// algorithm provides reinitNode -- the node objects themselves: the
+  /// cheap way for trial drivers to run many seeds over one graph.
+  /// Counters and the ledger are cleared; the installed adversary is NOT
+  /// touched (strategies are stateful -- swap in a fresh one via
+  /// setAdversary()).
   void reset(std::uint64_t seed);
   /// reset() keeping the construction seed.
   void reset();
@@ -110,10 +121,22 @@ class Network {
   [[nodiscard]] std::size_t maxWordsObserved() const { return maxWords_; }
   [[nodiscard]] const adv::CorruptionLedger& ledger() const { return *ledger_; }
 
+  /// The arena message plane (tests and probes; nodes never touch it
+  /// directly).
+  [[nodiscard]] const ArcBuffer& arcs() const { return arcs_; }
+  /// Cumulative words materialized by the adversary's copy-on-touch
+  /// snapshots -- the O(touched edges) ledger-cost contract is asserted
+  /// against this (see tests/test_arena_determinism.cc).
+  [[nodiscard]] std::uint64_t adversarySnapshotWords() const {
+    return snapshotWords_;
+  }
+
  private:
   void step();
   // The five phases of one round, in order.  clear/account/adversary are
-  // sequential; send/receive parallelize over nodes when numThreads > 1.
+  // sequential; send/receive parallelize over nodes when numThreads > 1
+  // (send also deposits per-node bandwidth tallies that accountPhase
+  // reduces).
   void clearPhase();
   void sendPhase();
   void accountPhase();
@@ -132,11 +155,15 @@ class Network {
   std::shared_ptr<adv::CorruptionLedger> ledger_;
   std::unique_ptr<util::ThreadPool> pool_;  // only when numThreads > 1
   std::vector<std::unique_ptr<NodeState>> nodes_;
-  std::vector<Msg> arcs_;
-  std::vector<Msg> preAdversary_;  // scratch snapshot for the ledger diff
-  std::vector<long> edgeTraffic_;
+  ArcBuffer arcs_;
+  std::vector<long> arcTraffic_;  // per out-arc, written by its sender only
+  // Per-node send tallies deposited by the parallel send pass and reduced
+  // sequentially in accountPhase (index = node id, valid for one round).
+  std::vector<long> nodeMsgs_;
+  std::vector<std::size_t> nodeMaxWords_;
   long messagesSent_ = 0;
   std::size_t maxWords_ = 0;
+  std::uint64_t snapshotWords_ = 0;
   int round_ = 0;
   bool allDone_ = false;
 };

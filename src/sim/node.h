@@ -6,10 +6,12 @@
 // ids of its neighbors); topology beyond that is only available where the
 // paper grants it (supported-CONGEST / preprocessing outputs).
 //
-// Outbox/Inbox are interfaces: the Network binds them to the arc buffers,
-// while compilers bind them to capture/injection maps so an inner
-// algorithm's rounds can be simulated, corrected and re-delivered -- the
-// round-by-round simulation pattern every compiler in the paper uses.
+// Outbox/Inbox are interfaces: the Network binds them to the arena message
+// plane (sim/arc_buffer.h), while compilers bind them to capture/injection
+// maps so an inner algorithm's rounds can be simulated, corrected and
+// re-delivered -- the round-by-round simulation pattern every compiler in
+// the paper uses.  Reads hand out MsgView (zero-copy); writes still accept
+// owning Msg values, which the arena plane copies into its sender slab.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "sim/arc_buffer.h"
 #include "sim/message.h"
 #include "util/rng.h"
 
@@ -56,8 +59,8 @@ class Inbox {
   Inbox(const Graph& g, NodeId self) : g_(g), self_(self) {}
   virtual ~Inbox() = default;
 
-  /// Message that arrived from neighbor `from` (not present if none).
-  [[nodiscard]] virtual const Msg& from(NodeId from) const = 0;
+  /// Message that arrived from neighbor `from` (absent view if none).
+  [[nodiscard]] virtual MsgView from(NodeId from) const = 0;
 
   [[nodiscard]] NodeId self() const { return self_; }
 
@@ -66,30 +69,31 @@ class Inbox {
   NodeId self_;
 };
 
-/// Network-backed outbox writing into the shared arc buffer.
+/// Network-backed outbox appending into the sender's arena slab.
 class ArcOutbox final : public Outbox {
  public:
-  ArcOutbox(const Graph& g, NodeId self, std::vector<Msg>& arcs)
+  ArcOutbox(const Graph& g, NodeId self, ArcBuffer& arcs)
       : Outbox(g, self), arcs_(arcs) {}
   void to(NodeId to, const Msg& m) override {
-    arcs_[static_cast<std::size_t>(g_.arcFromTo(self_, to))] = m;
+    arcs_.putMsg(static_cast<std::uint32_t>(self_),
+                 g_.arcFromTo(self_, to), m);
   }
 
  private:
-  std::vector<Msg>& arcs_;
+  ArcBuffer& arcs_;
 };
 
-/// Network-backed inbox reading the shared arc buffer.
+/// Network-backed inbox viewing the arena plane.
 class ArcInbox final : public Inbox {
  public:
-  ArcInbox(const Graph& g, NodeId self, const std::vector<Msg>& arcs)
+  ArcInbox(const Graph& g, NodeId self, const ArcBuffer& arcs)
       : Inbox(g, self), arcs_(arcs) {}
-  [[nodiscard]] const Msg& from(NodeId from) const override {
-    return arcs_[static_cast<std::size_t>(g_.arcFromTo(from, self_))];
+  [[nodiscard]] MsgView from(NodeId from) const override {
+    return arcs_.view(g_.arcFromTo(from, self_));
   }
 
  private:
-  const std::vector<Msg>& arcs_;
+  const ArcBuffer& arcs_;
 };
 
 /// Capture outbox: collects an inner algorithm's sends into a map
@@ -110,14 +114,17 @@ class MapInbox final : public Inbox {
  public:
   MapInbox(const Graph& g, NodeId self) : Inbox(g, self) {}
   void put(NodeId from, Msg m) { msgs_[from] = std::move(m); }
-  [[nodiscard]] const Msg& from(NodeId from) const override {
+  /// Mutable slot for in-place reuse: compilers that redeliver every round
+  /// assign into the same slots (Msg assignment keeps the words capacity)
+  /// instead of re-inserting -- remember to mark unused slots absent.
+  [[nodiscard]] Msg& slot(NodeId from) { return msgs_[from]; }
+  [[nodiscard]] MsgView from(NodeId from) const override {
     const auto it = msgs_.find(from);
-    return it != msgs_.end() ? it->second : absent_;
+    return it != msgs_.end() ? MsgView(it->second) : MsgView();
   }
 
  private:
   std::map<NodeId, Msg> msgs_;
-  Msg absent_;
 };
 
 /// A node-local protocol instance.
@@ -147,6 +154,13 @@ struct Algorithm {
   std::function<std::unique_ptr<NodeState>(NodeId v, const Graph& g,
                                            util::Rng rng)>
       makeNode;
+
+  /// Optional in-place re-initializer for Network::reset(): must leave
+  /// `node` exactly as makeNode(v, g, rng) would build it, reusing the
+  /// existing object's allocations.  Return false to fall back to makeNode
+  /// (e.g. when handed a node type the algorithm does not recognize).
+  std::function<bool(NodeState& node, NodeId v, const Graph& g, util::Rng rng)>
+      reinitNode;
 
   /// Declared fault-free round count r (compilers consume this).
   int rounds = 0;

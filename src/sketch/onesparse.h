@@ -29,8 +29,10 @@ class OneSparseCell {
     count_ += freq;
     const std::uint64_t k = key % gf::kP61;
     if (freq >= 0) {
-      keySum_ = gf::addP61(keySum_, gf::mulP61(static_cast<std::uint64_t>(freq) % gf::kP61, k));
-      fp_ = gf::addP61(fp_, gf::mulP61(static_cast<std::uint64_t>(freq) % gf::kP61,
+      keySum_ = gf::addP61(
+          keySum_, gf::mulP61(static_cast<std::uint64_t>(freq) % gf::kP61, k));
+      fp_ = gf::addP61(
+          fp_, gf::mulP61(static_cast<std::uint64_t>(freq) % gf::kP61,
                                        gf::powP61(z_, key)));
     } else {
       const std::uint64_t f = static_cast<std::uint64_t>(-freq) % gf::kP61;

@@ -36,7 +36,9 @@ class SparseRecovery {
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
   [[nodiscard]] std::size_t sparsity() const { return sparsity_; }
 
-  [[nodiscard]] std::size_t serializedWords() const { return cells_.size() * 3; }
+  [[nodiscard]] std::size_t serializedWords() const {
+    return cells_.size() * 3;
+  }
   [[nodiscard]] std::vector<std::uint64_t> serialize() const;
   static SparseRecovery deserialize(std::uint64_t seed, std::size_t sparsity,
                                     std::size_t rows,

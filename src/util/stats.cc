@@ -58,11 +58,14 @@ double chiSquareCritical999(std::size_t dof) {
 
 double chiSquareCriticalMax(std::size_t dof, std::size_t comparisons) {
   // Normal upper quantile for tail p = 0.001/comparisons via the standard
-  // asymptotic z ~= sqrt(2 ln(1/p)) - (ln ln(1/p) + ln 4pi)/(2 sqrt(2 ln(1/p))).
-  const double p = 0.001 / static_cast<double>(std::max<std::size_t>(1, comparisons));
+  // asymptotic z ~= sqrt(2 ln(1/p)) - (ln ln(1/p) + ln 4pi)/(2 sqrt(2
+  // ln(1/p))).
+  const double p =
+      0.001 / static_cast<double>(std::max<std::size_t>(1, comparisons));
   const double l = std::log(1.0 / p);
   const double s = std::sqrt(2.0 * l);
-  const double z = s - (std::log(l) + std::log(4.0 * 3.14159265358979)) / (2.0 * s);
+  const double z =
+      s - (std::log(l) + std::log(4.0 * 3.14159265358979)) / (2.0 * s);
   return wilsonHilferty(dof, z);
 }
 

@@ -43,8 +43,9 @@ struct Summary {
 
 /// Total-variation distance between two empirical distributions given as
 /// count maps over an arbitrary key space.
-[[nodiscard]] double totalVariation(const std::map<std::uint64_t, std::uint64_t>& a,
-                                    const std::map<std::uint64_t, std::uint64_t>& b);
+[[nodiscard]] double totalVariation(
+    const std::map<std::uint64_t, std::uint64_t>& a,
+    const std::map<std::uint64_t, std::uint64_t>& b);
 
 /// Pearson correlation of two equally sized series.
 [[nodiscard]] double correlation(const std::vector<double>& x,

@@ -1,7 +1,6 @@
-#include "adv/adversary.h"
-
 #include <gtest/gtest.h>
 
+#include "adv/adversary.h"
 #include "adv/strategies.h"
 #include "algo/payloads.h"
 #include "graph/generators.h"

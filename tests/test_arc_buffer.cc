@@ -1,0 +1,158 @@
+// Unit coverage for the arena message plane (sim/arc_buffer.h): slab
+// growth, epoch-based round reset, MsgView aliasing across slab
+// reallocation, and the in-place Msg reuse helper.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "sim/arc_buffer.h"
+
+namespace mobile {
+namespace {
+
+using graph::ArcId;
+using sim::ArcBuffer;
+using sim::Msg;
+using sim::MsgView;
+
+TEST(ArcBuffer, AbsentByDefaultAndAfterErase) {
+  const graph::Graph g = graph::cycle(4);
+  ArcBuffer buf(g);
+  for (ArcId a = 0; a < g.arcCount(); ++a) {
+    EXPECT_FALSE(buf.present(a));
+    EXPECT_EQ(buf.size(a), 0u);
+    EXPECT_EQ(buf.data(a), nullptr);
+  }
+  buf.putMsg(0, 0, Msg::of(7));
+  EXPECT_TRUE(buf.present(0));
+  buf.erase(0);
+  EXPECT_FALSE(buf.present(0));
+  // Overwriting with an absent Msg also erases (Outbox overwrite rule).
+  buf.putMsg(0, 1, Msg::of(9));
+  buf.putMsg(0, 1, Msg{});
+  EXPECT_FALSE(buf.present(1));
+}
+
+TEST(ArcBuffer, PutReadRoundtripAndOverwrite) {
+  const graph::Graph g = graph::cycle(4);
+  ArcBuffer buf(g);
+  buf.putMsg(0, 2, Msg::ofWords({1, 2, 3}));
+  EXPECT_TRUE(buf.present(2));
+  EXPECT_EQ(buf.size(2), 3u);
+  EXPECT_EQ(buf.view(2).at(1), 2u);
+  EXPECT_EQ(buf.view(2).atOr(7, 42), 42u);
+  // Later put on the same arc wins.
+  buf.putMsg(0, 2, Msg::ofWords({9}));
+  EXPECT_EQ(buf.size(2), 1u);
+  EXPECT_EQ(buf.view(2).at(0), 9u);
+  // Materialized Msg matches, and digests agree bit-for-bit.
+  const Msg m = buf.msg(2);
+  EXPECT_TRUE(m.present);
+  EXPECT_EQ(m.words, std::vector<std::uint64_t>{9});
+  EXPECT_EQ(m.digest(), buf.view(2).digest());
+  EXPECT_EQ(Msg{}.digest(), buf.view(3).digest());  // absent digests too
+}
+
+TEST(ArcBuffer, BeginRoundClearsEverythingWithoutFreeing) {
+  const graph::Graph g = graph::clique(6);
+  ArcBuffer buf(g);
+  for (ArcId a = 0; a < g.arcCount(); ++a)
+    buf.putMsg(static_cast<std::uint32_t>(g.arcSource(a)), a,
+               Msg::ofWords({1, 2, 3, 4}));
+  const std::size_t warmCapacity = buf.capacityWords();
+  EXPECT_GT(warmCapacity, 0u);
+  buf.beginRound();
+  for (ArcId a = 0; a < g.arcCount(); ++a) EXPECT_FALSE(buf.present(a));
+  // Refilling after the reset reuses the slab capacity.
+  for (ArcId a = 0; a < g.arcCount(); ++a)
+    buf.putMsg(static_cast<std::uint32_t>(g.arcSource(a)), a,
+               Msg::ofWords({5, 6, 7, 8}));
+  EXPECT_EQ(buf.capacityWords(), warmCapacity);
+  EXPECT_EQ(buf.view(0).at(0), 5u);
+}
+
+TEST(ArcBuffer, MsgViewStaysValidAcrossSlabGrowth) {
+  const graph::Graph g = graph::clique(8);
+  ArcBuffer buf(g);
+  // First message from node 0, then keep appending from the same sender
+  // until its slab must reallocate several times.
+  buf.putMsg(0, g.arcFromTo(0, 1), Msg::ofWords({11, 22}));
+  const MsgView early = buf.view(g.arcFromTo(0, 1));
+  const std::uint64_t* beforeGrowth = early.data();
+  std::vector<std::uint64_t> big(4096, 0xabcdef);
+  for (graph::NodeId to = 2; to < 8; ++to)
+    buf.put(0, g.arcFromTo(0, to), big.data(), big.size());
+  // The early view re-resolves through the header, so it still reads the
+  // right words even though the slab storage moved.
+  EXPECT_TRUE(early.present());
+  EXPECT_EQ(early.size(), 2u);
+  EXPECT_EQ(early.at(0), 11u);
+  EXPECT_EQ(early.at(1), 22u);
+  // (The raw pointer taken before the growth is stale; views must be read
+  // through their API, which is exactly what this asserts works.)
+  (void)beforeGrowth;
+  EXPECT_EQ(buf.view(g.arcFromTo(0, 7)).size(), 4096u);
+}
+
+TEST(ArcBuffer, AdversarySlabIsSeparate) {
+  const graph::Graph g = graph::cycle(4);
+  ArcBuffer buf(g);
+  buf.putMsg(0, 0, Msg::of(1));
+  buf.putMsg(buf.adversarySlab(), 0, Msg::ofWords({7, 7}));
+  EXPECT_EQ(buf.size(0), 2u);
+  EXPECT_EQ(buf.view(0).at(0), 7u);
+}
+
+TEST(ArcBuffer, WordsAppendedIsMonotonicAcrossRounds) {
+  const graph::Graph g = graph::cycle(4);
+  ArcBuffer buf(g);
+  buf.putMsg(0, 0, Msg::ofWords({1, 2}));
+  const std::uint64_t after1 = buf.wordsAppended();
+  EXPECT_EQ(after1, 2u);
+  buf.beginRound();
+  buf.putMsg(0, 0, Msg::of(3));
+  EXPECT_EQ(buf.wordsAppended(), after1 + 1);
+}
+
+TEST(MsgViewMsgBacked, WrapsAndCopies) {
+  const Msg m = Msg::ofWords({5, 6});
+  const MsgView v(m);
+  EXPECT_TRUE(v.present());
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.at(1), 6u);
+  EXPECT_EQ(v.digest(), m.digest());
+  const Msg copy = v.toMsg();
+  EXPECT_EQ(copy, m);
+  EXPECT_TRUE(sameContent(v, m));
+  EXPECT_FALSE(sameContent(MsgView(), m));
+  EXPECT_TRUE(sameContent(MsgView(), Msg{}));
+}
+
+TEST(MsgViewMsgBacked, AssignMsgReusesCapacity) {
+  const Msg src = Msg::ofWords({1, 2, 3});
+  Msg dst = Msg::ofWords({9, 9, 9, 9});
+  const auto capacity = dst.words.capacity();
+  sim::assignMsg(dst, MsgView(src));
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(dst.words.capacity(), capacity);
+  sim::assignMsg(dst, MsgView());
+  EXPECT_FALSE(dst.present);
+  EXPECT_EQ(dst.size(), 0u);
+  EXPECT_EQ(dst.words.capacity(), capacity);  // clear() keeps the buffer
+}
+
+TEST(MsgViewEquality, MatchesMsgSemantics) {
+  const graph::Graph g = graph::cycle(4);
+  ArcBuffer buf(g);
+  buf.putMsg(0, 0, Msg::of(5));
+  buf.putMsg(1, 2, Msg::of(5));
+  buf.putMsg(1, 3, Msg::of(6));
+  EXPECT_EQ(buf.view(0), buf.view(2));  // same content, different slabs
+  EXPECT_NE(buf.view(0), buf.view(3));
+  EXPECT_EQ(MsgView(), buf.view(1));  // both absent
+  EXPECT_NE(MsgView(), buf.view(0));
+}
+
+}  // namespace
+}  // namespace mobile

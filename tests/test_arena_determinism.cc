@@ -1,0 +1,233 @@
+// The arena message plane's equivalence gate (ISSUE 3).
+//
+// The golden table below was produced by the pre-refactor per-arc engine
+// (commit b49615a, vector<Msg> plane with the full-buffer adversary diff):
+// outputsFingerprint(), messages, maxWords, corruptions, max edge
+// congestion, and rounds for {MST, byz-compiled, secure-broadcast, rewind}
+// on clique(8) plus MST-under-bitflip on a sparse chorded cycle, 5 seeds
+// each.  The arena engine must reproduce every value bit-for-bit at
+// numThreads 1, 2, and 8.
+//
+// Also pinned here: the copy-on-touch contract (adversaryPhase cost is
+// O(touched edges), asserted via the snapshot word counter on a large
+// graph), the zero-allocation steady state (slab capacity goes flat after
+// warm-up), and node-object reuse across Network::reset().
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "adv/strategies.h"
+#include "algo/mst.h"
+#include "algo/payloads.h"
+#include "compile/byz_tree_compiler.h"
+#include "compile/expander_packing.h"
+#include "compile/rewind_compiler.h"
+#include "compile/secure_broadcast.h"
+#include "graph/generators.h"
+#include "graph/tree_packing.h"
+#include "sim/network.h"
+
+namespace mobile {
+namespace {
+
+struct Golden {
+  const char* name;
+  std::uint64_t seed;
+  std::uint64_t fingerprint;
+  long messages;
+  std::size_t maxWords;
+  long corruptions;
+  long maxCongestion;
+  int rounds;
+};
+
+// Seed-engine ground truth (see header comment).
+constexpr Golden kGoldens[] = {
+    {"mst", 1ull, 0xf48c18e750b16a17ull, 1677, 1, 0, 82, 51},
+    {"mst", 2ull, 0xf48c18e750b16a17ull, 1677, 1, 0, 82, 51},
+    {"mst", 3ull, 0xf48c18e750b16a17ull, 1677, 1, 0, 82, 51},
+    {"mst", 4ull, 0xf48c18e750b16a17ull, 1677, 1, 0, 82, 51},
+    {"mst", 5ull, 0xf48c18e750b16a17ull, 1677, 1, 0, 82, 51},
+    {"byz", 1ull, 0x8c83b094ddb17b5cull, 11648, 630, 1225, 416, 1225},
+    {"byz", 2ull, 0x8c83b094ddb17b5cull, 11648, 630, 1225, 416, 1225},
+    {"byz", 3ull, 0x8c83b094ddb17b5cull, 11648, 630, 1225, 416, 1225},
+    {"byz", 4ull, 0x8c83b094ddb17b5cull, 11648, 630, 1225, 416, 1225},
+    {"byz", 5ull, 0x8c83b094ddb17b5cull, 11648, 630, 1225, 416, 1225},
+    {"sbc", 1ull, 0x8bad32aba020d53cull, 392, 1, 0, 14, 10},
+    {"sbc", 2ull, 0x8bad32aba020d53cull, 392, 1, 0, 14, 10},
+    {"sbc", 3ull, 0x8bad32aba020d53cull, 392, 1, 0, 14, 10},
+    {"sbc", 4ull, 0x8bad32aba020d53cull, 392, 1, 0, 14, 10},
+    {"sbc", 5ull, 0x8bad32aba020d53cull, 392, 1, 0, 14, 10},
+    {"rewind", 1ull, 0x3b61d5cd09e255cull, 19320, 1920, 10, 690, 1290},
+    {"rewind", 2ull, 0x3b61d5cd09e255cull, 19320, 1920, 10, 690, 1290},
+    {"rewind", 3ull, 0x3b61d5cd09e255cull, 19320, 1920, 10, 690, 1290},
+    {"rewind", 4ull, 0x3b61d5cd09e255cull, 19320, 1920, 10, 690, 1290},
+    {"rewind", 5ull, 0x3b61d5cd09e255cull, 19320, 1920, 10, 690, 1290},
+    {"mst-sparse", 1ull, 0x68e88be46eb7499dull, 13752, 1, 490, 478, 245},
+    {"mst-sparse", 2ull, 0x8ea54a99e72de43aull, 13422, 1, 490, 483, 245},
+    {"mst-sparse", 3ull, 0x4cf1bda4b2dba318ull, 13403, 1, 490, 483, 245},
+    {"mst-sparse", 4ull, 0x4cf1bda4b2dba318ull, 13285, 1, 490, 481, 245},
+    {"mst-sparse", 5ull, 0x51ba60dcf2a236b3ull, 13860, 1, 490, 479, 245},
+};
+
+struct Case {
+  std::function<sim::Algorithm(const graph::Graph&)> algo;
+  std::function<std::unique_ptr<adv::Adversary>(std::uint64_t)> adversary;
+};
+
+const graph::Graph& cliqueGraph() {
+  static const graph::Graph g = graph::clique(8);
+  return g;
+}
+
+const graph::Graph& sparseGraph() {
+  static const graph::Graph g = [] {
+    util::Rng ggen(99);
+    return graph::cycleWithChords(24, 8, ggen);
+  }();
+  return g;
+}
+
+Case caseByName(const std::string& name) {
+  if (name == "mst" || name == "mst-sparse") {
+    Case c;
+    c.algo = [](const graph::Graph& g) { return algo::makeBoruvkaMst(g); };
+    if (name == "mst-sparse")
+      c.adversary = [](std::uint64_t s) {
+        return std::make_unique<adv::BitflipByzantine>(2, 31 + s);
+      };
+    return c;
+  }
+  if (name == "byz") {
+    Case c;
+    c.algo = [](const graph::Graph& g) {
+      const auto pk = compile::cliquePackingKnowledge(g);
+      std::vector<std::uint64_t> inputs(
+          static_cast<std::size_t>(g.nodeCount()), 5);
+      const sim::Algorithm inner = algo::makeGossipHash(g, 1, inputs, 32);
+      return compile::compileByzantineTree(g, inner, pk, 1);
+    };
+    c.adversary = [](std::uint64_t s) {
+      return std::make_unique<adv::RandomByzantine>(1, 7 + s);
+    };
+    return c;
+  }
+  if (name == "sbc") {
+    Case c;
+    c.algo = [](const graph::Graph& g) {
+      const auto pk =
+          compile::distributePacking(g, graph::cliqueStarPacking(g), 2);
+      return compile::makeMobileSecureBroadcast(g, pk, {0xbeef}, 1);
+    };
+    c.adversary = [](std::uint64_t s) {
+      return std::make_unique<adv::RandomEavesdropper>(1, 17 + s);
+    };
+    return c;
+  }
+  // rewind
+  Case c;
+  c.algo = [](const graph::Graph& g) {
+    const auto pk = compile::cliquePackingKnowledge(g);
+    const sim::Algorithm inner =
+        algo::makePingPong(g, 0, 1, 3, 0x111, 0x222, 32);
+    return compile::compileRewind(g, inner, pk, 1);
+  };
+  c.adversary = [](std::uint64_t s) {
+    return std::make_unique<adv::BurstByzantine>(1, 10, 2, 2, 23 + s);
+  };
+  return c;
+}
+
+TEST(ArenaDeterminism, MatchesPreRefactorEngineAtEveryThreadCount) {
+  for (const Golden& want : kGoldens) {
+    const std::string name = want.name;
+    const graph::Graph& g =
+        name == "mst-sparse" ? sparseGraph() : cliqueGraph();
+    const Case c = caseByName(name);
+    for (const int threads : {1, 2, 8}) {
+      const sim::Algorithm a = c.algo(g);
+      std::unique_ptr<adv::Adversary> adversary;
+      if (c.adversary) adversary = c.adversary(want.seed);
+      sim::NetworkOptions opts;
+      opts.numThreads = threads;
+      sim::Network net(g, a, want.seed, adversary.get(), opts);
+      net.run(a.rounds);
+      EXPECT_EQ(net.outputsFingerprint(), want.fingerprint)
+          << name << " seed=" << want.seed << " threads=" << threads;
+      EXPECT_EQ(net.messagesSent(), want.messages) << name << " " << threads;
+      EXPECT_EQ(net.maxWordsObserved(), want.maxWords) << name;
+      EXPECT_EQ(net.ledger().total(), want.corruptions) << name;
+      EXPECT_EQ(net.maxEdgeCongestion(), want.maxCongestion) << name;
+      EXPECT_EQ(net.roundsExecuted(), want.rounds) << name;
+    }
+  }
+}
+
+TEST(CopyOnTouch, AdversaryPhaseCostIsBoundedByTouchedEdges) {
+  // A budget-f byzantine on a large dense graph: the old engine snapshotted
+  // all |arcs| messages every round; copy-on-touch materializes at most
+  // 2f arc pre-images per round, regardless of graph size.
+  const graph::Graph g = graph::clique(64);
+  const int f = 2;
+  const int rounds = 50;
+  const sim::Algorithm a = algo::makeFloodMax(g, 1 << 20);
+  adv::RandomByzantine byz(f, 5);
+  sim::Network net(g, a, 1, &byz);
+  net.runExact(rounds);
+  // FloodMax messages are one word, so a full-plane snapshot would copy
+  // ~|arcs| words per round (4032 here); O(touched) costs at most 2f.
+  const std::uint64_t perRoundCap = 2ull * static_cast<std::uint64_t>(f);
+  EXPECT_LE(net.adversarySnapshotWords(),
+            perRoundCap * static_cast<std::uint64_t>(rounds));
+  EXPECT_GT(net.adversarySnapshotWords(), 0u);
+  EXPECT_LT(net.adversarySnapshotWords(),
+            static_cast<std::uint64_t>(g.arcCount()));
+}
+
+TEST(ArenaPlane, SlabCapacityGoesFlatAfterWarmup) {
+  const graph::Graph g = graph::clique(16);
+  const sim::Algorithm a = algo::makeFloodMax(g, 1 << 20);
+  sim::Network net(g, a, 1);
+  net.runExact(5);  // warm-up: slabs grow to steady-state size
+  const std::size_t warm = net.arcs().capacityWords();
+  net.runExact(200);
+  EXPECT_EQ(net.arcs().capacityWords(), warm);
+}
+
+TEST(NodeReuse, ResetReinitializesNodesInPlace) {
+  const graph::Graph g = graph::clique(8);
+  const sim::Algorithm a = algo::makeBoruvkaMst(g);
+  sim::Network net(g, a, 1);
+  std::vector<const sim::NodeState*> before;
+  for (graph::NodeId v = 0; v < g.nodeCount(); ++v)
+    before.push_back(&net.node(v));
+  net.run(a.rounds);
+  const std::uint64_t fp = net.outputsFingerprint();
+  net.reset(2);
+  // Same node objects, rewound in place.
+  for (graph::NodeId v = 0; v < g.nodeCount(); ++v)
+    EXPECT_EQ(&net.node(v), before[static_cast<std::size_t>(v)]) << v;
+  net.run(a.rounds);
+  // And the rewound run matches a from-scratch construction exactly.
+  sim::Network fresh(g, a, 2);
+  fresh.run(a.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), fresh.outputsFingerprint());
+  EXPECT_EQ(net.outputsFingerprint(), fp);  // MST outputs are seed-free
+}
+
+TEST(NodeReuse, FallbackRebuildsWhenAlgorithmHasNoReinit) {
+  const graph::Graph g = graph::clique(6);
+  const auto pk = compile::distributePacking(g, graph::cliqueStarPacking(g), 2);
+  const sim::Algorithm a = compile::makeMobileSecureBroadcast(g, pk, {0xaa}, 1);
+  sim::Network net(g, a, 3);
+  net.run(a.rounds);
+  const std::uint64_t fp = net.outputsFingerprint();
+  net.reset(3);
+  net.run(a.rounds);
+  EXPECT_EQ(net.outputsFingerprint(), fp);
+}
+
+}  // namespace
+}  // namespace mobile

@@ -1,12 +1,11 @@
 // Negative controls: the naive repetition compiler works against moving
 // noise but collapses against a camping mobile adversary -- the measured
 // motivation for the paper's machinery.
-#include "compile/baselines.h"
-
 #include <gtest/gtest.h>
 
 #include "adv/strategies.h"
 #include "algo/payloads.h"
+#include "compile/baselines.h"
 #include "compile/byz_tree_compiler.h"
 #include "compile/expander_packing.h"
 #include "graph/generators.h"

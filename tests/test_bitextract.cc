@@ -1,12 +1,11 @@
 // Theorem 2.1 (Chor et al.): the Vandermonde extractor is (t, k)-resilient
 // -- outputs are perfectly uniform and independent of any t adversary-known
 // inputs, provided the rest are uniform.
-#include "gf/bitextract.h"
+#include <map>
 
 #include <gtest/gtest.h>
 
-#include <map>
-
+#include "gf/bitextract.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -43,9 +42,11 @@ TEST_P(BitExtractResilience, OutputsUniformGivenAdversaryKnowledge) {
     std::vector<F16> x(static_cast<std::size_t>(n));
     // Adversary fixes the first t symbols to hostile constants.
     for (int i = 0; i < t; ++i)
-      x[static_cast<std::size_t>(i)] = F16(static_cast<std::uint16_t>(0xdead + i));
+      x[static_cast<std::size_t>(i)] =
+          F16(static_cast<std::uint16_t>(0xdead + i));
     for (int i = t; i < n; ++i)
-      x[static_cast<std::size_t>(i)] = F16(static_cast<std::uint16_t>(rng.next()));
+      x[static_cast<std::size_t>(i)] =
+          F16(static_cast<std::uint16_t>(rng.next()));
     const auto y = ex.extract(x);
     for (std::size_t j = 0; j < y.size(); ++j)
       ++counts[j][y[j].value() & 0xf];
@@ -74,7 +75,8 @@ TEST(BitExtract, PairwiseOutputIndependence) {
     x[0] = F16(0xffff);
     x[1] = F16(0x1234);  // adversary-known
     for (int i = 2; i < 6; ++i)
-      x[static_cast<std::size_t>(i)] = F16(static_cast<std::uint16_t>(rng.next()));
+      x[static_cast<std::size_t>(i)] =
+          F16(static_cast<std::uint16_t>(rng.next()));
     const auto y = ex.extract(x);
     cells[(y[0].value() & 1) * 2 + (y[1].value() & 1)]++;
   }
@@ -92,8 +94,10 @@ TEST(BitExtract, AdversaryValueDoesNotShiftOutputs) {
     xa[0] = F16(0x0001);
     xb[0] = F16(0xbeef);
     for (int i = 1; i < 5; ++i) {
-      xa[static_cast<std::size_t>(i)] = F16(static_cast<std::uint16_t>(rng.next()));
-      xb[static_cast<std::size_t>(i)] = F16(static_cast<std::uint16_t>(rng.next()));
+      xa[static_cast<std::size_t>(i)] =
+          F16(static_cast<std::uint16_t>(rng.next()));
+      xb[static_cast<std::size_t>(i)] =
+          F16(static_cast<std::uint16_t>(rng.next()));
     }
     ++distA[ex.extract(xa)[0].value() & 0xf];
     ++distB[ex.extract(xb)[0].value() & 0xf];

@@ -1,10 +1,9 @@
 // Theorem 3.5 / Theorem 1.6: the byzantine tree-packing compiler.
-#include "compile/byz_tree_compiler.h"
-
 #include <gtest/gtest.h>
 
 #include "adv/strategies.h"
 #include "algo/payloads.h"
+#include "compile/byz_tree_compiler.h"
 #include "compile/expander_packing.h"
 #include "graph/generators.h"
 #include "graph/tree_packing.h"

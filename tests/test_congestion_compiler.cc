@@ -1,13 +1,12 @@
 // Theorem 1.3: congestion-sensitive compiler -- equivalence, masking, and
 // empty-message indistinguishability.
-#include "compile/congestion_compiler.h"
+#include <map>
 
 #include <gtest/gtest.h>
 
-#include <map>
-
 #include "adv/strategies.h"
 #include "algo/payloads.h"
+#include "compile/congestion_compiler.h"
 #include "graph/bfs.h"
 #include "graph/generators.h"
 #include "graph/tree_packing.h"

@@ -1,9 +1,8 @@
-#include "graph/connectivity.h"
+#include <set>
 
 #include <gtest/gtest.h>
 
-#include <set>
-
+#include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 

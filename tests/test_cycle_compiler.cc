@@ -1,10 +1,9 @@
 // Theorem 5.5 / Theorem 1.4: the FT-cycle-cover compiler for small f.
-#include "compile/cycle_cover_compiler.h"
-
 #include <gtest/gtest.h>
 
 #include "adv/strategies.h"
 #include "algo/payloads.h"
+#include "compile/cycle_cover_compiler.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 

@@ -1,8 +1,7 @@
-#include "graph/cycle_cover.h"
-
 #include <gtest/gtest.h>
 
 #include "graph/connectivity.h"
+#include "graph/cycle_cover.h"
 #include "graph/generators.h"
 
 namespace mobile::graph {

@@ -1,10 +1,9 @@
-#include "compile/ecc_broadcast.h"
+#include <tuple>
 
 #include <gtest/gtest.h>
 
-#include <tuple>
-
 #include "compile/common.h"
+#include "compile/ecc_broadcast.h"
 #include "util/rng.h"
 
 namespace mobile::compile {

@@ -7,13 +7,12 @@
 // dense expanders; the *accounting* claims (bad colors <= touched edges,
 // load 2, max-id root) are checked exactly, while the 0.9k-good-fraction
 // claim is exercised in the regime its premises allow.
-#include "compile/expander_packing.h"
-
 #include <gtest/gtest.h>
 
 #include "adv/strategies.h"
 #include "algo/payloads.h"
 #include "compile/byz_tree_compiler.h"
+#include "compile/expander_packing.h"
 #include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "sim/network.h"

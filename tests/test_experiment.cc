@@ -9,11 +9,11 @@
 // Driver level: ExperimentDriver with 1 vs many lanes, and vs a hand-rolled
 // sequential loop, must return identical per-trial fingerprints in spec
 // order.  Network::reset() must reproduce a fresh construction exactly.
-#include <gtest/gtest.h>
-
 #include <memory>
 #include <sstream>
 #include <vector>
+
+#include <gtest/gtest.h>
 
 #include "adv/strategies.h"
 #include "algo/mst.h"
@@ -64,7 +64,9 @@ RunRecord runWithThreads(const graph::Graph& g, const EngineCase& c,
 std::vector<EngineCase> engineCases(const graph::Graph& g) {
   std::vector<EngineCase> cases;
   cases.push_back({"boruvka-mst",
-                   [](const graph::Graph& gg) { return algo::makeBoruvkaMst(gg); },
+                   [](const graph::Graph& gg) {
+                     return algo::makeBoruvkaMst(gg);
+                   },
                    nullptr});
   cases.push_back(
       {"byz-tree-compiled",

@@ -29,7 +29,8 @@ class WrongSizeByzantine final : public adv::Adversary {
   void act(adv::TamperView& view) override {
     const auto m = static_cast<std::size_t>(view.graph().edgeCount());
     for (const auto e :
-         rng_.sampleDistinct(m, std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f)))) {
+         rng_.sampleDistinct(
+             m, std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f)))) {
       Msg junk;
       const std::size_t words = 1 + rng_.below(900);  // wildly wrong sizes
       for (std::size_t i = 0; i < words; ++i) junk.push(rng_.next());
@@ -58,7 +59,8 @@ class PhaseTargetedByzantine final : public adv::Adversary {
     if (o < lo_ || o > hi_) return;
     const auto m = static_cast<std::size_t>(view.graph().edgeCount());
     for (const auto e :
-         rng_.sampleDistinct(m, std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f))))
+         rng_.sampleDistinct(
+             m, std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f))))
       view.corruptEdge(static_cast<graph::EdgeId>(e), adv::garbageMsg(rng_),
                        adv::garbageMsg(rng_));
   }

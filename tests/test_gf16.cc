@@ -1,8 +1,7 @@
-#include "gf/gf16.h"
-
 #include <gtest/gtest.h>
 
 #include "gf/fp61.h"
+#include "gf/gf16.h"
 #include "util/rng.h"
 
 namespace mobile::gf {

@@ -1,9 +1,8 @@
-#include "graph/graph.h"
-
 #include <gtest/gtest.h>
 
 #include "graph/bfs.h"
 #include "graph/generators.h"
+#include "graph/graph.h"
 #include "util/rng.h"
 
 namespace mobile::graph {
@@ -124,7 +123,8 @@ TEST(Bfs, TreeIsSpanningAndShortest) {
   EXPECT_TRUE(t.spanning(g.nodeCount()));
   const auto d = bfsDistances(g, 0);
   for (NodeId v = 0; v < g.nodeCount(); ++v)
-    EXPECT_EQ(t.depth[static_cast<std::size_t>(v)], d[static_cast<std::size_t>(v)]);
+    EXPECT_EQ(t.depth[static_cast<std::size_t>(v)],
+              d[static_cast<std::size_t>(v)]);
 }
 
 TEST(Bfs, EccentricityAndDiameter) {

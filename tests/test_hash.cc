@@ -1,10 +1,9 @@
-#include "hash/cwise.h"
-#include "hash/fingerprint.h"
+#include <map>
 
 #include <gtest/gtest.h>
 
-#include <map>
-
+#include "hash/cwise.h"
+#include "hash/fingerprint.h"
 #include "util/stats.h"
 
 namespace mobile::hash {
@@ -104,7 +103,8 @@ TEST(Fingerprint, AdversaryCannotPredictAcrossSeeds) {
   const std::vector<std::uint64_t> t{42, 43};
   std::map<std::uint64_t, int> seen;
   util::Rng rng(8);
-  for (int i = 0; i < 200; ++i) ++seen[TranscriptFingerprint(rng.next()).hash(t)];
+  for (int i = 0; i < 200; ++i)
+    ++seen[TranscriptFingerprint(rng.next()).hash(t)];
   EXPECT_GT(seen.size(), 195u);
 }
 

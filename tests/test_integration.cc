@@ -8,8 +8,8 @@
 #include "compile/congestion_compiler.h"
 #include "compile/expander_packing.h"
 #include "compile/static_to_mobile.h"
-#include "graph/connectivity.h"
 #include "graph/bfs.h"
+#include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "graph/tree_packing.h"
 #include "sim/network.h"

@@ -1,7 +1,6 @@
-#include "compile/keypool.h"
-
 #include <gtest/gtest.h>
 
+#include "compile/keypool.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -47,7 +46,8 @@ TEST(KeyPool, KeysUniformWhenAdversaryMissesRounds) {
       static_cast<std::size_t>(r), std::vector<std::uint64_t>(16, 0));
   for (int trial = 0; trial < 20000; ++trial) {
     std::vector<std::uint64_t> symbols(static_cast<std::size_t>(r + t));
-    for (int i = 0; i < t; ++i) symbols[static_cast<std::size_t>(i)] = 0xdeadbeef;
+    for (int i = 0; i < t; ++i)
+      symbols[static_cast<std::size_t>(i)] = 0xdeadbeef;
     for (int i = t; i < r + t; ++i)
       symbols[static_cast<std::size_t>(i)] = rng.next();
     const auto keys = pool.extract(symbols);

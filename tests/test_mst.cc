@@ -1,10 +1,9 @@
 // Boruvka MST payload: distributed result equals the centralized Kruskal
 // reference, fault-free and under every compiler.
-#include "algo/mst.h"
-
 #include <gtest/gtest.h>
 
 #include "adv/strategies.h"
+#include "algo/mst.h"
 #include "compile/byz_tree_compiler.h"
 #include "compile/expander_packing.h"
 #include "compile/static_to_mobile.h"
@@ -34,9 +33,11 @@ TEST(Mst, ReferenceIsSpanningTree) {
     EXPECT_EQ(mst.size(), static_cast<std::size_t>(g.nodeCount() - 1));
     // Spanning: union-find over MST edges connects everything.
     std::vector<int> parent(static_cast<std::size_t>(g.nodeCount()));
-    for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+    for (std::size_t i = 0; i < parent.size(); ++i)
+      parent[i] = static_cast<int>(i);
     std::function<int(int)> find = [&](int x) {
-      while (parent[static_cast<std::size_t>(x)] != x) x = parent[static_cast<std::size_t>(x)];
+      while (parent[static_cast<std::size_t>(x)] != x)
+        x = parent[static_cast<std::size_t>(x)];
       return x;
     };
     for (const auto e : mst)

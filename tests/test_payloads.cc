@@ -1,7 +1,6 @@
-#include "algo/payloads.h"
-
 #include <gtest/gtest.h>
 
+#include "algo/payloads.h"
 #include "graph/bfs.h"
 #include "graph/generators.h"
 #include "sim/network.h"
@@ -22,7 +21,8 @@ TEST(Payloads, BfsMatchesOracle) {
   const auto outs = net.outputs();
   for (graph::NodeId v = 0; v < g.nodeCount(); ++v)
     EXPECT_EQ(outs[static_cast<std::size_t>(v)],
-              static_cast<std::uint64_t>(dist[static_cast<std::size_t>(v)] + 1));
+              static_cast<std::uint64_t>(dist[static_cast<std::size_t>(v)] +
+                                         1));
 }
 
 TEST(Payloads, SumAggregateComputesSum) {

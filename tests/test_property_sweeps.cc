@@ -91,7 +91,7 @@ TEST_P(ByzCompilerGraphSweep, EquivalenceOverGreedyPackings) {
 INSTANTIATE_TEST_SUITE_P(Graphs, ByzCompilerGraphSweep,
                          ::testing::Values(0, 1, 2));
 
-// --- invariant: key pools agree at both endpoints for all (r, t) --------------
+// --- invariant: key pools agree at both endpoints for all (r, t) -------------
 
 class KeyPoolSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
@@ -115,7 +115,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 3, 8, 16),
                        ::testing::Values(0, 1, 5, 20)));
 
-// --- invariant: unicast delivers for all (n, span, k <= 2 span) ---------------
+// --- invariant: unicast delivers for all (n, span, k <= 2 span) --------------
 
 class UnicastSweep
     : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
@@ -138,7 +138,7 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(12, 3, 5), std::make_tuple(16, 4, 7),
                       std::make_tuple(20, 3, 6)));
 
-// --- invariant: byz schedule arithmetic is internally consistent --------------
+// --- invariant: byz schedule arithmetic is internally consistent -------------
 
 class ScheduleSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
 

@@ -1,7 +1,6 @@
-#include "coding/reed_solomon.h"
-
 #include <gtest/gtest.h>
 
+#include "coding/reed_solomon.h"
 #include "util/rng.h"
 
 namespace mobile::coding {

@@ -1,14 +1,13 @@
 // Theorem 4.1: the rewind-if-error compiler against round-error-rate
 // adversaries, with potential-function instrumentation (Eq. 10).
-#include "compile/rewind_compiler.h"
+#include <map>
 
 #include <gtest/gtest.h>
-
-#include <map>
 
 #include "adv/strategies.h"
 #include "algo/payloads.h"
 #include "compile/expander_packing.h"
+#include "compile/rewind_compiler.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 

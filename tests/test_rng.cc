@@ -1,9 +1,8 @@
-#include "util/rng.h"
+#include <set>
 
 #include <gtest/gtest.h>
 
-#include <set>
-
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace mobile::util {

@@ -1,11 +1,10 @@
 // Lemma 3.3: scheduled tree protocols -- all but O(f * eta) trees end
 // correctly under an f-mobile byzantine adversary.
-#include "compile/rs_scheduler.h"
-
 #include <gtest/gtest.h>
 
 #include "adv/strategies.h"
 #include "compile/expander_packing.h"
+#include "compile/rs_scheduler.h"
 #include "graph/generators.h"
 #include "graph/tree_packing.h"
 #include "sim/network.h"
@@ -62,7 +61,8 @@ TEST_P(SchedulerAdversarySweep, MostTreesSurviveMobileAttack) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Fs, SchedulerAdversarySweep, ::testing::Values(1, 2, 4));
+INSTANTIATE_TEST_SUITE_P(Fs, SchedulerAdversarySweep,
+                         ::testing::Values(1, 2, 4));
 
 TEST(RsScheduler, ContractEngineIdealizes) {
   const graph::Graph g = graph::clique(12);

@@ -1,12 +1,11 @@
 // Theorem A.4 (share-dispersal architecture): every node reconstructs the
 // secret; mobile eavesdroppers with f * eta < k learn nothing.
-#include "compile/secure_broadcast.h"
+#include <map>
 
 #include <gtest/gtest.h>
 
-#include <map>
-
 #include "adv/strategies.h"
+#include "compile/secure_broadcast.h"
 #include "graph/generators.h"
 #include "graph/tree_packing.h"
 #include "sim/network.h"

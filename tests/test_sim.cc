@@ -1,10 +1,9 @@
-#include "sim/network.h"
-
 #include <gtest/gtest.h>
 
 #include "algo/payloads.h"
 #include "graph/bfs.h"
 #include "graph/generators.h"
+#include "sim/network.h"
 
 namespace mobile::sim {
 namespace {

@@ -1,9 +1,9 @@
 // Unit coverage for the simulator's value types and I/O surfaces: Msg
 // semantics, capture outboxes/inboxes (the compiler-composition seam), and
 // the table formatter used by every benchmark.
-#include <gtest/gtest.h>
-
 #include <sstream>
+
+#include <gtest/gtest.h>
 
 #include "graph/generators.h"
 #include "sim/message.h"
@@ -57,11 +57,11 @@ TEST(MapSurfaces, OutboxCapturesAndInboxDelivers) {
   EXPECT_EQ(out.messages().at(1).at(0), 11u);
 
   sim::MapInbox in(g, 0);
-  EXPECT_FALSE(in.from(1).present);  // empty until put
+  EXPECT_FALSE(in.from(1).present());  // empty until put
   in.put(1, sim::Msg::of(99));
-  EXPECT_TRUE(in.from(1).present);
+  EXPECT_TRUE(in.from(1).present());
   EXPECT_EQ(in.from(1).at(0), 99u);
-  EXPECT_FALSE(in.from(3).present);
+  EXPECT_FALSE(in.from(3).present());
 }
 
 TEST(MapSurfaces, ToAllReachesEveryNeighbor) {

@@ -1,7 +1,7 @@
-#include <gtest/gtest.h>
-
 #include <map>
 #include <set>
+
+#include <gtest/gtest.h>
 
 #include "sketch/l0sampler.h"
 #include "sketch/onesparse.h"
@@ -129,7 +129,8 @@ TEST(L0Sampler, NearUniformSampling) {
   // roughly equally (Theorem 3.4's uniformity).
   util::Rng rng(13);
   std::vector<std::uint64_t> keys;
-  for (int i = 0; i < 8; ++i) keys.push_back(1000 + static_cast<std::uint64_t>(i));
+  for (int i = 0; i < 8; ++i)
+    keys.push_back(1000 + static_cast<std::uint64_t>(i));
   std::map<std::uint64_t, std::uint64_t> counts;
   int total = 0;
   for (int trial = 0; trial < 6000; ++trial) {

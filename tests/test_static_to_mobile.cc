@@ -1,13 +1,12 @@
 // Theorem 1.2: static-to-mobile compilation -- output equivalence and
 // measured security under mobile eavesdroppers.
-#include "compile/static_to_mobile.h"
+#include <map>
 
 #include <gtest/gtest.h>
 
-#include <map>
-
 #include "adv/strategies.h"
 #include "algo/payloads.h"
+#include "compile/static_to_mobile.h"
 #include "graph/bfs.h"
 #include "graph/generators.h"
 #include "sim/network.h"

@@ -1,10 +1,9 @@
-#include "util/stats.h"
+#include <cmath>
 
 #include <gtest/gtest.h>
 
-#include <cmath>
-
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace mobile::util {
 namespace {

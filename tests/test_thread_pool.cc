@@ -1,11 +1,11 @@
 // util::ThreadPool: exact-once index coverage, caller participation,
 // inline degeneration at 1 thread, exception propagation, and reuse.
-#include <gtest/gtest.h>
-
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include <gtest/gtest.h>
 
 #include "util/thread_pool.h"
 

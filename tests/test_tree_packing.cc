@@ -1,10 +1,9 @@
-#include "graph/tree_packing.h"
+#include <cmath>
 
 #include <gtest/gtest.h>
 
-#include <cmath>
-
 #include "graph/generators.h"
+#include "graph/tree_packing.h"
 #include "util/rng.h"
 
 namespace mobile::graph {

@@ -1,11 +1,10 @@
 // Lemma A.3: mobile-secure unicast / multicast over edge-disjoint paths.
-#include "compile/jain_unicast.h"
+#include <map>
 
 #include <gtest/gtest.h>
 
-#include <map>
-
 #include "adv/strategies.h"
+#include "compile/jain_unicast.h"
 #include "graph/generators.h"
 #include "sim/network.h"
 #include "util/stats.h"
@@ -56,7 +55,8 @@ TEST(Multicast, ParallelInstancesAllDeliver) {
   const graph::Graph g = graph::circulant(12, 3);
   MulticastPlan mp;
   for (int j = 0; j < 4; ++j) {
-    mp.instances.push_back(planUnicast(g, 0, static_cast<graph::NodeId>(3 + j), 3));
+    mp.instances.push_back(
+        planUnicast(g, 0, static_cast<graph::NodeId>(3 + j), 3));
     mp.secrets.push_back(1000u + static_cast<std::uint64_t>(j));
   }
   const Algorithm a = makeMobileSecureMulticast(g, mp);
@@ -64,7 +64,8 @@ TEST(Multicast, ParallelInstancesAllDeliver) {
   net.run(a.rounds);
   const auto outs = net.outputs();
   for (int j = 0; j < 4; ++j)
-    EXPECT_EQ(outs[static_cast<std::size_t>(3 + j)], 1000u + static_cast<std::uint64_t>(j));
+    EXPECT_EQ(outs[static_cast<std::size_t>(3 + j)],
+              1000u + static_cast<std::uint64_t>(j));
 }
 
 TEST(Multicast, PipelineRoundsScaleAsDilationPlusR) {

@@ -1,9 +1,8 @@
-#include "gf/vandermonde.h"
+#include <set>
 
 #include <gtest/gtest.h>
 
-#include <set>
-
+#include "gf/vandermonde.h"
 #include "util/rng.h"
 
 namespace mobile::gf {

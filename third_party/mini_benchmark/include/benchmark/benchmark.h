@@ -1,0 +1,286 @@
+// mini_benchmark: a single-header, dependency-free stand-in for the subset
+// of the Google Benchmark API that bench/bench_micro.cc uses.
+//
+// The CMake chain prefers a system libbenchmark, then a FetchContent clone;
+// this shim is the last rung so `bench_micro` ALWAYS builds -- including on
+// offline machines with no packaged benchmark (the ROADMAP "bench_micro
+// dependency" item).  It reproduces the behaviors the harness relies on:
+//
+//   * BENCHMARK(fn) registration with ->Arg(n) variants;
+//   * `for (auto _ : state)` iteration with adaptive batch sizing until
+//     --benchmark_min_time of measured loop time accumulates (setup before
+//     the loop is excluded, like the real library);
+//   * state.range/SetItemsProcessed/counters/iterations;
+//   * DoNotOptimize, Initialize (--benchmark_filter / --benchmark_min_time /
+//     --benchmark_out[=_format]), RunSpecifiedBenchmarks, Shutdown;
+//   * console table + Google-Benchmark-shaped JSON ("benchmarks": [...])
+//     so BENCH_micro.json consumers never see a schema fork.
+//
+// Numbers from this shim are comparable run-to-run like the real library's,
+// but it implements no statistical repetitions -- CI smoke sweeps and local
+// spot checks are its job, not publication-grade measurement.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+class Counter {
+ public:
+  Counter(double v = 0.0) : value(v) {}  // NOLINT: implicit by design
+  operator double() const { return value; }
+  double value;
+};
+
+using UserCounters = std::map<std::string, Counter>;
+
+class State;
+namespace internal {
+using Function = void (*)(State&);
+
+struct Registration {
+  std::string name;
+  Function fn;
+  std::vector<std::int64_t> args;  // one registered run per entry; may be empty
+  bool hasArgs = false;
+};
+
+inline std::vector<Registration>& registry() {
+  static std::vector<Registration> r;
+  return r;
+}
+
+class Benchmark {
+ public:
+  Benchmark(std::string name, Function fn)
+      : name_(std::move(name)), fn_(fn), plain_(registry().size()) {
+    registry().push_back({name_, fn_, {}, false});
+  }
+  Benchmark* Arg(std::int64_t a) {
+    if (!consumedPlain_) {
+      // First Arg() converts the no-arg registration into this variant.
+      registry()[plain_] = {name_, fn_, {a}, true};
+      consumedPlain_ = true;
+    } else {
+      registry().push_back({name_, fn_, {a}, true});
+    }
+    return this;
+  }
+
+ private:
+  std::string name_;
+  Function fn_;
+  std::size_t plain_;
+  bool consumedPlain_ = false;
+};
+
+inline Benchmark* RegisterBenchmark(const char* name, Function fn) {
+  static std::vector<std::unique_ptr<Benchmark>> keep;
+  keep.push_back(std::make_unique<Benchmark>(name, fn));
+  return keep.back().get();
+}
+
+struct Flags {
+  std::string filter;
+  double minTimeSec = 0.5;
+  std::string outPath;
+};
+
+inline Flags& flags() {
+  static Flags f;
+  return f;
+}
+
+}  // namespace internal
+
+class State {
+ public:
+  State(std::vector<std::int64_t> args, std::size_t maxIterations)
+      : args_(std::move(args)), max_(maxIterations) {}
+
+  struct Iterator {
+    State* state;
+    bool operator!=(const Iterator&) const { return state->keepRunning(); }
+    void operator++() {}
+    int operator*() const { return 0; }
+  };
+
+  Iterator begin() {
+    count_ = 0;
+    start_ = std::chrono::steady_clock::now();
+    return {this};
+  }
+  Iterator end() { return {this}; }
+
+  [[nodiscard]] std::int64_t range(std::size_t i = 0) const {
+    return i < args_.size() ? args_[i] : 0;
+  }
+  void SetItemsProcessed(std::int64_t items) { items_ = items; }
+  [[nodiscard]] std::size_t iterations() const { return count_; }
+
+  UserCounters counters;
+
+  // --- shim internals (runner side) ----------------------------------------
+  [[nodiscard]] double secondsElapsed() const { return seconds_; }
+  [[nodiscard]] std::int64_t itemsProcessed() const { return items_; }
+
+ private:
+  bool keepRunning() {
+    if (count_ < max_) {
+      ++count_;
+      return true;
+    }
+    seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start_)
+                   .count();
+    return false;
+  }
+
+  std::vector<std::int64_t> args_;
+  std::size_t max_;
+  std::size_t count_ = 0;
+  std::int64_t items_ = 0;
+  double seconds_ = 0.0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+template <typename T>
+inline void DoNotOptimize(T&& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "g"(value) : "memory");
+#else
+  static volatile char sink;
+  sink = *reinterpret_cast<const volatile char*>(&value);
+#endif
+}
+
+inline void Initialize(int* argc, char** argv) {
+  auto& f = internal::flags();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg]() {
+      const auto eq = arg.find('=');
+      return eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    };
+    if (arg.rfind("--benchmark_filter=", 0) == 0) {
+      f.filter = value();
+    } else if (arg.rfind("--benchmark_min_time=", 0) == 0) {
+      f.minTimeSec = std::strtod(value().c_str(), nullptr);  // "0.5" / "0.5s"
+    } else if (arg.rfind("--benchmark_out=", 0) == 0) {
+      f.outPath = value();
+    } else if (arg.rfind("--benchmark_out_format=", 0) == 0) {
+      // JSON is the only format the shim writes.
+    } else {
+      argv[out++] = argv[i];  // unknown flags stay, like the real library
+    }
+  }
+  *argc = out;
+}
+
+namespace internal {
+
+struct Result {
+  std::string name;
+  double nsPerIter = 0.0;
+  std::size_t iterations = 0;
+  double itemsPerSecond = 0.0;  // 0 = not reported
+  UserCounters counters;
+};
+
+inline Result runOne(const Registration& reg) {
+  const double minTime = flags().minTimeSec;
+  std::size_t n = 1;
+  for (;;) {
+    State state(reg.args, n);
+    reg.fn(state);
+    const double sec = state.secondsElapsed();
+    if (sec >= minTime || n >= (1u << 30)) {
+      Result r;
+      r.name = reg.name;
+      if (reg.hasArgs)
+        for (const auto a : reg.args) r.name += "/" + std::to_string(a);
+      r.iterations = state.iterations();
+      r.nsPerIter = state.iterations() == 0
+                        ? 0.0
+                        : sec * 1e9 / static_cast<double>(state.iterations());
+      if (state.itemsProcessed() > 0 && sec > 0.0)
+        r.itemsPerSecond = static_cast<double>(state.itemsProcessed()) / sec;
+      r.counters = state.counters;
+      return r;
+    }
+    const double target = std::max(minTime * 1.4, sec * 8);
+    const double grow =
+        sec <= 0.0 ? 8.0 : std::min(100.0, std::max(2.0, target / sec));
+    n = static_cast<std::size_t>(static_cast<double>(n) * grow) + 1;
+  }
+}
+
+inline void writeJson(const std::vector<Result>& results,
+                      const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return;
+  os << "{\n  \"context\": {\"library\": \"mini_benchmark\"},\n"
+     << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    os << "    {\"name\": \"" << r.name << "\", \"run_type\": \"iteration\", "
+       << "\"iterations\": " << r.iterations << ", \"real_time\": "
+       << r.nsPerIter << ", \"cpu_time\": " << r.nsPerIter
+       << ", \"time_unit\": \"ns\"";
+    if (r.itemsPerSecond > 0.0)
+      os << ", \"items_per_second\": " << r.itemsPerSecond;
+    for (const auto& [key, counter] : r.counters)
+      os << ", \"" << key << "\": " << counter.value;
+    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace internal
+
+inline std::size_t RunSpecifiedBenchmarks() {
+  const auto& f = internal::flags();
+  std::vector<internal::Result> results;
+  std::regex filter(f.filter.empty() ? ".*" : f.filter);
+  std::printf("%-45s %15s %12s %s\n", "Benchmark", "Time", "Iterations",
+              "UserCounters...");
+  for (const auto& reg : internal::registry()) {
+    std::string fullName = reg.name;
+    if (reg.hasArgs)
+      for (const auto a : reg.args) fullName += "/" + std::to_string(a);
+    if (!std::regex_search(fullName, filter)) continue;
+    const internal::Result r = internal::runOne(reg);
+    std::printf("%-45s %12.0f ns %12zu", r.name.c_str(), r.nsPerIter,
+                r.iterations);
+    if (r.itemsPerSecond > 0.0)
+      std::printf(" items_per_second=%.4gk/s", r.itemsPerSecond / 1e3);
+    for (const auto& [key, counter] : r.counters)
+      std::printf(" %s=%.4g", key.c_str(), counter.value);
+    std::printf("\n");
+    results.push_back(r);
+  }
+  if (!f.outPath.empty()) internal::writeJson(results, f.outPath);
+  return results.size();
+}
+
+inline void Shutdown() {}
+
+}  // namespace benchmark
+
+#define MINI_BENCHMARK_CONCAT_(a, b) a##b
+#define MINI_BENCHMARK_CONCAT(a, b) MINI_BENCHMARK_CONCAT_(a, b)
+#define BENCHMARK(fn)                                             \
+  static ::benchmark::internal::Benchmark* MINI_BENCHMARK_CONCAT( \
+      mini_benchmark_reg_, __LINE__) =                            \
+      ::benchmark::internal::RegisterBenchmark(#fn, fn)
