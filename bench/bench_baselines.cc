@@ -4,84 +4,42 @@
 // mobile adversary that camps on the same edges; uncompiled algorithms fail
 // under any byzantine interference; the Theorem 3.5 compiler survives the
 // identical attacks.
-// Measured: head-to-head failure rates across strategies, as a seed sweep
-// on the ExperimentDriver (trials run in parallel with --threads > 1).
+// Measured: head-to-head failure rates across strategies.  The whole grid
+// is a scn campaign (scheme x strategy x seeds) -- this bench is a thin
+// wrapper that expands it, fans it over the ExperimentDriver, and renders
+// the verdict table from the group summaries.
 #include <iostream>
+#include <string>
 
-#include "adv/strategies.h"
-#include "algo/payloads.h"
-#include "compile/baselines.h"
-#include "compile/byz_tree_compiler.h"
-#include "compile/expander_packing.h"
 #include "exp/bench_args.h"
-#include "graph/generators.h"
-#include "sim/network.h"
+#include "scn/campaign.h"
 #include "util/table.h"
 
 using namespace mobile;
 
 int main(int argc, char** argv) {
   const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
-  std::cout << "# T16: Baselines and negative controls\n\n";
 
   const int n = args.smoke ? 8 : 10;
-  const int seeds = args.smoke ? 2 : 5;
-  const graph::Graph g = graph::clique(n);
-  std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n), 9);
-
-  struct Scheme {
-    std::string name;
-    std::function<sim::Algorithm(const graph::Graph&)> make;
-    unsigned maskBits;  // gossip payload domain the scheme simulates
-  };
-  std::vector<Scheme> schemes;
-  schemes.push_back({"uncompiled",
-                     [inputs](const graph::Graph& gg) {
-                       return algo::makeGossipHash(gg, 2, inputs);
-                     },
-                     64});
-  schemes.push_back({"naive 2f+1 repetition",
-                     [inputs](const graph::Graph& gg) {
-                       return compile::compileNaiveRepetition(
-                           gg, algo::makeGossipHash(gg, 2, inputs), 1);
-                     },
-                     64});
-  schemes.push_back({"tree compiler (Thm 3.5)",
-                     [inputs](const graph::Graph& gg) {
-                       return compile::compileByzantineTree(
-                           gg, algo::makeGossipHash(gg, 2, inputs, 32),
-                           compile::cliquePackingKnowledge(gg), 1);
-                     },
-                     32});
-
-  std::vector<exp::TrialSpec> specs;
-  for (const auto& scheme : schemes) {
-    const sim::Algorithm inner =
-        algo::makeGossipHash(g, 2, inputs, scheme.maskBits);
-    const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
-    for (const int strategy : {0, 1}) {
-      for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
-           ++seed) {
-        exp::TrialSpec spec;
-        spec.group =
-            scheme.name + " / " + (strategy == 0 ? "rotating" : "camping");
-        spec.seed = seed;
-        spec.graphFactory = [g] { return g; };
-        spec.algoFactory = scheme.make;
-        spec.adversaryFactory =
-            [strategy, seed](const graph::Graph&)
-            -> std::unique_ptr<adv::Adversary> {
-          if (strategy == 0)
-            return std::make_unique<adv::RotatingByzantine>(1, 31 + seed);
-          return std::make_unique<adv::CampingByzantine>(
-              std::vector<graph::EdgeId>{0}, 1, 31 + seed);
-        };
-        spec.expect = want;
-        specs.push_back(std::move(spec));
-      }
-    }
+  std::string grid = "name T16_baselines\nset graph=clique n=";
+  grid += std::to_string(n);
+  grid += " algo=gossip rounds=2 input=9 f=1 adv=rotating_byz,camping_byz";
+  grid += " seed=";
+  grid += args.smoke ? "0..1" : "0..4";
+  grid +=
+      "\n"
+      "scenario name=uncompiled compile=none\n"
+      "scenario name=naive-2f+1-repetition compile=naive_repetition\n"
+      "scenario name=tree-compiler-thm3.5 compile=byz_tree mask=32\n";
+  const scn::Campaign campaign = scn::parseCampaignText(grid);
+  if (args.list) {
+    scn::printScenarios(std::cout, campaign);
+    return 0;
   }
 
+  std::cout << "# T16: Baselines and negative controls\n\n";
+  const std::vector<exp::TrialSpec> specs =
+      scn::buildCampaignSpecs(campaign, args.seed);
   exp::ExperimentDriver driver({args.threads});
   const auto results = driver.runAll(specs);
   const auto groups = exp::aggregate(results);

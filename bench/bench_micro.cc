@@ -15,6 +15,7 @@
 #include "compile/byz_tree_compiler.h"
 #include "compile/expander_packing.h"
 #include "compile/keypool.h"
+#include "compile/rewind_compiler.h"
 #include "compile/secure_broadcast.h"
 #include "exp/bench_args.h"
 #include "gf/gf16.h"
@@ -200,6 +201,19 @@ static void BM_RoundThroughput_ByzCompiled(benchmark::State& state) {
   runRoundLoop(state, net, a.rounds);
 }
 BENCHMARK(BM_RoundThroughput_ByzCompiled)->Arg(12)->Arg(16);
+
+static void BM_RoundThroughput_Rewind(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::clique(n);
+  const auto pk = compile::cliquePackingKnowledge(g);
+  const sim::Algorithm inner = algo::makePingPong(g, 0, 1, 2, 0x111, 0x222, 32);
+  const sim::Algorithm a =
+      compile::compileRewind(g, inner, pk, 1, compile::RewindOptions{});
+  adv::RandomByzantine byz(1, 7);
+  sim::Network net(g, a, 1, &byz);
+  runRoundLoop(state, net, a.rounds);
+}
+BENCHMARK(BM_RoundThroughput_Rewind)->Arg(8)->Arg(12);
 
 static void BM_RoundThroughput_Repetition(benchmark::State& state) {
   // The repetition strawman relays every inner message 2f+1 times across

@@ -3,10 +3,11 @@
 // Claims: r' = 5r global rounds absorb any f*r' total corruption budget;
 // Phi gains >= +1 on good global rounds, loses <= 3 on bad ones, and ends
 // >= r (Lemma 4.10).
-// Measured: output equivalence under burst schedules (an ExperimentDriver
-// grid), the Phi trajectory, and per-global-round good/bad accounting.
-// The Phi section instruments shared compiler state, so it stays a single
-// hand-rolled sequential run.
+// Measured: output equivalence under burst schedules (a scn campaign --
+// the burst shapes are scenario lines, the budget defaults to a quarter
+// of the compiled schedule via the injected _rounds), the Phi trajectory,
+// and per-global-round good/bad accounting.  The Phi section instruments
+// shared compiler state, so it stays a single hand-rolled sequential run.
 #include <iostream>
 
 #include "adv/strategies.h"
@@ -15,6 +16,7 @@
 #include "compile/rewind_compiler.h"
 #include "exp/bench_args.h"
 #include "graph/generators.h"
+#include "scn/campaign.h"
 #include "sim/network.h"
 #include "util/table.h"
 
@@ -24,59 +26,56 @@ int main(int argc, char** argv) {
   const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
   exp::ExperimentDriver driver({args.threads});
 
+  std::string grid =
+      "name T11_rewind\n"
+      "set graph=clique algo=pingpong mask=32 compile=rewind f=1 "
+      "adv=burst_byz aseed=3 seed=9";
+  grid += args.smoke ? " n=6 rounds=2" : "";
+  grid += "\n";
+  if (args.smoke) {
+    grid +=
+        "scenario name=dense-bursts quiet=9 width=40\n"
+        "scenario name=rare-heavy-bursts quiet=29 width=100\n";
+  } else {
+    // The {n, r} grid {6,2}, {8,2}, {8,3} under two burst shapes: dense
+    // (quiet=9, width=40) and rare-heavy (quiet=29, width=100).  quiet and
+    // width move together, so each shape is its own pair of lines rather
+    // than a cross product.
+    grid +=
+        "scenario name=dense-bursts n=6,8 rounds=2 quiet=9 width=40\n"
+        "scenario name=dense-bursts-r3 n=8 rounds=3 quiet=9 width=40\n"
+        "scenario name=rare-heavy-bursts n=6,8 rounds=2 quiet=29 width=100\n"
+        "scenario name=rare-heavy-bursts-r3 n=8 rounds=3 quiet=29 "
+        "width=100\n";
+  }
+  const scn::Campaign campaign = scn::parseCampaignText(grid);
+  if (args.list) {
+    scn::printScenarios(std::cout, campaign);
+    return 0;
+  }
+
   std::cout << "# T11: Rewind-if-error compiler (Theorem 4.1)\n\n";
   std::cout << "## Correctness under bursty round-error-rate adversaries\n\n";
 
-  const std::vector<std::pair<int, int>> grid =
-      args.smoke ? std::vector<std::pair<int, int>>{{6, 2}}
-                 : std::vector<std::pair<int, int>>{{6, 2}, {8, 2}, {8, 3}};
-
-  std::vector<exp::TrialSpec> specs;
-  struct RowMeta {
-    int globalRounds;
-    int totalRounds;
-  };
-  std::vector<RowMeta> meta;
-  for (const auto& [n, r] : grid) {
-    const graph::Graph g = graph::clique(n);
-    const auto pk = compile::cliquePackingKnowledge(g);
-    const sim::Algorithm inner =
-        algo::makePingPong(g, 0, 1, r, 0x111, 0x222, 32);
-    const std::uint64_t want = sim::faultFreeFingerprint(g, inner, 1);
-    compile::RewindOptions opts;
-    const compile::RewindSchedule sched =
-        compile::rewindSchedule(*pk, inner.rounds, 1, opts);
-    for (const auto& [quiet, width, name] :
-         {std::tuple{9, 40, "dense bursts"}, {29, 100, "rare heavy bursts"}}) {
-      exp::TrialSpec spec;
-      spec.group = "n=" + std::to_string(n) + ",r=" + std::to_string(r) +
-                   " / " + name;
-      spec.seed = 9;
-      spec.graphFactory = [g] { return g; };
-      spec.algoFactory = [r = r](const graph::Graph& gg) {
-        const auto pkk = compile::cliquePackingKnowledge(gg);
-        const sim::Algorithm in =
-            algo::makePingPong(gg, 0, 1, r, 0x111, 0x222, 32);
-        return compile::compileRewind(gg, in, pkk, 1, compile::RewindOptions{});
-      };
-      spec.adversaryFactory = [quiet = quiet, width = width,
-                               total = sched.totalRounds](const graph::Graph&) {
-        return std::make_unique<adv::BurstByzantine>(1, total / 4, quiet,
-                                                     width, 3);
-      };
-      spec.expect = want;
-      specs.push_back(std::move(spec));
-      meta.push_back({sched.globalRounds, sched.totalRounds});
-    }
-  }
+  std::vector<scn::Point> points;
+  const std::vector<exp::TrialSpec> specs =
+      scn::buildCampaignSpecs(campaign, args.seed, &points);
   const auto results = driver.runAll(specs);
 
   util::Table table({"group", "payload", "global rounds", "total rounds",
                      "corruptions", "outputs ok"});
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
-    table.addRow({r.group, "PingPong", util::Table::num(meta[i].globalRounds),
-                  util::Table::num(meta[i].totalRounds),
+    // Schedule columns recomputed at the point's parameters.
+    const scn::Params p = points[i].params;
+    const graph::Graph g =
+        graph::clique(static_cast<graph::NodeId>(p.integer("n")));
+    const auto pk = compile::cliquePackingKnowledge(g);
+    const compile::RewindSchedule sched = compile::rewindSchedule(
+        *pk, static_cast<int>(p.integer("rounds", 2)), 1,
+        compile::RewindOptions{});
+    table.addRow({r.group, "PingPong", util::Table::num(sched.globalRounds),
+                  util::Table::num(sched.totalRounds),
                   util::Table::num(r.corruptions),
                   util::Table::boolean(r.ok)});
   }

@@ -3,8 +3,9 @@
 // Our dispersal substitution costs ~O((D + W) * eta * f) (DESIGN.md #3);
 // this bench measures the actual scaling in f and the secret width W and
 // verifies delivery plus eavesdropper view independence.  The delivery
-// grid and the 160-run view-independence sweep fan out over the
-// ExperimentDriver.
+// grid (n x f x W under a mobile eavesdropper) is a scn campaign line;
+// the scaling-shape probe and the 160-run view-independence sweep stay
+// hand-rolled (they read compiler internals / observe hooks).
 #include <iostream>
 #include <map>
 
@@ -14,6 +15,7 @@
 #include "exp/precompute_cache.h"
 #include "graph/generators.h"
 #include "graph/tree_packing.h"
+#include "scn/campaign.h"
 #include "sim/network.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -24,57 +26,41 @@ int main(int argc, char** argv) {
   const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
   exp::ExperimentDriver driver({args.threads});
 
+  std::string grid =
+      "name T5_secure_broadcast\n"
+      "set graph=clique algo=secure_broadcast adv=random_eaves aseed=17 "
+      "seed=5\n";
+  grid += args.smoke ? "scenario name=delivery n=8,12 f=1,2 w=1\n"
+                     : "scenario name=delivery n=8,12,16,24 f=1..3 w=1,4\n";
+  const scn::Campaign campaign = scn::parseCampaignText(grid);
+  if (args.list) {
+    scn::printScenarios(std::cout, campaign);
+    return 0;
+  }
+
   std::cout << "# T5: Mobile-secure broadcast (Theorem A.4 architecture)\n\n";
   util::Table table(
       {"group", "rounds", "exchange", "dispersal", "all received"});
 
-  const std::vector<int> ns = args.smoke ? std::vector<int>{8, 12}
-                                         : std::vector<int>{8, 12, 16, 24};
-  const std::vector<int> fs =
-      args.smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 3};
-  const std::vector<int> ws =
-      args.smoke ? std::vector<int>{1} : std::vector<int>{1, 4};
-
-  std::vector<exp::TrialSpec> specs;
-  std::vector<int> exchangeRounds;  // parallel to specs, for the table
-  for (const int n : ns) {
-    const graph::Graph g = graph::clique(n);
-    const auto pk =
-        exp::PrecomputeCache::global().starPacking(g, 2);
-    for (const int f : fs) {
-      for (const int w : ws) {
-        std::vector<std::uint64_t> secret(static_cast<std::size_t>(w));
-        for (int i = 0; i < w; ++i)
-          secret[static_cast<std::size_t>(i)] =
-              0xbeef00 + static_cast<std::uint64_t>(i);
-        exp::TrialSpec spec;
-        spec.group = "n=" + std::to_string(n) + ",f=" + std::to_string(f) +
-                     ",W=" + std::to_string(w);
-        spec.seed = 5;
-        spec.graphFactory = [g] { return g; };
-        spec.algoFactory = [secret, f = f](const graph::Graph& gg) {
-          const auto pkk = exp::PrecomputeCache::global().starPacking(gg, 2);
-          return compile::makeMobileSecureBroadcast(gg, pkk, secret, f);
-        };
-        spec.adversaryFactory = [f = f](const graph::Graph&) {
-          return std::make_unique<adv::RandomEavesdropper>(f, 17);
-        };
-        // Delivery: every node outputs the first secret word.
-        spec.expect = sim::fingerprintOutputs(std::vector<std::uint64_t>(
-            static_cast<std::size_t>(n), secret[0]));
-        specs.push_back(std::move(spec));
-        compile::BroadcastCore probe(pk->root, g, util::Rng(1), pk, secret,
-                                     f);
-        exchangeRounds.push_back(probe.exchangeRounds());
-      }
-    }
-  }
+  std::vector<scn::Point> points;
+  const std::vector<exp::TrialSpec> specs =
+      scn::buildCampaignSpecs(campaign, args.seed, &points);
   const auto results = driver.runAll(specs);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
+    // Exchange/dispersal decomposition: probe the core at the point's
+    // parameters (packing shared through the PrecomputeCache).
+    const scn::Params& p = points[i].params;
+    const graph::Graph g =
+        graph::clique(static_cast<graph::NodeId>(p.integer("n")));
+    const auto pk = exp::PrecomputeCache::global().starPacking(g, 2);
+    const auto w = static_cast<std::size_t>(p.integer("w", 1));
+    compile::BroadcastCore probe(pk->root, g, util::Rng(1), pk,
+                                 std::vector<std::uint64_t>(w, 1),
+                                 static_cast<int>(p.integer("f", 1)));
     table.addRow({r.group, util::Table::num(r.rounds),
-                  util::Table::num(exchangeRounds[i]),
-                  util::Table::num(r.rounds - exchangeRounds[i]),
+                  util::Table::num(probe.exchangeRounds()),
+                  util::Table::num(r.rounds - probe.exchangeRounds()),
                   util::Table::boolean(r.ok)});
   }
   table.print(std::cout);

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI gate for the declarative campaign runner: runs campaigns/smoke.campaign
+# under mc_campaign, then re-runs it against its own output and asserts the
+# resume pass performs ZERO new trials -- the append-only JSONL record is
+# the contract that makes interrupted sweeps restartable.
+#
+#   scripts/campaign_smoke.sh [build-dir] [output-jsonl]
+#
+# The resulting CAMPAIGN_smoke.jsonl is uploaded by CI next to
+# BENCH_smoke.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_JSONL="${2:-$BUILD_DIR/CAMPAIGN_smoke.jsonl}"
+RUNNER="$BUILD_DIR/mc_campaign"
+
+[ -x "$RUNNER" ] || { echo "$RUNNER not built" >&2; exit 1; }
+
+rm -f "$OUT_JSONL"
+
+echo "=== campaign smoke: first run (fresh record)"
+"$RUNNER" --out "$OUT_JSONL" campaigns/smoke.campaign
+
+echo "=== campaign smoke: second run (must resume to a no-op)"
+second=$("$RUNNER" --out "$OUT_JSONL" campaigns/smoke.campaign)
+echo "$second"
+if ! grep -q ", 0 executed" <<<"$second"; then
+  echo "resume failed: the re-run executed new trials" >&2
+  exit 1
+fi
+
+lines=$(wc -l < "$OUT_JSONL")
+echo "wrote $OUT_JSONL ($lines trial records)"

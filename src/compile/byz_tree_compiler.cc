@@ -31,22 +31,6 @@ std::uint64_t deriveSketchSeed(std::uint64_t treeSeed, int h) {
   return util::splitmix64(st);
 }
 
-/// Majority over message copies (ties broken by first occurrence).
-Msg majority(const std::vector<Msg>& copies) {
-  Msg best;
-  int bestCount = 0;
-  for (std::size_t i = 0; i < copies.size(); ++i) {
-    int count = 0;
-    for (std::size_t j = 0; j < copies.size(); ++j)
-      if (copies[j] == copies[i]) ++count;
-    if (count > bestCount) {
-      bestCount = count;
-      best = copies[i];
-    }
-  }
-  return best;
-}
-
 }  // namespace
 
 ByzSchedule ByzSchedule::compute(const PackingKnowledge& pk, int innerRounds,
@@ -103,8 +87,14 @@ class ByzNode final : public NodeState {
         sched_(sched),
         slots_{pk_->eta, opts.engine.effectiveRho()},
         codec_(pk_->k, opts.dmCap > 0 ? opts.dmCap : 2 * f_ + 8, opts.cPP),
-        shared_(std::move(shared)) {
+        shared_(std::move(shared)),
+        inbox_(g, self) {
     isRoot_ = (self_ == pk_->root);
+    // Fixed-shape stash: one Msg per (neighbor, schedule slot, repetition),
+    // rewritten in place each scheduled round (sim::assignMsg keeps the
+    // words capacity) -- the compile/baselines.cc no-alloc idiom.
+    stash_.resize(g_.degree(self_) * static_cast<std::size_t>(pk_->eta) *
+                  static_cast<std::size_t>(slots_.rho));
   }
 
   void send(int round, Outbox& out) override {
@@ -137,17 +127,20 @@ class ByzNode final : public NodeState {
       return;
     }
     const int rho = slots_.rho;
-    for (const auto& nb : g_.neighbors(self_)) {
-      const int tree = treeAtSlot(nb.node, p.slot);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const int tree = treeAtSlot(nbs[i].node, p.slot);
       if (tree < 0) continue;
-      stash_[{tree, nb.node}].push_back(in.from(nb.node).toMsg());
+      Msg* copies = stashSlot(i, p.slot);
+      sim::assignMsg(copies[static_cast<std::size_t>(p.rep)],
+                     in.from(nbs[i].node));
       if (p.rep == rho - 1) {
-        const Msg maj = majority(stash_[{tree, nb.node}]);
-        stash_.erase({tree, nb.node});
+        const Msg& maj =
+            majorityRef(copies, static_cast<std::size_t>(rho));
         if (p.inSketch)
-          handleSketch(tree, p, nb.node, maj);
+          handleSketch(tree, p, nbs[i].node, maj);
         else
-          handleEcc(tree, p, nb.node, maj);
+          handleEcc(tree, p, nbs[i].node, maj);
       }
     }
     // Block boundaries.
@@ -205,6 +198,13 @@ class ByzNode final : public NodeState {
     if (it == view_.edgeTrees.end()) return -1;
     if (slot >= static_cast<int>(it->second.size())) return -1;
     return it->second[static_cast<std::size_t>(slot)];
+  }
+
+  /// The rho stash copies of (neighbor index, schedule slot).
+  [[nodiscard]] Msg* stashSlot(std::size_t nbIndex, int slot) {
+    return stash_.data() + (nbIndex * static_cast<std::size_t>(pk_->eta) +
+                            static_cast<std::size_t>(slot)) *
+                               static_cast<std::size_t>(slots_.rho);
   }
 
   [[nodiscard]] int depthIn(int tree) const {
@@ -606,14 +606,22 @@ class ByzNode final : public NodeState {
   }
 
   void deliverToInner(const Pos& p) {
-    MapInbox inbox(g_, self_);
+    // Redeliver through the reused member inbox: every neighbor slot is
+    // rewritten (absent included), so no stale message survives between
+    // sim rounds and nothing is allocated after the first delivery.
     for (const auto& nb : g_.neighbors(self_)) {
+      Msg& slot = inbox_.slot(nb.node);
+      slot.present = false;
+      slot.words.clear();
       const auto it = estKey_.find(nb.node);
       if (it == estKey_.end()) continue;
       const DecodedKey dec = decodeKey(it->second);
-      if (dec.chunk == 0) inbox.put(nb.node, Msg::of(dec.payload));
+      if (dec.chunk == 0) {
+        slot.present = true;
+        slot.words.push_back(dec.payload);
+      }
     }
-    inner_->receive(p.simRound, inbox);
+    inner_->receive(p.simRound, inbox_);
     if (p.simRound >= innerRounds_) done_ = true;
   }
 
@@ -644,13 +652,16 @@ class ByzNode final : public NodeState {
   std::vector<std::uint64_t> treeSeed_;  // root only
   std::map<int, std::vector<sketch::L0Sampler>> accum_;  // children merges
   std::map<int, sketch::SparseRecovery> sparseAccum_;    // SparseOneShot mode
-  std::map<std::pair<int, NodeId>, std::vector<Msg>> stash_;
+  /// Repetition stash, [neighbor slot][schedule slot][rep] flattened;
+  /// fixed shape, slots rewritten in place every scheduled round.
+  std::vector<Msg> stash_;
 
   bool dmComputed_ = false;
   std::vector<std::uint64_t> dmKeys_;
   std::vector<std::vector<gf::F16>> shares_;      // root: [chunk][tree]
   std::vector<std::vector<gf::F16>> recvShares_;  // node: [chunk][tree]
   std::map<std::pair<int, int>, std::uint16_t> fwdShare_;  // (tree,chunk)
+  MapInbox inbox_;  // reused delivery surface for the inner algorithm
 };
 
 }  // namespace

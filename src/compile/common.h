@@ -25,12 +25,33 @@
 
 #include "graph/graph.h"
 #include "graph/tree_packing.h"
+#include "sim/message.h"
 
 namespace mobile::compile {
 
 using graph::EdgeId;
 using graph::Graph;
 using graph::NodeId;
+
+/// Majority vote over `count` message copies at `copies`, ties broken by
+/// first occurrence; returns a reference into the caller's stash.  The
+/// no-alloc decode step of the hop-repetition engine, shared by the
+/// slot-indexed stashes of the byzantine and rewind compilers.
+[[nodiscard]] inline const sim::Msg& majorityRef(const sim::Msg* copies,
+                                                 std::size_t count) {
+  std::size_t bestIdx = 0;
+  int bestCount = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    int c = 0;
+    for (std::size_t j = 0; j < count; ++j)
+      if (copies[j] == copies[i]) ++c;
+    if (c > bestCount) {
+      bestCount = c;
+      bestIdx = i;
+    }
+  }
+  return copies[bestIdx];
+}
 
 // --- 61-bit message keys -----------------------------------------------------
 

@@ -39,21 +39,6 @@ class NullOutbox final : public Outbox {
   void to(NodeId, const Msg&) override {}
 };
 
-Msg majority(const std::vector<Msg>& copies) {
-  Msg best;
-  int bestCount = 0;
-  for (std::size_t i = 0; i < copies.size(); ++i) {
-    int count = 0;
-    for (std::size_t j = 0; j < copies.size(); ++j)
-      if (copies[j] == copies[i]) ++count;
-    if (count > bestCount) {
-      bestCount = count;
-      best = copies[i];
-    }
-  }
-  return best;
-}
-
 struct Tuple {
   std::uint64_t m = kAbsentSym;
   std::uint64_t r = 0;
@@ -113,17 +98,29 @@ class RewindNode final : public NodeState {
       inTrans_[nb.node] = {};
       outTrans_[nb.node] = {};
     }
+    // Fixed-shape tuple tables and stashes, indexed by adjacency position
+    // and rewritten in place each phase (sim::assignMsg keeps the words
+    // capacity) -- the compile/baselines.cc no-alloc idiom, replacing the
+    // per-round map/vector churn this compiler used to pay.
+    const std::size_t deg = g_.degree(self_);
+    sendTuple_.resize(deg);
+    recvTuple_.resize(deg);
+    initStash_.resize(deg * static_cast<std::size_t>(sched_.initRounds));
+    stash_.resize(deg * static_cast<std::size_t>(pk_->eta) *
+                  static_cast<std::size_t>(slots_.rho));
   }
 
   void send(int round, Outbox& out) override {
     const int o = (round - 1) % sched_.roundsPerGlobal;
     if (o == 0) startGlobalRound();
     if (o < sched_.initRounds) {
-      for (const auto& nb : g_.neighbors(self_)) {
-        const Tuple& t = sendTuple_.at(nb.node);
-        Msg m;
-        for (int i = 0; i < 4; ++i) m.push(t.word(i));
-        out.to(nb.node, m);
+      const auto& nbs = g_.neighbors(self_);
+      for (std::size_t i = 0; i < nbs.size(); ++i) {
+        const Tuple& t = sendTuple_[i];
+        scratch_.present = true;
+        scratch_.words.clear();
+        for (int w = 0; w < 4; ++w) scratch_.words.push_back(t.word(w));
+        out.to(nbs[i].node, scratch_);
       }
       return;
     }
@@ -138,16 +135,18 @@ class RewindNode final : public NodeState {
     const int g = round - 1;
     const int o = g % sched_.roundsPerGlobal;
     if (o < sched_.initRounds) {
-      for (const auto& nb : g_.neighbors(self_))
-        initStash_[nb.node].push_back(in.from(nb.node).toMsg());
+      const auto& nbs = g_.neighbors(self_);
+      const auto reps = static_cast<std::size_t>(sched_.initRounds);
+      for (std::size_t i = 0; i < nbs.size(); ++i)
+        sim::assignMsg(initStash_[i * reps + static_cast<std::size_t>(o)],
+                       in.from(nbs[i].node));
       if (o == sched_.initRounds - 1) {
-        for (auto& [nbr, copies] : initStash_) {
-          const Msg m = majority(copies);
-          copies.clear();
+        for (std::size_t i = 0; i < nbs.size(); ++i) {
+          const Msg& m = majorityRef(initStash_.data() + i * reps, reps);
           Tuple t;
-          for (int i = 0; i < 4; ++i)
-            t.setWord(i, m.atOr(static_cast<std::size_t>(i), 0));
-          recvTuple_[nbr] = t;
+          for (int w = 0; w < 4; ++w)
+            t.setWord(w, m.atOr(static_cast<std::size_t>(w), 0));
+          recvTuple_[i] = t;
         }
       }
       return;
@@ -203,17 +202,34 @@ class RewindNode final : public NodeState {
     return outTrans_.empty() ? 0 : outTrans_.begin()->second.size();
   }
 
+  /// The rho stash copies of (neighbor index, schedule slot).
+  [[nodiscard]] Msg* stashSlot(std::size_t nbIndex, int slot) {
+    return stash_.data() + (nbIndex * static_cast<std::size_t>(pk_->eta) +
+                            static_cast<std::size_t>(slot)) *
+                               static_cast<std::size_t>(slots_.rho);
+  }
+
+  /// Adjacency index of neighbor `u` (-1 when not adjacent).
+  [[nodiscard]] int nbIndexOf(NodeId u) const {
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i)
+      if (nbs[i].node == u) return static_cast<int>(i);
+    return -1;
+  }
+
   void startGlobalRound() {
     const auto sends = replayNext();
-    sendTuple_.clear();
-    recvTuple_.clear();
-    for (const auto& nb : g_.neighbors(self_)) {
+    const auto& nbs = g_.neighbors(self_);
+    // recvTuple_ entries are all rewritten at the end of the init phase,
+    // before anything reads them; sendTuple_ is refilled here in place.
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
       Tuple t;
-      t.m = sends.at(nb.node);
+      t.m = sends.at(nbs[i].node);
       t.r = rng_.next();
-      t.hash = hash::TranscriptFingerprint(t.r).hash(outTrans_.at(nb.node));
+      t.hash =
+          hash::TranscriptFingerprint(t.r).hash(outTrans_.at(nbs[i].node));
       t.len = gammaLen();
-      sendTuple_[nb.node] = t;
+      sendTuple_[i] = t;
     }
     seed_.clear();
     accum_.clear();
@@ -230,15 +246,18 @@ class RewindNode final : public NodeState {
   [[nodiscard]] std::vector<std::pair<std::uint64_t, std::int64_t>>
   correctionEntries() const {
     std::vector<std::pair<std::uint64_t, std::int64_t>> entries;
-    for (const auto& nb : g_.neighbors(self_)) {
-      const Tuple& s = sendTuple_.at(nb.node);
-      const Tuple& r = recvTuple_.at(nb.node);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const Tuple& s = sendTuple_[i];
+      const Tuple& r = recvTuple_[i];
       for (int c = 0; c < kChunksPerTuple; ++c) {
         entries.push_back(
-            {encodeKey(self_, nb.node, static_cast<unsigned>(c), s.chunk(c)),
+            {encodeKey(self_, nbs[i].node, static_cast<unsigned>(c),
+                       s.chunk(c)),
              +1});
         entries.push_back(
-            {encodeKey(nb.node, self_, static_cast<unsigned>(c), r.chunk(c)),
+            {encodeKey(nbs[i].node, self_, static_cast<unsigned>(c),
+                       r.chunk(c)),
              -1});
       }
     }
@@ -329,7 +348,9 @@ class RewindNode final : public NodeState {
     const int rep = slots_.repOf(r);
     const int slot = slots_.slotOf(r);
     const auto& view = pk_->view(self_);
-    for (const auto& nb : g_.neighbors(self_)) {
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const auto& nb = nbs[i];
       const auto it = view.edgeTrees.find(nb.node);
       if (it == view.edgeTrees.end() ||
           slot >= static_cast<int>(it->second.size()))
@@ -337,10 +358,12 @@ class RewindNode final : public NodeState {
       const int tree = it->second[static_cast<std::size_t>(slot)];
       const int d = view.depth[static_cast<std::size_t>(tree)];
       if (d < 0) continue;
-      stash_[{tree, nb.node}].push_back(in.from(nb.node).toMsg());
+      Msg* copies = stashSlot(i, slot);
+      sim::assignMsg(copies[static_cast<std::size_t>(rep)],
+                     in.from(nb.node));
       if (rep != slots_.rho - 1) continue;
-      const Msg m = majority(stash_[{tree, nb.node}]);
-      stash_.erase({tree, nb.node});
+      const Msg& m =
+          majorityRef(copies, static_cast<std::size_t>(slots_.rho));
       if (!m.present) continue;
       if (inSketch) {
         if (step <= D) {
@@ -430,9 +453,10 @@ class RewindNode final : public NodeState {
     for (const std::uint64_t key : dm) {
       const DecodedKey dec = decodeKey(key);
       if (dec.receiver != self_) continue;
-      const auto it = recvTuple_.find(dec.sender);
-      if (it == recvTuple_.end()) continue;
-      it->second.setChunk(static_cast<int>(dec.chunk), dec.payload);
+      const int idx = nbIndexOf(dec.sender);
+      if (idx < 0) continue;
+      recvTuple_[static_cast<std::size_t>(idx)].setChunk(
+          static_cast<int>(dec.chunk), dec.payload);
     }
   }
 
@@ -441,9 +465,10 @@ class RewindNode final : public NodeState {
   [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> localVote() const {
     // (GoodState(v), gamma(v)).
     std::uint64_t good = 1;
-    for (const auto& nb : g_.neighbors(self_)) {
-      const Tuple& t = recvTuple_.at(nb.node);
-      const auto& trans = inTrans_.at(nb.node);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const Tuple& t = recvTuple_[i];
+      const auto& trans = inTrans_.at(nbs[i].node);
       if (t.len != trans.size()) {
         good = 0;
         break;
@@ -517,7 +542,9 @@ class RewindNode final : public NodeState {
     const int rep = slots_.repOf(cr);
     const int slot = slots_.slotOf(cr);
     const auto& view = pk_->view(self_);
-    for (const auto& nb : g_.neighbors(self_)) {
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const auto& nb = nbs[i];
       const auto it = view.edgeTrees.find(nb.node);
       if (it == view.edgeTrees.end() ||
           slot >= static_cast<int>(it->second.size()))
@@ -525,10 +552,12 @@ class RewindNode final : public NodeState {
       const int tree = it->second[static_cast<std::size_t>(slot)];
       const int d = view.depth[static_cast<std::size_t>(tree)];
       if (d < 0) continue;
-      stash_[{tree, nb.node}].push_back(in.from(nb.node).toMsg());
+      Msg* copies = stashSlot(i, slot);
+      sim::assignMsg(copies[static_cast<std::size_t>(rep)],
+                     in.from(nb.node));
       if (rep != slots_.rho - 1) continue;
-      const Msg m = majority(stash_[{tree, nb.node}]);
-      stash_.erase({tree, nb.node});
+      const Msg& m =
+          majorityRef(copies, static_cast<std::size_t>(slots_.rho));
       if (!m.present || m.size() < 2) continue;
       if (step <= D) {
         // A child's aggregate.
@@ -579,9 +608,10 @@ class RewindNode final : public NodeState {
     consUpInit_.clear();
     // Rewind-if-error update (Section 4.1).
     if (verdict.first == 1) {
-      for (const auto& nb : g_.neighbors(self_)) {
-        inTrans_[nb.node].push_back(recvTuple_.at(nb.node).m);
-        outTrans_[nb.node].push_back(sendTuple_.at(nb.node).m);
+      const auto& nbs = g_.neighbors(self_);
+      for (std::size_t i = 0; i < nbs.size(); ++i) {
+        inTrans_[nbs[i].node].push_back(recvTuple_[i].m);
+        outTrans_[nbs[i].node].push_back(sendTuple_[i].m);
       }
     } else if (gammaLen() == verdict.second && gammaLen() > 0) {
       for (const auto& nb : g_.neighbors(self_)) {
@@ -650,9 +680,15 @@ class RewindNode final : public NodeState {
 
   std::map<NodeId, std::vector<std::uint64_t>> inTrans_;   // pi~(u, v)
   std::map<NodeId, std::vector<std::uint64_t>> outTrans_;  // pi(v, u)
-  std::map<NodeId, Tuple> sendTuple_, recvTuple_;
-  std::map<NodeId, std::vector<Msg>> initStash_;
-  std::map<std::pair<int, NodeId>, std::vector<Msg>> stash_;
+  /// Tuple tables and message stashes are adjacency-indexed fixed-shape
+  /// buffers rewritten in place (no per-round map churn):
+  ///   sendTuple_/recvTuple_   [neighbor]
+  ///   initStash_              [neighbor][init repetition]
+  ///   stash_                  [neighbor][schedule slot][rho repetition]
+  std::vector<Tuple> sendTuple_, recvTuple_;
+  std::vector<Msg> initStash_;
+  std::vector<Msg> stash_;
+  Msg scratch_;  // reused init-phase send buffer
 
   std::map<int, std::uint64_t> seed_;
   std::vector<std::uint64_t> treeSeed_;

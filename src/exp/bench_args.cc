@@ -12,13 +12,17 @@ namespace mobile::exp {
 namespace {
 [[noreturn]] void usage(const char* argv0, int code) {
   std::fprintf(code == 0 ? stdout : stderr,
-               "usage: %s [--smoke] [--threads N] [--json PATH] [--csv PATH]\n"
+               "usage: %s [--smoke] [--threads N] [--json PATH] [--csv PATH]"
+               " [--seed N] [--list]\n"
                "  --smoke       run the reduced (CI) grid: tiny n/f, few "
                "seeds\n"
                "  --threads N   parallel lanes (default/0: all hardware "
                "cores)\n"
                "  --json PATH   write aggregate group summaries as JSON\n"
-               "  --csv PATH    write raw per-trial records as CSV\n",
+               "  --csv PATH    write raw per-trial records as CSV\n"
+               "  --seed N      base seed offset for the sweeps (default 0)\n"
+               "  --list        print the scenario/registry names this "
+               "binary exposes\n",
                argv0);
   std::exit(code);
 }
@@ -47,6 +51,11 @@ BenchArgs parseBenchArgs(int& argc, char** argv, bool allowUnknown) {
       args.jsonPath = takeValue(argc, argv, i, "--json");
     } else if (std::strcmp(a, "--csv") == 0) {
       args.csvPath = takeValue(argc, argv, i, "--csv");
+    } else if (std::strcmp(a, "--seed") == 0) {
+      args.seed = std::strtoull(takeValue(argc, argv, i, "--seed"), nullptr,
+                                0);
+    } else if (std::strcmp(a, "--list") == 0) {
+      args.list = true;
     } else if (allowUnknown) {
       argv[out++] = argv[i];  // keep for the wrapped arg parser
     } else {

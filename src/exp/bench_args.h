@@ -1,15 +1,20 @@
 // Shared command-line surface for every bench (and example) binary.
 //
-// All harness binaries understand the same four flags, so CI can sweep the
+// All harness binaries understand the same flags, so CI can sweep the
 // whole bench fleet mechanically (scripts/smoke_bench.sh):
 //   --smoke          tiny n/f grids, few seeds -- seconds, not minutes
 //   --threads N      trial/engine parallelism (0 = hardware concurrency)
 //   --json PATH      write the aggregate GroupSummary report (BENCH_*.json)
 //   --csv PATH       write the raw per-trial records
+//   --seed N         base seed offset for the binary's sweeps (default 0)
+//   --list           print the scenario/registry names the binary exposes
+//                    and exit (scenario-ported benches list their scn
+//                    registry scenarios; mc_campaign lists all registries)
 // Recognized flags are consumed (argc/argv are compacted) so wrappers like
 // bench_micro can forward the remainder to Google Benchmark.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,6 +29,12 @@ struct BenchArgs {
   int threads = 0;
   std::string jsonPath;
   std::string csvPath;
+  /// Base seed offset applied by the binary to its sweeps (campaign
+  /// runners shift every grid point's seed axis by this).
+  std::uint64_t seed = 0;
+  /// --list: the binary should print its scenario / registry catalog and
+  /// exit instead of running.
+  bool list = false;
 };
 
 /// Parses and REMOVES recognized flags from argc/argv.  Prints usage and

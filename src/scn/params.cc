@@ -1,0 +1,161 @@
+#include "scn/params.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace mobile::scn {
+
+Params Params::fromTokens(const std::string& text) {
+  Params p;
+  std::istringstream is(text);
+  std::string tok;
+  while (is >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw ScnError("malformed token '" + tok + "' (want key=value)");
+    p.set(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return p;
+}
+
+void Params::set(const std::string& key, const std::string& value) {
+  // Keys and values flow verbatim into canonical point ids, group labels,
+  // and the campaign runner's JSONL resume records; quotes and backslashes
+  // would need an escaping round-trip there, so they are rejected at the
+  // door instead.
+  for (const std::string* s : {&key, &value}) {
+    if (s->find('"') != std::string::npos ||
+        s->find('\\') != std::string::npos)
+      throw ScnError("parameter '" + key +
+                     "': quotes and backslashes are not allowed");
+  }
+  for (auto& e : entries_) {
+    if (e.key == key) {
+      e.value = value;
+      return;
+    }
+  }
+  entries_.push_back({key, value, false});
+}
+
+void Params::erase(const std::string& key) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) { return e.key == key; }),
+                 entries_.end());
+}
+
+bool Params::has(const std::string& key) const { return find(key) != nullptr; }
+
+const Params::Entry* Params::find(const std::string& key) const {
+  for (const auto& e : entries_)
+    if (e.key == key) return &e;
+  return nullptr;
+}
+
+std::string Params::str(const std::string& key) const {
+  const Entry* e = find(key);
+  if (e == nullptr) throw ScnError("missing required parameter '" + key + "'");
+  e->consumed = true;
+  return e->value;
+}
+
+std::string Params::str(const std::string& key,
+                        const std::string& dflt) const {
+  const Entry* e = find(key);
+  if (e == nullptr) return dflt;
+  e->consumed = true;
+  return e->value;
+}
+
+namespace {
+long parseLong(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0')
+    throw ScnError("parameter '" + key + "': '" + value +
+                   "' is not an integer");
+  return v;
+}
+
+double parseReal(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0')
+    throw ScnError("parameter '" + key + "': '" + value +
+                   "' is not a number");
+  return v;
+}
+}  // namespace
+
+long Params::integer(const std::string& key) const {
+  return parseLong(key, str(key));
+}
+
+long Params::integer(const std::string& key, long dflt) const {
+  const Entry* e = find(key);
+  if (e == nullptr) return dflt;
+  e->consumed = true;
+  return parseLong(key, e->value);
+}
+
+std::uint64_t Params::u64(const std::string& key, std::uint64_t dflt) const {
+  const Entry* e = find(key);
+  if (e == nullptr) return dflt;
+  e->consumed = true;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(e->value.c_str(), &end, 0);
+  if (end == e->value.c_str() || *end != '\0')
+    throw ScnError("parameter '" + key + "': '" + e->value +
+                   "' is not an unsigned integer");
+  return v;
+}
+
+double Params::real(const std::string& key, double dflt) const {
+  const Entry* e = find(key);
+  if (e == nullptr) return dflt;
+  e->consumed = true;
+  return parseReal(key, e->value);
+}
+
+std::vector<std::string> Params::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.key);
+  return out;
+}
+
+std::vector<std::string> Params::unconsumedKeys() const {
+  std::vector<std::string> out;
+  for (const auto& e : entries_)
+    if (!e.consumed) out.push_back(e.key);
+  return out;
+}
+
+namespace {
+std::string joinSorted(std::vector<std::string> parts) {
+  std::sort(parts.begin(), parts.end());
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += ' ';
+    out += p;
+  }
+  return out;
+}
+}  // namespace
+
+std::string Params::consumedCanonical() const {
+  std::vector<std::string> parts;
+  for (const auto& e : entries_)
+    if (e.consumed) parts.push_back(e.key + "=" + e.value);
+  return joinSorted(std::move(parts));
+}
+
+std::string Params::canonical() const {
+  std::vector<std::string> parts;
+  parts.reserve(entries_.size());
+  for (const auto& e : entries_) parts.push_back(e.key + "=" + e.value);
+  return joinSorted(std::move(parts));
+}
+
+}  // namespace mobile::scn

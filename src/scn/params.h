@@ -1,0 +1,81 @@
+// Key-value parameter bags for the scenario registries (src/scn).
+//
+// Every factory in the scenario layer -- graph families, payload
+// algorithms, compilers, adversary strategies -- takes a scn::Params: an
+// *ordered* string->string map parsed from "key=value" tokens (campaign
+// lines, CLI arguments).  Three properties carry the subsystem:
+//
+//   * typed getters (str/integer/u64/real) with defaults, throwing
+//     scn::ScnError on malformed values instead of silently coercing;
+//   * consumed-key tracking: every getter marks its key, so after a
+//     scenario is built the builder can reject keys nothing ever read --
+//     a typo'd axis ("adversary=..." for "adv=...") fails loudly instead
+//     of silently sweeping nothing;
+//   * a canonical form (sorted "k=v" join) that serves as the
+//     grid-point identity for group labels, fingerprint caching, and the
+//     campaign runner's JSONL resume.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mobile::scn {
+
+/// Scenario-layer configuration error (unknown registry name, malformed
+/// value, unread key, bad campaign syntax).  Thrown -- benches print it
+/// and exit, tests assert on it.
+class ScnError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Params {
+ public:
+  Params() = default;
+
+  /// Parses whitespace-separated "key=value" tokens ("n=16 f=1..4").
+  /// Duplicate keys: the later token wins (scenario overrides `set`).
+  [[nodiscard]] static Params fromTokens(const std::string& text);
+
+  /// Inserts or overwrites; insertion order is preserved (it defines the
+  /// sweep-axis order of expandGrid).
+  void set(const std::string& key, const std::string& value);
+  void erase(const std::string& key);
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  // --- typed getters (all mark the key consumed) ---------------------------
+  [[nodiscard]] std::string str(const std::string& key) const;  // required
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& dflt) const;
+  [[nodiscard]] long integer(const std::string& key) const;  // required
+  [[nodiscard]] long integer(const std::string& key, long dflt) const;
+  [[nodiscard]] std::uint64_t u64(const std::string& key,
+                                  std::uint64_t dflt) const;
+  [[nodiscard]] double real(const std::string& key, double dflt) const;
+
+  /// Keys in insertion order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+  /// Keys no getter ever touched.
+  [[nodiscard]] std::vector<std::string> unconsumedKeys() const;
+  /// Keys read so far (sorted) -- the identity of whatever was built from
+  /// them (scenario builders cache fault-free fingerprints under the keys
+  /// the graph + payload factories consumed).
+  [[nodiscard]] std::string consumedCanonical() const;
+  /// Sorted "k=v" join over ALL keys -- the grid-point identity.
+  [[nodiscard]] std::string canonical() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    mutable bool consumed = false;
+  };
+
+  [[nodiscard]] const Entry* find(const std::string& key) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mobile::scn

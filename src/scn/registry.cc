@@ -1,0 +1,345 @@
+#include "scn/registry.h"
+
+#include <ostream>
+
+#include "adv/strategies.h"
+#include "algo/mst.h"
+#include "algo/payloads.h"
+#include "compile/baselines.h"
+#include "compile/byz_tree_compiler.h"
+#include "compile/rewind_compiler.h"
+#include "compile/secure_broadcast.h"
+#include "compile/static_to_mobile.h"
+#include "exp/precompute_cache.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace mobile::scn {
+
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+// --- shared parameter conventions -------------------------------------------
+//
+//   n, rows/cols, dim, d, p, chords, bridges, span   graph family shape
+//   gseed        randomized-generator seed (NOT the trial seed)
+//   rounds       payload round knob (gossip iterations, pingpong volleys)
+//   root         payload root node (bfs, sum)
+//   input        payload input fill value
+//   mask         payload output domain in bits (compiled payloads: 32)
+//   f            adversary budget / compiler resilience target
+//   packing      trusted preprocessing: star (cliques) or greedy
+//   t            static_to_mobile threshold (0 = inner rounds)
+//   w            secure_broadcast secret width in words
+//   aseed        adversary RNG seed (default derives from the trial seed)
+//   quiet/width  burst_byz schedule; budget (0 = _rounds/4)
+//   seed         trial seed -- consumed by the scenario builder
+//   _rounds      injected by the builder: the compiled round count
+
+std::uint64_t graphSeed(const Params& p) { return p.u64("gseed", 1); }
+
+/// Adversary seed: explicit aseed wins; otherwise derive from the trial
+/// seed so seed sweeps see fresh (but reproducible) adversary randomness.
+std::uint64_t advSeed(const Params& p) {
+  return p.u64("aseed", 31 + p.u64("seed", 1));
+}
+
+int advF(const Params& p) { return static_cast<int>(p.integer("f", 1)); }
+
+std::vector<graph::EdgeId> firstEdges(const Params& p) {
+  std::vector<graph::EdgeId> targets;
+  const long f = p.integer("f", 1);
+  for (long i = 0; i < f; ++i)
+    targets.push_back(static_cast<graph::EdgeId>(i));
+  return targets;
+}
+
+/// Trusted-preprocessing packing, shared across grid points with the same
+/// graph fingerprint via the global PrecomputeCache.
+std::shared_ptr<const compile::PackingKnowledge> packingFor(const Graph& g,
+                                                            const Params& p) {
+  const std::string kind = p.str("packing", "star");
+  if (kind == "star") return exp::PrecomputeCache::global().starPacking(g, 2);
+  if (kind == "greedy") {
+    const int k = static_cast<int>(p.integer("k", 4));
+    const auto root = static_cast<NodeId>(p.integer("root", 0));
+    const int cap =
+        static_cast<int>(p.integer("depthcap", graph::diameter(g) + 1));
+    return exp::PrecomputeCache::global().greedyPacking(g, k, root, cap);
+  }
+  throw ScnError("unknown packing '" + kind + "' (star, greedy)");
+}
+
+std::vector<std::uint64_t> inputFill(const Graph& g, const Params& p,
+                                     std::uint64_t dflt) {
+  return std::vector<std::uint64_t>(
+      static_cast<std::size_t>(g.nodeCount()), p.u64("input", dflt));
+}
+
+void registerGraphs(Registry<GraphFactory>& r) {
+  r.add("clique", "K_n (n)", [](const Params& p) {
+    return graph::clique(static_cast<NodeId>(p.integer("n")));
+  });
+  r.add("cycle", "C_n (n)", [](const Params& p) {
+    return graph::cycle(static_cast<NodeId>(p.integer("n")));
+  });
+  r.add("hypercube", "2^dim nodes (dim)", [](const Params& p) {
+    return graph::hypercube(static_cast<int>(p.integer("dim")));
+  });
+  r.add("torus", "rows x cols grid (rows, cols)", [](const Params& p) {
+    return graph::torus(static_cast<NodeId>(p.integer("rows")),
+                        static_cast<NodeId>(p.integer("cols")));
+  });
+  r.add("random_regular", "random d-regular expander (n, d, gseed)",
+        [](const Params& p) {
+          util::Rng rng(graphSeed(p));
+          return graph::randomRegular(static_cast<NodeId>(p.integer("n")),
+                                      static_cast<int>(p.integer("d")), rng);
+        });
+  r.add("erdos_renyi", "connected G(n, p) (n, p, gseed)",
+        [](const Params& p) {
+          util::Rng rng(graphSeed(p));
+          return graph::erdosRenyiConnected(
+              static_cast<NodeId>(p.integer("n")), p.real("p", 0.5), rng);
+        });
+  r.add("cycle_chords", "cycle plus random chords (n, chords, gseed)",
+        [](const Params& p) {
+          util::Rng rng(graphSeed(p));
+          return graph::cycleWithChords(
+              static_cast<NodeId>(p.integer("n")),
+              static_cast<int>(p.integer("chords")), rng);
+        });
+  r.add("dumbbell", "two cliques joined by bridges (n, bridges)",
+        [](const Params& p) {
+          return graph::dumbbell(static_cast<NodeId>(p.integer("n")),
+                                 static_cast<int>(p.integer("bridges", 1)));
+        });
+  r.add("circulant", "node i ~ i +/- 1..span (n, span)",
+        [](const Params& p) {
+          return graph::circulant(static_cast<NodeId>(p.integer("n")),
+                                  static_cast<int>(p.integer("span")));
+        });
+}
+
+void registerAlgos(Registry<AlgoFactory>& r) {
+  r.add("floodmax", "max-id flooding leader election (rounds = diam + 1)",
+        [](const Graph& g, const Params& p) {
+          const int rounds = static_cast<int>(
+              p.integer("rounds", graph::diameter(g) + 1));
+          return algo::makeFloodMax(g, rounds);
+        });
+  r.add("bfs", "BFS layering from root (root)",
+        [](const Graph& g, const Params& p) {
+          const auto root = static_cast<NodeId>(p.integer("root", 0));
+          return algo::makeBfsTree(g, root, graph::diameter(g));
+        });
+  r.add("sum", "sum of inputs via convergecast + broadcast (root, input)",
+        [](const Graph& g, const Params& p) {
+          const auto root = static_cast<NodeId>(p.integer("root", 0));
+          return algo::makeSumAggregate(g, root, graph::diameter(g),
+                                        inputFill(g, p, 7));
+        });
+  r.add("gossip",
+        "neighborhood hash mixing, the corruption canary "
+        "(rounds, input, mask)",
+        [](const Graph& g, const Params& p) {
+          return algo::makeGossipHash(
+              g, static_cast<int>(p.integer("rounds", 2)),
+              inputFill(g, p, 9),
+              static_cast<unsigned>(p.integer("mask", 64)));
+        });
+  r.add("pingpong",
+        "adaptive two-party interaction on edge a-b "
+        "(a, b, rounds, mask)",
+        [](const Graph& g, const Params& p) {
+          return algo::makePingPong(
+              g, static_cast<NodeId>(p.integer("a", 0)),
+              static_cast<NodeId>(p.integer("b", 1)),
+              static_cast<int>(p.integer("rounds", 2)),
+              p.u64("inputa", 0x111), p.u64("inputb", 0x222),
+              static_cast<unsigned>(p.integer("mask", 64)));
+        });
+  r.add("mst", "Boruvka minimum spanning tree",
+        [](const Graph& g, const Params& p) {
+          return algo::makeBoruvkaMst(
+              g, static_cast<int>(p.integer("floodlen", 0)));
+        });
+  r.add("secure_broadcast",
+        "Theorem A.4 share-dispersal broadcast (w, f, packing)",
+        [](const Graph& g, const Params& p) {
+          const long w = p.integer("w", 1);
+          std::vector<std::uint64_t> secret;
+          for (long i = 0; i < w; ++i)
+            secret.push_back(0xbeef00 + static_cast<std::uint64_t>(i));
+          return compile::makeMobileSecureBroadcast(g, packingFor(g, p),
+                                                    std::move(secret),
+                                                    advF(p));
+        });
+}
+
+void registerCompilers(Registry<CompileFactory>& r) {
+  r.add("none", "run the payload uncompiled",
+        [](const Graph&, const sim::Algorithm& inner, const Params&) {
+          return inner;
+        });
+  r.add("naive_repetition",
+        "2f+1 per-edge repetition with majority (the strawman) (f)",
+        [](const Graph& g, const sim::Algorithm& inner, const Params& p) {
+          return compile::compileNaiveRepetition(g, inner, advF(p));
+        });
+  r.add("byz_tree",
+        "Theorem 3.5 byzantine tree-packing compiler "
+        "(f, packing, mode=l0|sparse)",
+        [](const Graph& g, const sim::Algorithm& inner, const Params& p) {
+          compile::ByzOptions opts;
+          const std::string mode = p.str("mode", "l0");
+          if (mode == "sparse")
+            opts.correction = compile::CorrectionMode::SparseOneShot;
+          else if (mode != "l0")
+            throw ScnError("byz_tree mode '" + mode + "' (l0, sparse)");
+          return compile::compileByzantineTree(g, inner, packingFor(g, p),
+                                               advF(p), opts);
+        });
+  r.add("rewind",
+        "Theorem 4.1 rewind-if-error compiler (f, packing, multiplier)",
+        [](const Graph& g, const sim::Algorithm& inner, const Params& p) {
+          compile::RewindOptions opts;
+          opts.multiplier =
+              static_cast<int>(p.integer("multiplier", opts.multiplier));
+          return compile::compileRewind(g, inner, packingFor(g, p), advF(p),
+                                        opts);
+        });
+  r.add("static_to_mobile",
+        "Theorem 1.2 key-pool masking compiler "
+        "(t; 0 = tmul x inner rounds)",
+        [](const Graph& g, const sim::Algorithm& inner, const Params& p) {
+          int t = static_cast<int>(p.integer("t", 0));
+          if (t <= 0)
+            t = static_cast<int>(p.integer("tmul", 1)) * inner.rounds;
+          return compile::compileStaticToMobile(g, inner, t);
+        });
+}
+
+void registerAdversaries(Registry<AdversaryFactory>& r) {
+  using P = std::unique_ptr<adv::Adversary>;
+  r.add("none", "fault-free execution",
+        [](const Graph&, const Params&) -> P { return nullptr; });
+  r.add("random_eaves", "f fresh random edges observed per round (f, aseed)",
+        [](const Graph&, const Params& p) -> P {
+          return std::make_unique<adv::RandomEavesdropper>(advF(p),
+                                                           advSeed(p));
+        });
+  r.add("camping_eaves", "observes edges 0..f-1 every round (f)",
+        [](const Graph&, const Params& p) -> P {
+          return std::make_unique<adv::CampingEavesdropper>(firstEdges(p),
+                                                            advF(p));
+        });
+  r.add("sweeping_eaves", "rotates observation over all edges (f)",
+        [](const Graph&, const Params& p) -> P {
+          return std::make_unique<adv::SweepingEavesdropper>(advF(p));
+        });
+  r.add("random_byz", "f random edges garbled per round (f, aseed)",
+        [](const Graph&, const Params& p) -> P {
+          return std::make_unique<adv::RandomByzantine>(advF(p), advSeed(p));
+        });
+  r.add("camping_byz",
+        "garbles edges 0..f-1 every round -- the repetition killer "
+        "(f, aseed)",
+        [](const Graph&, const Params& p) -> P {
+          return std::make_unique<adv::CampingByzantine>(firstEdges(p),
+                                                         advF(p), advSeed(p));
+        });
+  r.add("rotating_byz", "rotates corruption over all edges (f, aseed)",
+        [](const Graph&, const Params& p) -> P {
+          return std::make_unique<adv::RotatingByzantine>(advF(p),
+                                                          advSeed(p));
+        });
+  r.add("tree_targeted_byz",
+        "spreads hits over distinct packing trees (f, packing, aseed)",
+        [](const Graph& g, const Params& p) -> P {
+          const auto packing =
+              p.str("packing", "star") == "star"
+                  ? exp::PrecomputeCache::global().starTreePacking(g)
+                  : exp::PrecomputeCache::global().greedyTreePacking(
+                        g, static_cast<int>(p.integer("k", 4)),
+                        static_cast<NodeId>(p.integer("root", 0)),
+                        static_cast<int>(
+                            p.integer("depthcap", graph::diameter(g) + 1)));
+          return std::make_unique<adv::TreeTargetedByzantine>(
+              advF(p), *packing, g, advSeed(p));
+        });
+  r.add("burst_byz",
+        "round-error-rate bursts: quiet, then floods "
+        "(f, budget [0 = _rounds/4], quiet, width, aseed)",
+        [](const Graph&, const Params& p) -> P {
+          long budget = p.integer("budget", 0);
+          if (budget <= 0) budget = p.integer("_rounds", 400) / 4;
+          return std::make_unique<adv::BurstByzantine>(
+              advF(p), budget, static_cast<int>(p.integer("quiet", 9)),
+              static_cast<int>(p.integer("width", 40)), advSeed(p));
+        });
+  r.add("bitflip_byz", "flips one low bit per present message (f, aseed)",
+        [](const Graph&, const Params& p) -> P {
+          return std::make_unique<adv::BitflipByzantine>(advF(p), advSeed(p));
+        });
+}
+
+}  // namespace
+
+Registry<GraphFactory>& graphs() {
+  static Registry<GraphFactory>* r = [] {
+    auto* reg = new Registry<GraphFactory>("graph family");
+    registerGraphs(*reg);
+    return reg;
+  }();
+  return *r;
+}
+
+Registry<AlgoFactory>& algos() {
+  static Registry<AlgoFactory>* r = [] {
+    auto* reg = new Registry<AlgoFactory>("payload algorithm");
+    registerAlgos(*reg);
+    return reg;
+  }();
+  return *r;
+}
+
+Registry<CompileFactory>& compilers() {
+  static Registry<CompileFactory>* r = [] {
+    auto* reg = new Registry<CompileFactory>("compiler");
+    registerCompilers(*reg);
+    return reg;
+  }();
+  return *r;
+}
+
+Registry<AdversaryFactory>& adversaries() {
+  static Registry<AdversaryFactory>* r = [] {
+    auto* reg = new Registry<AdversaryFactory>("adversary strategy");
+    registerAdversaries(*reg);
+    return reg;
+  }();
+  return *r;
+}
+
+namespace {
+template <typename Fn>
+void printCatalog(std::ostream& os, const char* title,
+                  const Registry<Fn>& reg) {
+  os << title << ":\n";
+  for (const auto& e : reg.entries())
+    os << "  " << e.name << "  --  " << e.help << "\n";
+}
+}  // namespace
+
+void printRegistries(std::ostream& os) {
+  printCatalog(os, "graph families (graph=...)", graphs());
+  printCatalog(os, "payload algorithms (algo=...)", algos());
+  printCatalog(os, "compilers (compile=...)", compilers());
+  printCatalog(os, "adversary strategies (adv=...)", adversaries());
+}
+
+}  // namespace mobile::scn

@@ -1,0 +1,118 @@
+// String-keyed factory registries: the scenario layer's vocabulary.
+//
+// Adding a point to the paper's experiment grid used to mean writing a
+// bench main() in C++.  The registries turn each axis into data: a graph
+// family, payload algorithm, compiler, or adversary strategy is looked up
+// by name and built from a scn::Params bag, so a campaign line like
+//
+//   scenario graph=clique n=64 algo=gossip compile=byz_tree f=1..4
+//            adv=bitflip_byz seed=0..4
+//
+// reaches every construction in the library without new binaries.  The
+// built-in families are registered on first access (registry.cc); benches
+// and tests may add their own via add().  Unknown names throw ScnError
+// listing what IS registered -- the --list flag prints the same catalog.
+//
+// Factories must be deterministic functions of (inputs, Params): the
+// campaign runner's resume and the determinism tests both rely on a grid
+// point rebuilding the exact same trial every time.  Trusted
+// preprocessing (tree packings) is fetched through exp::PrecomputeCache,
+// so grid points sharing a graph fingerprint share one packing
+// computation.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adv/adversary.h"
+#include "graph/graph.h"
+#include "scn/params.h"
+#include "sim/node.h"
+
+namespace mobile::scn {
+
+template <typename Fn>
+class Registry {
+ public:
+  struct Entry {
+    std::string name;
+    std::string help;
+    Fn fn;
+  };
+
+  explicit Registry(std::string what) : what_(std::move(what)) {}
+
+  /// Registers (or replaces) `name`.
+  void add(const std::string& name, const std::string& help, Fn fn) {
+    for (auto& e : entries_) {
+      if (e.name == name) {
+        e.help = help;
+        e.fn = std::move(fn);
+        return;
+      }
+    }
+    entries_.push_back({name, help, std::move(fn)});
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    for (const auto& e : entries_)
+      if (e.name == name) return true;
+    return false;
+  }
+
+  /// Throws ScnError naming the known entries on a miss.
+  [[nodiscard]] const Fn& get(const std::string& name) const {
+    for (const auto& e : entries_)
+      if (e.name == name) return e.fn;
+    throw ScnError("unknown " + what_ + " '" + name + "' (registered: " +
+                   names() + ")");
+  }
+
+  /// Registration-order catalog (the --list surface).
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  [[nodiscard]] std::string names() const {
+    std::string out;
+    for (const auto& e : entries_) {
+      if (!out.empty()) out += ", ";
+      out += e.name;
+    }
+    return out;
+  }
+
+ private:
+  std::string what_;
+  std::vector<Entry> entries_;
+};
+
+/// Builds a graph from its family parameters (n, d, p, gseed, ...).
+using GraphFactory = std::function<graph::Graph(const Params&)>;
+
+/// Builds the fault-free payload algorithm A.
+using AlgoFactory =
+    std::function<sim::Algorithm(const graph::Graph&, const Params&)>;
+
+/// Wraps a payload into its compiled form (reads f and compiler knobs).
+using CompileFactory = std::function<sim::Algorithm(
+    const graph::Graph&, const sim::Algorithm&, const Params&)>;
+
+/// Builds a fresh adversary instance (strategies are stateful; one per
+/// trial).  Reads f, aseed, and strategy knobs; `_rounds` is injected by
+/// the scenario builder with the compiled round count (budget sizing).
+using AdversaryFactory = std::function<std::unique_ptr<adv::Adversary>(
+    const graph::Graph&, const Params&)>;
+
+/// Process-wide registries, populated with every built-in family on first
+/// access (thread-safe; C++ static-local initialization).
+[[nodiscard]] Registry<GraphFactory>& graphs();
+[[nodiscard]] Registry<AlgoFactory>& algos();
+[[nodiscard]] Registry<CompileFactory>& compilers();
+[[nodiscard]] Registry<AdversaryFactory>& adversaries();
+
+/// Human-readable catalog of all four registries (the --list output).
+void printRegistries(std::ostream& os);
+
+}  // namespace mobile::scn

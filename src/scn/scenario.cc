@@ -1,0 +1,143 @@
+#include "scn/scenario.h"
+
+#include <cstdlib>
+
+#include "sim/network.h"
+
+namespace mobile::scn {
+
+std::vector<std::string> expandValue(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    std::size_t comma = value.find(',', start);
+    if (comma == std::string::npos) comma = value.size();
+    const std::string piece = value.substr(start, comma - start);
+    const std::size_t dots = piece.find("..");
+    bool asRange = false;
+    if (dots != std::string::npos && dots > 0) {
+      const std::string lo = piece.substr(0, dots);
+      const std::string hi = piece.substr(dots + 2);
+      char* loEnd = nullptr;
+      char* hiEnd = nullptr;
+      const long a = std::strtol(lo.c_str(), &loEnd, 10);
+      const long b = std::strtol(hi.c_str(), &hiEnd, 10);
+      if (loEnd != lo.c_str() && *loEnd == '\0' && hiEnd != hi.c_str() &&
+          *hiEnd == '\0') {
+        if (a > b)
+          throw ScnError("descending range '" + piece + "' in sweep value");
+        for (long v = a; v <= b; ++v) out.push_back(std::to_string(v));
+        asRange = true;
+      }
+    }
+    if (!asRange) out.push_back(piece);
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> sweptKeys(const Params& params) {
+  const Params base = params;  // consumption-tracking copy
+  std::vector<std::string> out;
+  for (const auto& key : base.keys())
+    if (expandValue(base.str(key)).size() > 1) out.push_back(key);
+  return out;
+}
+
+std::vector<Params> expandGrid(const Params& params) {
+  const Params base = params;  // keep the caller's consumed flags untouched
+  std::vector<Params> points{Params()};
+  for (const auto& key : base.keys()) {
+    const std::vector<std::string> values = expandValue(base.str(key));
+    std::vector<Params> next;
+    next.reserve(points.size() * values.size());
+    for (const auto& point : points) {
+      for (const auto& value : values) {
+        Params p = point;
+        p.set(key, value);
+        next.push_back(std::move(p));
+      }
+    }
+    points = std::move(next);
+  }
+  return points;
+}
+
+std::string groupLabel(const std::string& scenarioName, const Params& point,
+                       const std::vector<std::string>& swept) {
+  const Params p = point;  // consumption-tracking copy
+  std::string label = scenarioName;
+  for (const auto& key : swept) {
+    if (key == "seed") continue;
+    label += " " + key + "=" + p.str(key, "?");
+  }
+  return label;
+}
+
+exp::TrialSpec TrialBuilder::build(const Params& point,
+                                   const std::string& group) {
+  Params p = point;  // consumption-tracked working copy
+  const std::string graphName = p.str("graph");
+  const graph::Graph g = graphs().get(graphName)(p);
+
+  const std::string algoName = p.str("algo", "gossip");
+  const sim::Algorithm inner = algos().get(algoName)(g, p);
+
+  // The correctness criterion for every compiled execution is the
+  // payload's fault-free outputs; at this point exactly the graph + payload
+  // axes have been consumed, so their canonical form keys the cache (an
+  // f / adversary / seed sweep computes the fingerprint once).
+  const std::string expectKey = p.consumedCanonical();
+  std::uint64_t expect = 0;
+  if (const auto it = expectCache_.find(expectKey);
+      it != expectCache_.end()) {
+    expect = it->second;
+    ++hits_;
+  } else {
+    expect = sim::faultFreeFingerprint(g, inner, 1);
+    expectCache_.emplace(expectKey, expect);
+  }
+
+  const std::string compileName = p.str("compile", "none");
+  const sim::Algorithm compiled =
+      compilers().get(compileName)(g, inner, p);
+
+  const std::string advName = p.str("adv", "none");
+  const AdversaryFactory& advFactory = adversaries().get(advName);
+  // Probe-build one instance now so malformed adversary parameters fail at
+  // expansion time (and their keys count as consumed).
+  p.set("_rounds", std::to_string(compiled.rounds));
+  { const auto probe = advFactory(g, p); }
+
+  const std::uint64_t seed = p.u64("seed", 1);
+  for (const auto& key : p.unconsumedKeys()) {
+    if (key == "_rounds") continue;
+    throw ScnError("parameter '" + key + "' was not consumed by scenario '" +
+                   group + "' -- typo'd axis?");
+  }
+
+  exp::TrialSpec spec;
+  spec.group = group;
+  spec.seed = seed;
+  spec.expect = expect;
+  spec.graphFactory = [g] { return g; };
+  const Params frozen = point;
+  spec.algoFactory = [algoName, compileName,
+                      frozen](const graph::Graph& gg) {
+    Params q = frozen;
+    const sim::Algorithm in = algos().get(algoName)(gg, q);
+    return compilers().get(compileName)(gg, in, q);
+  };
+  if (advName != "none") {
+    const int compiledRounds = compiled.rounds;
+    spec.adversaryFactory = [advName, frozen,
+                             compiledRounds](const graph::Graph& gg) {
+      Params q = frozen;
+      q.set("_rounds", std::to_string(compiledRounds));
+      return adversaries().get(advName)(gg, q);
+    };
+  }
+  return spec;
+}
+
+}  // namespace mobile::scn

@@ -78,7 +78,8 @@ TEST(BitExtract, PairwiseOutputIndependence) {
       x[static_cast<std::size_t>(i)] =
           F16(static_cast<std::uint16_t>(rng.next()));
     const auto y = ex.extract(x);
-    cells[(y[0].value() & 1) * 2 + (y[1].value() & 1)]++;
+    cells[static_cast<std::size_t>((y[0].value() & 1) * 2 +
+                                   (y[1].value() & 1))]++;
   }
   EXPECT_LT(util::chiSquareUniform(cells), util::chiSquareCritical999(3));
 }

@@ -1,0 +1,184 @@
+// The campaign runner's contracts: file-format parsing (directives,
+// defaults, continuation, line-numbered errors), expansion identity,
+// campaign-vs-hand-rolled-driver determinism, JSONL streaming, and
+// resume-on-rerun skipping completed grid points.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+#include "scn/campaign.h"
+
+using namespace mobile;
+
+namespace {
+
+const char* kSmallCampaign =
+    "# comment line\n"
+    "name unit\n"
+    "set seed=0..1\n"
+    "scenario name=plain graph=clique n=6 algo=gossip rounds=2\n"
+    "scenario name=byz graph=clique n=6 algo=gossip mask=32 \\\n"
+    "         compile=byz_tree f=1 adv=bitflip_byz\n";
+
+std::string tempPath(const char* base) {
+  return ::testing::TempDir() + base;
+}
+
+}  // namespace
+
+TEST(CampaignParse, DirectivesDefaultsAndContinuation) {
+  const scn::Campaign c = scn::parseCampaignText(kSmallCampaign);
+  EXPECT_EQ(c.name, "unit");
+  ASSERT_EQ(c.scenarios.size(), 2u);
+  EXPECT_EQ(c.scenarios[0].name, "plain");
+  EXPECT_EQ(c.scenarios[1].name, "byz");
+  // `set` defaults reach both scenarios; the continuation joined the
+  // second line's axes.
+  EXPECT_EQ(c.scenarios[0].params.str("seed"), "0..1");
+  EXPECT_EQ(c.scenarios[1].params.str("adv"), "bitflip_byz");
+}
+
+TEST(CampaignParse, ScenarioOverridesDefaults) {
+  const scn::Campaign c = scn::parseCampaignText(
+      "set f=1 seed=0..2\nscenario graph=clique n=6 f=3\n");
+  ASSERT_EQ(c.scenarios.size(), 1u);
+  EXPECT_EQ(c.scenarios[0].params.str("f"), "3");
+  EXPECT_EQ(c.scenarios[0].params.str("seed"), "0..2");
+  EXPECT_EQ(c.scenarios[0].name, "s0");  // auto label
+}
+
+TEST(CampaignParse, ErrorsCarryLineNumbers) {
+  try {
+    (void)scn::parseCampaignText("name x\nfrobnicate a=1\n");
+    FAIL() << "expected ScnError";
+  } catch (const scn::ScnError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW((void)scn::parseCampaignText("scenario\n"), scn::ScnError);
+  EXPECT_THROW((void)scn::loadCampaignFile("/nonexistent.campaign"),
+               scn::ScnError);
+}
+
+TEST(CampaignExpand, PointsCarryGroupsAndIds) {
+  const scn::Campaign c = scn::parseCampaignText(kSmallCampaign);
+  const auto points = scn::expandCampaign(c);
+  ASSERT_EQ(points.size(), 4u);  // 2 scenarios x 2 seeds
+  EXPECT_EQ(points[0].scenario, "plain");
+  EXPECT_EQ(points[0].group, "plain");  // only the seed axis swept
+  EXPECT_NE(points[0].id, points[1].id);
+  EXPECT_EQ(points[2].scenario, "byz");
+  // Ids are scenario-qualified canonical forms -- stable across runs.
+  EXPECT_NE(points[2].id.find("byz|"), std::string::npos);
+}
+
+TEST(CampaignRun, MatchesHandRolledDriverLoop) {
+  const scn::Campaign c = scn::parseCampaignText(kSmallCampaign);
+
+  scn::CampaignOptions opts;
+  opts.threads = 2;
+  opts.jsonlPath = tempPath("campaign_det.jsonl");
+  std::remove(opts.jsonlPath.c_str());
+  const scn::CampaignRun run = scn::runCampaign(c, opts);
+  ASSERT_EQ(run.executed, 4u);
+
+  // Hand-rolled: same points, fresh builder, sequential driver.
+  scn::TrialBuilder builder;
+  std::vector<exp::TrialSpec> specs;
+  for (const auto& p : scn::expandCampaign(c))
+    specs.push_back(builder.build(p.params, p.group));
+  exp::ExperimentDriver driver({1});
+  const auto byHand = driver.runAll(specs);
+
+  ASSERT_EQ(byHand.size(), run.results.size());
+  for (std::size_t i = 0; i < byHand.size(); ++i) {
+    EXPECT_EQ(byHand[i].fingerprint, run.results[i].fingerprint) << i;
+    EXPECT_EQ(byHand[i].rounds, run.results[i].rounds) << i;
+    EXPECT_EQ(byHand[i].corruptions, run.results[i].corruptions) << i;
+    EXPECT_EQ(byHand[i].ok, run.results[i].ok) << i;
+  }
+  std::remove(opts.jsonlPath.c_str());
+}
+
+TEST(CampaignRun, JsonlStreamsOneLinePerTrial) {
+  const scn::Campaign c = scn::parseCampaignText(kSmallCampaign);
+  scn::CampaignOptions opts;
+  opts.jsonlPath = tempPath("campaign_stream.jsonl");
+  std::remove(opts.jsonlPath.c_str());
+  (void)scn::runCampaign(c, opts);
+
+  std::ifstream is(opts.jsonlPath);
+  ASSERT_TRUE(is.is_open());
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    ++lines;
+    EXPECT_NE(line.find("\"point\":\""), std::string::npos);
+    EXPECT_NE(line.find("\"fingerprint\":\"0x"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 4u);
+  EXPECT_EQ(scn::completedPoints(opts.jsonlPath).size(), 4u);
+  std::remove(opts.jsonlPath.c_str());
+}
+
+TEST(CampaignRun, ResumeSkipsCompletedPoints) {
+  const scn::Campaign c = scn::parseCampaignText(kSmallCampaign);
+  scn::CampaignOptions opts;
+  opts.jsonlPath = tempPath("campaign_resume.jsonl");
+  std::remove(opts.jsonlPath.c_str());
+
+  const scn::CampaignRun first = scn::runCampaign(c, opts);
+  EXPECT_EQ(first.points, 4u);
+  EXPECT_EQ(first.skipped, 0u);
+  EXPECT_EQ(first.executed, 4u);
+
+  // Re-run: every point already recorded; zero new trials.
+  const scn::CampaignRun again = scn::runCampaign(c, opts);
+  EXPECT_EQ(again.points, 4u);
+  EXPECT_EQ(again.skipped, 4u);
+  EXPECT_EQ(again.executed, 0u);
+
+  // Partial record: drop the last two lines, rerun executes exactly those.
+  {
+    std::ifstream is(opts.jsonlPath);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+    is.close();
+    ASSERT_EQ(lines.size(), 4u);
+    std::ofstream os(opts.jsonlPath, std::ios::trunc);
+    os << lines[0] << "\n" << lines[1] << "\n";
+  }
+  const scn::CampaignRun partial = scn::runCampaign(c, opts);
+  EXPECT_EQ(partial.skipped, 2u);
+  EXPECT_EQ(partial.executed, 2u);
+  EXPECT_EQ(scn::completedPoints(opts.jsonlPath).size(), 4u);
+
+  // A fresh (no-resume) run truncates and redoes everything.
+  scn::CampaignOptions fresh = opts;
+  fresh.resume = false;
+  const scn::CampaignRun redo = scn::runCampaign(c, fresh);
+  EXPECT_EQ(redo.executed, 4u);
+  std::remove(opts.jsonlPath.c_str());
+}
+
+TEST(CampaignRun, SeedOffsetMakesDistinctPoints) {
+  const scn::Campaign c = scn::parseCampaignText(
+      "name off\nscenario graph=clique n=6 algo=gossip seed=0..1\n");
+  scn::CampaignOptions opts;
+  opts.jsonlPath = tempPath("campaign_offset.jsonl");
+  std::remove(opts.jsonlPath.c_str());
+  (void)scn::runCampaign(c, opts);
+
+  scn::CampaignOptions shifted = opts;
+  shifted.seedOffset = 100;
+  const scn::CampaignRun run = scn::runCampaign(c, shifted);
+  // Different effective seeds -> different ids -> nothing skipped.
+  EXPECT_EQ(run.skipped, 0u);
+  EXPECT_EQ(run.executed, 2u);
+  ASSERT_EQ(run.results.size(), 2u);
+  EXPECT_EQ(run.results[0].seed, 100u);
+  std::remove(opts.jsonlPath.c_str());
+}

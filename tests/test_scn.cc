@@ -1,0 +1,215 @@
+// The scenario layer's contracts: Params typed access + consumed-key
+// tracking, registry lookup and unknown-name errors, sweep-grid
+// expansion, and TrialBuilder lowering (fault-free expectation, typo'd
+// axes rejected, fingerprint cache shared across adversary/f sweeps).
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+#include "scn/params.h"
+#include "scn/registry.h"
+#include "scn/scenario.h"
+
+using namespace mobile;
+
+// --- Params ------------------------------------------------------------------
+
+TEST(Params, TypedGettersAndDefaults) {
+  const scn::Params p =
+      scn::Params::fromTokens("n=16 f=2 rate=0.25 label=abc");
+  EXPECT_EQ(p.integer("n"), 16);
+  EXPECT_EQ(p.integer("f", 9), 2);
+  EXPECT_EQ(p.integer("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(p.real("rate", 0.0), 0.25);
+  EXPECT_EQ(p.str("label"), "abc");
+  EXPECT_EQ(p.u64("missing", 7u), 7u);
+}
+
+TEST(Params, MalformedTokensAndValues) {
+  EXPECT_THROW(scn::Params::fromTokens("n16"), scn::ScnError);
+  EXPECT_THROW(scn::Params::fromTokens("=5"), scn::ScnError);
+  // Quotes/backslashes would break the JSONL resume round-trip; rejected
+  // at the door.
+  EXPECT_THROW(scn::Params::fromTokens("tag=a\"b"), scn::ScnError);
+  EXPECT_THROW(scn::Params::fromTokens("tag=a\\b"), scn::ScnError);
+  const scn::Params p = scn::Params::fromTokens("n=abc");
+  EXPECT_THROW((void)p.integer("n"), scn::ScnError);
+  EXPECT_THROW((void)p.integer("n", 3), scn::ScnError);
+}
+
+TEST(Params, MissingRequiredKeyThrows) {
+  const scn::Params p;
+  EXPECT_THROW((void)p.str("graph"), scn::ScnError);
+}
+
+TEST(Params, ConsumedTrackingAndCanonical) {
+  const scn::Params p = scn::Params::fromTokens("b=2 a=1 c=3");
+  EXPECT_EQ(p.canonical(), "a=1 b=2 c=3");
+  (void)p.integer("a");
+  (void)p.integer("c", 0);
+  EXPECT_EQ(p.consumedCanonical(), "a=1 c=3");
+  const auto unread = p.unconsumedKeys();
+  ASSERT_EQ(unread.size(), 1u);
+  EXPECT_EQ(unread[0], "b");
+}
+
+TEST(Params, LaterSetWinsKeepsOrder) {
+  scn::Params p = scn::Params::fromTokens("a=1 b=2");
+  p.set("a", "9");
+  EXPECT_EQ(p.str("a"), "9");
+  ASSERT_EQ(p.keys().size(), 2u);
+  EXPECT_EQ(p.keys()[0], "a");  // overwrite does not reorder
+}
+
+// --- registries --------------------------------------------------------------
+
+TEST(Registry, BuiltinsAreRegistered) {
+  EXPECT_TRUE(scn::graphs().contains("clique"));
+  EXPECT_TRUE(scn::algos().contains("gossip"));
+  EXPECT_TRUE(scn::compilers().contains("byz_tree"));
+  EXPECT_TRUE(scn::adversaries().contains("camping_byz"));
+}
+
+TEST(Registry, UnknownNameListsKnownOnes) {
+  try {
+    (void)scn::graphs().get("klique");
+    FAIL() << "expected ScnError";
+  } catch (const scn::ScnError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("klique"), std::string::npos);
+    EXPECT_NE(msg.find("clique"), std::string::npos);  // catalog included
+  }
+}
+
+TEST(Registry, GraphFactoryBuilds) {
+  const scn::Params p = scn::Params::fromTokens("n=6");
+  const graph::Graph g = scn::graphs().get("clique")(p);
+  EXPECT_EQ(g.nodeCount(), 6);
+  EXPECT_EQ(g.edgeCount(), 15);
+}
+
+// --- sweep expansion ---------------------------------------------------------
+
+TEST(Sweep, ValueSyntax) {
+  EXPECT_EQ(scn::expandValue("7").size(), 1u);
+  EXPECT_EQ(scn::expandValue("a,b,c").size(), 3u);
+  const auto range = scn::expandValue("1..4");
+  ASSERT_EQ(range.size(), 4u);
+  EXPECT_EQ(range.front(), "1");
+  EXPECT_EQ(range.back(), "4");
+  const auto mixed = scn::expandValue("8,16..18");
+  ASSERT_EQ(mixed.size(), 4u);
+  EXPECT_EQ(mixed[0], "8");
+  EXPECT_EQ(mixed[3], "18");
+  // Non-numeric '..' pieces stay literal values.
+  EXPECT_EQ(scn::expandValue("a..b").size(), 1u);
+  EXPECT_THROW(scn::expandValue("4..1"), scn::ScnError);
+}
+
+TEST(Sweep, GridExpansionCountsAndOrder) {
+  const scn::Params p =
+      scn::Params::fromTokens("n=64,256,1024 adv=bitflip_byz,rotating_byz "
+                              "f=1..4");
+  const auto points = scn::expandGrid(p);
+  ASSERT_EQ(points.size(), 3u * 2u * 4u);
+  // First key slowest, last key fastest.
+  EXPECT_EQ(points[0].str("n"), "64");
+  EXPECT_EQ(points[0].str("f"), "1");
+  EXPECT_EQ(points[1].str("f"), "2");
+  EXPECT_EQ(points[3].str("f"), "4");
+  EXPECT_EQ(points[4].str("n"), "64");
+  EXPECT_EQ(points[4].str("adv"), "rotating_byz");
+  EXPECT_EQ(points[8].str("n"), "256");
+  EXPECT_EQ(points.back().str("n"), "1024");
+  EXPECT_EQ(points.back().str("f"), "4");
+  const auto swept = scn::sweptKeys(p);
+  ASSERT_EQ(swept.size(), 3u);
+  EXPECT_EQ(swept[0], "n");
+}
+
+TEST(Sweep, SingletonGridIsIdentity) {
+  const scn::Params p = scn::Params::fromTokens("n=8 f=1");
+  const auto points = scn::expandGrid(p);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].canonical(), p.canonical());
+  EXPECT_TRUE(scn::sweptKeys(p).empty());
+}
+
+// --- TrialBuilder ------------------------------------------------------------
+
+TEST(TrialBuilder, FaultFreePointMatchesExpectation) {
+  scn::TrialBuilder builder;
+  const scn::Params point =
+      scn::Params::fromTokens("graph=clique n=8 algo=gossip rounds=2");
+  const exp::TrialSpec spec = builder.build(point, "plain");
+  const exp::TrialResult r = exp::runTrial(spec);
+  EXPECT_TRUE(r.ok);  // fault-free run IS the expectation
+  EXPECT_EQ(r.group, "plain");
+}
+
+TEST(TrialBuilder, CompiledPointSurvivesAdversary) {
+  scn::TrialBuilder builder;
+  const scn::Params point = scn::Params::fromTokens(
+      "graph=clique n=8 algo=gossip mask=32 compile=byz_tree f=1 "
+      "adv=bitflip_byz seed=3");
+  const exp::TrialResult r = exp::runTrial(builder.build(point, "byz"));
+  EXPECT_TRUE(r.ok);
+  EXPECT_GT(r.corruptions, 0);
+  EXPECT_EQ(r.seed, 3u);
+}
+
+TEST(TrialBuilder, UncompiledPointBreaksUnderByzantine) {
+  scn::TrialBuilder builder;
+  const scn::Params point = scn::Params::fromTokens(
+      "graph=clique n=8 algo=gossip compile=none f=1 adv=camping_byz");
+  const exp::TrialResult r = exp::runTrial(builder.build(point, "broken"));
+  EXPECT_FALSE(r.ok);  // the negative control
+}
+
+TEST(TrialBuilder, UnknownRegistryNamesThrow) {
+  scn::TrialBuilder builder;
+  EXPECT_THROW(builder.build(scn::Params::fromTokens("graph=klique n=8"),
+                             "g"),
+               scn::ScnError);
+  EXPECT_THROW(
+      builder.build(
+          scn::Params::fromTokens("graph=clique n=8 algo=gosssip"), "g"),
+      scn::ScnError);
+  EXPECT_THROW(
+      builder.build(
+          scn::Params::fromTokens("graph=clique n=8 compile=byz_treee"),
+          "g"),
+      scn::ScnError);
+  EXPECT_THROW(
+      builder.build(
+          scn::Params::fromTokens("graph=clique n=8 adv=bitflip"), "g"),
+      scn::ScnError);
+}
+
+TEST(TrialBuilder, TypodAxisIsRejectedNotIgnored) {
+  scn::TrialBuilder builder;
+  const scn::Params point = scn::Params::fromTokens(
+      "graph=clique n=8 algo=gossip adversary=camping_byz");
+  try {
+    (void)builder.build(point, "typo");
+    FAIL() << "expected ScnError";
+  } catch (const scn::ScnError& e) {
+    EXPECT_NE(std::string(e.what()).find("adversary"), std::string::npos);
+  }
+}
+
+TEST(TrialBuilder, ExpectCacheSharedAcrossAdversaryAndFAxes) {
+  scn::TrialBuilder builder;
+  const auto point = [](const char* tail) {
+    std::string s = "graph=clique n=8 algo=gossip mask=32 compile=byz_tree ";
+    s += tail;
+    return scn::Params::fromTokens(s);
+  };
+  (void)builder.build(point("f=1 adv=bitflip_byz"), "a");
+  EXPECT_EQ(builder.expectCacheHits(), 0u);
+  (void)builder.build(point("f=2 adv=camping_byz"), "b");
+  (void)builder.build(point("f=2 adv=random_byz seed=5"), "c");
+  EXPECT_EQ(builder.expectCacheHits(), 2u);  // payload axes unchanged
+  // A payload-axis change misses.
+  (void)builder.build(point("rounds=3 f=1 adv=bitflip_byz"), "d");
+  EXPECT_EQ(builder.expectCacheHits(), 2u);
+}

@@ -55,7 +55,7 @@ TEST(Vandermonde, ApplyTransposedMatchesManual) {
 TEST(SolveLinear, RoundTripRandomSystems) {
   util::Rng rng(9);
   for (int trial = 0; trial < 40; ++trial) {
-    const std::size_t n = 1 + trial % 6;
+    const std::size_t n = static_cast<std::size_t>(1 + trial % 6);
     std::vector<std::vector<F16>> a(n, std::vector<F16>(n));
     std::vector<F16> z(n);
     for (auto& zi : z) zi = F16(static_cast<std::uint16_t>(rng.next()));

@@ -1,0 +1,105 @@
+// mc_campaign: the declarative campaign runner.
+//
+//   mc_campaign [flags] CAMPAIGN_FILE...
+//
+// Expands each campaign file's scenario lines (src/scn) into trial grids,
+// fans them over the exp::ExperimentDriver, streams per-trial JSON lines
+// to the campaign's .jsonl record, and prints the standard sweep summary.
+// Re-running against an existing record skips every completed grid point
+// (resume), so an interrupted sweep continues where it died and a
+// finished one is a no-op -- CI asserts exactly that.
+//
+// Shared fleet flags (exp::parseBenchArgs): --threads, --seed (shifts
+// every point's seed axis), --json / --csv (aggregate reports over the
+// trials executed *this run*), --list (print the scenario registries and
+// exit), --smoke (accepted for fleet uniformity; campaign files pick
+// their own grid sizes).  Own flags: --out PATH (JSONL record; default
+// CAMPAIGN_<name>.jsonl), --fresh (truncate the record instead of
+// resuming), --dry (expand + validate every grid point, run nothing).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/bench_args.h"
+#include "scn/campaign.h"
+#include "scn/registry.h"
+#include "util/table.h"
+
+using namespace mobile;
+
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::parseBenchArgs(argc, argv,
+                                                  /*allowUnknown=*/true);
+  if (args.list) {
+    scn::printRegistries(std::cout);
+    return 0;
+  }
+
+  std::string outPath;
+  bool fresh = false;
+  bool dry = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else if (std::strcmp(a, "--fresh") == 0) {
+      fresh = true;
+    } else if (std::strcmp(a, "--dry") == 0) {
+      dry = true;
+    } else if (a[0] == '-') {
+      std::fprintf(stderr,
+                   "%s: unknown flag '%s' (own flags: --out PATH, --fresh, "
+                   "--dry; plus the shared bench flags)\n",
+                   argv[0], a);
+      return 2;
+    } else {
+      files.emplace_back(a);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: %s [flags] CAMPAIGN_FILE...\n", argv[0]);
+    return 2;
+  }
+
+  int rc = 0;
+  for (const std::string& file : files) {
+    try {
+      const scn::Campaign campaign = scn::loadCampaignFile(file);
+      scn::CampaignOptions opts;
+      opts.threads = args.threads;
+      opts.seedOffset = args.seed;
+      opts.resume = !fresh;
+      opts.jsonlPath =
+          outPath.empty() ? "CAMPAIGN_" + campaign.name + ".jsonl" : outPath;
+
+      std::cout << "# campaign " << campaign.name << " (" << file << ")\n";
+      if (dry) {
+        // Expand and lower every point (validating all axes) but run
+        // nothing: the cheap pre-flight for a big sweep.
+        std::vector<scn::Point> points;
+        const auto specs =
+            scn::buildCampaignSpecs(campaign, args.seed, &points);
+        scn::printScenarios(std::cout, campaign);
+        std::cout << specs.size() << " grid points validated (dry run)\n";
+        continue;
+      }
+      const scn::CampaignRun run = scn::runCampaign(campaign, opts);
+      std::cout << run.points << " grid points, " << run.skipped
+                << " already recorded (resume), " << run.executed
+                << " executed on " << opts.threads << " thread(s) -> "
+                << opts.jsonlPath << "\n";
+      if (!run.results.empty()) {
+        std::cout << "\n";
+        exp::summaryTable(exp::aggregate(run.results)).print(std::cout);
+      }
+      exp::maybeWriteReports(args, campaign.name, run.results);
+    } catch (const scn::ScnError& e) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(), e.what());
+      rc = 1;
+    }
+  }
+  return rc;
+}
