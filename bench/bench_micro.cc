@@ -16,9 +16,12 @@
 #include "compile/expander_packing.h"
 #include "compile/keypool.h"
 #include "compile/rewind_compiler.h"
+#include "compile/rs_scheduler.h"
 #include "compile/secure_broadcast.h"
 #include "exp/bench_args.h"
 #include "gf/gf16.h"
+#include "gf/slab.h"
+#include "gf/vandermonde.h"
 #include "graph/generators.h"
 #include "graph/tree_packing.h"
 #include "hash/cwise.h"
@@ -66,17 +69,49 @@ static void BM_GF16_Mul(benchmark::State& state) {
 }
 BENCHMARK(BM_GF16_Mul);
 
-static void BM_RS_Encode(benchmark::State& state) {
+// --- GF(2^16) slab kernels ---------------------------------------------------
+// The batched layer under RS encode/decode, Vandermonde extraction and the
+// Berlekamp-Welch eliminations (src/gf/slab.h).  BM_GfSlabAxpy includes the
+// per-constant split-nibble table build, as the consumers pay it.
+
+static void BM_GfSlabAxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(11);
+  std::vector<std::uint16_t> dst(n), src(n);
+  for (auto& w : src) w = static_cast<std::uint16_t>(rng.next());
+  const gf::F16 c(static_cast<std::uint16_t>(rng.next() | 1));
+  for (auto _ : state) {
+    gf::addScaledSlab(dst.data(), c, src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GfSlabAxpy)->Arg(16)->Arg(64)->Arg(1024);
+
+static void BM_VandermondeExtract(benchmark::State& state) {
+  // The Theorem 2.1 extraction map y = x^T A as KeyPool drives it:
+  // n symbols in, n/3 extracted.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gf::Vandermonde m(n, n / 3);
+  util::Rng rng(12);
+  std::vector<gf::F16> x(n);
+  for (auto& s : x) s = gf::F16(static_cast<std::uint16_t>(rng.next()));
+  for (auto _ : state) benchmark::DoNotOptimize(m.applyTransposed(x));
+}
+BENCHMARK(BM_VandermondeExtract)->Arg(24)->Arg(96)->Arg(384);
+
+static void BM_RsEncode(benchmark::State& state) {
   const auto ell = static_cast<std::size_t>(state.range(0));
-  const coding::ReedSolomon rs(ell, 3 * ell);
+  const coding::ReedSolomon rs(ell, 3 * ell);  // 3*ell shares
   util::Rng rng(2);
   std::vector<gf::F16> msg(ell);
   for (auto& s : msg) s = gf::F16(static_cast<std::uint16_t>(rng.next()));
   for (auto _ : state) benchmark::DoNotOptimize(rs.encode(msg));
 }
-BENCHMARK(BM_RS_Encode)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_RsEncode)->Arg(4)->Arg(16)->Arg(64);
 
-static void BM_RS_DecodeWithErrors(benchmark::State& state) {
+static void BM_RsDecode(benchmark::State& state) {
   const auto ell = static_cast<std::size_t>(state.range(0));
   const coding::ReedSolomon rs(ell, 3 * ell);
   util::Rng rng(3);
@@ -87,7 +122,7 @@ static void BM_RS_DecodeWithErrors(benchmark::State& state) {
     word[i] = gf::F16(static_cast<std::uint16_t>(rng.next()));
   for (auto _ : state) benchmark::DoNotOptimize(rs.decode(word));
 }
-BENCHMARK(BM_RS_DecodeWithErrors)->Arg(4)->Arg(16);
+BENCHMARK(BM_RsDecode)->Arg(4)->Arg(16);
 
 static void BM_L0_Update(benchmark::State& state) {
   sketch::L0Sampler s(42, 60, 14);
@@ -215,6 +250,25 @@ static void BM_RoundThroughput_Rewind(benchmark::State& state) {
 }
 BENCHMARK(BM_RoundThroughput_Rewind)->Arg(8)->Arg(12);
 
+static void BM_RoundThroughput_RsScheduler(benchmark::State& state) {
+  // The Lemma 3.3 scheduler alone (no inner algorithm, no adversary).
+  // After the slot-indexed stash port the steady state allocates nothing:
+  // one whole schedule runs before timing so every stash slot has its
+  // capacity, and the scheduler implements reinitNode, so even the
+  // trial-reset iterations reuse the warm node objects.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::clique(n);
+  const auto pk = compile::cliquePackingKnowledge(g);
+  auto shared = std::make_shared<compile::ScheduledBroadcastShared>();
+  const sim::Algorithm a = compile::makeScheduledTreeBroadcast(
+      g, pk, compile::EngineOptions{}, shared);
+  sim::Network net(g, a, 1);
+  net.runExact(a.rounds);  // warm-up trial
+  net.reset();
+  runRoundLoop(state, net, a.rounds);
+}
+BENCHMARK(BM_RoundThroughput_RsScheduler)->Arg(12)->Arg(16);
+
 static void BM_RoundThroughput_Repetition(benchmark::State& state) {
   // The repetition strawman relays every inner message 2f+1 times across
   // every edge -- the most message-plane-bound compiled protocol in the
@@ -227,9 +281,29 @@ static void BM_RoundThroughput_Repetition(benchmark::State& state) {
   const sim::Algorithm a = compile::compileNaiveRepetition(g, inner, 2);
   adv::RandomByzantine byz(2, 7);
   sim::Network net(g, a, 1, &byz);
+  net.runExact(a.rounds);  // warm-up trial: slot capacities settle
+  net.reset();
   runRoundLoop(state, net, a.rounds);
 }
 BENCHMARK(BM_RoundThroughput_Repetition)->Arg(24)->Arg(48);
+
+static void BM_RoundThroughput_RepetitionFaultFree(benchmark::State& state) {
+  // The same compiled pipeline with no adversary: isolates the
+  // exchange-capture + stash + redelivery path, which must report
+  // bytes_per_round == 0 (the adversary's copy-on-touch snapshots and
+  // corruption ledger are the only allocators left in the probe above).
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::clique(n);
+  std::vector<std::uint64_t> inputs(static_cast<std::size_t>(g.nodeCount()),
+                                    5);
+  const sim::Algorithm inner = algo::makeGossipHash(g, 4, inputs, 32);
+  const sim::Algorithm a = compile::compileNaiveRepetition(g, inner, 2);
+  sim::Network net(g, a, 1);
+  net.runExact(a.rounds);
+  net.reset();
+  runRoundLoop(state, net, a.rounds);
+}
+BENCHMARK(BM_RoundThroughput_RepetitionFaultFree)->Arg(24)->Arg(48);
 
 static void BM_NetworkRound_Clique(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));

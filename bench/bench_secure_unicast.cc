@@ -117,7 +117,8 @@ int main(int argc, char** argv) {
       }
       leak.addRow({variant == 0 ? "static-secure (no pads)" : "mobile-secure",
                    util::Table::num(trials), util::Table::num(leaks),
-                   util::Table::pct(static_cast<double>(leaks) / trials)});
+                   util::Table::pct(static_cast<double>(leaks) /
+                                    static_cast<double>(trials))});
     }
   }
   leak.print(std::cout);

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Diff two bench JSON files and print per-probe ratios (informational).
+
+Usage:
+    scripts/perf_delta.py OLD.json NEW.json
+
+Accepts either shape the harness produces:
+  * Google-Benchmark-shaped files ({"benchmarks": [{"name", "real_time",
+    ...}]}) -- BENCH_kernels.json / BENCH_micro.json, including the
+    vendored mini_benchmark shim's output;
+  * the scripts/smoke_bench.sh merge ({bench: {"wall_ms", "report"}}) --
+    BENCH_smoke.json; wall_ms is compared, and any gbench-shaped report
+    nested under a bench contributes its probes too.
+
+Ratios are old/new, so > 1.0 means the new file is faster.  The script is
+non-gating by design: it exits 0 whatever the numbers say, so future PRs
+can cite kernel deltas mechanically without turning perf noise into CI
+flakes.
+"""
+
+import json
+import sys
+
+
+def flatten(doc, prefix=""):
+    """Yields (probe name, time_ns-or-ms) pairs from either JSON shape."""
+    if not isinstance(doc, dict):
+        return
+    if isinstance(doc.get("benchmarks"), list):
+        for bench in doc["benchmarks"]:
+            name = bench.get("name")
+            time = bench.get("real_time", bench.get("cpu_time"))
+            if name is not None and isinstance(time, (int, float)):
+                yield prefix + name, float(time)
+        return
+    for key, value in doc.items():
+        if not isinstance(value, dict):
+            continue
+        wall = value.get("wall_ms")
+        if isinstance(wall, (int, float)):
+            yield prefix + key + ":wall_ms", float(wall)
+        report = value.get("report")
+        if isinstance(report, dict):
+            yield from flatten(report, prefix + key + ":")
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        old = dict(flatten(json.load(f)))
+    with open(argv[2]) as f:
+        new = dict(flatten(json.load(f)))
+    shared = [name for name in old if name in new]
+    if not shared:
+        print("no shared probes between the two files")
+        return 0
+    width = max(len(name) for name in shared)
+    print(f"{'probe'.ljust(width)}  {'old':>12}  {'new':>12}  {'old/new':>8}")
+    for name in shared:
+        ratio = old[name] / new[name] if new[name] else float("inf")
+        print(f"{name.ljust(width)}  {old[name]:12.1f}  {new[name]:12.1f}"
+              f"  {ratio:8.2f}x")
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"only in {argv[1]}: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in {argv[2]}: {', '.join(only_new)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

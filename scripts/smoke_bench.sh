@@ -9,7 +9,10 @@
 # whose reports carry no timing of their own.  CI uploads the merged file
 # as a workflow artifact; humans can run it locally the same way:
 #
-#   scripts/smoke_bench.sh [build-dir] [output-json]
+#   scripts/smoke_bench.sh [build-dir] [output-json] [kernels-json]
+#
+# The third argument redirects the BENCH_kernels.json artifact (the
+# bench_micro kernel-probe re-run appended after the fleet).
 #
 # A bench that exits non-zero fails the sweep (smoke mode is a runtime
 # regression gate, not just a timing probe).
@@ -65,3 +68,17 @@ done
 } > "$OUT_JSON"
 
 echo "wrote $OUT_JSON"
+
+# Kernel probes: the gf/ slab kernels and their RS / Vandermonde consumers,
+# re-run into a dedicated gbench-shaped artifact so PRs can cite kernel
+# deltas mechanically (scripts/perf_delta.py diffs two of these files).
+KERNELS_JSON="${3:-$BUILD_DIR/BENCH_kernels.json}"
+KERNEL_PROBES='BM_GF16_Mul|BM_GfSlabAxpy|BM_RsEncode|BM_RsDecode'
+KERNEL_PROBES="$KERNEL_PROBES|BM_VandermondeExtract"
+if [ -x "$BUILD_DIR/bench_micro" ]; then
+  echo "=== bench_micro kernel probes"
+  "$BUILD_DIR/bench_micro" --smoke --json "$KERNELS_JSON" \
+      "--benchmark_filter=$KERNEL_PROBES" \
+      > "$WORK_DIR/bench_kernels.log"
+  echo "wrote $KERNELS_JSON"
+fi

@@ -207,7 +207,10 @@ class GossipNode final : public NodeState {
   }
 
   void send(int round, Outbox& out) override {
-    if (round <= rounds_) out.toAll(Msg::of(h_));
+    if (round > rounds_) return;
+    // Reused scratch message: gossip is the compilers' canary payload, so
+    // its send must not allocate either.
+    out.toAll(sim::resetScratch(scratch_).push(h_));
   }
   void receive(int round, const Inbox& in) override {
     if (round > rounds_) return;
@@ -229,6 +232,7 @@ class GossipNode final : public NodeState {
   int rounds_;
   std::uint64_t mask_;
   std::uint64_t h_;
+  Msg scratch_;
 };
 
 // --- PingPong ----------------------------------------------------------------

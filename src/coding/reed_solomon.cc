@@ -7,11 +7,28 @@
 namespace mobile::coding {
 
 using gf::F16;
+using gf::Matrix;
 
 ReedSolomon::ReedSolomon(std::size_t ell, std::size_t k) : ell_(ell), k_(k) {
   assert(ell >= 1);
   assert(ell <= k);
   assert(k < gf::kGroupOrder);
+  // One pass of scalar multiplies fills both cached layouts: the power
+  // prefix of every evaluation point (row-contiguous per point, feeding
+  // the Berlekamp-Welch system) and its transpose restricted to j < ell
+  // (row-contiguous per coefficient, feeding the encode axpy).
+  const std::size_t powCols = ell_ + maxErrors();
+  pow_ = Matrix(k_, powCols);
+  eval_ = Matrix(ell_, k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const F16 x = point(i);
+    F16 p(1);
+    for (std::size_t j = 0; j < powCols; ++j) {
+      pow_.set(i, j, p);
+      if (j < ell_) eval_.set(j, i, p);
+      p = p * x;
+    }
+  }
 }
 
 F16 ReedSolomon::point(std::size_t i) const {
@@ -19,13 +36,6 @@ F16 ReedSolomon::point(std::size_t i) const {
 }
 
 namespace {
-
-/// Evaluates a polynomial given low-to-high coefficients.
-F16 evalPoly(const std::vector<F16>& coeffs, F16 x) {
-  F16 acc(0);
-  for (std::size_t j = coeffs.size(); j-- > 0;) acc = acc * x + coeffs[j];
-  return acc;
-}
 
 /// Degree of a coefficient vector (index of highest non-zero entry), or
 /// SIZE_MAX for the zero polynomial.
@@ -50,8 +60,8 @@ std::vector<F16> divideExact(std::vector<F16> num,
     const F16 factor = num[i] * leadInv;
     quot[i - dDeg] = factor;
     if (!factor.isZero())
-      for (std::size_t j = 0; j <= dDeg; ++j)
-        num[i - dDeg + j] += factor * den[j];
+      gf::addScaledSlab(num.data() + (i - dDeg), factor, den.data(),
+                        dDeg + 1);
   }
   for (const F16 c : num)
     if (!c.isZero()) return {};
@@ -60,11 +70,19 @@ std::vector<F16> divideExact(std::vector<F16> num,
 
 }  // namespace
 
+std::vector<F16> ReedSolomon::evaluate(const std::vector<F16>& coeffs) const {
+  assert(coeffs.size() <= ell_);
+  std::vector<F16> out(k_, F16(0));
+  for (std::size_t j = 0; j < coeffs.size(); ++j) {
+    if (coeffs[j].isZero()) continue;
+    gf::addScaledSlab(gf::raw(out.data()), coeffs[j], eval_.row(j), k_);
+  }
+  return out;
+}
+
 std::vector<F16> ReedSolomon::encode(const std::vector<F16>& message) const {
   assert(message.size() == ell_);
-  std::vector<F16> out(k_);
-  for (std::size_t i = 0; i < k_; ++i) out[i] = evalPoly(message, point(i));
-  return out;
+  return evaluate(message);
 }
 
 std::optional<std::vector<F16>> ReedSolomon::tryDecode(
@@ -73,27 +91,23 @@ std::optional<std::vector<F16>> ReedSolomon::tryDecode(
   // error locator is E(x) = x^e + E_low(x), deg E_low < e.  Equations, one
   // per coordinate i:
   //   Q(x_i) + y_i * E_low(x_i) = y_i * x_i^e      (char-2 field: + == -)
+  // Row i assembles from the cached power prefix of x_i: a straight copy
+  // for the Q block, one scaled slab for the E_low block.
   const std::size_t nq = ell_ + e;
   const std::size_t unknowns = nq + e;
-  std::vector<std::vector<F16>> a(k_, std::vector<F16>(unknowns, F16(0)));
-  std::vector<F16> b(k_, F16(0));
+  // The cached power rows only reach exponent ell + maxErrors() - 1; a
+  // caller probing beyond the unique decoding radius would index past them.
+  assert(e <= maxErrors());
+  Matrix aug(k_, unknowns + 1);
   for (std::size_t i = 0; i < k_; ++i) {
-    const F16 x = point(i);
     const F16 y = received[i];
-    F16 p(1);
-    for (std::size_t j = 0; j < nq; ++j) {
-      a[i][j] = p;
-      p = p * x;
-    }
-    p = F16(1);
-    for (std::size_t j = 0; j < e; ++j) {
-      a[i][nq + j] = y * p;
-      p = p * x;
-    }
-    b[i] = y * x.pow(e);
+    const std::uint16_t* powers = pow_.row(i);
+    std::uint16_t* row = aug.row(i);
+    for (std::size_t j = 0; j < nq; ++j) row[j] = powers[j];
+    gf::mulSlab(row + nq, y, powers, e);
+    row[unknowns] = (y * F16(powers[e])).value();  // y * x_i^e
   }
-  std::vector<F16> sol =
-      gf::solveLinearAny(std::move(a), std::move(b), unknowns);
+  std::vector<F16> sol = gf::solveLinearAnyInPlace(aug);
   if (sol.empty() && unknowns > 0) return std::nullopt;
 
   std::vector<F16> q(sol.begin(),
@@ -110,9 +124,10 @@ std::optional<std::vector<F16>> ReedSolomon::tryDecode(
   pPoly.resize(ell_, F16(0));
 
   // Verify the decoded codeword lies within the unique decoding radius.
+  const std::vector<F16> word = evaluate(pPoly);
   std::size_t mismatches = 0;
   for (std::size_t i = 0; i < k_; ++i)
-    if (evalPoly(pPoly, point(i)) != received[i]) ++mismatches;
+    if (word[i] != received[i]) ++mismatches;
   if (mismatches > maxErrors()) return std::nullopt;
   return pPoly;
 }
@@ -123,22 +138,19 @@ std::optional<std::vector<F16>> ReedSolomon::decode(
   // Fast path: interpolate through the first ell coordinates; if that
   // polynomial matches everywhere the word is already a codeword.
   {
-    std::vector<std::vector<F16>> a(ell_, std::vector<F16>(ell_));
-    std::vector<F16> b(ell_);
+    Matrix aug(ell_, ell_ + 1);
     for (std::size_t i = 0; i < ell_; ++i) {
-      const F16 x = point(i);
-      F16 p(1);
-      for (std::size_t j = 0; j < ell_; ++j) {
-        a[i][j] = p;
-        p = p * x;
-      }
-      b[i] = received[i];
+      std::uint16_t* row = aug.row(i);
+      const std::uint16_t* powers = pow_.row(i);
+      for (std::size_t j = 0; j < ell_; ++j) row[j] = powers[j];
+      aug.set(i, ell_, received[i]);
     }
-    std::vector<F16> cand = gf::solveLinear(std::move(a), std::move(b));
+    std::vector<F16> cand = gf::solveLinearInPlace(aug);
     if (!cand.empty()) {
+      const std::vector<F16> word = evaluate(cand);
       bool ok = true;
       for (std::size_t i = ell_; i < k_ && ok; ++i)
-        ok = evalPoly(cand, point(i)) == received[i];
+        ok = word[i] == received[i];
       if (ok) return cand;
     }
   }

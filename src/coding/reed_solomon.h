@@ -10,6 +10,12 @@
 // of the k tree-delivered shares may have been corrupted by the byzantine
 // adversary, but a majority-by-distance argument guarantees the honest
 // codeword is the unique one within half the distance.
+//
+// Hot-path layout: the constructor caches the evaluation matrix (one
+// contiguous row of x_i^j per coefficient j) and the per-point power rows
+// the Berlekamp-Welch system is assembled from, so encode is ell slab
+// axpys and the linear algebra runs on gf::Matrix rows (see gf/slab.h)
+// instead of per-cell log/antilog multiplies.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "gf/gf16.h"
+#include "gf/slab.h"
 
 namespace mobile::coding {
 
@@ -51,6 +58,11 @@ class ReedSolomon {
   /// Evaluation point for coordinate i.
   [[nodiscard]] gf::F16 point(std::size_t i) const;
 
+  /// Codeword of a coefficient vector with size() <= ell (slab axpy over
+  /// the cached evaluation rows) -- encode and the decode verifications.
+  [[nodiscard]] std::vector<gf::F16> evaluate(
+      const std::vector<gf::F16>& coeffs) const;
+
   /// Berlekamp-Welch attempt assuming exactly <= e errors; returns the
   /// message polynomial coefficients on success.
   [[nodiscard]] std::optional<std::vector<gf::F16>> tryDecode(
@@ -58,6 +70,11 @@ class ReedSolomon {
 
   std::size_t ell_;
   std::size_t k_;
+  /// eval_.row(j)[i] = x_i^j for j < ell: the encode axpy rows.
+  gf::Matrix eval_;
+  /// pow_.row(i)[j] = x_i^j for j < ell + maxErrors(): the contiguous
+  /// power prefixes the Berlekamp-Welch rows are copied/scaled from.
+  gf::Matrix pow_;
 };
 
 }  // namespace mobile::coding

@@ -1,7 +1,8 @@
 #include "compile/baselines.h"
 
-#include <map>
 #include <vector>
+
+#include "compile/common.h"
 
 namespace mobile::compile {
 
@@ -26,6 +27,7 @@ class NaiveNode final : public NodeState {
         inner_(std::move(inner)),
         innerRounds_(innerRounds),
         rep_(2 * f + 1),
+        capture_(g, self),
         inbox_(g, self) {
     // Stash slots follow adjacency order; every neighbor contributes
     // exactly one copy per repetition, so the shape is fixed up front and
@@ -42,12 +44,14 @@ class NaiveNode final : public NodeState {
     if (simRound > innerRounds_) return;
     const int rep = g % rep_;
     if (rep == 0) {
-      MapOutbox capture(g_, self_);
-      inner_->send(simRound, capture);
-      current_.clear();
-      for (const auto& [to, m] : capture.messages()) current_[to] = m;
+      // The reused member capture *is* the per-sim-round send cache: its
+      // slots hold the inner round's messages across all 2f+1 repetitions.
+      capture_.begin();
+      inner_->send(simRound, capture_);
     }
-    for (const auto& [to, m] : current_) out.to(to, m);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i)
+      if (capture_.slot(i).present) out.to(nbs[i].node, capture_.slot(i));
   }
 
   void receive(int round, const Inbox& in) override {
@@ -64,25 +68,17 @@ class NaiveNode final : public NodeState {
                      in.from(nbs[i].node));
     if (rep != rep_ - 1) return;
     for (std::size_t i = 0; i < nbs.size(); ++i) {
-      auto& copies = stash_[i];
-      // Majority copy: first copy achieving the maximal agreement count
-      // wins (the tie-break the negative-control experiments pin down).
-      std::size_t bestIdx = 0;
-      int bestCount = 0;
-      for (std::size_t a = 0; a < copies.size(); ++a) {
-        int count = 0;
-        for (std::size_t b = 0; b < copies.size(); ++b)
-          if (copies[b] == copies[a]) ++count;
-        if (count > bestCount) {
-          bestCount = count;
-          bestIdx = a;
-        }
-      }
+      const auto& copies = stash_[i];
+      // Majority copy via the shared helper (first copy achieving the
+      // maximal agreement count wins -- the tie-break the negative-control
+      // experiments pin down, and the decode rule the byzantine/rewind
+      // compilers share).
+      const Msg& maj = majorityRef(copies.data(), copies.size());
       // Redeliver through the reused inbox: every slot is rewritten each
       // inner round, absent included, so no stale message survives.
       Msg& slot = inbox_.slot(nbs[i].node);
-      if (copies[bestIdx].present) {
-        slot = copies[bestIdx];
+      if (maj.present) {
+        slot = maj;
       } else {
         slot.present = false;
         slot.words.clear();
@@ -97,13 +93,24 @@ class NaiveNode final : public NodeState {
     return inner_->output();
   }
 
+  /// Network::reset() in-place re-init: re-initializes (or rebuilds) the
+  /// inner node and rewinds the compiler state; capture/stash/inbox slots
+  /// keep their capacity -- each is fully rewritten before its next read.
+  void reinit(const sim::Algorithm& inner, NodeId v, const Graph& g,
+              util::Rng rng) {
+    util::Rng innerRng = rng.split(0x99);
+    if (!(inner.reinitNode && inner.reinitNode(*inner_, v, g, innerRng)))
+      inner_ = inner.makeNode(v, g, std::move(innerRng));
+    done_ = false;
+  }
+
  private:
   NodeId self_;
   const Graph& g_;
   std::unique_ptr<NodeState> inner_;
   int innerRounds_;
   int rep_;
-  std::map<NodeId, Msg> current_;
+  sim::FlatCapture capture_;  // inner sends, reused across repetitions
   std::vector<std::vector<Msg>> stash_;  // [neighbor slot][repetition]
   MapInbox inbox_;
   bool done_ = false;
@@ -120,6 +127,13 @@ sim::Algorithm compileNaiveRepetition(const graph::Graph& g,
     auto innerNode = inner.makeNode(v, g, rng.split(0x99));
     return std::make_unique<NaiveNode>(v, g, std::move(innerNode),
                                        inner.rounds, f);
+  };
+  out.reinitNode = [inner](sim::NodeState& node, NodeId v, const Graph& g2,
+                           util::Rng rng) {
+    auto* naive = dynamic_cast<NaiveNode*>(&node);
+    if (naive == nullptr) return false;
+    naive->reinit(inner, v, g2, std::move(rng));
+    return true;
   };
   return out;
 }

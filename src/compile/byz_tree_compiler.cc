@@ -88,6 +88,7 @@ class ByzNode final : public NodeState {
         slots_{pk_->eta, opts.engine.effectiveRho()},
         codec_(pk_->k, opts.dmCap > 0 ? opts.dmCap : 2 * f_ + 8, opts.cPP),
         shared_(std::move(shared)),
+        exchCapture_(g, self),
         inbox_(g, self) {
     isRoot_ = (self_ == pk_->root);
     // Fixed-shape stash: one Msg per (neighbor, schedule slot, repetition),
@@ -95,6 +96,10 @@ class ByzNode final : public NodeState {
     // words capacity) -- the compile/baselines.cc no-alloc idiom.
     stash_.resize(g_.degree(self_) * static_cast<std::size_t>(pk_->eta) *
                   static_cast<std::size_t>(slots_.rho));
+    // Exchange-step key tables are adjacency-indexed and fully rewritten
+    // by every exchange, so the shape is fixed up front.
+    sentKey_.assign(g_.degree(self_), 0);
+    estKey_.assign(g_.degree(self_), 0);
   }
 
   void send(int round, Outbox& out) override {
@@ -221,37 +226,37 @@ class ByzNode final : public NodeState {
   // --- exchange step -------------------------------------------------------
 
   void sendExchange(const Pos& p, Outbox& out) {
-    MapOutbox capture(g_, self_);
-    inner_->send(p.simRound, capture);
-    sentKey_.clear();
-    estKey_.clear();
-    for (const auto& nb : g_.neighbors(self_)) {
-      const auto it = capture.messages().find(nb.node);
-      const bool present = it != capture.messages().end() && it->second.present;
-      const std::uint64_t payload =
-          present ? (it->second.atOr(0, 0) & kPayloadMask) : 0;
+    // Reused member capture + adjacency-indexed key tables + one scratch
+    // wire message: the exchange step allocates nothing in steady state.
+    exchCapture_.begin();
+    inner_->send(p.simRound, exchCapture_);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const Msg& cm = exchCapture_.slot(i);
+      const bool present = cm.present;
+      const std::uint64_t payload = present ? (cm.atOr(0, 0) & kPayloadMask)
+                                            : 0;
       const std::uint64_t key = encodeKey(
-          self_, nb.node, present ? 0u : static_cast<unsigned>(kAbsentChunk),
-          payload);
-      sentKey_[nb.node] = key;
-      if (shared_) shared_->sentTruth[{self_, nb.node}] = key;
-      Msg m;
-      m.push(payload);
-      m.push(present ? 1u : 0u);
-      out.to(nb.node, m);
+          self_, nbs[i].node,
+          present ? 0u : static_cast<unsigned>(kAbsentChunk), payload);
+      sentKey_[i] = key;
+      if (shared_) shared_->sentTruth[{self_, nbs[i].node}] = key;
+      out.to(nbs[i].node, sim::resetScratch(exchMsg_).push(payload).push(
+                              present ? 1u : 0u));
     }
   }
 
   void receiveExchange(const Pos& p, const Inbox& in) {
     currentSimRound_ = p.simRound;
-    for (const auto& nb : g_.neighbors(self_)) {
-      const MsgView m = in.from(nb.node);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const MsgView m = in.from(nbs[i].node);
       const bool present = m.present() && (m.atOr(1, 0) & 1u) != 0;
       const std::uint64_t payload =
           m.present() ? (m.atOr(0, 0) & kPayloadMask) : 0;
-      estKey_[nb.node] = encodeKey(
-          nb.node, self_, present ? 0u : static_cast<unsigned>(kAbsentChunk),
-          payload);
+      estKey_[i] = encodeKey(
+          nbs[i].node, self_,
+          present ? 0u : static_cast<unsigned>(kAbsentChunk), payload);
     }
     if (shared_) recordMismatches(0);
   }
@@ -261,10 +266,11 @@ class ByzNode final : public NodeState {
     auto& bj = shared_->bj;
     while (static_cast<int>(bj.size()) < currentSimRound_)
       bj.emplace_back(static_cast<std::size_t>(sched_.z + 1), 0);
-    for (const auto& nb : g_.neighbors(self_)) {
-      const auto truth = shared_->sentTruth.find({nb.node, self_});
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const auto truth = shared_->sentTruth.find({nbs[i].node, self_});
       if (truth == shared_->sentTruth.end()) continue;
-      if (estKey_.at(nb.node) != truth->second)
+      if (estKey_[i] != truth->second)
         ++bj[static_cast<std::size_t>(currentSimRound_ - 1)]
             [static_cast<std::size_t>(afterIteration)];
     }
@@ -283,7 +289,7 @@ class ByzNode final : public NodeState {
         std::vector<gf::F16>(static_cast<std::size_t>(pk_->k), gf::F16(0)));
     fwdShare_.clear();
     dmComputed_ = false;
-    entries_ = buildEntries();
+    buildEntries();
     if (shared_) {
       if (self_ == 0) shared_->iterationEntries.clear();  // node 0 resets
       for (const auto& e : entries_) shared_->iterationEntries.push_back(e);
@@ -307,16 +313,16 @@ class ByzNode final : public NodeState {
     }
   }
 
-  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::int64_t>>
-  buildEntries() const {
-    std::vector<std::pair<std::uint64_t, std::int64_t>> entries;
-    for (const auto& nb : g_.neighbors(self_)) {
-      const auto s = sentKey_.find(nb.node);
-      if (s != sentKey_.end()) entries.push_back({s->second, +1});
-      const auto e = estKey_.find(nb.node);
-      if (e != estKey_.end()) entries.push_back({e->second, -1});
+  /// Refills entries_ (clear + push, capacity kept) from the exchange key
+  /// tables; both tables were fully rewritten by this sim round's exchange
+  /// before any iteration starts.
+  void buildEntries() {
+    entries_.clear();
+    const std::size_t deg = g_.degree(self_);
+    for (std::size_t i = 0; i < deg; ++i) {
+      entries_.push_back({sentKey_[i], +1});
+      entries_.push_back({estKey_[i], -1});
     }
-    return entries;
   }
 
   [[nodiscard]] std::size_t sparsity() const {
@@ -598,8 +604,9 @@ class ByzNode final : public NodeState {
       const DecodedKey dec = decodeKey(key);
       if (dec.receiver != self_) continue;
       if (dec.chunk > kAbsentChunk) continue;
-      if (!estKey_.count(dec.sender)) continue;  // not a neighbor
-      estKey_[dec.sender] =
+      const std::ptrdiff_t idx = exchCapture_.indexOf(dec.sender);
+      if (idx < 0) continue;  // not a neighbor
+      estKey_[static_cast<std::size_t>(idx)] =
           encodeKey(dec.sender, self_, dec.chunk, dec.payload);
     }
     if (shared_) recordMismatches(p.j + 1);
@@ -609,13 +616,12 @@ class ByzNode final : public NodeState {
     // Redeliver through the reused member inbox: every neighbor slot is
     // rewritten (absent included), so no stale message survives between
     // sim rounds and nothing is allocated after the first delivery.
-    for (const auto& nb : g_.neighbors(self_)) {
-      Msg& slot = inbox_.slot(nb.node);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      Msg& slot = inbox_.slot(nbs[i].node);
       slot.present = false;
       slot.words.clear();
-      const auto it = estKey_.find(nb.node);
-      if (it == estKey_.end()) continue;
-      const DecodedKey dec = decodeKey(it->second);
+      const DecodedKey dec = decodeKey(estKey_[i]);
       if (dec.chunk == 0) {
         slot.present = true;
         slot.words.push_back(dec.payload);
@@ -644,8 +650,14 @@ class ByzNode final : public NodeState {
   bool done_ = false;
   int currentSimRound_ = 1;
 
-  std::map<NodeId, std::uint64_t> sentKey_;  // my round-i sends, key form
-  std::map<NodeId, std::uint64_t> estKey_;   // estimates of my received msgs
+  /// Exchange-step surfaces, adjacency-indexed and rewritten in place each
+  /// sim round: the member capture collects the inner algorithm's sends,
+  /// the key tables hold my sends / estimated receipts in key form, and
+  /// exchMsg_ is the reused wire buffer.
+  sim::FlatCapture exchCapture_;
+  Msg exchMsg_;
+  std::vector<std::uint64_t> sentKey_;  // [nbIndex] my round-i sends
+  std::vector<std::uint64_t> estKey_;   // [nbIndex] estimates of receipts
   std::vector<std::pair<std::uint64_t, std::int64_t>> entries_;
 
   std::map<int, std::uint64_t> seed_;  // tree -> sketch seed this iteration

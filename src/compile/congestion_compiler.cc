@@ -45,7 +45,11 @@ class CongestionNode final : public NodeState {
         pk_(std::move(pk)),
         opts_(opts),
         layout_(layout),
-        pool_(layout.r, layout.t1, 1) {
+        pool_(layout.r, layout.t1, 1),
+        capture_(g, self),
+        deliver_(g, self) {
+    for (const auto& nb : g_.neighbors(self_))
+      (void)deliver_.slot(nb.node);  // fix the delivery slot set up front
     // Root draws the global hash seed; all nodes instantiate a core with
     // the same width (non-roots pass zeros which are ignored).
     std::vector<std::uint64_t> seed(
@@ -73,22 +77,21 @@ class CongestionNode final : public NodeState {
     const int i = b - layout_.broadcastRounds;  // simulated round of A
     if (i > layout_.r) return;
     if (i == 1) finalizeKeys();
-    MapOutbox capture(g_, self_);
-    inner_->send(i, capture);
-    for (const auto& nb : g_.neighbors(self_)) {
-      const auto it = capture.messages().find(nb.node);
-      const bool real =
-          it != capture.messages().end() && it->second.present;
+    capture_.begin();
+    inner_->send(i, capture_);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t j = 0; j < nbs.size(); ++j) {
+      const Msg& cm = capture_.slot(j);
       std::uint64_t wire;
-      if (real) {
-        const std::uint64_t m = it->second.atOr(0, 0);
+      if (cm.present) {
+        const std::uint64_t m = cm.atOr(0, 0);
         assert(m < (1ULL << opts_.payloadBits) &&
                "payload exceeds the declared domain");
-        wire = (*hash_)(m) ^ keyFor(sendKeys_, nb.node, i);
+        wire = (*hash_)(m) ^ keyFor(sendKeys_, nbs[j].node, i);
       } else {
         wire = rng_.next() & ((1ULL << opts_.hashBits) - 1);
       }
-      out.to(nb.node, Msg::of(wire));
+      out.to(nbs[j].node, sim::resetScratch(wire_).push(wire));
     }
   }
 
@@ -107,7 +110,7 @@ class CongestionNode final : public NodeState {
     }
     const int i = b - layout_.broadcastRounds;
     if (i > layout_.r) return;
-    MapInbox deliver(g_, self_);
+    deliver_.clearSlots();
     for (const auto& nb : g_.neighbors(self_)) {
       const MsgView m = in.from(nb.node);
       if (!m.present()) continue;
@@ -115,9 +118,9 @@ class CongestionNode final : public NodeState {
       // The paper's decoding loop: scan the message domain for a preimage.
       const auto hit = preimage_.find(image);
       if (hit != preimage_.end())
-        deliver.put(nb.node, Msg::of(hit->second));
+        sim::resetScratch(deliver_.slot(nb.node)).push(hit->second);
     }
-    inner_->receive(i, deliver);
+    inner_->receive(i, deliver_);
     if (i >= layout_.r) done_ = true;
   }
 
@@ -155,6 +158,9 @@ class CongestionNode final : public NodeState {
   CongestionCompilerOptions opts_;
   Layout layout_;
   KeyPool pool_;
+  sim::FlatCapture capture_;  // inner sends, reused every sim round
+  sim::MapInbox deliver_;     // reused delivery surface (slots fixed)
+  Msg wire_;                  // reused wire message
   std::unique_ptr<BroadcastCore> bcast_;
   std::unique_ptr<hash::CwiseHash> hash_;
   std::map<std::uint64_t, std::uint64_t> preimage_;

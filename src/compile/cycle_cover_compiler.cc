@@ -74,7 +74,9 @@ class CycleNode final : public NodeState {
         g_(g),
         inner_(std::move(inner)),
         innerRounds_(innerRounds),
-        routing_(std::move(routing)) {
+        routing_(std::move(routing)),
+        capture_(g, self),
+        deliver_(g, self) {
     roundsPerSim_ = routing_->colorCount * routing_->window;
   }
 
@@ -127,8 +129,8 @@ class CycleNode final : public NodeState {
   void startSimRound(int simRound) {
     holding_.clear();
     votes_.clear();
-    MapOutbox capture(g_, self_);
-    inner_->send(simRound, capture);
+    capture_.begin();
+    inner_->send(simRound, capture_);
     // Seed origin duties: for edge (u,v), dir 0 originates at u with
     // m(u,v), dir 1 at v with m(v,u).  Absent messages ride as a sentinel
     // so receivers can distinguish "no message" reliably.
@@ -138,17 +140,23 @@ class CycleNode final : public NodeState {
       const NodeId target = (d.dir == 0) ? ed.v : ed.u;
       if ((d.dir == 0 && ed.u != self_) || (d.dir == 1 && ed.v != self_))
         continue;
-      const auto it = capture.messages().find(target);
-      const bool present =
-          it != capture.messages().end() && it->second.present;
+      const std::ptrdiff_t idx = capture_.indexOf(target);
+      const bool present = idx >= 0 &&
+                           capture_.slot(static_cast<std::size_t>(idx)).present;
       const std::uint64_t value =
-          present ? ((it->second.atOr(0, 0) << 1) | 1u) : 0u;
+          present
+              ? ((capture_.slot(static_cast<std::size_t>(idx)).atOr(0, 0)
+                  << 1) |
+                 1u)
+              : 0u;
       holding_[{d.edge, d.path, d.dir}] = value;
     }
   }
 
   void deliver(int simRound) {
-    MapInbox inbox(g_, self_);
+    // Reused member inbox: the sender set recurs (it is fixed by the duty
+    // tables), so after warm-up the slots are rewritten in place.
+    deliver_.clearSlots();
     for (const auto& [key, tally] : votes_) {
       const auto& [edge, dir] = key;
       const graph::Edge& ed = g_.edge(edge);
@@ -162,9 +170,9 @@ class CycleNode final : public NodeState {
         }
       }
       if (bestCount > 0 && (bestValue & 1u) != 0)
-        inbox.put(sender, Msg::of(bestValue >> 1));
+        sim::resetScratch(deliver_.slot(sender)).push(bestValue >> 1);
     }
-    inner_->receive(simRound, inbox);
+    inner_->receive(simRound, deliver_);
     if (simRound >= innerRounds_) done_ = true;
   }
 
@@ -173,6 +181,8 @@ class CycleNode final : public NodeState {
   std::unique_ptr<NodeState> inner_;
   int innerRounds_;
   std::shared_ptr<const Routing> routing_;
+  sim::FlatCapture capture_;  // inner sends, reused every sim round
+  sim::MapInbox deliver_;     // reused delivery surface
   int roundsPerSim_;
   std::map<std::tuple<graph::EdgeId, int, int>, std::uint64_t> holding_;
   std::map<std::pair<graph::EdgeId, int>, std::map<std::uint64_t, long>> votes_;

@@ -93,7 +93,9 @@ class RewindNode final : public NodeState {
         codec_(pk_->k, 8 * (opts.correctionCap > 0 ? opts.correctionCap
                                                    : 4 * std::max(1, f)),
                3),
-        shared_(std::move(shared)) {
+        shared_(std::move(shared)),
+        replayCapture_(g, self),
+        replayInbox_(g, self) {
     for (const auto& nb : g_.neighbors(self_)) {
       inTrans_[nb.node] = {};
       outTrans_[nb.node] = {};
@@ -108,6 +110,9 @@ class RewindNode final : public NodeState {
     initStash_.resize(deg * static_cast<std::size_t>(sched_.initRounds));
     stash_.resize(deg * static_cast<std::size_t>(pk_->eta) *
                   static_cast<std::size_t>(slots_.rho));
+    replaySends_.resize(deg);
+    for (const auto& nb : g_.neighbors(self_))
+      (void)replayInbox_.slot(nb.node);  // fix the replay slot set up front
   }
 
   void send(int round, Outbox& out) override {
@@ -117,9 +122,8 @@ class RewindNode final : public NodeState {
       const auto& nbs = g_.neighbors(self_);
       for (std::size_t i = 0; i < nbs.size(); ++i) {
         const Tuple& t = sendTuple_[i];
-        scratch_.present = true;
-        scratch_.words.clear();
-        for (int w = 0; w < 4; ++w) scratch_.words.push_back(t.word(w));
+        sim::resetScratch(scratch_);
+        for (int w = 0; w < 4; ++w) scratch_.push(t.word(w));
         out.to(nbs[i].node, scratch_);
       }
       return;
@@ -169,33 +173,34 @@ class RewindNode final : public NodeState {
   // --- inner replay ---------------------------------------------------------
 
   /// Replays the (deterministic) inner node over the estimated incoming
-  /// transcripts and returns its sends for round `gamma+1`.
-  [[nodiscard]] std::map<NodeId, std::uint64_t> replayNext() {
+  /// transcripts and fills replaySends_ (adjacency-indexed) with its
+  /// symbols for round `gamma+1`.
+  void replayNext() {
     auto node = inner_.makeNode(self_, g_, util::Rng(0x5e9));
     const int gamma = static_cast<int>(gammaLen());
     for (int i = 1; i <= std::min(gamma, inner_.rounds); ++i) {
       NullOutbox nul(g_, self_);
       node->send(i, nul);
-      MapInbox inbox(g_, self_);
+      replayInbox_.clearSlots();
       for (const auto& [u, trans] : inTrans_) {
         const std::uint64_t sym = trans[static_cast<std::size_t>(i - 1)];
-        if (sym & kPresentBit) inbox.put(u, Msg::of(sym & 0xffffffffULL));
+        if (sym & kPresentBit)
+          sim::resetScratch(replayInbox_.slot(u)).push(sym & 0xffffffffULL);
       }
-      node->receive(i, inbox);
+      node->receive(i, replayInbox_);
     }
-    std::map<NodeId, std::uint64_t> sends;
+    const auto& nbs = g_.neighbors(self_);
     if (gamma + 1 > inner_.rounds) {
-      for (const auto& nb : g_.neighbors(self_)) sends[nb.node] = kBottomSym;
-      return sends;
+      for (std::size_t i = 0; i < nbs.size(); ++i)
+        replaySends_[i] = kBottomSym;
+      return;
     }
-    MapOutbox capture(g_, self_);
-    node->send(gamma + 1, capture);
-    for (const auto& nb : g_.neighbors(self_)) {
-      const auto it = capture.messages().find(nb.node);
-      const bool present = it != capture.messages().end() && it->second.present;
-      sends[nb.node] = symbolOf(present, present ? it->second.atOr(0, 0) : 0);
+    replayCapture_.begin();
+    node->send(gamma + 1, replayCapture_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const Msg& cm = replayCapture_.slot(i);
+      replaySends_[i] = symbolOf(cm.present, cm.present ? cm.atOr(0, 0) : 0);
     }
-    return sends;
   }
 
   [[nodiscard]] std::size_t gammaLen() const {
@@ -218,13 +223,13 @@ class RewindNode final : public NodeState {
   }
 
   void startGlobalRound() {
-    const auto sends = replayNext();
+    replayNext();
     const auto& nbs = g_.neighbors(self_);
     // recvTuple_ entries are all rewritten at the end of the init phase,
     // before anything reads them; sendTuple_ is refilled here in place.
     for (std::size_t i = 0; i < nbs.size(); ++i) {
       Tuple t;
-      t.m = sends.at(nbs[i].node);
+      t.m = replaySends_[i];
       t.r = rng_.next();
       t.hash =
           hash::TranscriptFingerprint(t.r).hash(outTrans_.at(nbs[i].node));
@@ -689,6 +694,12 @@ class RewindNode final : public NodeState {
   std::vector<Msg> initStash_;
   std::vector<Msg> stash_;
   Msg scratch_;  // reused init-phase send buffer
+  /// Replay surfaces, reused across global rounds: the capture collects the
+  /// replayed node's round-(gamma+1) sends, the inbox redelivers estimated
+  /// transcripts, and replaySends_ holds the resulting symbols.
+  sim::FlatCapture replayCapture_;
+  sim::MapInbox replayInbox_;
+  std::vector<std::uint64_t> replaySends_;  // [nbIndex]
 
   std::map<int, std::uint64_t> seed_;
   std::vector<std::uint64_t> treeSeed_;

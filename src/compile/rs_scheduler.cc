@@ -15,21 +15,6 @@ using sim::Outbox;
 
 namespace {
 
-Msg majority(const std::vector<Msg>& copies) {
-  Msg best;
-  int bestCount = 0;
-  for (std::size_t i = 0; i < copies.size(); ++i) {
-    int count = 0;
-    for (std::size_t j = 0; j < copies.size(); ++j)
-      if (copies[j] == copies[i]) ++count;
-    if (count > bestCount) {
-      bestCount = count;
-      best = copies[i];
-    }
-  }
-  return best;
-}
-
 class SchedNode final : public NodeState {
  public:
   SchedNode(NodeId self, const Graph& g, util::Rng rng,
@@ -41,6 +26,20 @@ class SchedNode final : public NodeState {
         engine_(engine),
         slots_{pk_->eta, engine.effectiveRho()},
         shared_(std::move(shared)) {
+    // Fixed-shape repetition stash, [neighbor][schedule slot][rho],
+    // rewritten in place via sim::assignMsg -- the slot-indexed no-alloc
+    // idiom of compile/baselines.cc (a (tree, neighbor) pair is exactly a
+    // (slot, neighbor) pair under the Lemma 3.3 schedule).
+    stash_.resize(g_.degree(self_) * static_cast<std::size_t>(pk_->eta) *
+                  static_cast<std::size_t>(slots_.rho));
+    reinit(std::move(rng));
+  }
+
+  /// Network::reset() in-place re-initializer: exactly the constructor's
+  /// mutable state, reusing every allocation (stash slot capacities
+  /// survive; each slot is fully rewritten before its next majority read).
+  void reinit(util::Rng rng) {
+    done_ = false;
     value_.assign(static_cast<std::size_t>(pk_->k), 0);
     have_.assign(static_cast<std::size_t>(pk_->k), 0);
     if (self_ == pk_->root) {
@@ -72,7 +71,8 @@ class SchedNode final : public NodeState {
         continue;
       if (!view.inTree(tree, nb.node)) continue;
       if (!have_[static_cast<std::size_t>(tree)]) continue;
-      out.to(nb.node, Msg::of(value_[static_cast<std::size_t>(tree)]));
+      out.to(nb.node, sim::resetScratch(scratch_).push(
+                          value_[static_cast<std::size_t>(tree)]));
     }
   }
 
@@ -83,19 +83,23 @@ class SchedNode final : public NodeState {
     const int slot = slots_.slotOf(r);
     if (step > pk_->depthBound) return;
     const auto& view = pk_->view(self_);
-    for (const auto& nb : g_.neighbors(self_)) {
-      const auto it = view.edgeTrees.find(nb.node);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const auto it = view.edgeTrees.find(nbs[i].node);
       if (it == view.edgeTrees.end() ||
           slot >= static_cast<int>(it->second.size()))
         continue;
       const int tree = it->second[static_cast<std::size_t>(slot)];
       const int d = view.depth[static_cast<std::size_t>(tree)];
-      if (d != step || view.parent[static_cast<std::size_t>(tree)] != nb.node)
+      if (d != step ||
+          view.parent[static_cast<std::size_t>(tree)] != nbs[i].node)
         continue;
-      stash_[{tree, nb.node}].push_back(in.from(nb.node).toMsg());
+      Msg* copies = stashSlot(i, slot);
+      sim::assignMsg(copies[static_cast<std::size_t>(rep)],
+                     in.from(nbs[i].node));
       if (rep == slots_.rho - 1) {
-        const Msg m = majority(stash_[{tree, nb.node}]);
-        stash_.erase({tree, nb.node});
+        const Msg& m =
+            majorityRef(copies, static_cast<std::size_t>(slots_.rho));
         if (m.present) {
           value_[static_cast<std::size_t>(tree)] = m.at(0);
           have_[static_cast<std::size_t>(tree)] = 1;
@@ -126,6 +130,13 @@ class SchedNode final : public NodeState {
   [[nodiscard]] bool done() const override { return done_; }
 
  private:
+  /// The rho stash copies of (neighbor index, schedule slot).
+  [[nodiscard]] Msg* stashSlot(std::size_t nbIndex, int slot) {
+    return stash_.data() + (nbIndex * static_cast<std::size_t>(pk_->eta) +
+                            static_cast<std::size_t>(slot)) *
+                               static_cast<std::size_t>(slots_.rho);
+  }
+
   NodeId self_;
   const Graph& g_;
   std::shared_ptr<const PackingKnowledge> pk_;
@@ -134,7 +145,10 @@ class SchedNode final : public NodeState {
   std::shared_ptr<ScheduledBroadcastShared> shared_;
   std::vector<std::uint64_t> value_;
   std::vector<char> have_;
-  std::map<std::pair<int, NodeId>, std::vector<Msg>> stash_;
+  /// Repetition stash, [neighbor][schedule slot][rho] flattened; fixed
+  /// shape, rewritten in place every scheduled round.
+  std::vector<Msg> stash_;
+  Msg scratch_;  // reused send buffer
   bool done_ = false;
 };
 
@@ -154,6 +168,13 @@ sim::Algorithm makeScheduledTreeBroadcast(
   a.makeNode = [&g, pk, engine, shared](NodeId v, const Graph&, util::Rng rng) {
     return std::make_unique<SchedNode>(v, g, std::move(rng), pk, engine,
                                        shared);
+  };
+  a.reinitNode = [](sim::NodeState& node, NodeId, const Graph&,
+                    util::Rng rng) {
+    auto* sched = dynamic_cast<SchedNode*>(&node);
+    if (sched == nullptr) return false;
+    sched->reinit(std::move(rng));
+    return true;
   };
   return a;
 }

@@ -36,10 +36,13 @@ class MobileSecureNode final : public NodeState {
         inner_(std::move(inner)),
         pool_(r, t, kWordsPerRound),
         r_(r),
-        ell_(r + t) {
+        ell_(r + t),
+        capture_(g, self),
+        deliver_(g, self) {
     for (const auto& nb : g_.neighbors(self_)) {
       sentRandom_[nb.node] = {};
       recvRandom_[nb.node] = {};
+      (void)deliver_.slot(nb.node);  // fix the delivery slot set up front
     }
   }
 
@@ -60,22 +63,20 @@ class MobileSecureNode final : public NodeState {
     const int i = round - ell_;  // simulated round of A
     if (i > r_) return;
     if (i == 1) deriveKeys();
-    // Capture A's round-i sends, mask with K_i, transmit on every edge so
-    // traffic analysis learns nothing from message presence.
-    MapOutbox capture(g_, self_);
-    inner_->send(i, capture);
-    for (const auto& nb : g_.neighbors(self_)) {
-      const auto it = capture.messages().find(nb.node);
-      const bool real =
-          it != capture.messages().end() && it->second.present;
-      const std::uint64_t payload =
-          real ? it->second.atOr(0, 0) : rng_.next();
-      const std::uint64_t pad0 = keyWord(sendKeys_, nb.node, i, 0);
-      const std::uint64_t pad1 = keyWord(sendKeys_, nb.node, i, 1);
-      Msg m;
-      m.push(payload ^ pad0);
-      m.push((real ? 1u : 0u) ^ pad1);
-      out.to(nb.node, m);
+    // Capture A's round-i sends (reused member capture), mask with K_i,
+    // transmit on every edge so traffic analysis learns nothing from
+    // message presence.
+    capture_.begin();
+    inner_->send(i, capture_);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t j = 0; j < nbs.size(); ++j) {
+      const Msg& cm = capture_.slot(j);
+      const bool real = cm.present;
+      const std::uint64_t payload = real ? cm.atOr(0, 0) : rng_.next();
+      const std::uint64_t pad0 = keyWord(sendKeys_, nbs[j].node, i, 0);
+      const std::uint64_t pad1 = keyWord(sendKeys_, nbs[j].node, i, 1);
+      out.to(nbs[j].node, sim::resetScratch(wire_).push(payload ^ pad0).push(
+                              (real ? 1u : 0u) ^ pad1));
     }
   }
 
@@ -91,16 +92,18 @@ class MobileSecureNode final : public NodeState {
     }
     const int i = round - ell_;
     if (i > r_) return;
-    MapInbox deliver(g_, self_);
+    // Redeliver through the reused member inbox: every slot is marked
+    // absent first, so only this round's unmasked real messages survive.
+    deliver_.clearSlots();
     for (const auto& nb : g_.neighbors(self_)) {
       const MsgView m = in.from(nb.node);
       if (!m.present()) continue;
       const std::uint64_t pad0 = keyWord(recvKeys_, nb.node, i, 0);
       const std::uint64_t pad1 = keyWord(recvKeys_, nb.node, i, 1);
       const bool real = ((m.atOr(1, 0) ^ pad1) & 1u) != 0;
-      if (real) deliver.put(nb.node, Msg::of(m.at(0) ^ pad0));
+      if (real) sim::resetScratch(deliver_.slot(nb.node)).push(m.at(0) ^ pad0);
     }
-    inner_->receive(i, deliver);
+    inner_->receive(i, deliver_);
   }
 
   [[nodiscard]] std::uint64_t output() const override {
@@ -132,6 +135,9 @@ class MobileSecureNode final : public NodeState {
   KeyPool pool_;
   int r_;
   int ell_;
+  sim::FlatCapture capture_;  // inner sends, reused every sim round
+  sim::MapInbox deliver_;     // reused delivery surface (slots fixed)
+  Msg wire_;                  // reused masked wire message
   std::map<NodeId, std::vector<std::uint64_t>> sentRandom_;
   std::map<NodeId, std::vector<std::uint64_t>> recvRandom_;
   std::map<NodeId, std::vector<std::uint64_t>> sendKeys_;

@@ -5,6 +5,7 @@
 // exact c-wise-independence guarantees the paper's constructions consume.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace mobile::gf {
@@ -47,6 +48,37 @@ inline constexpr std::uint64_t kP61 = (1ULL << 61) - 1;
 
 [[nodiscard]] inline std::uint64_t invP61(std::uint64_t a) {
   return powP61(a, kP61 - 2);  // Fermat; a != 0
+}
+
+/// Batch width of the interleaved pow kernel below (fits on the stack).
+inline constexpr std::size_t kPowBatch = 16;
+
+/// out[i] = bases[i]^e for a *shared* exponent -- the batched form of the
+/// sketch fingerprint update sum f * z^key, where one key hits one cell
+/// per hash row / sampling level and each cell carries its own point z.
+/// A lone powP61 is a serial chain of ~61 dependent squarings; running the
+/// chains of a whole row/level batch in lockstep (square step across all
+/// bases, then multiply step across all bases) fills the multiplier
+/// pipeline instead.  Exact same mulP61 algebra, so results are
+/// bit-identical to per-base powP61 calls.
+inline void powP61Many(const std::uint64_t* bases, std::size_t n,
+                       std::uint64_t e, std::uint64_t* out) {
+  for (std::size_t lo = 0; lo < n; lo += kPowBatch) {
+    const std::size_t m = n - lo < kPowBatch ? n - lo : kPowBatch;
+    std::uint64_t sq[kPowBatch];
+    for (std::size_t i = 0; i < m; ++i) {
+      sq[i] = bases[lo + i] % kP61;
+      out[lo + i] = 1;
+    }
+    for (std::uint64_t rem = e; rem > 0;) {
+      if (rem & 1)
+        for (std::size_t i = 0; i < m; ++i)
+          out[lo + i] = mulP61(out[lo + i], sq[i]);
+      rem >>= 1;
+      if (rem == 0) break;
+      for (std::size_t i = 0; i < m; ++i) sq[i] = mulP61(sq[i], sq[i]);
+    }
+  }
 }
 
 }  // namespace mobile::gf

@@ -7,9 +7,6 @@ namespace mobile::gf {
 
 namespace {
 
-// x^16 + x^12 + x^3 + x + 1.
-constexpr std::uint32_t kPrimitivePoly = 0x1100B;
-
 struct Tables {
   std::array<std::uint16_t, kFieldSize> exp{};   // exp[i] = x^i (i < q-1)
   std::array<std::uint32_t, kFieldSize> log{};   // log[x^i] = i; log[0] unused

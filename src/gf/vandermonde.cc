@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "gf/slab.h"
+
 namespace mobile::gf {
 
 Vandermonde::Vandermonde(std::size_t n, std::size_t m) : n_(n), m_(m) {
@@ -19,69 +21,46 @@ Vandermonde::Vandermonde(std::size_t n, std::size_t m) : n_(n), m_(m) {
 
 std::vector<F16> Vandermonde::applyTransposed(const std::vector<F16>& x) const {
   assert(x.size() == n_);
+  // Row-wise axpy over the contiguous rows: y ^= x[i] * row_i.  One
+  // split-nibble table per non-zero coefficient replaces n_*m_ log/antilog
+  // multiplies -- the extraction map is the KeyPool hot loop.
   std::vector<F16> y(m_, F16(0));
   for (std::size_t i = 0; i < n_; ++i) {
     if (x[i].isZero()) continue;
-    for (std::size_t j = 0; j < m_; ++j) y[j] += x[i] * at(i, j);
+    addScaledSlab(y.data(), x[i], cells_.data() + i * m_, m_);
   }
   return y;
 }
 
+namespace {
+
+/// Packs (a | b) into the flat augmented matrix the slab solvers eliminate
+/// in place.
+Matrix augmented(const std::vector<std::vector<F16>>& a,
+                 const std::vector<F16>& b, std::size_t unknowns) {
+  Matrix aug(a.size(), unknowns + 1);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    assert(a[i].size() >= unknowns);
+    for (std::size_t j = 0; j < unknowns; ++j) aug.set(i, j, a[i][j]);
+    aug.set(i, unknowns, b[i]);
+  }
+  return aug;
+}
+
+}  // namespace
+
 std::vector<F16> solveLinearAny(std::vector<std::vector<F16>> a,
                                 std::vector<F16> b, std::size_t unknowns) {
-  const std::size_t rows = a.size();
-  assert(b.size() == rows);
-  std::vector<std::size_t> pivotCol;  // pivot column of each eliminated row
-  std::size_t rank = 0;
-  for (std::size_t col = 0; col < unknowns && rank < rows; ++col) {
-    std::size_t pivot = rank;
-    while (pivot < rows && a[pivot][col].isZero()) ++pivot;
-    if (pivot == rows) continue;
-    std::swap(a[pivot], a[rank]);
-    std::swap(b[pivot], b[rank]);
-    const F16 inv = a[rank][col].inverse();
-    for (std::size_t j = col; j < unknowns; ++j) a[rank][j] *= inv;
-    b[rank] *= inv;
-    for (std::size_t row = 0; row < rows; ++row) {
-      if (row == rank || a[row][col].isZero()) continue;
-      const F16 factor = a[row][col];
-      for (std::size_t j = col; j < unknowns; ++j)
-        a[row][j] += factor * a[rank][j];
-      b[row] += factor * b[rank];
-    }
-    pivotCol.push_back(col);
-    ++rank;
-  }
-  // Consistency: rows below the rank must have zero RHS.
-  for (std::size_t row = rank; row < rows; ++row)
-    if (!b[row].isZero()) return {};
-  std::vector<F16> z(unknowns, F16(0));
-  for (std::size_t r = 0; r < rank; ++r) z[pivotCol[r]] = b[r];
-  return z;
+  assert(b.size() == a.size());
+  Matrix aug = augmented(a, b, unknowns);
+  return solveLinearAnyInPlace(aug);
 }
 
 std::vector<F16> solveLinear(std::vector<std::vector<F16>> a,
                              std::vector<F16> b) {
-  const std::size_t n = a.size();
-  assert(b.size() == n);
-  for (std::size_t col = 0; col < n; ++col) {
-    std::size_t pivot = col;
-    while (pivot < n && a[pivot][col].isZero()) ++pivot;
-    if (pivot == n) return {};  // singular
-    std::swap(a[pivot], a[col]);
-    std::swap(b[pivot], b[col]);
-    const F16 inv = a[col][col].inverse();
-    for (std::size_t j = col; j < n; ++j) a[col][j] *= inv;
-    b[col] *= inv;
-    for (std::size_t row = 0; row < n; ++row) {
-      if (row == col || a[row][col].isZero()) continue;
-      const F16 factor = a[row][col];
-      for (std::size_t j = col; j < n; ++j)
-        a[row][j] += factor * a[col][j];
-      b[row] += factor * b[col];
-    }
-  }
-  return b;
+  assert(b.size() == a.size());
+  Matrix aug = augmented(a, b, a.size());
+  return solveLinearInPlace(aug);
 }
 
 }  // namespace mobile::gf

@@ -7,6 +7,9 @@
 #include "algo/payloads.h"
 #include "compile/baselines.h"
 #include "compile/byz_tree_compiler.h"
+#include "compile/congestion_compiler.h"
+#include "compile/cycle_cover_compiler.h"
+#include "compile/jain_unicast.h"
 #include "compile/rewind_compiler.h"
 #include "compile/secure_broadcast.h"
 #include "compile/static_to_mobile.h"
@@ -178,6 +181,21 @@ void registerAlgos(Registry<AlgoFactory>& r) {
                                                     std::move(secret),
                                                     advF(p));
         });
+  r.add("jain_multicast",
+        "Appendix A.1 Jain-substitute mobile-secure multicast "
+        "(s, t, k edge-disjoint paths, r parallel instances)",
+        [](const Graph& g, const Params& p) {
+          compile::MulticastPlan mp;
+          const auto s = static_cast<NodeId>(p.integer("s", 0));
+          const auto t = static_cast<NodeId>(p.integer("t", 1));
+          const int k = static_cast<int>(p.integer("k", 2));
+          const long instances = p.integer("r", 1);
+          for (long i = 0; i < instances; ++i) {
+            mp.instances.push_back(compile::planUnicast(g, s, t, k));
+            mp.secrets.push_back(0xaced00 + static_cast<std::uint64_t>(i));
+          }
+          return compile::makeMobileSecureMulticast(g, std::move(mp));
+        });
 }
 
 void registerCompilers(Registry<CompileFactory>& r) {
@@ -220,6 +238,26 @@ void registerCompilers(Registry<CompileFactory>& r) {
           if (t <= 0)
             t = static_cast<int>(p.integer("tmul", 1)) * inner.rounds;
           return compile::compileStaticToMobile(g, inner, t);
+        });
+  r.add("congestion",
+        "Theorem 1.3 congestion-sensitive masking compiler "
+        "(f, packing, payloadbits, hashbits; payloads must fit payloadbits)",
+        [](const Graph& g, const sim::Algorithm& inner, const Params& p) {
+          compile::CongestionCompilerOptions opts;
+          opts.payloadBits = static_cast<unsigned>(
+              p.integer("payloadbits", opts.payloadBits));
+          opts.hashBits =
+              static_cast<unsigned>(p.integer("hashbits", opts.hashBits));
+          opts.poolThreshold =
+              static_cast<int>(p.integer("pool", opts.poolThreshold));
+          return compile::compileCongestionSensitive(
+              g, inner, packingFor(g, p), advF(p), opts);
+        });
+  r.add("cycle_cover",
+        "Theorem 5.5 fault-tolerant cycle-cover compiler "
+        "(f; needs edge connectivity >= 2f+1)",
+        [](const Graph& g, const sim::Algorithm& inner, const Params& p) {
+          return compile::compileCycleCover(g, inner, advF(p));
         });
 }
 

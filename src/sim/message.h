@@ -81,4 +81,15 @@ struct Msg {
   }
 };
 
+/// Clears `m` to an empty *present* message, keeping the words capacity:
+/// the scratch-send counterpart of sim::assignMsg (arc_buffer.h).  Nodes
+/// that resend every round keep one member Msg and refill it --
+///   out.to(nb, resetScratch(scratch_).push(w));
+/// -- so the steady state allocates nothing.
+inline Msg& resetScratch(Msg& m) {
+  m.present = true;
+  m.words.clear();
+  return m;
+}
+
 }  // namespace mobile::sim

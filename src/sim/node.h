@@ -14,6 +14,7 @@
 // owning Msg values, which the arena plane copies into its sender slab.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -108,6 +109,57 @@ class MapOutbox final : public Outbox {
   std::map<NodeId, Msg> msgs_;
 };
 
+/// Adjacency-indexed capture outbox: one reusable Msg slot per neighbor,
+/// fixed shape from construction.  The zero-allocation replacement for the
+/// per-sim-round `MapOutbox capture(g_, self_)` exchange-step idiom: keep
+/// one FlatCapture as a member, call begin() before handing it to the
+/// inner algorithm's send (marks every slot absent, keeps word capacity),
+/// then read the capture back by adjacency position or neighbor id.  In
+/// steady state nothing is allocated -- slot Msg words reuse their
+/// capacity, and the neighbor index is built once.
+class FlatCapture final : public Outbox {
+ public:
+  FlatCapture(const Graph& g, NodeId self)
+      : Outbox(g, self), slots_(g.degree(self)) {
+    const auto& nbs = g.neighbors(self);
+    for (std::size_t i = 0; i < nbs.size(); ++i)
+      index_.emplace(nbs[i].node, i);
+  }
+
+  /// Marks every slot absent (keeping capacity); call before each capture.
+  void begin() {
+    for (auto& s : slots_) {
+      s.present = false;
+      s.words.clear();
+    }
+  }
+
+  /// Sends to non-neighbors are dropped (asserting in debug builds),
+  /// matching MapOutbox, which accepted the entry and never read it.
+  void to(NodeId to, const Msg& m) override {
+    const std::ptrdiff_t i = indexOf(to);
+    assert(i >= 0 && "FlatCapture::to: target is not a neighbor of self");
+    if (i < 0) return;
+    slots_[static_cast<std::size_t>(i)] = m;
+  }
+
+  [[nodiscard]] std::size_t slotCount() const { return slots_.size(); }
+  /// Slot of the i-th neighbor in g.neighbors(self) order.
+  [[nodiscard]] const Msg& slot(std::size_t i) const { return slots_[i]; }
+  [[nodiscard]] const Msg& forNeighbor(NodeId to) const {
+    return slots_[index_.at(to)];
+  }
+  /// Adjacency position of `to`, or -1 when not a neighbor of self.
+  [[nodiscard]] std::ptrdiff_t indexOf(NodeId to) const {
+    const auto it = index_.find(to);
+    return it == index_.end() ? -1 : static_cast<std::ptrdiff_t>(it->second);
+  }
+
+ private:
+  std::vector<Msg> slots_;
+  std::map<NodeId, std::size_t> index_;
+};
+
 /// Injection inbox: delivers compiler-reconstructed messages to the inner
 /// algorithm.
 class MapInbox final : public Inbox {
@@ -118,6 +170,15 @@ class MapInbox final : public Inbox {
   /// assign into the same slots (Msg assignment keeps the words capacity)
   /// instead of re-inserting -- remember to mark unused slots absent.
   [[nodiscard]] Msg& slot(NodeId from) { return msgs_[from]; }
+  /// Marks every existing slot absent (capacity kept): the delivery-reuse
+  /// idiom for compilers whose sender set recurs round over round --
+  /// clearSlots(), rewrite the present ones via slot(), deliver.
+  void clearSlots() {
+    for (auto& [from, m] : msgs_) {
+      m.present = false;
+      m.words.clear();
+    }
+  }
   [[nodiscard]] MsgView from(NodeId from) const override {
     const auto it = msgs_.find(from);
     return it != msgs_.end() ? MsgView(it->second) : MsgView();

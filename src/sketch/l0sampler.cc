@@ -9,7 +9,9 @@ namespace mobile::sketch {
 
 L0Sampler::L0Sampler(std::uint64_t seed, unsigned universeBits,
                      unsigned levels)
-    : seed_(seed), levels_(levels == 0 ? universeBits + 1 : levels) {
+    : seed_(seed),
+      levels_(levels == 0 ? universeBits + 1 : levels),
+      scratch_(levels_) {
   std::uint64_t st = seed;
   hashA_ = util::splitmix64(st) % gf::kP61;
   if (hashA_ == 0) hashA_ = 1;
@@ -50,11 +52,18 @@ void L0Sampler::update(std::uint64_t key, std::int64_t freq) {
   assert(key < gf::kP61);
   const unsigned topLevel = levelOf(key);
   // Key participates in all levels <= its sampled level (nested sampling).
-  for (unsigned l = 0; l <= topLevel && l < levels_; ++l) {
-    const std::size_t b = bucketOf(key, l);
-    cells_[static_cast<std::size_t>(l) * kBucketsPerLevel + b].update(key,
-                                                                      freq);
+  // One cell per level, each with its own fingerprint point: batch the
+  // shared-exponent powers across the levels (gf::powP61Many) instead of
+  // walking one serial squaring chain per cell.
+  std::size_t n = 0;
+  for (unsigned l = 0; l <= topLevel && l < levels_; ++l, ++n) {
+    scratch_.idx[n] =
+        static_cast<std::size_t>(l) * kBucketsPerLevel + bucketOf(key, l);
+    scratch_.base[n] = cells_[scratch_.idx[n]].zPoint();
   }
+  gf::powP61Many(scratch_.base.data(), n, key, scratch_.pow.data());
+  for (std::size_t i = 0; i < n; ++i)
+    cells_[scratch_.idx[i]].updateWithPow(key, freq, scratch_.pow[i]);
 }
 
 void L0Sampler::merge(const L0Sampler& other) {

@@ -62,6 +62,7 @@ class L0Sampler {
   std::uint64_t hashA_, hashB_;   // level hash (pairwise independent)
   std::uint64_t bucketA_, bucketB_;  // bucket hash
   std::vector<OneSparseCell> cells_;  // levels_ x kBucketsPerLevel
+  PowScratch scratch_;                // batched-update reuse (<= levels_)
 };
 
 }  // namespace mobile::sketch

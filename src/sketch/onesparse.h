@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "gf/fp61.h"
 
@@ -20,26 +21,47 @@ struct Recovered {
   std::int64_t frequency = 0;
 };
 
+/// Reusable buffers for the batched fingerprint-power computation (one
+/// entry per hash row / sampling level); sized once, reused every update
+/// by the sketches that scatter a key into one cell per row/level.
+struct PowScratch {
+  PowScratch() = default;
+  explicit PowScratch(std::size_t n) : idx(n), base(n), pow(n) {}
+  std::vector<std::size_t> idx;
+  std::vector<std::uint64_t> base;
+  std::vector<std::uint64_t> pow;
+};
+
 class OneSparseCell {
  public:
   OneSparseCell() = default;
   explicit OneSparseCell(std::uint64_t z) : z_(z % (gf::kP61 - 2) + 2) {}
 
   void update(std::uint64_t key, std::int64_t freq) {
+    updateWithPow(key, freq, gf::powP61(z_, key));
+  }
+
+  /// Update with z^key already computed -- the batched ingestion path: one
+  /// key hits one cell per hash row / sampling level, and gf::powP61Many
+  /// produces the whole batch of per-cell powers in lockstep.
+  void updateWithPow(std::uint64_t key, std::int64_t freq, std::uint64_t zk) {
     count_ += freq;
     const std::uint64_t k = key % gf::kP61;
     if (freq >= 0) {
       keySum_ = gf::addP61(
           keySum_, gf::mulP61(static_cast<std::uint64_t>(freq) % gf::kP61, k));
       fp_ = gf::addP61(
-          fp_, gf::mulP61(static_cast<std::uint64_t>(freq) % gf::kP61,
-                                       gf::powP61(z_, key)));
+          fp_,
+          gf::mulP61(static_cast<std::uint64_t>(freq) % gf::kP61, zk));
     } else {
       const std::uint64_t f = static_cast<std::uint64_t>(-freq) % gf::kP61;
       keySum_ = gf::subP61(keySum_, gf::mulP61(f, k));
-      fp_ = gf::subP61(fp_, gf::mulP61(f, gf::powP61(z_, key)));
+      fp_ = gf::subP61(fp_, gf::mulP61(f, zk));
     }
   }
+
+  /// The cell's fingerprint point z (batched pow callers need the base).
+  [[nodiscard]] std::uint64_t zPoint() const { return z_; }
 
   void merge(const OneSparseCell& other) {
     count_ += other.count_;

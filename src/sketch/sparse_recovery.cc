@@ -14,7 +14,8 @@ SparseRecovery::SparseRecovery(std::uint64_t seed, std::size_t sparsity,
     : seed_(seed),
       sparsity_(std::max<std::size_t>(sparsity, 1)),
       rows_(rows),
-      buckets_(2 * sparsity_) {
+      buckets_(2 * sparsity_),
+      scratch_(rows) {
   std::uint64_t st = seed;
   rowA_.resize(rows_);
   rowB_.resize(rows_);
@@ -36,8 +37,23 @@ std::size_t SparseRecovery::bucketOf(std::uint64_t key, std::size_t row) const {
 
 void SparseRecovery::update(std::uint64_t key, std::int64_t freq) {
   assert(key < gf::kP61);
+  updateCells(cells_, key, freq, scratch_);
+}
+
+void SparseRecovery::updateCells(std::vector<OneSparseCell>& cells,
+                                 std::uint64_t key, std::int64_t freq,
+                                 PowScratch& scratch) const {
+  // One cell per hash row, each with its own fingerprint point: gather the
+  // bases, raise them to the shared exponent in lockstep (gf::powP61Many),
+  // then apply -- bit-identical to per-cell powP61, minus the serial
+  // squaring chains.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    scratch.idx[r] = r * buckets_ + bucketOf(key, r);
+    scratch.base[r] = cells[scratch.idx[r]].zPoint();
+  }
+  gf::powP61Many(scratch.base.data(), rows_, key, scratch.pow.data());
   for (std::size_t r = 0; r < rows_; ++r)
-    cells_[r * buckets_ + bucketOf(key, r)].update(key, freq);
+    cells[scratch.idx[r]].updateWithPow(key, freq, scratch.pow[r]);
 }
 
 void SparseRecovery::merge(const SparseRecovery& other) {
@@ -48,6 +64,7 @@ void SparseRecovery::merge(const SparseRecovery& other) {
 
 std::optional<std::vector<Recovered>> SparseRecovery::recoverAll() const {
   std::vector<OneSparseCell> work = cells_;
+  PowScratch scratch(rows_);
   std::map<std::uint64_t, std::int64_t> found;
   bool progress = true;
   while (progress) {
@@ -55,12 +72,9 @@ std::optional<std::vector<Recovered>> SparseRecovery::recoverAll() const {
     for (std::size_t i = 0; i < work.size(); ++i) {
       Recovered r;
       if (!work[i].recover(r)) continue;
-      // Peel: remove this key's mass from every row.
+      // Peel: remove this key's mass from every row (batched like update).
       found[r.key] += r.frequency;
-      const std::size_t row = i / buckets_;
-      (void)row;
-      for (std::size_t rr = 0; rr < rows_; ++rr)
-        work[rr * buckets_ + bucketOf(r.key, rr)].update(r.key, -r.frequency);
+      updateCells(work, r.key, -r.frequency, scratch);
       progress = true;
     }
   }

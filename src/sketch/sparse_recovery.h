@@ -47,12 +47,18 @@ class SparseRecovery {
  private:
   [[nodiscard]] std::size_t bucketOf(std::uint64_t key, std::size_t row) const;
 
+  /// Applies (key, freq) to the one cell per row of `cells`, with the
+  /// per-cell fingerprint powers computed as one gf::powP61Many batch.
+  void updateCells(std::vector<OneSparseCell>& cells, std::uint64_t key,
+                   std::int64_t freq, PowScratch& scratch) const;
+
   std::uint64_t seed_;
   std::size_t sparsity_;
   std::size_t rows_;
   std::size_t buckets_;
   std::vector<std::uint64_t> rowA_, rowB_;
   std::vector<OneSparseCell> cells_;  // rows_ x buckets_
+  PowScratch scratch_;                // update() reuse; recoverAll has its own
 };
 
 }  // namespace mobile::sketch

@@ -108,11 +108,19 @@ class State {
   State(std::vector<std::int64_t> args, std::size_t maxIterations)
       : args_(std::move(args)), max_(maxIterations) {}
 
+  /// Value type of `for (auto _ : state)`.  User-declared destructor so
+  /// the loop variable is never trivially destructible: GCC's
+  /// -Wunused-variable stays quiet about the idiomatic unused `_`, exactly
+  /// as with the real library's iterator value.
+  struct Iteration {
+    ~Iteration() {}  // NOLINT(modernize-use-equals-default)
+  };
+
   struct Iterator {
     State* state;
     bool operator!=(const Iterator&) const { return state->keepRunning(); }
     void operator++() {}
-    int operator*() const { return 0; }
+    Iteration operator*() const { return {}; }
   };
 
   Iterator begin() {
@@ -126,7 +134,11 @@ class State {
     return i < args_.size() ? args_[i] : 0;
   }
   void SetItemsProcessed(std::int64_t items) { items_ = items; }
-  [[nodiscard]] std::size_t iterations() const { return count_; }
+  /// int64 like the real library's IterationCount, so harness arithmetic
+  /// (`state.iterations() * <int>`) compiles warning-free either way.
+  [[nodiscard]] std::int64_t iterations() const {
+    return static_cast<std::int64_t>(count_);
+  }
 
   UserCounters counters;
 
@@ -210,7 +222,7 @@ inline Result runOne(const Registration& reg) {
       r.name = reg.name;
       if (reg.hasArgs)
         for (const auto a : reg.args) r.name += "/" + std::to_string(a);
-      r.iterations = state.iterations();
+      r.iterations = static_cast<std::size_t>(state.iterations());
       r.nsPerIter = state.iterations() == 0
                         ? 0.0
                         : sec * 1e9 / static_cast<double>(state.iterations());
