@@ -16,17 +16,17 @@ long CorruptionLedger::countInWindow(int fromRound, int toRound,
 }
 
 TamperView::TamperView(const Graph& g, const Spec& spec, int round,
-                       sim::ArcBuffer& arcs, long budgetUsedSoFar)
+                       sim::ShardedPlane& plane, long budgetUsedSoFar)
     : g_(g),
       spec_(spec),
       round_(round),
-      arcs_(arcs),
+      plane_(plane),
       budgetUsedBefore_(budgetUsedSoFar) {}
 
 sim::MsgView TamperView::peek(ArcId a) const {
   if (spec_.kind != Kind::Byzantine)
     throw std::logic_error("eavesdroppers may only read observed edges");
-  return arcs_.view(a);
+  return plane_.view(a);
 }
 
 int TamperView::remaining() const {
@@ -72,22 +72,22 @@ void TamperView::charge(EdgeId e) {
 void TamperView::corruptArc(ArcId a, const Msg& replacement) {
   if (spec_.kind != Kind::Byzantine)
     throw std::logic_error("only byzantine adversaries corrupt");
-  const EdgeId e = Graph::arcEdge(a);
+  const EdgeId e = g_.arcEdge(a);
   charge(e);
   // Copy-on-touch: the first corruption of an edge materializes both arcs'
   // pre-images for the ledger diff -- O(touched) total, never O(arcs).
   if (preTouched_.find(e) == preTouched_.end()) {
     auto& pre = preTouched_[e];
-    pre.first = arcs_.msg(2 * e);
-    pre.second = arcs_.msg(2 * e + 1);
+    pre.first = plane_.msg(g_.arcOfEdge(e, 0));
+    pre.second = plane_.msg(g_.arcOfEdge(e, 1));
     snapshotWords_ += pre.first.words.size() + pre.second.words.size();
   }
-  arcs_.putMsg(arcs_.adversarySlab(), a, replacement);
+  plane_.putMsgAdversary(a, replacement);
 }
 
 void TamperView::corruptEdge(EdgeId e, const Msg& uv, const Msg& vu) {
-  corruptArc(2 * e, uv);
-  corruptArc(2 * e + 1, vu);
+  corruptArc(g_.arcOfEdge(e, 0), uv);
+  corruptArc(g_.arcOfEdge(e, 1), vu);
 }
 
 ViewRecord TamperView::observe(EdgeId e) {
@@ -97,8 +97,8 @@ ViewRecord TamperView::observe(EdgeId e) {
   ViewRecord r;
   r.round = round_;
   r.edge = e;
-  r.uv = arcs_.msg(2 * e);
-  r.vu = arcs_.msg(2 * e + 1);
+  r.uv = plane_.msg(g_.arcOfEdge(e, 0));
+  r.vu = plane_.msg(g_.arcOfEdge(e, 1));
   return r;
 }
 

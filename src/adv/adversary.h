@@ -31,8 +31,8 @@
 #include <vector>
 
 #include "graph/graph.h"
-#include "sim/arc_buffer.h"
 #include "sim/message.h"
+#include "sim/sharded_plane.h"
 #include "util/rng.h"
 
 namespace mobile::adv {
@@ -99,8 +99,8 @@ class CorruptionLedger {
 /// The per-round interface the Network hands the adversary.
 class TamperView {
  public:
-  TamperView(const Graph& g, const Spec& spec, int round, sim::ArcBuffer& arcs,
-             long budgetUsedSoFar);
+  TamperView(const Graph& g, const Spec& spec, int round,
+             sim::ShardedPlane& plane, long budgetUsedSoFar);
 
   [[nodiscard]] int round() const { return round_; }
   [[nodiscard]] const Graph& graph() const { return g_; }
@@ -144,7 +144,7 @@ class TamperView {
   const Graph& g_;
   const Spec& spec_;
   int round_;
-  sim::ArcBuffer& arcs_;
+  sim::ShardedPlane& plane_;
   std::set<EdgeId> touched_;
   std::map<EdgeId, std::pair<Msg, Msg>> preTouched_;
   std::uint64_t snapshotWords_ = 0;

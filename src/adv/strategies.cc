@@ -202,7 +202,7 @@ void BitflipByzantine::act(TamperView& view) {
   for (const std::size_t ei : rng_.sampleDistinct(m, take)) {
     const EdgeId e = static_cast<EdgeId>(ei);
     for (int dir = 0; dir < 2; ++dir) {
-      const ArcId a = 2 * e + dir;
+      const ArcId a = view.graph().arcOfEdge(e, dir);
       Msg mcopy = view.peek(a).toMsg();
       if (mcopy.present && mcopy.size() > 0) {
         mcopy.words[0] ^= 1ULL << rng_.below(8);

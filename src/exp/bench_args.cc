@@ -16,8 +16,8 @@ namespace {
                " [--seed N] [--list]\n"
                "  --smoke       run the reduced (CI) grid: tiny n/f, few "
                "seeds\n"
-               "  --threads N   parallel lanes (default/0: all hardware "
-               "cores)\n"
+               "  --threads N   parallel lanes, N >= 1 (default: all "
+               "hardware cores)\n"
                "  --json PATH   write aggregate group summaries as JSON\n"
                "  --csv PATH    write raw per-trial records as CSV\n"
                "  --seed N      base seed offset for the sweeps (default 0)\n"
@@ -47,6 +47,15 @@ BenchArgs parseBenchArgs(int& argc, char** argv, bool allowUnknown) {
       args.smoke = true;
     } else if (std::strcmp(a, "--threads") == 0) {
       args.threads = std::atoi(takeValue(argc, argv, i, "--threads"));
+      // An explicit nonpositive lane count used to slip through here and
+      // only resolve to "all cores" below -- surprising for --threads 0,
+      // plain wrong for garbage like --threads -4.  Warn and run serial.
+      if (args.threads < 1) {
+        std::fprintf(stderr,
+                     "%s: --threads %d is not a lane count; clamping to 1\n",
+                     argv[0], args.threads);
+        args.threads = 1;
+      }
     } else if (std::strcmp(a, "--json") == 0) {
       args.jsonPath = takeValue(argc, argv, i, "--json");
     } else if (std::strcmp(a, "--csv") == 0) {

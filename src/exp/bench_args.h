@@ -3,7 +3,9 @@
 // All harness binaries understand the same flags, so CI can sweep the
 // whole bench fleet mechanically (scripts/smoke_bench.sh):
 //   --smoke          tiny n/f grids, few seeds -- seconds, not minutes
-//   --threads N      trial/engine parallelism (0 = hardware concurrency)
+//   --threads N      trial/engine parallelism, N >= 1 (explicit N < 1 is
+//                    clamped to 1 with a warning; omitting the flag means
+//                    hardware concurrency)
 //   --json PATH      write the aggregate GroupSummary report (BENCH_*.json)
 //   --csv PATH       write the raw per-trial records
 //   --seed N         base seed offset for the binary's sweeps (default 0)
@@ -24,8 +26,10 @@ namespace mobile::exp {
 
 struct BenchArgs {
   bool smoke = false;
-  /// Lanes for ExperimentDriver / NetworkOptions::numThreads.  Defaults to
-  /// every core the hardware offers.
+  /// Lanes for ExperimentDriver / NetworkOptions::numThreads.  Always >= 1
+  /// after parseBenchArgs: an omitted flag resolves to every core the
+  /// hardware offers, an explicit value < 1 is clamped to 1 (with a
+  /// warning on stderr).
   int threads = 0;
   std::string jsonPath;
   std::string csvPath;

@@ -11,6 +11,7 @@ Graph clique(NodeId n) {
   Graph g(n);
   for (NodeId u = 0; u < n; ++u)
     for (NodeId v = u + 1; v < n; ++v) g.addEdge(u, v);
+  g.finalize();
   return g;
 }
 
@@ -18,6 +19,7 @@ Graph cycle(NodeId n) {
   assert(n >= 3);
   Graph g(n);
   for (NodeId v = 0; v < n; ++v) g.addEdge(v, (v + 1) % n);
+  g.finalize();
   return g;
 }
 
@@ -29,21 +31,24 @@ Graph hypercube(int dim) {
       const NodeId u = v ^ (static_cast<NodeId>(1) << b);
       if (v < u) g.addEdge(v, u);
     }
+  g.finalize();
   return g;
 }
 
 Graph torus(NodeId rows, NodeId cols) {
+  // rows, cols >= 3 keeps every wrap-around neighbor distinct, so the two
+  // adds per cell can never duplicate -- no mid-build hasEdge probes (each
+  // would force a CSR rebuild).
   assert(rows >= 3 && cols >= 3);
   Graph g(rows * cols);
   auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
   for (NodeId r = 0; r < rows; ++r)
     for (NodeId c = 0; c < cols; ++c) {
       const NodeId v = id(r, c);
-      const NodeId right = id(r, (c + 1) % cols);
-      const NodeId down = id((r + 1) % rows, c);
-      if (!g.hasEdge(v, right)) g.addEdge(v, right);
-      if (!g.hasEdge(v, down)) g.addEdge(v, down);
+      g.addEdge(v, id(r, (c + 1) % cols));
+      g.addEdge(v, id((r + 1) % rows, c));
     }
+  g.finalize();
   return g;
 }
 
@@ -86,7 +91,7 @@ Graph randomRegular(NodeId n, int d, util::Rng& rng) {
     }
     Graph g(n);
     for (const auto& [a, b] : edges) g.addEdge(a, b);
-    if (g.isConnected()) return g;
+    if (g.isConnected()) return g;  // isConnected finalized it
   }
   throw std::runtime_error("randomRegular: failed to build connected graph");
 }
@@ -115,6 +120,7 @@ Graph cycleWithChords(NodeId n, int chords, util::Rng& rng) {
     g.addEdge(u, v);
     ++added;
   }
+  g.finalize();
   return g;
 }
 
@@ -129,17 +135,19 @@ Graph dumbbell(NodeId n, int bridges) {
     for (NodeId v = u + 1; v < n; ++v) g.addEdge(u, v);
   for (int b = 0; b < bridges; ++b)
     g.addEdge(static_cast<NodeId>(b), static_cast<NodeId>(half + b));
+  g.finalize();
   return g;
 }
 
 Graph circulant(NodeId n, int span) {
+  // 2 * span < n means the +s and -s strides never collide, so every add
+  // is fresh -- no mid-build hasEdge probes (each would force a rebuild).
   assert(span >= 1 && 2 * span < n);
   Graph g(n);
   for (NodeId v = 0; v < n; ++v)
-    for (int s = 1; s <= span; ++s) {
-      const NodeId u = static_cast<NodeId>((v + s) % n);
-      if (!g.hasEdge(v, u)) g.addEdge(v, u);
-    }
+    for (int s = 1; s <= span; ++s)
+      g.addEdge(v, static_cast<NodeId>((v + s) % n));
+  g.finalize();
   return g;
 }
 

@@ -9,38 +9,112 @@ namespace mobile::graph {
 EdgeId Graph::addEdge(NodeId u, NodeId v) {
   assert(u != v && "self loops not supported");
   assert(u >= 0 && v >= 0 && u < nodeCount() && v < nodeCount());
-  assert(!hasEdge(u, v) && "parallel edges not supported");
   if (u > v) std::swap(u, v);
   const EdgeId id = edgeCount();
   edges_.push_back({u, v});
-  adjacency_[static_cast<std::size_t>(u)].push_back({v, id});
-  adjacency_[static_cast<std::size_t>(v)].push_back({u, id});
-  edgeIndex_.emplace(pairKey(u, v), id);
+  dirty_ = true;
   return id;
 }
 
-bool Graph::hasEdge(NodeId u, NodeId v) const {
-  return edgeBetween(u, v) >= 0;
+void Graph::ensure() const {
+  if (dirty_) rebuild();
+}
+
+void Graph::rebuild() const {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  const std::size_t m = edges_.size();
+  offsets_.assign(n + 1, 0);
+  adj_.resize(2 * m);
+  reverse_.resize(2 * m);
+  sorted_.resize(2 * m);
+  edgeArc_.resize(m);
+
+  // Pass 1: out-degrees into offsets_[v + 1], then prefix-sum to rows.
+  for (const Edge& e : edges_) {
+    ++offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+
+  // Pass 2: place arcs in edge-id order so each row lists neighbors in
+  // edge-insertion order -- the exact order the legacy push_back layout
+  // exposed to algorithms.  cursor[v] walks v's row.
+  std::vector<ArcId> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    const Edge& ed = edges_[e];
+    const ArcId au = cursor[static_cast<std::size_t>(ed.u)]++;
+    const ArcId av = cursor[static_cast<std::size_t>(ed.v)]++;
+    adj_[static_cast<std::size_t>(au)] = {ed.v, static_cast<EdgeId>(e)};
+    adj_[static_cast<std::size_t>(av)] = {ed.u, static_cast<EdgeId>(e)};
+    reverse_[static_cast<std::size_t>(au)] = av;
+    reverse_[static_cast<std::size_t>(av)] = au;
+    edgeArc_[e] = au;
+  }
+
+  // Pass 3: per-row arc-id index sorted by neighbor id, for O(log deg)
+  // edgeBetween / arcFromTo without disturbing the insertion-order rows.
+  for (ArcId a = 0; a < static_cast<ArcId>(2 * m); ++a)
+    sorted_[static_cast<std::size_t>(a)] = a;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto lo = static_cast<std::size_t>(offsets_[v]);
+    const auto hi = static_cast<std::size_t>(offsets_[v + 1]);
+    std::sort(sorted_.begin() + static_cast<std::ptrdiff_t>(lo),
+              sorted_.begin() + static_cast<std::ptrdiff_t>(hi),
+              [this](ArcId a, ArcId b) {
+                return adj_[static_cast<std::size_t>(a)].node <
+                       adj_[static_cast<std::size_t>(b)].node;
+              });
+#ifndef NDEBUG
+    for (std::size_t i = lo + 1; i < hi; ++i)
+      assert(adj_[static_cast<std::size_t>(sorted_[i - 1])].node !=
+                 adj_[static_cast<std::size_t>(sorted_[i])].node &&
+             "parallel edges not supported");
+#endif
+  }
+  dirty_ = false;
+}
+
+ArcId Graph::findArc(NodeId from, NodeId to) const {
+  ensure();
+  const std::size_t lo = rowLo(from);
+  const std::size_t hi = rowHi(from);
+  const auto first = sorted_.begin() + static_cast<std::ptrdiff_t>(lo);
+  const auto last = sorted_.begin() + static_cast<std::ptrdiff_t>(hi);
+  const auto it =
+      std::lower_bound(first, last, to, [this](ArcId a, NodeId node) {
+        return adj_[static_cast<std::size_t>(a)].node < node;
+      });
+  if (it == last || adj_[static_cast<std::size_t>(*it)].node != to) return -1;
+  return *it;
 }
 
 EdgeId Graph::edgeBetween(NodeId u, NodeId v) const {
-  if (u < 0 || v < 0 || u >= nodeCount() || v >= nodeCount()) return -1;
-  if (u > v) std::swap(u, v);
-  const auto it = edgeIndex_.find(pairKey(u, v));
-  return it != edgeIndex_.end() ? it->second : -1;
+  if (u < 0 || v < 0 || u >= nodeCount() || v >= nodeCount() || u == v)
+    return -1;
+  ensure();
+  // Search the sparser endpoint's row.
+  const NodeId from = degree(u) <= degree(v) ? u : v;
+  const ArcId a = findArc(from, from == u ? v : u);
+  return a < 0 ? -1 : adj_[static_cast<std::size_t>(a)].edge;
+}
+
+ArcId Graph::arcFromTo(NodeId from, NodeId to) const {
+  const ArcId a = findArc(from, to);
+  assert(a >= 0 && "arcFromTo requires an existing edge");
+  return a;
+}
+
+NodeId Graph::arcSource(ArcId a) const {
+  ensure();
+  // The row whose [offsets_[v], offsets_[v+1]) range contains `a`.
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), a);
+  return static_cast<NodeId>(it - offsets_.begin() - 1);
 }
 
 std::size_t Graph::minDegree() const {
   std::size_t d = static_cast<std::size_t>(-1);
   for (NodeId v = 0; v < nodeCount(); ++v) d = std::min(d, degree(v));
   return nodeCount() == 0 ? 0 : d;
-}
-
-ArcId Graph::arcFromTo(NodeId from, NodeId to) const {
-  const EdgeId e = edgeBetween(from, to);
-  assert(e >= 0);
-  const Edge& ed = edge(e);
-  return (ed.u == from) ? 2 * e : 2 * e + 1;
 }
 
 bool Graph::isConnected() const {

@@ -1,0 +1,54 @@
+#include "graph/legacy_graph.h"
+
+#include <algorithm>
+
+namespace mobile::graph {
+
+EdgeId LegacyGraph::addEdge(NodeId u, NodeId v) {
+  assert(u != v && "self loops not supported");
+  assert(u >= 0 && v >= 0 && u < nodeCount() && v < nodeCount());
+  assert(!hasEdge(u, v) && "parallel edges not supported");
+  if (u > v) std::swap(u, v);
+  const EdgeId id = edgeCount();
+  edges_.push_back({u, v});
+  adjacency_[static_cast<std::size_t>(u)].push_back({v, id});
+  adjacency_[static_cast<std::size_t>(v)].push_back({u, id});
+  edgeIndex_.emplace(pairKey(u, v), id);
+  return id;
+}
+
+bool LegacyGraph::hasEdge(NodeId u, NodeId v) const {
+  return edgeBetween(u, v) >= 0;
+}
+
+EdgeId LegacyGraph::edgeBetween(NodeId u, NodeId v) const {
+  if (u < 0 || v < 0 || u >= nodeCount() || v >= nodeCount()) return -1;
+  if (u > v) std::swap(u, v);
+  const auto it = edgeIndex_.find(pairKey(u, v));
+  return it != edgeIndex_.end() ? it->second : -1;
+}
+
+ArcId LegacyGraph::arcFromTo(NodeId from, NodeId to) const {
+  const EdgeId e = edgeBetween(from, to);
+  assert(e >= 0);
+  const Edge& ed = edge(e);
+  return (ed.u == from) ? 2 * e : 2 * e + 1;
+}
+
+std::uint64_t structuralFingerprint(const LegacyGraph& g) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto fold = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 31;
+  };
+  fold(static_cast<std::uint64_t>(g.nodeCount()));
+  for (EdgeId e = 0; e < g.edgeCount(); ++e) {
+    const LegacyGraph::Edge& ed = g.edge(e);
+    fold((static_cast<std::uint64_t>(static_cast<std::uint32_t>(ed.u)) << 32) |
+         static_cast<std::uint32_t>(ed.v));
+  }
+  return h;
+}
+
+}  // namespace mobile::graph

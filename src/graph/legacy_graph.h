@@ -1,0 +1,90 @@
+// The pre-CSR reference graph, preserved verbatim for differential testing.
+//
+// This is the seed engine's Graph: per-node adjacency vectors plus an
+// unordered_map endpoint->edge index, with the fixed arc convention
+// edge e = (u, v), u < v => arc 2e (u -> v) and arc 2e+1 (v -> u).
+// tests/test_graph_csr.cc builds every random topology through BOTH this
+// class and the CSR Graph and asserts adjacency order, lookups, degrees,
+// and structural fingerprints agree exactly.  Nothing outside the tests
+// should use it.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mobile::graph {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+using ArcId = std::int32_t;
+
+class LegacyGraph {
+ public:
+  struct Edge {
+    NodeId u = -1;  // u < v invariant
+    NodeId v = -1;
+  };
+
+  LegacyGraph() = default;
+  explicit LegacyGraph(NodeId n) : adjacency_(static_cast<std::size_t>(n)) {}
+
+  [[nodiscard]] NodeId nodeCount() const {
+    return static_cast<NodeId>(adjacency_.size());
+  }
+  [[nodiscard]] EdgeId edgeCount() const {
+    return static_cast<EdgeId>(edges_.size());
+  }
+  [[nodiscard]] ArcId arcCount() const { return 2 * edgeCount(); }
+
+  /// Adds edge (u, v); returns its id.  Parallel edges and loops rejected.
+  EdgeId addEdge(NodeId u, NodeId v);
+
+  [[nodiscard]] bool hasEdge(NodeId u, NodeId v) const;
+  [[nodiscard]] EdgeId edgeBetween(NodeId u, NodeId v) const;  // -1 if none
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  struct Neighbor {
+    NodeId node;
+    EdgeId edge;
+  };
+  [[nodiscard]] const std::vector<Neighbor>& neighbors(NodeId v) const {
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    return adjacency_[static_cast<std::size_t>(v)].size();
+  }
+
+  // --- arc helpers (fixed 2e / 2e+1 convention) --------------------------
+  [[nodiscard]] ArcId arcFromTo(NodeId from, NodeId to) const;
+  [[nodiscard]] NodeId arcSource(ArcId a) const {
+    const Edge& e = edge(a / 2);
+    return (a % 2 == 0) ? e.u : e.v;
+  }
+  [[nodiscard]] NodeId arcTarget(ArcId a) const {
+    const Edge& e = edge(a / 2);
+    return (a % 2 == 0) ? e.v : e.u;
+  }
+  [[nodiscard]] static ArcId reverseArc(ArcId a) { return a ^ 1; }
+  [[nodiscard]] static EdgeId arcEdge(ArcId a) { return a / 2; }
+
+ private:
+  [[nodiscard]] static std::uint64_t pairKey(NodeId u, NodeId v) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+           static_cast<std::uint32_t>(v);
+  }
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::unordered_map<std::uint64_t, EdgeId> edgeIndex_;
+};
+
+/// Same digest as structuralFingerprint(const Graph&), over the legacy
+/// layout -- the differential harness asserts the two engines agree.
+[[nodiscard]] std::uint64_t structuralFingerprint(const LegacyGraph& g);
+
+}  // namespace mobile::graph

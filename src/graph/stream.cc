@@ -1,0 +1,106 @@
+#include "graph/stream.h"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mobile::graph {
+
+namespace {
+
+std::uint64_t pairKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+EdgeStream cliqueStream(NodeId n) {
+  EdgeStream s;
+  s.nodes = n;
+  s.emit = [n](const EdgeSink& sink) {
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v) sink(u, v);
+  };
+  return s;
+}
+
+EdgeStream torusStream(NodeId rows, NodeId cols) {
+  assert(rows >= 3 && cols >= 3);
+  EdgeStream s;
+  s.nodes = rows * cols;
+  s.emit = [rows, cols](const EdgeSink& sink) {
+    auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+    for (NodeId r = 0; r < rows; ++r)
+      for (NodeId c = 0; c < cols; ++c) {
+        const NodeId v = id(r, c);
+        sink(v, id(r, (c + 1) % cols));
+        sink(v, id((r + 1) % rows, c));
+      }
+  };
+  return s;
+}
+
+EdgeStream expanderStream(NodeId n, int d, std::uint64_t seed) {
+  assert(d >= 2 && d % 2 == 0 && "even degree required");
+  assert(n > d);
+  EdgeStream s;
+  s.nodes = n;
+  s.emit = [n, d, seed](const EdgeSink& sink) {
+    util::Rng rng(seed);
+    const auto un = static_cast<std::size_t>(n);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(un * static_cast<std::size_t>(d) / 2);
+    std::vector<NodeId> perm(un);
+    for (int cyc = 0; cyc < d / 2; ++cyc) {
+      for (std::size_t i = 0; i < un; ++i) perm[i] = static_cast<NodeId>(i);
+      for (std::size_t i = un - 1; i > 0; --i) {
+        const std::size_t j = static_cast<std::size_t>(rng.below(i + 1));
+        std::swap(perm[i], perm[j]);
+      }
+      // A fresh cycle collides with earlier ones on ~2*cyc edges in
+      // expectation REGARDLESS of n, so redrawing whole cycles until one
+      // is clean stalls already at d = 6.  Repair locally instead: swap a
+      // colliding position with a random one (O(1) edges disturbed) until
+      // the scan comes back clean.
+      bool clean = false;
+      std::uint64_t budget = 20ull * un + 1000;
+      while (!clean && budget > 0) {
+        clean = true;
+        for (std::size_t i = 0; i < un && budget > 0; ++i) {
+          if (!seen.count(pairKey(perm[i], perm[(i + 1) % un]))) continue;
+          clean = false;
+          const std::size_t j = static_cast<std::size_t>(rng.below(un));
+          std::swap(perm[i], perm[j]);
+          --budget;
+        }
+      }
+      if (!clean)
+        throw std::runtime_error(
+            "expanderStream: cycle kept colliding (n too small for d)");
+      for (std::size_t i = 0; i < un; ++i) {
+        const NodeId u = perm[i];
+        const NodeId v = perm[(i + 1) % un];
+        seen.insert(pairKey(u, v));
+        sink(u, v);
+      }
+    }
+  };
+  return s;
+}
+
+EdgeStream randomRegularStream(NodeId n, int d, std::uint64_t seed) {
+  return expanderStream(n, d, seed);
+}
+
+Graph materialize(const EdgeStream& stream) {
+  Graph g(stream.nodes);
+  stream.emit([&g](NodeId u, NodeId v) { g.addEdge(u, v); });
+  g.finalize();
+  return g;
+}
+
+}  // namespace mobile::graph

@@ -1,0 +1,58 @@
+// Streaming graph generators for the n=10^5..10^6 sweeps.
+//
+// An EdgeStream is a replayable edge emitter: `emit` pushes every edge of
+// the topology into a sink, in a deterministic order fixed by the stream's
+// parameters (and seed, where applicable).  Consumers that only need to
+// *scan* edges (degree counting, fingerprinting, partitioning) run in O(1)
+// auxiliary memory; materialize() builds a CSR Graph directly from the
+// emission, so nothing ever holds an O(n^2) candidate structure -- the
+// per-pair coin-flip loop of erdosRenyiConnected() is exactly what these
+// replace at scale.  tests/test_stream_generators.cc pins the allocation
+// bound and the identity with the materialized generators.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.h"
+
+namespace mobile::graph {
+
+/// Receives one edge (u != v, both in [0, nodes)); duplicates are a bug in
+/// the emitting stream, not the sink's problem.
+using EdgeSink = std::function<void(NodeId, NodeId)>;
+
+/// A replayable deterministic edge emitter: every call to emit() produces
+/// the same edges in the same order.
+struct EdgeStream {
+  NodeId nodes = 0;
+  std::function<void(const EdgeSink&)> emit;
+};
+
+/// K_n, emitted in exactly generators.cc clique() order.
+[[nodiscard]] EdgeStream cliqueStream(NodeId n);
+
+/// rows x cols torus, emitted in exactly generators.cc torus() order.
+[[nodiscard]] EdgeStream torusStream(NodeId rows, NodeId cols);
+
+/// Random d-regular expander via the permutation-union model: the union of
+/// d/2 uniformly random Hamiltonian cycles (d even, n > d >= 2).  A cycle
+/// colliding with an already-emitted edge is redrawn whole, so the result
+/// is simple and d-regular; cycle 0 alone spans every node, so it is
+/// connected by construction -- no O(n m) connectivity re-checks.  Such
+/// unions are expanders w.h.p. (the paper's Theorem 1.7/4.12 regime).
+/// Auxiliary memory is O(m) for the dedup set plus O(n) for the cycle
+/// being drawn; emission order is fixed by (n, d, seed).
+[[nodiscard]] EdgeStream expanderStream(NodeId n, int d, std::uint64_t seed);
+
+/// Alias semantics: the permutation-union model IS our streaming
+/// random-regular sampler (the materialized randomRegular() mixes a
+/// circulant by edge swaps instead, which needs the whole edge set
+/// resident and repeated connectivity checks).
+[[nodiscard]] EdgeStream randomRegularStream(NodeId n, int d,
+                                             std::uint64_t seed);
+
+/// Builds a finalized CSR Graph from one replay of the stream.
+[[nodiscard]] Graph materialize(const EdgeStream& stream);
+
+}  // namespace mobile::graph

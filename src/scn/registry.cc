@@ -16,6 +16,7 @@
 #include "exp/precompute_cache.h"
 #include "graph/bfs.h"
 #include "graph/generators.h"
+#include "graph/stream.h"
 #include "util/rng.h"
 
 namespace mobile::scn {
@@ -52,6 +53,16 @@ std::uint64_t advSeed(const Params& p) {
 
 int advF(const Params& p) { return static_cast<int>(p.integer("f", 1)); }
 
+/// Round/depth knobs that default to the graph diameter must not *compute*
+/// the diameter when the campaign line pins them: diameter() is an
+/// all-sources BFS, which is the difference between an n=10^5 sweep
+/// starting instantly and it burning O(n m) before round one.
+long lazyDiameterDefault(const Params& p, const char* key, const Graph& g,
+                         long extra) {
+  if (p.has(key)) return p.integer(key);
+  return graph::diameter(g) + extra;
+}
+
 std::vector<graph::EdgeId> firstEdges(const Params& p) {
   std::vector<graph::EdgeId> targets;
   const long f = p.integer("f", 1);
@@ -69,8 +80,7 @@ std::shared_ptr<const compile::PackingKnowledge> packingFor(const Graph& g,
   if (kind == "greedy") {
     const int k = static_cast<int>(p.integer("k", 4));
     const auto root = static_cast<NodeId>(p.integer("root", 0));
-    const int cap =
-        static_cast<int>(p.integer("depthcap", graph::diameter(g) + 1));
+    const int cap = static_cast<int>(lazyDiameterDefault(p, "depthcap", g, 1));
     return exp::PrecomputeCache::global().greedyPacking(g, k, root, cap);
   }
   throw ScnError("unknown packing '" + kind + "' (star, greedy)");
@@ -102,6 +112,14 @@ void registerGraphs(Registry<GraphFactory>& r) {
           return graph::randomRegular(static_cast<NodeId>(p.integer("n")),
                                       static_cast<int>(p.integer("d")), rng);
         });
+  r.add("expander",
+        "streamed permutation-union d-regular expander, scales to n=10^6 "
+        "(n, d, gseed)",
+        [](const Params& p) {
+          return graph::materialize(graph::expanderStream(
+              static_cast<NodeId>(p.integer("n")),
+              static_cast<int>(p.integer("d", 4)), graphSeed(p)));
+        });
   r.add("erdos_renyi", "connected G(n, p) (n, p, gseed)",
         [](const Params& p) {
           util::Rng rng(graphSeed(p));
@@ -130,20 +148,25 @@ void registerGraphs(Registry<GraphFactory>& r) {
 void registerAlgos(Registry<AlgoFactory>& r) {
   r.add("floodmax", "max-id flooding leader election (rounds = diam + 1)",
         [](const Graph& g, const Params& p) {
-          const int rounds = static_cast<int>(
-              p.integer("rounds", graph::diameter(g) + 1));
+          const int rounds =
+              static_cast<int>(lazyDiameterDefault(p, "rounds", g, 1));
           return algo::makeFloodMax(g, rounds);
         });
-  r.add("bfs", "BFS layering from root (root)",
+  r.add("bfs", "BFS layering from root (root, depth = diam)",
         [](const Graph& g, const Params& p) {
           const auto root = static_cast<NodeId>(p.integer("root", 0));
-          return algo::makeBfsTree(g, root, graph::diameter(g));
+          const int depth =
+              static_cast<int>(lazyDiameterDefault(p, "depth", g, 0));
+          return algo::makeBfsTree(g, root, depth);
         });
-  r.add("sum", "sum of inputs via convergecast + broadcast (root, input)",
+  r.add("sum",
+        "sum of inputs via convergecast + broadcast (root, input, "
+        "depth = diam)",
         [](const Graph& g, const Params& p) {
           const auto root = static_cast<NodeId>(p.integer("root", 0));
-          return algo::makeSumAggregate(g, root, graph::diameter(g),
-                                        inputFill(g, p, 7));
+          const int depth =
+              static_cast<int>(lazyDiameterDefault(p, "depth", g, 0));
+          return algo::makeSumAggregate(g, root, depth, inputFill(g, p, 7));
         });
   r.add("gossip",
         "neighborhood hash mixing, the corruption canary "
@@ -210,7 +233,7 @@ void registerCompilers(Registry<CompileFactory>& r) {
         });
   r.add("byz_tree",
         "Theorem 3.5 byzantine tree-packing compiler "
-        "(f, packing, mode=l0|sparse)",
+        "(f, packing, mode=l0|sparse, dmcap [0 = 2f+8])",
         [](const Graph& g, const sim::Algorithm& inner, const Params& p) {
           compile::ByzOptions opts;
           const std::string mode = p.str("mode", "l0");
@@ -218,6 +241,12 @@ void registerCompilers(Registry<CompileFactory>& r) {
             opts.correction = compile::CorrectionMode::SparseOneShot;
           else if (mode != "l0")
             throw ScnError("byz_tree mode '" + mode + "' (l0, sparse)");
+          // Cap on transported dominating-mismatch entries.  The auto
+          // default (2f + 8) carries slack; the paper's tight transport
+          // bound is 2f, and on low-k packings every extra entry costs a
+          // whole ECC chunk of (DTP + 1) scheduled steps -- the difference
+          // between the n=10^5 scale campaign finishing in CI or not.
+          opts.dmCap = static_cast<int>(p.integer("dmcap", 0));
           return compile::compileByzantineTree(g, inner, packingFor(g, p),
                                                advF(p), opts);
         });
@@ -305,7 +334,7 @@ void registerAdversaries(Registry<AdversaryFactory>& r) {
                         g, static_cast<int>(p.integer("k", 4)),
                         static_cast<NodeId>(p.integer("root", 0)),
                         static_cast<int>(
-                            p.integer("depthcap", graph::diameter(g) + 1)));
+                            lazyDiameterDefault(p, "depthcap", g, 1)));
           return std::make_unique<adv::TreeTargetedByzantine>(
               advF(p), *packing, g, advSeed(p));
         });

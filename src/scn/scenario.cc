@@ -79,6 +79,9 @@ exp::TrialSpec TrialBuilder::build(const Params& point,
   Params p = point;  // consumption-tracked working copy
   const std::string graphName = p.str("graph");
   const graph::Graph g = graphs().get(graphName)(p);
+  // Trials value-copy the captured graph onto worker threads; lock the CSR
+  // layout here so no copy ever rebuilds it concurrently from a const read.
+  g.finalize();
 
   const std::string algoName = p.str("algo", "gossip");
   const sim::Algorithm inner = algos().get(algoName)(g, p);

@@ -45,8 +45,16 @@ class ArcBuffer {
   /// plus the adversary slab.  Existing slab capacity is retained when the
   /// shape already matches.
   void attach(const graph::Graph& g) {
-    headers_.assign(static_cast<std::size_t>(g.arcCount()), Header{});
-    const std::size_t slabCount = static_cast<std::size_t>(g.nodeCount()) + 1;
+    attach(static_cast<std::size_t>(g.arcCount()),
+           static_cast<std::size_t>(g.nodeCount()) + 1);
+  }
+
+  /// Shape-agnostic attach for sharded planes: the caller owns the mapping
+  /// from global arc/sender ids to this buffer's local [0, arcCount) arcs
+  /// and [0, slabCount) slabs (ShardedPlane maps a contiguous node range;
+  /// its last slab is that shard's adversary slab).
+  void attach(std::size_t arcCount, std::size_t slabCount) {
+    headers_.assign(arcCount, Header{});
     if (slabs_.size() != slabCount) slabs_.resize(slabCount);
     epoch_ = 1;
     for (auto& s : slabs_) s.clear();

@@ -9,17 +9,6 @@
 
 namespace mobile::sim {
 
-namespace {
-
-/// Out-arc of `v` across edge `e` without the arcFromTo() adjacency scan:
-/// arc 2e runs u -> v (u < v), arc 2e+1 the reverse.
-inline graph::ArcId outArcOf(const graph::Graph& g, graph::NodeId v,
-                             graph::EdgeId e) {
-  return 2 * e + (g.edge(e).u == v ? 0 : 1);
-}
-
-}  // namespace
-
 Network::Network(const graph::Graph& g, const Algorithm& algo,
                  std::uint64_t seed, adv::Adversary* adversary,
                  NetworkOptions opts,
@@ -31,10 +20,11 @@ Network::Network(const graph::Graph& g, const Algorithm& algo,
       adversary_(adversary),
       ledger_(ledger ? std::move(ledger)
                      : std::make_shared<adv::CorruptionLedger>()),
-      arcs_(g),
       arcTraffic_(static_cast<std::size_t>(g.arcCount()), 0),
       nodeMsgs_(static_cast<std::size_t>(g.nodeCount()), 0),
       nodeMaxWords_(static_cast<std::size_t>(g.nodeCount()), 0) {
+  g_.finalize();  // lock the CSR layout before any parallel phase reads it
+  plane_.attach(g_, opts_.numShards > 0 ? opts_.numShards : opts_.numThreads);
   if (opts_.numThreads > 1)
     pool_ = std::make_unique<util::ThreadPool>(opts_.numThreads);
   rebuildNodes();
@@ -74,7 +64,7 @@ void Network::reset(std::uint64_t seed) {
   messagesSent_ = 0;
   maxWords_ = 0;
   snapshotWords_ = 0;
-  arcs_.reset();
+  plane_.reset();
   std::fill(arcTraffic_.begin(), arcTraffic_.end(), 0);
   ledger_->clear();
   rebuildNodes();
@@ -97,28 +87,42 @@ void Network::forEachNode(const std::function<void(graph::NodeId)>& fn) {
 }
 
 void Network::clearPhase() {
-  // O(slabs): epoch bump invalidates every header, slab cursors rewind in
-  // place.  No frees, and after warm-up no allocations either.
-  arcs_.beginRound();
+  // Per shard: epoch bump invalidates every header, slab cursors rewind in
+  // place.  No frees, and after warm-up no allocations either.  Shards are
+  // independent arenas, so the clears fan out across the pool.
+  const std::size_t shards = plane_.shardCount();
+  if (pool_ && shards > 1) {
+    pool_->parallelFor(shards,
+                       [&](std::size_t s) { plane_.beginRoundShard(s); });
+  } else {
+    plane_.beginRound();
+  }
 }
 
 void Network::sendPhase() {
-  // Safe to parallelize: node v appends only into slab v and writes only
-  // the out-arc headers keyed by sender v (ArcOutbox), and mutates only its
-  // own state/RNG.  The bandwidth/congestion tallies fold into this same
-  // pass: each node scans its own out-arcs (disjoint arcTraffic_ slots) and
-  // deposits its message count / widest message in per-node slots that
-  // accountPhase reduces sequentially.
+  // Safe to parallelize: node v appends only into its own slab inside its
+  // own shard and writes only the out-arc headers keyed by sender v
+  // (ArcOutbox), and mutates only its own state/RNG.  The
+  // bandwidth/congestion tallies fold into this same pass: each node scans
+  // its own out-arcs -- the contiguous CSR range starting at the row's
+  // firstArc(), all local to its shard -- and deposits its message count /
+  // widest message in per-node slots that accountPhase reduces
+  // sequentially.
   forEachNode([&](graph::NodeId v) {
-    ArcOutbox out(g_, v, arcs_);
+    ArcOutbox out(g_, v, plane_);
     nodes_[static_cast<std::size_t>(v)]->send(round_, out);
+    const std::size_t shard = plane_.shardOfNode(v);
+    const ArcBuffer& buf = plane_.shard(shard);
+    const graph::ArcId base = plane_.arcBase(shard);
+    const auto nbs = g_.neighbors(v);
     long sent = 0;
     std::size_t widest = 0;
-    for (const auto& nb : g_.neighbors(v)) {
-      const graph::ArcId a = outArcOf(g_, v, nb.edge);
-      if (!arcs_.present(a)) continue;
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const graph::ArcId a = nbs.firstArc() + static_cast<graph::ArcId>(i);
+      const graph::ArcId local = a - base;
+      if (!buf.present(local)) continue;
       ++sent;
-      widest = std::max(widest, arcs_.size(a));
+      widest = std::max(widest, buf.size(local));
       ++arcTraffic_[static_cast<std::size_t>(a)];
     }
     nodeMsgs_[static_cast<std::size_t>(v)] = sent;
@@ -147,15 +151,15 @@ void Network::adversaryPhase() {
   // have pre-images, and untouched arcs are unreachable from the view.
   ledger_->beginRound(round_);
   if (adversary_ == nullptr) return;
-  adv::TamperView view(g_, adversary_->spec(), round_, arcs_,
+  adv::TamperView view(g_, adversary_->spec(), round_, plane_,
                        ledger_->total());
   adversary_->act(view);
   // Ground truth: which touched edges actually changed (a rewrite that
   // reproduces the original message is charged but not a corruption).
   // std::map iterates edges ascending, matching the old full-plane scan.
   for (const auto& [e, pre] : view.preTouched()) {
-    if (!sameContent(arcs_.view(2 * e), pre.first) ||
-        !sameContent(arcs_.view(2 * e + 1), pre.second))
+    if (!sameContent(plane_.view(g_.arcOfEdge(e, 0)), pre.first) ||
+        !sameContent(plane_.view(g_.arcOfEdge(e, 1)), pre.second))
       ledger_->record(e);
   }
   snapshotWords_ += view.snapshotWordsCopied();
@@ -167,7 +171,7 @@ void Network::receivePhase() {
   // second full-graph scan.
   std::atomic<bool> allDone{true};
   forEachNode([&](graph::NodeId v) {
-    ArcInbox in(g_, v, arcs_);
+    ArcInbox in(g_, v, plane_);
     NodeState& node = *nodes_[static_cast<std::size_t>(v)];
     node.receive(round_, in);
     if (!node.done()) allDone.store(false, std::memory_order_relaxed);
@@ -222,8 +226,9 @@ std::uint64_t Network::outputsFingerprint() const {
 long Network::maxEdgeCongestion() const {
   long best = 0;
   for (graph::EdgeId e = 0; e < g_.edgeCount(); ++e) {
-    const long t = arcTraffic_[static_cast<std::size_t>(2 * e)] +
-                   arcTraffic_[static_cast<std::size_t>(2 * e + 1)];
+    const long t =
+        arcTraffic_[static_cast<std::size_t>(g_.arcOfEdge(e, 0))] +
+        arcTraffic_[static_cast<std::size_t>(g_.arcOfEdge(e, 1))];
     best = std::max(best, t);
   }
   return best;

@@ -8,9 +8,10 @@
 // the CorruptionLedger).
 //
 // One round is five explicit phases (see step()): clearPhase, sendPhase,
-// accountPhase, adversaryPhase, receivePhase.  Messages live in the arena
-// plane (sim/arc_buffer.h): clearPhase is an O(slabs) epoch bump, sendPhase
-// appends into per-sender slabs (and folds the bandwidth/congestion tallies
+// accountPhase, adversaryPhase, receivePhase.  Messages live in the
+// sharded arena plane (sim/sharded_plane.h): clearPhase bumps each shard's
+// epoch (fanned out over shards), sendPhase appends into per-sender slabs
+// inside the sender's shard (and folds the bandwidth/congestion tallies
 // into the same parallel pass, deposited in per-node slots), accountPhase
 // is the O(nodes) sequential reduction of those slots, and adversaryPhase
 // diffs only the edges the TamperView touched -- O(f), not O(arcs x words).
@@ -39,9 +40,9 @@
 
 #include "adv/adversary.h"
 #include "graph/graph.h"
-#include "sim/arc_buffer.h"
 #include "sim/message.h"
 #include "sim/node.h"
+#include "sim/sharded_plane.h"
 
 namespace mobile::util {
 class ThreadPool;
@@ -62,6 +63,12 @@ struct NetworkOptions {
   /// state (see the threading contract above -- shared-instrumentation
   /// algorithms must stay at 1).
   int numThreads = 1;
+  /// Arena shards for the message plane (contiguous node ranges, one
+  /// ArcBuffer each -- see sim/sharded_plane.h).  0 (the default) follows
+  /// numThreads; any value is clamped to [1, nodeCount].  Shard count is
+  /// an execution detail: observable results are bit-identical at every
+  /// setting (pinned by tests/test_arena_determinism.cc).
+  int numShards = 0;
 };
 
 class Network {
@@ -121,9 +128,9 @@ class Network {
   [[nodiscard]] std::size_t maxWordsObserved() const { return maxWords_; }
   [[nodiscard]] const adv::CorruptionLedger& ledger() const { return *ledger_; }
 
-  /// The arena message plane (tests and probes; nodes never touch it
-  /// directly).
-  [[nodiscard]] const ArcBuffer& arcs() const { return arcs_; }
+  /// The sharded arena message plane (tests and probes; nodes never touch
+  /// it directly).
+  [[nodiscard]] const ShardedPlane& arcs() const { return plane_; }
   /// Cumulative words materialized by the adversary's copy-on-touch
   /// snapshots -- the O(touched edges) ledger-cost contract is asserted
   /// against this (see tests/test_arena_determinism.cc).
@@ -155,7 +162,7 @@ class Network {
   std::shared_ptr<adv::CorruptionLedger> ledger_;
   std::unique_ptr<util::ThreadPool> pool_;  // only when numThreads > 1
   std::vector<std::unique_ptr<NodeState>> nodes_;
-  ArcBuffer arcs_;
+  ShardedPlane plane_;
   std::vector<long> arcTraffic_;  // per out-arc, written by its sender only
   // Per-node send tallies deposited by the parallel send pass and reduced
   // sequentially in accountPhase (index = node id, valid for one round).

@@ -24,6 +24,7 @@
 #include "graph/graph.h"
 #include "sim/arc_buffer.h"
 #include "sim/message.h"
+#include "sim/sharded_plane.h"
 #include "util/rng.h"
 
 namespace mobile::sim {
@@ -70,31 +71,42 @@ class Inbox {
   NodeId self_;
 };
 
-/// Network-backed outbox appending into the sender's arena slab.
+/// Network-backed outbox appending into the sender's arena slab.  Bound to
+/// the shard owning `self` once at construction: every out-arc of self is
+/// local to that shard (CSR arc ids make a node's arcs contiguous), so each
+/// send is slab append + header write with no routing.
 class ArcOutbox final : public Outbox {
  public:
-  ArcOutbox(const Graph& g, NodeId self, ArcBuffer& arcs)
-      : Outbox(g, self), arcs_(arcs) {}
+  ArcOutbox(const Graph& g, NodeId self, ShardedPlane& plane)
+      : Outbox(g, self), shard_(plane.shardOfNode(self)) {
+    buf_ = &plane.shard(shard_);
+    arcBase_ = plane.arcBase(shard_);
+    slab_ = static_cast<std::uint32_t>(self - plane.nodeBase(shard_));
+  }
   void to(NodeId to, const Msg& m) override {
-    arcs_.putMsg(static_cast<std::uint32_t>(self_),
-                 g_.arcFromTo(self_, to), m);
+    buf_->putMsg(slab_, g_.arcFromTo(self_, to) - arcBase_, m);
   }
 
  private:
-  ArcBuffer& arcs_;
+  std::size_t shard_;
+  ArcBuffer* buf_;
+  ArcId arcBase_;
+  std::uint32_t slab_;  // local slab = self - shard's first node
 };
 
-/// Network-backed inbox viewing the arena plane.
+/// Network-backed inbox viewing the sharded plane.  In-arcs originate at
+/// the senders, so each read routes to the sender's shard (one binary
+/// search over shard boundaries).
 class ArcInbox final : public Inbox {
  public:
-  ArcInbox(const Graph& g, NodeId self, const ArcBuffer& arcs)
-      : Inbox(g, self), arcs_(arcs) {}
+  ArcInbox(const Graph& g, NodeId self, const ShardedPlane& plane)
+      : Inbox(g, self), plane_(plane) {}
   [[nodiscard]] MsgView from(NodeId from) const override {
-    return arcs_.view(g_.arcFromTo(from, self_));
+    return plane_.view(g_.arcFromTo(from, self_));
   }
 
  private:
-  const ArcBuffer& arcs_;
+  const ShardedPlane& plane_;
 };
 
 /// Capture outbox: collects an inner algorithm's sends into a map

@@ -5,8 +5,10 @@
 // outputsFingerprint(), messages, maxWords, corruptions, max edge
 // congestion, and rounds for {MST, byz-compiled, secure-broadcast, rewind}
 // on clique(8) plus MST-under-bitflip on a sparse chorded cycle, 5 seeds
-// each.  The arena engine must reproduce every value bit-for-bit at
-// numThreads 1, 2, and 8.
+// each, plus FloodMax-under-bitflip on a pinned random-regular n=4096
+// graph.  The sharded CSR engine must reproduce every value bit-for-bit at
+// every (numThreads, numShards) pair in {1, 2, 8} x {1, 2, 8} -- the shard
+// count has to be observably invisible.
 //
 // Also pinned here: the copy-on-touch contract (adversaryPhase cost is
 // O(touched edges), asserted via the snapshot word counter on a large
@@ -16,6 +18,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "adv/strategies.h"
@@ -70,6 +73,8 @@ constexpr Golden kGoldens[] = {
     {"mst-sparse", 3ull, 0x4cf1bda4b2dba318ull, 13403, 1, 490, 483, 245},
     {"mst-sparse", 4ull, 0x4cf1bda4b2dba318ull, 13285, 1, 490, 481, 245},
     {"mst-sparse", 5ull, 0x51ba60dcf2a236b3ull, 13860, 1, 490, 479, 245},
+    {"rr4096", 1ull, 0xac15728d5754d0c9ull, 327680, 1, 160, 40, 20},
+    {"rr4096", 2ull, 0xac15728d5754d0c9ull, 327680, 1, 160, 40, 20},
 };
 
 struct Case {
@@ -90,6 +95,23 @@ const graph::Graph& sparseGraph() {
   return g;
 }
 
+const graph::Graph& rr4096Graph() {
+  static const graph::Graph g = [] {
+    util::Rng ggen(7);
+    return graph::randomRegular(4096, 4, ggen);
+  }();
+  // The goldens below are meaningless against a different topology draw, so
+  // pin the sampled graph itself before comparing any run against them.
+  EXPECT_EQ(graph::structuralFingerprint(g), 0xf790ba478ac8c1aull);
+  return g;
+}
+
+const graph::Graph& graphByName(const std::string& name) {
+  if (name == "mst-sparse") return sparseGraph();
+  if (name == "rr4096") return rr4096Graph();
+  return cliqueGraph();
+}
+
 Case caseByName(const std::string& name) {
   if (name == "mst" || name == "mst-sparse") {
     Case c;
@@ -98,6 +120,14 @@ Case caseByName(const std::string& name) {
       c.adversary = [](std::uint64_t s) {
         return std::make_unique<adv::BitflipByzantine>(2, 31 + s);
       };
+    return c;
+  }
+  if (name == "rr4096") {
+    Case c;
+    c.algo = [](const graph::Graph& g) { return algo::makeFloodMax(g, 20); };
+    c.adversary = [](std::uint64_t s) {
+      return std::make_unique<adv::BitflipByzantine>(8, 1000 + s);
+    };
     return c;
   }
   if (name == "byz") {
@@ -140,27 +170,31 @@ Case caseByName(const std::string& name) {
   return c;
 }
 
-TEST(ArenaDeterminism, MatchesPreRefactorEngineAtEveryThreadCount) {
+TEST(ArenaDeterminism, MatchesPreRefactorEngineAtEveryThreadAndShardCount) {
   for (const Golden& want : kGoldens) {
     const std::string name = want.name;
-    const graph::Graph& g =
-        name == "mst-sparse" ? sparseGraph() : cliqueGraph();
+    const graph::Graph& g = graphByName(name);
     const Case c = caseByName(name);
     for (const int threads : {1, 2, 8}) {
-      const sim::Algorithm a = c.algo(g);
-      std::unique_ptr<adv::Adversary> adversary;
-      if (c.adversary) adversary = c.adversary(want.seed);
-      sim::NetworkOptions opts;
-      opts.numThreads = threads;
-      sim::Network net(g, a, want.seed, adversary.get(), opts);
-      net.run(a.rounds);
-      EXPECT_EQ(net.outputsFingerprint(), want.fingerprint)
-          << name << " seed=" << want.seed << " threads=" << threads;
-      EXPECT_EQ(net.messagesSent(), want.messages) << name << " " << threads;
-      EXPECT_EQ(net.maxWordsObserved(), want.maxWords) << name;
-      EXPECT_EQ(net.ledger().total(), want.corruptions) << name;
-      EXPECT_EQ(net.maxEdgeCongestion(), want.maxCongestion) << name;
-      EXPECT_EQ(net.roundsExecuted(), want.rounds) << name;
+      for (const int shards : {1, 2, 8}) {
+        const sim::Algorithm a = c.algo(g);
+        std::unique_ptr<adv::Adversary> adversary;
+        if (c.adversary) adversary = c.adversary(want.seed);
+        sim::NetworkOptions opts;
+        opts.numThreads = threads;
+        opts.numShards = shards;
+        sim::Network net(g, a, want.seed, adversary.get(), opts);
+        net.run(a.rounds);
+        const std::string where = name + " seed=" + std::to_string(want.seed) +
+                                  " threads=" + std::to_string(threads) +
+                                  " shards=" + std::to_string(shards);
+        EXPECT_EQ(net.outputsFingerprint(), want.fingerprint) << where;
+        EXPECT_EQ(net.messagesSent(), want.messages) << where;
+        EXPECT_EQ(net.maxWordsObserved(), want.maxWords) << where;
+        EXPECT_EQ(net.ledger().total(), want.corruptions) << where;
+        EXPECT_EQ(net.maxEdgeCongestion(), want.maxCongestion) << where;
+        EXPECT_EQ(net.roundsExecuted(), want.rounds) << where;
+      }
     }
   }
 }

@@ -9,6 +9,7 @@
 // Driver level: ExperimentDriver with 1 vs many lanes, and vs a hand-rolled
 // sequential loop, must return identical per-trial fingerprints in spec
 // order.  Network::reset() must reproduce a fresh construction exactly.
+#include <cstring>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -21,10 +22,12 @@
 #include "compile/byz_tree_compiler.h"
 #include "compile/expander_packing.h"
 #include "compile/secure_broadcast.h"
+#include "exp/bench_args.h"
 #include "exp/experiment.h"
 #include "graph/generators.h"
 #include "graph/tree_packing.h"
 #include "sim/network.h"
+#include "util/thread_pool.h"
 
 using namespace mobile;
 
@@ -288,4 +291,44 @@ TEST(NetworkReset, FingerprintHelperMatchesNetwork) {
   sim::Network net(g, a, 1);
   net.run(a.rounds);
   EXPECT_EQ(net.outputsFingerprint(), sim::fingerprintOutputs(net.outputs()));
+}
+
+TEST(BenchArgs, ExplicitNonpositiveThreadsClampsToOneWithWarning) {
+  // Regression: --threads 0 used to silently resolve to "all cores", and
+  // negative values rode along the same path.  Explicit N < 1 now clamps
+  // to a single lane at parse time (warning on stderr).
+  for (const char* bad : {"0", "-4"}) {
+    char arg0[] = "bench";
+    char arg1[] = "--threads";
+    std::vector<char> val(bad, bad + std::strlen(bad) + 1);
+    char* argv[] = {arg0, arg1, val.data(), nullptr};
+    int argc = 3;
+    testing::internal::CaptureStderr();
+    const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
+    const std::string warning = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(args.threads, 1) << bad;
+    EXPECT_NE(warning.find("clamping to 1"), std::string::npos) << bad;
+    EXPECT_EQ(argc, 1) << bad;  // the flag is still consumed
+  }
+}
+
+TEST(BenchArgs, OmittedThreadsResolvesToHardwareAndValidValuesPass) {
+  {
+    char arg0[] = "bench";
+    char* argv[] = {arg0, nullptr};
+    int argc = 1;
+    const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
+    EXPECT_EQ(args.threads, util::ThreadPool::hardwareThreads());
+  }
+  {
+    char arg0[] = "bench";
+    char arg1[] = "--threads";
+    char arg2[] = "3";
+    char* argv[] = {arg0, arg1, arg2, nullptr};
+    int argc = 3;
+    testing::internal::CaptureStderr();
+    const exp::BenchArgs args = exp::parseBenchArgs(argc, argv);
+    EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+    EXPECT_EQ(args.threads, 3);
+  }
 }

@@ -26,14 +26,40 @@ TEST(Graph, ArcDirections) {
   const EdgeId e = g.addEdge(1, 2);
   const ArcId a12 = g.arcFromTo(1, 2);
   const ArcId a21 = g.arcFromTo(2, 1);
-  EXPECT_EQ(Graph::arcEdge(a12), e);
-  EXPECT_EQ(Graph::arcEdge(a21), e);
+  EXPECT_EQ(g.arcEdge(a12), e);
+  EXPECT_EQ(g.arcEdge(a21), e);
   EXPECT_NE(a12, a21);
-  EXPECT_EQ(Graph::reverseArc(a12), a21);
+  EXPECT_EQ(g.reverseArc(a12), a21);
+  EXPECT_EQ(g.reverseArc(a21), a12);
+  EXPECT_EQ(g.arcOfEdge(e, 0), a12);  // dir 0 = u -> v with u < v
+  EXPECT_EQ(g.arcOfEdge(e, 1), a21);
   EXPECT_EQ(g.arcSource(a12), 1);
   EXPECT_EQ(g.arcTarget(a12), 2);
   EXPECT_EQ(g.arcSource(a21), 2);
   EXPECT_EQ(g.arcTarget(a21), 1);
+}
+
+TEST(Graph, ArcIdsAreCsrOffsets) {
+  // Arc ids are positions in the flat CSR adjacency: node v's out-arcs
+  // occupy [firstOutArc(v), firstOutArc(v) + degree(v)) in edge-insertion
+  // order, and neighbors(v).firstArc() + i is the i-th neighbor's arc.
+  const Graph g = clique(5);
+  ArcId expect = 0;
+  for (NodeId v = 0; v < g.nodeCount(); ++v) {
+    EXPECT_EQ(g.firstOutArc(v), expect);
+    const auto nbs = g.neighbors(v);
+    EXPECT_EQ(nbs.firstArc(), expect);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const ArcId a = nbs.firstArc() + static_cast<ArcId>(i);
+      EXPECT_EQ(g.arcSource(a), v);
+      EXPECT_EQ(g.arcTarget(a), nbs[i].node);
+      EXPECT_EQ(g.arcEdge(a), nbs[i].edge);
+      EXPECT_EQ(g.arcFromTo(v, nbs[i].node), a);
+      EXPECT_EQ(g.reverseArc(g.reverseArc(a)), a);
+    }
+    expect += static_cast<ArcId>(nbs.size());
+  }
+  EXPECT_EQ(expect, g.arcCount());
 }
 
 TEST(Graph, Connectivity) {
