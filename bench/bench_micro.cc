@@ -2,8 +2,10 @@
 // plus whole-round throughput probes for the message plane (steps/sec and
 // bytes-allocated/round -- the zero-allocation contract's regression gate).
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <string_view>
 
 #include <benchmark/benchmark.h>
 
@@ -87,7 +89,16 @@ static void BM_GfSlabAxpy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_GfSlabAxpy)->Arg(16)->Arg(64)->Arg(1024);
+// The size sweep spans the scalar->table cutover (gf::kSlabCutover = 16)
+// and the SIMD strides (16 words/SSSE3 iter, 32/AVX2), so one run shows
+// every dispatch regime: below-cutover scalar, table tail, full vector.
+BENCHMARK(BM_GfSlabAxpy)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(8192);
 
 static void BM_VandermondeExtract(benchmark::State& state) {
   // The Theorem 2.1 extraction map y = x^T A as KeyPool drives it:
@@ -112,17 +123,27 @@ static void BM_RsEncode(benchmark::State& state) {
 BENCHMARK(BM_RsEncode)->Arg(4)->Arg(16)->Arg(64);
 
 static void BM_RsDecode(benchmark::State& state) {
+  // Args: {ell, injected errors}.  e = 0 hits the zero-syndrome
+  // short-circuit (verify-free interpolation), e = 1 the smallest BM +
+  // Chien + Forney pipeline, e = maxErrors() the full error-locator work.
   const auto ell = static_cast<std::size_t>(state.range(0));
+  const auto e = static_cast<std::size_t>(state.range(1));
   const coding::ReedSolomon rs(ell, 3 * ell);
   util::Rng rng(3);
   std::vector<gf::F16> msg(ell);
   for (auto& s : msg) s = gf::F16(static_cast<std::uint16_t>(rng.next()));
   auto word = rs.encode(msg);
-  for (std::size_t i = 0; i < rs.maxErrors() / 2; ++i)
-    word[i] = gf::F16(static_cast<std::uint16_t>(rng.next()));
+  for (std::size_t i = 0; i < e; ++i)
+    word[i] = word[i] + gf::F16(static_cast<std::uint16_t>(rng.next() | 1));
   for (auto _ : state) benchmark::DoNotOptimize(rs.decode(word));
 }
-BENCHMARK(BM_RsDecode)->Arg(4)->Arg(16);
+BENCHMARK(BM_RsDecode)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({16, 16});
 
 static void BM_L0_Update(benchmark::State& state) {
   sketch::L0Sampler s(42, 60, 14);
@@ -156,6 +177,64 @@ static void BM_SparseRecovery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SparseRecovery);
+
+// --- zero-alloc steady-state probes ------------------------------------------
+// The scratch-arena acceptance gates: persistent objects driven through
+// their reuse surfaces must settle to bytes_per_op == 0 after the first
+// (capacity-warming) iteration.
+
+static void BM_SketchSerializeSteadyState(benchmark::State& state) {
+  // L0Sampler round trip exactly as the byzantine tree compiler drives it:
+  // serializeInto a retained word buffer, loadWords into a persistent
+  // receive sketch, merge.
+  sketch::L0Sampler a(42, 60, 14), b(42, 60, 14);
+  util::Rng rng(9);
+  for (int i = 0; i < 64; ++i) a.update(rng.next() % (1ULL << 59), 1);
+  std::vector<std::uint64_t> words;
+  a.serializeInto(words);  // warm-up: buffer capacity settles here
+  std::uint64_t ops = 0;
+  const std::uint64_t bytes0 =
+      g_bytesAllocated.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    a.serializeInto(words);
+    b.loadWords(words.data(), words.size());
+    b.merge(a);
+    benchmark::DoNotOptimize(words.data());
+    ++ops;
+  }
+  const std::uint64_t bytes =
+      g_bytesAllocated.load(std::memory_order_relaxed) - bytes0;
+  state.counters["bytes_per_op"] =
+      ops == 0 ? 0.0 : static_cast<double>(bytes) / static_cast<double>(ops);
+}
+BENCHMARK(BM_SketchSerializeSteadyState);
+
+static void BM_SparseReseedSteadyState(benchmark::State& state) {
+  // SparseRecovery scratch reuse including the per-(tree, iteration)
+  // reseed the compilers perform: re-derive randomness, reload, merge --
+  // all in place.
+  sketch::SparseRecovery a(42, 16), b(42, 16);
+  util::Rng rng(10);
+  for (int i = 0; i < 12; ++i) a.update(rng.next() % (1ULL << 59), 1);
+  std::vector<std::uint64_t> words;
+  a.serializeInto(words);
+  std::uint64_t ops = 0;
+  const std::uint64_t bytes0 =
+      g_bytesAllocated.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    a.serializeInto(words);
+    b.reseed(42);
+    b.loadWords(words.data(), words.size());
+    b.merge(a);
+    benchmark::DoNotOptimize(words.data());
+    ++ops;
+  }
+  const std::uint64_t bytes =
+      g_bytesAllocated.load(std::memory_order_relaxed) - bytes0;
+  state.counters["bytes_per_op"] =
+      ops == 0 ? 0.0 : static_cast<double>(bytes) / static_cast<double>(ops);
+}
+BENCHMARK(BM_SparseReseedSteadyState);
 
 static void BM_KeyPoolExtract(benchmark::State& state) {
   const int r = static_cast<int>(state.range(0));
@@ -305,6 +384,24 @@ static void BM_RoundThroughput_RepetitionFaultFree(benchmark::State& state) {
 }
 BENCHMARK(BM_RoundThroughput_RepetitionFaultFree)->Arg(24)->Arg(48);
 
+static void BM_RoundThroughput_AdversaryTouch(benchmark::State& state) {
+  // The adversary phase in near-isolation: FloodMax (allocation-free
+  // sends) under a mobile byzantine touching f edges per round.  With the
+  // TamperScratch arena, the CSR ledger, and the strategy scratch buffers,
+  // the steady state must report bytes_per_round == 0 even though every
+  // round snapshots 2f pre-images and records f corruptions.
+  const auto f = static_cast<int>(state.range(0));
+  const graph::Graph g = graph::clique(16);
+  const int schedule = 64;
+  const sim::Algorithm a = algo::makeFloodMax(g, schedule);
+  adv::RandomByzantine byz(f, 7);
+  sim::Network net(g, a, 1, &byz);
+  net.runExact(schedule);  // warm-up: scratch/ledger/plane capacities settle
+  net.reset();
+  runRoundLoop(state, net, schedule);
+}
+BENCHMARK(BM_RoundThroughput_AdversaryTouch)->Arg(1)->Arg(8);
+
 static void BM_NetworkRound_Clique(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
   const graph::Graph g = graph::clique(n);
@@ -321,6 +418,15 @@ BENCHMARK(BM_NetworkRound_Clique)->Arg(16)->Arg(64);
 // so CI sweeps finish in seconds; --json routes the library's own JSON
 // report to the requested path (the BENCH_micro.json CI artifact).
 int main(int argc, char** argv) {
+  // --slab-tier: print the runtime-dispatched GF(2^16) kernel tier and
+  // exit.  scripts/smoke_bench.sh stamps this into BENCH_kernels.json so
+  // every archived kernel number names the tier that produced it.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--slab-tier") {
+      std::printf("%s\n", gf::slabTierName(gf::slabTier()));
+      return 0;
+    }
+  }
   const exp::BenchArgs args =
       exp::parseBenchArgs(argc, argv, /*allowUnknown=*/true);
   std::vector<char*> benchArgv(argv, argv + argc);

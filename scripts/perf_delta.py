@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Diff two bench JSON files and print per-probe ratios (informational).
+"""Diff two bench JSON files and print per-probe ratios.
 
 Usage:
-    scripts/perf_delta.py OLD.json NEW.json
+    scripts/perf_delta.py [--gate] [--threshold X] [--normalize PROBE] \
+        OLD.json NEW.json
 
 Accepts either shape the harness produces:
   * Google-Benchmark-shaped files ({"benchmarks": [{"name", "real_time",
@@ -12,12 +13,21 @@ Accepts either shape the harness produces:
     BENCH_smoke.json; wall_ms is compared, and any gbench-shaped report
     nested under a bench contributes its probes too.
 
-Ratios are old/new, so > 1.0 means the new file is faster.  The script is
-non-gating by design: it exits 0 whatever the numbers say, so future PRs
-can cite kernel deltas mechanically without turning perf noise into CI
-flakes.
+Ratios are old/new, so > 1.0 means the new file is faster.
+
+By default the script is informational: it exits 0 whatever the numbers
+say, so ad-hoc comparisons never flake.  With --gate it becomes the CI
+perf regression gate: it exits 1 if any shared probe's new time exceeds
+threshold * old time (default 1.25x).  --normalize PROBE divides every
+time by that reference probe's time *from the same file* before
+comparing, turning absolute nanoseconds into machine-relative multiples
+-- this is what makes a committed baseline meaningful across runner
+generations (a uniformly slower machine scales the reference probe too,
+leaving the normalized ratios fixed).  Probes present in only one file
+are reported but never gate.
 """
 
+import argparse
 import json
 import sys
 
@@ -44,30 +54,79 @@ def flatten(doc, prefix=""):
             yield from flatten(report, prefix + key + ":")
 
 
+def normalize(probes, reference, path):
+    """Divides every probe time by the reference probe's time in `probes`.
+
+    The reference name matches exactly, or -- since arg-ed registrations
+    are named "PROBE/arg" -- the first probe whose name starts with
+    "PROBE/".
+    """
+    ref = probes.get(reference)
+    if ref is None:
+        for name in sorted(probes):
+            if name.startswith(reference + "/"):
+                ref = probes[name]
+                break
+    if not ref:
+        sys.stderr.write(
+            f"perf_delta: reference probe {reference!r} not found "
+            f"(or zero) in {path}\n")
+        return None
+    return {name: t / ref for name, t in probes.items()}
+
+
 def main(argv):
-    if len(argv) != 3:
-        sys.stderr.write(__doc__)
-        return 2
-    with open(argv[1]) as f:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 on regression beyond --threshold")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="max allowed new/old per probe (gate mode)")
+    parser.add_argument("--normalize", metavar="PROBE",
+                        help="divide times by this probe's time per file")
+    parser.add_argument("old")
+    parser.add_argument("new")
+    args = parser.parse_args(argv[1:])
+
+    with open(args.old) as f:
         old = dict(flatten(json.load(f)))
-    with open(argv[2]) as f:
+    with open(args.new) as f:
         new = dict(flatten(json.load(f)))
+    if args.normalize:
+        old = normalize(old, args.normalize, args.old)
+        new = normalize(new, args.normalize, args.new)
+        if old is None or new is None:
+            return 2
     shared = [name for name in old if name in new]
     if not shared:
         print("no shared probes between the two files")
-        return 0
+        return 1 if args.gate else 0
+    unit = "rel" if args.normalize else "time"
     width = max(len(name) for name in shared)
-    print(f"{'probe'.ljust(width)}  {'old':>12}  {'new':>12}  {'old/new':>8}")
+    print(f"{'probe'.ljust(width)}  {'old ' + unit:>12}  {'new ' + unit:>12}"
+          f"  {'old/new':>8}")
+    regressions = []
     for name in shared:
         ratio = old[name] / new[name] if new[name] else float("inf")
-        print(f"{name.ljust(width)}  {old[name]:12.1f}  {new[name]:12.1f}"
-              f"  {ratio:8.2f}x")
+        flag = ""
+        if args.gate and new[name] > args.threshold * old[name]:
+            regressions.append(name)
+            flag = "  REGRESSION"
+        print(f"{name.ljust(width)}  {old[name]:12.4g}  {new[name]:12.4g}"
+              f"  {ratio:8.2f}x{flag}")
     only_old = sorted(set(old) - set(new))
     only_new = sorted(set(new) - set(old))
     if only_old:
-        print(f"only in {argv[1]}: {', '.join(only_old)}")
+        print(f"only in {args.old}: {', '.join(only_old)}")
     if only_new:
-        print(f"only in {argv[2]}: {', '.join(only_new)}")
+        print(f"only in {args.new}: {', '.join(only_new)}")
+    if args.gate:
+        if regressions:
+            print(f"PERF GATE FAILED: {len(regressions)} probe(s) slower "
+                  f"than {args.threshold}x baseline: {', '.join(regressions)}")
+            return 1
+        print(f"perf gate OK: {len(shared)} shared probe(s) within "
+              f"{args.threshold}x of baseline")
     return 0
 
 

@@ -8,20 +8,24 @@ long CorruptionLedger::countInWindow(int fromRound, int toRound,
                                      const std::set<EdgeId>& edges) const {
   long count = 0;
   const int lo = std::max(1, fromRound);
-  const int hi = std::min(static_cast<int>(perRound_.size()), toRound);
+  const int hi = std::min(static_cast<int>(starts_.size()), toRound);
   for (int r = lo; r <= hi; ++r)
-    for (const EdgeId e : perRound_[static_cast<std::size_t>(r - 1)])
+    for (const EdgeId e : roundEntries(static_cast<std::size_t>(r - 1)))
       if (edges.count(e)) ++count;
   return count;
 }
 
 TamperView::TamperView(const Graph& g, const Spec& spec, int round,
-                       sim::ShardedPlane& plane, long budgetUsedSoFar)
+                       sim::ShardedPlane& plane, long budgetUsedSoFar,
+                       TamperScratch& scratch)
     : g_(g),
       spec_(spec),
       round_(round),
       plane_(plane),
-      budgetUsedBefore_(budgetUsedSoFar) {}
+      scratch_(scratch),
+      budgetUsedBefore_(budgetUsedSoFar) {
+  scratch_.beginRound();
+}
 
 sim::MsgView TamperView::peek(ArcId a) const {
   if (spec_.kind != Kind::Byzantine)
@@ -33,18 +37,21 @@ int TamperView::remaining() const {
   switch (spec_.mobility) {
     case Mobility::Static:
     case Mobility::Mobile:
-      return spec_.f - static_cast<int>(touched_.size());
+      return spec_.f - static_cast<int>(scratch_.touched.size());
     case Mobility::RoundErrorRate: {
       const long left = spec_.totalBudget - budgetUsedBefore_ -
-                        static_cast<long>(touched_.size());
+                        static_cast<long>(scratch_.touched.size());
       return static_cast<int>(std::max<long>(0, left));
     }
   }
   return 0;
 }
 
-void TamperView::charge(EdgeId e) {
-  if (touched_.count(e)) return;  // an edge is charged once per round
+bool TamperView::charge(EdgeId e) {
+  auto& touched = scratch_.touched;
+  const auto it = std::lower_bound(touched.begin(), touched.end(), e);
+  if (it != touched.end() && *it == e)
+    return false;  // an edge is charged once per round
   switch (spec_.mobility) {
     case Mobility::Static: {
       const bool member =
@@ -52,35 +59,53 @@ void TamperView::charge(EdgeId e) {
           spec_.staticSet.end();
       if (!member)
         throw std::logic_error("static adversary touched edge outside F*");
-      if (static_cast<int>(touched_.size()) >= spec_.f)
+      if (static_cast<int>(touched.size()) >= spec_.f)
         throw std::logic_error("static adversary exceeded f");
       break;
     }
     case Mobility::Mobile:
-      if (static_cast<int>(touched_.size()) >= spec_.f)
+      if (static_cast<int>(touched.size()) >= spec_.f)
         throw std::logic_error("mobile adversary exceeded per-round f");
       break;
     case Mobility::RoundErrorRate:
-      if (budgetUsedBefore_ + static_cast<long>(touched_.size()) >=
+      if (budgetUsedBefore_ + static_cast<long>(touched.size()) >=
           spec_.totalBudget)
         throw std::logic_error("round-error-rate adversary exceeded budget");
       break;
   }
-  touched_.insert(e);
+  touched.insert(it, e);  // keeps the vector sorted; O(f) moves, f is small
+  return true;
 }
 
 void TamperView::corruptArc(ArcId a, const Msg& replacement) {
   if (spec_.kind != Kind::Byzantine)
     throw std::logic_error("only byzantine adversaries corrupt");
   const EdgeId e = g_.arcEdge(a);
-  charge(e);
   // Copy-on-touch: the first corruption of an edge materializes both arcs'
-  // pre-images for the ledger diff -- O(touched) total, never O(arcs).
-  if (preTouched_.find(e) == preTouched_.end()) {
-    auto& pre = preTouched_[e];
-    pre.first = plane_.msg(g_.arcOfEdge(e, 0));
-    pre.second = plane_.msg(g_.arcOfEdge(e, 1));
-    snapshotWords_ += pre.first.words.size() + pre.second.words.size();
+  // pre-images into the scratch arena for the ledger diff -- O(touched)
+  // total, never O(arcs).  Only corruptArc charges byzantine edges, so
+  // "first charge" and "no snapshot yet" coincide.
+  if (charge(e)) {
+    TamperScratch::PreImage p;
+    p.edge = e;
+    const sim::MsgView uv = plane_.view(g_.arcOfEdge(e, 0));
+    p.uvPresent = uv.present();
+    p.uvOff = scratch_.words.size();
+    if (p.uvPresent) {
+      p.uvLen = uv.size();
+      scratch_.words.insert(scratch_.words.end(), uv.data(),
+                            uv.data() + p.uvLen);
+    }
+    const sim::MsgView vu = plane_.view(g_.arcOfEdge(e, 1));
+    p.vuPresent = vu.present();
+    p.vuOff = scratch_.words.size();
+    if (p.vuPresent) {
+      p.vuLen = vu.size();
+      scratch_.words.insert(scratch_.words.end(), vu.data(),
+                            vu.data() + p.vuLen);
+    }
+    scratch_.pre.push_back(p);
+    snapshotWords_ += p.uvLen + p.vuLen;
   }
   plane_.putMsgAdversary(a, replacement);
 }
@@ -100,6 +125,15 @@ ViewRecord TamperView::observe(EdgeId e) {
   r.uv = plane_.msg(g_.arcOfEdge(e, 0));
   r.vu = plane_.msg(g_.arcOfEdge(e, 1));
   return r;
+}
+
+std::span<const TamperScratch::PreImage> TamperView::preImages() {
+  // Touch order -> edge order so the Network's diff (and thus the ledger
+  // record order) matches the old std::map-keyed iteration.
+  std::sort(scratch_.pre.begin(), scratch_.pre.end(),
+            [](const TamperScratch::PreImage& a,
+               const TamperScratch::PreImage& b) { return a.edge < b.edge; });
+  return {scratch_.pre.data(), scratch_.pre.size()};
 }
 
 }  // namespace mobile::adv

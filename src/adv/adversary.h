@@ -17,15 +17,21 @@
 // round materializes both arcs' current messages, so the Network's ledger
 // ground truth is a diff over O(touched edges), never over the whole plane
 // (mutation outside the view is impossible -- the arena plane is only
-// reachable through it).  The CorruptionLedger stays the ground truth used
-// by accounting, tests, and the ContractEngine ideal functionality (see
-// DESIGN.md).  docs/architecture.md section 2 describes the contract.
+// reachable through it).  All per-round adversary state lives in a
+// TamperScratch the Network owns and lends to each round's view, so the
+// steady state allocates nothing: touched edges are a sorted flat vector,
+// and pre-image snapshots are (offset, len) slices of one shared word
+// arena.  The CorruptionLedger stays the ground truth used by accounting,
+// tests, and the ContractEngine ideal functionality (see DESIGN.md); it
+// stores its history as one CSR (entries + per-round starts) so recording
+// a corruption never allocates after warm-up.  docs/architecture.md
+// section 2 describes the contract.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <set>
+#include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -63,44 +69,94 @@ struct ViewRecord {
 };
 
 /// Ground truth of byzantine interference, filled by the Network.
+/// History is one CSR -- `entries_` concatenates every recorded edge in
+/// round order, `starts_` marks where each round begins -- so beginRound()
+/// and record() never allocate once capacity has warmed up.
 class CorruptionLedger {
  public:
   void beginRound(int round) {
     round_ = round;
-    perRound_.emplace_back();
+    starts_.push_back(entries_.size());
   }
   void record(EdgeId e) {
-    perRound_.back().push_back(e);
+    entries_.push_back(e);
     ++total_;
   }
   [[nodiscard]] long total() const { return total_; }
-  [[nodiscard]] const std::vector<std::vector<EdgeId>>& byRound() const {
-    return perRound_;
+
+  /// Number of rounds begun so far.
+  [[nodiscard]] std::size_t rounds() const { return starts_.size(); }
+  /// Edges recorded in round index `i` (0-based; round i+1 of the run).
+  [[nodiscard]] std::span<const EdgeId> roundEntries(std::size_t i) const {
+    const std::size_t lo = starts_[i];
+    const std::size_t hi =
+        i + 1 < starts_.size() ? starts_[i + 1] : entries_.size();
+    return {entries_.data() + lo, hi - lo};
   }
+  /// Per-round view of the whole history (tests and probes; a vector of
+  /// spans over the CSR, not a copy of the entries).
+  [[nodiscard]] std::vector<std::span<const EdgeId>> byRound() const {
+    std::vector<std::span<const EdgeId>> out;
+    out.reserve(starts_.size());
+    for (std::size_t i = 0; i < starts_.size(); ++i)
+      out.push_back(roundEntries(i));
+    return out;
+  }
+
   /// Corrupted edge-rounds intersecting `edges` within rounds
   /// [fromRound, toRound] (1-based, inclusive).
   [[nodiscard]] long countInWindow(int fromRound, int toRound,
                                    const std::set<EdgeId>& edges) const;
 
-  /// Forgets all recorded history (Network::reset() support).  Shared
-  /// ledger holders see the wipe too -- reset is a whole-trial operation.
+  /// Forgets all recorded history (Network::reset() support), keeping the
+  /// CSR capacity.  Shared ledger holders see the wipe too -- reset is a
+  /// whole-trial operation.
   void clear() {
     round_ = 0;
     total_ = 0;
-    perRound_.clear();
+    entries_.clear();
+    starts_.clear();
   }
 
  private:
   int round_ = 0;
   long total_ = 0;
-  std::vector<std::vector<EdgeId>> perRound_;
+  std::vector<EdgeId> entries_;
+  std::vector<std::size_t> starts_;
+};
+
+/// Reusable per-round state for a TamperView.  The Network owns one and
+/// lends it to every round's view; beginRound() rewinds the vectors in
+/// place, so after warm-up the adversary phase allocates nothing.
+struct TamperScratch {
+  /// One copy-on-touch pre-image: both arcs of an edge, stored as slices
+  /// of the shared `words` arena (an absent arc has present == false and
+  /// len == 0).
+  struct PreImage {
+    EdgeId edge = -1;
+    bool uvPresent = false;
+    bool vuPresent = false;
+    std::size_t uvOff = 0, uvLen = 0;
+    std::size_t vuOff = 0, vuLen = 0;
+  };
+
+  std::vector<EdgeId> touched;       // charged edges, kept sorted ascending
+  std::vector<PreImage> pre;         // touch order; TamperView sorts on demand
+  std::vector<std::uint64_t> words;  // shared snapshot arena
+
+  void beginRound() {
+    touched.clear();
+    pre.clear();
+    words.clear();
+  }
 };
 
 /// The per-round interface the Network hands the adversary.
 class TamperView {
  public:
   TamperView(const Graph& g, const Spec& spec, int round,
-             sim::ShardedPlane& plane, long budgetUsedSoFar);
+             sim::ShardedPlane& plane, long budgetUsedSoFar,
+             TamperScratch& scratch);
 
   [[nodiscard]] int round() const { return round_; }
   [[nodiscard]] const Graph& graph() const { return g_; }
@@ -118,19 +174,24 @@ class TamperView {
   /// Observe both directions of edge `e`; charges the edge.
   [[nodiscard]] ViewRecord observe(EdgeId e);
 
-  /// Edges already charged this round.
-  [[nodiscard]] const std::set<EdgeId>& touched() const { return touched_; }
+  /// Edges already charged this round, sorted ascending (membership is a
+  /// std::binary_search).
+  [[nodiscard]] std::span<const EdgeId> touched() const {
+    return {scratch_.touched.data(), scratch_.touched.size()};
+  }
 
   /// Remaining per-round budget.
   [[nodiscard]] int remaining() const;
 
   // --- copy-on-touch ledger support ---------------------------------------
-  /// Pre-images of every byzantine-touched edge (both arcs, u->v then
-  /// v->u), keyed ascending by edge -- the Network diffs exactly these
-  /// against the post-adversary plane, so the ledger costs O(touched).
-  [[nodiscard]] const std::map<EdgeId, std::pair<Msg, Msg>>& preTouched()
-      const {
-    return preTouched_;
+  /// Pre-images of every byzantine-touched edge (both arcs as slices of
+  /// snapshotArena()), sorted ascending by edge -- the Network diffs
+  /// exactly these against the post-adversary plane, so the ledger costs
+  /// O(touched).  Sorts the scratch in place; call after act() returns.
+  [[nodiscard]] std::span<const TamperScratch::PreImage> preImages();
+  /// Base of the shared snapshot arena the PreImage slices index into.
+  [[nodiscard]] const std::uint64_t* snapshotArena() const {
+    return scratch_.words.data();
   }
   /// Words materialized by copy-on-touch snapshots (the O(f) cost proof
   /// surface; the Network accumulates it per run).
@@ -139,14 +200,15 @@ class TamperView {
   }
 
  private:
-  void charge(EdgeId e);
+  /// Charges the edge against the budget; true when this is the edge's
+  /// first touch this round.
+  bool charge(EdgeId e);
 
   const Graph& g_;
   const Spec& spec_;
   int round_;
   sim::ShardedPlane& plane_;
-  std::set<EdgeId> touched_;
-  std::map<EdgeId, std::pair<Msg, Msg>> preTouched_;
+  TamperScratch& scratch_;
   std::uint64_t snapshotWords_ = 0;
   long budgetUsedBefore_;
 };

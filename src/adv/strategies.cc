@@ -31,8 +31,13 @@ Spec byzSpec(Mobility mob, int f, long total = 0,
 
 Msg garbageMsg(util::Rng& rng, std::size_t words) {
   Msg m;
-  for (std::size_t i = 0; i < words; ++i) m.push(rng.next());
+  garbageMsgInto(rng, m, words);
   return m;
+}
+
+void garbageMsgInto(util::Rng& rng, Msg& m, std::size_t words) {
+  sim::resetScratch(m);
+  for (std::size_t i = 0; i < words; ++i) m.push(rng.next());
 }
 
 // --- eavesdroppers ---------------------------------------------------------
@@ -44,7 +49,8 @@ void RandomEavesdropper::act(TamperView& view) {
   const auto m = static_cast<std::size_t>(view.graph().edgeCount());
   const std::size_t take =
       std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
-  for (const std::size_t e : rng_.sampleDistinct(m, take))
+  rng_.sampleDistinctInto(m, take, pick_);
+  for (const std::size_t e : pick_)
     recordView(view.observe(static_cast<EdgeId>(e)));
 }
 
@@ -98,9 +104,14 @@ void RandomByzantine::act(TamperView& view) {
   const auto m = static_cast<std::size_t>(view.graph().edgeCount());
   const std::size_t take =
       std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
-  for (const std::size_t e : rng_.sampleDistinct(m, take))
-    view.corruptEdge(static_cast<EdgeId>(e), garbageMsg(rng_),
-                     garbageMsg(rng_));
+  rng_.sampleDistinctInto(m, take, pick_);
+  for (const std::size_t e : pick_) {
+    // vu before uv: preserves the draw order of the old two-argument
+    // garbageMsg call (right-to-left argument evaluation).
+    garbageMsgInto(rng_, vu_);
+    garbageMsgInto(rng_, uv_);
+    view.corruptEdge(static_cast<EdgeId>(e), uv_, vu_);
+  }
 }
 
 CampingByzantine::CampingByzantine(std::vector<EdgeId> targets, int f,
@@ -112,8 +123,11 @@ CampingByzantine::CampingByzantine(std::vector<EdgeId> targets, int f,
 }
 
 void CampingByzantine::act(TamperView& view) {
-  for (const EdgeId e : targets_)
-    view.corruptEdge(e, garbageMsg(rng_), garbageMsg(rng_));
+  for (const EdgeId e : targets_) {
+    garbageMsgInto(rng_, vu_);  // vu first: see RandomByzantine::act
+    garbageMsgInto(rng_, uv_);
+    view.corruptEdge(e, uv_, vu_);
+  }
 }
 
 RotatingByzantine::RotatingByzantine(int f, std::uint64_t seed)
@@ -124,8 +138,9 @@ void RotatingByzantine::act(TamperView& view) {
   const std::size_t take =
       std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
   for (std::size_t i = 0; i < take; ++i) {
-    view.corruptEdge(static_cast<EdgeId>(cursor_ % m), garbageMsg(rng_),
-                     garbageMsg(rng_));
+    garbageMsgInto(rng_, vu_);  // vu first: see RandomByzantine::act
+    garbageMsgInto(rng_, uv_);
+    view.corruptEdge(static_cast<EdgeId>(cursor_ % m), uv_, vu_);
     ++cursor_;
   }
 }
@@ -142,18 +157,22 @@ TreeTargetedByzantine::TreeTargetedByzantine(int f,
 
 void TreeTargetedByzantine::act(TamperView& view) {
   // Pick the f least-hit trees and corrupt one random edge of each.
-  std::vector<std::size_t> order(treeEdges_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(),
+  order_.resize(treeEdges_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(),
             [&](std::size_t a, std::size_t b) { return hits_[a] < hits_[b]; });
   int used = 0;
-  for (const std::size_t t : order) {
+  for (const std::size_t t : order_) {
     if (used >= spec_.f) break;
     if (treeEdges_[t].empty()) continue;
     const EdgeId e = treeEdges_[t][static_cast<std::size_t>(
         rng_.below(treeEdges_[t].size()))];
-    if (view.touched().count(e)) continue;  // already corrupted this round
-    view.corruptEdge(e, garbageMsg(rng_), garbageMsg(rng_));
+    const auto touched = view.touched();  // sorted ascending
+    if (std::binary_search(touched.begin(), touched.end(), e))
+      continue;  // already corrupted this round
+    garbageMsgInto(rng_, vu_);  // vu first: see RandomByzantine::act
+    garbageMsgInto(rng_, uv_);
+    view.corruptEdge(e, uv_, vu_);
     ++hits_[t];
     ++used;
   }
@@ -173,9 +192,12 @@ void BurstByzantine::act(TamperView& view) {
   const std::size_t want =
       std::min<std::size_t>({m, static_cast<std::size_t>(burstWidth_),
                              static_cast<std::size_t>(view.remaining())});
-  for (const std::size_t e : rng_.sampleDistinct(m, want))
-    view.corruptEdge(static_cast<EdgeId>(e), garbageMsg(rng_),
-                     garbageMsg(rng_));
+  rng_.sampleDistinctInto(m, want, pick_);
+  for (const std::size_t e : pick_) {
+    garbageMsgInto(rng_, vu_);  // vu first: see RandomByzantine::act
+    garbageMsgInto(rng_, uv_);
+    view.corruptEdge(static_cast<EdgeId>(e), uv_, vu_);
+  }
 }
 
 ScriptedByzantine::ScriptedByzantine(
@@ -188,8 +210,11 @@ ScriptedByzantine::ScriptedByzantine(
 void ScriptedByzantine::act(TamperView& view) {
   const auto it = schedule_.find(view.round());
   if (it == schedule_.end()) return;
-  for (const EdgeId e : it->second)
-    view.corruptEdge(e, garbageMsg(rng_), garbageMsg(rng_));
+  for (const EdgeId e : it->second) {
+    garbageMsgInto(rng_, vu_);  // vu first: see RandomByzantine::act
+    garbageMsgInto(rng_, uv_);
+    view.corruptEdge(e, uv_, vu_);
+  }
 }
 
 BitflipByzantine::BitflipByzantine(int f, std::uint64_t seed)
@@ -199,17 +224,19 @@ void BitflipByzantine::act(TamperView& view) {
   const auto m = static_cast<std::size_t>(view.graph().edgeCount());
   const std::size_t take =
       std::min<std::size_t>(m, static_cast<std::size_t>(spec_.f));
-  for (const std::size_t ei : rng_.sampleDistinct(m, take)) {
+  rng_.sampleDistinctInto(m, take, pick_);
+  for (const std::size_t ei : pick_) {
     const EdgeId e = static_cast<EdgeId>(ei);
     for (int dir = 0; dir < 2; ++dir) {
       const ArcId a = view.graph().arcOfEdge(e, dir);
-      Msg mcopy = view.peek(a).toMsg();
-      if (mcopy.present && mcopy.size() > 0) {
-        mcopy.words[0] ^= 1ULL << rng_.below(8);
+      const sim::MsgView cur = view.peek(a);
+      if (cur.present() && cur.size() > 0) {
+        sim::assignMsg(work_, cur);
+        work_.words[0] ^= 1ULL << rng_.below(8);
       } else {
-        mcopy = garbageMsg(rng_);
+        garbageMsgInto(rng_, work_);
       }
-      view.corruptArc(a, mcopy);
+      view.corruptArc(a, work_);
     }
   }
 }

@@ -34,6 +34,7 @@ class RandomEavesdropper final : public Adversary {
 
  private:
   util::Rng rng_;
+  std::vector<std::size_t> pick_;  // per-round sample scratch
 };
 
 /// Eavesdropper camping on a fixed set (mobile-legal worst case for pools).
@@ -84,6 +85,8 @@ class RandomByzantine final : public Adversary {
 
  private:
   util::Rng rng_;
+  std::vector<std::size_t> pick_;  // per-round sample scratch
+  Msg uv_, vu_;                    // garbage scratch (capacity retained)
 };
 
 /// Byzantine camping on fixed edges, replacing messages with garbage.
@@ -96,6 +99,7 @@ class CampingByzantine final : public Adversary {
  private:
   std::vector<EdgeId> targets_;
   util::Rng rng_;
+  Msg uv_, vu_;  // garbage scratch (capacity retained)
 };
 
 /// Byzantine rotating over all edges (touches everything eventually).
@@ -107,6 +111,7 @@ class RotatingByzantine final : public Adversary {
  private:
   std::size_t cursor_ = 0;
   util::Rng rng_;
+  Msg uv_, vu_;  // garbage scratch (capacity retained)
 };
 
 /// Byzantine that spreads corruption across as many *distinct packing
@@ -122,6 +127,8 @@ class TreeTargetedByzantine final : public Adversary {
   std::vector<std::vector<EdgeId>> treeEdges_;
   std::vector<long> hits_;
   util::Rng rng_;
+  std::vector<std::size_t> order_;  // per-round tree ordering scratch
+  Msg uv_, vu_;                     // garbage scratch (capacity retained)
 };
 
 /// Round-error-rate burst adversary: quiet for `quietRounds`, then spends
@@ -138,6 +145,8 @@ class BurstByzantine final : public Adversary {
   int burstWidth_;
   int phase_ = 0;
   util::Rng rng_;
+  std::vector<std::size_t> pick_;  // per-round sample scratch
+  Msg uv_, vu_;                    // garbage scratch (capacity retained)
 };
 
 /// Fully scripted byzantine: corrupts exactly the edges listed per round
@@ -153,6 +162,7 @@ class ScriptedByzantine final : public Adversary {
  private:
   std::map<int, std::vector<EdgeId>> schedule_;
   util::Rng rng_;
+  Msg uv_, vu_;  // garbage scratch (capacity retained)
 };
 
 /// Byzantine flipping one low bit of each present message on its edges.
@@ -163,9 +173,16 @@ class BitflipByzantine final : public Adversary {
 
  private:
   util::Rng rng_;
+  std::vector<std::size_t> pick_;  // per-round sample scratch
+  Msg work_;                       // flip/garbage scratch (capacity retained)
 };
 
 /// Helper: random garbage message resembling CONGEST traffic.
 [[nodiscard]] Msg garbageMsg(util::Rng& rng, std::size_t words = 1);
+
+/// Scratch form: refills `m` with `words` fresh garbage words in place,
+/// reusing its capacity -- the zero-alloc path the strategies use every
+/// round.  Draws exactly the same RNG sequence as garbageMsg.
+void garbageMsgInto(util::Rng& rng, Msg& m, std::size_t words = 1);
 
 }  // namespace mobile::adv

@@ -29,7 +29,10 @@ class FloodMaxNode final : public NodeState {
       : best_(static_cast<std::uint64_t>(self)), rounds_(rounds) {}
 
   void send(int round, Outbox& out) override {
-    if (round <= rounds_) out.toAll(Msg::of(best_));
+    // Scratch-send idiom (sim/message.h): refill one member Msg so the
+    // steady state allocates nothing -- FloodMax doubles as the
+    // bytes-per-round control payload in bench_micro.
+    if (round <= rounds_) out.toAll(resetScratch(scratch_).push(best_));
   }
   void receive(int round, const Inbox& in) override {
     (void)round;
@@ -53,6 +56,7 @@ class FloodMaxNode final : public NodeState {
  private:
   std::uint64_t best_;
   int rounds_;
+  Msg scratch_;
 };
 
 // --- BFS ---------------------------------------------------------------------

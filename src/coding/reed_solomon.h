@@ -4,18 +4,40 @@
 // polynomial P with those coefficients; the codeword is P evaluated at k
 // distinct non-zero points.  Relative distance delta = (k - ell + 1) / k.
 //
-// Decoding: Berlekamp-Welch unique decoding, correcting any
-// e <= floor((k - ell) / 2) symbol errors -- the "closest codeword"
-// computation used by the safe broadcast procedure (Lemma 3.6), where each
-// of the k tree-delivered shares may have been corrupted by the byzantine
-// adversary, but a majority-by-distance argument guarantees the honest
-// codeword is the unique one within half the distance.
+// Decoding corrects any e <= floor((k - ell) / 2) symbol errors -- the
+// "closest codeword" computation used by the safe broadcast procedure
+// (Lemma 3.6), where each of the k tree-delivered shares may have been
+// corrupted by the byzantine adversary, but a majority-by-distance argument
+// guarantees the honest codeword is the unique one within half the
+// distance.  Two independent decoders implement that contract:
+//
+//  * decodeSyndrome() -- the production path.  Because the evaluation
+//    points make this a generalized RS code, a word is a codeword iff its
+//    k - ell weighted power sums (syndromes) S_j = sum_i r_i u_i x_i^j all
+//    vanish, where u_i is the dual-code column multiplier cached by the
+//    constructor.  Zero syndromes short-circuit straight to interpolation
+//    (the fault-free campaign path: no re-encode, no verify).  Otherwise
+//    Berlekamp-Massey fits the error-locator polynomial in O(f^2), a Chien
+//    sweep over the cached power rows finds the error positions (one slab
+//    dot per coordinate), Forney's formula yields the error values, and
+//    the patched word is re-validated by pushing the corrections back
+//    through the same syndromes (f slab axpys -- no re-encode) before the
+//    message is read off with the cached Lagrange rows.
+//
+//  * decodeBW() -- the Berlekamp-Welch oracle: dense O((ell+f)^3)
+//    elimination, compiled-in as the cross-check for the differential test
+//    suite and as decode()'s fallback.  Both decoders accept exactly the
+//    words within the unique decoding radius of some codeword and return
+//    that codeword's message, so decode() behaves identically whichever
+//    path answered.
 //
 // Hot-path layout: the constructor caches the evaluation matrix (one
-// contiguous row of x_i^j per coefficient j) and the per-point power rows
-// the Berlekamp-Welch system is assembled from, so encode is ell slab
-// axpys and the linear algebra runs on gf::Matrix rows (see gf/slab.h)
-// instead of per-cell log/antilog multiplies.
+// contiguous row of x_i^j per coefficient j), the per-point power rows
+// shared by the syndrome accumulation / Chien search / Berlekamp-Welch
+// system, the dual multipliers u_i, and the Lagrange interpolation rows of
+// the first ell points, so every decode stage runs as slab kernels over
+// contiguous rows (see gf/slab.h) instead of per-cell log/antilog
+// multiplies.
 #pragma once
 
 #include <cstddef>
@@ -46,8 +68,20 @@ class ReedSolomon {
 
   /// Decodes a received word (size k) with at most maxErrors() corrupted
   /// symbols.  Returns std::nullopt if no codeword lies within the unique
-  /// decoding radius.
+  /// decoding radius.  Syndrome fast path with the Berlekamp-Welch oracle
+  /// as fallback; both have the same accept/reject set, so the fallback is
+  /// belt-and-braces, not a behavioral fork.
   [[nodiscard]] std::optional<std::vector<gf::F16>> decode(
+      const std::vector<gf::F16>& received) const;
+
+  /// Syndrome decoder: syndromes -> Berlekamp-Massey locator -> Chien
+  /// search -> Forney values -> syndrome re-validation (see file comment).
+  [[nodiscard]] std::optional<std::vector<gf::F16>> decodeSyndrome(
+      const std::vector<gf::F16>& received) const;
+
+  /// Berlekamp-Welch oracle decoder (the pre-syndrome production path,
+  /// kept compiled-in as the differential cross-check).
+  [[nodiscard]] std::optional<std::vector<gf::F16>> decodeBW(
       const std::vector<gf::F16>& received) const;
 
   /// Hamming distance between two equal-length symbol vectors.
@@ -68,13 +102,27 @@ class ReedSolomon {
   [[nodiscard]] std::optional<std::vector<gf::F16>> tryDecode(
       const std::vector<gf::F16>& received, std::size_t e) const;
 
+  /// Coefficients of the unique degree-< ell polynomial through
+  /// (x_0, word[0]) .. (x_{ell-1}, word[ell-1]): ell slab axpys over the
+  /// cached Lagrange rows.
+  [[nodiscard]] std::vector<gf::F16> interpolateFirstEll(
+      const gf::F16* word) const;
+
   std::size_t ell_;
   std::size_t k_;
   /// eval_.row(j)[i] = x_i^j for j < ell: the encode axpy rows.
   gf::Matrix eval_;
-  /// pow_.row(i)[j] = x_i^j for j < ell + maxErrors(): the contiguous
-  /// power prefixes the Berlekamp-Welch rows are copied/scaled from.
+  /// pow_.row(i)[j] = x_i^j for j < max(ell + maxErrors(), k - ell): the
+  /// contiguous power prefixes feeding syndrome accumulation (exponents
+  /// < k - ell), the Chien dots (< maxErrors() + 1) and the
+  /// Berlekamp-Welch rows (< ell + maxErrors()).
   gf::Matrix pow_;
+  /// weights_[i] = 1 / prod_{j != i} (x_i - x_j): the dual-code column
+  /// multipliers making {x_i^j}-weighted sums parity checks.
+  std::vector<gf::F16> weights_;
+  /// lagrange_.row(i) = coefficients of the Lagrange basis polynomial of
+  /// x_i over the first ell points (degree < ell).
+  gf::Matrix lagrange_;
 };
 
 }  // namespace mobile::coding

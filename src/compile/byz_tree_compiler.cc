@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
 
 #include "sketch/l0sampler.h"
 #include "sketch/sparse_recovery.h"
@@ -329,25 +330,57 @@ class ByzNode final : public NodeState {
     return static_cast<std::size_t>(opts_.sparseSlack * 4 * f_);
   }
 
-  [[nodiscard]] sketch::SparseRecovery buildLocalSparse(
-      std::uint64_t treeSeed) const {
-    sketch::SparseRecovery s(treeSeed, sparsity(),
+  // The local-sketch builders reuse per-node scratch objects: every call
+  // reseeds the same cells for the requested tree instead of constructing
+  // fresh sketches, so steady-state rounds allocate nothing here.  The
+  // returned references stay valid until the next call.
+
+  [[nodiscard]] sketch::SparseRecovery& localSparse(std::uint64_t treeSeed) {
+    if (!sparseScratch_)
+      sparseScratch_.emplace(treeSeed, sparsity(),
                              static_cast<std::size_t>(opts_.sparseRows));
-    for (const auto& [key, freq] : entries_) s.update(key, freq);
-    return s;
+    else
+      sparseScratch_->reseed(treeSeed);
+    for (const auto& [key, freq] : entries_) sparseScratch_->update(key, freq);
+    return *sparseScratch_;
   }
 
-  [[nodiscard]] std::vector<sketch::L0Sampler> buildLocalSketches(
-      std::uint64_t treeSeed) const {
-    std::vector<sketch::L0Sampler> out;
-    out.reserve(static_cast<std::size_t>(opts_.tSketches));
-    for (int h = 0; h < opts_.tSketches; ++h) {
-      sketch::L0Sampler s(deriveSketchSeed(treeSeed, h), kUniverseBits,
-                          opts_.sketchLevels);
-      for (const auto& [key, freq] : entries_) s.update(key, freq);
-      out.push_back(std::move(s));
+  [[nodiscard]] std::vector<sketch::L0Sampler>& localSketches(
+      std::uint64_t treeSeed) {
+    const auto tS = static_cast<std::size_t>(opts_.tSketches);
+    if (sketchScratch_.size() != tS) {
+      sketchScratch_.clear();
+      sketchScratch_.reserve(tS);
+      for (int h = 0; h < opts_.tSketches; ++h)
+        sketchScratch_.emplace_back(deriveSketchSeed(treeSeed, h),
+                                    kUniverseBits, opts_.sketchLevels);
+    } else {
+      for (int h = 0; h < opts_.tSketches; ++h)
+        sketchScratch_[static_cast<std::size_t>(h)].reseed(
+            deriveSketchSeed(treeSeed, h));
     }
-    return out;
+    for (auto& s : sketchScratch_)
+      for (const auto& [key, freq] : entries_) s.update(key, freq);
+    return sketchScratch_;
+  }
+
+  /// Receive-side scratch: a sketch slot reseeded to match an incoming
+  /// serialized sketch, filled via loadWords (in-place deserialize).
+  [[nodiscard]] sketch::SparseRecovery& recvSparse(std::uint64_t treeSeed) {
+    if (!sparseRecvScratch_)
+      sparseRecvScratch_.emplace(treeSeed, sparsity(),
+                                 static_cast<std::size_t>(opts_.sparseRows));
+    else
+      sparseRecvScratch_->reseed(treeSeed);
+    return *sparseRecvScratch_;
+  }
+
+  [[nodiscard]] sketch::L0Sampler& recvL0(std::uint64_t sketchSeed) {
+    if (!l0RecvScratch_)
+      l0RecvScratch_.emplace(sketchSeed, kUniverseBits, opts_.sketchLevels);
+    else
+      l0RecvScratch_->reseed(sketchSeed);
+    return *l0RecvScratch_;
   }
 
   // --- sketch block ----------------------------------------------------------
@@ -366,24 +399,26 @@ class ByzNode final : public NodeState {
     if (d > 0 && p.step == 2 * D + 1 - d && to == parentIn(tree)) {
       const std::uint64_t ts = seed_.count(tree) ? seed_.at(tree) : 0;
       if (opts_.correction == CorrectionMode::SparseOneShot) {
-        sketch::SparseRecovery mine = buildLocalSparse(ts);
+        sketch::SparseRecovery& mine = localSparse(ts);
         const auto acc = sparseAccum_.find(tree);
         if (acc != sparseAccum_.end()) mine.merge(acc->second);
-        return Msg::ofWords(mine.serialize());
+        mine.serializeInto(wordScratch_);
+        return Msg::ofWords(wordScratch_);
       }
-      std::vector<sketch::L0Sampler> mine = buildLocalSketches(ts);
+      std::vector<sketch::L0Sampler>& mine = localSketches(ts);
       const auto acc = accum_.find(tree);
       if (acc != accum_.end()) {
         for (int h = 0; h < opts_.tSketches; ++h)
           mine[static_cast<std::size_t>(h)].merge(
               acc->second[static_cast<std::size_t>(h)]);
       }
-      std::vector<std::uint64_t> words;
+      wordScratch_.clear();
       for (const auto& s : mine) {
-        const auto sw = s.serialize();
-        words.insert(words.end(), sw.begin(), sw.end());
+        s.serializeInto(tmpWords_);
+        wordScratch_.insert(wordScratch_.end(), tmpWords_.begin(),
+                            tmpWords_.end());
       }
-      return Msg::ofWords(std::move(words));
+      return Msg::ofWords(wordScratch_);
     }
     return {};
   }
@@ -401,42 +436,31 @@ class ByzNode final : public NodeState {
     if (!isChildIn(tree, from) || !m.present) return;
     const std::uint64_t ts = seed_.count(tree) ? seed_.at(tree) : 0;
     if (opts_.correction == CorrectionMode::SparseOneShot) {
-      sketch::SparseRecovery probe(ts, sparsity(),
-                                   static_cast<std::size_t>(opts_.sparseRows));
-      if (m.size() != probe.serializedWords()) return;  // malformed: drop
-      sketch::SparseRecovery got = sketch::SparseRecovery::deserialize(
-          ts, sparsity(), static_cast<std::size_t>(opts_.sparseRows), m.words);
+      sketch::SparseRecovery& got = recvSparse(ts);
+      if (m.size() != got.serializedWords()) return;  // malformed: drop
+      got.loadWords(m.words.data(), m.size());
       const auto acc = sparseAccum_.find(tree);
       if (acc == sparseAccum_.end())
-        sparseAccum_.emplace(tree, std::move(got));
+        sparseAccum_.emplace(tree, got);
       else
         acc->second.merge(got);
       return;
     }
-    std::vector<sketch::L0Sampler> bundle;
     const std::size_t per =
-        sketch::L0Sampler(deriveSketchSeed(ts, 0), kUniverseBits,
-                          opts_.sketchLevels)
-            .serializedWords();
+        recvL0(deriveSketchSeed(ts, 0)).serializedWords();
     if (m.size() != per * static_cast<std::size_t>(opts_.tSketches))
       return;  // malformed (corrupted) bundle: drop
-    for (int h = 0; h < opts_.tSketches; ++h) {
-      std::vector<std::uint64_t> part(
-          m.words.begin() +
-              static_cast<std::ptrdiff_t>(per * static_cast<std::size_t>(h)),
-          m.words.begin() +
-              static_cast<std::ptrdiff_t>(per *
-                                          static_cast<std::size_t>(h + 1)));
-      bundle.push_back(sketch::L0Sampler::deserialize(
-          deriveSketchSeed(ts, h), kUniverseBits, opts_.sketchLevels, part));
-    }
     auto acc = accum_.find(tree);
-    if (acc == accum_.end()) {
-      accum_[tree] = std::move(bundle);
-    } else {
-      for (int h = 0; h < opts_.tSketches; ++h)
-        acc->second[static_cast<std::size_t>(h)].merge(
-            bundle[static_cast<std::size_t>(h)]);
+    const bool firstBundle = acc == accum_.end();
+    if (firstBundle)
+      acc = accum_.emplace(tree, std::vector<sketch::L0Sampler>{}).first;
+    for (int h = 0; h < opts_.tSketches; ++h) {
+      sketch::L0Sampler& got = recvL0(deriveSketchSeed(ts, h));
+      got.loadWords(m.words.data() + per * static_cast<std::size_t>(h), per);
+      if (firstBundle)
+        acc->second.push_back(got);
+      else
+        acc->second[static_cast<std::size_t>(h)].merge(got);
     }
   }
 
@@ -449,8 +473,8 @@ class ByzNode final : public NodeState {
     // true support wins; no Delta threshold needed).
     std::map<std::vector<std::uint64_t>, int> votes;
     for (int t = 0; t < pk_->k; ++t) {
-      sketch::SparseRecovery merged =
-          buildLocalSparse(treeSeed_[static_cast<std::size_t>(t)]);
+      sketch::SparseRecovery& merged =
+          localSparse(treeSeed_[static_cast<std::size_t>(t)]);
       const auto acc = sparseAccum_.find(t);
       if (acc != sparseAccum_.end()) merged.merge(acc->second);
       std::vector<std::uint64_t> canon;
@@ -494,8 +518,8 @@ class ByzNode final : public NodeState {
     const int sketchStart = sketchBlockStartRound(p);
     const int sketchEnd = eccBlockStartRound(p) - 1;
     for (int t = 0; t < pk_->k; ++t) {
-      std::vector<sketch::L0Sampler> merged =
-          buildLocalSketches(treeSeed_[static_cast<std::size_t>(t)]);
+      std::vector<sketch::L0Sampler>& merged =
+          localSketches(treeSeed_[static_cast<std::size_t>(t)]);
       const auto acc = accum_.find(t);
       if (acc != accum_.end())
         for (int h = 0; h < opts_.tSketches; ++h)
@@ -664,6 +688,15 @@ class ByzNode final : public NodeState {
   std::vector<std::uint64_t> treeSeed_;  // root only
   std::map<int, std::vector<sketch::L0Sampler>> accum_;  // children merges
   std::map<int, sketch::SparseRecovery> sparseAccum_;    // SparseOneShot mode
+  // Reusable sketch scratch (zero steady-state allocation): local-build
+  // slots reseeded per (tree, iteration), receive slots for in-place
+  // deserialization, and the serialization word buffers.
+  std::optional<sketch::SparseRecovery> sparseScratch_;
+  std::optional<sketch::SparseRecovery> sparseRecvScratch_;
+  std::vector<sketch::L0Sampler> sketchScratch_;
+  std::optional<sketch::L0Sampler> l0RecvScratch_;
+  std::vector<std::uint64_t> wordScratch_;
+  std::vector<std::uint64_t> tmpWords_;
   /// Repetition stash, [neighbor slot][schedule slot][rep] flattened;
   /// fixed shape, slots rewritten in place every scheduled round.
   std::vector<Msg> stash_;

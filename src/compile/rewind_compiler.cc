@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "compile/ecc_broadcast.h"
@@ -269,12 +270,28 @@ class RewindNode final : public NodeState {
     return entries;
   }
 
-  [[nodiscard]] sketch::SparseRecovery buildLocalSketch(
-      std::uint64_t treeSeed) const {
-    sketch::SparseRecovery s(treeSeed, static_cast<std::size_t>(16 * d_),
+  // Scratch-backed sketch builders (see byz_tree_compiler.cc): the same
+  // objects are reseeded per (tree, iteration) instead of reconstructed,
+  // so steady-state correction rounds do not allocate sketch storage.
+
+  [[nodiscard]] sketch::SparseRecovery& localSketch(std::uint64_t treeSeed) {
+    if (!sketchScratch_)
+      sketchScratch_.emplace(treeSeed, static_cast<std::size_t>(16 * d_),
                              static_cast<std::size_t>(opts_.sketchRows));
-    for (const auto& [key, freq] : correctionEntries()) s.update(key, freq);
-    return s;
+    else
+      sketchScratch_->reseed(treeSeed);
+    for (const auto& [key, freq] : correctionEntries())
+      sketchScratch_->update(key, freq);
+    return *sketchScratch_;
+  }
+
+  [[nodiscard]] sketch::SparseRecovery& recvSketch(std::uint64_t treeSeed) {
+    if (!recvScratch_)
+      recvScratch_.emplace(treeSeed, static_cast<std::size_t>(16 * d_),
+                           static_cast<std::size_t>(opts_.sketchRows));
+    else
+      recvScratch_->reseed(treeSeed);
+    return *recvScratch_;
   }
 
   void correctionSend(int cr, Outbox& out) {
@@ -310,11 +327,12 @@ class RewindNode final : public NodeState {
             out.to(nb.node, Msg::of(seed_.at(tree)));
         } else if (d > 0 && step == 2 * D + 1 - d &&
                    nb.node == view.parent[static_cast<std::size_t>(tree)]) {
-          sketch::SparseRecovery mine =
-              buildLocalSketch(seed_.count(tree) ? seed_.at(tree) : 0);
+          sketch::SparseRecovery& mine =
+              localSketch(seed_.count(tree) ? seed_.at(tree) : 0);
           const auto acc = accum_.find(tree);
           if (acc != accum_.end()) mine.merge(acc->second);
-          out.to(nb.node, Msg::ofWords(mine.serialize()));
+          mine.serializeInto(wordScratch_);
+          out.to(nb.node, Msg::ofWords(wordScratch_));
         }
       } else {
         // ECC: all chunks bundled in one hop message per tree.
@@ -378,20 +396,14 @@ class RewindNode final : public NodeState {
         } else if (view.inTree(tree, nb.node) &&
                    nb.node != view.parent[static_cast<std::size_t>(tree)]) {
           const std::uint64_t ts = seed_.count(tree) ? seed_.at(tree) : 0;
-          sketch::SparseRecovery probe(ts, static_cast<std::size_t>(16 * d_),
-                                       static_cast<std::size_t>(
-                                           opts_.sketchRows));
-          if (m.size() != probe.serializedWords()) continue;
-          sketch::SparseRecovery got = sketch::SparseRecovery::deserialize(
-              ts, static_cast<std::size_t>(16 * d_),
-              static_cast<std::size_t>(opts_.sketchRows), m.words);
-          const bool isRoot = self_ == pk_->root;
+          sketch::SparseRecovery& got = recvSketch(ts);
+          if (m.size() != got.serializedWords()) continue;
+          got.loadWords(m.words.data(), m.size());
           auto acc = accum_.find(tree);
           if (acc == accum_.end())
-            accum_.emplace(tree, std::move(got));
+            accum_.emplace(tree, got);
           else
             acc->second.merge(got);
-          (void)isRoot;
         }
       } else {
         if (d == step &&
@@ -417,8 +429,8 @@ class RewindNode final : public NodeState {
     // Per tree: the merged recovery (own sketch + children accumulations).
     std::map<std::vector<std::uint64_t>, int> votes;
     for (int t = 0; t < pk_->k; ++t) {
-      sketch::SparseRecovery merged =
-          buildLocalSketch(treeSeed_[static_cast<std::size_t>(t)]);
+      sketch::SparseRecovery& merged =
+          localSketch(treeSeed_[static_cast<std::size_t>(t)]);
       const auto acc = accum_.find(t);
       if (acc != accum_.end()) merged.merge(acc->second);
       std::vector<std::uint64_t> canon;
@@ -706,6 +718,11 @@ class RewindNode final : public NodeState {
   int seedInit_ = -1;
   int globalIndex_ = 0;
   std::map<int, sketch::SparseRecovery> accum_;
+  // Reusable sketch scratch (zero steady-state allocation); see the
+  // builder comments above.
+  std::optional<sketch::SparseRecovery> sketchScratch_;
+  std::optional<sketch::SparseRecovery> recvScratch_;
+  std::vector<std::uint64_t> wordScratch_;
   bool dmComputed_ = false;
   std::vector<std::uint64_t> dmKeys_;
   std::vector<std::vector<gf::F16>> shares_, recvShares_;

@@ -1,0 +1,385 @@
+// SIMD tiers for the GF(2^16) slab kernels (see slab.h for the contract).
+//
+// The split-nibble tables are applied gf-complete style: deinterleave each
+// block of uint16_t words into a low-byte plane and a high-byte plane, run
+// four 16-entry byte-shuffle lookups per plane (one per source nibble,
+// tables split into low/high byte planes of MulTable's uint16 entries),
+// xor the four lookups, and re-interleave.  PSHUFB (x86) and TBL (NEON)
+// are exact 16-entry byte lookups, so every tier computes the identical
+// xor of the identical table entries as the scalar reference -- bit
+// equality is structural, not approximate.
+//
+// Each block kernel handles the main vector body; the remainder tail runs
+// the scalar MulTable loop, which is the same arithmetic.  dotSlab has no
+// per-constant table (both operands vary), so the AVX2 tier rides 32-bit
+// log/antilog gathers over tables widened once at startup; xor
+// accumulation is order-independent, keeping it bit-identical too.
+//
+// Everything here is compiled with per-function target attributes (no
+// global -mavx2), and slab.cc only installs a tier after the matching
+// __builtin_cpu_supports check, so this TU is safe to build and link on
+// machines without the instruction sets.
+#include "gf/slab.h"
+
+#if !defined(MOBILE_CONGEST_FORCE_SCALAR_BUILD)
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace mobile::gf::detail {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+bool cpuHasSsse3() { return __builtin_cpu_supports("ssse3") != 0; }
+bool cpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+namespace {
+
+// --- SSSE3 tier --------------------------------------------------------------
+
+// Low/high byte planes of the four nibble tables, as PSHUFB operands.
+struct NibbleTables128 {
+  __m128i lo[4];
+  __m128i hi[4];
+};
+
+__attribute__((target("ssse3"), always_inline)) inline NibbleTables128
+loadTables128(const MulTable& c) {
+  NibbleTables128 t;
+  const __m128i byteMask = _mm_set1_epi16(0x00ff);
+  for (int j = 0; j < 4; ++j) {
+    const __m128i* p = reinterpret_cast<const __m128i*>(c.table(j));
+    const __m128i a = _mm_loadu_si128(p);      // entries 0..7
+    const __m128i b = _mm_loadu_si128(p + 1);  // entries 8..15
+    t.lo[j] = _mm_packus_epi16(_mm_and_si128(a, byteMask),
+                               _mm_and_si128(b, byteMask));
+    t.hi[j] = _mm_packus_epi16(_mm_srli_epi16(a, 8), _mm_srli_epi16(b, 8));
+  }
+  return t;
+}
+
+// 16 words -> low/high result byte planes via 8 PSHUFBs.
+__attribute__((target("ssse3"), always_inline)) inline void mulPlanes128(
+    const NibbleTables128& t, __m128i v0, __m128i v1, __m128i* resLo,
+    __m128i* resHi) {
+  const __m128i byteMask = _mm_set1_epi16(0x00ff);
+  const __m128i nibMask = _mm_set1_epi8(0x0f);
+  const __m128i lo = _mm_packus_epi16(_mm_and_si128(v0, byteMask),
+                                      _mm_and_si128(v1, byteMask));
+  const __m128i hi =
+      _mm_packus_epi16(_mm_srli_epi16(v0, 8), _mm_srli_epi16(v1, 8));
+  const __m128i n0 = _mm_and_si128(lo, nibMask);
+  const __m128i n1 = _mm_and_si128(_mm_srli_epi16(lo, 4), nibMask);
+  const __m128i n2 = _mm_and_si128(hi, nibMask);
+  const __m128i n3 = _mm_and_si128(_mm_srli_epi16(hi, 4), nibMask);
+  *resLo = _mm_xor_si128(
+      _mm_xor_si128(_mm_shuffle_epi8(t.lo[0], n0),
+                    _mm_shuffle_epi8(t.lo[1], n1)),
+      _mm_xor_si128(_mm_shuffle_epi8(t.lo[2], n2),
+                    _mm_shuffle_epi8(t.lo[3], n3)));
+  *resHi = _mm_xor_si128(
+      _mm_xor_si128(_mm_shuffle_epi8(t.hi[0], n0),
+                    _mm_shuffle_epi8(t.hi[1], n1)),
+      _mm_xor_si128(_mm_shuffle_epi8(t.hi[2], n2),
+                    _mm_shuffle_epi8(t.hi[3], n3)));
+}
+
+__attribute__((target("ssse3"))) void addScaledSlabSsse3(
+    std::uint16_t* dst, const MulTable& c, const std::uint16_t* src,
+    std::size_t n) {
+  std::size_t i = 0;
+  if (n >= 16) {
+    const NibbleTables128 t = loadTables128(c);
+    for (; i + 16 <= n; i += 16) {
+      const __m128i* sp = reinterpret_cast<const __m128i*>(src + i);
+      __m128i* dp = reinterpret_cast<__m128i*>(dst + i);
+      __m128i resLo, resHi;
+      mulPlanes128(t, _mm_loadu_si128(sp), _mm_loadu_si128(sp + 1), &resLo,
+                   &resHi);
+      const __m128i out0 = _mm_unpacklo_epi8(resLo, resHi);
+      const __m128i out1 = _mm_unpackhi_epi8(resLo, resHi);
+      _mm_storeu_si128(dp, _mm_xor_si128(_mm_loadu_si128(dp), out0));
+      _mm_storeu_si128(dp + 1, _mm_xor_si128(_mm_loadu_si128(dp + 1), out1));
+    }
+  }
+  for (; i < n; ++i)
+    dst[i] = static_cast<std::uint16_t>(dst[i] ^ c.mul(src[i]));
+}
+
+__attribute__((target("ssse3"))) void mulSlabSsse3(std::uint16_t* dst,
+                                                   const MulTable& c,
+                                                   const std::uint16_t* src,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  if (n >= 16) {
+    const NibbleTables128 t = loadTables128(c);
+    for (; i + 16 <= n; i += 16) {
+      const __m128i* sp = reinterpret_cast<const __m128i*>(src + i);
+      __m128i* dp = reinterpret_cast<__m128i*>(dst + i);
+      __m128i resLo, resHi;
+      mulPlanes128(t, _mm_loadu_si128(sp), _mm_loadu_si128(sp + 1), &resLo,
+                   &resHi);
+      _mm_storeu_si128(dp, _mm_unpacklo_epi8(resLo, resHi));
+      _mm_storeu_si128(dp + 1, _mm_unpackhi_epi8(resLo, resHi));
+    }
+  }
+  for (; i < n; ++i) dst[i] = c.mul(src[i]);
+}
+
+// --- AVX2 tier ---------------------------------------------------------------
+// Same scheme on 256-bit registers (32 words per iteration).  packus /
+// pshufb / unpack are all per-128-bit-lane on AVX2, and the lane-wise
+// derivation matches the SSE one, so out0/out1 land as words 0..15 /
+// 16..31 in order (tables broadcast to both lanes).
+
+struct NibbleTables256 {
+  __m256i lo[4];
+  __m256i hi[4];
+};
+
+__attribute__((target("avx2"), always_inline)) inline NibbleTables256
+loadTables256(const MulTable& c) {
+  NibbleTables256 t;
+  const __m128i byteMask = _mm_set1_epi16(0x00ff);
+  for (int j = 0; j < 4; ++j) {
+    const __m128i* p = reinterpret_cast<const __m128i*>(c.table(j));
+    const __m128i a = _mm_loadu_si128(p);
+    const __m128i b = _mm_loadu_si128(p + 1);
+    const __m128i lo = _mm_packus_epi16(_mm_and_si128(a, byteMask),
+                                        _mm_and_si128(b, byteMask));
+    const __m128i hi =
+        _mm_packus_epi16(_mm_srli_epi16(a, 8), _mm_srli_epi16(b, 8));
+    t.lo[j] = _mm256_broadcastsi128_si256(lo);
+    t.hi[j] = _mm256_broadcastsi128_si256(hi);
+  }
+  return t;
+}
+
+__attribute__((target("avx2"), always_inline)) inline void mulPlanes256(
+    const NibbleTables256& t, __m256i v0, __m256i v1, __m256i* resLo,
+    __m256i* resHi) {
+  const __m256i byteMask = _mm256_set1_epi16(0x00ff);
+  const __m256i nibMask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_packus_epi16(_mm256_and_si256(v0, byteMask),
+                                         _mm256_and_si256(v1, byteMask));
+  const __m256i hi = _mm256_packus_epi16(_mm256_srli_epi16(v0, 8),
+                                         _mm256_srli_epi16(v1, 8));
+  const __m256i n0 = _mm256_and_si256(lo, nibMask);
+  const __m256i n1 = _mm256_and_si256(_mm256_srli_epi16(lo, 4), nibMask);
+  const __m256i n2 = _mm256_and_si256(hi, nibMask);
+  const __m256i n3 = _mm256_and_si256(_mm256_srli_epi16(hi, 4), nibMask);
+  *resLo = _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_shuffle_epi8(t.lo[0], n0),
+                       _mm256_shuffle_epi8(t.lo[1], n1)),
+      _mm256_xor_si256(_mm256_shuffle_epi8(t.lo[2], n2),
+                       _mm256_shuffle_epi8(t.lo[3], n3)));
+  *resHi = _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_shuffle_epi8(t.hi[0], n0),
+                       _mm256_shuffle_epi8(t.hi[1], n1)),
+      _mm256_xor_si256(_mm256_shuffle_epi8(t.hi[2], n2),
+                       _mm256_shuffle_epi8(t.hi[3], n3)));
+}
+
+__attribute__((target("avx2"))) void addScaledSlabAvx2(
+    std::uint16_t* dst, const MulTable& c, const std::uint16_t* src,
+    std::size_t n) {
+  std::size_t i = 0;
+  if (n >= 32) {
+    const NibbleTables256 t = loadTables256(c);
+    for (; i + 32 <= n; i += 32) {
+      const __m256i* sp = reinterpret_cast<const __m256i*>(src + i);
+      __m256i* dp = reinterpret_cast<__m256i*>(dst + i);
+      __m256i resLo, resHi;
+      mulPlanes256(t, _mm256_loadu_si256(sp), _mm256_loadu_si256(sp + 1),
+                   &resLo, &resHi);
+      const __m256i out0 = _mm256_unpacklo_epi8(resLo, resHi);
+      const __m256i out1 = _mm256_unpackhi_epi8(resLo, resHi);
+      _mm256_storeu_si256(dp,
+                          _mm256_xor_si256(_mm256_loadu_si256(dp), out0));
+      _mm256_storeu_si256(dp + 1,
+                          _mm256_xor_si256(_mm256_loadu_si256(dp + 1), out1));
+    }
+  }
+  for (; i < n; ++i)
+    dst[i] = static_cast<std::uint16_t>(dst[i] ^ c.mul(src[i]));
+}
+
+__attribute__((target("avx2"))) void mulSlabAvx2(std::uint16_t* dst,
+                                                 const MulTable& c,
+                                                 const std::uint16_t* src,
+                                                 std::size_t n) {
+  std::size_t i = 0;
+  if (n >= 32) {
+    const NibbleTables256 t = loadTables256(c);
+    for (; i + 32 <= n; i += 32) {
+      const __m256i* sp = reinterpret_cast<const __m256i*>(src + i);
+      __m256i* dp = reinterpret_cast<__m256i*>(dst + i);
+      __m256i resLo, resHi;
+      mulPlanes256(t, _mm256_loadu_si256(sp), _mm256_loadu_si256(sp + 1),
+                   &resLo, &resHi);
+      _mm256_storeu_si256(dp, _mm256_unpacklo_epi8(resLo, resHi));
+      _mm256_storeu_si256(dp + 1, _mm256_unpackhi_epi8(resLo, resHi));
+    }
+  }
+  for (; i < n; ++i) dst[i] = c.mul(src[i]);
+}
+
+// 32-bit log/antilog tables for the gathered dot product.  The antilog
+// table is doubled so log(a) + log(b) (< 2(q-1)) indexes without a mod;
+// zero operands are masked out after the gather (logT[0] is never used).
+struct DotTables {
+  std::uint32_t logT[kFieldSize];
+  std::uint32_t expT[2 * kGroupOrder];
+};
+
+const DotTables& dotTables() {
+  static const DotTables tables = [] {
+    DotTables d{};
+    std::uint32_t v = 1;
+    for (std::uint32_t i = 0; i < kGroupOrder; ++i) {
+      d.expT[i] = v;
+      d.expT[i + kGroupOrder] = v;
+      d.logT[v] = i;
+      v <<= 1;
+      if (v & kFieldSize) v ^= kPrimitivePoly;
+    }
+    return d;
+  }();
+  return tables;
+}
+
+__attribute__((target("avx2"))) F16 dotSlabAvx2(const std::uint16_t* a,
+                                                const std::uint16_t* b,
+                                                std::size_t n) {
+  std::size_t i = 0;
+  std::uint32_t folded = 0;
+  if (n >= 8) {
+    const DotTables& t = dotTables();
+    const int* logBase = reinterpret_cast<const int*>(t.logT);
+    const int* expBase = reinterpret_cast<const int*>(t.expT);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc = zero;
+    for (; i + 8 <= n; i += 8) {
+      const __m256i va = _mm256_cvtepu16_epi32(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+      const __m256i vb = _mm256_cvtepu16_epi32(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+      const __m256i zeroMask = _mm256_or_si256(_mm256_cmpeq_epi32(va, zero),
+                                               _mm256_cmpeq_epi32(vb, zero));
+      const __m256i la = _mm256_i32gather_epi32(logBase, va, 4);
+      const __m256i lb = _mm256_i32gather_epi32(logBase, vb, 4);
+      const __m256i prod =
+          _mm256_i32gather_epi32(expBase, _mm256_add_epi32(la, lb), 4);
+      acc = _mm256_xor_si256(acc, _mm256_andnot_si256(zeroMask, prod));
+    }
+    const __m128i acc128 = _mm_xor_si128(_mm256_castsi256_si128(acc),
+                                         _mm256_extracti128_si256(acc, 1));
+    const __m128i acc64 = _mm_xor_si128(acc128, _mm_srli_si128(acc128, 8));
+    const __m128i acc32 = _mm_xor_si128(acc64, _mm_srli_si128(acc64, 4));
+    folded = static_cast<std::uint32_t>(_mm_cvtsi128_si32(acc32));
+  }
+  F16 acc(static_cast<std::uint16_t>(folded));
+  for (; i < n; ++i) acc += F16(a[i]) * F16(b[i]);
+  return acc;
+}
+
+}  // namespace
+
+const SlabKernels kSsse3Kernels{&addScaledSlabSsse3, &mulSlabSsse3,
+                                &dotSlabScalar};
+const SlabKernels kAvx2Kernels{&addScaledSlabAvx2, &mulSlabAvx2,
+                               &dotSlabAvx2};
+
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+
+namespace {
+
+// NEON mirror of the SSSE3 tier: vqtbl1q_u8 is the 16-entry byte lookup,
+// vld2q_u8 deinterleaves each nibble table into byte planes, vzipq_u8
+// re-interleaves the result planes.  Untested on this x86 CI box; the
+// same structural bit-equality argument applies and test_gf_slab sweeps
+// it wherever an arm builder runs.
+struct NibbleTablesNeon {
+  uint8x16_t lo[4];
+  uint8x16_t hi[4];
+};
+
+inline NibbleTablesNeon loadTablesNeon(const MulTable& c) {
+  NibbleTablesNeon t;
+  for (int j = 0; j < 4; ++j) {
+    const uint8x16x2_t planes =
+        vld2q_u8(reinterpret_cast<const std::uint8_t*>(c.table(j)));
+    t.lo[j] = planes.val[0];
+    t.hi[j] = planes.val[1];
+  }
+  return t;
+}
+
+inline void mulPlanesNeon(const NibbleTablesNeon& t, uint16x8_t v0,
+                          uint16x8_t v1, uint8x16_t* resLo,
+                          uint8x16_t* resHi) {
+  const uint8x16_t lo = vcombine_u8(vmovn_u16(v0), vmovn_u16(v1));
+  const uint8x16_t hi = vcombine_u8(vshrn_n_u16(v0, 8), vshrn_n_u16(v1, 8));
+  const uint8x16_t nibMask = vdupq_n_u8(0x0f);
+  const uint8x16_t n0 = vandq_u8(lo, nibMask);
+  const uint8x16_t n1 = vshrq_n_u8(lo, 4);
+  const uint8x16_t n2 = vandq_u8(hi, nibMask);
+  const uint8x16_t n3 = vshrq_n_u8(hi, 4);
+  *resLo = veorq_u8(veorq_u8(vqtbl1q_u8(t.lo[0], n0), vqtbl1q_u8(t.lo[1], n1)),
+                    veorq_u8(vqtbl1q_u8(t.lo[2], n2), vqtbl1q_u8(t.lo[3], n3)));
+  *resHi = veorq_u8(veorq_u8(vqtbl1q_u8(t.hi[0], n0), vqtbl1q_u8(t.hi[1], n1)),
+                    veorq_u8(vqtbl1q_u8(t.hi[2], n2), vqtbl1q_u8(t.hi[3], n3)));
+}
+
+void addScaledSlabNeon(std::uint16_t* dst, const MulTable& c,
+                       const std::uint16_t* src, std::size_t n) {
+  std::size_t i = 0;
+  if (n >= 16) {
+    const NibbleTablesNeon t = loadTablesNeon(c);
+    for (; i + 16 <= n; i += 16) {
+      const uint16x8_t v0 = vld1q_u16(src + i);
+      const uint16x8_t v1 = vld1q_u16(src + i + 8);
+      uint8x16_t resLo, resHi;
+      mulPlanesNeon(t, v0, v1, &resLo, &resHi);
+      const uint8x16x2_t out = vzipq_u8(resLo, resHi);
+      vst1q_u16(dst + i, veorq_u16(vld1q_u16(dst + i),
+                                   vreinterpretq_u16_u8(out.val[0])));
+      vst1q_u16(dst + i + 8, veorq_u16(vld1q_u16(dst + i + 8),
+                                       vreinterpretq_u16_u8(out.val[1])));
+    }
+  }
+  for (; i < n; ++i)
+    dst[i] = static_cast<std::uint16_t>(dst[i] ^ c.mul(src[i]));
+}
+
+void mulSlabNeon(std::uint16_t* dst, const MulTable& c,
+                 const std::uint16_t* src, std::size_t n) {
+  std::size_t i = 0;
+  if (n >= 16) {
+    const NibbleTablesNeon t = loadTablesNeon(c);
+    for (; i + 16 <= n; i += 16) {
+      const uint16x8_t v0 = vld1q_u16(src + i);
+      const uint16x8_t v1 = vld1q_u16(src + i + 8);
+      uint8x16_t resLo, resHi;
+      mulPlanesNeon(t, v0, v1, &resLo, &resHi);
+      const uint8x16x2_t out = vzipq_u8(resLo, resHi);
+      vst1q_u16(dst + i, vreinterpretq_u16_u8(out.val[0]));
+      vst1q_u16(dst + i + 8, vreinterpretq_u16_u8(out.val[1]));
+    }
+  }
+  for (; i < n; ++i) dst[i] = c.mul(src[i]);
+}
+
+}  // namespace
+
+const SlabKernels kNeonKernels{&addScaledSlabNeon, &mulSlabNeon,
+                               &dotSlabScalar};
+
+#endif
+
+}  // namespace mobile::gf::detail
+
+#endif  // !MOBILE_CONGEST_FORCE_SCALAR_BUILD

@@ -271,4 +271,19 @@ inline void assignMsg(Msg& dst, const MsgView& src) {
   return true;
 }
 
+/// Content equality between a view and a raw (present, words, len) slice --
+/// the arena-backed form of sameContent used by the copy-on-touch ledger
+/// diff against TamperScratch snapshots.
+[[nodiscard]] inline bool sameContent(const MsgView& v, bool present,
+                                      const std::uint64_t* words,
+                                      std::size_t len) {
+  if (v.present() != present) return false;
+  if (!present) return true;
+  if (v.size() != len) return false;
+  const std::uint64_t* w = v.data();
+  for (std::size_t i = 0; i < len; ++i)
+    if (w[i] != words[i]) return false;
+  return true;
+}
+
 }  // namespace mobile::sim

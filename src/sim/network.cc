@@ -152,15 +152,19 @@ void Network::adversaryPhase() {
   ledger_->beginRound(round_);
   if (adversary_ == nullptr) return;
   adv::TamperView view(g_, adversary_->spec(), round_, plane_,
-                       ledger_->total());
+                       ledger_->total(), tamperScratch_);
   adversary_->act(view);
   // Ground truth: which touched edges actually changed (a rewrite that
   // reproduces the original message is charged but not a corruption).
-  // std::map iterates edges ascending, matching the old full-plane scan.
-  for (const auto& [e, pre] : view.preTouched()) {
-    if (!sameContent(plane_.view(g_.arcOfEdge(e, 0)), pre.first) ||
-        !sameContent(plane_.view(g_.arcOfEdge(e, 1)), pre.second))
-      ledger_->record(e);
+  // preImages() is sorted ascending by edge, matching the old full-plane
+  // scan (and the old std::map iteration) for deterministic record order.
+  const std::uint64_t* arena = view.snapshotArena();
+  for (const auto& p : view.preImages()) {
+    if (!sameContent(plane_.view(g_.arcOfEdge(p.edge, 0)), p.uvPresent,
+                     arena + p.uvOff, p.uvLen) ||
+        !sameContent(plane_.view(g_.arcOfEdge(p.edge, 1)), p.vuPresent,
+                     arena + p.vuOff, p.vuLen))
+      ledger_->record(p.edge);
   }
   snapshotWords_ += view.snapshotWordsCopied();
 }

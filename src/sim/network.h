@@ -168,6 +168,10 @@ class Network {
   // sequentially in accountPhase (index = node id, valid for one round).
   std::vector<long> nodeMsgs_;
   std::vector<std::size_t> nodeMaxWords_;
+  // Per-round adversary arena (touched set + copy-on-touch snapshots),
+  // rewound in place by each round's TamperView -- steady state allocates
+  // nothing.
+  adv::TamperScratch tamperScratch_;
   long messagesSent_ = 0;
   std::size_t maxWords_ = 0;
   std::uint64_t snapshotWords_ = 0;

@@ -12,6 +12,15 @@ L0Sampler::L0Sampler(std::uint64_t seed, unsigned universeBits,
     : seed_(seed),
       levels_(levels == 0 ? universeBits + 1 : levels),
       scratch_(levels_) {
+  cells_.resize(static_cast<std::size_t>(levels_) * kBucketsPerLevel);
+  reseed(seed);
+}
+
+void L0Sampler::reseed(std::uint64_t seed) {
+  // Same derivation chain as construction: hash parameters first, then one
+  // fingerprint point per cell.  Assigning value-type cells reuses the
+  // existing storage.
+  seed_ = seed;
   std::uint64_t st = seed;
   hashA_ = util::splitmix64(st) % gf::kP61;
   if (hashA_ == 0) hashA_ = 1;
@@ -19,12 +28,7 @@ L0Sampler::L0Sampler(std::uint64_t seed, unsigned universeBits,
   bucketA_ = util::splitmix64(st) % gf::kP61;
   if (bucketA_ == 0) bucketA_ = 1;
   bucketB_ = util::splitmix64(st) % gf::kP61;
-  cells_.reserve(static_cast<std::size_t>(levels_) * kBucketsPerLevel);
-  for (unsigned l = 0; l < levels_; ++l) {
-    for (std::size_t b = 0; b < kBucketsPerLevel; ++b) {
-      cells_.emplace_back(util::splitmix64(st));
-    }
-  }
+  for (auto& c : cells_) c = OneSparseCell(util::splitmix64(st));
 }
 
 unsigned L0Sampler::levelOf(std::uint64_t key) const {
@@ -104,13 +108,29 @@ L0Sampler L0Sampler::deserialize(std::uint64_t seed, unsigned universeBits,
                                  unsigned levels,
                                  const std::vector<std::uint64_t>& words) {
   L0Sampler s(seed, universeBits, levels);
-  assert(words.size() == s.serializedWords());
-  for (std::size_t i = 0; i < s.cells_.size(); ++i) {
-    const std::uint64_t z = s.cells_[i].word(3);  // z comes from the seed
-    s.cells_[i] = OneSparseCell::fromWords(words[i * 3], words[i * 3 + 1],
-                                           words[i * 3 + 2], z);
-  }
+  s.loadWords(words.data(), words.size());
   return s;
+}
+
+void L0Sampler::serializeInto(std::vector<std::uint64_t>& out) const {
+  out.clear();
+  out.reserve(serializedWords());
+  for (const auto& c : cells_) {
+    out.push_back(c.word(0));
+    out.push_back(c.word(1));
+    out.push_back(c.word(2));
+  }
+}
+
+void L0Sampler::loadWords(const std::uint64_t* words, std::size_t n) {
+  assert(n == serializedWords());
+  (void)n;
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    cells_[i].loadWords(words[i * 3], words[i * 3 + 1], words[i * 3 + 2]);
+}
+
+void L0Sampler::clear() {
+  for (auto& c : cells_) c.reset();
 }
 
 }  // namespace mobile::sketch

@@ -51,6 +51,20 @@ class L0Sampler {
                                unsigned levels,
                                const std::vector<std::uint64_t>& words);
 
+  // Scratch-reuse forms (the per-round zero-alloc path): serializeInto
+  // overwrites `out` (capacity is retained across rounds), loadWords
+  // overwrites this sampler's cells from serializedWords() words -- the
+  // receiver must have been constructed with the same (seed, universeBits,
+  // levels), which the seed-derived fingerprint points implicitly are --
+  // and clear() returns to the empty stream without touching randomness.
+  void serializeInto(std::vector<std::uint64_t>& out) const;
+  void loadWords(const std::uint64_t* words, std::size_t n);
+  void clear();
+  /// Re-derive all randomness from a new seed and clear the cells, without
+  /// reallocating -- turns one sampler object into a per-(tree, iteration)
+  /// scratch slot.  Equivalent to *this = L0Sampler(seed, ..same dims..).
+  void reseed(std::uint64_t seed);
+
  private:
   [[nodiscard]] unsigned levelOf(std::uint64_t key) const;
   [[nodiscard]] std::size_t bucketOf(std::uint64_t key, unsigned level) const;

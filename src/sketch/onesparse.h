@@ -115,6 +115,18 @@ class OneSparseCell {
     return c;
   }
 
+  /// In-place deserialization: overwrite the accumulators, keep the
+  /// seed-derived fingerprint point z -- the scratch-reuse counterpart of
+  /// fromWords for a cell already constructed with the right randomness.
+  void loadWords(std::uint64_t w0, std::uint64_t w1, std::uint64_t w2) {
+    count_ = static_cast<std::int64_t>(w0);
+    keySum_ = w1;
+    fp_ = w2;
+  }
+
+  /// Back to the empty stream, keeping z.
+  void reset() { loadWords(0, 0, 0); }
+
  private:
   std::int64_t count_ = 0;
   std::uint64_t keySum_ = 0;

@@ -16,17 +16,23 @@ SparseRecovery::SparseRecovery(std::uint64_t seed, std::size_t sparsity,
       rows_(rows),
       buckets_(2 * sparsity_),
       scratch_(rows) {
-  std::uint64_t st = seed;
   rowA_.resize(rows_);
   rowB_.resize(rows_);
+  cells_.resize(rows_ * buckets_);
+  reseed(seed);
+}
+
+void SparseRecovery::reseed(std::uint64_t seed) {
+  // Same derivation chain as construction: row hashes, then one
+  // fingerprint point per cell; storage is reused.
+  seed_ = seed;
+  std::uint64_t st = seed;
   for (std::size_t r = 0; r < rows_; ++r) {
     rowA_[r] = util::splitmix64(st) % gf::kP61;
     if (rowA_[r] == 0) rowA_[r] = 1;
     rowB_[r] = util::splitmix64(st) % gf::kP61;
   }
-  cells_.reserve(rows_ * buckets_);
-  for (std::size_t i = 0; i < rows_ * buckets_; ++i)
-    cells_.emplace_back(util::splitmix64(st));
+  for (auto& c : cells_) c = OneSparseCell(util::splitmix64(st));
 }
 
 std::size_t SparseRecovery::bucketOf(std::uint64_t key, std::size_t row) const {
@@ -102,13 +108,29 @@ SparseRecovery SparseRecovery::deserialize(
     std::uint64_t seed, std::size_t sparsity, std::size_t rows,
     const std::vector<std::uint64_t>& words) {
   SparseRecovery s(seed, sparsity, rows);
-  assert(words.size() == s.serializedWords());
-  for (std::size_t i = 0; i < s.cells_.size(); ++i) {
-    const std::uint64_t z = s.cells_[i].word(3);
-    s.cells_[i] = OneSparseCell::fromWords(words[i * 3], words[i * 3 + 1],
-                                           words[i * 3 + 2], z);
-  }
+  s.loadWords(words.data(), words.size());
   return s;
+}
+
+void SparseRecovery::serializeInto(std::vector<std::uint64_t>& out) const {
+  out.clear();
+  out.reserve(serializedWords());
+  for (const auto& c : cells_) {
+    out.push_back(c.word(0));
+    out.push_back(c.word(1));
+    out.push_back(c.word(2));
+  }
+}
+
+void SparseRecovery::loadWords(const std::uint64_t* words, std::size_t n) {
+  assert(n == serializedWords());
+  (void)n;
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    cells_[i].loadWords(words[i * 3], words[i * 3 + 1], words[i * 3 + 2]);
+}
+
+void SparseRecovery::clear() {
+  for (auto& c : cells_) c.reset();
 }
 
 }  // namespace mobile::sketch

@@ -44,6 +44,15 @@ class SparseRecovery {
                                     std::size_t rows,
                                     const std::vector<std::uint64_t>& words);
 
+  // Scratch-reuse forms (see l0sampler.h): zero-alloc counterparts of
+  // serialize/deserialize for objects that persist across rounds.
+  void serializeInto(std::vector<std::uint64_t>& out) const;
+  void loadWords(const std::uint64_t* words, std::size_t n);
+  void clear();
+  /// Re-derive all randomness from a new seed and clear the cells without
+  /// reallocating (dimensions stay fixed); see l0sampler.h.
+  void reseed(std::uint64_t seed);
+
  private:
   [[nodiscard]] std::size_t bucketOf(std::uint64_t key, std::size_t row) const;
 

@@ -69,16 +69,22 @@ Rng Rng::split(std::uint64_t tag) {
 }
 
 std::vector<std::size_t> Rng::sampleDistinct(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> idx;
+  sampleDistinctInto(n, k, idx);
+  return idx;
+}
+
+void Rng::sampleDistinctInto(std::size_t n, std::size_t k,
+                             std::vector<std::size_t>& out) {
   assert(k <= n);
   // Partial Fisher-Yates over an index vector; O(n) space, fine at our scales.
-  std::vector<std::size_t> idx(n);
-  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
   for (std::size_t i = 0; i < k; ++i) {
     std::size_t j = i + static_cast<std::size_t>(below(n - i));
-    std::swap(idx[i], idx[j]);
+    std::swap(out[i], out[j]);
   }
-  idx.resize(k);
-  return idx;
+  out.resize(k);
 }
 
 }  // namespace mobile::util

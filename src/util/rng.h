@@ -58,6 +58,12 @@ class Rng {
   [[nodiscard]] std::vector<std::size_t> sampleDistinct(std::size_t n,
                                                         std::size_t k);
 
+  /// sampleDistinct into caller-owned storage (identical draw sequence):
+  /// `out` is resized to k, reusing its capacity -- the zero-alloc form for
+  /// per-round samplers (adversary strategies).
+  void sampleDistinctInto(std::size_t n, std::size_t k,
+                          std::vector<std::size_t>& out);
+
  private:
   std::uint64_t s_[4];
 };

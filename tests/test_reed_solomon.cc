@@ -116,5 +116,61 @@ TEST(ReedSolomon, ZeroMessage) {
   EXPECT_EQ(*back, zero);
 }
 
+TEST(ReedSolomon, SyndromeMatchesBerlekampWelchDifferential) {
+  // The syndrome fast path and the Berlekamp-Welch oracle must have the
+  // SAME accept/reject set and return the same message on accept -- that
+  // is the contract that lets decode() treat the oracle as a transparent
+  // fallback.  10k randomized trials across code shapes, with error
+  // weights sweeping from clean words through the unique decoding radius
+  // to well beyond it (where both decoders may accept a *different*
+  // codeword than the transmitted one, but must still agree with each
+  // other).
+  util::Rng rng(0x5d1f);
+  std::vector<ReedSolomon> codes;
+  for (const auto& [ell, k] : {std::pair<std::size_t, std::size_t>{1, 5},
+                               {2, 8},
+                               {3, 9},
+                               {4, 12},
+                               {5, 15},
+                               {8, 20}})
+    codes.emplace_back(ell, k);
+  int accepted = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 10000; ++trial) {
+    const ReedSolomon& rs = codes[static_cast<std::size_t>(trial) %
+                                  codes.size()];
+    const auto msg = randomMessage(rng, rs.messageLength());
+    auto word = rs.encode(msg);
+    // Error weight 0..maxErrors+3 (clamped to k): roughly half the trials
+    // land beyond the radius, so the reject sets get real coverage too.
+    const std::size_t eCap = std::min(rs.blockLength(), rs.maxErrors() + 3);
+    const std::size_t e = rng.next() % (eCap + 1);
+    const auto hit = rng.sampleDistinct(word.size(), e);
+    for (const auto i : hit)
+      word[i] =
+          word[i] + F16(static_cast<std::uint16_t>(1 + rng.next() % 65535));
+    const auto fast = rs.decodeSyndrome(word);
+    const auto oracle = rs.decodeBW(word);
+    ASSERT_EQ(fast.has_value(), oracle.has_value())
+        << "accept/reject split at trial " << trial << " (ell="
+        << rs.messageLength() << ", k=" << rs.blockLength() << ", e=" << e
+        << "): syndrome=" << fast.has_value() << " bw=" << oracle.has_value();
+    if (fast.has_value()) {
+      ASSERT_EQ(*fast, *oracle)
+          << "decoded messages diverge at trial " << trial << " (ell="
+          << rs.messageLength() << ", k=" << rs.blockLength() << ", e=" << e
+          << ")";
+      if (e <= rs.maxErrors()) EXPECT_EQ(*fast, msg);
+      ++accepted;
+    } else {
+      EXPECT_GT(e, rs.maxErrors());
+      ++rejected;
+    }
+  }
+  // The sweep must actually exercise both outcomes.
+  EXPECT_GT(accepted, 1000);
+  EXPECT_GT(rejected, 1000);
+}
+
 }  // namespace
 }  // namespace mobile::coding

@@ -66,13 +66,16 @@ class Benchmark {
       : name_(std::move(name)), fn_(fn), plain_(registry().size()) {
     registry().push_back({name_, fn_, {}, false});
   }
-  Benchmark* Arg(std::int64_t a) {
+  Benchmark* Arg(std::int64_t a) { return Args({a}); }
+  /// Multi-argument variant (state.range(0), range(1), ...); the run is
+  /// named name/a0/a1/... like the real library.
+  Benchmark* Args(std::vector<std::int64_t> as) {
     if (!consumedPlain_) {
-      // First Arg() converts the no-arg registration into this variant.
-      registry()[plain_] = {name_, fn_, {a}, true};
+      // The first Arg()/Args() converts the no-arg registration.
+      registry()[plain_] = {name_, fn_, std::move(as), true};
       consumedPlain_ = true;
     } else {
-      registry().push_back({name_, fn_, {a}, true});
+      registry().push_back({name_, fn_, std::move(as), true});
     }
     return this;
   }
