@@ -23,8 +23,15 @@ time by that reference probe's time *from the same file* before
 comparing, turning absolute nanoseconds into machine-relative multiples
 -- this is what makes a committed baseline meaningful across runner
 generations (a uniformly slower machine scales the reference probe too,
-leaving the normalized ratios fixed).  Probes present in only one file
-are reported but never gate.
+leaving the normalized ratios fixed).
+
+Probes present in only one file get their own clearly-marked table line
+and never gate: a probe missing from the *baseline* (a bench added after
+the baseline was committed) is informational by design, so --gate never
+blocks the PR that introduces a new probe.  The same goes for a baseline
+that lacks the --normalize reference probe entirely; only a reference
+probe missing from the *new* file fails the gate (the new run is broken,
+not merely older).
 """
 
 import argparse
@@ -93,16 +100,25 @@ def main(argv):
     with open(args.new) as f:
         new = dict(flatten(json.load(f)))
     if args.normalize:
-        old = normalize(old, args.normalize, args.old)
-        new = normalize(new, args.normalize, args.new)
-        if old is None or new is None:
-            return 2
+        old_n = normalize(old, args.normalize, args.old)
+        new_n = normalize(new, args.normalize, args.new)
+        if new_n is None:
+            # The new run didn't produce the reference probe: nothing it
+            # measured can be interpreted, which is a failure of the run
+            # itself, not of the baseline's age.
+            return 1 if args.gate else 0
+        if old_n is None:
+            print(f"perf_delta: baseline {args.old} lacks reference probe "
+                  f"{args.normalize!r}; nothing to compare against "
+                  f"(informational, not gating)")
+            old_n = {}
+        old, new = old_n, new_n
     shared = [name for name in old if name in new]
-    if not shared:
-        print("no shared probes between the two files")
-        return 1 if args.gate else 0
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
     unit = "rel" if args.normalize else "time"
-    width = max(len(name) for name in shared)
+    width = max((len(name) for name in (*shared, *only_old, *only_new)),
+                default=len("probe"))
     print(f"{'probe'.ljust(width)}  {'old ' + unit:>12}  {'new ' + unit:>12}"
           f"  {'old/new':>8}")
     regressions = []
@@ -114,19 +130,25 @@ def main(argv):
             flag = "  REGRESSION"
         print(f"{name.ljust(width)}  {old[name]:12.4g}  {new[name]:12.4g}"
               f"  {ratio:8.2f}x{flag}")
-    only_old = sorted(set(old) - set(new))
-    only_new = sorted(set(new) - set(old))
-    if only_old:
-        print(f"only in {args.old}: {', '.join(only_old)}")
-    if only_new:
-        print(f"only in {args.new}: {', '.join(only_new)}")
+    # One-sided probes get their own explicit line each -- never a lookup
+    # into the file that lacks them, never a gate failure.
+    for name in only_old:
+        print(f"{name.ljust(width)}  {old[name]:12.4g}  {'--':>12}"
+              f"  {'':>8}   only in baseline (not gated)")
+    for name in only_new:
+        print(f"{name.ljust(width)}  {'--':>12}  {new[name]:12.4g}"
+              f"  {'':>8}   no baseline yet (informational)")
+    if not shared:
+        print("no shared probes between the two files (nothing to gate)")
     if args.gate:
         if regressions:
             print(f"PERF GATE FAILED: {len(regressions)} probe(s) slower "
                   f"than {args.threshold}x baseline: {', '.join(regressions)}")
             return 1
         print(f"perf gate OK: {len(shared)} shared probe(s) within "
-              f"{args.threshold}x of baseline")
+              f"{args.threshold}x of baseline"
+              + (f"; {len(only_new)} new probe(s) without a baseline"
+                 if only_new else ""))
     return 0
 
 

@@ -13,34 +13,57 @@ namespace mobile::exp {
 TrialResult runTrial(const TrialSpec& spec) {
   const auto t0 = std::chrono::steady_clock::now();
 
-  const graph::Graph g = spec.graphFactory();
-  const sim::Algorithm algo = spec.algoFactory(g);
-  std::unique_ptr<adv::Adversary> adversary;
-  if (spec.adversaryFactory) adversary = spec.adversaryFactory(g);
-
-  sim::Network net(g, algo, spec.seed, adversary.get(), spec.net);
-  const int budget = spec.maxRounds > 0 ? spec.maxRounds : algo.rounds;
-  if (spec.runExact)
-    net.runExact(budget);
-  else
-    net.run(budget);
-
   TrialResult r;
   r.group = spec.group;
   r.seed = spec.seed;
-  r.rounds = net.roundsExecuted();
-  r.maxWords = net.maxWordsObserved();
-  r.normalizedRounds =
-      static_cast<long>(r.rounds) * static_cast<long>(std::max<std::size_t>(
-                                        1, r.maxWords));
-  r.messages = net.messagesSent();
-  r.maxCongestion = net.maxEdgeCongestion();
-  r.corruptions = net.ledger().total();
-  r.fingerprint = net.outputsFingerprint();
-  r.ok = !spec.expect || r.fingerprint == *spec.expect;
+  // A sim::PlaneError anywhere in the trial -- transport retry budget
+  // exhausted, round-barrier timeout -- degrades to a structured error
+  // record instead of taking down the sweep.  Anything else (logic_error
+  // on a bandwidth violation, bad_alloc) still propagates: those are bugs,
+  // not environment faults.
+  try {
+    const graph::Graph g = spec.graphFactory();
+    const sim::Algorithm algo = spec.algoFactory(g);
+    std::unique_ptr<adv::Adversary> adversary;
+    if (spec.adversaryFactory) adversary = spec.adversaryFactory(g);
+
+    sim::NetworkOptions netOpts = spec.net;
+    if (spec.planeFactory) netOpts.planeImpl = spec.planeFactory(g);
+    sim::Network net(g, algo, spec.seed, adversary.get(), netOpts);
+    const int budget = spec.maxRounds > 0 ? spec.maxRounds : algo.rounds;
+    if (spec.runExact)
+      net.runExact(budget);
+    else
+      net.run(budget);
+
+    r.rounds = net.roundsExecuted();
+    // Merge per-engine accounting through the plane: identity on the arena
+    // plane, a cross-rank splice on a partitioned one.  Replica ranks come
+    // back record=false -- their numbers went to the owning rank.
+    sim::TrialMerge merge;
+    merge.outputs = net.outputs();
+    merge.arcTraffic = net.arcTraffic();
+    merge.messages = net.messagesSent();
+    merge.maxWords = net.maxWordsObserved();
+    merge.corruptions = net.ledger().total();
+    r.record = net.plane().mergeTrial(merge);
+    r.maxWords = merge.maxWords;
+    r.normalizedRounds =
+        static_cast<long>(r.rounds) * static_cast<long>(std::max<std::size_t>(
+                                          1, r.maxWords));
+    r.messages = merge.messages;
+    r.maxCongestion = sim::maxEdgeCongestionOf(g, merge.arcTraffic);
+    r.corruptions = merge.corruptions;
+    r.fingerprint = sim::fingerprintOutputs(merge.outputs);
+    r.ok = !spec.expect || r.fingerprint == *spec.expect;
+    if (spec.observe) spec.observe(net, adversary.get(), r);
+  } catch (const sim::PlaneError& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
   const auto t1 = std::chrono::steady_clock::now();
   r.wallMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  if (spec.observe) spec.observe(net, adversary.get(), r);
+  if (spec.onComplete) spec.onComplete(r);
   return r;
 }
 

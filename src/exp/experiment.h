@@ -55,6 +55,11 @@ struct TrialSpec {
       adversaryFactory;
 
   sim::NetworkOptions net;
+  /// Optional message-plane factory (e.g. a net::UdpPlane bound to the
+  /// process transport); invoked fresh per trial and installed as
+  /// net.planeImpl.  Null means the in-process arena plane.
+  std::function<std::shared_ptr<sim::MessagePlane>(const graph::Graph&)>
+      planeFactory;
   /// Round budget; 0 means the algorithm's declared rounds.
   int maxRounds = 0;
   /// Use Network::runExact instead of run (hold the full schedule).
@@ -66,9 +71,17 @@ struct TrialSpec {
   /// Optional post-run hook, invoked on the worker thread that ran the
   /// trial, before the result is returned.  Deposit bench-specific metrics
   /// into TrialResult::extra; do NOT touch state shared across trials.
+  /// Only runs on success -- a trial that degrades with a plane error has
+  /// no Network to observe.
   std::function<void(const sim::Network&, const adv::Adversary*,
                      TrialResult&)>
       observe;
+  /// Optional completion hook, invoked on the worker thread for EVERY
+  /// outcome -- success, fingerprint mismatch, or plane-error degradation
+  /// -- right before the result is returned.  The campaign runner streams
+  /// its JSONL record from here so transport failures still leave a
+  /// structured per-trial line.
+  std::function<void(TrialResult&)> onComplete;
 };
 
 struct TrialResult {
@@ -81,7 +94,15 @@ struct TrialResult {
   std::size_t maxWords = 0;
   long corruptions = 0;  // CorruptionLedger::total()
   std::uint64_t fingerprint = 0;
-  bool ok = true;  // fingerprint == expect (true when expect unset)
+  bool ok = true;  // fingerprint == expect (true when expect unset) AND no
+                   // plane error
+  /// Structured message-plane failure (sim::PlaneError text): transport
+  /// retry budget exhausted, round-barrier timeout.  Empty on success.
+  /// Campaign JSONL surfaces this as the "error" field.
+  std::string error;
+  /// False on a partitioned plane's replica ranks: the trial's accounting
+  /// was shipped to the owning rank and this result must not be recorded.
+  bool record = true;
   double wallMs = 0.0;
   /// Bench-specific metrics deposited by TrialSpec::observe.
   std::map<std::string, double> extra;

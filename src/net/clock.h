@@ -1,0 +1,49 @@
+// Time source for the net layer: one microsecond-resolution interface so
+// the perfect-link retransmit state machine (net/perfect_link.h) runs
+// identically against the wall clock in production and against a
+// hand-advanced SimClock in tests -- timeout, backoff, and retry-budget
+// behavior is asserted deterministically in tests/test_perfect_link.cc
+// without ever sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mobile::net {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic now, microseconds.  The epoch is arbitrary; only
+  /// differences matter.
+  [[nodiscard]] virtual std::uint64_t nowUs() = 0;
+};
+
+/// steady_clock-backed wall time.
+class RealClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t nowUs() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  /// Process-wide instance (stateless; shared freely).
+  static RealClock& instance() {
+    static RealClock clock;
+    return clock;
+  }
+};
+
+/// Hand-advanced clock for deterministic tests.  Starts nonzero so "never
+/// sent" sentinel zeros can't collide with a real timestamp.
+class SimClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t nowUs() override { return now_; }
+  void advanceUs(std::uint64_t us) { now_ += us; }
+
+ private:
+  std::uint64_t now_ = 1'000'000;
+};
+
+}  // namespace mobile::net

@@ -1,0 +1,114 @@
+#include "net/datagram.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "net/wire.h"
+
+namespace mobile::net {
+
+namespace {
+
+sockaddr_in loopbackAddr(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+UdpSocket::UdpSocket(int rank, int basePort) : basePort_(basePort) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0)
+    throw NetError(std::string("UdpSocket: socket(): ") +
+                   std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in addr = loopbackAddr(basePort + rank);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError("UdpSocket: bind(127.0.0.1:" +
+                   std::to_string(basePort + rank) + "): " + why);
+  }
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpSocket::sendTo(int peer, const std::uint8_t* data, std::size_t len) {
+  const sockaddr_in addr = loopbackAddr(basePort_ + peer);
+  // Best-effort by contract: a full socket buffer (EAGAIN) or transient
+  // error is just a dropped datagram, which the perfect-link layer's
+  // retransmit machinery already absorbs.
+  (void)::sendto(fd_, data, len, 0, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr));
+}
+
+std::size_t UdpSocket::recvFrom(std::uint8_t* buf, std::size_t cap) {
+  const ssize_t got = ::recvfrom(fd_, buf, cap, 0, nullptr, nullptr);
+  return got > 0 ? static_cast<std::size_t>(got) : 0u;
+}
+
+bool UdpSocket::waitReadable(std::uint64_t timeoutUs) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  // Round up to a whole millisecond so a sub-ms timeout still waits.
+  const std::uint64_t ms = timeoutUs == 0 ? 0 : (timeoutUs + 999) / 1000;
+  const int rc =
+      ::poll(&pfd, 1, static_cast<int>(ms > 60'000 ? 60'000 : ms));
+  return rc > 0 && (pfd.revents & POLLIN) != 0;
+}
+
+std::unique_ptr<DatagramSocket> MemHub::open(int rank) {
+  return std::make_unique<Socket>(*this, rank);
+}
+
+void MemHub::Socket::sendTo(int peer, const std::uint8_t* data,
+                            std::size_t len) {
+  if (peer < 0 || static_cast<std::size_t>(peer) >= hub_.boxes_.size())
+    return;
+  Mailbox& box = hub_.boxes_[static_cast<std::size_t>(peer)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.emplace_back(data, data + len);
+  }
+  box.cv.notify_one();
+}
+
+std::size_t MemHub::Socket::recvFrom(std::uint8_t* buf, std::size_t cap) {
+  Mailbox& box = hub_.boxes_[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  if (box.queue.empty()) return 0;
+  const std::vector<std::uint8_t> gram = std::move(box.queue.front());
+  box.queue.pop_front();
+  const std::size_t n = gram.size() < cap ? gram.size() : cap;
+  std::memcpy(buf, gram.data(), n);
+  return n;
+}
+
+bool MemHub::Socket::waitReadable(std::uint64_t timeoutUs) {
+  Mailbox& box = hub_.boxes_[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  return box.cv.wait_for(lock, std::chrono::microseconds(timeoutUs),
+                         [&] { return !box.queue.empty(); });
+}
+
+}  // namespace mobile::net

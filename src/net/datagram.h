@@ -1,0 +1,97 @@
+// Unreliable datagram transport: the bottom of the net stack.
+//
+// DatagramSocket is the minimal surface the perfect-link layer needs --
+// fire-and-forget sends addressed by peer *rank* (not sockaddr: the rank ->
+// address mapping is the socket's business), nonblocking receives, and a
+// bounded readiness wait.  Datagrams may be dropped, duplicated, or
+// reordered by the implementation or by a net::LossyChannel stacked on
+// top; everything above assumes nothing else.
+//
+// Two implementations:
+//   * UdpSocket -- real POSIX UDP on loopback, rank r bound to
+//     127.0.0.1:basePort+r.  The production transport for
+//     `mc_campaign --spawn N`.
+//   * MemHub -- an in-process hub of mutex/condvar mailboxes, one
+//     per rank.  Lets the multi-rank golden tests
+//     (tests/test_net_plane.cc) drive the full plane/perfect-link stack
+//     from plain threads with no sockets, ports, or flaky CI networking.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mobile::net {
+
+class DatagramSocket {
+ public:
+  virtual ~DatagramSocket() = default;
+  /// Best-effort send of one datagram to `peer` (a rank).  May silently
+  /// drop; must not block indefinitely.
+  virtual void sendTo(int peer, const std::uint8_t* data,
+                      std::size_t len) = 0;
+  /// Nonblocking receive: copies one datagram into buf (up to cap) and
+  /// returns its size, or 0 when none is pending.  Datagrams longer than
+  /// cap are truncated (the wire layer rejects truncated packets).
+  virtual std::size_t recvFrom(std::uint8_t* buf, std::size_t cap) = 0;
+  /// Blocks up to timeoutUs for a pending datagram; true when one is
+  /// (probably) readable.  A spurious true is fine -- recvFrom returns 0.
+  virtual bool waitReadable(std::uint64_t timeoutUs) = 0;
+};
+
+/// POSIX UDP socket on loopback, rank-addressed.
+class UdpSocket final : public DatagramSocket {
+ public:
+  /// Binds 127.0.0.1:basePort+rank (nonblocking).  Throws NetError when
+  /// the bind fails (port collision = misconfigured spawn).
+  UdpSocket(int rank, int basePort);
+  ~UdpSocket() override;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  void sendTo(int peer, const std::uint8_t* data, std::size_t len) override;
+  std::size_t recvFrom(std::uint8_t* buf, std::size_t cap) override;
+  bool waitReadable(std::uint64_t timeoutUs) override;
+
+ private:
+  int fd_ = -1;
+  int basePort_;
+};
+
+/// In-process datagram hub for tests: one mailbox per rank.  Construct the
+/// hub once, open() one socket per rank thread.  The hub must outlive its
+/// sockets.
+class MemHub {
+ public:
+  explicit MemHub(int world) : boxes_(static_cast<std::size_t>(world)) {}
+
+  [[nodiscard]] std::unique_ptr<DatagramSocket> open(int rank);
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<std::uint8_t>> queue;
+  };
+
+  class Socket final : public DatagramSocket {
+   public:
+    Socket(MemHub& hub, int rank) : hub_(hub), rank_(rank) {}
+    void sendTo(int peer, const std::uint8_t* data,
+                std::size_t len) override;
+    std::size_t recvFrom(std::uint8_t* buf, std::size_t cap) override;
+    bool waitReadable(std::uint64_t timeoutUs) override;
+
+   private:
+    MemHub& hub_;
+    int rank_;
+  };
+
+  std::vector<Mailbox> boxes_;
+};
+
+}  // namespace mobile::net

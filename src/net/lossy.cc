@@ -1,0 +1,81 @@
+#include "net/lossy.h"
+
+namespace mobile::net {
+
+namespace {
+// Holdback for a reordered datagram: long enough that datagrams sent
+// immediately after overtake it, short enough that the perfect-link RTO
+// (default 2ms) rarely fires for a reorder alone.
+constexpr std::uint64_t kReorderHoldUs = 500;
+}  // namespace
+
+LossyChannel::LossyChannel(DatagramSocket& inner, FaultSpec spec, int rank,
+                           Clock& clock)
+    : inner_(inner),
+      spec_(spec),
+      clock_(clock),
+      rng_(spec.seed ^ (0x9e3779b97f4a7c15ULL *
+                        (static_cast<std::uint64_t>(rank) + 1))) {}
+
+void LossyChannel::pump() {
+  const std::uint64_t now = clock_.nowUs();
+  while (!held_.empty() && held_.begin()->first.first <= now) {
+    const Held& h = held_.begin()->second;
+    inner_.sendTo(h.peer, h.data.data(), h.data.size());
+    held_.erase(held_.begin());
+  }
+}
+
+void LossyChannel::hold(int peer, const std::uint8_t* data, std::size_t len,
+                        std::uint64_t dueUs) {
+  held_.emplace(std::make_pair(dueUs, arrivals_++),
+                Held{peer, std::vector<std::uint8_t>(data, data + len)});
+}
+
+void LossyChannel::sendTo(int peer, const std::uint8_t* data,
+                          std::size_t len) {
+  pump();
+  if (rng_.chance(spec_.drop)) {
+    ++dropped_;
+    return;
+  }
+  const std::uint64_t now = clock_.nowUs();
+  std::uint64_t dueUs = now + spec_.delayUs;
+  if (rng_.chance(spec_.reorder)) {
+    ++reordered_;
+    dueUs += kReorderHoldUs;
+  }
+  if (rng_.chance(spec_.duplicate)) {
+    ++duplicated_;
+    hold(peer, data, len, dueUs);
+  }
+  if (dueUs <= now) {
+    inner_.sendTo(peer, data, len);
+  } else {
+    hold(peer, data, len, dueUs);
+  }
+  pump();
+}
+
+std::size_t LossyChannel::recvFrom(std::uint8_t* buf, std::size_t cap) {
+  pump();
+  return inner_.recvFrom(buf, cap);
+}
+
+bool LossyChannel::waitReadable(std::uint64_t timeoutUs) {
+  pump();
+  // Never sleep past the earliest holdback: a held datagram may be the
+  // very thing the caller is waiting to receive an answer to.
+  std::uint64_t wait = timeoutUs;
+  if (!held_.empty()) {
+    const std::uint64_t now = clock_.nowUs();
+    const std::uint64_t due = held_.begin()->first.first;
+    const std::uint64_t untilDue = due > now ? due - now : 0;
+    if (untilDue < wait) wait = untilDue;
+  }
+  const bool readable = inner_.waitReadable(wait);
+  pump();
+  return readable;
+}
+
+}  // namespace mobile::net

@@ -1,0 +1,87 @@
+// Fault-injecting datagram channel: the network-level adversary.
+//
+// LossyChannel decorates a DatagramSocket and applies a seeded fault model
+// to every datagram *sent* through it -- drop, duplicate, reorder (via a
+// holdback delay that lets later datagrams overtake), and a fixed extra
+// latency.  Receives pass through untouched: each rank's channel faults
+// its own egress, so a bidirectional link's two directions are faulted
+// independently, like a real path.
+//
+// Faults are rolled from a util::Rng seeded with spec.seed mixed with the
+// local rank: a campaign point replays the identical fault pattern on
+// every rerun (given the same send sequence), which is what makes "plane
+// must mask drop=0.1 reorder=0.1 dup=0.05" a golden-testable statement
+// rather than a flaky one.
+//
+// Delayed/duplicated datagrams sit in a due-time queue and are released by
+// pump(), which runs on every channel operation -- the perfect-link layer
+// above polls its socket continuously, so holdbacks drain promptly.  The
+// channel deliberately sits *below* the perfect link: the invariant under
+// test is that retransmit/dedup fully masks whatever this channel does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/clock.h"
+#include "net/datagram.h"
+#include "util/rng.h"
+
+namespace mobile::net {
+
+struct FaultSpec {
+  double drop = 0.0;       ///< P(datagram vanishes)
+  double reorder = 0.0;    ///< P(datagram held back so later ones overtake)
+  double duplicate = 0.0;  ///< P(datagram delivered twice)
+  std::uint64_t delayUs = 0;  ///< fixed extra latency on every datagram
+  std::uint64_t seed = 0;     ///< fault pattern seed (0 = still seeded: the
+                              ///< pattern is a pure function of the spec)
+  [[nodiscard]] bool faulty() const {
+    return drop > 0 || reorder > 0 || duplicate > 0 || delayUs > 0;
+  }
+};
+
+class LossyChannel final : public DatagramSocket {
+ public:
+  /// Wraps `inner` (borrowed -- must outlive the channel; net::Transport
+  /// rebuilds the channel per trial over one long-lived socket); `rank` is
+  /// mixed into the seed so each process faults independently.
+  LossyChannel(DatagramSocket& inner, FaultSpec spec, int rank,
+               Clock& clock);
+
+  void sendTo(int peer, const std::uint8_t* data, std::size_t len) override;
+  std::size_t recvFrom(std::uint8_t* buf, std::size_t cap) override;
+  bool waitReadable(std::uint64_t timeoutUs) override;
+
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
+  [[nodiscard]] std::uint64_t reordered() const { return reordered_; }
+
+ private:
+  struct Held {
+    int peer;
+    std::vector<std::uint8_t> data;
+  };
+
+  /// Releases every held datagram whose due time has passed.
+  void pump();
+  void hold(int peer, const std::uint8_t* data, std::size_t len,
+            std::uint64_t dueUs);
+
+  DatagramSocket& inner_;
+  FaultSpec spec_;
+  Clock& clock_;
+  util::Rng rng_;
+  // (due time, arrival tiebreak) -> datagram: released in due order, FIFO
+  // within a tick, so the fault pattern is reproducible.
+  std::multimap<std::pair<std::uint64_t, std::uint64_t>, Held> held_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
+};
+
+}  // namespace mobile::net

@@ -1,0 +1,238 @@
+#include "net/perfect_link.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mobile::net {
+
+PerfectLink::PerfectLink(DatagramSocket& socket, int rank, int world,
+                         Clock& clock, PerfectLinkOptions opts)
+    : socket_(socket),
+      rank_(rank),
+      world_(world),
+      clock_(clock),
+      opts_(opts),
+      peers_(static_cast<std::size_t>(world)),
+      recvBuf_(kMaxDatagramBytes) {
+  for (auto& p : peers_) p.ring.resize(opts_.window);
+}
+
+void PerfectLink::beginSession(std::uint32_t session) {
+  session_ = session;
+  for (auto& p : peers_) {
+    p.nextSeq = 0;
+    p.peerCumAck = 0;
+    p.inflight.clear();
+    p.recvNext = 0;
+    for (auto& slot : p.ring) {
+      slot.valid = false;
+      slot.bytes.clear();
+    }
+    p.stream.clear();
+    p.frames.clear();
+  }
+  retransmits_ = 0;
+  duplicatesDropped_ = 0;
+  segmentsSent_ = 0;
+}
+
+void PerfectLink::sendSegment(int peer, const std::uint8_t* payload,
+                              std::size_t len) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  // Flow control: never run `window` segments ahead of the peer's
+  // cumulative ack, so its ring can always park what we send.  Pumping
+  // here either drains acks or -- if the peer is gone -- exhausts the
+  // oldest segment's retry budget, which throws: the block is bounded.
+  while (p.nextSeq >= p.peerCumAck + opts_.window) pump(opts_.rtoUs);
+
+  PacketHeader h;
+  h.session = session_;
+  h.srcRank = static_cast<std::uint16_t>(rank_);
+  h.type = kTypeData;
+  h.seq = p.nextSeq++;
+  h.cumAck = p.recvNext;
+
+  Outgoing out;
+  out.packet.resize(kHeaderBytes + len);
+  encodeHeader(out.packet.data(), h);
+  if (len > 0) std::memcpy(out.packet.data() + kHeaderBytes, payload, len);
+  out.backoffUs = opts_.rtoUs;
+  out.dueUs = clock_.nowUs() + opts_.rtoUs;
+  socket_.sendTo(peer, out.packet.data(), out.packet.size());
+  ++segmentsSent_;
+  p.inflight.emplace(h.seq, std::move(out));
+}
+
+void PerfectLink::send(int peer, const std::uint8_t* data, std::size_t len) {
+  // Frame: [u32 length][bytes], then cut into <= fragBytes segments.  The
+  // length prefix rides the stream like any other bytes, so it may even
+  // straddle a segment boundary.
+  std::uint8_t prefix[4];
+  putU32(prefix, static_cast<std::uint32_t>(len));
+  std::vector<std::uint8_t> framed;
+  framed.reserve(4 + len);
+  framed.insert(framed.end(), prefix, prefix + 4);
+  framed.insert(framed.end(), data, data + len);
+  std::size_t off = 0;
+  do {
+    const std::size_t chunk = std::min(opts_.fragBytes, framed.size() - off);
+    sendSegment(peer, framed.data() + off, chunk);
+    off += chunk;
+  } while (off < framed.size());
+}
+
+bool PerfectLink::poll(int peer, std::vector<std::uint8_t>& frame) {
+  drainSocket();
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.frames.empty()) return false;
+  frame = std::move(p.frames.front());
+  p.frames.erase(p.frames.begin());
+  return true;
+}
+
+void PerfectLink::drainSocket() {
+  for (;;) {
+    const std::size_t got = socket_.recvFrom(recvBuf_.data(), recvBuf_.size());
+    if (got == 0) return;
+    PacketHeader h;
+    if (!decodeHeader(recvBuf_.data(), got, h)) continue;
+    if (h.session != session_) continue;  // straggler from another trial
+    if (h.srcRank >= peers_.size()) continue;
+    if (h.type == kTypeData) {
+      handleData(h, recvBuf_.data() + kHeaderBytes, got - kHeaderBytes);
+    } else {
+      handleAck(h);
+    }
+  }
+}
+
+void PerfectLink::clearAcked(Peer& p, std::uint64_t cumAck,
+                             std::uint64_t sackSeq) {
+  p.peerCumAck = std::max(p.peerCumAck, cumAck);
+  p.inflight.erase(p.inflight.begin(), p.inflight.lower_bound(cumAck));
+  p.inflight.erase(sackSeq);
+}
+
+void PerfectLink::handleAck(const PacketHeader& h) {
+  clearAcked(peers_[h.srcRank], h.cumAck, h.seq);
+}
+
+void PerfectLink::handleData(const PacketHeader& h,
+                             const std::uint8_t* payload, std::size_t len) {
+  Peer& p = peers_[h.srcRank];
+  // Data piggybacks the peer's cumulative ack (no selective component:
+  // sack with the peer's own recvNext would clear an unrelated segment).
+  p.peerCumAck = std::max(p.peerCumAck, h.cumAck);
+  p.inflight.erase(p.inflight.begin(), p.inflight.lower_bound(h.cumAck));
+
+  if (h.seq < p.recvNext) {
+    // Already delivered: the original ack was likely lost -- re-ack so the
+    // sender stops retransmitting.
+    ++duplicatesDropped_;
+    sendAck(h.srcRank, h.seq);
+    return;
+  }
+  if (h.seq >= p.recvNext + opts_.window) return;  // can't park; no ack
+  RingSlot& slot = p.ring[static_cast<std::size_t>(h.seq % opts_.window)];
+  if (slot.valid && slot.seq == h.seq) {
+    ++duplicatesDropped_;
+    sendAck(h.srcRank, h.seq);
+    return;
+  }
+  slot.seq = h.seq;
+  slot.valid = true;
+  slot.bytes.assign(payload, payload + len);
+  // Deliver the contiguous prefix onto the stream.
+  for (;;) {
+    RingSlot& next =
+        p.ring[static_cast<std::size_t>(p.recvNext % opts_.window)];
+    if (!next.valid || next.seq != p.recvNext) break;
+    p.stream.insert(p.stream.end(), next.bytes.begin(), next.bytes.end());
+    next.valid = false;
+    ++p.recvNext;
+  }
+  sendAck(h.srcRank, h.seq);
+  extractFrames(p);
+}
+
+void PerfectLink::extractFrames(Peer& p) {
+  std::size_t pos = 0;
+  while (p.stream.size() - pos >= 4) {
+    const std::uint32_t len = getU32(p.stream.data() + pos);
+    if (p.stream.size() - pos - 4 < len) break;
+    p.frames.emplace_back(p.stream.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+                          p.stream.begin() +
+                              static_cast<std::ptrdiff_t>(pos + 4 + len));
+    pos += 4 + len;
+  }
+  if (pos > 0)
+    p.stream.erase(p.stream.begin(),
+                   p.stream.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+void PerfectLink::sendAck(int peer, std::uint64_t sackSeq) {
+  PacketHeader h;
+  h.session = session_;
+  h.srcRank = static_cast<std::uint16_t>(rank_);
+  h.type = kTypeAck;
+  h.seq = sackSeq;
+  h.cumAck = peers_[static_cast<std::size_t>(peer)].recvNext;
+  std::uint8_t buf[kHeaderBytes];
+  encodeHeader(buf, h);
+  socket_.sendTo(peer, buf, kHeaderBytes);
+}
+
+std::uint64_t PerfectLink::retransmitDue() {
+  const std::uint64_t now = clock_.nowUs();
+  std::uint64_t earliest = ~std::uint64_t{0};
+  for (int peer = 0; peer < world_; ++peer) {
+    Peer& p = peers_[static_cast<std::size_t>(peer)];
+    for (auto& [seq, out] : p.inflight) {
+      if (out.dueUs > now) {
+        earliest = std::min(earliest, out.dueUs);
+        continue;
+      }
+      if (out.retries >= opts_.maxRetries)
+        throw NetError("perfect link: retry budget exhausted (peer " +
+                       std::to_string(peer) + ", seq " + std::to_string(seq) +
+                       ", " + std::to_string(out.retries) + " retransmits)");
+      ++out.retries;
+      ++retransmits_;
+      out.backoffUs = std::min(out.backoffUs * 2, opts_.rtoMaxUs);
+      out.dueUs = now + out.backoffUs;
+      socket_.sendTo(peer, out.packet.data(), out.packet.size());
+      earliest = std::min(earliest, out.dueUs);
+    }
+  }
+  return earliest;
+}
+
+void PerfectLink::pump(std::uint64_t waitUs) {
+  drainSocket();
+  const std::uint64_t earliest = retransmitDue();
+  if (waitUs == 0) return;
+  // Sleep no longer than the next retransmit deadline needs.
+  std::uint64_t wait = waitUs;
+  if (earliest != ~std::uint64_t{0}) {
+    const std::uint64_t now = clock_.nowUs();
+    wait = std::min(wait, earliest > now ? earliest - now : 0);
+  }
+  if (wait > 0) socket_.waitReadable(wait);
+  drainSocket();
+}
+
+void PerfectLink::flushInflight(std::uint64_t deadlineUs) {
+  try {
+    for (;;) {
+      bool idle = true;
+      for (const auto& p : peers_)
+        if (!p.inflight.empty()) idle = false;
+      if (idle || clock_.nowUs() >= deadlineUs) return;
+      pump(1'000);
+    }
+  } catch (const NetError&) {
+    // Best-effort by contract: a dead peer must not wedge teardown.
+  }
+}
+
+}  // namespace mobile::net

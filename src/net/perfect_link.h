@@ -1,0 +1,161 @@
+// Perfect links over unreliable datagrams.
+//
+// PerfectLink turns a DatagramSocket (which may drop, duplicate, and
+// reorder -- by nature or by an interposed net::LossyChannel) into
+// reliable, exactly-once, in-order *framed message* streams to every peer
+// rank.  The classic construction, instantiated concretely:
+//
+//   * Stream framing.  An application message is [u32 length][bytes] on a
+//     per-peer byte stream; the stream is cut into segments of at most
+//     fragBytes payload, so a message wider than one datagram simply spans
+//     segments (fragmentation/reassembly falls out of the stream
+//     abstraction for free).
+//   * Sequencing.  Each (session, src -> dst) stream numbers its segments
+//     0, 1, 2, ...  The receiver holds out-of-order segments in a
+//     window-sized ring and delivers contiguous prefixes; a segment at or
+//     beyond recvNext + window is dropped unacked (the sender's window
+//     keeps this rare -- see below).
+//   * Dedup.  A segment below recvNext, or one already parked in the ring,
+//     is a duplicate: counted, re-acked (the first ack may have been the
+//     lost datagram), and dropped.  The ring slot is seq % window, valid
+//     iff its stored seq matches -- the window-wraparound test in
+//     tests/test_perfect_link.cc pins the "matches" part.
+//   * Ack / retransmit.  Every data segment is acked with cumAck = number
+//     of contiguous segments received (so everything below cumAck is
+//     clearable) plus the triggering seq as a selective ack; data packets
+//     piggyback the same cumAck.  The sender retransmits any unacked
+//     segment whose deadline passed, doubling the backoff from rtoUs up to
+//     rtoMaxUs; after maxRetries unanswered retransmits it throws NetError
+//     -- the structured degradation path (never a silent hang; every
+//     blocking entry point also takes a deadline).
+//   * Flow control.  A send blocks (pumping IO) while nextSeq would run
+//     window segments ahead of the peer's highest cumulative ack,
+//     guaranteeing the receiver ring can always park what arrives.
+//
+// Sessions: beginSession(id) wipes every per-peer stream and stamps all
+// subsequent packets.  Packets from another session are dropped on
+// arrival; retransmission makes that safe (anything that matters is
+// resent under the current session), which is how stragglers from a
+// finished trial are kept out of the next one.
+//
+// Time comes from a net::Clock, so every timeout above is testable
+// against a hand-advanced SimClock.  The class is single-threaded by
+// design -- one PerfectLink per process, driven from the engine thread in
+// between rounds; no locks, no background threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/clock.h"
+#include "net/datagram.h"
+#include "net/wire.h"
+
+namespace mobile::net {
+
+struct PerfectLinkOptions {
+  std::uint64_t rtoUs = 2'000;       ///< initial retransmit timeout
+  std::uint64_t rtoMaxUs = 250'000;  ///< backoff cap
+  int maxRetries = 30;               ///< unanswered retransmits before NetError
+  std::uint64_t window = 512;        ///< max unacked segments per peer
+  std::size_t fragBytes = 1'024;     ///< max payload bytes per segment
+};
+
+class PerfectLink {
+ public:
+  /// `socket` and `clock` must outlive the link.  `rank`/`world` name this
+  /// process and the peer space.
+  PerfectLink(DatagramSocket& socket, int rank, int world, Clock& clock,
+              PerfectLinkOptions opts = {});
+
+  /// Abandons every stream (inflight, rings, half-assembled frames) and
+  /// stamps subsequent packets with `session`.  Call on every trial start,
+  /// on all ranks, in lock-step.
+  void beginSession(std::uint32_t session);
+
+  /// Queues one framed message to `peer` and transmits its segments.
+  /// Blocks pumping IO while the send window is full; throws NetError if
+  /// the window cannot drain within the retry budget.
+  void send(int peer, const std::uint8_t* data, std::size_t len);
+
+  /// Nonblocking: pops the next completed frame from `peer`'s in-order
+  /// stream into `frame` (true), or returns false when none is ready.
+  bool poll(int peer, std::vector<std::uint8_t>& frame);
+
+  /// Drives IO once: drains the socket, retransmits due segments (throws
+  /// NetError on budget exhaustion), and -- when nothing arrived and
+  /// waitUs > 0 -- blocks up to waitUs (clipped to the next retransmit
+  /// deadline) for readability.
+  void pump(std::uint64_t waitUs);
+
+  /// Pumps until no segment is inflight to any peer or `deadlineUs`
+  /// passes, swallowing retry-budget errors: the best-effort shutdown
+  /// flush (a dead peer must not wedge teardown).
+  void flushInflight(std::uint64_t deadlineUs);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int world() const { return world_; }
+  [[nodiscard]] const PerfectLinkOptions& options() const { return opts_; }
+
+  // --- test/diagnostic counters (session lifetime) -------------------------
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t duplicatesDropped() const {
+    return duplicatesDropped_;
+  }
+  [[nodiscard]] std::uint64_t segmentsSent() const { return segmentsSent_; }
+
+ private:
+  struct Outgoing {
+    std::vector<std::uint8_t> packet;  // full datagram (header + payload)
+    std::uint64_t dueUs = 0;
+    std::uint64_t backoffUs = 0;
+    int retries = 0;
+  };
+
+  struct RingSlot {
+    std::uint64_t seq = 0;
+    bool valid = false;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  struct Peer {
+    // send side
+    std::uint64_t nextSeq = 0;
+    std::uint64_t peerCumAck = 0;  // highest cumAck seen from this peer
+    std::map<std::uint64_t, Outgoing> inflight;
+    // receive side
+    std::uint64_t recvNext = 0;
+    std::vector<RingSlot> ring;  // slot = seq % window
+    std::vector<std::uint8_t> stream;  // delivered, not-yet-framed bytes
+    std::vector<std::vector<std::uint8_t>> frames;  // completed, undelivered
+  };
+
+  void sendSegment(int peer, const std::uint8_t* payload, std::size_t len);
+  void drainSocket();
+  void handleData(const PacketHeader& h, const std::uint8_t* payload,
+                  std::size_t len);
+  void handleAck(const PacketHeader& h);
+  void clearAcked(Peer& p, std::uint64_t cumAck, std::uint64_t sackSeq);
+  void extractFrames(Peer& p);
+  void sendAck(int peer, std::uint64_t sackSeq);
+  /// Retransmits due segments; returns the earliest pending deadline (or
+  /// ~0 when nothing is inflight).  Throws NetError on budget exhaustion.
+  std::uint64_t retransmitDue();
+
+  DatagramSocket& socket_;
+  int rank_;
+  int world_;
+  Clock& clock_;
+  PerfectLinkOptions opts_;
+  std::uint32_t session_ = 0;
+  std::vector<Peer> peers_;
+  std::vector<std::uint8_t> recvBuf_;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t duplicatesDropped_ = 0;
+  std::uint64_t segmentsSent_ = 0;
+};
+
+}  // namespace mobile::net

@@ -1,0 +1,87 @@
+#include "net/transport.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "net/wire.h"
+
+namespace mobile::net {
+
+// Stable indirection between the perfect link and the swappable channel
+// stack: PerfectLink holds a reference to the Routed for the transport's
+// whole lifetime while beginSession retargets it at either the raw socket
+// or a fresh LossyChannel.
+class Transport::Routed final : public DatagramSocket {
+ public:
+  explicit Routed(DatagramSocket* target) : target_(target) {}
+  void retarget(DatagramSocket* target) { target_ = target; }
+  void sendTo(int peer, const std::uint8_t* data, std::size_t len) override {
+    target_->sendTo(peer, data, len);
+  }
+  std::size_t recvFrom(std::uint8_t* buf, std::size_t cap) override {
+    return target_->recvFrom(buf, cap);
+  }
+  bool waitReadable(std::uint64_t timeoutUs) override {
+    return target_->waitReadable(timeoutUs);
+  }
+
+ private:
+  DatagramSocket* target_;
+};
+
+Transport::Transport(std::unique_ptr<DatagramSocket> socket, int rank,
+                     int world, Clock& clock)
+    : raw_(std::move(socket)), rank_(rank), world_(world), clock_(clock) {
+  routed_ = std::make_unique<Routed>(raw_.get());
+  link_ = std::make_unique<PerfectLink>(*routed_, rank_, world_, clock_);
+}
+
+Transport::~Transport() = default;
+
+void Transport::beginSession(std::uint32_t session, const FaultSpec& faults,
+                             const PerfectLinkOptions& linkOpts) {
+  if (faults.faulty()) {
+    channel_ = std::make_unique<LossyChannel>(*raw_, faults, rank_, clock_);
+    routed_->retarget(channel_.get());
+  } else {
+    channel_.reset();
+    routed_->retarget(raw_.get());
+  }
+  link_ = std::make_unique<PerfectLink>(*routed_, rank_, world_, clock_,
+                                        linkOpts);
+  link_->beginSession(session);
+}
+
+namespace {
+
+int envInt(const char* name, int dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  try {
+    return std::stoi(v);
+  } catch (const std::exception&) {
+    throw NetError(std::string("net: malformed ") + name + "='" + v + "'");
+  }
+}
+
+}  // namespace
+
+Transport* processTransport() {
+  // Built once per process; never torn down (the socket must survive until
+  // exit so late stragglers have somewhere harmless to land).
+  static std::unique_ptr<Transport> transport = [] {
+    const int world = envInt("MOBILE_NET_WORLD", 1);
+    if (world <= 1) return std::unique_ptr<Transport>();
+    const int rank = envInt("MOBILE_NET_RANK", 0);
+    const int port = envInt("MOBILE_NET_PORT", 47810);
+    if (rank < 0 || rank >= world)
+      throw NetError("net: MOBILE_NET_RANK " + std::to_string(rank) +
+                     " outside world of " + std::to_string(world));
+    return std::make_unique<Transport>(
+        std::make_unique<UdpSocket>(rank, port), rank, world,
+        RealClock::instance());
+  }();
+  return transport.get();
+}
+
+}  // namespace mobile::net

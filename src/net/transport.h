@@ -1,0 +1,71 @@
+// Process-level transport: the socket -> LossyChannel -> PerfectLink
+// composition, owned once per process and re-sessioned per trial.
+//
+// A multi-process run (`mc_campaign --spawn N`) gives every worker one
+// Transport for its whole lifetime: the UDP socket keeps its port across
+// trials, and PerfectLink::beginSession draws the line between one trial's
+// packets and the next.  Each trial's UdpPlane borrows the transport;
+// beginSession also (re)builds the fault-injecting LossyChannel with that
+// trial's FaultSpec, so fault rates are a per-trial axis, not a process
+// flag.
+//
+// processTransport() materializes the singleton from the environment the
+// spawner sets (MOBILE_NET_WORLD / MOBILE_NET_RANK / MOBILE_NET_PORT) and
+// returns nullptr in an ordinary single-process run -- callers fall back
+// to a degenerate in-process plane (world=1 exercises the same code path
+// with zero cross-rank arcs).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/clock.h"
+#include "net/datagram.h"
+#include "net/lossy.h"
+#include "net/perfect_link.h"
+
+namespace mobile::net {
+
+class Transport {
+ public:
+  /// Takes ownership of `socket` (the raw, fault-free datagram layer).
+  /// `clock` must outlive the transport.
+  Transport(std::unique_ptr<DatagramSocket> socket, int rank, int world,
+            Clock& clock);
+  ~Transport();
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Starts a trial session: rebuilds the channel stack with `faults`
+  /// between socket and perfect link (pass-through when !faults.faulty()),
+  /// applies `linkOpts`, and wipes every stream under the new session id.
+  /// Must be called on all ranks in lock-step (trials are).
+  void beginSession(std::uint32_t session, const FaultSpec& faults,
+                    const PerfectLinkOptions& linkOpts);
+
+  [[nodiscard]] PerfectLink& link() { return *link_; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int world() const { return world_; }
+  [[nodiscard]] Clock& clock() { return clock_; }
+
+ private:
+  // Wrapper the perfect link holds a stable reference to while
+  // beginSession swaps the faulty/clean channel underneath.
+  class Routed;
+
+  std::unique_ptr<DatagramSocket> raw_;
+  std::unique_ptr<DatagramSocket> channel_;  // raw_ or LossyChannel over it
+  std::unique_ptr<Routed> routed_;
+  std::unique_ptr<PerfectLink> link_;
+  int rank_;
+  int world_;
+  Clock& clock_;
+};
+
+/// The spawner-configured process transport: built on first call from
+/// MOBILE_NET_WORLD / MOBILE_NET_RANK / MOBILE_NET_PORT (defaults 1/0/
+/// 47810); nullptr when MOBILE_NET_WORLD is unset or 1.  Throws NetError
+/// on malformed settings or a failed bind.
+[[nodiscard]] Transport* processTransport();
+
+}  // namespace mobile::net

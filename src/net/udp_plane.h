@@ -1,0 +1,97 @@
+// The multi-process message plane: sim::MessagePlane over a Transport.
+//
+// Rank r of a world of W drives the contiguous node range
+// [r*n/W, (r+1)*n/W) of its own full-size Network; arcs whose tail is
+// local and whose head is remote are "cross arcs", and their messages
+// travel through the transport's perfect link (net/perfect_link.h) while
+// everything else stays in the local arena.
+//
+// One CONGEST round maps to exactly one framed message per ordered peer
+// pair, sent between the engine's adversary and receive phases:
+//
+//   [kind=round][tag=round#][count][ (arcId, words...) per present cross arc ]
+//
+// The message doubles as the round barrier: rank r's receive phase cannot
+// start until it holds round-tagged messages from every peer, so the
+// lock-step round structure survives arbitrary transport asynchrony.  An
+// empty cross-arc set still sends (count=0) -- the barrier is
+// unconditional.  Streams are per-peer FIFO (perfect link) and both sides
+// run the same phase schedule, so an arriving frame must match the
+// expected (kind, tag) exactly; anything else is a protocol desync and
+// throws NetError.  Every wait is bounded by roundTimeoutUs -- a dead or
+// wedged peer surfaces as a structured error, never a hang.
+//
+// allDone agreement rides the same machinery (a one-byte flag message per
+// peer per resolve, AND-folded), as does the post-run merge: replicas ship
+// their output/traffic slices and counters to rank 0, which splices them
+// into globally-exact TrialMerge values, then releases the replicas with a
+// fin message (so no rank re-sessions while a peer still wants its
+// packets).
+//
+// Determinism: the plane moves bytes, allDone bits, and accounting --
+// nothing a node observes depends on W, the fault spec, or transport
+// timing.  tests/test_net_plane.cc pins this with a byz_tree golden over
+// drop=0.1 reorder=0.1 dup=0.05.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/lossy.h"
+#include "net/perfect_link.h"
+#include "net/transport.h"
+#include "sim/message_plane.h"
+
+namespace mobile::net {
+
+struct UdpPlaneOptions {
+  /// Bound on any single cross-rank wait (round barrier, merge, fin).
+  std::uint64_t roundTimeoutUs = 10'000'000;
+  /// Trial session id (hash of the campaign point identity); must agree
+  /// across ranks for the trial's packets to meet.
+  std::uint32_t session = 1;
+};
+
+class UdpPlane final : public sim::MessagePlane {
+ public:
+  /// `transport` is borrowed (the process-lifetime singleton); nullptr or
+  /// world 1 degenerates to the in-process arena plane -- same code path,
+  /// zero cross arcs -- so `transport=udp` works in a plain single-process
+  /// run.  The session starts at attach() time (Network construction).
+  UdpPlane(Transport* transport, FaultSpec faults,
+           PerfectLinkOptions linkOpts, UdpPlaneOptions opts);
+
+  void attach(const graph::Graph& g, int shardCount) override;
+  void exchange(int round) override;
+  [[nodiscard]] bool resolveAllDone(bool localAllDone) override;
+  [[nodiscard]] bool mergeTrial(sim::TrialMerge& m) override;
+
+  [[nodiscard]] int rank() const { return multi() ? transport_->rank() : 0; }
+  [[nodiscard]] int world() const {
+    return multi() ? transport_->world() : 1;
+  }
+
+ private:
+  [[nodiscard]] bool multi() const {
+    return transport_ != nullptr && transport_->world() > 1;
+  }
+  /// Blocks (pumping the link) until the next frame from `peer` arrives;
+  /// verifies it is (kind, tag) and returns its payload view inside
+  /// `frame`.  Throws NetError on timeout, desync, or link failure.
+  void expectMessage(int peer, std::uint8_t kind, std::uint32_t tag,
+                     std::vector<std::uint8_t>& frame);
+
+  Transport* transport_;
+  FaultSpec faults_;
+  PerfectLinkOptions linkOpts_;
+  UdpPlaneOptions opts_;
+  const graph::Graph* g_ = nullptr;
+  /// crossOut_[peer]: local-tail, peer-head arcs in CSR order.
+  std::vector<std::vector<graph::ArcId>> crossOut_;
+  std::uint32_t doneSeq_ = 0;
+  std::vector<std::uint8_t> sendBuf_;
+  std::vector<std::uint8_t> recvFrame_;
+  std::vector<std::uint64_t> wordScratch_;
+};
+
+}  // namespace mobile::net

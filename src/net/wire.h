@@ -1,0 +1,117 @@
+// Wire format for the UDP message plane.
+//
+// Every datagram is one packet: a fixed little-endian header followed by a
+// payload.  Two packet types:
+//
+//   kData  -- one perfect-link stream segment.  `seq` numbers the segment
+//             within the (session, srcRank -> dstRank) stream; the payload
+//             is raw stream bytes (the perfect-link layer above frames
+//             application messages onto the byte stream with [u32 length]
+//             prefixes, so a message wider than one datagram simply spans
+//             segments).
+//   kAck   -- acknowledgment.  `cumAck` = count of contiguous segments
+//             received from the ack'd peer (i.e. everything below cumAck is
+//             in); `seq` additionally selective-acks the segment that
+//             triggered the ack, letting the sender clear an out-of-order
+//             arrival before the gap fills.  Payload empty.
+//
+// `session` binds a packet to one trial run (a hash of the campaign point
+// identity): packets from a previous trial that straggle in -- duplicates
+// released late by the fault injector, retransmits from a peer that
+// finished the last round after we rewound -- fail the session check and
+// are dropped on the floor.  The retransmit machinery makes the drop safe:
+// anything that mattered is resent under the current session.
+//
+// Layout (little-endian, 28 bytes):
+//   u32 magic    'mPKT'            u32 session
+//   u16 srcRank  u8 type  u8 zero  u64 seq    u64 cumAck
+//
+// Integers are serialized byte-by-byte -- no struct punning, no host
+// endianness assumptions.  Truncated or alien datagrams are rejected by
+// decodeHeader returning false (never thrown: a UDP socket receives what
+// the world sends it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/message_plane.h"
+
+namespace mobile::net {
+
+/// Unrecoverable transport failure (retry budget exhausted, round-barrier
+/// timeout, protocol desync).  Derives sim::PlaneError so the trial layer
+/// surfaces it as a structured per-trial error record.
+class NetError : public sim::PlaneError {
+ public:
+  using sim::PlaneError::PlaneError;
+};
+
+inline constexpr std::uint32_t kMagic = 0x6d504b54u;  // 'mPKT'
+inline constexpr std::uint8_t kTypeData = 1;
+inline constexpr std::uint8_t kTypeAck = 2;
+inline constexpr std::size_t kHeaderBytes = 28;
+/// Safe-everywhere datagram budget (loopback MTU is far larger; this keeps
+/// the frame segmenter honest and the tests meaningful).
+inline constexpr std::size_t kMaxDatagramBytes = 9000;
+
+struct PacketHeader {
+  std::uint32_t session = 0;
+  std::uint16_t srcRank = 0;
+  std::uint8_t type = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t cumAck = 0;
+};
+
+inline void putU16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+inline void putU32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline void putU64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+[[nodiscard]] inline std::uint16_t getU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+[[nodiscard]] inline std::uint32_t getU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+[[nodiscard]] inline std::uint64_t getU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Writes the header into `buf` (must hold kHeaderBytes).
+inline void encodeHeader(std::uint8_t* buf, const PacketHeader& h) {
+  putU32(buf, kMagic);
+  putU32(buf + 4, h.session);
+  putU16(buf + 8, h.srcRank);
+  buf[10] = h.type;
+  buf[11] = 0;
+  putU64(buf + 12, h.seq);
+  putU64(buf + 20, h.cumAck);
+}
+
+/// Parses `len` bytes; false on truncation, bad magic, or unknown type
+/// (drop the datagram -- UDP delivers whatever the world sends).
+[[nodiscard]] inline bool decodeHeader(const std::uint8_t* buf,
+                                       std::size_t len, PacketHeader& h) {
+  if (len < kHeaderBytes) return false;
+  if (getU32(buf) != kMagic) return false;
+  h.session = getU32(buf + 4);
+  h.srcRank = getU16(buf + 8);
+  h.type = buf[10];
+  h.seq = getU64(buf + 12);
+  h.cumAck = getU64(buf + 20);
+  return h.type == kTypeData || h.type == kTypeAck;
+}
+
+}  // namespace mobile::net

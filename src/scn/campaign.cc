@@ -166,6 +166,14 @@ std::set<std::string> completedPoints(const std::string& jsonlPath) {
   const std::string marker = "\"point\":\"";
   std::string line;
   while (std::getline(is, line)) {
+    // Crash-safe resume: a process killed mid-write leaves a torn final
+    // line.  Only a complete record -- one that both opens and closes its
+    // JSON object -- marks its point done; a torn line is skipped and the
+    // point re-executes on resume.
+    const std::size_t open = line.find_first_not_of(" \t\r");
+    if (open == std::string::npos || line[open] != '{') continue;
+    const std::size_t close = line.find_last_not_of(" \t\r");
+    if (line[close] != '}') continue;
     const std::size_t at = line.find(marker);
     if (at == std::string::npos) continue;
     const std::size_t start = at + marker.size();
@@ -190,7 +198,9 @@ void writeJsonlLine(std::ostream& os, const std::string& campaign,
        << ",\"max_words\":" << r.maxWords
        << ",\"corruptions\":" << r.corruptions << ",\"fingerprint\":\"0x"
        << std::hex << r.fingerprint << std::dec << "\",\"ok\":"
-       << (r.ok ? "true" : "false") << ",\"wall_ms\":" << r.wallMs << "}";
+       << (r.ok ? "true" : "false");
+  if (!r.error.empty()) line << ",\"error\":\"" << jsonEscape(r.error) << "\"";
+  line << ",\"wall_ms\":" << r.wallMs << "}";
   os << line.str() << "\n" << std::flush;
 }
 
@@ -202,6 +212,7 @@ CampaignRun runCampaign(const Campaign& c, const CampaignOptions& opts) {
   applySeedOffset(points, opts.seedOffset);
   run.points = points.size();
 
+  const bool replica = opts.worldSize > 1 && opts.rank != 0;
   std::set<std::string> done;
   if (opts.resume && !opts.jsonlPath.empty())
     done = completedPoints(opts.jsonlPath);
@@ -213,33 +224,45 @@ CampaignRun runCampaign(const Campaign& c, const CampaignOptions& opts) {
       ++run.skipped;
       continue;
     }
+    // Arena points are single-process: replicas drive only the points
+    // whose plane spans ranks, in the same relative order as rank 0
+    // (sessions are point-keyed, so the interleaved arena points on rank 0
+    // never confuse the pairing).
+    if (replica) {
+      const Params probe = p.params;
+      if (probe.str("transport", "arena") != "udp") continue;
+    }
     specs.push_back(builder.build(p.params, p.group));
     run.ran.push_back(std::move(p));
   }
 
   std::ofstream out;
   std::mutex mu;
-  if (!opts.jsonlPath.empty()) {
+  if (!opts.jsonlPath.empty() && !replica) {
     out.open(opts.jsonlPath,
              opts.resume ? std::ios::app : std::ios::trunc);
     if (!out.is_open())
       throw ScnError("cannot open JSONL output '" + opts.jsonlPath + "'");
   }
   // Stream each finished trial from its worker (one line per trial,
-  // flushed): an interrupted campaign leaves a resumable record.
+  // flushed): an interrupted campaign leaves a resumable record.  The
+  // completion hook (not observe) carries the record so a trial that
+  // degrades with a transport error still leaves its structured line.
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const Point& pt = run.ran[i];
     const std::string campaignName = c.name;
-    specs[i].observe = [&out, &mu, campaignName, &pt](
-                           const sim::Network&, const adv::Adversary*,
-                           exp::TrialResult& r) {
-      if (!out.is_open()) return;
+    specs[i].onComplete = [&out, &mu, campaignName,
+                           &pt](exp::TrialResult& r) {
+      if (!out.is_open() || !r.record) return;
       const std::lock_guard<std::mutex> lock(mu);
       writeJsonlLine(out, campaignName, pt, r);
     };
   }
 
-  exp::ExperimentDriver driver({opts.threads});
+  // Multi-process runs are lock-step: one trial at a time per rank, in
+  // expansion order, over the single-threaded process transport.
+  const int threads = opts.worldSize > 1 ? 1 : opts.threads;
+  exp::ExperimentDriver driver({threads});
   run.results = driver.runAll(specs);
   run.executed = specs.size();
   return run;

@@ -76,15 +76,23 @@ void applySeedOffset(std::vector<Point>& points, std::uint64_t offset);
 void printScenarios(std::ostream& os, const Campaign& c);
 
 struct CampaignOptions {
-  /// Trial lanes for the ExperimentDriver.
+  /// Trial lanes for the ExperimentDriver.  Forced to 1 when worldSize >
+  /// 1: the process transport is single-threaded and trials must run in
+  /// lock-step across ranks.
   int threads = 1;
   /// Added to every point's seed axis (the --seed flag); a nonzero offset
   /// changes the point ids, so offset runs never collide on resume.
   std::uint64_t seedOffset = 0;
-  /// Append-only JSONL record; empty = no file (and no resume).
+  /// Append-only JSONL record; empty = no file (and no resume).  Replica
+  /// ranks read the resume set from it but never write it.
   std::string jsonlPath;
   /// Skip points already present in jsonlPath.
   bool resume = true;
+  /// Multi-process (`--spawn`) topology: this process's rank in a world of
+  /// worldSize.  Replicas (rank != 0) run only transport=udp points --
+  /// arena points are rank 0's alone -- and record nothing.
+  int worldSize = 1;
+  int rank = 0;
 };
 
 struct CampaignRun {

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "net/transport.h"
+#include "net/udp_plane.h"
 #include "sim/network.h"
 
 namespace mobile::scn {
@@ -112,6 +114,44 @@ exp::TrialSpec TrialBuilder::build(const Params& point,
   p.set("_rounds", std::to_string(compiled.rounds));
   { const auto probe = advFactory(g, p); }
 
+  // The transport axis: which MessagePlane carries the trial.  "arena"
+  // (the default) is the in-process simulator; "udp" routes cross-rank
+  // arcs through the process transport's perfect link, with the fault
+  // axes feeding the net::LossyChannel between socket and link.  In a
+  // single-process run (no MOBILE_NET_WORLD) the udp plane degenerates to
+  // zero cross arcs and behaves exactly like arena.
+  const std::string transport = p.str("transport", "arena");
+  net::FaultSpec faults;
+  net::PerfectLinkOptions linkOpts;
+  net::UdpPlaneOptions planeOpts;
+  if (transport == "udp") {
+    faults.drop = p.real("drop", 0.0);
+    faults.reorder = p.real("reorder", 0.0);
+    faults.duplicate = p.real("dup", 0.0);
+    faults.delayUs = p.u64("delay_us", 0);
+    faults.seed = p.u64("nseed", 0);
+    linkOpts.rtoUs = p.u64("rto_us", linkOpts.rtoUs);
+    linkOpts.maxRetries =
+        static_cast<int>(p.integer("retries", linkOpts.maxRetries));
+    planeOpts.roundTimeoutUs =
+        p.u64("round_timeout_us", planeOpts.roundTimeoutUs);
+    // Session id: a 32-bit FNV-1a fold of the full point identity, so
+    // every (scenario, axes, seed) combination meets its peers under a
+    // distinct session and stragglers from other points are dropped on
+    // the floor.
+    const Params whole = point;
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char ch : whole.canonical()) {
+      h ^= static_cast<unsigned char>(ch);
+      h *= 0x100000001b3ULL;
+    }
+    planeOpts.session =
+        static_cast<std::uint32_t>(h ^ (h >> 32)) | 1u;  // never 0
+  } else if (transport != "arena") {
+    throw ScnError("unknown transport '" + transport +
+                   "' (arena, udp) in scenario '" + group + "'");
+  }
+
   const std::uint64_t seed = p.u64("seed", 1);
   for (const auto& key : p.unconsumedKeys()) {
     if (key == "_rounds") continue;
@@ -123,6 +163,14 @@ exp::TrialSpec TrialBuilder::build(const Params& point,
   spec.group = group;
   spec.seed = seed;
   spec.expect = expect;
+  if (transport == "udp") {
+    spec.net.plane = sim::PlaneKind::kUdp;
+    spec.planeFactory = [faults, linkOpts,
+                         planeOpts](const graph::Graph&) {
+      return std::make_shared<net::UdpPlane>(net::processTransport(), faults,
+                                             linkOpts, planeOpts);
+    };
+  }
   spec.graphFactory = [g] { return g; };
   const Params frozen = point;
   spec.algoFactory = [algoName, compileName,

@@ -15,7 +15,7 @@ Network::Network(const graph::Graph& g, const Algorithm& algo,
                  std::shared_ptr<adv::CorruptionLedger> ledger)
     : g_(g),
       algo_(algo),
-      opts_(opts),
+      opts_(std::move(opts)),
       seed_(seed),
       adversary_(adversary),
       ledger_(ledger ? std::move(ledger)
@@ -24,7 +24,21 @@ Network::Network(const graph::Graph& g, const Algorithm& algo,
       nodeMsgs_(static_cast<std::size_t>(g.nodeCount()), 0),
       nodeMaxWords_(static_cast<std::size_t>(g.nodeCount()), 0) {
   g_.finalize();  // lock the CSR layout before any parallel phase reads it
-  plane_.attach(g_, opts_.numShards > 0 ? opts_.numShards : opts_.numThreads);
+  if (opts_.planeImpl) {
+    plane_ = opts_.planeImpl;
+  } else if (opts_.plane != PlaneKind::kArena) {
+    throw std::logic_error(
+        "NetworkOptions: a non-arena plane requires planeImpl "
+        "(src/sim cannot construct net::UdpPlane)");
+  } else {
+    plane_ = std::make_shared<MessagePlane>();
+  }
+  plane_->attach(g_,
+                 opts_.numShards > 0 ? opts_.numShards : opts_.numThreads);
+  if (adversary_ != nullptr && plane_->partitioned())
+    throw std::logic_error(
+        "in-process adversary is incompatible with a partitioned plane "
+        "(its budget and ledger are global); use net::LossyChannel");
   if (opts_.numThreads > 1)
     pool_ = std::make_unique<util::ThreadPool>(opts_.numThreads);
   rebuildNodes();
@@ -32,9 +46,17 @@ Network::Network(const graph::Graph& g, const Algorithm& algo,
 
 Network::~Network() = default;
 
+void Network::setAdversary(adv::Adversary* adversary) {
+  if (adversary != nullptr && plane_->partitioned())
+    throw std::logic_error(
+        "in-process adversary is incompatible with a partitioned plane");
+  adversary_ = adversary;
+}
+
 void Network::rebuildNodes() {
   util::Rng master(seed_);
-  // Nodes receive independently split, private randomness streams.  On
+  // Nodes receive independently split, private randomness streams, so the
+  // stream node v observes does not depend on which engine drives it.  On
   // reset() the node objects (and the nodes_ vector) are reused in place
   // when the algorithm provides an in-place re-initializer; otherwise only
   // the vector storage survives and makeNode rebuilds each slot.
@@ -50,12 +72,16 @@ void Network::rebuildNodes() {
       continue;
     slot = algo_.makeNode(v, g_, rng);
   }
-  allDone_ = true;
-  for (const auto& node : nodes_)
-    if (!node->done()) {
-      allDone_ = false;
+  bool localDone = true;
+  for (graph::NodeId v = plane_->localNodeLo(); v < plane_->localNodeHi();
+       ++v)
+    if (!nodes_[static_cast<std::size_t>(v)]->done()) {
+      localDone = false;
       break;
     }
+  // Resolve across engines even here: every rank must agree whether the
+  // run starts at all.
+  allDone_ = plane_->resolveAllDone(localDone);
 }
 
 void Network::reset(std::uint64_t seed) {
@@ -64,7 +90,7 @@ void Network::reset(std::uint64_t seed) {
   messagesSent_ = 0;
   maxWords_ = 0;
   snapshotWords_ = 0;
-  plane_.reset();
+  plane_->reset();
   std::fill(arcTraffic_.begin(), arcTraffic_.end(), 0);
   ledger_->clear();
   rebuildNodes();
@@ -72,30 +98,39 @@ void Network::reset(std::uint64_t seed) {
 
 void Network::reset() { reset(seed_); }
 
-void Network::forEachNode(const std::function<void(graph::NodeId)>& fn) {
-  const auto n = static_cast<std::size_t>(g_.nodeCount());
+void Network::forEachLocalNode(const std::function<void(graph::NodeId)>& fn) {
+  const graph::NodeId lo = plane_->localNodeLo();
+  const auto n = static_cast<std::size_t>(plane_->localNodeHi() - lo);
   if (pool_) {
     // Chunk so a lane claims a contiguous block of nodes per atomic fetch;
     // per-node work is small, so amortize the cursor traffic.
     const std::size_t grain = std::max<std::size_t>(
         1, n / (static_cast<std::size_t>(pool_->size()) * 4));
     pool_->parallelFor(
-        n, [&](std::size_t i) { fn(static_cast<graph::NodeId>(i)); }, grain);
+        n,
+        [&](std::size_t i) {
+          fn(lo + static_cast<graph::NodeId>(i));
+        },
+        grain);
   } else {
-    for (std::size_t i = 0; i < n; ++i) fn(static_cast<graph::NodeId>(i));
+    for (std::size_t i = 0; i < n; ++i)
+      fn(lo + static_cast<graph::NodeId>(i));
   }
 }
 
 void Network::clearPhase() {
   // Per shard: epoch bump invalidates every header, slab cursors rewind in
   // place.  No frees, and after warm-up no allocations either.  Shards are
-  // independent arenas, so the clears fan out across the pool.
-  const std::size_t shards = plane_.shardCount();
+  // independent arenas, so the clears fan out across the pool.  ALL shards
+  // are cleared even on a partitioned plane -- remote arcs' headers must
+  // be invalidated before the exchange installs this round's content.
+  ShardedPlane& storage = plane_->storage();
+  const std::size_t shards = storage.shardCount();
   if (pool_ && shards > 1) {
     pool_->parallelFor(shards,
-                       [&](std::size_t s) { plane_.beginRoundShard(s); });
+                       [&](std::size_t s) { storage.beginRoundShard(s); });
   } else {
-    plane_.beginRound();
+    storage.beginRound();
   }
 }
 
@@ -108,12 +143,13 @@ void Network::sendPhase() {
   // firstArc(), all local to its shard -- and deposits its message count /
   // widest message in per-node slots that accountPhase reduces
   // sequentially.
-  forEachNode([&](graph::NodeId v) {
-    ArcOutbox out(g_, v, plane_);
+  ShardedPlane& storage = plane_->storage();
+  forEachLocalNode([&](graph::NodeId v) {
+    ArcOutbox out(g_, v, storage);
     nodes_[static_cast<std::size_t>(v)]->send(round_, out);
-    const std::size_t shard = plane_.shardOfNode(v);
-    const ArcBuffer& buf = plane_.shard(shard);
-    const graph::ArcId base = plane_.arcBase(shard);
+    const std::size_t shard = storage.shardOfNode(v);
+    const ArcBuffer& buf = storage.shard(shard);
+    const graph::ArcId base = storage.arcBase(shard);
     const auto nbs = g_.neighbors(v);
     long sent = 0;
     std::size_t widest = 0;
@@ -131,11 +167,12 @@ void Network::sendPhase() {
 }
 
 void Network::accountPhase() {
-  // O(nodes) reduction of the per-node tallies the send pass deposited.
-  // Bandwidth enforcement happens here, before the adversary acts, exactly
-  // as the per-arc scan used to.
+  // O(local nodes) reduction of the per-node tallies the send pass
+  // deposited.  Bandwidth enforcement happens here, before the adversary
+  // acts, exactly as the per-arc scan used to.
   std::size_t widest = 0;
-  for (graph::NodeId v = 0; v < g_.nodeCount(); ++v) {
+  for (graph::NodeId v = plane_->localNodeLo(); v < plane_->localNodeHi();
+       ++v) {
     messagesSent_ += nodeMsgs_[static_cast<std::size_t>(v)];
     widest = std::max(widest, nodeMaxWords_[static_cast<std::size_t>(v)]);
   }
@@ -151,7 +188,8 @@ void Network::adversaryPhase() {
   // have pre-images, and untouched arcs are unreachable from the view.
   ledger_->beginRound(round_);
   if (adversary_ == nullptr) return;
-  adv::TamperView view(g_, adversary_->spec(), round_, plane_,
+  ShardedPlane& storage = plane_->storage();
+  adv::TamperView view(g_, adversary_->spec(), round_, storage,
                        ledger_->total(), tamperScratch_);
   adversary_->act(view);
   // Ground truth: which touched edges actually changed (a rewrite that
@@ -160,9 +198,9 @@ void Network::adversaryPhase() {
   // scan (and the old std::map iteration) for deterministic record order.
   const std::uint64_t* arena = view.snapshotArena();
   for (const auto& p : view.preImages()) {
-    if (!sameContent(plane_.view(g_.arcOfEdge(p.edge, 0)), p.uvPresent,
+    if (!sameContent(storage.view(g_.arcOfEdge(p.edge, 0)), p.uvPresent,
                      arena + p.uvOff, p.uvLen) ||
-        !sameContent(plane_.view(g_.arcOfEdge(p.edge, 1)), p.vuPresent,
+        !sameContent(storage.view(g_.arcOfEdge(p.edge, 1)), p.vuPresent,
                      arena + p.vuOff, p.vuLen))
       ledger_->record(p.edge);
   }
@@ -174,13 +212,16 @@ void Network::receivePhase() {
   // per-node state.  Doneness is folded in here so run() never needs a
   // second full-graph scan.
   std::atomic<bool> allDone{true};
-  forEachNode([&](graph::NodeId v) {
-    ArcInbox in(g_, v, plane_);
+  forEachLocalNode([&](graph::NodeId v) {
+    ArcInbox in(g_, v, plane_->storage());
     NodeState& node = *nodes_[static_cast<std::size_t>(v)];
     node.receive(round_, in);
     if (!node.done()) allDone.store(false, std::memory_order_relaxed);
   });
-  allDone_ = allDone.load(std::memory_order_relaxed);
+  // The plane resolves across engines (arena: identity) so every rank
+  // stops at the same round -- called unconditionally to keep partitioned
+  // engines' barrier counts aligned.
+  allDone_ = plane_->resolveAllDone(allDone.load(std::memory_order_relaxed));
 }
 
 void Network::step() {
@@ -189,6 +230,9 @@ void Network::step() {
   sendPhase();
   accountPhase();
   adversaryPhase();
+  // Cross-engine message movement (arena: no-op).  After this, every arc a
+  // local node reads holds exactly what its sender sent this round.
+  plane_->exchange(round_);
   receivePhase();
 }
 
@@ -227,15 +271,19 @@ std::uint64_t Network::outputsFingerprint() const {
   return fingerprintOutputs(outputs());
 }
 
-long Network::maxEdgeCongestion() const {
+long maxEdgeCongestionOf(const graph::Graph& g,
+                         const std::vector<long>& arcTraffic) {
   long best = 0;
-  for (graph::EdgeId e = 0; e < g_.edgeCount(); ++e) {
-    const long t =
-        arcTraffic_[static_cast<std::size_t>(g_.arcOfEdge(e, 0))] +
-        arcTraffic_[static_cast<std::size_t>(g_.arcOfEdge(e, 1))];
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+    const long t = arcTraffic[static_cast<std::size_t>(g.arcOfEdge(e, 0))] +
+                   arcTraffic[static_cast<std::size_t>(g.arcOfEdge(e, 1))];
     best = std::max(best, t);
   }
   return best;
+}
+
+long Network::maxEdgeCongestion() const {
+  return maxEdgeCongestionOf(g_, arcTraffic_);
 }
 
 std::uint64_t faultFreeFingerprint(const graph::Graph& g,

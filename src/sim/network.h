@@ -7,14 +7,27 @@
 // touched edge's copy-on-touch pre-image and the post-adversary plane feeds
 // the CorruptionLedger).
 //
-// One round is five explicit phases (see step()): clearPhase, sendPhase,
-// accountPhase, adversaryPhase, receivePhase.  Messages live in the
-// sharded arena plane (sim/sharded_plane.h): clearPhase bumps each shard's
-// epoch (fanned out over shards), sendPhase appends into per-sender slabs
-// inside the sender's shard (and folds the bandwidth/congestion tallies
-// into the same parallel pass, deposited in per-node slots), accountPhase
-// is the O(nodes) sequential reduction of those slots, and adversaryPhase
-// diffs only the edges the TamperView touched -- O(f), not O(arcs x words).
+// One round is six explicit phases (see step()): clearPhase, sendPhase,
+// accountPhase, adversaryPhase, the plane's exchange hook, receivePhase.
+// Messages live behind a MessagePlane (sim/message_plane.h): the default
+// arena plane is the in-process sharded arena (sim/sharded_plane.h) with an
+// inert exchange, while net::UdpPlane partitions the node set over
+// processes and ships cross-range arcs over sockets between the adversary
+// and receive phases.  clearPhase bumps each shard's epoch (fanned out over
+// shards), sendPhase appends into per-sender slabs inside the sender's
+// shard (and folds the bandwidth/congestion tallies into the same parallel
+// pass, deposited in per-node slots), accountPhase is the O(local nodes)
+// sequential reduction of those slots, and adversaryPhase diffs only the
+// edges the TamperView touched -- O(f), not O(arcs x words).
+//
+// On a partitioned plane the engine drives only its local node range
+// [plane->localNodeLo(), localNodeHi()): sends, receives, and the
+// accounting tallies cover local nodes, allDone is resolved across engines
+// through the plane's round barrier, and the per-engine accounting is
+// merged post-run through MessagePlane::mergeTrial (exp::runTrial does
+// this).  The in-process scripted adversary is a global, sequential
+// contract and is rejected on a partitioned plane -- inject faults with
+// net::LossyChannel instead.
 //
 // With NetworkOptions::numThreads > 1 the send and receive phases run in
 // parallel over nodes -- sends append to the sender's own slab and write
@@ -26,13 +39,16 @@
 // touch only per-node state: algorithms built with a cross-node
 // instrumentation side channel (ByzShared, RewindShared,
 // ScheduledBroadcastShared, ExpanderPackingResult) write shared containers
-// from inside send()/receive() and must run with numThreads = 1.
-// Trial-level parallelism (exp::ExperimentDriver) is always safe -- each
-// trial owns its own side channels.
+// from inside send()/receive() and must run with numThreads = 1.  The same
+// per-node-state property is what makes an algorithm safe to partition
+// over a multi-process plane.  Trial-level parallelism
+// (exp::ExperimentDriver) is always safe -- each trial owns its own side
+// channels.
 //
 // docs/architecture.md spells out the contracts this header pins down:
 // the round schedule, the corruption ground truth, the
-// bandwidth/congestion accounting, and the threading contract.
+// bandwidth/congestion accounting, the threading contract, and (section 9)
+// the message-plane determinism contract.
 #pragma once
 
 #include <memory>
@@ -41,6 +57,7 @@
 #include "adv/adversary.h"
 #include "graph/graph.h"
 #include "sim/message.h"
+#include "sim/message_plane.h"
 #include "sim/node.h"
 #include "sim/sharded_plane.h"
 
@@ -49,6 +66,14 @@ class ThreadPool;
 }
 
 namespace mobile::sim {
+
+/// Which MessagePlane implementation carries the round's messages.
+enum class PlaneKind {
+  kArena,  ///< in-process sharded arena (the default; no planeImpl needed)
+  kUdp,    ///< multi-process UDP plane -- NetworkOptions::planeImpl must be
+           ///< set (src/sim cannot depend on src/net; build one with
+           ///< net::UdpPlane and hand it over)
+};
 
 struct NetworkOptions {
   /// Per-message word cap (base CONGEST = 1 word; compiled protocols bundle
@@ -69,6 +94,11 @@ struct NetworkOptions {
   /// an execution detail: observable results are bit-identical at every
   /// setting (pinned by tests/test_arena_determinism.cc).
   int numShards = 0;
+  /// Message-plane selection.  kUdp requires planeImpl.
+  PlaneKind plane = PlaneKind::kArena;
+  /// Externally-built plane (kUdp).  Shared: the transport session inside
+  /// may outlive any single Network (trial rewinds reuse it).
+  std::shared_ptr<MessagePlane> planeImpl;
 };
 
 class Network {
@@ -99,7 +129,8 @@ class Network {
   void reset();
 
   /// Replaces the adversary (nullptr = fault-free) from the next round on.
-  void setAdversary(adv::Adversary* adversary) { adversary_ = adversary; }
+  /// Rejected on a partitioned plane (global sequential contract).
+  void setAdversary(adv::Adversary* adversary);
 
   [[nodiscard]] NodeState& node(graph::NodeId v) {
     return *nodes_[static_cast<std::size_t>(v)];
@@ -110,17 +141,22 @@ class Network {
 
   [[nodiscard]] const graph::Graph& graph() const { return g_; }
   [[nodiscard]] int roundsExecuted() const { return round_; }
-  /// Cached conjunction of node done() flags, refreshed at construction,
-  /// reset(), and the end of every step() -- run() consults the cache
-  /// instead of rescanning the whole graph before each round.
+  /// Cached conjunction of node done() flags (plane-resolved across
+  /// engines when partitioned), refreshed at construction, reset(), and
+  /// the end of every step() -- run() consults the cache instead of
+  /// rescanning the whole graph before each round.
   [[nodiscard]] bool allDone() const { return allDone_; }
 
-  /// All node outputs, index = node id.
+  /// All node outputs, index = node id.  On a partitioned plane only the
+  /// local slice is live -- exp::runTrial merges slices across engines
+  /// through MessagePlane::mergeTrial.
   [[nodiscard]] std::vector<std::uint64_t> outputs() const;
   /// Order-stable digest of outputs for equivalence checks.
   [[nodiscard]] std::uint64_t outputsFingerprint() const;
 
   // --- accounting ---------------------------------------------------------
+  // Local-engine values; globally exact on the arena plane, per-rank
+  // slices on a partitioned plane until mergeTrial combines them.
   [[nodiscard]] long messagesSent() const { return messagesSent_; }
   [[nodiscard]] long maxEdgeCongestion() const;
   /// Widest message observed (in 64-bit words); normalized CONGEST rounds
@@ -128,9 +164,16 @@ class Network {
   [[nodiscard]] std::size_t maxWordsObserved() const { return maxWords_; }
   [[nodiscard]] const adv::CorruptionLedger& ledger() const { return *ledger_; }
 
-  /// The sharded arena message plane (tests and probes; nodes never touch
-  /// it directly).
-  [[nodiscard]] const ShardedPlane& arcs() const { return plane_; }
+  /// The sharded arena message storage (tests and probes; nodes never
+  /// touch it directly).
+  [[nodiscard]] const ShardedPlane& arcs() const { return plane_->storage(); }
+  /// The plane driving this engine (arena by default).
+  [[nodiscard]] MessagePlane& plane() { return *plane_; }
+  /// Per-out-arc traffic counts (index = CSR arc id; local senders only on
+  /// a partitioned plane).
+  [[nodiscard]] const std::vector<long>& arcTraffic() const {
+    return arcTraffic_;
+  }
   /// Cumulative words materialized by the adversary's copy-on-touch
   /// snapshots -- the O(touched edges) ledger-cost contract is asserted
   /// against this (see tests/test_arena_determinism.cc).
@@ -140,18 +183,20 @@ class Network {
 
  private:
   void step();
-  // The five phases of one round, in order.  clear/account/adversary are
-  // sequential; send/receive parallelize over nodes when numThreads > 1
-  // (send also deposits per-node bandwidth tallies that accountPhase
-  // reduces).
+  // The phases of one round, in order.  clear/account/adversary are
+  // sequential; send/receive parallelize over (local) nodes when
+  // numThreads > 1 (send also deposits per-node bandwidth tallies that
+  // accountPhase reduces); the plane's exchange hook runs between
+  // adversary and receive.
   void clearPhase();
   void sendPhase();
   void accountPhase();
   void adversaryPhase();
   void receivePhase();
 
-  /// Runs fn(v) for every node, on the pool when one is configured.
-  void forEachNode(const std::function<void(graph::NodeId)>& fn);
+  /// Runs fn(v) for every locally-driven node, on the pool when one is
+  /// configured.
+  void forEachLocalNode(const std::function<void(graph::NodeId)>& fn);
   void rebuildNodes();
 
   const graph::Graph& g_;
@@ -162,7 +207,7 @@ class Network {
   std::shared_ptr<adv::CorruptionLedger> ledger_;
   std::unique_ptr<util::ThreadPool> pool_;  // only when numThreads > 1
   std::vector<std::unique_ptr<NodeState>> nodes_;
-  ShardedPlane plane_;
+  std::shared_ptr<MessagePlane> plane_;
   std::vector<long> arcTraffic_;  // per out-arc, written by its sender only
   // Per-node send tallies deposited by the parallel send pass and reduced
   // sequentially in accountPhase (index = node id, valid for one round).
@@ -184,6 +229,12 @@ class Network {
 /// an expected output vector without running a reference network.
 [[nodiscard]] std::uint64_t fingerprintOutputs(
     const std::vector<std::uint64_t>& outputs);
+
+/// Max over edges of the two directed arcs' summed traffic --
+/// Network::maxEdgeCongestion() over its own counts, exposed so the trial
+/// layer can recompute congestion from plane-merged traffic vectors.
+[[nodiscard]] long maxEdgeCongestionOf(const graph::Graph& g,
+                                       const std::vector<long>& arcTraffic);
 
 /// Runs `algo` fault-free on `g` for its declared round count and returns
 /// the outputs fingerprint -- the reference for compiled-equivalence tests.

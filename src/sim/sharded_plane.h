@@ -128,6 +128,17 @@ class ShardedPlane {
     shards_[s]->erase(a - arcLo_[s]);
   }
 
+  /// Installs a message received from a remote engine (net::UdpPlane's
+  /// exchange phase) as arc `a`'s content for the current round.  Lands in
+  /// the owning shard's adversary slab -- safe because a partitioned plane
+  /// forbids the in-process adversary, and the exchange phase is a single
+  /// sequential writer per engine.
+  void putRemote(graph::ArcId a, const std::uint64_t* words,
+                 std::size_t len) {
+    const std::size_t s = shardOfArc(a);
+    shards_[s]->put(shards_[s]->adversarySlab(), a - arcLo_[s], words, len);
+  }
+
   // --- introspection ------------------------------------------------------
   [[nodiscard]] std::size_t capacityWords() const {
     std::size_t c = 0;

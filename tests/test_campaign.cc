@@ -10,6 +10,7 @@
 
 #include "exp/experiment.h"
 #include "scn/campaign.h"
+#include "sim/message_plane.h"
 
 using namespace mobile;
 
@@ -162,6 +163,61 @@ TEST(CampaignRun, ResumeSkipsCompletedPoints) {
   const scn::CampaignRun redo = scn::runCampaign(c, fresh);
   EXPECT_EQ(redo.executed, 4u);
   std::remove(opts.jsonlPath.c_str());
+}
+
+TEST(CampaignRun, TornFinalLineReexecutesItsPoint) {
+  const scn::Campaign c = scn::parseCampaignText(kSmallCampaign);
+  scn::CampaignOptions opts;
+  opts.jsonlPath = tempPath("campaign_torn.jsonl");
+  std::remove(opts.jsonlPath.c_str());
+  (void)scn::runCampaign(c, opts);
+
+  // Simulate a crash mid-write: the final record is cut in half, no
+  // trailing newline -- exactly what a killed process leaves behind.
+  std::vector<std::string> lines;
+  {
+    std::ifstream is(opts.jsonlPath);
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  {
+    std::ofstream os(opts.jsonlPath, std::ios::trunc);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) os << lines[i] << "\n";
+    os << lines.back().substr(0, lines.back().size() / 2);  // torn, no '\n'
+  }
+
+  // The torn line must not count as completed: its point re-executes, and
+  // afterwards the record is whole again.
+  EXPECT_EQ(scn::completedPoints(opts.jsonlPath).size(), 3u);
+  const scn::CampaignRun resumed = scn::runCampaign(c, opts);
+  EXPECT_EQ(resumed.skipped, 3u);
+  EXPECT_EQ(resumed.executed, 1u);
+  EXPECT_EQ(scn::completedPoints(opts.jsonlPath).size(), 4u);
+  std::remove(opts.jsonlPath.c_str());
+}
+
+TEST(CampaignRun, PlaneErrorDegradesToStructuredResult) {
+  // A transport failure anywhere in a trial must become a structured
+  // record -- ok=false plus the error text -- and still fire the
+  // completion hook that carries the campaign JSONL, so the sweep's
+  // record shows the degradation instead of missing a line.
+  exp::TrialSpec spec;
+  spec.group = "boom";
+  spec.seed = 11;
+  spec.graphFactory = []() -> graph::Graph {
+    throw sim::PlaneError("perfect link: retry budget exhausted (test)");
+  };
+  bool completed = false;
+  spec.onComplete = [&completed](exp::TrialResult& r) {
+    completed = true;
+    EXPECT_FALSE(r.ok);
+  };
+  const exp::TrialResult r = exp::runTrial(spec);
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "perfect link: retry budget exhausted (test)");
+  EXPECT_EQ(r.seed, 11u);
 }
 
 TEST(CampaignRun, SeedOffsetMakesDistinctPoints) {
