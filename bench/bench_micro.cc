@@ -27,6 +27,7 @@
 #include "graph/generators.h"
 #include "graph/tree_packing.h"
 #include "hash/cwise.h"
+#include "obs/obs.h"
 #include "sim/network.h"
 #include "sketch/l0sampler.h"
 #include "sketch/sparse_recovery.h"
@@ -289,6 +290,25 @@ static void BM_RoundThroughput_MST(benchmark::State& state) {
   runRoundLoop(state, net, a.rounds);
 }
 BENCHMARK(BM_RoundThroughput_MST)->Arg(16)->Arg(32);
+
+static void BM_RoundThroughput_MST_ObsEnabled(benchmark::State& state) {
+  // The instrumented engine path (obs::enabled() == true, metrics live,
+  // no tracer): reads against BM_RoundThroughput_MST to quantify
+  // stepObserved()'s per-phase timing + registry deposits.  The
+  // bytes_per_round counter must stay 0 -- registry lanes are pre-sized
+  // and the corruption ledger is sparse.  With the obs build OFF,
+  // setEnabled is a no-op and this measures the same loop as plain MST.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::clique(n);
+  const sim::Algorithm a = algo::makeBoruvkaMst(g);
+  sim::Network net(g, a, 1);
+  obs::setEnabled(true);
+  net.runExact(1);  // metric ids register on the first observed round
+  net.reset();
+  runRoundLoop(state, net, a.rounds);
+  obs::setEnabled(false);
+}
+BENCHMARK(BM_RoundThroughput_MST_ObsEnabled)->Arg(16)->Arg(32);
 
 static void BM_RoundThroughput_SecureBroadcast(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));

@@ -1,26 +1,43 @@
 #!/usr/bin/env bash
 # CI gate for the declarative campaign runner: runs campaigns/smoke.campaign
-# under mc_campaign, then re-runs it against its own output and asserts the
-# resume pass performs ZERO new trials -- the append-only JSONL record is
-# the contract that makes interrupted sweeps restartable.
+# under mc_campaign with --trace, validates the Chrome trace via
+# tools/trace_report.py, then re-runs the campaign against its own output
+# and asserts the resume pass performs ZERO new trials -- the append-only
+# JSONL record is the contract that makes interrupted sweeps restartable.
 #
-#   scripts/campaign_smoke.sh [build-dir] [output-jsonl]
+#   scripts/campaign_smoke.sh [build-dir] [output-jsonl] [output-trace]
 #
-# The resulting CAMPAIGN_smoke.jsonl is uploaded by CI next to
-# BENCH_smoke.json.
+# The resulting CAMPAIGN_smoke.jsonl and TRACE_smoke.json are uploaded by
+# CI next to BENCH_smoke.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 OUT_JSONL="${2:-$BUILD_DIR/CAMPAIGN_smoke.jsonl}"
+OUT_TRACE="${3:-$BUILD_DIR/TRACE_smoke.json}"
 RUNNER="$BUILD_DIR/mc_campaign"
 
 [ -x "$RUNNER" ] || { echo "$RUNNER not built" >&2; exit 1; }
 
-rm -f "$OUT_JSONL"
+rm -f "$OUT_JSONL" "$OUT_TRACE"
 
-echo "=== campaign smoke: first run (fresh record)"
-"$RUNNER" --out "$OUT_JSONL" campaigns/smoke.campaign
+echo "=== campaign smoke: first run (fresh record, traced)"
+"$RUNNER" --out "$OUT_JSONL" --trace "$OUT_TRACE" campaigns/smoke.campaign
+
+# Structural per-trial surfaces: present in every build, obs or not.
+grep -q '"wall_ms"' "$OUT_JSONL"
+grep -q '"peak_rss_kb"' "$OUT_JSONL"
+
+echo "=== campaign smoke: trace validation (tools/trace_report.py)"
+# With obs compiled out (-DMOBILE_CONGEST_OBS=OFF) --trace is a no-op and
+# writes nothing; only validate a trace that exists.
+if [ -s "$OUT_TRACE" ]; then
+  python3 tools/trace_report.py "$OUT_TRACE"
+  # The traced run must also have recorded the per-trial phase timings.
+  grep -q '"obs"' "$OUT_JSONL"
+else
+  echo "(no trace written -- obs compiled out; skipping trace gate)"
+fi
 
 echo "=== campaign smoke: second run (must resume to a no-op)"
 second=$("$RUNNER" --out "$OUT_JSONL" campaigns/smoke.campaign)

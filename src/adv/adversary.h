@@ -23,11 +23,13 @@
 // and pre-image snapshots are (offset, len) slices of one shared word
 // arena.  The CorruptionLedger stays the ground truth used by accounting,
 // tests, and the ContractEngine ideal functionality (see DESIGN.md); it
-// stores its history as one CSR (entries + per-round starts) so recording
-// a corruption never allocates after warm-up.  docs/architecture.md
-// section 2 describes the contract.
+// stores its history sparsely (edges tagged with their round) so a
+// fault-free round costs nothing and recording a corruption never
+// allocates after warm-up.  docs/architecture.md section 2 describes the
+// contract.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <set>
@@ -69,36 +71,43 @@ struct ViewRecord {
 };
 
 /// Ground truth of byzantine interference, filled by the Network.
-/// History is one CSR -- `entries_` concatenates every recorded edge in
-/// round order, `starts_` marks where each round begins -- so beginRound()
-/// and record() never allocate once capacity has warmed up.
+/// History is sparse: `entries_` concatenates every recorded edge in
+/// round order and `entryRound_` tags each with its 0-based round index,
+/// so a round that records nothing costs nothing -- beginRound() is a
+/// counter bump (never allocates; fault-free steady-state rounds stay
+/// heap-silent, pinned by the test_obs probe) and record() only pays the
+/// amortized growth of the actual corruption history.
 class CorruptionLedger {
  public:
   void beginRound(int round) {
     round_ = round;
-    starts_.push_back(entries_.size());
+    ++roundsBegun_;
   }
   void record(EdgeId e) {
     entries_.push_back(e);
+    entryRound_.push_back(
+        roundsBegun_ == 0 ? 0 : static_cast<int>(roundsBegun_) - 1);
     ++total_;
   }
   [[nodiscard]] long total() const { return total_; }
 
   /// Number of rounds begun so far.
-  [[nodiscard]] std::size_t rounds() const { return starts_.size(); }
+  [[nodiscard]] std::size_t rounds() const { return roundsBegun_; }
   /// Edges recorded in round index `i` (0-based; round i+1 of the run).
+  /// Entries land in round order, so the round's block is contiguous.
   [[nodiscard]] std::span<const EdgeId> roundEntries(std::size_t i) const {
-    const std::size_t lo = starts_[i];
-    const std::size_t hi =
-        i + 1 < starts_.size() ? starts_[i + 1] : entries_.size();
-    return {entries_.data() + lo, hi - lo};
+    const int r = static_cast<int>(i);
+    const auto lo = std::lower_bound(entryRound_.begin(), entryRound_.end(), r);
+    const auto hi = std::upper_bound(lo, entryRound_.end(), r);
+    return {entries_.data() + (lo - entryRound_.begin()),
+            static_cast<std::size_t>(hi - lo)};
   }
   /// Per-round view of the whole history (tests and probes; a vector of
   /// spans over the CSR, not a copy of the entries).
   [[nodiscard]] std::vector<std::span<const EdgeId>> byRound() const {
     std::vector<std::span<const EdgeId>> out;
-    out.reserve(starts_.size());
-    for (std::size_t i = 0; i < starts_.size(); ++i)
+    out.reserve(roundsBegun_);
+    for (std::size_t i = 0; i < roundsBegun_; ++i)
       out.push_back(roundEntries(i));
     return out;
   }
@@ -114,15 +123,17 @@ class CorruptionLedger {
   void clear() {
     round_ = 0;
     total_ = 0;
+    roundsBegun_ = 0;
     entries_.clear();
-    starts_.clear();
+    entryRound_.clear();
   }
 
  private:
   int round_ = 0;
   long total_ = 0;
+  std::size_t roundsBegun_ = 0;
   std::vector<EdgeId> entries_;
-  std::vector<std::size_t> starts_;
+  std::vector<int> entryRound_;  // parallel to entries_; 0-based, ascending
 };
 
 /// Reusable per-round state for a TamperView.  The Network owns one and

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace mobile::exp {
@@ -22,7 +23,9 @@ namespace {
                "  --csv PATH    write raw per-trial records as CSV\n"
                "  --seed N      base seed offset for the sweeps (default 0)\n"
                "  --list        print the scenario/registry names this "
-               "binary exposes\n",
+               "binary exposes\n"
+               "  --trace PATH  write a Chrome trace (spans + metrics) to "
+               "PATH at exit\n",
                argv0);
   std::exit(code);
 }
@@ -65,6 +68,8 @@ BenchArgs parseBenchArgs(int& argc, char** argv, bool allowUnknown) {
                                 0);
     } else if (std::strcmp(a, "--list") == 0) {
       args.list = true;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      args.tracePath = takeValue(argc, argv, i, "--trace");
     } else if (allowUnknown) {
       argv[out++] = argv[i];  // keep for the wrapped arg parser
     } else {
@@ -75,6 +80,7 @@ BenchArgs parseBenchArgs(int& argc, char** argv, bool allowUnknown) {
   argc = out;
   argv[argc] = nullptr;
   if (args.threads <= 0) args.threads = util::ThreadPool::hardwareThreads();
+  if (!args.tracePath.empty()) obs::enableTracingToFile(args.tracePath);
   return args;
 }
 

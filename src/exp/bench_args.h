@@ -12,6 +12,10 @@
 //   --list           print the scenario/registry names the binary exposes
 //                    and exit (scenario-ported benches list their scn
 //                    registry scenarios; mc_campaign lists all registries)
+//   --trace PATH     enable observability and write a Chrome trace-event
+//                    JSON (spans + metrics snapshot) to PATH at exit; a
+//                    note is printed and the flag ignored when obs is
+//                    compiled out (-DMOBILE_CONGEST_OBS=OFF)
 // Recognized flags are consumed (argc/argv are compacted) so wrappers like
 // bench_micro can forward the remainder to Google Benchmark.
 #pragma once
@@ -39,6 +43,9 @@ struct BenchArgs {
   /// --list: the binary should print its scenario / registry catalog and
   /// exit instead of running.
   bool list = false;
+  /// --trace: Chrome trace output path.  parseBenchArgs already armed
+  /// obs::enableTracingToFile with it; kept here for reporting.
+  std::string tracePath;
 };
 
 /// Parses and REMOVES recognized flags from argc/argv.  Prints usage and

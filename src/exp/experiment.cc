@@ -1,17 +1,34 @@
 #include "exp/experiment.h"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <ostream>
 #include <sstream>
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace mobile::exp {
 
+namespace {
+
+/// Process peak RSS in KB (getrusage; Linux reports ru_maxrss in KB).
+long peakRssKb() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return ru.ru_maxrss;
+}
+
+}  // namespace
+
 TrialResult runTrial(const TrialSpec& spec) {
   const auto t0 = std::chrono::steady_clock::now();
+  const obs::TraceArg trialArgs[] = {
+      {"seed", static_cast<std::int64_t>(spec.seed)}};
+  const obs::Span span("exp", "trial", trialArgs, 1);
 
   TrialResult r;
   r.group = spec.group;
@@ -47,6 +64,7 @@ TrialResult runTrial(const TrialSpec& spec) {
     merge.maxWords = net.maxWordsObserved();
     merge.corruptions = net.ledger().total();
     r.record = net.plane().mergeTrial(merge);
+    r.transport = merge.transport;
     r.maxWords = merge.maxWords;
     r.normalizedRounds =
         static_cast<long>(r.rounds) * static_cast<long>(std::max<std::size_t>(
@@ -56,6 +74,14 @@ TrialResult runTrial(const TrialSpec& spec) {
     r.corruptions = merge.corruptions;
     r.fingerprint = sim::fingerprintOutputs(merge.outputs);
     r.ok = !spec.expect || r.fingerprint == *spec.expect;
+    if (obs::enabled()) {
+      // Per-trial metric snapshot: the engine's phase wall-time split rides
+      // TrialResult::extra into the campaign JSONL line.
+      const auto& ms = net.phaseMillis();
+      for (std::size_t i = 0; i < sim::Network::kPhaseCount; ++i)
+        r.extra[std::string("t_") + sim::Network::kPhaseNames[i] + "_ms"] =
+            ms[i];
+    }
     if (spec.observe) spec.observe(net, adversary.get(), r);
   } catch (const sim::PlaneError& e) {
     r.ok = false;
@@ -63,6 +89,7 @@ TrialResult runTrial(const TrialSpec& spec) {
   }
   const auto t1 = std::chrono::steady_clock::now();
   r.wallMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.peakRssKb = peakRssKb();
   if (spec.onComplete) spec.onComplete(r);
   return r;
 }

@@ -104,7 +104,18 @@ struct TrialResult {
   /// was shipped to the owning rank and this result must not be recorded.
   bool record = true;
   double wallMs = 0.0;
-  /// Bench-specific metrics deposited by TrialSpec::observe.
+  /// Process peak resident set (KB, getrusage ru_maxrss) sampled when the
+  /// trial finished -- a process-lifetime high-water mark recorded per
+  /// trial so campaign JSONL charts the sweep's memory trajectory.
+  long peakRssKb = 0;
+  /// World-summed transport tallies from the message plane's merge
+  /// (perfect-link retransmit/dedup, lossy injections, barrier wait).
+  /// present only on a real multi-process plane; structural -- carried
+  /// even when obs is compiled out.
+  sim::TransportStats transport;
+  /// Bench-specific metrics deposited by TrialSpec::observe, plus -- when
+  /// obs::enabled() -- the engine's per-phase wall-time split
+  /// ("t_<phase>_ms", see sim::Network::phaseMillis()).
   std::map<std::string, double> extra;
 };
 

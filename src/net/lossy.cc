@@ -1,6 +1,19 @@
 #include "net/lossy.h"
 
+#include "obs/obs.h"
+
 namespace mobile::net {
+
+namespace {
+/// One instant event per fault injection (trace timeline only; the
+/// per-trial counts travel through sim::TransportStats regardless of obs).
+void traceInjection(const char* what, int peer, std::size_t len) {
+  if (!obs::tracing()) return;
+  const obs::TraceArg args[] = {{"peer", peer},
+                                {"bytes", static_cast<std::int64_t>(len)}};
+  obs::tracer().instant("net", what, args, 2);
+}
+}  // namespace
 
 namespace {
 // Holdback for a reordered datagram: long enough that datagrams sent
@@ -37,16 +50,19 @@ void LossyChannel::sendTo(int peer, const std::uint8_t* data,
   pump();
   if (rng_.chance(spec_.drop)) {
     ++dropped_;
+    traceInjection("drop", peer, len);
     return;
   }
   const std::uint64_t now = clock_.nowUs();
   std::uint64_t dueUs = now + spec_.delayUs;
   if (rng_.chance(spec_.reorder)) {
     ++reordered_;
+    traceInjection("reorder", peer, len);
     dueUs += kReorderHoldUs;
   }
   if (rng_.chance(spec_.duplicate)) {
     ++duplicated_;
+    traceInjection("duplicate", peer, len);
     hold(peer, data, len, dueUs);
   }
   if (dueUs <= now) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/obs.h"
+
 namespace mobile::net {
 
 PerfectLink::PerfectLink(DatagramSocket& socket, int rank, int world,
@@ -198,6 +200,12 @@ std::uint64_t PerfectLink::retransmitDue() {
                        ", " + std::to_string(out.retries) + " retransmits)");
       ++out.retries;
       ++retransmits_;
+      if (obs::tracing()) {
+        const obs::TraceArg args[] = {
+            {"peer", peer}, {"seq", static_cast<std::int64_t>(seq)},
+            {"retry", out.retries}};
+        obs::tracer().instant("net", "retransmit", args, 3);
+      }
       out.backoffUs = std::min(out.backoffUs * 2, opts_.rtoMaxUs);
       out.dueUs = now + out.backoffUs;
       socket_.sendTo(peer, out.packet.data(), out.packet.size());

@@ -44,6 +44,10 @@ class Transport {
                     const PerfectLinkOptions& linkOpts);
 
   [[nodiscard]] PerfectLink& link() { return *link_; }
+  /// The current session's fault injector, or nullptr when the session is
+  /// clean (pass-through).  Counters on it are per-trial: beginSession
+  /// rebuilds the channel.
+  [[nodiscard]] const LossyChannel* lossy() const { return channel_.get(); }
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int world() const { return world_; }
   [[nodiscard]] Clock& clock() { return clock_; }
@@ -54,7 +58,7 @@ class Transport {
   class Routed;
 
   std::unique_ptr<DatagramSocket> raw_;
-  std::unique_ptr<DatagramSocket> channel_;  // raw_ or LossyChannel over it
+  std::unique_ptr<LossyChannel> channel_;  // non-null only on faulty sessions
   std::unique_ptr<Routed> routed_;
   std::unique_ptr<PerfectLink> link_;
   int rank_;

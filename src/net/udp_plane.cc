@@ -5,10 +5,54 @@
 #include <string>
 
 #include "net/wire.h"
+#include "obs/obs.h"
 
 namespace mobile::net {
 
 namespace {
+
+/// Net metric ids (registered at first fold; process-cumulative totals --
+/// the per-trial values travel through sim::TransportStats instead).
+struct NetMetricIds {
+  obs::CounterId segments;
+  obs::CounterId retransmits;
+  obs::CounterId dupsDropped;
+  obs::CounterId lossyDropped;
+  obs::CounterId lossyDuplicated;
+  obs::CounterId lossyReordered;
+  obs::CounterId barrierWaitUs;
+};
+
+const NetMetricIds& netMetricIds() {
+  static const NetMetricIds ids = [] {
+    NetMetricIds m;
+    obs::Registry& r = obs::registry();
+    m.segments = r.counter("net.segments_sent");
+    m.retransmits = r.counter("net.retransmits");
+    m.dupsDropped = r.counter("net.dups_dropped");
+    m.lossyDropped = r.counter("net.lossy_dropped");
+    m.lossyDuplicated = r.counter("net.lossy_duplicated");
+    m.lossyReordered = r.counter("net.lossy_reordered");
+    m.barrierWaitUs = r.counter("net.barrier_wait_us");
+    return m;
+  }();
+  return ids;
+}
+
+/// Folds one trial's local tallies into the process registry (per-rank:
+/// each rank's trace carries its own totals).
+void foldTransportStats(const sim::TransportStats& t) {
+  if (!obs::enabled()) return;
+  const NetMetricIds& m = netMetricIds();
+  obs::Registry& r = obs::registry();
+  r.add(m.segments, t.segmentsSent);
+  r.add(m.retransmits, t.retransmits);
+  r.add(m.dupsDropped, t.dupsDropped);
+  r.add(m.lossyDropped, t.lossyDropped);
+  r.add(m.lossyDuplicated, t.lossyDuplicated);
+  r.add(m.lossyReordered, t.lossyReordered);
+  r.add(m.barrierWaitUs, t.barrierWaitUs);
+}
 
 // Frame kinds (first payload byte; tag = next 4 bytes LE).
 constexpr std::uint8_t kKindRound = 1;
@@ -78,6 +122,7 @@ UdpPlane::UdpPlane(Transport* transport, FaultSpec faults,
 void UdpPlane::attach(const graph::Graph& g, int shardCount) {
   MessagePlane::attach(g, shardCount);
   g_ = &g;
+  barrierWaitUs_ = 0;
   if (!multi()) return;
   transport_->beginSession(opts_.session, faults_, linkOpts_);
   const int world = transport_->world();
@@ -109,8 +154,13 @@ void UdpPlane::expectMessage(int peer, std::uint8_t kind, std::uint32_t tag,
   PerfectLink& link = transport_->link();
   Clock& clock = transport_->clock();
   const std::uint64_t deadline = clock.nowUs() + opts_.roundTimeoutUs;
+  // Barrier-wait accounting starts only once the first poll misses, so the
+  // already-arrived fast path never reads the clock an extra time.
+  bool waited = false;
+  std::uint64_t waitStartUs = 0;
   for (;;) {
     if (link.poll(peer, frame)) {
+      if (waited) barrierWaitUs_ += clock.nowUs() - waitStartUs;
       if (frame.size() < 5)
         throw NetError("udp plane: runt frame from rank " +
                        std::to_string(peer));
@@ -123,6 +173,10 @@ void UdpPlane::expectMessage(int peer, std::uint8_t kind, std::uint32_t tag,
       return;
     }
     const std::uint64_t now = clock.nowUs();
+    if (!waited) {
+      waited = true;
+      waitStartUs = now;
+    }
     if (now >= deadline)
       throw NetError("udp plane: timed out waiting for rank " +
                      std::to_string(peer) + " (kind " + std::to_string(kind) +
@@ -139,6 +193,8 @@ void UdpPlane::exchange(int round) {
   const int rank = transport_->rank();
   const auto tag = static_cast<std::uint32_t>(round);
   const sim::ShardedPlane& storage = this->storage();
+  const obs::TraceArg roundArg[] = {{"round", round}};
+  const obs::Span span("net", "exchange", roundArg, 1);
 
   // Send every peer its round message first (sends only block when a
   // window fills, and even then keep pumping acks/data), then collect:
@@ -208,8 +264,28 @@ bool UdpPlane::resolveAllDone(bool localAllDone) {
   return all;
 }
 
+sim::TransportStats UdpPlane::localTransportStats() const {
+  sim::TransportStats t;
+  t.present = true;
+  const PerfectLink& link = transport_->link();
+  t.segmentsSent = link.segmentsSent();
+  t.retransmits = link.retransmits();
+  t.dupsDropped = link.duplicatesDropped();
+  if (const LossyChannel* lc = transport_->lossy()) {
+    t.lossyDropped = lc->dropped();
+    t.lossyDuplicated = lc->duplicated();
+    t.lossyReordered = lc->reordered();
+  }
+  t.barrierWaitUs = barrierWaitUs_;
+  return t;
+}
+
 bool UdpPlane::mergeTrial(sim::TrialMerge& m) {
   if (!multi()) return true;
+  // Snapshot before the merge traffic below perturbs the link counters,
+  // and fold this rank's share into its own process registry.
+  const sim::TransportStats local = localTransportStats();
+  foldTransportStats(local);
   PerfectLink& link = transport_->link();
   Clock& clock = transport_->clock();
   const int world = transport_->world();
@@ -236,6 +312,15 @@ bool UdpPlane::mergeTrial(sim::TrialMerge& m) {
     appendU64(sendBuf_, static_cast<std::uint64_t>(m.messages));
     appendU64(sendBuf_, static_cast<std::uint64_t>(m.maxWords));
     appendU64(sendBuf_, static_cast<std::uint64_t>(m.corruptions));
+    // Transport tallies ride the same merge frame so rank 0's JSONL line
+    // reports world-summed values.
+    appendU64(sendBuf_, local.segmentsSent);
+    appendU64(sendBuf_, local.retransmits);
+    appendU64(sendBuf_, local.dupsDropped);
+    appendU64(sendBuf_, local.lossyDropped);
+    appendU64(sendBuf_, local.lossyDuplicated);
+    appendU64(sendBuf_, local.lossyReordered);
+    appendU64(sendBuf_, local.barrierWaitUs);
     link.send(0, sendBuf_.data(), sendBuf_.size());
     // The fin both releases this replica and proves rank 0 needs nothing
     // more from this session.
@@ -243,6 +328,7 @@ bool UdpPlane::mergeTrial(sim::TrialMerge& m) {
     link.flushInflight(clock.nowUs() + 1'000'000);
     return false;
   }
+  m.transport = local;  // rank 0's own share; replica shares sum in below
   for (int peer = 1; peer < world; ++peer) {
     const auto [lo, hi, arcLo, arcHi] = sliceOf(peer);
     expectMessage(peer, kKindMerge, 0, recvFrame_);
@@ -255,6 +341,13 @@ bool UdpPlane::mergeTrial(sim::TrialMerge& m) {
     m.messages += static_cast<long>(r.u64());
     m.maxWords = std::max(m.maxWords, static_cast<std::size_t>(r.u64()));
     m.corruptions += static_cast<long>(r.u64());
+    m.transport.segmentsSent += r.u64();
+    m.transport.retransmits += r.u64();
+    m.transport.dupsDropped += r.u64();
+    m.transport.lossyDropped += r.u64();
+    m.transport.lossyDuplicated += r.u64();
+    m.transport.lossyReordered += r.u64();
+    m.transport.barrierWaitUs += r.u64();
   }
   for (int peer = 1; peer < world; ++peer) {
     std::uint8_t fin[5];

@@ -78,8 +78,12 @@ class UdpPlane final : public sim::MessagePlane {
   /// Blocks (pumping the link) until the next frame from `peer` arrives;
   /// verifies it is (kind, tag) and returns its payload view inside
   /// `frame`.  Throws NetError on timeout, desync, or link failure.
+  /// Time spent blocked (first poll missed) accrues to barrierWaitUs_.
   void expectMessage(int peer, std::uint8_t kind, std::uint32_t tag,
                      std::vector<std::uint8_t>& frame);
+  /// This rank's transport tallies for the current session (perfect-link
+  /// counters, lossy injections, accumulated barrier wait).
+  [[nodiscard]] sim::TransportStats localTransportStats() const;
 
   Transport* transport_;
   FaultSpec faults_;
@@ -89,6 +93,9 @@ class UdpPlane final : public sim::MessagePlane {
   /// crossOut_[peer]: local-tail, peer-head arcs in CSR order.
   std::vector<std::vector<graph::ArcId>> crossOut_;
   std::uint32_t doneSeq_ = 0;
+  /// Cumulative wall time this rank spent blocked in expectMessage (round
+  /// barrier + merge waits) this session; reset by attach().
+  std::uint64_t barrierWaitUs_ = 0;
   std::vector<std::uint8_t> sendBuf_;
   std::vector<std::uint8_t> recvFrame_;
   std::vector<std::uint64_t> wordScratch_;

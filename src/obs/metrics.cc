@@ -1,0 +1,108 @@
+#include "obs/metrics.h"
+
+#include <stdexcept>
+
+namespace mobile::obs {
+
+namespace detail {
+
+std::uint32_t currentThreadIndex() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace detail
+
+Registry::Registry()
+    : counters_(kLanes * kMaxCounters),
+      gauges_(kMaxGauges),
+      hist_(kLanes * kMaxHistograms * kHistSlots) {}
+
+std::uint32_t Registry::registerEntry(const std::string& name, char kind,
+                                      std::size_t capacity,
+                                      std::uint32_t& next) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    if (e.name != name) continue;
+    if (e.kind != kind)
+      throw std::logic_error("obs: metric '" + name +
+                             "' already registered with a different kind");
+    return e.idx;
+  }
+  if (next >= capacity)
+    throw std::length_error("obs: metric capacity exhausted registering '" +
+                            name + "'");
+  Entry e;
+  e.name = name;
+  e.kind = kind;
+  e.idx = next++;
+  entries_.push_back(std::move(e));
+  return entries_.back().idx;
+}
+
+CounterId Registry::counter(const std::string& name) {
+  return {registerEntry(name, 'c', kMaxCounters, nextCounter_)};
+}
+
+GaugeId Registry::gauge(const std::string& name) {
+  return {registerEntry(name, 'g', kMaxGauges, nextGauge_)};
+}
+
+HistogramId Registry::histogram(const std::string& name) {
+  return {registerEntry(name, 'h', kMaxHistograms, nextHistogram_)};
+}
+
+std::uint64_t Registry::counterValue(CounterId id) const {
+  std::uint64_t total = 0;
+  for (std::size_t l = 0; l < kLanes; ++l)
+    total += counters_[l * kMaxCounters + id.idx].load(
+        std::memory_order_relaxed);
+  return total;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  for (const Entry& e : entries_) {
+    MetricValue v;
+    v.name = e.name;
+    if (e.kind == 'c') {
+      for (std::size_t l = 0; l < kLanes; ++l)
+        v.value += counters_[l * kMaxCounters + e.idx].load(
+            std::memory_order_relaxed);
+      snap.counters.push_back(std::move(v));
+    } else if (e.kind == 'g') {
+      v.value = gauges_[e.idx].load(std::memory_order_relaxed);
+      snap.gauges.push_back(std::move(v));
+    } else {
+      std::size_t top = 0;
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const std::size_t base = (l * kMaxHistograms + e.idx) * kHistSlots;
+        for (std::size_t b = 0; b < kHistBuckets; ++b) {
+          const std::uint64_t c =
+              hist_[base + b].load(std::memory_order_relaxed);
+          if (c != 0 && b > top) top = b;
+        }
+        v.value += hist_[base + kHistBuckets].load(std::memory_order_relaxed);
+        v.sum +=
+            hist_[base + kHistBuckets + 1].load(std::memory_order_relaxed);
+      }
+      // Upper edge of the highest non-empty bucket: bucket b holds values
+      // with bit_width == b, so the edge is 2^b - 1 (bucket 0 holds only 0).
+      v.max = top == 0 ? 0 : (top >= 64 ? UINT64_MAX : (1ull << top) - 1);
+      snap.histograms.push_back(std::move(v));
+    }
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& s : counters_) s.store(0, std::memory_order_relaxed);
+  for (auto& s : gauges_) s.store(0, std::memory_order_relaxed);
+  for (auto& s : hist_) s.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mobile::obs

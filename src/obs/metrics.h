@@ -1,0 +1,158 @@
+// The sharded metrics registry: counters, gauges, and power-of-two
+// histograms with per-thread lane slots.
+//
+// Layout.  A Registry owns a fixed-capacity slot matrix allocated once at
+// construction: kLanes cache-line-independent lanes, each holding one
+// relaxed-atomic slot per registered metric (histograms get kHistBuckets
+// bucket slots plus a count and a sum per lane).  A recording thread
+// writes lane `currentLane() & (kLanes - 1)` -- a thread-local index drawn
+// once per thread from a global counter -- so with up to kLanes concurrent
+// writers every thread owns its lane outright and a relaxed fetch_add is
+// uncontended; beyond that threads share lanes and the relaxed atomic
+// keeps the count exact anyway.  The hot path therefore costs one
+// predictable branch (the caller's enabled() gate), one TLS read, and one
+// relaxed RMW -- no locks, no allocation, ever.
+//
+// Folding.  Lane slots are *write-only* during a run; snapshot() folds the
+// lanes into per-metric totals under the registration mutex.  The trial
+// and campaign layers snapshot at round/trial boundaries (the natural
+// quiescent points); tests/test_obs.cc pins fold correctness under
+// concurrent hammering.
+//
+// Registration (counter()/gauge()/histogram()) is the slow path: mutex +
+// name map, meant for function-local statics at first use.  Capacity is
+// fixed (kMaxCounters/kMaxGauges/kMaxHistograms); exceeding it throws --
+// metrics are a small, curated vocabulary, not a dumping ground.
+//
+// The registry is instantiable (tests own private ones); the process-wide
+// instance every instrumented layer shares lives behind obs::registry()
+// (obs/obs.h), which also owns the master runtime gate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mobile::obs {
+
+namespace detail {
+/// Global thread-index source for lane selection (shared by every Registry
+/// and by the Tracer's thread ids): the first metric touch on a thread
+/// pins its index for the thread's lifetime.
+[[nodiscard]] std::uint32_t currentThreadIndex();
+}  // namespace detail
+
+struct CounterId {
+  std::uint32_t idx = UINT32_MAX;
+  [[nodiscard]] bool valid() const { return idx != UINT32_MAX; }
+};
+struct GaugeId {
+  std::uint32_t idx = UINT32_MAX;
+  [[nodiscard]] bool valid() const { return idx != UINT32_MAX; }
+};
+struct HistogramId {
+  std::uint32_t idx = UINT32_MAX;
+  [[nodiscard]] bool valid() const { return idx != UINT32_MAX; }
+};
+
+/// One folded metric value (snapshot output).
+struct MetricValue {
+  std::string name;
+  std::uint64_t value = 0;  // counter total / gauge value / histogram count
+  // Histogram-only extras (zero for counters/gauges).
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;  // upper edge of the highest non-empty bucket
+};
+
+struct RegistrySnapshot {
+  std::vector<MetricValue> counters;
+  std::vector<MetricValue> gauges;
+  std::vector<MetricValue> histograms;
+};
+
+class Registry {
+ public:
+  static constexpr std::size_t kLanes = 16;  // power of two
+  static constexpr std::size_t kMaxCounters = 256;
+  static constexpr std::size_t kMaxGauges = 64;
+  static constexpr std::size_t kMaxHistograms = 32;
+  /// Bucket b of a histogram holds observations v with bit_width(v) == b
+  /// (bucket 0 is v == 0), i.e. [2^(b-1), 2^b).
+  static constexpr std::size_t kHistBuckets = 64;
+
+  Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers (or finds) a metric by name.  Slow path: mutex + map; call
+  /// once and cache the id (function-local static at the use site).
+  /// Throws std::length_error past the fixed capacity, std::logic_error
+  /// when the name is already registered with a different kind.
+  [[nodiscard]] CounterId counter(const std::string& name);
+  [[nodiscard]] GaugeId gauge(const std::string& name);
+  [[nodiscard]] HistogramId histogram(const std::string& name);
+
+  // --- hot path: no locks, no allocation ---------------------------------
+  void add(CounterId id, std::uint64_t n) {
+    counters_[lane() * kMaxCounters + id.idx].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  /// Gauges are last-write-wins instantaneous values (sequential writers).
+  void set(GaugeId id, std::uint64_t v) {
+    gauges_[id.idx].store(v, std::memory_order_relaxed);
+  }
+  void observe(HistogramId id, std::uint64_t v) {
+    const std::size_t bucket = bucketOf(v);
+    const std::size_t base = (lane() * kMaxHistograms + id.idx) * kHistSlots;
+    hist_[base + bucket].fetch_add(1, std::memory_order_relaxed);
+    hist_[base + kHistBuckets].fetch_add(1, std::memory_order_relaxed);
+    hist_[base + kHistBuckets + 1].fetch_add(v, std::memory_order_relaxed);
+  }
+
+  // --- fold (quiescent or approximate under concurrent writers) ----------
+  [[nodiscard]] std::uint64_t counterValue(CounterId id) const;
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+  /// Zeroes every slot; registered metrics keep their ids.
+  void reset();
+
+  [[nodiscard]] static std::size_t bucketOf(std::uint64_t v) {
+    std::size_t b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b;
+  }
+
+ private:
+  // count + sum ride after the buckets in each per-lane histogram block.
+  static constexpr std::size_t kHistSlots = kHistBuckets + 2;
+
+  [[nodiscard]] static std::size_t lane() {
+    return detail::currentThreadIndex() & (kLanes - 1);
+  }
+
+  struct Entry {
+    std::string name;
+    std::uint32_t idx = 0;
+    char kind = 'c';
+  };
+  [[nodiscard]] std::uint32_t registerEntry(const std::string& name,
+                                            char kind, std::size_t capacity,
+                                            std::uint32_t& next);
+
+  // Fixed-capacity slot storage, allocated once at construction.
+  std::vector<std::atomic<std::uint64_t>> counters_;  // kLanes x kMaxCounters
+  std::vector<std::atomic<std::uint64_t>> gauges_;    // kMaxGauges
+  std::vector<std::atomic<std::uint64_t>> hist_;  // kLanes x kMaxHists x slots
+
+  mutable std::mutex mu_;  // registration + fold
+  std::vector<Entry> entries_;
+  std::uint32_t nextCounter_ = 0;
+  std::uint32_t nextGauge_ = 0;
+  std::uint32_t nextHistogram_ = 0;
+};
+
+}  // namespace mobile::obs

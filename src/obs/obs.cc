@@ -1,0 +1,98 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace mobile::obs {
+
+#if defined(MOBILE_CONGEST_OBS_BUILD)
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void setEnabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+#endif
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: alive through atexit flush
+  return *r;
+}
+
+Tracer& tracer() {
+  static Tracer* t = new Tracer();
+  return *t;
+}
+
+namespace {
+std::mutex g_traceFileMu;
+std::string g_traceFilePath;  // guarded by g_traceFileMu
+
+std::string rankSuffixed(const std::string& path) {
+  const char* rank = std::getenv("MOBILE_NET_RANK");
+  if (rank == nullptr || *rank == '\0' || std::atoi(rank) == 0) return path;
+  return path + ".rank" + rank;
+}
+
+#if defined(MOBILE_CONGEST_OBS_BUILD)
+// Only the obs build registers this hook (enableTracingToFile's live
+// branch); compiling it out keeps the no-obs build -Werror clean.
+void atexitFlush() {
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(g_traceFileMu);
+    path.swap(g_traceFilePath);
+  }
+  if (path.empty()) return;
+  if (!writeTraceFile(path))
+    std::fprintf(stderr, "obs: cannot write trace '%s'\n", path.c_str());
+}
+#endif
+}  // namespace
+
+void cancelTraceFile() {
+  const std::lock_guard<std::mutex> lock(g_traceFileMu);
+  g_traceFilePath.clear();
+}
+
+bool writeTraceFile(const std::string& path) {
+  const std::string target = rankSuffixed(path);
+  std::ofstream os(target);
+  if (!os.is_open()) return false;
+  tracer().writeChromeTrace(os, &registry());
+  os.flush();
+  if (os.fail()) return false;
+  const std::uint64_t dropped = tracer().dropped();
+  if (dropped != 0)
+    std::fprintf(stderr,
+                 "obs: trace buffer overflowed, %llu event(s) dropped "
+                 "(recorded in '%s' as droppedEvents)\n",
+                 static_cast<unsigned long long>(dropped), target.c_str());
+  return true;
+}
+
+void enableTracingToFile(const std::string& path,
+                         std::size_t capacityEvents) {
+#if defined(MOBILE_CONGEST_OBS_BUILD)
+  bool registerHook = false;
+  {
+    const std::lock_guard<std::mutex> lock(g_traceFileMu);
+    registerHook = g_traceFilePath.empty();
+    g_traceFilePath = path;
+  }
+  tracer().start(capacityEvents);
+  setEnabled(true);
+  if (registerHook) std::atexit(atexitFlush);
+#else
+  (void)capacityEvents;
+  std::fprintf(stderr,
+               "obs: compiled out (-DMOBILE_CONGEST_OBS=OFF); --trace '%s' "
+               "ignored\n",
+               path.c_str());
+#endif
+}
+
+}  // namespace mobile::obs

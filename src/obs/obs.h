@@ -1,0 +1,132 @@
+// The observability umbrella: compile gate, runtime gate, process-wide
+// registry/tracer, and the Span RAII every instrumented layer uses.
+//
+// Gating contract (docs/architecture.md section 10):
+//
+//   * Compile time.  The CMake option MOBILE_CONGEST_OBS (default ON)
+//     defines MOBILE_CONGEST_OBS_BUILD.  With the option OFF, enabled()
+//     is `constexpr false`, so every `if (obs::enabled())` hook in the
+//     engine and net layers is dead code the compiler deletes -- the
+//     instrumentation is *removed*, not skipped.  The Registry/Tracer
+//     classes themselves still build (they are plain data structures with
+//     their own unit tests); only the hooks vanish.
+//
+//   * Run time.  With the option ON, enabled() is one relaxed atomic load
+//     -- the off path through any instrumented hot loop is exactly one
+//     predictable branch.  setEnabled(true) turns on metric recording and
+//     per-phase timing; tracing additionally requires tracer().start()
+//     (or enableTracingToFile()), so "metrics on, trace off" never pays
+//     event-buffer writes.
+//
+//   * Determinism.  Nothing behind these gates touches RNG streams,
+//     message bytes, or schedules: goldens are byte-identical with obs
+//     on, off, and compiled out (tests/test_obs.cc).
+//
+//   * Allocation.  Hot-path recording never allocates: registry slots are
+//     pre-sized, the trace buffer is pre-allocated by start() and drops
+//     (counting) when full.  Pinned by the test_obs heap-hook probe.
+//
+// enableTracingToFile(path) is the shared `--trace out.json` backend
+// (exp::parseBenchArgs wires the flag for every bench and mc_campaign):
+// it enables obs, starts the global tracer, and registers an atexit flush
+// that writes the Chrome trace JSON -- suffixed ".rank<r>" on nonzero
+// MOBILE_NET_RANK so a --spawn fleet never clobbers one file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mobile::obs {
+
+#if defined(MOBILE_CONGEST_OBS_BUILD)
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Master runtime gate: ONE relaxed load.  Every instrumentation hook is
+/// `if (obs::enabled()) ...` -- the off path is a single branch.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void setEnabled(bool on);
+#else
+/// Compiled out: constexpr false, every hook is dead code.
+[[nodiscard]] constexpr bool enabled() { return false; }
+inline void setEnabled(bool) {}
+#endif
+
+/// The process-wide metrics registry shared by the engine, net, and trial
+/// layers.  Always constructible (so ids can be registered eagerly); the
+/// hooks that *record* into it are gated by enabled().
+[[nodiscard]] Registry& registry();
+
+/// The process-wide tracer.  Inactive until start()/enableTracingToFile().
+[[nodiscard]] Tracer& tracer();
+
+/// True when span/instant emission would actually record something.
+[[nodiscard]] inline bool tracing() { return enabled() && tracer().active(); }
+
+/// Default event capacity for enableTracingToFile (1M events, ~64 MB).
+inline constexpr std::size_t kDefaultTraceEvents = 1u << 20;
+
+/// Enables obs, starts the global tracer with `capacityEvents` slots, and
+/// registers an atexit hook writing the Chrome trace (plus the registry
+/// snapshot) to `path` (".rank<r>" appended for nonzero MOBILE_NET_RANK).
+/// No-op (with a stderr note) when obs is compiled out.
+void enableTracingToFile(const std::string& path,
+                         std::size_t capacityEvents = kDefaultTraceEvents);
+
+/// Writes the global tracer + registry snapshot to `path` now (the atexit
+/// hook calls this; tests may call it directly).  Returns false on I/O
+/// failure.
+bool writeTraceFile(const std::string& path);
+
+/// Cancels the pending atexit trace write (the path set by
+/// enableTracingToFile).  A fork-based spawn coordinator calls this after
+/// reaping its rank workers: the workers inherited the armed flush and
+/// wrote their own files, and the parent's empty trace must not clobber
+/// rank 0's.
+void cancelTraceFile();
+
+/// RAII complete-event span over the global tracer.  Construction costs
+/// one enabled() branch; when tracing, the destructor emits one 'X' event
+/// carrying the args given at construction.  Name/cat/arg-names must be
+/// string literals.
+class Span {
+ public:
+  Span(const char* cat, const char* name) {
+    if (tracing()) open(cat, name, nullptr, 0);
+  }
+  Span(const char* cat, const char* name, const TraceArg* args,
+       std::uint32_t argCount) {
+    if (tracing()) open(cat, name, args, argCount);
+  }
+  ~Span() {
+    if (name_ != nullptr)
+      tracer().complete(cat_, name_, t0_, tracer().nowUs() - t0_, args_,
+                        argCount_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void open(const char* cat, const char* name, const TraceArg* args,
+            std::uint32_t argCount) {
+    cat_ = cat;
+    name_ = name;
+    argCount_ = std::min(argCount, TraceEvent::kMaxArgs);
+    for (std::uint32_t i = 0; i < argCount_; ++i) args_[i] = args[i];
+    t0_ = tracer().nowUs();
+  }
+
+  const char* cat_ = nullptr;
+  const char* name_ = nullptr;  // nullptr = inactive span
+  std::uint64_t t0_ = 0;
+  std::uint32_t argCount_ = 0;
+  TraceArg args_[TraceEvent::kMaxArgs];
+};
+
+}  // namespace mobile::obs

@@ -1,0 +1,143 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <ostream>
+
+namespace mobile::obs {
+
+namespace {
+
+std::uint64_t steadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void writeEscaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
+  }
+}
+
+}  // namespace
+
+void Tracer::start(std::size_t capacityEvents) {
+  stop();
+  events_.assign(capacityEvents, TraceEvent{});
+  size_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  epochNs_ = steadyNowNs();
+  active_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { active_.store(false, std::memory_order_release); }
+
+std::uint64_t Tracer::nowUs() const {
+  return (steadyNowNs() - epochNs_) / 1'000;
+}
+
+void Tracer::emit(const TraceEvent& e) {
+  // Claim a slot; past capacity the event is dropped and counted (the
+  // buffer never grows -- see the header's drop policy).
+  const std::size_t slot = size_.fetch_add(1, std::memory_order_acq_rel);
+  if (slot >= events_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_[slot] = e;
+}
+
+void Tracer::complete(const char* cat, const char* name, std::uint64_t tsUs,
+                      std::uint64_t durUs, const TraceArg* args,
+                      std::uint32_t argCount) {
+  if (!active()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.tid = detail::currentThreadIndex();
+  e.tsUs = tsUs;
+  e.durUs = durUs;
+  e.argCount = std::min(argCount, TraceEvent::kMaxArgs);
+  for (std::uint32_t i = 0; i < e.argCount; ++i) e.args[i] = args[i];
+  emit(e);
+}
+
+void Tracer::instant(const char* cat, const char* name, const TraceArg* args,
+                     std::uint32_t argCount) {
+  if (!active()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.tid = detail::currentThreadIndex();
+  e.tsUs = nowUs();
+  e.argCount = std::min(argCount, TraceEvent::kMaxArgs);
+  for (std::uint32_t i = 0; i < e.argCount; ++i) e.args[i] = args[i];
+  emit(e);
+}
+
+void Tracer::writeChromeTrace(std::ostream& os,
+                              const Registry* metrics) const {
+  const auto pid = static_cast<long>(::getpid());
+  os << "{\"traceEvents\":[";
+  const std::size_t n = recorded();
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[i];
+    if (i != 0) os << ",";
+    os << "\n{\"name\":\"";
+    writeEscaped(os, e.name);
+    os << "\",\"cat\":\"";
+    writeEscaped(os, e.cat);
+    os << "\",\"ph\":\"" << e.ph << "\",\"pid\":" << pid
+       << ",\"tid\":" << e.tid << ",\"ts\":" << e.tsUs;
+    if (e.ph == 'X') os << ",\"dur\":" << e.durUs;
+    if (e.ph == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+    if (e.argCount > 0) {
+      os << ",\"args\":{";
+      for (std::uint32_t a = 0; a < e.argCount; ++a) {
+        if (a != 0) os << ",";
+        os << "\"";
+        writeEscaped(os, e.args[a].name);
+        os << "\":" << e.args[a].value;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"droppedEvents\":" << dropped();
+  if (metrics != nullptr) {
+    const RegistrySnapshot snap = metrics->snapshot();
+    os << ",\"metrics\":{\"counters\":{";
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "\"";
+      writeEscaped(os, snap.counters[i].name.c_str());
+      os << "\":" << snap.counters[i].value;
+    }
+    os << "},\"gauges\":{";
+    for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "\"";
+      writeEscaped(os, snap.gauges[i].name.c_str());
+      os << "\":" << snap.gauges[i].value;
+    }
+    os << "},\"histograms\":{";
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+      const MetricValue& h = snap.histograms[i];
+      if (i != 0) os << ",";
+      os << "\"";
+      writeEscaped(os, h.name.c_str());
+      os << "\":{\"count\":" << h.value << ",\"sum\":" << h.sum
+         << ",\"max\":" << h.max << "}";
+    }
+    os << "}}";
+  }
+  os << "}\n";
+}
+
+}  // namespace mobile::obs

@@ -1,0 +1,106 @@
+// Hierarchical span tracing with Chrome trace-event JSON export.
+//
+// A Tracer is a fixed-capacity, lock-free event buffer.  start(capacity)
+// allocates the whole buffer up front; emitting an event is one relaxed
+// fetch_add to claim a slot plus plain stores into it -- no locks, no
+// allocation, ever.  When the buffer fills, further events are *dropped
+// and counted* (never reallocated): the zero-allocation steady state the
+// engine's heap-hook probes pin always wins over trace completeness, and
+// both the JSON export and tools/trace_report.py surface the dropped
+// count so truncation is never silent.
+//
+// Event names and categories must be string literals (the buffer stores
+// the pointers); dynamic context travels through up to kMaxArgs named
+// integer args per event.  Durations use the 'X' (complete) Chrome phase
+// -- one event per finished span, emitted by the Span destructor in
+// obs/obs.h -- and point events use 'i' (instant).  Timestamps are
+// microseconds on std::chrono::steady_clock since the tracer's epoch
+// (start() time), thread ids are the obs lane source, and pid is the OS
+// process id so multi-rank traces can be distinguished after a merge.
+//
+// writeChromeTrace emits the JSON object form
+//   {"traceEvents": [...], "displayTimeUnit": "ms",
+//    "metrics": {...registry snapshot...}, "droppedEvents": N}
+// which chrome://tracing / Perfetto load directly (unknown top-level keys
+// are ignored there; trace_report.py reads them).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mobile::obs {
+
+/// One named integer argument on a trace event.  `name` must be a string
+/// literal (or otherwise outlive the tracer).
+struct TraceArg {
+  const char* name = nullptr;
+  std::int64_t value = 0;
+};
+
+struct TraceEvent {
+  const char* name = nullptr;  // string literal
+  const char* cat = nullptr;   // string literal
+  char ph = 'X';               // 'X' complete, 'i' instant
+  std::uint32_t tid = 0;
+  std::uint64_t tsUs = 0;   // microseconds since tracer epoch
+  std::uint64_t durUs = 0;  // 'X' only
+  std::uint32_t argCount = 0;
+  static constexpr std::uint32_t kMaxArgs = 4;
+  TraceArg args[kMaxArgs];
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Allocates a fresh buffer of `capacityEvents` slots, resets the epoch
+  /// and drop count, and activates the tracer.  The ONLY allocating call.
+  void start(std::size_t capacityEvents);
+  /// Deactivates (events already recorded stay readable until start()).
+  void stop();
+  [[nodiscard]] bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the tracer epoch (monotonic).
+  [[nodiscard]] std::uint64_t nowUs() const;
+
+  /// Emits a finished span [tsUs, tsUs + durUs).  No-op when inactive.
+  void complete(const char* cat, const char* name, std::uint64_t tsUs,
+                std::uint64_t durUs, const TraceArg* args = nullptr,
+                std::uint32_t argCount = 0);
+  /// Emits a point event at now().  No-op when inactive.
+  void instant(const char* cat, const char* name,
+               const TraceArg* args = nullptr, std::uint32_t argCount = 0);
+
+  [[nodiscard]] std::size_t recorded() const {
+    return std::min<std::size_t>(size_.load(std::memory_order_acquire),
+                                 events_.size());
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Chrome trace-event JSON (object form).  `metrics`, when non-null, is
+  /// folded into a "metrics" top-level key.  Call from a quiescent point
+  /// (emitters joined or finished).
+  void writeChromeTrace(std::ostream& os, const Registry* metrics) const;
+
+ private:
+  void emit(const TraceEvent& e);
+
+  std::atomic<bool> active_{false};
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::uint64_t epochNs_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mobile::obs

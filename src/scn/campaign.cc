@@ -4,6 +4,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace mobile::scn {
 
 namespace {
@@ -200,7 +202,32 @@ void writeJsonlLine(std::ostream& os, const std::string& campaign,
        << std::hex << r.fingerprint << std::dec << "\",\"ok\":"
        << (r.ok ? "true" : "false");
   if (!r.error.empty()) line << ",\"error\":\"" << jsonEscape(r.error) << "\"";
-  line << ",\"wall_ms\":" << r.wallMs << "}";
+  line << ",\"wall_ms\":" << r.wallMs << ",\"peak_rss_kb\":" << r.peakRssKb;
+  if (r.transport.present) {
+    // World-summed transport tallies from the plane merge -- structural,
+    // carried regardless of the obs build.
+    const sim::TransportStats& t = r.transport;
+    line << ",\"net\":{\"segments_sent\":" << t.segmentsSent
+         << ",\"retransmits\":" << t.retransmits
+         << ",\"dups_dropped\":" << t.dupsDropped
+         << ",\"lossy_dropped\":" << t.lossyDropped
+         << ",\"lossy_duplicated\":" << t.lossyDuplicated
+         << ",\"lossy_reordered\":" << t.lossyReordered
+         << ",\"barrier_wait_us\":" << t.barrierWaitUs << "}";
+  }
+  if (!r.extra.empty()) {
+    // Per-trial metric snapshot (engine phase split when obs is enabled,
+    // plus any observe-hook deposits).
+    line << ",\"obs\":{";
+    bool first = true;
+    for (const auto& [k, v] : r.extra) {
+      if (!first) line << ",";
+      first = false;
+      line << "\"" << jsonEscape(k) << "\":" << v;
+    }
+    line << "}";
+  }
+  line << "}";
   os << line.str() << "\n" << std::flush;
 }
 
@@ -263,7 +290,12 @@ CampaignRun runCampaign(const Campaign& c, const CampaignOptions& opts) {
   // expansion order, over the single-threaded process transport.
   const int threads = opts.worldSize > 1 ? 1 : opts.threads;
   exp::ExperimentDriver driver({threads});
-  run.results = driver.runAll(specs);
+  {
+    const obs::TraceArg campaignArgs[] = {
+        {"points", static_cast<std::int64_t>(specs.size())}};
+    const obs::Span span("exp", "campaign", campaignArgs, 1);
+    run.results = driver.runAll(specs);
+  }
   run.executed = specs.size();
   return run;
 }

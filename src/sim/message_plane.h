@@ -49,6 +49,22 @@ class PlaneError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Per-trial transport tallies, filled by planes that actually move bytes
+/// (net::UdpPlane sums them across ranks in mergeTrial; the arena plane
+/// leaves `present` false).  Structural -- NOT part of the obs build: the
+/// perfect-link and lossy counters exist regardless, so campaign JSONL
+/// lines carry them even with -DMOBILE_CONGEST_OBS=OFF.
+struct TransportStats {
+  bool present = false;
+  std::uint64_t segmentsSent = 0;     ///< perfect-link DATA segments sent
+  std::uint64_t retransmits = 0;      ///< timer-driven resends
+  std::uint64_t dupsDropped = 0;      ///< receiver-side dedup hits
+  std::uint64_t lossyDropped = 0;     ///< LossyChannel drop injections
+  std::uint64_t lossyDuplicated = 0;  ///< LossyChannel duplicate injections
+  std::uint64_t lossyReordered = 0;   ///< LossyChannel reorder injections
+  std::uint64_t barrierWaitUs = 0;    ///< round-barrier wait (summed, us)
+};
+
 /// Per-engine trial accounting handed to MessagePlane::mergeTrial.  The
 /// caller fills every field from its own run (vectors full-length, with
 /// only the locally-driven slices meaningful); the plane merges the other
@@ -62,6 +78,8 @@ struct TrialMerge {
   long messages = 0;
   std::size_t maxWords = 0;
   long corruptions = 0;
+  /// Filled by the plane itself during the merge (callers leave default).
+  TransportStats transport;
 };
 
 /// Base class AND the in-process arena implementation: storage plus inert

@@ -3,11 +3,44 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace mobile::sim {
+
+const std::array<const char*, Network::kPhaseCount> Network::kPhaseNames = {
+    "clear", "send", "account", "adversary", "exchange", "receive"};
+
+namespace {
+
+/// Engine metric ids, registered once at first observed use (the slow
+/// registration path never runs on the obs-off path).
+struct EngineMetricIds {
+  obs::CounterId rounds;
+  obs::CounterId messages;
+  obs::CounterId sendWords;
+  obs::CounterId corruptions;
+  obs::HistogramId msgWords;
+};
+
+const EngineMetricIds& engineMetricIds() {
+  static const EngineMetricIds ids = [] {
+    EngineMetricIds m;
+    obs::Registry& r = obs::registry();
+    m.rounds = r.counter("engine.rounds");
+    m.messages = r.counter("engine.messages");
+    m.sendWords = r.counter("engine.send_words");
+    m.corruptions = r.counter("adv.corruptions");
+    m.msgWords = r.histogram("engine.msg_words");
+    return m;
+  }();
+  return ids;
+}
+
+}  // namespace
 
 Network::Network(const graph::Graph& g, const Algorithm& algo,
                  std::uint64_t seed, adv::Adversary* adversary,
@@ -22,7 +55,8 @@ Network::Network(const graph::Graph& g, const Algorithm& algo,
                      : std::make_shared<adv::CorruptionLedger>()),
       arcTraffic_(static_cast<std::size_t>(g.arcCount()), 0),
       nodeMsgs_(static_cast<std::size_t>(g.nodeCount()), 0),
-      nodeMaxWords_(static_cast<std::size_t>(g.nodeCount()), 0) {
+      nodeMaxWords_(static_cast<std::size_t>(g.nodeCount()), 0),
+      nodeWords_(static_cast<std::size_t>(g.nodeCount()), 0) {
   g_.finalize();  // lock the CSR layout before any parallel phase reads it
   if (opts_.planeImpl) {
     plane_ = opts_.planeImpl;
@@ -92,6 +126,7 @@ void Network::reset(std::uint64_t seed) {
   snapshotWords_ = 0;
   plane_->reset();
   std::fill(arcTraffic_.begin(), arcTraffic_.end(), 0);
+  phaseMs_.fill(0.0);
   ledger_->clear();
   rebuildNodes();
 }
@@ -153,16 +188,25 @@ void Network::sendPhase() {
     const auto nbs = g_.neighbors(v);
     long sent = 0;
     std::size_t widest = 0;
+    std::size_t wordSum = 0;
     for (std::size_t i = 0; i < nbs.size(); ++i) {
       const graph::ArcId a = nbs.firstArc() + static_cast<graph::ArcId>(i);
       const graph::ArcId local = a - base;
       if (!buf.present(local)) continue;
+      const std::size_t sz = buf.size(local);
       ++sent;
-      widest = std::max(widest, buf.size(local));
+      widest = std::max(widest, sz);
+      wordSum += sz;
       ++arcTraffic_[static_cast<std::size_t>(a)];
     }
     nodeMsgs_[static_cast<std::size_t>(v)] = sent;
     nodeMaxWords_[static_cast<std::size_t>(v)] = widest;
+    // No obs hooks in this lambda, by measurement: even a dead
+    // `if (obs::enabled())` branch here bloats the closure enough to cost
+    // double-digit percent on the MST round-throughput probe.  The word
+    // tally rides the existing per-node deposit slots instead, and
+    // accountPhase folds it into the registry off the parallel path.
+    nodeWords_[static_cast<std::size_t>(v)] = wordSum;
   });
 }
 
@@ -179,6 +223,30 @@ void Network::accountPhase() {
   if (widest > opts_.maxWordsPerMsg)
     throw std::logic_error("message exceeds bandwidth cap");
   maxWords_ = std::max(maxWords_, widest);
+  if (obs::enabled()) accountObserved();
+}
+
+void Network::accountObserved() {
+  // Sequential second scan of the per-node deposit slots: registry
+  // traffic stays out of the parallel send lambda (see sendPhase) and --
+  // because this body is outlined and cold -- out of accountPhase's fast
+  // path when obs is disabled or compiled out.
+  const EngineMetricIds& m = engineMetricIds();
+  obs::Registry& reg = obs::registry();
+  std::uint64_t msgs = 0;
+  std::uint64_t words = 0;
+  for (graph::NodeId v = plane_->localNodeLo(); v < plane_->localNodeHi();
+       ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    if (nodeMsgs_[i] == 0) continue;
+    msgs += static_cast<std::uint64_t>(nodeMsgs_[i]);
+    words += nodeWords_[i];
+    reg.observe(m.msgWords, nodeMaxWords_[i]);
+  }
+  if (msgs != 0) {
+    reg.add(m.messages, msgs);
+    reg.add(m.sendWords, words);
+  }
 }
 
 void Network::adversaryPhase() {
@@ -197,13 +265,32 @@ void Network::adversaryPhase() {
   // preImages() is sorted ascending by edge, matching the old full-plane
   // scan (and the old std::map iteration) for deterministic record order.
   const std::uint64_t* arena = view.snapshotArena();
+  const bool obsOn = obs::enabled();
+  const bool obsTracing = obs::tracing();
+  std::uint64_t corrupted = 0;
   for (const auto& p : view.preImages()) {
     if (!sameContent(storage.view(g_.arcOfEdge(p.edge, 0)), p.uvPresent,
                      arena + p.uvOff, p.uvLen) ||
         !sameContent(storage.view(g_.arcOfEdge(p.edge, 1)), p.vuPresent,
-                     arena + p.vuOff, p.vuLen))
+                     arena + p.vuOff, p.vuLen)) {
       ledger_->record(p.edge);
+      ++corrupted;
+      if (obsTracing) {
+        // Adversary event trace: one instant per corrupted edge, fed from
+        // the same diff that feeds the CorruptionLedger, with the pre-image
+        // footprint (words snapshotted for this edge) as context.
+        const graph::Edge& ed = g_.edge(p.edge);
+        const obs::TraceArg args[] = {
+            {"edge", static_cast<std::int64_t>(p.edge)},
+            {"u", static_cast<std::int64_t>(ed.u)},
+            {"v", static_cast<std::int64_t>(ed.v)},
+            {"pre_words", static_cast<std::int64_t>(p.uvLen + p.vuLen)}};
+        obs::tracer().instant("adv", "corrupt", args, 4);
+      }
+    }
   }
+  if (obsOn && corrupted != 0)
+    obs::registry().add(engineMetricIds().corruptions, corrupted);
   snapshotWords_ += view.snapshotWordsCopied();
 }
 
@@ -226,6 +313,13 @@ void Network::receivePhase() {
 
 void Network::step() {
   ++round_;
+  if (obs::enabled()) {
+    // One relaxed load + branch decides the whole round: the fast path
+    // below carries zero instrumentation (and with the obs build OFF the
+    // branch itself folds away).
+    stepObserved();
+    return;
+  }
   clearPhase();
   sendPhase();
   accountPhase();
@@ -234,6 +328,32 @@ void Network::step() {
   // local node reads holds exactly what its sender sent this round.
   plane_->exchange(round_);
   receivePhase();
+}
+
+void Network::stepObserved() {
+  obs::registry().add(engineMetricIds().rounds, 1);
+  const obs::TraceArg roundArg[] = {{"round", round_}};
+  const obs::Span roundSpan("engine", "round", roundArg, 1);
+  std::size_t idx = 0;
+  // Wall time per phase accumulates whenever obs is enabled; the nested
+  // Span additionally lands a per-phase 'X' event when a tracer is live.
+  const auto timed = [&](const char* name, auto&& phase) {
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      const obs::Span s("engine", name, roundArg, 1);
+      phase();
+    }
+    phaseMs_[idx++] +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  };
+  timed("clear", [&] { clearPhase(); });
+  timed("send", [&] { sendPhase(); });
+  timed("account", [&] { accountPhase(); });
+  timed("adversary", [&] { adversaryPhase(); });
+  timed("exchange", [&] { plane_->exchange(round_); });
+  timed("receive", [&] { receivePhase(); });
 }
 
 int Network::run(int maxRounds) {

@@ -51,6 +51,7 @@
 // the message-plane determinism contract.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -181,8 +182,31 @@ class Network {
     return snapshotWords_;
   }
 
+  // --- observability ------------------------------------------------------
+  /// Phase order of step(); index space of phaseMillis()/kPhaseNames.
+  static constexpr std::size_t kPhaseCount = 6;
+  /// "clear", "send", "account", "adversary", "exchange", "receive".
+  static const std::array<const char*, kPhaseCount> kPhaseNames;
+  /// Accumulated wall time per phase (ms) since construction/reset().
+  /// Recorded only while obs::enabled() -- all zeros otherwise (step()
+  /// takes an untimed fast path; see stepObserved()).
+  [[nodiscard]] const std::array<double, kPhaseCount>& phaseMillis() const {
+    return phaseMs_;
+  }
+
  private:
   void step();
+  /// step() with per-phase timing, round/phase trace spans, adversary
+  /// corruption instants, and registry tallies.  Taken only when
+  /// obs::enabled(); emits nothing that feeds back into the run --
+  /// goldens stay byte-identical (tests/test_obs.cc).  Kept out of line
+  /// and cold so its span/timing machinery never degrades the untimed
+  /// step() fast path's code layout (measured: letting the optimizer
+  /// merge the two paths costs >20% on the MST round-throughput probe).
+  [[gnu::noinline, gnu::cold]] void stepObserved();
+  /// The obs-enabled tail of accountPhase (registry fold of the per-node
+  /// deposit slots); outlined and cold for the same reason.
+  [[gnu::noinline, gnu::cold]] void accountObserved();
   // The phases of one round, in order.  clear/account/adversary are
   // sequential; send/receive parallelize over (local) nodes when
   // numThreads > 1 (send also deposits per-node bandwidth tallies that
@@ -213,6 +237,7 @@ class Network {
   // sequentially in accountPhase (index = node id, valid for one round).
   std::vector<long> nodeMsgs_;
   std::vector<std::size_t> nodeMaxWords_;
+  std::vector<std::size_t> nodeWords_;  // total words sent, same contract
   // Per-round adversary arena (touched set + copy-on-touch snapshots),
   // rewound in place by each round's TamperView -- steady state allocates
   // nothing.
@@ -220,6 +245,7 @@ class Network {
   long messagesSent_ = 0;
   std::size_t maxWords_ = 0;
   std::uint64_t snapshotWords_ = 0;
+  std::array<double, kPhaseCount> phaseMs_{};  // obs-only; zero otherwise
   int round_ = 0;
   bool allDone_ = false;
 };

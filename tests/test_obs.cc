@@ -1,0 +1,381 @@
+// The observability layer's acceptance gates (ISSUE 9).
+//
+// Pinned here:
+//   * determinism -- the golden rows from test_arena_determinism.cc
+//     reproduce bit-for-bit with obs enabled (metrics + live tracer) and
+//     disabled, at every (numThreads, numShards) pair in {1, 2, 8}^2.
+//     When the obs build is OFF, setEnabled is a no-op and the "enabled"
+//     runs exercise the compiled-out path, so the same test covers all
+//     three states the ISSUE names (on, off, compiled out);
+//   * the zero-allocation hot path -- this binary replaces global operator
+//     new/delete with counting hooks (its own copy; bench_micro carries an
+//     identical pair) and asserts bytes/round == 0 in steady state with
+//     metrics enabled and the tracer live;
+//   * registry fold correctness under concurrent multi-thread hammering;
+//   * the tracer's fixed-capacity drop policy and the Chrome trace-event
+//     JSON shape (tools/trace_report.py parses the same output in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "adv/strategies.h"
+#include "algo/mst.h"
+#include "algo/payloads.h"
+#include "compile/byz_tree_compiler.h"
+#include "compile/expander_packing.h"
+#include "graph/generators.h"
+#include "obs/obs.h"
+#include "sim/network.h"
+
+// --- heap accounting ---------------------------------------------------------
+// Counting operator new/delete (one replacement allowed per binary).
+namespace {
+std::atomic<std::uint64_t> g_bytesAllocated{0};
+}  // namespace
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t n) {
+  g_bytesAllocated.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mobile {
+namespace {
+
+/// Restores the global obs state (disabled, tracer stopped) on scope exit
+/// so tests cannot leak an enabled gate into each other.
+struct ObsGuard {
+  ~ObsGuard() {
+    obs::tracer().stop();
+    obs::setEnabled(false);
+  }
+};
+
+// --- registry ----------------------------------------------------------------
+
+TEST(Registry, CountersGaugesHistogramsFold) {
+  obs::Registry reg;
+  const obs::CounterId c = reg.counter("c.total");
+  const obs::GaugeId g = reg.gauge("g.level");
+  const obs::HistogramId h = reg.histogram("h.sizes");
+
+  reg.add(c, 3);
+  reg.add(c, 4);
+  reg.set(g, 17);
+  reg.set(g, 9);
+  reg.observe(h, 0);
+  reg.observe(h, 1);
+  reg.observe(h, 1000);
+
+  EXPECT_EQ(reg.counterValue(c), 7u);
+  const obs::RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "c.total");
+  EXPECT_EQ(snap.counters[0].value, 7u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 9u);  // last write wins
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].value, 3u);    // count
+  EXPECT_EQ(snap.histograms[0].sum, 1001u);   // 0 + 1 + 1000
+  EXPECT_EQ(snap.histograms[0].max, 1023u);   // bucket upper edge of 1000
+}
+
+TEST(Registry, RegistrationIsIdempotentAndKindChecked) {
+  obs::Registry reg;
+  const obs::CounterId a = reg.counter("same");
+  const obs::CounterId b = reg.counter("same");
+  EXPECT_EQ(a.idx, b.idx);
+  EXPECT_THROW((void)reg.gauge("same"), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("same"), std::logic_error);
+}
+
+TEST(Registry, ResetZeroesSlotsButKeepsIds) {
+  obs::Registry reg;
+  const obs::CounterId c = reg.counter("c");
+  reg.add(c, 5);
+  reg.reset();
+  EXPECT_EQ(reg.counterValue(c), 0u);
+  reg.add(c, 2);
+  EXPECT_EQ(reg.counterValue(c), 2u);
+}
+
+TEST(Registry, MultiThreadFoldIsExact) {
+  // More threads than lanes, hammering one counter and one histogram: the
+  // per-lane relaxed slots must fold to the exact totals once the writers
+  // are joined.
+  obs::Registry reg;
+  const obs::CounterId c = reg.counter("mt.counter");
+  const obs::HistogramId h = reg.histogram("mt.hist");
+  constexpr int kThreads = 24;  // > Registry::kLanes: lanes are shared
+  constexpr std::uint64_t kAddsPerThread = 20'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, c, h] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) {
+        reg.add(c, 1);
+        reg.observe(h, i & 0xff);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.counterValue(c), kThreads * kAddsPerThread);
+  const obs::RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].value, kThreads * kAddsPerThread);
+  // sum of (i & 0xff) over one thread's 20000 adds, times kThreads.
+  std::uint64_t per = 0;
+  for (std::uint64_t i = 0; i < kAddsPerThread; ++i) per += i & 0xff;
+  EXPECT_EQ(snap.histograms[0].sum, kThreads * per);
+}
+
+// --- tracer ------------------------------------------------------------------
+
+TEST(Tracer, DropsAndCountsPastCapacityWithoutGrowing) {
+  obs::Tracer tr;
+  tr.start(4);
+  for (int i = 0; i < 10; ++i) tr.instant("t", "e");
+  EXPECT_EQ(tr.recorded(), 4u);
+  EXPECT_EQ(tr.dropped(), 6u);
+  // A restart reclaims the buffer and the counts.
+  tr.start(4);
+  EXPECT_EQ(tr.recorded(), 0u);
+  EXPECT_EQ(tr.dropped(), 0u);
+  tr.stop();
+  tr.instant("t", "e");  // inactive: no-op
+  EXPECT_EQ(tr.recorded(), 0u);
+}
+
+TEST(Tracer, ChromeTraceJsonShape) {
+  obs::Tracer tr;
+  tr.start(16);
+  const obs::TraceArg args[] = {{"round", 3}, {"n", 42}};
+  tr.complete("engine", "send", 10, 25, args, 2);
+  tr.instant("adv", "corrupt", args, 1);
+  for (int i = 0; i < 20; ++i) tr.instant("t", "overflow");
+  obs::Registry reg;
+  reg.add(reg.counter("x.count"), 7);
+
+  std::ostringstream os;
+  tr.writeChromeTrace(os, &reg);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"send\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":25"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"round\":3,\"n\":42}"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{\"counters\":{\"x.count\":7}"),
+            std::string::npos);
+  // Object form closes cleanly (trace_report.py json.load()s this).
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_EQ(json[json.size() - 2], '}');
+}
+
+// --- determinism: goldens with obs on vs off ---------------------------------
+// Two rows from test_arena_determinism.cc's seed-engine table, chosen to
+// exercise the instrumented paths hard: "byz" (1225 rounds, a corruption
+// every round -> adversary instants) and "mst-sparse" (sparse topology,
+// bitflip byzantine).  Each must reproduce bit-for-bit at every
+// (threads, shards) pair with obs fully live.
+
+struct GoldenRow {
+  const char* name;
+  std::uint64_t seed;
+  std::uint64_t fingerprint;
+  long messages;
+  std::size_t maxWords;
+  long corruptions;
+  long maxCongestion;
+  int rounds;
+};
+
+constexpr GoldenRow kRows[] = {
+    {"byz", 1ull, 0x8c83b094ddb17b5cull, 11648, 630, 1225, 416, 1225},
+    {"mst-sparse", 1ull, 0x68e88be46eb7499dull, 13752, 1, 490, 478, 245},
+};
+
+void runGolden(const GoldenRow& want, bool obsOn) {
+  const ObsGuard guard;
+  if (obsOn) {
+    obs::setEnabled(true);
+    obs::tracer().start(1u << 16);
+  }
+  graph::Graph g;
+  sim::Algorithm a;
+  std::unique_ptr<adv::Adversary> adversary;
+  if (std::string(want.name) == "byz") {
+    g = graph::clique(8);
+    const auto pk = compile::cliquePackingKnowledge(g);
+    std::vector<std::uint64_t> inputs(static_cast<std::size_t>(g.nodeCount()),
+                                      5);
+    const sim::Algorithm inner = algo::makeGossipHash(g, 1, inputs, 32);
+    a = compile::compileByzantineTree(g, inner, pk, 1);
+    adversary = std::make_unique<adv::RandomByzantine>(1, 7 + want.seed);
+  } else {
+    util::Rng ggen(99);
+    g = graph::cycleWithChords(24, 8, ggen);
+    a = algo::makeBoruvkaMst(g);
+    adversary = std::make_unique<adv::BitflipByzantine>(2, 31 + want.seed);
+  }
+  for (const int threads : {1, 2, 8}) {
+    for (const int shards : {1, 2, 8}) {
+      sim::NetworkOptions opts;
+      opts.numThreads = threads;
+      opts.numShards = shards;
+      sim::Network net(g, a, want.seed, adversary.get(), opts);
+      net.run(a.rounds);
+      const std::string where =
+          std::string(want.name) + " obs=" + (obsOn ? "on" : "off") +
+          " threads=" + std::to_string(threads) +
+          " shards=" + std::to_string(shards);
+      EXPECT_EQ(net.outputsFingerprint(), want.fingerprint) << where;
+      EXPECT_EQ(net.messagesSent(), want.messages) << where;
+      EXPECT_EQ(net.maxWordsObserved(), want.maxWords) << where;
+      EXPECT_EQ(net.ledger().total(), want.corruptions) << where;
+      EXPECT_EQ(net.maxEdgeCongestion(), want.maxCongestion) << where;
+      EXPECT_EQ(net.roundsExecuted(), want.rounds) << where;
+      // Stateful adversaries must restart per run.
+      if (std::string(want.name) == "byz")
+        adversary = std::make_unique<adv::RandomByzantine>(1, 7 + want.seed);
+      else
+        adversary = std::make_unique<adv::BitflipByzantine>(2, 31 + want.seed);
+    }
+  }
+}
+
+TEST(ObsDeterminism, GoldensByteIdenticalWithObsOff) {
+  for (const GoldenRow& row : kRows) runGolden(row, /*obsOn=*/false);
+}
+
+TEST(ObsDeterminism, GoldensByteIdenticalWithObsOnAndTracerLive) {
+  for (const GoldenRow& row : kRows) runGolden(row, /*obsOn=*/true);
+}
+
+#if defined(MOBILE_CONGEST_OBS_BUILD)
+TEST(ObsDeterminism, EnabledRunRecordsEngineMetricsAndSpans) {
+  const ObsGuard guard;
+  obs::setEnabled(true);
+  obs::tracer().start(1u << 16);
+  const graph::Graph g = graph::clique(8);
+  const sim::Algorithm a = algo::makeFloodMax(g, 10);
+  sim::Network net(g, a, 1);
+  const obs::CounterId rounds = obs::registry().counter("engine.rounds");
+  const std::uint64_t rounds0 = obs::registry().counterValue(rounds);
+  const std::size_t events0 = obs::tracer().recorded();
+  net.runExact(10);
+  EXPECT_EQ(obs::registry().counterValue(rounds) - rounds0, 10u);
+  // 10 round spans + 60 phase spans at minimum.
+  EXPECT_GE(obs::tracer().recorded() - events0, 70u);
+  // Per-phase wall time accumulated (clear..receive all nonnegative, and
+  // the total is positive because the clock is monotonic-but-real).
+  const auto& ms = net.phaseMillis();
+  double total = 0.0;
+  for (const double v : ms) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_GT(total, 0.0);
+}
+#endif
+
+TEST(ObsDeterminism, DisabledRunLeavesPhaseMillisZero) {
+  const ObsGuard guard;
+  const graph::Graph g = graph::clique(8);
+  const sim::Algorithm a = algo::makeFloodMax(g, 10);
+  sim::Network net(g, a, 1);
+  net.runExact(10);
+  for (const double v : net.phaseMillis()) EXPECT_EQ(v, 0.0);
+}
+
+// --- zero-allocation steady state --------------------------------------------
+
+TEST(ObsAllocation, SteadyStateRoundsAllocateNothingWithObsLive) {
+  const ObsGuard guard;
+  obs::setEnabled(true);
+  // Capacity sized for the whole measured run: every span lands in the
+  // pre-allocated buffer (drops would also be alloc-free, but a probe that
+  // relies on dropping is not measuring the recording path).
+  obs::tracer().start(1u << 14);
+  const graph::Graph g = graph::clique(16);
+  const sim::Algorithm a = algo::makeFloodMax(g, 1 << 20);
+  sim::Network net(g, a, 1);
+  // Warm-up: metric registration (first observed round), slab growth, and
+  // lane pinning all happen here.
+  net.runExact(5);
+  const std::uint64_t bytes0 = g_bytesAllocated.load(std::memory_order_relaxed);
+  net.runExact(200);
+  const std::uint64_t bytes =
+      g_bytesAllocated.load(std::memory_order_relaxed) - bytes0;
+  EXPECT_EQ(bytes, 0u) << "observed rounds must not allocate";
+}
+
+// Runs the same adversarial workload twice on fresh engines -- obs fully
+// off, then obs enabled with the tracer live -- over the same steady-state
+// window.  The corruption history itself grows (amortized, identically in
+// both runs: the schedule is deterministic), so the probe pins the
+// *delta*: instrumentation adds zero bytes per round.
+TEST(ObsAllocation, InstrumentationAddsNoBytesUnderAdversary) {
+  const ObsGuard guard;
+  const auto measure = [] {
+    const graph::Graph g = graph::clique(16);
+    const sim::Algorithm a = algo::makeFloodMax(g, 1 << 20);
+    adv::RandomByzantine byz(2, 5);
+    sim::Network net(g, a, 1, &byz);
+    net.runExact(5);
+    const std::uint64_t b0 = g_bytesAllocated.load(std::memory_order_relaxed);
+    net.runExact(200);
+    return g_bytesAllocated.load(std::memory_order_relaxed) - b0;
+  };
+  obs::setEnabled(false);
+  const std::uint64_t bytesOff = measure();
+  obs::setEnabled(true);
+  obs::tracer().start(1u << 14);
+  // First observed round registers the engine metric ids (function-local
+  // statics); warm them outside the measured window.
+  {
+    const graph::Graph warmG = graph::clique(4);
+    sim::Network warm(warmG, algo::makeFloodMax(warmG, 4), 1);
+    warm.runExact(2);
+  }
+  const std::uint64_t bytesOn = measure();
+  EXPECT_EQ(bytesOn, bytesOff) << "obs must not add per-round allocations";
+}
+
+TEST(ObsAllocation, RecordingHotPathAllocatesNothing) {
+  obs::Registry reg;
+  const obs::CounterId c = reg.counter("alloc.counter");
+  const obs::HistogramId h = reg.histogram("alloc.hist");
+  obs::Tracer tr;
+  tr.start(1u << 12);
+  const std::uint64_t bytes0 = g_bytesAllocated.load(std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    reg.add(c, 1);
+    reg.observe(h, i);
+    if (i < (1u << 12)) {
+      const obs::TraceArg args[] = {{"i", static_cast<std::int64_t>(i)}};
+      tr.complete("t", "spin", i, 1, args, 1);
+    }
+  }
+  const std::uint64_t bytes =
+      g_bytesAllocated.load(std::memory_order_relaxed) - bytes0;
+  EXPECT_EQ(bytes, 0u);
+}
+
+}  // namespace
+}  // namespace mobile

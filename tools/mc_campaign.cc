@@ -13,7 +13,9 @@
 // every point's seed axis), --json / --csv (aggregate reports over the
 // trials executed *this run*), --list (print the scenario registries and
 // exit), --smoke (accepted for fleet uniformity; campaign files pick
-// their own grid sizes).  Own flags: --out PATH (JSONL record; default
+// their own grid sizes), --trace PATH (Chrome trace-event JSON of the
+// whole run -- campaign/trial/round/phase spans plus the metrics
+// snapshot; under --spawn each rank worker writes PATH[.rank<r>]).  Own flags: --out PATH (JSONL record; default
 // CAMPAIGN_<name>.jsonl), --fresh (truncate the record instead of
 // resuming), --dry (expand + validate every grid point, run nothing),
 // --spawn N (loopback multi-process mode: fork N rank workers wired
@@ -33,6 +35,7 @@
 #include <vector>
 
 #include "exp/bench_args.h"
+#include "obs/obs.h"
 #include "scn/campaign.h"
 #include "scn/registry.h"
 #include "util/table.h"
@@ -127,6 +130,9 @@ int main(int argc, char** argv) {
     // path below.  The parent reaps and reports.
     const int rc = spawnWorkers(spawn, basePort);
     if (rc >= 0) {
+      // The rank workers inherited the armed --trace flush and wrote their
+      // own files; the coordinator's empty trace must not clobber rank 0's.
+      obs::cancelTraceFile();
       std::cout << "# spawned " << spawn << " rank worker(s), worst exit "
                 << rc << "\n";
       return rc;

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate and summarize a Chrome trace-event JSON written by --trace.
+
+Usage:
+    tools/trace_report.py TRACE.json [TRACE.json ...]
+
+For each file: loads it, checks the shape the obs tracer guarantees
+(object form, "traceEvents" list, every event carrying name/cat/ph/pid/
+tid/ts, every 'X' event carrying dur), then prints
+
+  * a per-span table -- one row per (cat, name) 'X' pair with count,
+    total/mean/max duration;
+  * a per-instant table -- one row per (cat, name) 'i' pair with count
+    (adversary corruption events land here);
+  * the metrics snapshot (counters, gauges, histograms) embedded by
+    writeChromeTrace;
+  * droppedEvents, loudly, when the trace buffer overflowed.
+
+Exit status: 0 when every file parses and validates, 1 on any malformed
+file (unreadable, bad JSON, or a shape violation) -- CI runs this against
+the smoke campaign's trace, so a regression in the writer fails the job.
+Dropped events alone do NOT fail: an overflowed buffer is a truthful,
+well-formed trace of a too-long run.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(path, msg):
+    print(f"{path}: MALFORMED: {msg}", file=sys.stderr)
+    return False
+
+
+def validate_event(path, i, e):
+    if not isinstance(e, dict):
+        return fail(path, f"traceEvents[{i}] is not an object")
+    for key in ("name", "cat", "ph", "pid", "tid", "ts"):
+        if key not in e:
+            return fail(path, f"traceEvents[{i}] missing '{key}'")
+    if e["ph"] == "X" and "dur" not in e:
+        return fail(path, f"traceEvents[{i}] is 'X' but has no 'dur'")
+    return True
+
+
+def print_table(title, header, rows):
+    if not rows:
+        return
+    print(f"\n{title}")
+    widths = [max(len(str(r[c])) for r in [header] + rows)
+              for c in range(len(header))]
+    for r in [header] + rows:
+        print("  " + "  ".join(str(v).ljust(w) for v, w in zip(r, widths)))
+
+
+def report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, str(e))
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, "'traceEvents' missing or not a list")
+    for i, e in enumerate(events):
+        if not validate_event(path, i, e):
+            return False
+
+    spans = defaultdict(lambda: [0, 0, 0])   # (cat,name) -> [n, total, max]
+    instants = defaultdict(int)
+    for e in events:
+        key = (e["cat"], e["name"])
+        if e["ph"] == "X":
+            s = spans[key]
+            s[0] += 1
+            s[1] += e["dur"]
+            s[2] = max(s[2], e["dur"])
+        elif e["ph"] == "i":
+            instants[key] += 1
+
+    print(f"{path}: {len(events)} event(s), "
+          f"{sum(n for n, _, _ in spans.values())} span(s), "
+          f"{sum(instants.values())} instant(s)")
+
+    print_table("spans (ph=X)",
+                ["cat", "name", "count", "total_us", "mean_us", "max_us"],
+                [[c, n, s[0], s[1], round(s[1] / s[0], 1), s[2]]
+                 for (c, n), s in sorted(spans.items())])
+    print_table("instants (ph=i)", ["cat", "name", "count"],
+                [[c, n, k] for (c, n), k in sorted(instants.items())])
+
+    metrics = doc.get("metrics", {})
+    print_table("counters", ["name", "value"],
+                [[k, v] for k, v in sorted(metrics.get("counters", {}).items())])
+    print_table("gauges", ["name", "value"],
+                [[k, v] for k, v in sorted(metrics.get("gauges", {}).items())])
+    print_table("histograms", ["name", "count", "sum", "max"],
+                [[k, h.get("count"), h.get("sum"), h.get("max")]
+                 for k, h in sorted(metrics.get("histograms", {}).items())])
+
+    dropped = doc.get("droppedEvents", 0)
+    if dropped:
+        print(f"\nWARNING: {dropped} event(s) dropped "
+              "(trace buffer overflowed; raise the tracer capacity)")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ok = True
+    for i, path in enumerate(argv[1:]):
+        if i:
+            print()
+        ok = report(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
