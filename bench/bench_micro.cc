@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <string_view>
 
@@ -24,6 +25,7 @@
 #include "gf/gf16.h"
 #include "gf/slab.h"
 #include "gf/vandermonde.h"
+#include "graph/bfs.h"
 #include "graph/generators.h"
 #include "graph/tree_packing.h"
 #include "hash/cwise.h"
@@ -32,6 +34,7 @@
 #include "sketch/l0sampler.h"
 #include "sketch/sparse_recovery.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 using namespace mobile;
 
@@ -145,6 +148,50 @@ BENCHMARK(BM_RsDecode)
     ->Args({16, 0})
     ->Args({16, 1})
     ->Args({16, 16});
+
+// --- compile-time preprocessing kernels --------------------------------------
+// The n = 10^6 notch's precompute hot path (graph/tree_packing.cc,
+// graph/bfs.cc).  Args: {n, pool threads}; threads == 0 is the strictly
+// sequential oracle, threads > 0 the pooled path (per-iteration weight
+// refresh + sharded load tally for the packing, level-synchronous sweeps
+// for BFS).  Both produce bit-identical results, so the probe pair guards
+// the deterministic-merge overhead alongside the kernel itself.
+
+static void BM_TreePacking(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  util::Rng rng(21);
+  const graph::Graph g = graph::randomRegular(n, 4, rng);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<util::ThreadPool>(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::greedyLowDepthPacking(g, 2, 0, 32, pool.get()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.edgeCount()));
+}
+BENCHMARK(BM_TreePacking)
+    ->Args({256, 0})
+    ->Args({1024, 0})
+    ->Args({1024, 2});
+
+static void BM_BfsLayering(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  util::Rng rng(22);
+  const graph::Graph g = graph::randomRegular(n, 4, rng);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<util::ThreadPool>(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::bfsDistances(g, 0, pool.get()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BfsLayering)
+    ->Args({4096, 0})
+    ->Args({4096, 2})
+    ->Args({65536, 0});
 
 static void BM_L0_Update(benchmark::State& state) {
   sketch::L0Sampler s(42, 60, 14);

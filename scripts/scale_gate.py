@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Gate a scale campaign's JSONL record against committed budgets.
+
+Usage:
+    scripts/scale_gate.py --wall-budget-ms N --rss-budget-kb N \
+        [--wall-slack X] [--rss-slack X] [--points N] RECORD.jsonl
+
+The scale campaigns (campaigns/scale_100k.campaign, scale_1m.campaign)
+are correctness gates first -- every recorded trial must carry ok:true --
+and resource gates second: the worst trial's wall_ms and peak_rss_kb are
+compared against the budgets committed next to the campaign file.
+
+Noise handling: wall time on shared CI runners jitters far more than
+memory does, so the two axes get separate slack multipliers (the
+effective ceiling is budget * slack).  Defaults: 1.5x on wall (a loaded
+runner is routinely half the speed of an idle one), 1.15x on RSS
+(allocator layout is near-deterministic; anything past ~15% is a real
+footprint regression, which is exactly what this gate exists to catch).
+Tighten or loosen per call site; the budgets themselves should track the
+*measured* numbers, not the ceiling.
+
+Exit codes: 0 = every trial ok and inside budget; 1 = a trial failed,
+the record is empty/missing, or a budget is exceeded.  The record is
+always echoed as a table so the CI log shows the trajectory even when
+the gate passes.
+"""
+
+import argparse
+import json
+import sys
+
+
+def parse_records(path):
+    """Complete JSON objects in the file, torn trailing lines skipped."""
+    records = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not (line.startswith("{") and line.endswith("}")):
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    except OSError as e:
+        print(f"scale_gate: cannot read {path}: {e}", file=sys.stderr)
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("record", help="campaign JSONL record to gate")
+    ap.add_argument("--wall-budget-ms", type=float, required=True,
+                    help="committed wall-time budget per trial, ms")
+    ap.add_argument("--rss-budget-kb", type=float, required=True,
+                    help="committed peak-RSS budget per trial, kB")
+    ap.add_argument("--wall-slack", type=float, default=1.5,
+                    help="wall noise multiplier (default 1.5)")
+    ap.add_argument("--rss-slack", type=float, default=1.15,
+                    help="RSS noise multiplier (default 1.15)")
+    ap.add_argument("--points", type=int, default=0,
+                    help="require exactly this many records (0 = any > 0)")
+    args = ap.parse_args()
+
+    records = parse_records(args.record)
+    if not records:
+        print(f"scale_gate: no complete records in {args.record}",
+              file=sys.stderr)
+        return 1
+    if args.points and len(records) != args.points:
+        print(f"scale_gate: expected {args.points} records, "
+              f"found {len(records)}", file=sys.stderr)
+        return 1
+
+    wall_ceiling = args.wall_budget_ms * args.wall_slack
+    rss_ceiling = args.rss_budget_kb * args.rss_slack
+    failures = []
+    print(f"{'group':<40} {'ok':<5} {'wall_ms':>10} {'peak_rss_kb':>12}")
+    for r in records:
+        group = str(r.get("group", "?"))[:40]
+        ok = bool(r.get("ok", False))
+        wall = float(r.get("wall_ms", 0))
+        rss = float(r.get("peak_rss_kb", 0))
+        marks = []
+        if not ok:
+            marks.append(f"ok:false ({r.get('error', 'no error string')})")
+        if wall > wall_ceiling:
+            marks.append(f"wall {wall:.0f} ms > {wall_ceiling:.0f} ms "
+                         f"({args.wall_budget_ms:.0f} x {args.wall_slack})")
+        if rss > rss_ceiling:
+            marks.append(f"rss {rss:.0f} kB > {rss_ceiling:.0f} kB "
+                         f"({args.rss_budget_kb:.0f} x {args.rss_slack})")
+        flag = "  <-- " + "; ".join(marks) if marks else ""
+        print(f"{group:<40} {str(ok).lower():<5} {wall:>10.0f} "
+              f"{rss:>12.0f}{flag}")
+        if marks:
+            failures.append((group, marks))
+
+    if failures:
+        print(f"scale_gate: {len(failures)} trial(s) outside budget",
+              file=sys.stderr)
+        return 1
+    print(f"scale_gate: {len(records)} trial(s) ok, within "
+          f"wall <= {wall_ceiling:.0f} ms, rss <= {rss_ceiling:.0f} kB")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,6 +75,7 @@ echo "wrote $OUT_JSON"
 KERNELS_JSON="${3:-$BUILD_DIR/BENCH_kernels.json}"
 KERNEL_PROBES='BM_GF16_Mul|BM_GfSlabAxpy|BM_RsEncode|BM_RsDecode'
 KERNEL_PROBES="$KERNEL_PROBES|BM_VandermondeExtract"
+KERNEL_PROBES="$KERNEL_PROBES|BM_TreePacking|BM_BfsLayering"
 if [ -x "$BUILD_DIR/bench_micro" ]; then
   echo "=== bench_micro kernel probes"
   "$BUILD_DIR/bench_micro" --smoke --json "$KERNELS_JSON" \

@@ -32,6 +32,36 @@ std::uint64_t deriveSketchSeed(std::uint64_t treeSeed, int h) {
   return util::splitmix64(st);
 }
 
+/// Per-thread sketch scratch.  Every use is confined to a single
+/// send/receive call (the references never outlive the call), so the
+/// engine's node-parallel lanes can share one set per thread instead of
+/// holding ~5-8 KB of sampler state per *node* -- the difference between
+/// fitting n=10^6 in single-digit GB and not.  Shape parameters are
+/// remembered per cell: nodes from different trials (different f,
+/// sparsity, or sketch options) interleave on driver lanes, so a cell is
+/// reconstructed whenever the requested shape differs and merely reseeded
+/// otherwise (the original per-node reseed idiom, hoisted per thread).
+struct SketchScratch {
+  std::optional<sketch::SparseRecovery> sparse;
+  std::size_t sparseSparsity = 0;
+  int sparseRows = 0;
+  std::optional<sketch::SparseRecovery> sparseRecv;
+  std::size_t recvSparsity = 0;
+  int recvRows = 0;
+  std::vector<sketch::L0Sampler> sketches;
+  int tSketches = 0;
+  unsigned levels = 0;
+  std::optional<sketch::L0Sampler> l0Recv;
+  unsigned l0RecvLevels = 0;
+  std::vector<std::uint64_t> words;
+  std::vector<std::uint64_t> tmp;
+};
+
+SketchScratch& scratch() {
+  static thread_local SketchScratch s;
+  return s;
+}
+
 }  // namespace
 
 ByzSchedule ByzSchedule::compute(const PackingKnowledge& pk, int innerRounds,
@@ -92,11 +122,11 @@ class ByzNode final : public NodeState {
         exchCapture_(g, self),
         inbox_(g, self) {
     isRoot_ = (self_ == pk_->root);
-    // Fixed-shape stash: one Msg per (neighbor, schedule slot, repetition),
-    // rewritten in place each scheduled round (sim::assignMsg keeps the
-    // words capacity) -- the compile/baselines.cc no-alloc idiom.
-    stash_.resize(g_.degree(self_) * static_cast<std::size_t>(pk_->eta) *
-                  static_cast<std::size_t>(slots_.rho));
+    // Fixed-shape stash: one VoteSlot per (neighbor, schedule slot).  A
+    // slot stores distinct messages with multiplicities instead of all
+    // rho copies (fault-free rounds keep exactly one), rewritten in place
+    // each scheduled round -- the compile/baselines.cc no-alloc idiom.
+    stash_.resize(g_.degree(self_) * static_cast<std::size_t>(pk_->eta));
     // Exchange-step key tables are adjacency-indexed and fully rewritten
     // by every exchange, so the shape is fixed up front.
     sentKey_.assign(g_.degree(self_), 0);
@@ -113,12 +143,13 @@ class ByzNode final : public NodeState {
     if (p.inSketch && p.step == 1 && p.rep == 0 && p.slot == 0)
       startIteration(p, round);
     // Per neighbor, the tree scheduled in this slot (by *our* belief).
-    for (const auto& nb : g_.neighbors(self_)) {
-      const int tree = treeAtSlot(nb.node, p.slot);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const int tree = view_.treeAt(static_cast<int>(i), p.slot);
       if (tree < 0) continue;
-      Msg m = p.inSketch ? sketchMessage(tree, p, nb.node)
-                         : eccMessage(tree, p, nb.node);
-      if (m.present) out.to(nb.node, m);
+      Msg m = p.inSketch ? sketchMessage(tree, p, nbs[i].node)
+                         : eccMessage(tree, p, nbs[i].node);
+      if (m.present) out.to(nbs[i].node, m);
     }
   }
 
@@ -135,14 +166,13 @@ class ByzNode final : public NodeState {
     const int rho = slots_.rho;
     const auto& nbs = g_.neighbors(self_);
     for (std::size_t i = 0; i < nbs.size(); ++i) {
-      const int tree = treeAtSlot(nbs[i].node, p.slot);
+      const int tree = view_.treeAt(static_cast<int>(i), p.slot);
       if (tree < 0) continue;
-      Msg* copies = stashSlot(i, p.slot);
-      sim::assignMsg(copies[static_cast<std::size_t>(p.rep)],
-                     in.from(nbs[i].node));
+      VoteSlot& vs = stashSlot(i, p.slot);
+      if (p.rep == 0) vs.reset();
+      vs.add(in.from(nbs[i].node));
       if (p.rep == rho - 1) {
-        const Msg& maj =
-            majorityRef(copies, static_cast<std::size_t>(rho));
+        const Msg& maj = vs.winner();
         if (p.inSketch)
           handleSketch(tree, p, nbs[i].node, maj);
         else
@@ -199,29 +229,18 @@ class ByzNode final : public NodeState {
     return sketchBlockStartRound(p) + slots_.blockRounds(sched_.sketchSteps);
   }
 
-  [[nodiscard]] int treeAtSlot(NodeId neighbor, int slot) const {
-    const auto it = view_.edgeTrees.find(neighbor);
-    if (it == view_.edgeTrees.end()) return -1;
-    if (slot >= static_cast<int>(it->second.size())) return -1;
-    return it->second[static_cast<std::size_t>(slot)];
+  /// The vote slot of (neighbor index, schedule slot).
+  [[nodiscard]] VoteSlot& stashSlot(std::size_t nbIndex, int slot) {
+    return stash_[nbIndex * static_cast<std::size_t>(pk_->eta) +
+                  static_cast<std::size_t>(slot)];
   }
 
-  /// The rho stash copies of (neighbor index, schedule slot).
-  [[nodiscard]] Msg* stashSlot(std::size_t nbIndex, int slot) {
-    return stash_.data() + (nbIndex * static_cast<std::size_t>(pk_->eta) +
-                            static_cast<std::size_t>(slot)) *
-                               static_cast<std::size_t>(slots_.rho);
-  }
-
-  [[nodiscard]] int depthIn(int tree) const {
-    return view_.depth[static_cast<std::size_t>(tree)];
-  }
+  [[nodiscard]] int depthIn(int tree) const { return view_.depth(tree); }
   [[nodiscard]] NodeId parentIn(int tree) const {
-    return view_.parent[static_cast<std::size_t>(tree)];
+    return view_.parent(tree);
   }
   [[nodiscard]] bool isChildIn(int tree, NodeId u) const {
-    const auto& ch = view_.children[static_cast<std::size_t>(tree)];
-    return std::find(ch.begin(), ch.end(), u) != ch.end();
+    return view_.hasChild(tree, u);
   }
 
   // --- exchange step -------------------------------------------------------
@@ -336,51 +355,67 @@ class ByzNode final : public NodeState {
   // returned references stay valid until the next call.
 
   [[nodiscard]] sketch::SparseRecovery& localSparse(std::uint64_t treeSeed) {
-    if (!sparseScratch_)
-      sparseScratch_.emplace(treeSeed, sparsity(),
-                             static_cast<std::size_t>(opts_.sparseRows));
-    else
-      sparseScratch_->reseed(treeSeed);
-    for (const auto& [key, freq] : entries_) sparseScratch_->update(key, freq);
-    return *sparseScratch_;
+    SketchScratch& sc = scratch();
+    if (!sc.sparse || sc.sparseSparsity != sparsity() ||
+        sc.sparseRows != opts_.sparseRows) {
+      sc.sparse.emplace(treeSeed, sparsity(),
+                        static_cast<std::size_t>(opts_.sparseRows));
+      sc.sparseSparsity = sparsity();
+      sc.sparseRows = opts_.sparseRows;
+    } else {
+      sc.sparse->reseed(treeSeed);
+    }
+    for (const auto& [key, freq] : entries_) sc.sparse->update(key, freq);
+    return *sc.sparse;
   }
 
   [[nodiscard]] std::vector<sketch::L0Sampler>& localSketches(
       std::uint64_t treeSeed) {
+    SketchScratch& sc = scratch();
     const auto tS = static_cast<std::size_t>(opts_.tSketches);
-    if (sketchScratch_.size() != tS) {
-      sketchScratch_.clear();
-      sketchScratch_.reserve(tS);
+    if (sc.sketches.size() != tS || sc.levels != opts_.sketchLevels) {
+      sc.sketches.clear();
+      sc.sketches.reserve(tS);
       for (int h = 0; h < opts_.tSketches; ++h)
-        sketchScratch_.emplace_back(deriveSketchSeed(treeSeed, h),
-                                    kUniverseBits, opts_.sketchLevels);
+        sc.sketches.emplace_back(deriveSketchSeed(treeSeed, h), kUniverseBits,
+                                 opts_.sketchLevels);
+      sc.tSketches = opts_.tSketches;
+      sc.levels = opts_.sketchLevels;
     } else {
       for (int h = 0; h < opts_.tSketches; ++h)
-        sketchScratch_[static_cast<std::size_t>(h)].reseed(
+        sc.sketches[static_cast<std::size_t>(h)].reseed(
             deriveSketchSeed(treeSeed, h));
     }
-    for (auto& s : sketchScratch_)
+    for (auto& s : sc.sketches)
       for (const auto& [key, freq] : entries_) s.update(key, freq);
-    return sketchScratch_;
+    return sc.sketches;
   }
 
   /// Receive-side scratch: a sketch slot reseeded to match an incoming
   /// serialized sketch, filled via loadWords (in-place deserialize).
   [[nodiscard]] sketch::SparseRecovery& recvSparse(std::uint64_t treeSeed) {
-    if (!sparseRecvScratch_)
-      sparseRecvScratch_.emplace(treeSeed, sparsity(),
-                                 static_cast<std::size_t>(opts_.sparseRows));
-    else
-      sparseRecvScratch_->reseed(treeSeed);
-    return *sparseRecvScratch_;
+    SketchScratch& sc = scratch();
+    if (!sc.sparseRecv || sc.recvSparsity != sparsity() ||
+        sc.recvRows != opts_.sparseRows) {
+      sc.sparseRecv.emplace(treeSeed, sparsity(),
+                            static_cast<std::size_t>(opts_.sparseRows));
+      sc.recvSparsity = sparsity();
+      sc.recvRows = opts_.sparseRows;
+    } else {
+      sc.sparseRecv->reseed(treeSeed);
+    }
+    return *sc.sparseRecv;
   }
 
   [[nodiscard]] sketch::L0Sampler& recvL0(std::uint64_t sketchSeed) {
-    if (!l0RecvScratch_)
-      l0RecvScratch_.emplace(sketchSeed, kUniverseBits, opts_.sketchLevels);
-    else
-      l0RecvScratch_->reseed(sketchSeed);
-    return *l0RecvScratch_;
+    SketchScratch& sc = scratch();
+    if (!sc.l0Recv || sc.l0RecvLevels != opts_.sketchLevels) {
+      sc.l0Recv.emplace(sketchSeed, kUniverseBits, opts_.sketchLevels);
+      sc.l0RecvLevels = opts_.sketchLevels;
+    } else {
+      sc.l0Recv->reseed(sketchSeed);
+    }
+    return *sc.l0Recv;
   }
 
   // --- sketch block ----------------------------------------------------------
@@ -402,8 +437,9 @@ class ByzNode final : public NodeState {
         sketch::SparseRecovery& mine = localSparse(ts);
         const auto acc = sparseAccum_.find(tree);
         if (acc != sparseAccum_.end()) mine.merge(acc->second);
-        mine.serializeInto(wordScratch_);
-        return Msg::ofWords(wordScratch_);
+        std::vector<std::uint64_t>& words = scratch().words;
+        mine.serializeInto(words);
+        return Msg::ofWords(words);
       }
       std::vector<sketch::L0Sampler>& mine = localSketches(ts);
       const auto acc = accum_.find(tree);
@@ -412,13 +448,13 @@ class ByzNode final : public NodeState {
           mine[static_cast<std::size_t>(h)].merge(
               acc->second[static_cast<std::size_t>(h)]);
       }
-      wordScratch_.clear();
+      SketchScratch& sc = scratch();
+      sc.words.clear();
       for (const auto& s : mine) {
-        s.serializeInto(tmpWords_);
-        wordScratch_.insert(wordScratch_.end(), tmpWords_.begin(),
-                            tmpWords_.end());
+        s.serializeInto(sc.tmp);
+        sc.words.insert(sc.words.end(), sc.tmp.begin(), sc.tmp.end());
       }
-      return Msg::ofWords(wordScratch_);
+      return Msg::ofWords(sc.words);
     }
     return {};
   }
@@ -663,7 +699,7 @@ class ByzNode final : public NodeState {
   std::unique_ptr<NodeState> inner_;
   int innerRounds_;
   std::shared_ptr<const PackingKnowledge> pk_;
-  const NodeTreeView& view_;
+  NodeTreeView view_;  // value proxy into pk_'s flat arrays
   int f_;
   ByzOptions opts_;
   ByzSchedule sched_;
@@ -688,18 +724,9 @@ class ByzNode final : public NodeState {
   std::vector<std::uint64_t> treeSeed_;  // root only
   std::map<int, std::vector<sketch::L0Sampler>> accum_;  // children merges
   std::map<int, sketch::SparseRecovery> sparseAccum_;    // SparseOneShot mode
-  // Reusable sketch scratch (zero steady-state allocation): local-build
-  // slots reseeded per (tree, iteration), receive slots for in-place
-  // deserialization, and the serialization word buffers.
-  std::optional<sketch::SparseRecovery> sparseScratch_;
-  std::optional<sketch::SparseRecovery> sparseRecvScratch_;
-  std::vector<sketch::L0Sampler> sketchScratch_;
-  std::optional<sketch::L0Sampler> l0RecvScratch_;
-  std::vector<std::uint64_t> wordScratch_;
-  std::vector<std::uint64_t> tmpWords_;
-  /// Repetition stash, [neighbor slot][schedule slot][rep] flattened;
-  /// fixed shape, slots rewritten in place every scheduled round.
-  std::vector<Msg> stash_;
+  /// Repetition stash, [neighbor slot][schedule slot] flattened; fixed
+  /// shape, vote slots rewritten in place every scheduled round.
+  std::vector<VoteSlot> stash_;
 
   bool dmComputed_ = false;
   std::vector<std::uint64_t> dmKeys_;

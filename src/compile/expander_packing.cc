@@ -149,8 +149,7 @@ class PackingNode final : public NodeState {
   [[nodiscard]] bool self_isMax() const { return self_ == g_.nodeCount() - 1; }
 
   void publish() {
-    auto& pk = *result_->knowledge;
-    NodeTreeView& view = pk.views[static_cast<std::size_t>(self_)];
+    StagedNodeView& view = result_->staged[static_cast<std::size_t>(self_)];
     view.parent = parent_;
     view.children = children_;
     view.depth.assign(static_cast<std::size_t>(opts_.k), -1);
@@ -161,16 +160,11 @@ class PackingNode final : public NodeState {
         view.depth[static_cast<std::size_t>(c)] =
             depthGuess_[static_cast<std::size_t>(c)];
     }
-    // Edge -> tree slots: parent edges + child edges, sorted by color.
-    for (int c = 0; c < opts_.k; ++c) {
-      const NodeId p = parent_[static_cast<std::size_t>(c)];
-      if (p >= 0) view.edgeTrees[p].push_back(c);
-      for (const NodeId ch : children_[static_cast<std::size_t>(c)])
-        view.edgeTrees[ch].push_back(c);
-    }
-    for (auto& [nbr, list] : view.edgeTrees) {
-      std::sort(list.begin(), list.end());
-      list.erase(std::unique(list.begin(), list.end()), list.end());
+    // The last publisher flattens every node's belief into the CSR form
+    // (the fetch_add orders the staging writes before the freeze).
+    if (result_->published.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        g_.nodeCount()) {
+      freezePackingViews(*result_->knowledge, g_, std::move(result_->staged));
     }
   }
 
@@ -202,8 +196,9 @@ sim::Algorithm makeExpanderPackingProtocol(
   pk.k = opts.k;
   pk.eta = 2;
   pk.depthBound = opts.bfsRounds;
-  pk.views.resize(static_cast<std::size_t>(g.nodeCount()));
-  for (auto& v : pk.views) {
+  result->published.store(0, std::memory_order_relaxed);
+  result->staged.assign(static_cast<std::size_t>(g.nodeCount()), {});
+  for (auto& v : result->staged) {
     v.parent.assign(static_cast<std::size_t>(opts.k), -1);
     v.children.assign(static_cast<std::size_t>(opts.k), {});
     v.depth.assign(static_cast<std::size_t>(opts.k), -1);
@@ -229,8 +224,7 @@ WeakPackingQuality assessWeakPacking(const graph::Graph& g,
     bool ok = true;
     std::vector<NodeId> parent(static_cast<std::size_t>(g.nodeCount()), -1);
     for (NodeId v = 0; v < g.nodeCount() && ok; ++v) {
-      const auto& view = pk.view(v);
-      const NodeId p = view.parent[static_cast<std::size_t>(t)];
+      const NodeId p = pk.view(v).parent(t);
       if (v == pk.root) {
         if (p >= 0) ok = false;
         continue;
@@ -241,8 +235,7 @@ WeakPackingQuality assessWeakPacking(const graph::Graph& g,
       }
       parent[static_cast<std::size_t>(v)] = p;
       // Mirror check: p's children list must contain v.
-      const auto& ch = pk.view(p).children[static_cast<std::size_t>(t)];
-      if (std::find(ch.begin(), ch.end(), v) == ch.end()) ok = false;
+      if (!pk.view(p).hasChild(t, v)) ok = false;
     }
     if (!ok) continue;
     const graph::RootedTree rt =

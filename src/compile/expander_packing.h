@@ -23,7 +23,9 @@
 // resilient to round-error-rate adversaries.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <vector>
 
 #include "compile/common.h"
 #include "sim/node.h"
@@ -37,8 +39,14 @@ struct ExpanderPackingOptions {
 };
 
 /// Post-run container the protocol nodes fill with their final beliefs.
+/// Each node publishes into its own `staged` slot; the last publisher
+/// (counted atomically, so engine-threaded runs freeze exactly once)
+/// flattens the staging into `knowledge` and frees it, so by the time the
+/// network run returns `knowledge` is complete and compact.
 struct ExpanderPackingResult {
   std::shared_ptr<PackingKnowledge> knowledge;
+  std::vector<StagedNodeView> staged;
+  std::atomic<int> published{0};
 };
 
 /// Builds the packing protocol.  After the network run completes, `result`

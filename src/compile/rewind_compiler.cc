@@ -310,23 +310,22 @@ class RewindNode final : public NodeState {
         seed_[t] = treeSeed_[static_cast<std::size_t>(t)];
       }
     }
-    const auto& view = pk_->view(self_);
-    for (const auto& nb : g_.neighbors(self_)) {
-      const auto it = view.edgeTrees.find(nb.node);
-      if (it == view.edgeTrees.end() ||
-          slot >= static_cast<int>(it->second.size()))
-        continue;
-      const int tree = it->second[static_cast<std::size_t>(slot)];
-      const int d = view.depth[static_cast<std::size_t>(tree)];
+    const NodeTreeView view = pk_->view(self_);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const auto& nb = nbs[i];
+      const int tree = view.treeAt(static_cast<int>(i), slot);
+      if (tree < 0) continue;
+      const int d = view.depth(tree);
       if (d < 0) continue;
       if (inSketch) {
         if (step <= D) {
           if (d == step - 1 && seed_.count(tree) &&
-              view.parent[static_cast<std::size_t>(tree)] != nb.node &&
+              view.parent(tree) != nb.node &&
               view.inTree(tree, nb.node))
             out.to(nb.node, Msg::of(seed_.at(tree)));
         } else if (d > 0 && step == 2 * D + 1 - d &&
-                   nb.node == view.parent[static_cast<std::size_t>(tree)]) {
+                   nb.node == view.parent(tree)) {
           sketch::SparseRecovery& mine =
               localSketch(seed_.count(tree) ? seed_.at(tree) : 0);
           const auto acc = accum_.find(tree);
@@ -338,7 +337,7 @@ class RewindNode final : public NodeState {
         // ECC: all chunks bundled in one hop message per tree.
         if (isRoot && !dmComputed_) computeDm();
         if (d == step - 1 && view.inTree(tree, nb.node) &&
-            view.parent[static_cast<std::size_t>(tree)] != nb.node) {
+            view.parent(tree) != nb.node) {
           std::vector<std::uint64_t> words;
           bool have = true;
           for (int c = 0; c < codec_.chunks(); ++c) {
@@ -370,16 +369,13 @@ class RewindNode final : public NodeState {
     const int step = slots_.stepOf(r) + 1;
     const int rep = slots_.repOf(r);
     const int slot = slots_.slotOf(r);
-    const auto& view = pk_->view(self_);
+    const NodeTreeView view = pk_->view(self_);
     const auto& nbs = g_.neighbors(self_);
     for (std::size_t i = 0; i < nbs.size(); ++i) {
       const auto& nb = nbs[i];
-      const auto it = view.edgeTrees.find(nb.node);
-      if (it == view.edgeTrees.end() ||
-          slot >= static_cast<int>(it->second.size()))
-        continue;
-      const int tree = it->second[static_cast<std::size_t>(slot)];
-      const int d = view.depth[static_cast<std::size_t>(tree)];
+      const int tree = view.treeAt(static_cast<int>(i), slot);
+      if (tree < 0) continue;
+      const int d = view.depth(tree);
       if (d < 0) continue;
       Msg* copies = stashSlot(i, slot);
       sim::assignMsg(copies[static_cast<std::size_t>(rep)],
@@ -391,10 +387,10 @@ class RewindNode final : public NodeState {
       if (inSketch) {
         if (step <= D) {
           if (d == step &&
-              nb.node == view.parent[static_cast<std::size_t>(tree)])
+              nb.node == view.parent(tree))
             seed_[tree] = m.at(0);
         } else if (view.inTree(tree, nb.node) &&
-                   nb.node != view.parent[static_cast<std::size_t>(tree)]) {
+                   nb.node != view.parent(tree)) {
           const std::uint64_t ts = seed_.count(tree) ? seed_.at(tree) : 0;
           sketch::SparseRecovery& got = recvSketch(ts);
           if (m.size() != got.serializedWords()) continue;
@@ -407,7 +403,7 @@ class RewindNode final : public NodeState {
         }
       } else {
         if (d == step &&
-            nb.node == view.parent[static_cast<std::size_t>(tree)] &&
+            nb.node == view.parent(tree) &&
             m.size() == static_cast<std::size_t>(codec_.chunks())) {
           for (int c = 0; c < codec_.chunks(); ++c) {
             fwdShare_[{tree, c}] = m.at(static_cast<std::size_t>(c));
@@ -502,19 +498,18 @@ class RewindNode final : public NodeState {
     const int D = pk_->depthBound;
     const int step = slots_.stepOf(cr) + 1;
     const int slot = slots_.slotOf(cr);
-    const auto& view = pk_->view(self_);
-    for (const auto& nb : g_.neighbors(self_)) {
-      const auto it = view.edgeTrees.find(nb.node);
-      if (it == view.edgeTrees.end() ||
-          slot >= static_cast<int>(it->second.size()))
-        continue;
-      const int tree = it->second[static_cast<std::size_t>(slot)];
-      const int d = view.depth[static_cast<std::size_t>(tree)];
+    const NodeTreeView view = pk_->view(self_);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const auto& nb = nbs[i];
+      const int tree = view.treeAt(static_cast<int>(i), slot);
+      if (tree < 0) continue;
+      const int d = view.depth(tree);
       if (d < 0) continue;
       if (step <= D) {
         // Upcast: depth d sends (min good, max len) at step D - d + 1.
         if (d > 0 && step == D - d + 1 &&
-            nb.node == view.parent[static_cast<std::size_t>(tree)]) {
+            nb.node == view.parent(tree)) {
           auto [good, len] = localVote();
           const auto up = consUp_.find(tree);
           if (up != consUp_.end()) {
@@ -529,7 +524,7 @@ class RewindNode final : public NodeState {
       } else {
         // Downcast: depth step - D - 1 forwards the root's verdict.
         if (d == step - D - 1 && view.inTree(tree, nb.node) &&
-            view.parent[static_cast<std::size_t>(tree)] != nb.node) {
+            view.parent(tree) != nb.node) {
           std::pair<std::uint64_t, std::uint64_t> verdict;
           if (self_ == pk_->root) {
             auto [good, len] = localVote();
@@ -558,16 +553,13 @@ class RewindNode final : public NodeState {
     const int step = slots_.stepOf(cr) + 1;
     const int rep = slots_.repOf(cr);
     const int slot = slots_.slotOf(cr);
-    const auto& view = pk_->view(self_);
+    const NodeTreeView view = pk_->view(self_);
     const auto& nbs = g_.neighbors(self_);
     for (std::size_t i = 0; i < nbs.size(); ++i) {
       const auto& nb = nbs[i];
-      const auto it = view.edgeTrees.find(nb.node);
-      if (it == view.edgeTrees.end() ||
-          slot >= static_cast<int>(it->second.size()))
-        continue;
-      const int tree = it->second[static_cast<std::size_t>(slot)];
-      const int d = view.depth[static_cast<std::size_t>(tree)];
+      const int tree = view.treeAt(static_cast<int>(i), slot);
+      if (tree < 0) continue;
+      const int d = view.depth(tree);
       if (d < 0) continue;
       Msg* copies = stashSlot(i, slot);
       sim::assignMsg(copies[static_cast<std::size_t>(rep)],
@@ -579,7 +571,7 @@ class RewindNode final : public NodeState {
       if (step <= D) {
         // A child's aggregate.
         if (view.inTree(tree, nb.node) &&
-            nb.node != view.parent[static_cast<std::size_t>(tree)] &&
+            nb.node != view.parent(tree) &&
             d == D - step) {
           auto& agg = consUp_[tree];
           if (consUpInit_.insert(tree).second) {
@@ -590,7 +582,7 @@ class RewindNode final : public NodeState {
           }
         }
       } else {
-        if (nb.node == view.parent[static_cast<std::size_t>(tree)] &&
+        if (nb.node == view.parent(tree) &&
             d == step - D)
           consDown_[tree] = {m.at(0), m.at(1)};
       }

@@ -10,9 +10,9 @@ ContractOracle::ContractOracle(std::shared_ptr<adv::CorruptionLedger> ledger,
     : ledger_(std::move(ledger)) {
   treeEdges_.resize(static_cast<std::size_t>(pk.k));
   for (graph::NodeId v = 0; v < g.nodeCount(); ++v) {
-    const NodeTreeView& view = pk.view(v);
+    const NodeTreeView view = pk.view(v);
     for (int t = 0; t < pk.k; ++t) {
-      const graph::NodeId p = view.parent[static_cast<std::size_t>(t)];
+      const graph::NodeId p = view.parent(t);
       if (p >= 0) {
         const graph::EdgeId e = g.edgeBetween(v, p);
         if (e >= 0) treeEdges_[static_cast<std::size_t>(t)].insert(e);

@@ -26,12 +26,11 @@ class SchedNode final : public NodeState {
         engine_(engine),
         slots_{pk_->eta, engine.effectiveRho()},
         shared_(std::move(shared)) {
-    // Fixed-shape repetition stash, [neighbor][schedule slot][rho],
-    // rewritten in place via sim::assignMsg -- the slot-indexed no-alloc
+    // Fixed-shape vote stash, [neighbor][schedule slot], each slot holding
+    // distinct messages with multiplicities -- the slot-indexed no-alloc
     // idiom of compile/baselines.cc (a (tree, neighbor) pair is exactly a
     // (slot, neighbor) pair under the Lemma 3.3 schedule).
-    stash_.resize(g_.degree(self_) * static_cast<std::size_t>(pk_->eta) *
-                  static_cast<std::size_t>(slots_.rho));
+    stash_.resize(g_.degree(self_) * static_cast<std::size_t>(pk_->eta));
     reinit(std::move(rng));
   }
 
@@ -58,21 +57,17 @@ class SchedNode final : public NodeState {
     const int step = slots_.stepOf(r) + 1;
     const int slot = slots_.slotOf(r);
     if (step > pk_->depthBound) return;
-    const auto& view = pk_->view(self_);
-    for (const auto& nb : g_.neighbors(self_)) {
-      const auto it = view.edgeTrees.find(nb.node);
-      if (it == view.edgeTrees.end() ||
-          slot >= static_cast<int>(it->second.size()))
-        continue;
-      const int tree = it->second[static_cast<std::size_t>(slot)];
-      const int d = view.depth[static_cast<std::size_t>(tree)];
-      if (d != step - 1 ||
-          view.parent[static_cast<std::size_t>(tree)] == nb.node)
-        continue;
-      if (!view.inTree(tree, nb.node)) continue;
+    const NodeTreeView view = pk_->view(self_);
+    const auto& nbs = g_.neighbors(self_);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const int tree = view.treeAt(static_cast<int>(i), slot);
+      if (tree < 0) continue;
+      const int d = view.depth(tree);
+      if (d != step - 1 || view.parent(tree) == nbs[i].node) continue;
+      if (!view.inTree(tree, nbs[i].node)) continue;
       if (!have_[static_cast<std::size_t>(tree)]) continue;
-      out.to(nb.node, sim::resetScratch(scratch_).push(
-                          value_[static_cast<std::size_t>(tree)]));
+      out.to(nbs[i].node, sim::resetScratch(scratch_).push(
+                              value_[static_cast<std::size_t>(tree)]));
     }
   }
 
@@ -82,24 +77,18 @@ class SchedNode final : public NodeState {
     const int rep = slots_.repOf(r);
     const int slot = slots_.slotOf(r);
     if (step > pk_->depthBound) return;
-    const auto& view = pk_->view(self_);
+    const NodeTreeView view = pk_->view(self_);
     const auto& nbs = g_.neighbors(self_);
     for (std::size_t i = 0; i < nbs.size(); ++i) {
-      const auto it = view.edgeTrees.find(nbs[i].node);
-      if (it == view.edgeTrees.end() ||
-          slot >= static_cast<int>(it->second.size()))
-        continue;
-      const int tree = it->second[static_cast<std::size_t>(slot)];
-      const int d = view.depth[static_cast<std::size_t>(tree)];
-      if (d != step ||
-          view.parent[static_cast<std::size_t>(tree)] != nbs[i].node)
-        continue;
-      Msg* copies = stashSlot(i, slot);
-      sim::assignMsg(copies[static_cast<std::size_t>(rep)],
-                     in.from(nbs[i].node));
+      const int tree = view.treeAt(static_cast<int>(i), slot);
+      if (tree < 0) continue;
+      const int d = view.depth(tree);
+      if (d != step || view.parent(tree) != nbs[i].node) continue;
+      VoteSlot& vs = stashSlot(i, slot);
+      if (rep == 0) vs.reset();
+      vs.add(in.from(nbs[i].node));
       if (rep == slots_.rho - 1) {
-        const Msg& m =
-            majorityRef(copies, static_cast<std::size_t>(slots_.rho));
+        const Msg& m = vs.winner();
         if (m.present) {
           value_[static_cast<std::size_t>(tree)] = m.at(0);
           have_[static_cast<std::size_t>(tree)] = 1;
@@ -130,11 +119,10 @@ class SchedNode final : public NodeState {
   [[nodiscard]] bool done() const override { return done_; }
 
  private:
-  /// The rho stash copies of (neighbor index, schedule slot).
-  [[nodiscard]] Msg* stashSlot(std::size_t nbIndex, int slot) {
-    return stash_.data() + (nbIndex * static_cast<std::size_t>(pk_->eta) +
-                            static_cast<std::size_t>(slot)) *
-                               static_cast<std::size_t>(slots_.rho);
+  /// The vote slot of (neighbor index, schedule slot).
+  [[nodiscard]] VoteSlot& stashSlot(std::size_t nbIndex, int slot) {
+    return stash_[nbIndex * static_cast<std::size_t>(pk_->eta) +
+                  static_cast<std::size_t>(slot)];
   }
 
   NodeId self_;
@@ -145,9 +133,9 @@ class SchedNode final : public NodeState {
   std::shared_ptr<ScheduledBroadcastShared> shared_;
   std::vector<std::uint64_t> value_;
   std::vector<char> have_;
-  /// Repetition stash, [neighbor][schedule slot][rho] flattened; fixed
-  /// shape, rewritten in place every scheduled round.
-  std::vector<Msg> stash_;
+  /// Vote stash, [neighbor][schedule slot] flattened; fixed shape,
+  /// rewritten in place every scheduled round.
+  std::vector<VoteSlot> stash_;
   Msg scratch_;  // reused send buffer
   bool done_ = false;
 };

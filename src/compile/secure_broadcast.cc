@@ -65,12 +65,10 @@ BroadcastCore::BroadcastCore(NodeId self, const Graph& g, util::Rng rng,
 int BroadcastCore::keysPerArc() const { return pk_->eta; }
 
 int BroadcastCore::slotIndex(NodeId nbr, int tree) const {
-  const auto& view = pk_->view(self_);
-  const auto it = view.edgeTrees.find(nbr);
-  if (it == view.edgeTrees.end()) return -1;
-  const auto pos = std::find(it->second.begin(), it->second.end(), tree);
-  if (pos == it->second.end()) return -1;
-  return static_cast<int>(pos - it->second.begin());
+  const NodeTreeView view = pk_->view(self_);
+  const int i = view.arcIndexOf(nbr);
+  if (i < 0) return -1;
+  return view.slotOf(i, tree);
 }
 
 void BroadcastCore::send(int localRound, Outbox& out) {
@@ -103,23 +101,21 @@ void BroadcastCore::send(int localRound, Outbox& out) {
   const int fr = cr - exchangeRounds_ - 1;  // 0-based flood round
   const int step = fr / pk_->eta + 1;       // 1-based depth step
   const int slot = fr % pk_->eta;
-  const auto& view = pk_->view(self_);
-  for (const auto& nb : g_.neighbors(self_)) {
-    const auto it = view.edgeTrees.find(nb.node);
-    if (it == view.edgeTrees.end() ||
-        slot >= static_cast<int>(it->second.size()))
-      continue;
-    const int tree = it->second[static_cast<std::size_t>(slot)];
-    const int d = view.depth[static_cast<std::size_t>(tree)];
-    if (d != step - 1 || !view.inTree(tree, nb.node)) continue;
-    if (view.parent[static_cast<std::size_t>(tree)] == nb.node) continue;
+  const NodeTreeView view = pk_->view(self_);
+  const auto& nbs = g_.neighbors(self_);
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    const int tree = view.treeAt(static_cast<int>(i), slot);
+    if (tree < 0) continue;
+    const int d = view.depth(tree);
+    if (d != step - 1 || !view.inTree(tree, nbs[i].node)) continue;
+    if (view.parent(tree) == nbs[i].node) continue;
     if (!haveShare_[static_cast<std::size_t>(tree)]) continue;
     const std::uint64_t word =
         shares_[static_cast<std::size_t>(tree)]
                [static_cast<std::size_t>(chunk)];
-    out.to(nb.node,
+    out.to(nbs[i].node,
            Msg::of(word ^
-                   sendPads_.at(nb.node)[static_cast<std::size_t>(slot)]));
+                   sendPads_.at(nbs[i].node)[static_cast<std::size_t>(slot)]));
   }
 }
 
@@ -138,20 +134,17 @@ void BroadcastCore::receive(int localRound, const Inbox& in) {
   const int fr = cr - exchangeRounds_ - 1;
   const int step = fr / pk_->eta + 1;
   const int slot = fr % pk_->eta;
-  const auto& view = pk_->view(self_);
-  for (const auto& nb : g_.neighbors(self_)) {
-    const auto it = view.edgeTrees.find(nb.node);
-    if (it == view.edgeTrees.end() ||
-        slot >= static_cast<int>(it->second.size()))
-      continue;
-    const int tree = it->second[static_cast<std::size_t>(slot)];
-    const int d = view.depth[static_cast<std::size_t>(tree)];
-    if (d != step || view.parent[static_cast<std::size_t>(tree)] != nb.node)
-      continue;
-    const MsgView m = in.from(nb.node);
+  const NodeTreeView view = pk_->view(self_);
+  const auto& nbs = g_.neighbors(self_);
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    const int tree = view.treeAt(static_cast<int>(i), slot);
+    if (tree < 0) continue;
+    const int d = view.depth(tree);
+    if (d != step || view.parent(tree) != nbs[i].node) continue;
+    const MsgView m = in.from(nbs[i].node);
     if (!m.present()) continue;
     shares_[static_cast<std::size_t>(tree)][static_cast<std::size_t>(chunk)] =
-        m.at(0) ^ recvPads_.at(nb.node)[static_cast<std::size_t>(slot)];
+        m.at(0) ^ recvPads_.at(nbs[i].node)[static_cast<std::size_t>(slot)];
     haveShare_[static_cast<std::size_t>(tree)] = 1;
   }
   if (localRound == totalRounds()) {

@@ -1,10 +1,54 @@
 #include "exp/precompute_cache.h"
 
+#include "obs/obs.h"
+#include "util/thread_pool.h"
+
 namespace mobile::exp {
+
+namespace {
+
+struct PreprocessMetricIds {
+  obs::CounterId misses;
+  obs::GaugeId pkBytes;
+};
+
+const PreprocessMetricIds& preprocessMetricIds() {
+  static const PreprocessMetricIds ids = [] {
+    PreprocessMetricIds m;
+    obs::Registry& r = obs::registry();
+    m.misses = r.counter("compile.preprocess_misses");
+    m.pkBytes = r.gauge("compile.pk_bytes");
+    return m;
+  }();
+  return ids;
+}
+
+void recordKnowledgeSize(const compile::PackingKnowledge& pk) {
+  if (!obs::enabled()) return;
+  obs::registry().set(preprocessMetricIds().pkBytes,
+                      static_cast<std::uint64_t>(pk.memoryBytes()));
+}
+
+void recordMiss() {
+  if (!obs::enabled()) return;
+  obs::registry().add(preprocessMetricIds().misses, 1);
+}
+
+}  // namespace
 
 PrecomputeCache& PrecomputeCache::global() {
   static PrecomputeCache cache;
   return cache;
+}
+
+void PrecomputeCache::setComputePool(util::ThreadPool* pool) {
+  std::lock_guard<std::mutex> lock(poolMu_);
+  pool_ = pool;
+}
+
+util::ThreadPool* PrecomputeCache::computePool() const {
+  std::lock_guard<std::mutex> lock(poolMu_);
+  return pool_;
 }
 
 PrecomputeCache::Key PrecomputeCache::key(Kind kind, const graph::Graph& g,
@@ -38,8 +82,12 @@ std::shared_ptr<const graph::TreePacking> PrecomputeCache::greedyTreePacking(
     return std::static_pointer_cast<const graph::TreePacking>(it->second);
   }
   ++misses_;
+  recordMiss();
+  const obs::TraceArg spanArgs[] = {{"n", g.nodeCount()}, {"k", k}};
+  const obs::Span span("compile", "preprocess.greedy_tree", spanArgs, 2);
+  std::lock_guard<std::mutex> plock(poolMu_);
   auto p = std::make_shared<const graph::TreePacking>(
-      graph::greedyLowDepthPacking(g, k, root, depthCap));
+      graph::greedyLowDepthPacking(g, k, root, depthCap, pool_));
   entries_[id] = p;
   return p;
 }
@@ -58,12 +106,20 @@ std::shared_ptr<const compile::PackingKnowledge> PrecomputeCache::starPacking(
   // Compute outside the lock so the nested tree-packing lookup can take it;
   // a racing lane at worst recomputes once and first-in wins below.
   const auto tree = starTreePacking(g);
-  auto pk = compile::distributePacking(g, *tree, depthBound);
+  auto pk = [&] {
+    const obs::TraceArg spanArgs[] = {{"n", g.nodeCount()},
+                                      {"k", static_cast<int>(tree->size())}};
+    const obs::Span span("compile", "preprocess.distribute", spanArgs, 2);
+    std::lock_guard<std::mutex> plock(poolMu_);
+    return compile::distributePacking(g, *tree, depthBound, pool_);
+  }();
+  recordKnowledgeSize(*pk);
   std::lock_guard<std::mutex> lock(mu_);
   if (const auto it = entries_.find(id); it != entries_.end())
     return std::static_pointer_cast<const compile::PackingKnowledge>(
         it->second);
   ++misses_;
+  recordMiss();
   entries_[id] = std::shared_ptr<const compile::PackingKnowledge>(pk);
   return pk;
 }
@@ -80,12 +136,19 @@ std::shared_ptr<const compile::PackingKnowledge> PrecomputeCache::greedyPacking(
     }
   }
   const auto tree = greedyTreePacking(g, k, root, depthCap);
-  auto pk = compile::distributePacking(g, *tree, depthCap);
+  auto pk = [&] {
+    const obs::TraceArg spanArgs[] = {{"n", g.nodeCount()}, {"k", k}};
+    const obs::Span span("compile", "preprocess.distribute", spanArgs, 2);
+    std::lock_guard<std::mutex> plock(poolMu_);
+    return compile::distributePacking(g, *tree, depthCap, pool_);
+  }();
+  recordKnowledgeSize(*pk);
   std::lock_guard<std::mutex> lock(mu_);
   if (const auto it = entries_.find(id); it != entries_.end())
     return std::static_pointer_cast<const compile::PackingKnowledge>(
         it->second);
   ++misses_;
+  recordMiss();
   entries_[id] = std::shared_ptr<const compile::PackingKnowledge>(pk);
   return pk;
 }

@@ -245,6 +245,7 @@ CampaignRun runCampaign(const Campaign& c, const CampaignOptions& opts) {
     done = completedPoints(opts.jsonlPath);
 
   TrialBuilder builder;
+  builder.setEngineDefaults(opts.rankThreads, 0);
   std::vector<exp::TrialSpec> specs;
   for (auto& p : points) {
     if (done.count(p.id) != 0) {
@@ -286,8 +287,13 @@ CampaignRun runCampaign(const Campaign& c, const CampaignOptions& opts) {
     };
   }
 
-  // Multi-process runs are lock-step: one trial at a time per rank, in
-  // expansion order, over the single-threaded process transport.
+  // Per-rank execution policy (explicit, not incidental): under a
+  // multi-process world every rank runs ONE trial at a time, in expansion
+  // order -- the round barrier spans ranks, so concurrent trials on one
+  // rank would interleave sessions on the shared transport.  Intra-trial
+  // engine threads (opts.rankThreads / scenario threads=) are the
+  // sanctioned way to parallelize a rank; single-process runs use the
+  // full trial-lane count.
   const int threads = opts.worldSize > 1 ? 1 : opts.threads;
   exp::ExperimentDriver driver({threads});
   {

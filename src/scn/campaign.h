@@ -76,10 +76,19 @@ void applySeedOffset(std::vector<Point>& points, std::uint64_t offset);
 void printScenarios(std::ostream& os, const Campaign& c);
 
 struct CampaignOptions {
-  /// Trial lanes for the ExperimentDriver.  Forced to 1 when worldSize >
-  /// 1: the process transport is single-threaded and trials must run in
-  /// lock-step across ranks.
+  /// Trial lanes for the ExperimentDriver.  Per-rank policy: forced to 1
+  /// when worldSize > 1 -- ranks advance in lock-step over the shared
+  /// process transport, so concurrent trials would deadlock the round
+  /// barrier.  Intra-trial parallelism stays available to ranks through
+  /// `rankThreads` / the scenario `threads=` axis.
   int threads = 1;
+  /// Default engine threads *inside* one trial (NetworkOptions::
+  /// numThreads) for points that do not pin `threads=` themselves; the
+  /// `--rank-threads` flag.  Default 1 = the strictly sequential engine.
+  /// This is how a `--spawn N` rank uses more than one core: trial lanes
+  /// are pinned to 1 above, but each rank may still parallelize its own
+  /// send/receive phases.  Results are bit-identical at every value.
+  int rankThreads = 1;
   /// Added to every point's seed axis (the --seed flag); a nonzero offset
   /// changes the point ids, so offset runs never collide on resume.
   std::uint64_t seedOffset = 0;

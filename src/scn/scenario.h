@@ -25,12 +25,17 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exp/experiment.h"
 #include "scn/params.h"
 #include "scn/registry.h"
+
+namespace mobile::util {
+class ThreadPool;
+}
 
 namespace mobile::scn {
 
@@ -61,18 +66,48 @@ struct Scenario {
 /// fingerprint cache shared across the points of one expansion.
 class TrialBuilder {
  public:
+  TrialBuilder();
+  /// Unregisters the compile pool from the PrecomputeCache (if one was
+  /// lent) before tearing it down.
+  ~TrialBuilder();
+  TrialBuilder(const TrialBuilder&) = delete;
+  TrialBuilder& operator=(const TrialBuilder&) = delete;
+
   /// Builds the trial for one concrete point.  `group` is stored on the
   /// spec verbatim (see groupLabel).  Throws ScnError on unknown registry
   /// names, malformed values, or keys nothing consumed.
+  ///
+  /// Engine-parallelism axes: `threads=` and `shards=` are first-class
+  /// campaign parameters lowered onto NetworkOptions::numThreads /
+  /// numShards (send/receive lanes and arena shards of ONE trial --
+  /// distinct from the driver's trial lanes).  A scenario value overrides
+  /// the defaults below; both are sweepable, and every setting produces
+  /// bit-identical fingerprints (the engine's determinism contract).
   [[nodiscard]] exp::TrialSpec build(const Params& point,
                                      const std::string& group);
+
+  /// CLI-level defaults for points that do not pin `threads=` / `shards=`
+  /// themselves (0 shards = follow the engine thread count).
+  void setEngineDefaults(int threads, int shards) {
+    defaultEngineThreads_ = threads;
+    defaultEngineShards_ = shards;
+  }
 
   /// Fault-free fingerprints served from cache (tests; sweep reporting).
   [[nodiscard]] std::size_t expectCacheHits() const { return hits_; }
 
  private:
+  /// Lends a pool of (at least) `threads` lanes to the PrecomputeCache, so
+  /// the compile-phase preprocessing a point triggers during build() --
+  /// the cache warm-up; trial workers then hit the warm entries -- fans
+  /// out like the trial's engine will.  No-op for threads <= 1.
+  void ensureCompilePool(int threads);
+
   std::map<std::string, std::uint64_t> expectCache_;
   std::size_t hits_ = 0;
+  int defaultEngineThreads_ = 1;
+  int defaultEngineShards_ = 0;
+  std::unique_ptr<util::ThreadPool> compilePool_;
 };
 
 }  // namespace mobile::scn

@@ -21,7 +21,11 @@
 // --spawn N (loopback multi-process mode: fork N rank workers wired
 // through MOBILE_NET_WORLD/RANK/PORT; transport=udp points partition
 // their node sets across the workers, rank 0 merges and records),
-// --port P (UDP base port for --spawn; rank r binds 127.0.0.1:P+r).
+// --port P (UDP base port for --spawn; rank r binds 127.0.0.1:P+r),
+// --rank-threads N (default 1: engine threads *inside* each trial --
+// NetworkOptions::numThreads -- for points that do not pin a threads=
+// axis themselves; the way a --spawn rank, whose trial lanes are pinned
+// to 1 by the lock-step policy, still uses N cores).
 #include <csignal>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -95,6 +99,7 @@ int main(int argc, char** argv) {
   bool dry = false;
   int spawn = 0;
   int basePort = 47810;
+  int rankThreads = 1;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -108,11 +113,13 @@ int main(int argc, char** argv) {
       spawn = std::atoi(argv[++i]);
     } else if (std::strcmp(a, "--port") == 0 && i + 1 < argc) {
       basePort = std::atoi(argv[++i]);
+    } else if (std::strcmp(a, "--rank-threads") == 0 && i + 1 < argc) {
+      rankThreads = std::atoi(argv[++i]);
     } else if (a[0] == '-') {
       std::fprintf(stderr,
                    "%s: unknown flag '%s' (own flags: --out PATH, --fresh, "
-                   "--dry, --spawn N, --port P; plus the shared bench "
-                   "flags)\n",
+                   "--dry, --spawn N, --port P, --rank-threads N; plus the "
+                   "shared bench flags)\n",
                    argv[0], a);
       return 2;
     } else {
@@ -148,6 +155,7 @@ int main(int argc, char** argv) {
       const scn::Campaign campaign = scn::loadCampaignFile(file);
       scn::CampaignOptions opts;
       opts.threads = args.threads;
+      opts.rankThreads = rankThreads;
       opts.seedOffset = args.seed;
       opts.resume = !fresh;
       opts.worldSize = world;
@@ -174,7 +182,11 @@ int main(int argc, char** argv) {
         std::cout << run.points << " grid points, " << run.skipped
                   << " already recorded (resume), " << run.executed
                   << " executed on "
-                  << (world > 1 ? 1 : opts.threads) << " thread(s)"
+                  << (world > 1 ? 1 : opts.threads) << " trial lane(s)"
+                  << (opts.rankThreads > 1
+                          ? " x " + std::to_string(opts.rankThreads) +
+                                " engine thread(s)"
+                          : std::string())
                   << (world > 1
                           ? " x " + std::to_string(world) + " rank(s)"
                           : std::string())
